@@ -1,0 +1,148 @@
+#include "bench_common.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xpg::bench {
+
+unsigned
+scaleShift()
+{
+    return defaultScaleShift();
+}
+
+Dataset
+loadDataset(const std::string &abbrev)
+{
+    const DatasetSpec &spec = datasetByAbbrev(abbrev);
+    std::fprintf(stderr, "[bench] generating %s at 1/2^%u scale...\n",
+                 spec.name.c_str(), scaleShift());
+    Dataset ds = generateDataset(spec, scaleShift());
+    std::fprintf(stderr, "[bench]   |V|=%" PRIu64 " |E|=%zu\n",
+                 static_cast<uint64_t>(ds.numVertices), ds.edges.size());
+    return ds;
+}
+
+XPGraphConfig
+xpgraphConfig(const Dataset &ds, unsigned archive_threads)
+{
+    const ScaledTestbed t = ScaledTestbed::at(scaleShift());
+    XPGraphConfig c = XPGraphConfig::persistent(ds.numVertices, 0);
+    c.archiveThreads = archive_threads;
+    c.elogCapacityEdges = t.elogCapacityEdges;
+    c.bufferingThresholdEdges =
+        ScaledTestbed::thresholdFor(ds.activeVertices());
+    c.memoryModeCacheBytes = t.memoryModeCacheBytes / 2; // per node
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, ds.edges.size());
+    return c;
+}
+
+GraphOneConfig
+graphoneConfig(const Dataset &ds, GraphOneVariant variant,
+               unsigned archive_threads)
+{
+    const ScaledTestbed t = ScaledTestbed::at(scaleShift());
+    GraphOneConfig c;
+    c.maxVertices = ds.numVertices;
+    c.variant = variant;
+    c.archiveThreads = archive_threads;
+    c.elogCapacityEdges = t.elogCapacityEdges;
+    c.archiveThresholdEdges =
+        ScaledTestbed::thresholdFor(ds.activeVertices());
+    c.memoryModeCacheBytes = t.memoryModeCacheBytes / 2;
+    c.bytesPerNode = graphoneRecommendedBytesPerNode(c, ds.edges.size());
+    return c;
+}
+
+IngestOutcome
+ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
+              const std::string &label)
+{
+    XPGraph graph(config);
+    graph.addEdges(ds.edges.data(), ds.edges.size());
+    graph.bufferAllEdges();
+    graph.flushAllVbufs();
+
+    IngestOutcome o;
+    o.system = label;
+    o.dataset = ds.spec.abbrev;
+    o.stats = graph.stats();
+    o.counters = graph.pmemCounters();
+    o.mem = graph.memoryUsage();
+    if (config.memKind == MemKind::Dram) {
+        const ScaledTestbed t = ScaledTestbed::at(scaleShift());
+        o.oom = dramFootprint(o) > t.dramBudgetBytes;
+    }
+    return o;
+}
+
+IngestOutcome
+ingestGraphone(const Dataset &ds, const GraphOneConfig &config,
+               const std::string &label)
+{
+    GraphOne graph(config);
+    graph.addEdges(ds.edges.data(), ds.edges.size());
+    graph.archiveAll();
+
+    IngestOutcome o;
+    o.system = label;
+    o.dataset = ds.spec.abbrev;
+    o.stats = graph.stats();
+    o.counters = graph.pmemCounters();
+    o.mem = graph.memoryUsage();
+    if (config.variant == GraphOneVariant::Dram) {
+        const ScaledTestbed t = ScaledTestbed::at(scaleShift());
+        o.oom = dramFootprint(o) > t.dramBudgetBytes;
+    }
+    return o;
+}
+
+std::unique_ptr<XPGraph>
+buildXpgraph(const Dataset &ds, const XPGraphConfig &config)
+{
+    auto graph = std::make_unique<XPGraph>(config);
+    graph->addEdges(ds.edges.data(), ds.edges.size());
+    graph->bufferAllEdges();
+    return graph;
+}
+
+std::unique_ptr<GraphOne>
+buildGraphone(const Dataset &ds, const GraphOneConfig &config)
+{
+    auto graph = std::make_unique<GraphOne>(config);
+    graph->addEdges(ds.edges.data(), ds.edges.size());
+    graph->archiveAll();
+    return graph;
+}
+
+uint64_t
+dramFootprint(const IngestOutcome &o)
+{
+    // A DRAM-only system holds everything in DRAM: metadata, vertex
+    // buffers, the edge log, and the adjacency data.
+    return o.mem.metaBytes + o.mem.vbufBytes + o.mem.elogBytes +
+           o.mem.pblkBytes;
+}
+
+std::string
+secondsOrOom(const IngestOutcome &o)
+{
+    if (o.oom)
+        return "OOM";
+    return TablePrinter::seconds(o.ingestNs());
+}
+
+void
+printBanner(const std::string &bench, const std::string &paper_ref)
+{
+    std::printf("#\n# %s — reproduces %s\n", bench.c_str(),
+                paper_ref.c_str());
+    std::printf("# scale: 1/2^%u of the paper's dataset sizes "
+                "(XPG_SCALE_SHIFT to change)\n",
+                scaleShift());
+    std::printf("# units: simulated seconds on the modeled Optane "
+                "testbed; bytes from modeled media counters\n#\n");
+    std::fflush(stdout);
+}
+
+} // namespace xpg::bench

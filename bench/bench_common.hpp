@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches: dataset
+ * loading at the session scale, scale-aware system configuration, ingest
+ * drivers, and result formatting.
+ *
+ * All quantities are simulated (see DESIGN.md): "seconds" are simulated
+ * seconds on the modeled Optane testbed, and byte counters come from the
+ * device models' media counters (the PCM equivalent).
+ */
+
+#ifndef XPG_BENCH_COMMON_HPP
+#define XPG_BENCH_COMMON_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/graphone.hpp"
+#include "core/xpgraph.hpp"
+#include "graph/datasets.hpp"
+#include "util/table_printer.hpp"
+
+namespace xpg::bench {
+
+/** Paper testbed constants, scaled by the session scale shift. */
+struct ScaledTestbed
+{
+    unsigned scaleShift;
+    uint64_t elogCapacityEdges;      ///< paper: 8 GiB of 8 B edges
+    uint64_t bufferingThresholdEdges;///< paper: 2^16
+    uint64_t dramBudgetBytes;        ///< paper: 128 GiB (OOM modeling)
+    uint64_t memoryModeCacheBytes;   ///< DRAM cache in Memory Mode
+
+    static ScaledTestbed
+    at(unsigned shift)
+    {
+        ScaledTestbed t;
+        t.scaleShift = shift;
+        t.elogCapacityEdges =
+            std::max<uint64_t>(1ull << 14, (1ull << 30) >> shift);
+        t.dramBudgetBytes = (128ull << 30) >> shift;
+        t.memoryModeCacheBytes =
+            std::max<uint64_t>(1ull << 20, (128ull << 30) >> shift) / 2;
+        // Placeholder; thresholdFor() refines per dataset.
+        t.bufferingThresholdEdges = 1ull << 12;
+        return t;
+    }
+
+    /**
+     * Archive/buffering threshold for a graph of @p num_vertices.
+     * The paper uses a fixed 2^16; at reduced scale a fixed threshold
+     * would make each batch touch every vertex dozens of times, letting
+     * the XPBuffer coalesce GraphOne's per-edge writes in a way the
+     * full-scale system never sees. Scaling the threshold with |V|
+     * preserves the paper's batch-to-vertex density.
+     */
+    static uint64_t
+    thresholdFor(uint64_t num_vertices)
+    {
+        return std::clamp<uint64_t>(num_vertices, 1ull << 12,
+                                    1ull << 16);
+    }
+};
+
+/** One system's ingest outcome (a bar of Fig.11/12 plus its Fig.13 data). */
+struct IngestOutcome
+{
+    std::string system;
+    std::string dataset;
+    bool oom = false;        ///< exceeded the scaled DRAM budget
+    IngestStats stats;
+    PcmCounters counters;
+    MemoryUsage mem;
+
+    uint64_t ingestNs() const { return stats.ingestNs(); }
+};
+
+/** Session scale (XPG_SCALE_SHIFT env or default). */
+unsigned scaleShift();
+
+/** Generate a dataset at the session scale (logs progress to stderr). */
+Dataset loadDataset(const std::string &abbrev);
+
+/** Default XPGraph configuration for a dataset on the scaled testbed. */
+XPGraphConfig xpgraphConfig(const Dataset &ds, unsigned archive_threads);
+
+/** Default GraphOne configuration for a dataset on the scaled testbed. */
+GraphOneConfig graphoneConfig(const Dataset &ds, GraphOneVariant variant,
+                              unsigned archive_threads);
+
+/** Build + ingest + fully archive an XPGraph instance. */
+IngestOutcome ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
+                            const std::string &label);
+
+/** Build + ingest + fully archive a GraphOne instance. */
+IngestOutcome ingestGraphone(const Dataset &ds,
+                             const GraphOneConfig &config,
+                             const std::string &label);
+
+/** Same, returning the live engine for follow-up query benches. */
+std::unique_ptr<XPGraph> buildXpgraph(const Dataset &ds,
+                                      const XPGraphConfig &config);
+std::unique_ptr<GraphOne> buildGraphone(const Dataset &ds,
+                                        const GraphOneConfig &config);
+
+/** Total DRAM a volatile (DRAM-only) run occupies, for OOM marking. */
+uint64_t dramFootprint(const IngestOutcome &o);
+
+/** "12.34" seconds or "OOM". */
+std::string secondsOrOom(const IngestOutcome &o);
+
+/** Standard bench banner: scale, dataset sizes, reminder of units. */
+void printBanner(const std::string &bench, const std::string &paper_ref);
+
+} // namespace xpg::bench
+
+#endif // XPG_BENCH_COMMON_HPP

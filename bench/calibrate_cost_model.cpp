@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cost-model calibration tool. Sweeps the device-model latency knobs
+ * in-process and prints the anchor ratios the paper pins down:
+ *
+ *   A = GraphOne-P / GraphOne-D ingest  (paper: ~6.37x, S II-C)
+ *   B = GraphOne-P / XPGraph ingest     (paper: 3.01-3.95x, Fig.11)
+ *   C = GraphOne-D / XPGraph-D ingest   (paper: up to 1.73x, Fig.12)
+ *   D = GraphOne-P(16T) / GraphOne-P(8T) (paper Fig.4b: > 1, collapse)
+ *
+ * The defaults committed in cost_model.hpp are the fit produced with
+ * this tool. Run with --sweep to re-explore.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+namespace {
+
+struct Ratios
+{
+    double a, b, c, d;
+    double g1d, g1p, xpg, xpgd;
+};
+
+Ratios
+measure(const Dataset &ds)
+{
+    const auto g1d = ingestGraphone(
+        ds, graphoneConfig(ds, GraphOneVariant::Dram, 16), "g1d");
+    const auto g1p = ingestGraphone(
+        ds, graphoneConfig(ds, GraphOneVariant::Pmem, 16), "g1p");
+    const auto g1p8 = ingestGraphone(
+        ds, graphoneConfig(ds, GraphOneVariant::Pmem, 8), "g1p8");
+    const auto xpg = ingestXpgraph(ds, xpgraphConfig(ds, 16), "xpg");
+
+    XPGraphConfig xd = xpgraphConfig(ds, 16);
+    {
+        XPGraphConfig preset =
+            XPGraphConfig::dramOnly(xd.maxVertices, xd.pmemBytesPerNode);
+        preset.elogCapacityEdges = xd.elogCapacityEdges;
+        preset.bufferingThresholdEdges = xd.bufferingThresholdEdges;
+        preset.archiveThreads = 16;
+        xd = preset;
+    }
+    const auto xpgd = ingestXpgraph(ds, xd, "xpgd");
+
+    std::printf("  [g1d]  log=%.3f buf=%.3f flush=%.3f\n",
+                g1d.stats.loggingNs / 1e9, g1d.stats.bufferingNs / 1e9,
+                g1d.stats.flushingNs / 1e9);
+    std::printf("  [g1p]  log=%.3f buf=%.3f flush=%.3f\n",
+                g1p.stats.loggingNs / 1e9, g1p.stats.bufferingNs / 1e9,
+                g1p.stats.flushingNs / 1e9);
+    std::printf("  [xpg]  log=%.3f buf=%.3f flush=%.3f\n",
+                xpg.stats.loggingNs / 1e9, xpg.stats.bufferingNs / 1e9,
+                xpg.stats.flushingNs / 1e9);
+    std::printf("  [xpgd] log=%.3f buf=%.3f flush=%.3f\n",
+                xpgd.stats.loggingNs / 1e9, xpgd.stats.bufferingNs / 1e9,
+                xpgd.stats.flushingNs / 1e9);
+    Ratios r;
+    r.g1d = g1d.ingestNs() / 1e9;
+    r.g1p = g1p.ingestNs() / 1e9;
+    r.xpg = xpg.ingestNs() / 1e9;
+    r.xpgd = xpgd.ingestNs() / 1e9;
+    r.a = static_cast<double>(g1p.ingestNs()) / g1d.ingestNs();
+    r.b = static_cast<double>(g1p.ingestNs()) / xpg.ingestNs();
+    r.c = static_cast<double>(g1d.ingestNs()) / xpgd.ingestNs();
+    r.d = static_cast<double>(g1p.ingestNs()) / g1p8.ingestNs();
+    return r;
+}
+
+void
+report(const char *tag, const Ratios &r)
+{
+    std::printf("%-28s g1d=%.3fs g1p=%.3fs xpg=%.3fs xpgd=%.3fs | "
+                "A=%.2f (6.37) B=%.2f (3.0-3.95) C=%.2f (<=1.73) "
+                "D=%.2f (>1)\n",
+                tag, r.g1d, r.g1p, r.xpg, r.xpgd, r.a, r.b, r.c, r.d);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool sweep = argc > 1 && std::strcmp(argv[1], "--sweep") == 0;
+    const Dataset ds = loadDataset("FS");
+
+    report("defaults", measure(ds));
+    if (!sweep)
+        return 0;
+
+    CostParams &p = globalCostParams();
+    const CostParams defaults = p;
+
+    for (uint64_t seq_write : {400ull, 500ull}) {
+        for (double slope : {0.21, 0.26, 0.32}) {
+            for (double remote_w : {2.4}) {
+                for (uint64_t media_w : {550ull, 650ull, 750ull}) {
+                    p = defaults;
+                    p.pmemMediaWriteSeqNs = seq_write;
+                    p.pmemWriteContentionSlope = slope;
+                    p.pmemRemoteWriteMult = remote_w;
+                    p.pmemMediaWriteNs = media_w;
+                    char tag[96];
+                    std::snprintf(tag, sizeof(tag),
+                                  "sw=%llu sl=%.2f rw=%.1f mw=%llu",
+                                  static_cast<unsigned long long>(
+                                      seq_write),
+                                  slope, remote_w,
+                                  static_cast<unsigned long long>(
+                                      media_w));
+                    report(tag, measure(ds));
+                }
+            }
+        }
+    }
+    p = defaults;
+    return 0;
+}

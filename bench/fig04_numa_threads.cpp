@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Fig.4 (motivation):
+ *  (a) NUMA effect on GraphOne — normal (unbound, data interleaved over
+ *      two sockets) vs bound to a single NUMA node. The penalty is far
+ *      larger for GraphOne-P than GraphOne-D.
+ *  (b) archive-thread scaling of GraphOne-D vs GraphOne-P — the PMEM
+ *      variant collapses beyond ~8 threads (limited store concurrency).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+namespace {
+
+uint64_t
+ingestNs(const Dataset &ds, GraphOneVariant variant, unsigned nodes,
+         unsigned threads)
+{
+    GraphOneConfig c = graphoneConfig(ds, variant, threads);
+    c.numNodes = nodes;
+    return ingestGraphone(ds, c, "g1").ingestNs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig04_numa_threads",
+                "Fig.4 (NUMA effect and thread scaling of GraphOne)");
+
+    const Dataset ds = loadDataset(argc > 1 ? argv[1] : "FS");
+
+    TablePrinter a("Fig.4(a): NUMA effect (simulated seconds), "
+                   "16 archive threads");
+    a.header({"system", "normal (2 nodes)", "bind 1 node", "penalty"});
+    for (const auto &[name, variant] :
+         {std::pair{"GraphOne-D", GraphOneVariant::Dram},
+          std::pair{"GraphOne-P", GraphOneVariant::Pmem}}) {
+        const uint64_t normal = ingestNs(ds, variant, 2, 16);
+        const uint64_t bound = ingestNs(ds, variant, 1, 16);
+        a.row({name, TablePrinter::seconds(normal),
+               TablePrinter::seconds(bound),
+               TablePrinter::num(
+                   100.0 * (static_cast<double>(normal) - bound) / bound,
+                   1) + "%"});
+    }
+    a.print();
+
+    TablePrinter b("Fig.4(b): ingest time vs archive threads "
+                   "(simulated seconds)");
+    b.header({"threads", "GraphOne-D", "GraphOne-P"});
+    for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u}) {
+        b.row({std::to_string(threads),
+               TablePrinter::seconds(
+                   ingestNs(ds, GraphOneVariant::Dram, 2, threads)),
+               TablePrinter::seconds(
+                   ingestNs(ds, GraphOneVariant::Pmem, 2, threads))});
+    }
+    b.print();
+    std::printf("\npaper: NUMA effects much larger for GraphOne-P; "
+                "GraphOne-P degrades beyond 8 archive threads\n");
+    return 0;
+}

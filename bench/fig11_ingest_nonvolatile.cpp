@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Fig.11: graph ingestion time for the non-volatile systems —
+ * GraphOne-P (PMEM mmap), GraphOne-N (NOVA file I/O), XPGraph, and
+ * XPGraph-B (battery-backed) — on all seven datasets, 16 archive threads.
+ *
+ * Paper shape: GraphOne-N an order of magnitude slower than the rest;
+ * XPGraph 3.01-3.95x faster than GraphOne-P; XPGraph-B up to 23% faster
+ * than XPGraph.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig11_ingest_nonvolatile",
+                "Fig.11 (ingest time, non-volatile systems)");
+
+    std::vector<std::string> names = {"TT", "FS", "UK", "YW",
+                                      "K28", "K29", "K30"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+    const unsigned threads = 16;
+
+    TablePrinter table("Fig.11: ingest time (simulated seconds), "
+                       "16 archive threads");
+    table.header({"dataset", "GraphOne-P", "GraphOne-N", "XPGraph",
+                  "XPGraph-B", "XPG/G1-P speedup", "B vs XPG"});
+
+    for (const auto &name : names) {
+        const Dataset ds = loadDataset(name);
+
+        const auto g1p = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::Pmem, threads),
+            "GraphOne-P");
+        const auto g1n = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::Nova, threads),
+            "GraphOne-N");
+
+        XPGraphConfig xc = xpgraphConfig(ds, threads);
+        const auto xpg = ingestXpgraph(ds, xc, "XPGraph");
+
+        XPGraphConfig bc = xc;
+        bc.batteryBacked = true;
+        const auto xpgb = ingestXpgraph(ds, bc, "XPGraph-B");
+
+        const double speedup = static_cast<double>(g1p.ingestNs()) /
+                               static_cast<double>(xpg.ingestNs());
+        const double b_gain =
+            (static_cast<double>(xpg.ingestNs()) -
+             static_cast<double>(xpgb.ingestNs())) /
+            static_cast<double>(xpg.ingestNs()) * 100.0;
+
+        table.row({ds.spec.abbrev,
+                   TablePrinter::seconds(g1p.ingestNs()),
+                   TablePrinter::seconds(g1n.ingestNs()),
+                   TablePrinter::seconds(xpg.ingestNs()),
+                   TablePrinter::seconds(xpgb.ingestNs()),
+                   TablePrinter::num(speedup, 2) + "x",
+                   TablePrinter::num(b_gain, 1) + "%"});
+    }
+    table.print();
+    std::printf("\npaper: XPGraph speedup 3.01x-3.95x over GraphOne-P; "
+                "GraphOne-N ~10x slower; XPGraph-B up to 23%% faster\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Fig.12: ingestion time for the volatile systems GraphOne-D
+ * and XPGraph-D on (1) a DRAM-only system ("DO") and (2) a PMEM system
+ * with Optane in Memory Mode ("MM").
+ *
+ * Paper shape: the three largest graphs OOM on DRAM-only (128 GB);
+ * XPGraph-D is up to 73% (DO) / 76% (MM) faster than GraphOne-D.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig12_ingest_volatile",
+                "Fig.12 (ingest time, volatile systems: DRAM-only and "
+                "Memory Mode)");
+
+    std::vector<std::string> names = {"TT", "FS", "UK", "YW",
+                                      "K28", "K29", "K30"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+    const unsigned threads = 16;
+
+    TablePrinter table("Fig.12: ingest time (simulated seconds), "
+                       "16 archive threads");
+    table.header({"dataset", "G1-D (DO)", "XPG-D (DO)", "DO gain",
+                  "G1-D (MM)", "XPG-D (MM)", "MM gain"});
+
+    for (const auto &name : names) {
+        const Dataset ds = loadDataset(name);
+
+        // DRAM-only.
+        const auto g1_do = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::Dram, threads),
+            "GraphOne-D");
+        XPGraphConfig xd = xpgraphConfig(ds, threads);
+        {
+            XPGraphConfig preset = XPGraphConfig::dramOnly(
+                xd.maxVertices, xd.pmemBytesPerNode);
+            preset.elogCapacityEdges = xd.elogCapacityEdges;
+            preset.bufferingThresholdEdges = xd.bufferingThresholdEdges;
+            preset.archiveThreads = threads;
+            xd = preset;
+        }
+        const auto xpg_do = ingestXpgraph(ds, xd, "XPGraph-D");
+
+        // Optane Memory Mode.
+        const auto g1_mm = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::MemoryMode, threads),
+            "GraphOne-D");
+        XPGraphConfig xm = xd;
+        xm.memKind = MemKind::MemoryMode;
+        xm.memoryModeCacheBytes =
+            ScaledTestbed::at(scaleShift()).memoryModeCacheBytes / 2;
+        const auto xpg_mm = ingestXpgraph(ds, xm, "XPGraph-D");
+
+        auto gain = [](const IngestOutcome &slow,
+                       const IngestOutcome &fast) -> std::string {
+            if (slow.oom || fast.oom)
+                return "-";
+            const double g =
+                (static_cast<double>(slow.ingestNs()) - fast.ingestNs()) /
+                static_cast<double>(fast.ingestNs()) * 100.0;
+            return TablePrinter::num(g, 0) + "%";
+        };
+
+        table.row({ds.spec.abbrev, secondsOrOom(g1_do),
+                   secondsOrOom(xpg_do), gain(g1_do, xpg_do),
+                   secondsOrOom(g1_mm), secondsOrOom(xpg_mm),
+                   gain(g1_mm, xpg_mm)});
+    }
+    table.print();
+    std::printf("\npaper: YW/K29/K30 OOM on DRAM-only; XPGraph-D up to "
+                "73%% (DO) / 76%% (MM) faster than GraphOne-D\n");
+    return 0;
+}

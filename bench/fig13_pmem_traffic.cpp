@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig.13: PMEM read and write data amount during ingestion
+ * for GraphOne-P, GraphOne-N, XPGraph, and XPGraph-B (PCM-equivalent
+ * media counters).
+ *
+ * Paper shape: XPGraph reads 2.29-4.17x and writes 2.02-3.44x less than
+ * GraphOne-P; XPGraph-B reads up to 31% and writes up to 47% less than
+ * XPGraph; GraphOne-N an order of magnitude worse.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig13_pmem_traffic",
+                "Fig.13 (PMEM read/write data amount during ingestion)");
+
+    std::vector<std::string> names = {"TT", "FS", "UK", "YW",
+                                      "K28", "K29", "K30"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+    const unsigned threads = 16;
+
+    TablePrinter reads("Fig.13: PMEM media READ bytes");
+    reads.header({"dataset", "GraphOne-P", "GraphOne-N", "XPGraph",
+                  "XPGraph-B", "G1-P/XPG", "B vs XPG"});
+    TablePrinter writes("Fig.13: PMEM media WRITE bytes");
+    writes.header({"dataset", "GraphOne-P", "GraphOne-N", "XPGraph",
+                   "XPGraph-B", "G1-P/XPG", "B vs XPG"});
+
+    for (const auto &name : names) {
+        const Dataset ds = loadDataset(name);
+
+        const auto g1p = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::Pmem, threads),
+            "GraphOne-P");
+        const auto g1n = ingestGraphone(
+            ds, graphoneConfig(ds, GraphOneVariant::Nova, threads),
+            "GraphOne-N");
+        const auto xpg =
+            ingestXpgraph(ds, xpgraphConfig(ds, threads), "XPGraph");
+        XPGraphConfig bc = xpgraphConfig(ds, threads);
+        bc.batteryBacked = true;
+        const auto xpgb = ingestXpgraph(ds, bc, "XPGraph-B");
+
+        auto ratio = [](uint64_t a, uint64_t b) {
+            return TablePrinter::num(static_cast<double>(a) /
+                                     static_cast<double>(b ? b : 1), 2) +
+                   "x";
+        };
+        auto saved = [](uint64_t xpg_v, uint64_t b_v) {
+            const double s =
+                (static_cast<double>(xpg_v) - static_cast<double>(b_v)) /
+                static_cast<double>(xpg_v ? xpg_v : 1) * 100.0;
+            return TablePrinter::num(s, 0) + "%";
+        };
+
+        reads.row({ds.spec.abbrev,
+                   TablePrinter::bytes(g1p.counters.mediaBytesRead),
+                   TablePrinter::bytes(g1n.counters.mediaBytesRead),
+                   TablePrinter::bytes(xpg.counters.mediaBytesRead),
+                   TablePrinter::bytes(xpgb.counters.mediaBytesRead),
+                   ratio(g1p.counters.mediaBytesRead,
+                         xpg.counters.mediaBytesRead),
+                   saved(xpg.counters.mediaBytesRead,
+                         xpgb.counters.mediaBytesRead)});
+        writes.row({ds.spec.abbrev,
+                    TablePrinter::bytes(g1p.counters.mediaBytesWritten),
+                    TablePrinter::bytes(g1n.counters.mediaBytesWritten),
+                    TablePrinter::bytes(xpg.counters.mediaBytesWritten),
+                    TablePrinter::bytes(xpgb.counters.mediaBytesWritten),
+                    ratio(g1p.counters.mediaBytesWritten,
+                          xpg.counters.mediaBytesWritten),
+                    saved(xpg.counters.mediaBytesWritten,
+                          xpgb.counters.mediaBytesWritten)});
+    }
+    reads.print();
+    writes.print();
+    std::printf("\npaper: XPGraph reduces PMEM reads 2.29-4.17x and "
+                "writes 2.02-3.44x vs GraphOne-P; XPGraph-B saves up to "
+                "31%% reads / 47%% writes more\n");
+    return 0;
+}

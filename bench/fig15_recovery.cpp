@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig.15: graph recovery time after a power failure.
+ *
+ * XPGraph reloads the persistent adjacency chains (pointer-link rebuild)
+ * and replays only the unflushed log window; GraphOne must re-build every
+ * adjacency list by re-running archiving over the whole edge log (with
+ * the paper-recommended 2^27 archive threshold, scaled).
+ *
+ * Paper shape: XPGraph recovers 5.20-9.47x faster on the four real-world
+ * graphs; the three big graphs recover in reasonable time on XPGraph
+ * while GraphOne cannot even hold them.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+namespace {
+
+uint64_t
+xpgraphRecoveryNs(const Dataset &ds, const std::string &dir)
+{
+    XPGraphConfig c = xpgraphConfig(ds, 16);
+    c.backingDir = dir;
+    {
+        XPGraph graph(c);
+        graph.addEdges(ds.edges.data(), ds.edges.size());
+        graph.bufferAllEdges();
+        graph.flushAllVbufs(); // ingest completed; then power failure
+        graph.syncBackings();
+        // destructor == power failure: all DRAM state lost
+    }
+    auto recovered = XPGraph::recover(c);
+    return recovered->stats().recoveryNs;
+}
+
+uint64_t
+graphoneRecoveryNs(const Dataset &ds)
+{
+    // GraphOne recovery re-archives the persisted edge log in bulk.
+    // The paper's recommended 2^27 threshold is ~2.2 edges per vertex on
+    // its graphs; density-preserving scaling keeps that ratio (compare
+    // ScaledTestbed::thresholdFor).
+    GraphOneConfig c = graphoneConfig(ds, GraphOneVariant::Pmem, 16);
+    c.elogCapacityEdges = ds.edges.size() + 1024;
+    c.archiveThresholdEdges =
+        std::max<uint64_t>(1ull << 12, 2ull * ds.numVertices);
+    GraphOne graph(c);
+    graph.addEdges(ds.edges.data(), ds.edges.size());
+    graph.archiveAll();
+    return graph.stats().archivingNs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig15_recovery", "Fig.15 (graph recovery time)");
+
+    std::vector<std::string> names = {"TT", "FS", "UK", "YW",
+                                      "K28", "K29", "K30"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+
+    const std::string dir = "/tmp/xpg_fig15_recovery";
+    std::filesystem::create_directories(dir);
+
+    TablePrinter table("Fig.15: recovery time (simulated seconds)");
+    table.header({"dataset", "GraphOne", "XPGraph", "speedup"});
+    for (const auto &name : names) {
+        const Dataset ds = loadDataset(name);
+        const uint64_t g1 = graphoneRecoveryNs(ds);
+        const uint64_t xpg = xpgraphRecoveryNs(ds, dir);
+        table.row({ds.spec.abbrev, TablePrinter::seconds(g1),
+                   TablePrinter::seconds(xpg),
+                   TablePrinter::num(static_cast<double>(g1) /
+                                     static_cast<double>(xpg), 2) + "x"});
+    }
+    table.print();
+    std::filesystem::remove_all(dir);
+    std::printf("\npaper: XPGraph recovery 5.20-9.47x faster than "
+                "GraphOne's re-archiving\n");
+    return 0;
+}

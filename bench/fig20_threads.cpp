@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Fig.20: XPGraph's ingest time vs archive-thread count on
+ * Friendster. Unlike GraphOne-P (Fig.4b), XPGraph keeps scaling to the
+ * maximum available threads (paper: peak at 95 archive threads of 96
+ * logical cores) because its PMEM writes are batched whole-XPLine
+ * streams split across NUMA-local devices.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig20_threads",
+                "Fig.20 (XPGraph ingest vs number of archive threads)");
+
+    const Dataset ds = loadDataset(argc > 1 ? argv[1] : "FS");
+
+    TablePrinter table("Fig.20: XPGraph ingest time (simulated seconds) "
+                       "vs archive threads");
+    table.header({"threads", "ingest (s)", "archiving (s)"});
+    for (unsigned threads :
+         {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u, 64u, 80u, 95u}) {
+        const auto o =
+            ingestXpgraph(ds, xpgraphConfig(ds, threads), "xpg");
+        table.row({std::to_string(threads),
+                   TablePrinter::seconds(o.ingestNs()),
+                   TablePrinter::seconds(o.stats.archivingNs())});
+    }
+    table.print();
+    std::printf("\npaper: monotone improvement up to 95 threads (the "
+                "96th is the logging thread)\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate primitives: modeled
+ * device accesses (host-side overhead of the simulation itself), the
+ * XPBuffer, the buddy vertex-buffer pool vs the system allocator, and
+ * edge generation. These measure HOST time (the cost of running the
+ * model), unlike the figure/table benches which report simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mempool/vertex_buffer_pool.hpp"
+#include "pmem/dram_device.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/xpbuffer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xpg;
+
+void
+BM_PmemDeviceRandomWrite4B(benchmark::State &state)
+{
+    PmemDevice dev("bm", 64 << 20, 0, 1);
+    Rng rng(1);
+    uint32_t v = 0;
+    for (auto _ : state) {
+        dev.write(4 + 256 * rng.nextBounded((64 << 20) / 256 - 1), &v, 4);
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmemDeviceRandomWrite4B);
+
+void
+BM_PmemDeviceSequentialWrite256B(benchmark::State &state)
+{
+    PmemDevice dev("bm", 64 << 20, 0, 1);
+    std::vector<uint8_t> line(256, 7);
+    uint64_t off = 0;
+    for (auto _ : state) {
+        dev.write(off, line.data(), line.size());
+        off = (off + 256) % (60 << 20);
+    }
+    state.SetBytesProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PmemDeviceSequentialWrite256B);
+
+void
+BM_DramDeviceWrite(benchmark::State &state)
+{
+    DramDevice dev("bm", 16 << 20, 0, 1);
+    Rng rng(2);
+    uint32_t v = 0;
+    for (auto _ : state)
+        dev.write(4 * rng.nextBounded((16 << 20) / 4 - 1), &v, 4);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramDeviceWrite);
+
+void
+BM_XPBufferStore(benchmark::State &state)
+{
+    XPBuffer buf;
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buf.store(rng.nextBounded(100000), false));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XPBufferStore);
+
+void
+BM_PoolAllocFree(benchmark::State &state)
+{
+    VertexBufferPool pool;
+    const uint32_t size = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        std::byte *p = pool.alloc(size);
+        benchmark::DoNotOptimize(p);
+        pool.free(p, size);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocFree)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PoolGrowChain(benchmark::State &state)
+{
+    // The hierarchical-buffer pattern: alloc 16, migrate up to 256.
+    VertexBufferPool pool;
+    for (auto _ : state) {
+        uint32_t bytes = 16;
+        std::byte *buf = pool.alloc(bytes);
+        while (bytes < 256) {
+            std::byte *next = pool.alloc(bytes * 2);
+            pool.free(buf, bytes);
+            buf = next;
+            bytes *= 2;
+        }
+        pool.free(buf, bytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolGrowChain);
+
+void
+BM_RmatGenerate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto edges = generateRmat(16, 10000, RmatParams{}, 9);
+        benchmark::DoNotOptimize(edges.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RmatGenerate);
+
+} // namespace
+
+BENCHMARK_MAIN();

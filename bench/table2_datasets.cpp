@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table II: dataset statistics — |V|, |E|, binary edge-list
+ * size, and CSR size (out + in) — for the seven evaluation graphs at the
+ * session scale, next to the paper's full-scale numbers.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/csr.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main()
+{
+    printBanner("table2_datasets", "Table II (dataset statistics)");
+
+    TablePrinter table("Table II: datasets at 1/2^" +
+                       std::to_string(scaleShift()) + " scale");
+    table.header({"dataset", "|V|", "|E|", "bin size", "CSR size",
+                  "paper |V|", "paper |E|"});
+
+    for (const auto &spec : datasetCatalog()) {
+        const Dataset ds = generateDataset(spec, scaleShift());
+        const Csr out(ds.numVertices, ds.edges, false);
+        const Csr in(ds.numVertices, ds.edges, true);
+        table.row({spec.abbrev, std::to_string(ds.numVertices),
+                   std::to_string(ds.edges.size()),
+                   TablePrinter::bytes(ds.binBytes()),
+                   TablePrinter::bytes(out.sizeBytes() + in.sizeBytes()),
+                   TablePrinter::num(
+                       static_cast<double>(spec.paperVertices) / 1e6, 1) +
+                       "M",
+                   TablePrinter::num(
+                       static_cast<double>(spec.paperEdges) / 1e9, 1) +
+                       "B"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Table III: XPGraph's memory usage breakdown during ingest —
+ * DRAM (Meta = vertex state + intermediate data, Vbuf = vertex-buffer
+ * pool peak) and PMEM (Input = binary edge list, Elog = circular edge
+ * log region, Pblk = persistent adjacency blocks + vertex index).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+int
+main(int argc, char **argv)
+{
+    printBanner("table3_memory",
+                "Table III (memory usage of XPGraph, GB at paper scale)");
+
+    std::vector<std::string> names = {"TT", "FS", "UK", "YW",
+                                      "K28", "K29", "K30"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+
+    TablePrinter table("Table III: memory usage at 1/2^" +
+                       std::to_string(scaleShift()) + " scale");
+    table.header({"dataset", "DRAM Meta", "DRAM Vbuf", "PMEM Input",
+                  "PMEM Elog", "PMEM Pblk"});
+
+    for (const auto &name : names) {
+        const Dataset ds = loadDataset(name);
+        const auto o = ingestXpgraph(ds, xpgraphConfig(ds, 16), "xpg");
+        table.row({ds.spec.abbrev, TablePrinter::bytes(o.mem.metaBytes),
+                   TablePrinter::bytes(o.mem.vbufBytes),
+                   TablePrinter::bytes(ds.binBytes()),
+                   TablePrinter::bytes(o.mem.elogBytes),
+                   TablePrinter::bytes(o.mem.pblkBytes)});
+    }
+    table.print();
+    std::printf("\npaper (GB): e.g. K30 = Meta 49.54 / Vbuf 28.22 / "
+                "Input 128 / Elog 8 / Pblk 165.95\n");
+    return 0;
+}

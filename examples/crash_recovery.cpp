@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Crash consistency end-to-end: a file-backed XPGraph instance ingests an
+ * evolving graph, "loses power" at an arbitrary point (all DRAM state —
+ * vertex buffers, indexes, chain mirrors — is destroyed), and recovers
+ * from the persistent devices alone: superblock, persistent vertex index,
+ * adjacency chains, and the replay window of the circular edge log
+ * (paper S III-B / S V-D).
+ *
+ * Run:  ./crash_recovery [dir]
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/xpgraph.hpp"
+#include "graph/generators.hpp"
+
+using namespace xpg;
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir =
+        argc > 1 ? argv[1] : "/tmp/xpgraph_crash_demo";
+    std::filesystem::create_directories(dir);
+
+    const vid_t users = 5000;
+    const uint64_t edges_before_crash = 120000;
+
+    XPGraphConfig config = XPGraphConfig::persistent(users, 0);
+    config.backingDir = dir; // file-backed devices -> persistence
+    config.archiveThreads = 4;
+    config.pmemBytesPerNode =
+        recommendedBytesPerNode(config, 2 * edges_before_crash);
+
+    auto workload = generateRmat(14, edges_before_crash, RmatParams{}, 7);
+    foldVertices(workload, users);
+
+    vid_t probe = workload[0].src;
+    uint32_t degree_before = 0;
+
+    std::printf("phase 1: ingesting %lu edges into %s ...\n",
+                static_cast<unsigned long>(workload.size()), dir.c_str());
+    {
+        XPGraph graph(config);
+        graph.addEdges(workload.data(), workload.size());
+        graph.bufferAllEdges(); // some edges flushed, some still in
+                                // (volatile!) DRAM vertex buffers
+        std::vector<vid_t> nebrs;
+        degree_before = graph.getNebrsOut(probe, nebrs);
+        std::printf("  out-degree of probe vertex %u: %u\n", probe,
+                    degree_before);
+        graph.syncBackings();
+        std::printf("phase 2: POWER FAILURE (destroying all DRAM "
+                    "state)\n");
+        // graph's destructor runs here: every volatile structure is gone
+    }
+
+    std::printf("phase 3: recovering from the device images ...\n");
+    auto recovered = XPGraph::recover(config);
+    std::printf("  recovery took %.3f simulated ms\n",
+                static_cast<double>(recovered->stats().recoveryNs) / 1e6);
+
+    std::vector<vid_t> nebrs;
+    const uint32_t degree_after = recovered->getNebrsOut(probe, nebrs);
+    std::printf("  out-degree of probe vertex %u after recovery: %u "
+                "(%s)\n",
+                probe, degree_after,
+                degree_after == degree_before ? "MATCH" : "MISMATCH");
+
+    std::printf("phase 4: the recovered store keeps ingesting ...\n");
+    recovered->addEdge(probe, (probe + 1) % users);
+    recovered->bufferAllEdges();
+    nebrs.clear();
+    const uint32_t degree_final = recovered->getNebrsOut(probe, nebrs);
+    std::printf("  out-degree after one more insert: %u\n", degree_final);
+
+    std::filesystem::remove_all(dir);
+    return degree_after == degree_before ? 0 : 1;
+}

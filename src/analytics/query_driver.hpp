@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NUMA-friendly query driver (paper S III-D, "CPU-binding based graph
+ * querying"): at the start of each computing iteration the vertex set is
+ * classified by the NUMA node holding each vertex's adjacency, and
+ * querying threads are bound to the matching node's cores — avoiding both
+ * remote PMEM reads and per-vertex thread migration.
+ */
+
+#ifndef XPG_ANALYTICS_QUERY_DRIVER_HPP
+#define XPG_ANALYTICS_QUERY_DRIVER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph_view.hpp"
+#include "util/parallel.hpp"
+
+namespace xpg {
+
+/** How query threads relate to NUMA nodes. */
+enum class QueryBinding
+{
+    Auto,      ///< follow view.queryBindingEnabled()
+    None,      ///< threads stay unbound (GraphOne behaviour)
+    PerRound,  ///< classify per iteration, bind per round (paper default)
+    PerVertex, ///< rebind on every vertex (the anti-pattern of S III-D)
+};
+
+/**
+ * Executes per-vertex work over vertex sets with the chosen binding
+ * strategy, accumulating simulated time.
+ */
+class QueryDriver
+{
+  public:
+    /**
+     * @param view Graph under query (used for node classification).
+     * @param num_threads Simulated query thread count.
+     * @param binding Binding strategy.
+     */
+    QueryDriver(GraphView &view, unsigned num_threads,
+                QueryBinding binding = QueryBinding::Auto);
+
+    unsigned numThreads() const { return executor_.numWorkers(); }
+
+    /**
+     * Run @p fn(v, worker) over @p vertices (one computing iteration).
+     * Out-adjacency node classification is used for binding.
+     * @return simulated nanoseconds of the round (slowest worker).
+     */
+    uint64_t forEach(std::span<const vid_t> vertices,
+                     const std::function<void(vid_t, unsigned)> &fn);
+
+    /** forEach over the whole vertex space [0, numVertices). */
+    uint64_t forAllVertices(const std::function<void(vid_t, unsigned)> &fn);
+
+    /** Total simulated nanoseconds across all rounds so far. */
+    uint64_t totalNs() const { return totalNs_; }
+
+  private:
+    bool bindingActive() const;
+
+    GraphView &view_;
+    QueryBinding binding_;
+    ParallelExecutor executor_;
+    std::vector<std::vector<vid_t>> perNode_;
+    std::vector<vid_t> allVertices_;
+    uint64_t totalNs_ = 0;
+};
+
+} // namespace xpg
+
+#endif // XPG_ANALYTICS_QUERY_DRIVER_HPP

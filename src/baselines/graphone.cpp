@@ -1,0 +1,472 @@
+#include "baselines/graphone.hpp"
+
+#include <algorithm>
+
+#include "graph/tombstones.hpp"
+#include "pmem/dram_device.hpp"
+#include "pmem/memory_mode_device.hpp"
+#include "pmem/numa_topology.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/xpline.hpp"
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+namespace {
+
+/** Device offset where the edge log region begins (after a header page). */
+constexpr uint64_t kLogRegionOff = 4096;
+/** Fixed offset of the per-device allocator tail (DRAM-mirrored anyway;
+ *  GraphOne has no persistent allocator, but the bump allocator wants a
+ *  slot to write through to). */
+constexpr uint64_t kAllocTailOff = 256;
+/** Smallest chunk (records); GraphOne allocates degree-proportional
+ *  chunks with no large per-vertex floor. */
+constexpr uint32_t kMinChunkRecords = 16;
+constexpr uint32_t kMaxChunkRecords = 16384;
+
+/** Per-batch degree-increment scratch, reused across phases. */
+thread_local std::vector<vid_t> t_touched;
+
+} // namespace
+
+uint64_t
+graphoneRecommendedBytesPerNode(const GraphOneConfig &config,
+                                uint64_t expected_edges)
+{
+    // Pmem/Nova keep everything in one mmap'd file on one node.
+    const bool single_device =
+        config.variant == GraphOneVariant::Pmem ||
+        config.variant == GraphOneVariant::Nova;
+    const unsigned p =
+        single_device ? 1 : std::max(1u, config.numNodes);
+    const uint64_t log_bytes =
+        config.elogCapacityEdges * sizeof(Edge) + kLogRegionOff;
+    const uint64_t chunk_bytes =
+        (expected_edges * 2 * sizeof(vid_t) * 4) / p +
+        uint64_t{config.maxVertices} * kMinChunkRecords * sizeof(vid_t) /
+            p;
+    return log_bytes + chunk_bytes + (32ull << 20);
+}
+
+GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
+{
+    XPG_ASSERT(config_.maxVertices > 0, "maxVertices must be set");
+    XPG_ASSERT(config_.bytesPerNode > 0, "bytesPerNode must be set");
+
+    // GraphOne-P/N mmap a single DAX file, whose pages live on ONE
+    // socket's PMEM — every access from the other socket is remote and
+    // all threads contend on the same DIMMs (the paper's S III-D point
+    // about "evenly distributing the PMEM queries"). The volatile
+    // variants use first-touch DRAM / Memory-Mode system RAM, which the
+    // OS interleaves across nodes.
+    const bool single_device =
+        config_.variant == GraphOneVariant::Pmem ||
+        config_.variant == GraphOneVariant::Nova;
+    const unsigned num_devices =
+        single_device ? 1 : config_.numNodes;
+    for (unsigned node = 0; node < num_devices; ++node) {
+        const std::string name = "g1-node" + std::to_string(node);
+        std::unique_ptr<MemoryDevice> dev;
+        switch (config_.variant) {
+          case GraphOneVariant::Dram:
+            dev = std::make_unique<DramDevice>(name, config_.bytesPerNode,
+                                               static_cast<int>(node),
+                                               config_.numNodes);
+            break;
+          case GraphOneVariant::Pmem:
+          case GraphOneVariant::Nova:
+            dev = std::make_unique<PmemDevice>(name, config_.bytesPerNode,
+                                               static_cast<int>(node),
+                                               config_.numNodes);
+            break;
+          case GraphOneVariant::MemoryMode:
+            dev = std::make_unique<MemoryModeDevice>(
+                name, config_.bytesPerNode, config_.memoryModeCacheBytes,
+                static_cast<int>(node), config_.numNodes);
+            break;
+        }
+        devices_.push_back(std::move(dev));
+    }
+
+    // GraphOne-N stores only the adjacency lists in (NOVA) files; the
+    // edge log stays in DRAM. The others log into device 0.
+    if (config_.variant == GraphOneVariant::Nova) {
+        novaLogDevice_ = std::make_unique<DramDevice>(
+            "g1-log", kLogRegionOff +
+                          config_.elogCapacityEdges * sizeof(Edge) + 4096,
+            0, config_.numNodes);
+        logDevice_ = novaLogDevice_.get();
+    } else {
+        logDevice_ = devices_[0].get();
+        XPG_ASSERT(kLogRegionOff +
+                       config_.elogCapacityEdges * sizeof(Edge) <
+                   config_.bytesPerNode,
+                   "bytesPerNode too small for the edge log");
+    }
+    logRegionOff_ = kLogRegionOff;
+
+    for (unsigned node = 0; node < devices_.size(); ++node) {
+        // Chunk space starts after the log region on device 0.
+        const uint64_t start =
+            (node == 0 && config_.variant != GraphOneVariant::Nova)
+                ? kLogRegionOff +
+                      config_.elogCapacityEdges * sizeof(Edge) + 4096
+                : kLogRegionOff;
+        allocators_.push_back(std::make_unique<PmemAllocator>(
+            *devices_[node], alignUp(start, kXPLineSize),
+            config_.bytesPerNode, kAllocTailOff));
+    }
+
+    executor_ =
+        std::make_unique<ParallelExecutor>(config_.archiveThreads);
+    out_.meta.resize(config_.maxVertices);
+    in_.meta.resize(config_.maxVertices);
+
+    const unsigned shards = std::max(
+        1u, config_.shardsPerThread * config_.archiveThreads);
+    outShards_.resize(shards);
+    inShards_.resize(shards);
+}
+
+GraphOne::~GraphOne() = default;
+
+MemoryDevice &
+GraphOne::interleavedDevice(uint64_t counter) const
+{
+    return *devices_[counter % devices_.size()];
+}
+
+void
+GraphOne::chargeFileIo(uint64_t bytes) const
+{
+    if (config_.variant != GraphOneVariant::Nova)
+        return;
+    const CostParams &p = globalCostParams();
+    const uint64_t blocks = (bytes + 4095) / 4096;
+    SimClock::charge(p.vfsCallNs + blocks * p.fsBlockNs);
+}
+
+// --- updates ---------------------------------------------------------------
+
+void
+GraphOne::addEdge(vid_t src, vid_t dst)
+{
+    const Edge e{src, dst};
+    addEdges(&e, 1);
+}
+
+void
+GraphOne::delEdge(vid_t src, vid_t dst)
+{
+    const Edge e{src, asDelete(dst)};
+    addEdges(&e, 1);
+}
+
+uint64_t
+GraphOne::addEdges(const Edge *edges, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n) {
+        const uint64_t pending = head_ - archivedUpTo_;
+        if (pending >= config_.archiveThresholdEdges) {
+            runArchivePhase();
+            continue;
+        }
+        const uint64_t until_threshold =
+            config_.archiveThresholdEdges - pending;
+        const uint64_t room =
+            config_.elogCapacityEdges - (head_ - archivedUpTo_);
+        if (room == 0) {
+            runArchivePhase();
+            continue;
+        }
+        const uint64_t take = std::min({n - done, until_threshold, room});
+
+        SimScope scope;
+        uint64_t written = 0;
+        while (written < take) {
+            const uint64_t pos = head_ + written;
+            const uint64_t slot = pos % config_.elogCapacityEdges;
+            const uint64_t run = std::min(
+                take - written, config_.elogCapacityEdges - slot);
+            logDevice_->write(logRegionOff_ + slot * sizeof(Edge),
+                              edges + done + written, run * sizeof(Edge));
+            written += run;
+        }
+        loggingNs_ += scope.elapsed();
+        head_ += take;
+        done += take;
+        edgesLogged_ += take;
+    }
+    return done;
+}
+
+void
+GraphOne::archiveAll()
+{
+    while (archivedUpTo_ < head_)
+        runArchivePhase();
+}
+
+// --- archiving ---------------------------------------------------------------
+
+void
+GraphOne::ensureCapacity(Direction &dir, vid_t v, uint32_t increment)
+{
+    VertexMeta &meta = dir.meta[v];
+    uint32_t free = 0;
+    if (!meta.chunks.empty()) {
+        const Chunk &tail = meta.chunks.back();
+        free = tail.capacity - tail.count;
+    }
+    if (free >= increment)
+        return;
+
+    // Degree-proportional chunk sizing, as in GraphOne's archiving. The
+    // new chunk must hold the whole increment (appends only ever target
+    // the tail chunk; leftover slots in the old tail are abandoned).
+    uint32_t capacity = std::max(
+        increment,
+        std::min(std::max(meta.records, kMinChunkRecords),
+                 kMaxChunkRecords));
+    const unsigned dev_idx = static_cast<unsigned>(
+        chunkCounter_.fetch_add(1, std::memory_order_relaxed) %
+        devices_.size());
+    const uint64_t off = allocators_[dev_idx]->alloc(
+        uint64_t{capacity} * sizeof(vid_t), kCacheLineSize);
+    sysAlloc_.chargeAlloc(uint64_t{capacity} * sizeof(vid_t));
+    chargeFileIo(0); // file append: metadata update
+    meta.chunks.push_back(Chunk{off, capacity, 0, dev_idx});
+}
+
+void
+GraphOne::appendRecord(Direction &dir, vid_t v, vid_t record)
+{
+    VertexMeta &meta = dir.meta[v];
+    XPG_ASSERT(!meta.chunks.empty(), "append without capacity");
+    Chunk *chunk = &meta.chunks.back();
+    if (chunk->count == chunk->capacity) {
+        // ensureCapacity() pre-allocated the next chunk.
+        XPG_PANIC("chunk overflow despite pre-allocation");
+    }
+    // The defining GraphOne access: one 4-byte write per edge, landing at
+    // an effectively random PMEM location.
+    chargeDramRandom(sizeof(Chunk)); // metadata touch
+    chargeFileIo(sizeof(vid_t));
+    devices_[chunk->device]->write(
+        chunk->off + uint64_t{chunk->count} * sizeof(vid_t), &record,
+        sizeof(vid_t));
+    ++chunk->count;
+    ++meta.records;
+}
+
+void
+GraphOne::archiveWorker(unsigned w)
+{
+    // GraphOne is NUMA-oblivious: archive threads float.
+    NumaBinding::unbindThread();
+
+    // Out-direction: shards partition the src space, so this worker owns
+    // every vertex it touches. Same for in-direction by dst.
+    for (int dir_idx = 0; dir_idx < 2; ++dir_idx) {
+        const bool is_out = dir_idx == 0;
+        Direction &dir = is_out ? out_ : in_;
+        const auto &assign = is_out ? outAssign_ : inAssign_;
+        const auto &shards = is_out ? outShards_ : inShards_;
+        if (w >= assign.size())
+            continue;
+        const ShardAssignment &a = assign[w];
+
+        // Pass 1: per-vertex degree increments for this batch.
+        t_touched.clear();
+        thread_local std::vector<uint32_t> inc;
+        inc.resize(config_.maxVertices, 0);
+        for (unsigned s = a.firstShard; s < a.lastShard; ++s) {
+            for (const Edge &e : shards[s]) {
+                const vid_t v = is_out ? e.src : rawVid(e.dst);
+                chargeDramRandom(sizeof(uint32_t));
+                if (inc[v]++ == 0)
+                    t_touched.push_back(v);
+            }
+        }
+        // Pass 2: allocate chunk space per touched vertex.
+        for (vid_t v : t_touched)
+            ensureCapacity(dir, v, inc[v]);
+        // Pass 3: append every edge's record individually.
+        for (unsigned s = a.firstShard; s < a.lastShard; ++s) {
+            for (const Edge &e : shards[s]) {
+                if (is_out) {
+                    appendRecord(dir, e.src, e.dst);
+                } else {
+                    const vid_t rec =
+                        isDelete(e.dst) ? asDelete(e.src) : e.src;
+                    appendRecord(dir, rawVid(e.dst), rec);
+                }
+            }
+        }
+        for (vid_t v : t_touched)
+            inc[v] = 0;
+    }
+}
+
+void
+GraphOne::runArchivePhase()
+{
+    const uint64_t from = archivedUpTo_;
+    // Archive at most one threshold-sized batch per phase, as GraphOne
+    // does in normal operation (archiveAll loops over phases).
+    const uint64_t to =
+        std::min(head_, from + config_.archiveThresholdEdges);
+    if (from == to)
+        return;
+
+    SimScope serial_scope;
+    batch_.clear();
+    batch_.reserve(to - from);
+    {
+        // Read the batch back from the log.
+        uint64_t read = 0;
+        batch_.resize(to - from);
+        while (from + read < to) {
+            const uint64_t pos = from + read;
+            const uint64_t slot = pos % config_.elogCapacityEdges;
+            const uint64_t run = std::min(
+                to - pos, config_.elogCapacityEdges - slot);
+            logDevice_->read(logRegionOff_ + slot * sizeof(Edge),
+                             batch_.data() + read, run * sizeof(Edge));
+            read += run;
+        }
+    }
+
+    // Shard by src (out) and by dst (in) into temporary ranged edge lists.
+    for (auto &list : outShards_)
+        list.clear();
+    for (auto &list : inShards_)
+        list.clear();
+    const uint64_t nv = config_.maxVertices;
+    for (const Edge &e : batch_) {
+        XPG_ASSERT(rawVid(e.src) < nv && rawVid(e.dst) < nv,
+                   "edge endpoint out of range");
+        outShards_[(uint64_t{e.src} * outShards_.size()) / nv]
+            .push_back(e);
+        inShards_[(uint64_t{rawVid(e.dst)} * inShards_.size()) / nv]
+            .push_back(e);
+    }
+    chargeDramSequential(batch_.size() * sizeof(Edge) * 3);
+    outAssign_ = EdgeSharder::assign(outShards_, config_.archiveThreads);
+    inAssign_ = EdgeSharder::assign(inShards_, config_.archiveThreads);
+
+    // Archive-write load spreads over the devices holding the chunks
+    // (one for the mmap'd PMEM variants, all nodes when interleaved).
+    const unsigned writers = std::max<unsigned>(
+        1, config_.archiveThreads /
+               static_cast<unsigned>(devices_.size()));
+    for (auto &dev : devices_)
+        dev->setDeclaredWriters(writers);
+    archivingNs_ += serial_scope.elapsed();
+
+    const ParallelResult result =
+        executor_->run([this](unsigned w) { archiveWorker(w); });
+    archivingNs_ += result.maxNanos();
+    // Between phases only the logging thread stores to the devices.
+    for (auto &dev : devices_)
+        dev->setDeclaredWriters(1);
+
+    archivedUpTo_ = to;
+    edgesArchived_ += to - from;
+    ++archivePhases_;
+}
+
+// --- queries -----------------------------------------------------------------
+
+uint32_t
+GraphOne::readDirection(const Direction &dir, vid_t v,
+                        std::vector<vid_t> &out) const
+{
+    thread_local std::vector<vid_t> raw;
+    raw.clear();
+    const VertexMeta &meta = dir.meta[v];
+    for (const Chunk &chunk : meta.chunks) {
+        if (chunk.count == 0)
+            continue;
+        const size_t base = raw.size();
+        raw.resize(base + chunk.count);
+        chargeFileIo(uint64_t{chunk.count} * sizeof(vid_t));
+        devices_[chunk.device]->read(chunk.off, raw.data() + base,
+                                     uint64_t{chunk.count} *
+                                         sizeof(vid_t));
+    }
+    return cancelTombstones(raw, out);
+}
+
+uint32_t
+GraphOne::getNebrsOut(vid_t v, std::vector<vid_t> &out) const
+{
+    return readDirection(out_, v, out);
+}
+
+uint32_t
+GraphOne::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
+{
+    return readDirection(in_, v, out);
+}
+
+void
+GraphOne::declareQueryThreads(unsigned n)
+{
+    // Transition to the query phase (see XPGraph::declareQueryThreads).
+    // Load spreads over however many devices hold the data — one for
+    // the mmap-based PMEM variants, all nodes for the volatile ones.
+    const unsigned per_device =
+        std::max<unsigned>(1, n / static_cast<unsigned>(devices_.size()));
+    for (auto &dev : devices_) {
+        dev->quiesce();
+        dev->setDeclaredReaders(per_device);
+    }
+}
+
+// --- introspection -------------------------------------------------------------
+
+IngestStats
+GraphOne::stats() const
+{
+    IngestStats s;
+    s.loggingNs = loggingNs_;
+    s.bufferingNs = archivingNs_; // archiving fills the buffering slot
+    s.edgesLogged = edgesLogged_;
+    s.edgesBuffered = edgesArchived_;
+    s.bufferingPhases = archivePhases_;
+    return s;
+}
+
+MemoryUsage
+GraphOne::memoryUsage() const
+{
+    MemoryUsage mu;
+    for (const Direction *dir : {&out_, &in_}) {
+        mu.metaBytes += dir->meta.capacity() * sizeof(VertexMeta);
+        for (const auto &meta : dir->meta)
+            mu.metaBytes += meta.chunks.capacity() * sizeof(Chunk);
+    }
+    mu.metaBytes += batch_.capacity() * sizeof(Edge);
+    for (const auto &shards : {&outShards_, &inShards_})
+        for (const auto &list : *shards)
+            mu.metaBytes += list.capacity() * sizeof(Edge);
+    for (const auto &alloc : allocators_)
+        mu.pblkBytes += alloc->used();
+    mu.elogBytes = config_.elogCapacityEdges * sizeof(Edge);
+    return mu;
+}
+
+PcmCounters
+GraphOne::pmemCounters() const
+{
+    PcmCounters total;
+    for (const auto &dev : devices_)
+        total += dev->counters();
+    return total;
+}
+
+} // namespace xpg

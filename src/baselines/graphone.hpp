@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reimplementation of the GraphOne hybrid graph store (Kumar & Huang,
+ * FAST'19), the paper's comparison baseline (S II-B, S V-A).
+ *
+ * GraphOne keeps the newest edges in a circular edge log and periodically
+ * *archives* them into per-vertex adjacency chunk chains with a global
+ * batched edge-centric pass: count per-vertex degree increments, allocate
+ * chunk space, then append each edge's neighbor id individually — a 4-byte
+ * random write per edge per direction. On DRAM that pattern is harmless;
+ * on PMEM it is the read/write-amplification disaster the paper measures
+ * (Fig.3), which XPGraph's vertex-centric buffering removes.
+ *
+ * Three variants (selected by GraphOneConfig::variant):
+ *  - Dram ("GraphOne-D"): everything on the DRAM model.
+ *  - Pmem ("GraphOne-P"): edge log + adjacency on the PMEM model
+ *    (pmem_map_file-style mmap; metadata stays in DRAM), threads unbound.
+ *  - Nova ("GraphOne-N"): adjacency accessed through file I/O on a NOVA-
+ *    style PMEM file system — every access additionally pays the VFS and
+ *    per-block file-system cost.
+ */
+
+#ifndef XPG_BASELINES_GRAPHONE_HPP
+#define XPG_BASELINES_GRAPHONE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/edge_sharding.hpp"
+#include "graph/graph_view.hpp"
+#include "graph/types.hpp"
+#include "mempool/system_allocator_model.hpp"
+#include "pmem/memory_device.hpp"
+#include "pmem/pmem_allocator.hpp"
+#include "util/parallel.hpp"
+
+namespace xpg {
+
+/** Which hardware the baseline runs on. */
+enum class GraphOneVariant
+{
+    Dram,      ///< GraphOne-D: DRAM-resident (volatile)
+    Pmem,      ///< GraphOne-P: PMEM via mmap (Ext4-DAX)
+    Nova,      ///< GraphOne-N: PMEM via file I/O on NOVA
+    MemoryMode ///< GraphOne-D on an Optane Memory-Mode system (Fig.12)
+};
+
+/** Baseline configuration. */
+struct GraphOneConfig
+{
+    vid_t maxVertices = 0;
+    GraphOneVariant variant = GraphOneVariant::Pmem;
+    /** Devices the (interleaved) memory spans; threads are unbound. */
+    unsigned numNodes = 2;
+    uint64_t bytesPerNode = 0;
+    uint64_t memoryModeCacheBytes = 32ull << 20;
+    uint64_t elogCapacityEdges = 1ull << 20;
+    /** Non-archived edges that trigger an archive phase (paper: 2^16;
+     *  2^27 reproduces GraphOne's recovery-style bulk archiving). */
+    uint64_t archiveThresholdEdges = 1ull << 16;
+    unsigned archiveThreads = 16;
+    unsigned shardsPerThread = 16;
+};
+
+/** Device bytes per node that comfortably fit the workload. */
+uint64_t graphoneRecommendedBytesPerNode(const GraphOneConfig &config,
+                                         uint64_t expected_edges);
+
+/** The GraphOne baseline store. */
+class GraphOne : public GraphView
+{
+  public:
+    explicit GraphOne(const GraphOneConfig &config);
+    ~GraphOne() override;
+
+    // --- updates ---
+    void addEdge(vid_t src, vid_t dst);
+    uint64_t addEdges(const Edge *edges, uint64_t n);
+    void delEdge(vid_t src, vid_t dst);
+
+    /** Archive every non-archived edge of the log (in threshold-sized
+     *  batches, as normal operation would). */
+    void archiveAll();
+
+    /** Adjust the archive threshold/batch size at runtime (used by the
+     *  phase-separation and recovery experiments). */
+    void
+    setArchiveThreshold(uint64_t edges)
+    {
+        config_.archiveThresholdEdges = edges;
+    }
+
+    // --- GraphView ---
+    vid_t numVertices() const override { return config_.maxVertices; }
+    uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
+    uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
+    void declareQueryThreads(unsigned n) override;
+
+    // --- introspection ---
+    IngestStats stats() const;
+    MemoryUsage memoryUsage() const;
+    PcmCounters pmemCounters() const;
+    const GraphOneConfig &config() const { return config_; }
+
+  private:
+    /** One chunk of a vertex's adjacency (metadata in DRAM). */
+    struct Chunk
+    {
+        uint64_t off;      ///< device offset of the records
+        uint32_t capacity; ///< record capacity
+        uint32_t count;    ///< records stored
+        unsigned device;   ///< owning device index
+    };
+
+    /** Per-vertex adjacency metadata (DRAM, like GraphOne's). */
+    struct VertexMeta
+    {
+        std::vector<Chunk> chunks;
+        uint32_t records = 0;
+    };
+
+    struct Direction
+    {
+        std::vector<VertexMeta> meta;
+    };
+
+    MemoryDevice &interleavedDevice(uint64_t counter) const;
+    void chargeFileIo(uint64_t bytes) const;
+    void ensureCapacity(Direction &dir, vid_t v, uint32_t increment);
+    void appendRecord(Direction &dir, vid_t v, vid_t record);
+    void runArchivePhase();
+    void archiveWorker(unsigned w);
+    uint32_t readDirection(const Direction &dir, vid_t v,
+                           std::vector<vid_t> &out) const;
+
+    GraphOneConfig config_;
+    std::vector<std::unique_ptr<MemoryDevice>> devices_;
+    std::vector<std::unique_ptr<PmemAllocator>> allocators_;
+    /** GraphOne-N keeps its log in DRAM, away from the file system. */
+    std::unique_ptr<MemoryDevice> novaLogDevice_;
+    MemoryDevice *logDevice_ = nullptr;
+    std::unique_ptr<ParallelExecutor> executor_;
+    SystemAllocatorModel sysAlloc_;
+
+    Direction out_;
+    Direction in_;
+
+    // circular edge log state (DRAM mirrors; GraphOne persists lazily)
+    uint64_t logRegionOff_ = 0;
+    uint64_t head_ = 0;
+    uint64_t archivedUpTo_ = 0;
+    std::atomic<uint64_t> chunkCounter_{0};
+
+    // archive-phase scratch
+    std::vector<Edge> batch_;
+    std::vector<std::vector<Edge>> outShards_;
+    std::vector<std::vector<Edge>> inShards_;
+    std::vector<ShardAssignment> outAssign_;
+    std::vector<ShardAssignment> inAssign_;
+
+    // stats
+    uint64_t loggingNs_ = 0;
+    uint64_t archivingNs_ = 0;
+    uint64_t edgesLogged_ = 0;
+    uint64_t edgesArchived_ = 0;
+    uint64_t archivePhases_ = 0;
+};
+
+} // namespace xpg
+
+#endif // XPG_BASELINES_GRAPHONE_HPP

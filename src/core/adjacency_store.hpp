@@ -1,0 +1,136 @@
+/**
+ * @file
+ * PMEM-resident per-vertex adjacency storage: chained blocks plus a
+ * persistent vertex index, one store per (NUMA partition, direction).
+ *
+ * Blocks are only appended (whole vertex-buffer flushes), so writes are
+ * XPLine-aligned streams — the access pattern the whole design exists to
+ * produce. The persistent index (16 bytes per vertex slot: chain head and
+ * tail offsets) is what makes recovery an index rebuild instead of a full
+ * re-archive (paper S V-D).
+ */
+
+#ifndef XPG_CORE_ADJACENCY_STORE_HPP
+#define XPG_CORE_ADJACENCY_STORE_HPP
+
+#include <vector>
+
+#include "graph/types.hpp"
+#include "pmem/memory_device.hpp"
+#include "pmem/pmem_allocator.hpp"
+
+namespace xpg {
+
+/** DRAM-cached view of one vertex's PMEM block chain. */
+struct VertexChain
+{
+    uint64_t head = kNullOffset;  ///< first block, kNullOffset if none
+    uint64_t tail = kNullOffset;  ///< last block
+    uint32_t tailCount = 0;       ///< records stored in the tail block
+    uint32_t tailCapacity = 0;    ///< record capacity of the tail block
+    uint32_t records = 0;         ///< records across the whole chain
+
+    bool empty() const { return head == kNullOffset; }
+};
+
+/**
+ * Append-only adjacency block chains over a device region.
+ * Thread-safety: concurrent calls must target distinct slots (guaranteed
+ * by edge sharding); the allocator and device are themselves thread-safe.
+ */
+class AdjacencyStore
+{
+  public:
+    /** On-device block header. */
+    struct BlockHeader
+    {
+        uint32_t count;    ///< records stored
+        uint32_t capacity; ///< record capacity
+        uint64_t next;     ///< next block offset or kNullOffset
+    };
+    static_assert(sizeof(BlockHeader) == 16);
+
+    /**
+     * Persistent per-slot index entry. Only `head` is authoritative:
+     * it is written once when the chain is created (and on compaction),
+     * so chain growth costs no random index writes; recovery finds the
+     * tail by walking the chain's next pointers. `tail` is a hint that
+     * is only refreshed on compaction.
+     */
+    struct IndexEntry
+    {
+        uint64_t head;
+        uint64_t tail;
+    };
+    static_assert(sizeof(IndexEntry) == 16);
+
+    /** Bytes of persistent index needed for @p num_slots. */
+    static uint64_t
+    indexBytes(uint64_t num_slots)
+    {
+        return num_slots * sizeof(IndexEntry);
+    }
+
+    /**
+     * @param dev Device holding index and blocks.
+     * @param alloc Block allocator (region on the same device).
+     * @param index_off Device offset of the persistent index region.
+     * @param num_slots Vertex slots this store owns.
+     * @param proactive_flush clwb adjacency writes of >= one XPLine.
+     */
+    AdjacencyStore(MemoryDevice &dev, PmemAllocator &alloc,
+                   uint64_t index_off, uint64_t num_slots,
+                   bool proactive_flush);
+
+    uint64_t numSlots() const { return numSlots_; }
+
+    /**
+     * Append @p n neighbor records to @p slot's chain, filling the tail
+     * block first and allocating degree-proportional new blocks as
+     * needed. Updates @p chain (the caller's DRAM mirror) and the
+     * persistent index.
+     */
+    void append(uint64_t slot, const vid_t *nebrs, uint32_t n,
+                VertexChain &chain);
+
+    /**
+     * Read every record of @p slot's chain into @p out (appended),
+     * including delete tombstones.
+     * @return records appended.
+     */
+    uint32_t readRaw(const VertexChain &chain,
+                     std::vector<vid_t> &out) const;
+
+    /** Whether the chain contains record @p nebr (recovery dedup). */
+    bool contains(const VertexChain &chain, vid_t nebr) const;
+
+    /**
+     * Rewrite @p slot's chain as a single block with tombstones applied
+     * (Table I compact_adjs). Old blocks are abandoned to the
+     * log-structured allocator.
+     */
+    void compact(uint64_t slot, VertexChain &chain);
+
+    /** Rebuild the DRAM chain mirror of @p slot from the device. */
+    VertexChain loadChain(uint64_t slot) const;
+
+  private:
+    uint64_t indexEntryOff(uint64_t slot) const;
+    void persistIndex(uint64_t slot, const VertexChain &chain);
+
+    /** Record capacity for a new block given pending and stored counts. */
+    uint32_t newBlockCapacity(uint32_t pending, uint32_t stored) const;
+
+    /** Allocate and write a fresh block holding @p n records. */
+    uint64_t writeBlock(const vid_t *nebrs, uint32_t n, uint32_t capacity);
+
+    MemoryDevice *dev_;
+    PmemAllocator *alloc_;
+    uint64_t indexOff_;
+    uint64_t numSlots_;
+    bool proactiveFlush_;
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_ADJACENCY_STORE_HPP

@@ -1,0 +1,121 @@
+#include "core/circular_edge_log.hpp"
+
+#include <algorithm>
+
+#include "pmem/xpline.hpp"
+#include "util/logging.hpp"
+
+namespace xpg {
+
+uint64_t
+CircularEdgeLog::regionBytes(uint64_t capacity_edges)
+{
+    return kXPLineSize + capacity_edges * sizeof(Edge);
+}
+
+CircularEdgeLog::CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
+                                 uint64_t capacity_edges,
+                                 bool battery_backed)
+    : dev_(&dev), regionOff_(region_off), capacityEdges_(capacity_edges),
+      batteryBacked_(battery_backed)
+{
+    XPG_ASSERT(capacity_edges > 0, "log capacity must be positive");
+    XPG_ASSERT(region_off % kXPLineSize == 0,
+               "log region must be XPLine-aligned");
+    persistHeader();
+}
+
+CircularEdgeLog::CircularEdgeLog(RecoverTag, MemoryDevice &dev,
+                                 uint64_t region_off, bool battery_backed)
+    : dev_(&dev), regionOff_(region_off), batteryBacked_(battery_backed)
+{
+    const Header h = dev_->readPod<Header>(regionOff_);
+    if (h.magic != kMagic)
+        XPG_FATAL("edge log header magic mismatch (not a log region?)");
+    capacityEdges_ = h.capacityEdges;
+    head_ = h.head;
+    bufferedUpTo_ = h.bufferedUpTo;
+    flushedUpTo_ = h.flushedUpTo;
+    XPG_ASSERT(flushedUpTo_ <= bufferedUpTo_ && bufferedUpTo_ <= head_,
+               "recovered log pointers out of order");
+}
+
+CircularEdgeLog
+CircularEdgeLog::recover(MemoryDevice &dev, uint64_t region_off,
+                         bool battery_backed)
+{
+    return CircularEdgeLog(RecoverTag{}, dev, region_off, battery_backed);
+}
+
+uint64_t
+CircularEdgeLog::slotOff(uint64_t pos) const
+{
+    return regionOff_ + kXPLineSize + (pos % capacityEdges_) * sizeof(Edge);
+}
+
+void
+CircularEdgeLog::persistHeader()
+{
+    Header h{kMagic, capacityEdges_, head_, bufferedUpTo_, flushedUpTo_};
+    dev_->writePod<Header>(regionOff_, h);
+}
+
+uint64_t
+CircularEdgeLog::append(const Edge *edges, uint64_t n)
+{
+    const uint64_t take = std::min(n, freeSlots());
+    uint64_t written = 0;
+    while (written < take) {
+        // Contiguous run up to the physical wrap point.
+        const uint64_t pos = head_ + written;
+        const uint64_t slot = pos % capacityEdges_;
+        const uint64_t run =
+            std::min(take - written, capacityEdges_ - slot);
+        dev_->write(slotOff(pos), edges + written, run * sizeof(Edge));
+        written += run;
+    }
+    head_ += written;
+    if (written > 0)
+        persistHeader();
+    return written;
+}
+
+void
+CircularEdgeLog::readRange(uint64_t from, uint64_t to,
+                           std::vector<Edge> &out) const
+{
+    XPG_ASSERT(from <= to && to <= head_, "log read range invalid");
+    XPG_ASSERT(to - from <= capacityEdges_, "log read range too wide");
+    const size_t base = out.size();
+    out.resize(base + (to - from));
+    uint64_t read = 0;
+    while (from + read < to) {
+        const uint64_t pos = from + read;
+        const uint64_t slot = pos % capacityEdges_;
+        const uint64_t run =
+            std::min(to - pos, capacityEdges_ - slot);
+        dev_->read(slotOff(pos), out.data() + base + read,
+                   run * sizeof(Edge));
+        read += run;
+    }
+}
+
+void
+CircularEdgeLog::markBuffered(uint64_t up_to)
+{
+    XPG_ASSERT(up_to >= bufferedUpTo_ && up_to <= head_,
+               "markBuffered out of order");
+    bufferedUpTo_ = up_to;
+    persistHeader();
+}
+
+void
+CircularEdgeLog::markFlushed(uint64_t up_to)
+{
+    XPG_ASSERT(up_to >= flushedUpTo_ && up_to <= bufferedUpTo_,
+               "markFlushed out of order");
+    flushedUpTo_ = up_to;
+    persistHeader();
+}
+
+} // namespace xpg

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The consistency-guaranteed circular edge log (paper S III-B, Fig.7).
+ *
+ * Incoming edges are appended at @e head. Three monotonic positions
+ * partition the log (all counted in edges since the beginning of time;
+ * the physical slot is the position modulo capacity):
+ *
+ *   flushedUpTo <= bufferedUpTo <= head
+ *
+ *  - [bufferedUpTo, head): logged, not yet moved to DRAM vertex buffers
+ *    (the region between the paper's "marker" and "head").
+ *  - [flushedUpTo, bufferedUpTo): buffered in volatile DRAM vertex
+ *    buffers; must NOT be overwritten (would be lost on power failure) —
+ *    unless the system is battery-backed (XPGraph-B).
+ *  - [.., flushedUpTo): flushed to PMEM adjacency lists; reclaimable.
+ *
+ * The header (head + both positions) lives in the same PMEM region, so
+ * recovery can locate the replay window [flushedUpTo, bufferedUpTo).
+ */
+
+#ifndef XPG_CORE_CIRCULAR_EDGE_LOG_HPP
+#define XPG_CORE_CIRCULAR_EDGE_LOG_HPP
+
+#include <vector>
+
+#include "graph/types.hpp"
+#include "pmem/memory_device.hpp"
+
+namespace xpg {
+
+/** PMEM-resident circular edge log with persistent pointers. */
+class CircularEdgeLog
+{
+  public:
+    /** Bytes a log of @p capacity_edges needs (header + slots). */
+    static uint64_t regionBytes(uint64_t capacity_edges);
+
+    /** Create a fresh log in [region_off, region_off+regionBytes()). */
+    CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
+                    uint64_t capacity_edges, bool battery_backed);
+
+    /** Re-attach to an existing log after a crash. */
+    static CircularEdgeLog recover(MemoryDevice &dev, uint64_t region_off,
+                                   bool battery_backed);
+
+    uint64_t capacity() const { return capacityEdges_; }
+    uint64_t head() const { return head_; }
+    uint64_t bufferedUpTo() const { return bufferedUpTo_; }
+    uint64_t flushedUpTo() const { return flushedUpTo_; }
+
+    /** Edges logged but not yet buffered. */
+    uint64_t nonBuffered() const { return head_ - bufferedUpTo_; }
+
+    /** Edges buffered but not yet flushed (volatile if not battery). */
+    uint64_t unflushed() const { return bufferedUpTo_ - flushedUpTo_; }
+
+    /**
+     * Free slots: appends beyond this would overwrite edges that are not
+     * yet safe (flushed, or buffered when battery-backed).
+     */
+    uint64_t
+    freeSlots() const
+    {
+        const uint64_t reclaim_bound =
+            batteryBacked_ ? bufferedUpTo_ : flushedUpTo_;
+        return capacityEdges_ - (head_ - reclaim_bound);
+    }
+
+    /**
+     * Append up to @p n edges (bounded by freeSlots()).
+     * @return edges actually appended.
+     */
+    uint64_t append(const Edge *edges, uint64_t n);
+
+    /** Read edges [from, to) (positions) into @p out (appended). */
+    void readRange(uint64_t from, uint64_t to,
+                   std::vector<Edge> &out) const;
+
+    /** Advance bufferedUpTo (persists the header). */
+    void markBuffered(uint64_t up_to);
+
+    /** Advance flushedUpTo (persists the header). */
+    void markFlushed(uint64_t up_to);
+
+  private:
+    struct RecoverTag {};
+    CircularEdgeLog(RecoverTag, MemoryDevice &dev, uint64_t region_off,
+                    bool battery_backed);
+
+    struct Header
+    {
+        uint64_t magic;
+        uint64_t capacityEdges;
+        uint64_t head;
+        uint64_t bufferedUpTo;
+        uint64_t flushedUpTo;
+    };
+    static constexpr uint64_t kMagic = 0x58504c4f47453131ull; // "XPLOGE11"
+
+    uint64_t slotOff(uint64_t pos) const;
+    void persistHeader();
+
+    MemoryDevice *dev_;
+    uint64_t regionOff_;
+    uint64_t capacityEdges_;
+    bool batteryBacked_;
+
+    // DRAM mirrors of the persistent header fields.
+    uint64_t head_ = 0;
+    uint64_t bufferedUpTo_ = 0;
+    uint64_t flushedUpTo_ = 0;
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_CIRCULAR_EDGE_LOG_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Configuration of an XPGraph engine instance. The three prototype
+ * variants of the paper (S IV-C) are presets over the same engine:
+ *
+ *  - XPGraph    : PMEM devices, strict edge-log overwrite rule.
+ *  - XPGraph-B  : PMEM devices, battery-backed DRAM — buffered edges may
+ *                 be overwritten in the log.
+ *  - XPGraph-D  : modeled DRAM (or Optane Memory Mode) devices, fixed
+ *                 64-byte vertex buffers, no consistency requirements.
+ */
+
+#ifndef XPG_CORE_CONFIG_HPP
+#define XPG_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/** What device model backs the graph data. */
+enum class MemKind
+{
+    Pmem,       ///< App-Direct PMEM model (persistent)
+    Dram,       ///< DRAM model (volatile; XPGraph-D / GraphOne-D)
+    MemoryMode, ///< Optane Memory Mode model (volatile, Fig.12 "MM")
+    Ssd,        ///< NVMe SSD model (persistent; the paper's future-work
+                ///  "SSD-supported XPGraph" substrate)
+};
+
+/** Engine configuration; see the paper sections referenced per field. */
+struct XPGraphConfig
+{
+    /** Vertex-id space size (required). */
+    vid_t maxVertices = 0;
+
+    // --- devices / NUMA (S III-D) ---
+    MemKind memKind = MemKind::Pmem;
+    unsigned numNodes = 2;
+    NumaPlacement placement = NumaPlacement::SubGraph;
+    /** Bind archiving/flushing threads to the data's node. */
+    bool bindThreads = true;
+    /** Per-node device capacity in bytes (required). */
+    uint64_t pmemBytesPerNode = 0;
+    /** DRAM cache per node for MemKind::MemoryMode. */
+    uint64_t memoryModeCacheBytes = 32ull << 20;
+    /** Page-cache blocks per node for MemKind::Ssd (4 KiB each). */
+    uint64_t ssdCacheBlocks = 256;
+    /** Directory for backing files; empty = volatile mappings. */
+    std::string backingDir;
+
+    // --- vertex buffering (S III-B, S III-C) ---
+    /** Hierarchical buffers (L0..Lmax); false = fixed-size (Fig.16). */
+    bool hierarchicalBuffers = true;
+    /** Smallest (L0) buffer size in bytes. */
+    uint32_t minVertexBufBytes = 16;
+    /** Largest buffer size in bytes; flush target granularity. */
+    uint32_t maxVertexBufBytes = 256;
+    /** Fixed mode: every vertex buffer is this size. */
+    uint32_t fixedVertexBufBytes = 64;
+
+    // --- vertex buffer memory pool (S III-C, Fig.19) ---
+    uint64_t poolBulkBytes = 16ull << 20;
+    uint64_t poolLimitBytes = ~0ull;
+
+    // --- circular edge log (S III-B, Fig.7) ---
+    /** Log capacity in edges (paper default: 8 GiB of 8 B edges). */
+    uint64_t elogCapacityEdges = 1ull << 20;
+    /** Non-buffered edges that trigger a buffering phase (paper: 2^16). */
+    uint64_t bufferingThresholdEdges = 1ull << 16;
+    /** Buffered-but-unflushed fraction of the log that triggers a
+     *  flush-all phase. */
+    double flushThresholdFrac = 0.5;
+    /** Battery-backed DRAM: buffered edges may be overwritten (S IV-C). */
+    bool batteryBacked = false;
+
+    // --- archiving (S IV-A) ---
+    unsigned archiveThreads = 16;
+    unsigned shardsPerThread = 16;
+    /** Proactively clwb adjacency writes >= one XPLine (S IV-A). */
+    bool proactiveFlush = true;
+
+    /** The persistent prototype ("XPGraph"). */
+    static XPGraphConfig
+    persistent(vid_t max_vertices, uint64_t bytes_per_node)
+    {
+        XPGraphConfig c;
+        c.maxVertices = max_vertices;
+        c.pmemBytesPerNode = bytes_per_node;
+        return c;
+    }
+
+    /** The battery-backed prototype ("XPGraph-B"). */
+    static XPGraphConfig
+    battery(vid_t max_vertices, uint64_t bytes_per_node)
+    {
+        XPGraphConfig c = persistent(max_vertices, bytes_per_node);
+        c.batteryBacked = true;
+        return c;
+    }
+
+    /** The DRAM-only prototype ("XPGraph-D"). */
+    static XPGraphConfig
+    dramOnly(vid_t max_vertices, uint64_t bytes_per_node)
+    {
+        XPGraphConfig c = persistent(max_vertices, bytes_per_node);
+        c.memKind = MemKind::Dram;
+        c.batteryBacked = true; // no log-overwrite restrictions
+        c.hierarchicalBuffers = false;
+        c.fixedVertexBufBytes = 64; // paper: fixed 64 B, no migration
+        c.proactiveFlush = false;
+        return c;
+    }
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_CONFIG_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Statistics reported by the graph stores: simulated phase times (the
+ * quantities behind Fig.3a/11/12/15/20), operation counts, and the memory
+ * usage breakdown of Table III.
+ */
+
+#ifndef XPG_CORE_STATS_HPP
+#define XPG_CORE_STATS_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+namespace xpg {
+
+/** Simulated-time and operation statistics of an ingest run. */
+struct IngestStats
+{
+    // Simulated nanoseconds. Logging runs on its dedicated thread
+    // concurrently with archiving (buffering + flushing) worker threads,
+    // so the pipelined ingest time is the maximum of the two streams.
+    uint64_t loggingNs = 0;
+    uint64_t bufferingNs = 0;
+    uint64_t flushingNs = 0;
+    uint64_t recoveryNs = 0;
+
+    uint64_t edgesLogged = 0;
+    uint64_t edgesBuffered = 0;
+    uint64_t vbufFlushes = 0;   ///< single-vertex buffer flushes
+    uint64_t bufferingPhases = 0;
+    uint64_t flushAllPhases = 0;
+
+    /** Archiving = buffering + flushing (paper terminology, S V-B). */
+    uint64_t archivingNs() const { return bufferingNs + flushingNs; }
+
+    /** End-to-end ingest time under the pipelined logging model. */
+    uint64_t
+    ingestNs() const
+    {
+        return std::max(loggingNs, archivingNs());
+    }
+};
+
+/** Memory usage breakdown (Table III columns). */
+struct MemoryUsage
+{
+    uint64_t metaBytes = 0;  ///< DRAM: vertex state arrays, shard scratch
+    uint64_t vbufBytes = 0;  ///< DRAM: vertex buffer pool (peak live)
+    uint64_t elogBytes = 0;  ///< PMEM: circular edge log region
+    uint64_t pblkBytes = 0;  ///< PMEM: adjacency blocks + vertex index
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_STATS_HPP

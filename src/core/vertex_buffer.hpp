@@ -1,0 +1,110 @@
+/**
+ * @file
+ * DRAM vertex buffer layout helpers (paper S III-B, Fig.6).
+ *
+ * A vertex buffer is a pool-allocated block of 2^k bytes with a 4-byte
+ * header: the maximum neighbor count (mcnt, derived from the block size)
+ * and the current count (cnt), followed by 4-byte neighbor ids. A 16-byte
+ * L0 buffer therefore holds (16-4)/4 = 3 neighbors, exactly as in the
+ * paper's example.
+ */
+
+#ifndef XPG_CORE_VERTEX_BUFFER_HPP
+#define XPG_CORE_VERTEX_BUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "graph/types.hpp"
+
+namespace xpg {
+
+namespace vbuf {
+
+/** Header: two 16-bit counters packed in 4 bytes. */
+struct Header
+{
+    uint16_t mcnt; ///< capacity in neighbors
+    uint16_t cnt;  ///< neighbors currently stored
+};
+
+static_assert(sizeof(Header) == 4, "vertex buffer header is 4 bytes");
+
+/** Neighbors a buffer of @p bytes can hold. */
+constexpr uint16_t
+capacityFor(uint32_t bytes)
+{
+    return static_cast<uint16_t>((bytes - sizeof(Header)) / sizeof(vid_t));
+}
+
+/** Bytes needed for the buffer layer above one of @p bytes. */
+constexpr uint32_t
+nextLayerBytes(uint32_t bytes)
+{
+    return bytes * 2;
+}
+
+inline Header *
+header(std::byte *buf)
+{
+    return reinterpret_cast<Header *>(buf);
+}
+
+inline const Header *
+header(const std::byte *buf)
+{
+    return reinterpret_cast<const Header *>(buf);
+}
+
+inline vid_t *
+payload(std::byte *buf)
+{
+    return reinterpret_cast<vid_t *>(buf + sizeof(Header));
+}
+
+inline const vid_t *
+payload(const std::byte *buf)
+{
+    return reinterpret_cast<const vid_t *>(buf + sizeof(Header));
+}
+
+/** Initialize an empty buffer of @p bytes. */
+inline void
+init(std::byte *buf, uint32_t bytes)
+{
+    header(buf)->mcnt = capacityFor(bytes);
+    header(buf)->cnt = 0;
+}
+
+inline bool
+full(const std::byte *buf)
+{
+    return header(buf)->cnt == header(buf)->mcnt;
+}
+
+/** Append one neighbor; caller guarantees !full(). */
+inline void
+push(std::byte *buf, vid_t nebr)
+{
+    payload(buf)[header(buf)->cnt++] = nebr;
+}
+
+/**
+ * Move the contents of @p from into the (larger) empty buffer @p to of
+ * @p to_bytes bytes.
+ */
+inline void
+migrate(std::byte *to, uint32_t to_bytes, const std::byte *from)
+{
+    const uint16_t cnt = header(from)->cnt;
+    init(to, to_bytes);
+    std::memcpy(payload(to), payload(from), cnt * sizeof(vid_t));
+    header(to)->cnt = cnt;
+}
+
+} // namespace vbuf
+
+} // namespace xpg
+
+#endif // XPG_CORE_VERTEX_BUFFER_HPP

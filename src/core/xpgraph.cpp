@@ -1,0 +1,954 @@
+#include "core/xpgraph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/vertex_buffer.hpp"
+#include "graph/tombstones.hpp"
+#include "pmem/dram_device.hpp"
+#include "pmem/memory_mode_device.hpp"
+#include "pmem/numa_topology.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/ssd_device.hpp"
+#include "pmem/xpline.hpp"
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+namespace {
+
+/** Persistent per-device superblock (offset 0). */
+struct Superblock
+{
+    uint64_t magic;
+    uint32_t version;
+    uint32_t node;
+    uint32_t numNodes;
+    uint32_t placement;
+    uint64_t maxVertices;
+    uint64_t logOff; ///< 0 when this node hosts no edge log
+    uint64_t logCapacityEdges;
+    uint64_t outIndexOff;
+    uint64_t outSlots;
+    uint64_t inIndexOff;
+    uint64_t inSlots;
+    uint64_t allocStart;
+};
+
+constexpr uint64_t kSuperMagic = 0x5850475250483032ull; // "XPGRPH02"
+constexpr uint32_t kSuperVersion = 1;
+constexpr uint64_t kSuperblockBytes = 4096;
+/** Device offset of the allocator's persistent tail pointer. */
+constexpr uint64_t kAllocTailOff = 512;
+
+thread_local std::vector<vid_t> t_rawRecords;
+thread_local std::vector<Edge> t_logScratch;
+
+} // namespace
+
+uint64_t
+recommendedBytesPerNode(const XPGraphConfig &config, uint64_t expected_edges)
+{
+    const unsigned p = std::max(1u, config.numNodes);
+    const uint64_t slots_per_node =
+        config.placement == NumaPlacement::OutInGraph
+            ? config.maxVertices
+            : (config.maxVertices + p - 1) / p;
+    const uint64_t log_bytes =
+        CircularEdgeLog::regionBytes(config.elogCapacityEdges);
+    const uint64_t index_bytes = 2 * slots_per_node * 16;
+    // Records land twice (out + in); block growth, headers, and one full
+    // compaction need generous slack.
+    const uint64_t block_bytes =
+        (expected_edges * 2 * sizeof(vid_t) * 5) / p +
+        slots_per_node * 2 * kXPLineSize;
+    return kSuperblockBytes + log_bytes + index_bytes + block_bytes +
+           (32ull << 20);
+}
+
+XPGraph::XPGraph(const XPGraphConfig &config) : XPGraph(config, false) {}
+
+XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
+    : config_(config)
+{
+    XPG_ASSERT(config_.maxVertices > 0, "maxVertices must be set");
+    XPG_ASSERT(config_.pmemBytesPerNode > 0, "pmemBytesPerNode must be set");
+    XPG_ASSERT(config_.numNodes >= 1, "need at least one node");
+    if (config_.placement == NumaPlacement::OutInGraph)
+        XPG_ASSERT(config_.numNodes <= 2,
+                   "out/in-graph placement uses at most two nodes");
+
+    PoolConfig pool_config;
+    pool_config.bulkSize = config_.poolBulkBytes;
+    pool_config.poolLimit = config_.poolLimitBytes;
+    pool_config.minBlock = 8;
+    pool_ = std::make_unique<VertexBufferPool>(pool_config);
+
+    executor_ = std::make_unique<ParallelExecutor>(config_.archiveThreads);
+
+    initPartitions(recovering);
+
+    const unsigned p = config_.numNodes;
+    outShards_.resize(p);
+    inShards_.resize(p);
+    outAssign_.resize(p);
+    inAssign_.resize(p);
+    for (unsigned node = 0; node < p; ++node) {
+        const unsigned shards =
+            std::max(1u, config_.shardsPerThread * slotsOnNode(node));
+        outShards_[node].resize(shards);
+        inShards_[node].resize(shards);
+    }
+}
+
+XPGraph::~XPGraph() = default;
+
+std::string
+XPGraph::backingPath(unsigned node) const
+{
+    return config_.backingDir + "/xpgraph_node" + std::to_string(node) +
+           ".pmem";
+}
+
+std::unique_ptr<MemoryDevice>
+XPGraph::makeDevice(unsigned node, bool recovering) const
+{
+    std::string path;
+    if (!config_.backingDir.empty()) {
+        path = backingPath(node);
+        if (!recovering)
+            std::remove(path.c_str()); // fresh instance: discard stale file
+    }
+    const std::string name = "pmem-node" + std::to_string(node);
+    switch (config_.memKind) {
+      case MemKind::Pmem:
+        return std::make_unique<PmemDevice>(name, config_.pmemBytesPerNode,
+                                            static_cast<int>(node),
+                                            config_.numNodes, path);
+      case MemKind::Dram:
+        return std::make_unique<DramDevice>(name, config_.pmemBytesPerNode,
+                                            static_cast<int>(node),
+                                            config_.numNodes);
+      case MemKind::MemoryMode:
+        return std::make_unique<MemoryModeDevice>(
+            name, config_.pmemBytesPerNode, config_.memoryModeCacheBytes,
+            static_cast<int>(node), config_.numNodes);
+      case MemKind::Ssd:
+        return std::make_unique<SsdDevice>(name, config_.pmemBytesPerNode,
+                                           static_cast<int>(node),
+                                           config_.numNodes, path,
+                                           SsdParams{},
+                                           config_.ssdCacheBlocks);
+    }
+    XPG_PANIC("unreachable mem kind");
+}
+
+void
+XPGraph::computeLayout(unsigned node, Partition &part) const
+{
+    const unsigned p = config_.numNodes;
+    uint64_t out_slots;
+    uint64_t in_slots;
+    if (config_.placement == NumaPlacement::OutInGraph && p == 2) {
+        out_slots = node == 0 ? config_.maxVertices : 0;
+        in_slots = node == 1 ? config_.maxVertices : 0;
+    } else if (config_.placement == NumaPlacement::OutInGraph) {
+        out_slots = config_.maxVertices;
+        in_slots = config_.maxVertices;
+    } else {
+        const uint64_t per = (config_.maxVertices + p - 1) / p;
+        out_slots = per;
+        in_slots = per;
+    }
+
+    uint64_t cursor = kSuperblockBytes;
+    uint64_t log_off = 0;
+    if (node == 0) {
+        log_off = cursor;
+        cursor += alignUp(
+            CircularEdgeLog::regionBytes(config_.elogCapacityEdges),
+            kXPLineSize);
+    }
+    part.outSlots = out_slots;
+    part.inSlots = in_slots;
+    part.outIndexOff = cursor;
+    cursor += alignUp(AdjacencyStore::indexBytes(out_slots), kXPLineSize);
+    part.inIndexOff = cursor;
+    cursor += alignUp(AdjacencyStore::indexBytes(in_slots), kXPLineSize);
+    part.indexBytes = cursor - part.outIndexOff;
+
+    if (cursor >= config_.pmemBytesPerNode) {
+        XPG_FATAL("pmemBytesPerNode too small for metadata; use "
+                  "recommendedBytesPerNode()");
+    }
+    // Stash log info for initPartitions via the superblock written there.
+    (void)log_off;
+}
+
+void
+XPGraph::initPartitions(bool recovering)
+{
+    parts_.resize(config_.numNodes);
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        Partition &part = parts_[node];
+        if (recovering && !config_.backingDir.empty()) {
+            // Recovery requires the backing file to exist.
+            std::FILE *probe =
+                std::fopen(backingPath(node).c_str(), "rb");
+            if (!probe)
+                XPG_FATAL("recovery: missing backing file " +
+                          backingPath(node));
+            std::fclose(probe);
+        }
+        part.dev = makeDevice(node, recovering);
+        computeLayout(node, part);
+
+        const uint64_t log_region_off = kSuperblockBytes;
+        const uint64_t alloc_start = alignUp(
+            part.inIndexOff +
+                alignUp(AdjacencyStore::indexBytes(part.inSlots),
+                        kXPLineSize),
+            kXPLineSize);
+
+        if (recovering) {
+            const auto sb = part.dev->readPod<Superblock>(0);
+            if (sb.magic != kSuperMagic || sb.version != kSuperVersion)
+                XPG_FATAL("superblock mismatch on node " +
+                          std::to_string(node));
+            if (sb.maxVertices != config_.maxVertices ||
+                sb.numNodes != config_.numNodes ||
+                sb.placement != static_cast<uint32_t>(config_.placement) ||
+                sb.logCapacityEdges != config_.elogCapacityEdges) {
+                XPG_FATAL("recovery configuration does not match the "
+                          "persisted instance");
+            }
+            part.alloc = PmemAllocator::recover(*part.dev, alloc_start,
+                                                config_.pmemBytesPerNode,
+                                                kAllocTailOff);
+            if (node == 0) {
+                log_ = std::make_unique<CircularEdgeLog>(
+                    CircularEdgeLog::recover(*part.dev, sb.logOff,
+                                             config_.batteryBacked));
+            }
+        } else {
+            Superblock sb{};
+            sb.magic = kSuperMagic;
+            sb.version = kSuperVersion;
+            sb.node = node;
+            sb.numNodes = config_.numNodes;
+            sb.placement = static_cast<uint32_t>(config_.placement);
+            sb.maxVertices = config_.maxVertices;
+            sb.logOff = node == 0 ? log_region_off : 0;
+            sb.logCapacityEdges = config_.elogCapacityEdges;
+            sb.outIndexOff = part.outIndexOff;
+            sb.outSlots = part.outSlots;
+            sb.inIndexOff = part.inIndexOff;
+            sb.inSlots = part.inSlots;
+            sb.allocStart = alloc_start;
+            part.dev->writePod<Superblock>(0, sb);
+
+            part.alloc = std::make_unique<PmemAllocator>(
+                *part.dev, alloc_start, config_.pmemBytesPerNode,
+                kAllocTailOff);
+            if (node == 0) {
+                log_ = std::make_unique<CircularEdgeLog>(
+                    *part.dev, log_region_off, config_.elogCapacityEdges,
+                    config_.batteryBacked);
+            }
+        }
+
+        if (part.outSlots > 0) {
+            part.out = std::make_unique<Side>();
+            part.out->store = std::make_unique<AdjacencyStore>(
+                *part.dev, *part.alloc, part.outIndexOff, part.outSlots,
+                config_.proactiveFlush && config_.memKind == MemKind::Pmem);
+            part.out->states.resize(part.outSlots);
+        }
+        if (part.inSlots > 0) {
+            part.in = std::make_unique<Side>();
+            part.in->store = std::make_unique<AdjacencyStore>(
+                *part.dev, *part.alloc, part.inIndexOff, part.inSlots,
+                config_.proactiveFlush && config_.memKind == MemKind::Pmem);
+            part.in->states.resize(part.inSlots);
+        }
+    }
+}
+
+std::unique_ptr<XPGraph>
+XPGraph::recover(const XPGraphConfig &config)
+{
+    XPG_ASSERT(!config.backingDir.empty(),
+               "recovery requires file-backed devices");
+    auto graph =
+        std::unique_ptr<XPGraph>(new XPGraph(config, /*recovering=*/true));
+    graph->rebuildFromDevices();
+    return graph;
+}
+
+void
+XPGraph::rebuildFromDevices()
+{
+    // Phase 1 (parallel): rebuild the DRAM chain mirrors from the
+    // persistent vertex index.
+    auto result = executor_->run([&](unsigned w) {
+        forWorkerSlots(w, [&](unsigned node, unsigned local,
+                              unsigned slots_here) {
+            if (config_.bindThreads)
+                NumaBinding::bindThread(static_cast<int>(node), false);
+            Partition &part = parts_[node];
+            thread_local std::vector<vid_t> reload;
+            for (Side *side : {part.out.get(), part.in.get()}) {
+                if (!side)
+                    continue;
+                const uint64_t slots = side->states.size();
+                const uint64_t per =
+                    (slots + slots_here - 1) / std::max(1u, slots_here);
+                const uint64_t begin =
+                    std::min<uint64_t>(slots, local * per);
+                const uint64_t end = std::min<uint64_t>(slots, begin + per);
+                for (uint64_t slot = begin; slot < end; ++slot) {
+                    VertexState &st = side->states[slot];
+                    st.chain = side->store->loadChain(slot);
+                    // "Loading the graph data from PMEM" (S V-D): the
+                    // block contents are read back and the DRAM
+                    // per-vertex state is rebuilt.
+                    if (!st.chain.empty()) {
+                        reload.clear();
+                        side->store->readRaw(st.chain, reload);
+                        chargeDramScattered(2);
+                    }
+                }
+            }
+        });
+    });
+    recoveryNs_ += result.maxNanos();
+
+    // Phase 2 (serial): replay the buffered-but-unflushed log window into
+    // fresh vertex buffers, skipping records already in PMEM (S III-B).
+    SimScope replay_scope;
+    std::vector<Edge> window;
+    log_->readRange(log_->flushedUpTo(), log_->bufferedUpTo(), window);
+    for (const Edge &e : window) {
+        {
+            Side &side = *parts_[outOwner(e.src)].out;
+            const uint64_t slot = outSlot(e.src);
+            VertexState &st = side.states[slot];
+            if (!side.store->contains(st.chain, e.dst))
+                insertBuffered(side, slot, e.dst);
+        }
+        {
+            const vid_t in_rec =
+                isDelete(e.dst) ? asDelete(e.src) : e.src;
+            Side &side = *parts_[inOwner(rawVid(e.dst))].in;
+            const uint64_t slot = inSlot(rawVid(e.dst));
+            VertexState &st = side.states[slot];
+            if (!side.store->contains(st.chain, in_rec))
+                insertBuffered(side, slot, in_rec);
+        }
+    }
+    recoveryNs_ += replay_scope.elapsed();
+}
+
+// --- placement -----------------------------------------------------------
+
+unsigned
+XPGraph::outOwner(vid_t v) const
+{
+    if (config_.placement == NumaPlacement::OutInGraph)
+        return 0;
+    return rawVid(v) % config_.numNodes;
+}
+
+unsigned
+XPGraph::inOwner(vid_t v) const
+{
+    if (config_.placement == NumaPlacement::OutInGraph)
+        return config_.numNodes >= 2 ? 1 : 0;
+    return rawVid(v) % config_.numNodes;
+}
+
+uint64_t
+XPGraph::outSlot(vid_t v) const
+{
+    if (config_.placement == NumaPlacement::OutInGraph)
+        return rawVid(v);
+    return rawVid(v) / config_.numNodes;
+}
+
+uint64_t
+XPGraph::inSlot(vid_t v) const
+{
+    return outSlot(v);
+}
+
+int
+XPGraph::nodeOfOut(vid_t v) const
+{
+    return static_cast<int>(outOwner(v));
+}
+
+int
+XPGraph::nodeOfIn(vid_t v) const
+{
+    return static_cast<int>(inOwner(v));
+}
+
+// --- updating ------------------------------------------------------------
+
+void
+XPGraph::addEdge(vid_t src, vid_t dst)
+{
+    const Edge e{src, dst};
+    addEdges(&e, 1);
+}
+
+void
+XPGraph::delEdge(vid_t src, vid_t dst)
+{
+    const Edge e{src, asDelete(dst)};
+    addEdges(&e, 1);
+}
+
+uint64_t
+XPGraph::addEdges(const Edge *edges, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n) {
+        const uint64_t non_buffered = log_->nonBuffered();
+        if (non_buffered >= config_.bufferingThresholdEdges) {
+            runBufferingPhase();
+            continue;
+        }
+        const uint64_t until_threshold =
+            config_.bufferingThresholdEdges - non_buffered;
+        const uint64_t room = log_->freeSlots();
+        if (room == 0) {
+            ensureLogProgress();
+            continue;
+        }
+        const uint64_t take =
+            std::min({n - done, until_threshold, room});
+        SimScope scope;
+        const uint64_t appended = log_->append(edges + done, take);
+        loggingNs_ += scope.elapsed();
+        XPG_ASSERT(appended == take, "log append fell short of freeSlots");
+        done += appended;
+        edgesLogged_ += appended;
+    }
+    return done;
+}
+
+uint64_t
+XPGraph::bufferEdges(const Edge *edges, uint64_t n)
+{
+    const uint64_t added = addEdges(edges, n);
+    runBufferingPhase();
+    return added;
+}
+
+void
+XPGraph::ensureLogProgress()
+{
+    if (log_->nonBuffered() > 0) {
+        runBufferingPhase();
+        if (log_->freeSlots() > 0)
+            return;
+    }
+    // Everything is buffered but the log is still full: flush to reclaim.
+    runFlushAll(/*release_buffers=*/false);
+    XPG_ASSERT(log_->freeSlots() > 0, "flush-all failed to reclaim log");
+}
+
+// --- buffering phase -----------------------------------------------------
+
+void
+XPGraph::shardBatch()
+{
+    const unsigned p = config_.numNodes;
+    for (unsigned node = 0; node < p; ++node) {
+        for (auto &list : outShards_[node])
+            list.clear();
+        for (auto &list : inShards_[node])
+            list.clear();
+    }
+    for (const Edge &e : batch_) {
+        XPG_ASSERT(rawVid(e.src) < config_.maxVertices &&
+                   rawVid(e.dst) < config_.maxVertices,
+                   "edge endpoint out of range");
+        {
+            const unsigned node = outOwner(e.src);
+            auto &lists = outShards_[node];
+            const uint64_t slots = parts_[node].outSlots;
+            const unsigned s = static_cast<unsigned>(
+                (outSlot(e.src) * lists.size()) / std::max<uint64_t>(
+                    1, slots));
+            lists[s].push_back(e);
+        }
+        {
+            const unsigned node = inOwner(rawVid(e.dst));
+            auto &lists = inShards_[node];
+            const uint64_t slots = parts_[node].inSlots;
+            const unsigned s = static_cast<unsigned>(
+                (inSlot(rawVid(e.dst)) * lists.size()) /
+                std::max<uint64_t>(1, slots));
+            lists[s].push_back(e);
+        }
+    }
+    // The temporary ranged edge lists are DRAM streams (batch read + two
+    // sharded copies).
+    chargeDramSequential(batch_.size() * sizeof(Edge) * 3);
+
+    for (unsigned node = 0; node < p; ++node) {
+        outAssign_[node] =
+            EdgeSharder::assign(outShards_[node], slotsOnNode(node));
+        inAssign_[node] =
+            EdgeSharder::assign(inShards_[node], slotsOnNode(node));
+    }
+}
+
+void
+XPGraph::declareArchiveConcurrency()
+{
+    // Archive writes are structurally node-local (each slot only touches
+    // its node's device), so per-device concurrency is the node's slot
+    // count regardless of binding — binding only removes the remote
+    // penalty of floating threads.
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        const unsigned writers =
+            std::min(slotsOnNode(node), config_.archiveThreads);
+        parts_[node].dev->setDeclaredWriters(std::max(1u, writers));
+    }
+}
+
+void
+XPGraph::bufferWorker(unsigned w)
+{
+    forWorkerSlots(w, [&](unsigned node, unsigned local, unsigned) {
+        if (config_.bindThreads &&
+            config_.placement != NumaPlacement::None)
+            NumaBinding::bindThread(static_cast<int>(node), false);
+        else
+            NumaBinding::unbindThread();
+
+        Partition &part = parts_[node];
+        if (part.out && local < outAssign_[node].size()) {
+            const ShardAssignment &a = outAssign_[node][local];
+            for (unsigned s = a.firstShard; s < a.lastShard; ++s) {
+                for (const Edge &e : outShards_[node][s])
+                    insertBuffered(*part.out, outSlot(e.src), e.dst);
+            }
+        }
+        if (part.in && local < inAssign_[node].size()) {
+            const ShardAssignment &a = inAssign_[node][local];
+            for (unsigned s = a.firstShard; s < a.lastShard; ++s) {
+                for (const Edge &e : inShards_[node][s]) {
+                    const vid_t rec =
+                        isDelete(e.dst) ? asDelete(e.src) : e.src;
+                    insertBuffered(*part.in, inSlot(rawVid(e.dst)), rec);
+                }
+            }
+        }
+    });
+}
+
+void
+XPGraph::runBufferingPhase()
+{
+    const uint64_t from = log_->bufferedUpTo();
+    const uint64_t to = log_->head();
+    if (from == to)
+        return;
+
+    SimScope serial_scope;
+    batch_.clear();
+    log_->readRange(from, to, batch_);
+    shardBatch();
+    declareArchiveConcurrency();
+    bufferingNs_ += serial_scope.elapsed();
+
+    const ParallelResult result =
+        executor_->run([this](unsigned w) { bufferWorker(w); });
+    bufferingNs_ += result.maxNanos();
+    // Between phases only the logging thread stores to the devices.
+    for (auto &part : parts_)
+        part.dev->setDeclaredWriters(1);
+
+    log_->markBuffered(to);
+    ++bufferingPhases_;
+    edgesBuffered_ += to - from;
+
+    const uint64_t flush_threshold = static_cast<uint64_t>(
+        config_.flushThresholdFrac *
+        static_cast<double>(config_.elogCapacityEdges));
+    const bool log_pressure =
+        !config_.batteryBacked && log_->unflushed() >= flush_threshold;
+    const bool pool_pressure = pool_->nearlyFull();
+    if (log_pressure || pool_pressure)
+        runFlushAll(/*release_buffers=*/pool_pressure);
+}
+
+// --- flushing ------------------------------------------------------------
+
+void
+XPGraph::flushWorker(unsigned w, bool release_buffers)
+{
+    forWorkerSlots(w, [&](unsigned node, unsigned local,
+                          unsigned slots_here) {
+        if (config_.bindThreads &&
+            config_.placement != NumaPlacement::None)
+            NumaBinding::bindThread(static_cast<int>(node), false);
+        else
+            NumaBinding::unbindThread();
+
+        Partition &part = parts_[node];
+        for (Side *side : {part.out.get(), part.in.get()}) {
+            if (!side)
+                continue;
+            const uint64_t slots = side->states.size();
+            const uint64_t per =
+                (slots + slots_here - 1) / std::max(1u, slots_here);
+            const uint64_t begin = std::min<uint64_t>(slots, local * per);
+            const uint64_t end = std::min<uint64_t>(slots, begin + per);
+            for (uint64_t slot = begin; slot < end; ++slot) {
+                VertexState &st = side->states[slot];
+                if (!st.buf)
+                    continue;
+                if (vbuf::header(st.buf)->cnt > 0)
+                    flushVertex(*side, slot, st);
+                if (release_buffers) {
+                    pool_->free(st.buf, st.bufBytes);
+                    st.buf = nullptr;
+                    st.bufBytes = 0;
+                }
+            }
+        }
+    });
+}
+
+void
+XPGraph::runFlushAll(bool release_buffers)
+{
+    declareArchiveConcurrency();
+    const ParallelResult result = executor_->run(
+        [this, release_buffers](unsigned w) {
+            flushWorker(w, release_buffers);
+        });
+    flushingNs_ += result.maxNanos();
+    for (auto &part : parts_)
+        part.dev->setDeclaredWriters(1);
+    ++flushAllPhases_;
+    log_->markFlushed(log_->bufferedUpTo());
+}
+
+void
+XPGraph::flushAllVbufs()
+{
+    runFlushAll(/*release_buffers=*/false);
+}
+
+void
+XPGraph::bufferAllEdges()
+{
+    runBufferingPhase();
+}
+
+// --- per-edge buffered insert ---------------------------------------------
+
+void
+XPGraph::insertBuffered(Side &side, uint64_t slot, vid_t nebr)
+{
+    VertexState &st = side.states[slot];
+    // Two scattered DRAM structures per insert: the vertex-state slot and
+    // the vertex buffer itself.
+    chargeDramScattered(2);
+
+    if (!st.buf) {
+        st.bufBytes = config_.hierarchicalBuffers
+                          ? config_.minVertexBufBytes
+                          : config_.fixedVertexBufBytes;
+        st.buf = pool_->alloc(st.bufBytes);
+        vbuf::init(st.buf, st.bufBytes);
+    }
+    if (vbuf::full(st.buf)) {
+        if (config_.hierarchicalBuffers &&
+            st.bufBytes < config_.maxVertexBufBytes) {
+            growBuffer(st);
+        } else {
+            flushVertex(side, slot, st);
+        }
+    }
+    vbuf::push(st.buf, nebr);
+}
+
+void
+XPGraph::growBuffer(VertexState &st)
+{
+    const uint32_t new_bytes = vbuf::nextLayerBytes(st.bufBytes);
+    std::byte *grown = pool_->alloc(new_bytes);
+    vbuf::migrate(grown, new_bytes, st.buf);
+    chargeDramSequential(st.bufBytes);
+    pool_->free(st.buf, st.bufBytes);
+    st.buf = grown;
+    st.bufBytes = new_bytes;
+}
+
+void
+XPGraph::flushVertex(Side &side, uint64_t slot, VertexState &st)
+{
+    auto *hdr = vbuf::header(st.buf);
+    side.store->append(slot, vbuf::payload(st.buf), hdr->cnt, st.chain);
+    chargeDramSequential(hdr->cnt * sizeof(vid_t));
+    hdr->cnt = 0;
+    vbufFlushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- queries ---------------------------------------------------------------
+
+uint32_t
+XPGraph::collectLive(const Side *side, uint64_t slot,
+                     std::vector<vid_t> &out) const
+{
+    t_rawRecords.clear();
+    if (side) {
+        side->store->readRaw(side->states[slot].chain, t_rawRecords);
+        const VertexState &st = side->states[slot];
+        if (st.buf) {
+            const auto *hdr = vbuf::header(st.buf);
+            chargeDramRandom(sizeof(vbuf::Header) +
+                             hdr->cnt * sizeof(vid_t));
+            const vid_t *pay = vbuf::payload(st.buf);
+            t_rawRecords.insert(t_rawRecords.end(), pay, pay + hdr->cnt);
+        }
+    }
+    return cancelTombstones(t_rawRecords, out);
+}
+
+uint32_t
+XPGraph::getNebrsOut(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[outOwner(v)];
+    return collectLive(part.out.get(), outSlot(v), out);
+}
+
+uint32_t
+XPGraph::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[inOwner(v)];
+    return collectLive(part.in.get(), inSlot(v), out);
+}
+
+uint32_t
+XPGraph::getNebrsBufOut(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[outOwner(v)];
+    if (!part.out)
+        return 0;
+    const VertexState &st = part.out->states[outSlot(v)];
+    if (!st.buf)
+        return 0;
+    const auto *hdr = vbuf::header(st.buf);
+    chargeDramRandom(sizeof(vbuf::Header) + hdr->cnt * sizeof(vid_t));
+    const vid_t *pay = vbuf::payload(st.buf);
+    out.insert(out.end(), pay, pay + hdr->cnt);
+    return hdr->cnt;
+}
+
+uint32_t
+XPGraph::getNebrsBufIn(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[inOwner(v)];
+    if (!part.in)
+        return 0;
+    const VertexState &st = part.in->states[inSlot(v)];
+    if (!st.buf)
+        return 0;
+    const auto *hdr = vbuf::header(st.buf);
+    chargeDramRandom(sizeof(vbuf::Header) + hdr->cnt * sizeof(vid_t));
+    const vid_t *pay = vbuf::payload(st.buf);
+    out.insert(out.end(), pay, pay + hdr->cnt);
+    return hdr->cnt;
+}
+
+uint32_t
+XPGraph::getNebrsFlushOut(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[outOwner(v)];
+    if (!part.out)
+        return 0;
+    return part.out->store->readRaw(part.out->states[outSlot(v)].chain,
+                                    out);
+}
+
+uint32_t
+XPGraph::getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const
+{
+    const Partition &part = parts_[inOwner(v)];
+    if (!part.in)
+        return 0;
+    return part.in->store->readRaw(part.in->states[inSlot(v)].chain, out);
+}
+
+uint32_t
+XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
+{
+    t_logScratch.clear();
+    log_->readRange(log_->bufferedUpTo(), log_->head(), t_logScratch);
+    uint32_t n = 0;
+    for (const Edge &e : t_logScratch) {
+        if (e.src == v) {
+            out.push_back(e.dst);
+            ++n;
+        }
+    }
+    return n;
+}
+
+uint32_t
+XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
+{
+    t_logScratch.clear();
+    log_->readRange(log_->bufferedUpTo(), log_->head(), t_logScratch);
+    uint32_t n = 0;
+    for (const Edge &e : t_logScratch) {
+        if (rawVid(e.dst) == v) {
+            out.push_back(isDelete(e.dst) ? asDelete(e.src) : e.src);
+            ++n;
+        }
+    }
+    return n;
+}
+
+uint64_t
+XPGraph::getLoggedEdges(std::vector<Edge> &out) const
+{
+    const uint64_t n = log_->nonBuffered();
+    log_->readRange(log_->bufferedUpTo(), log_->head(), out);
+    return n;
+}
+
+// --- arranging -------------------------------------------------------------
+
+void
+XPGraph::compactAdjs(vid_t v)
+{
+    for (int dir = 0; dir < 2; ++dir) {
+        const bool is_out = dir == 0;
+        Partition &part = parts_[is_out ? outOwner(v) : inOwner(v)];
+        Side *side = is_out ? part.out.get() : part.in.get();
+        if (!side)
+            continue;
+        const uint64_t slot = is_out ? outSlot(v) : inSlot(v);
+        VertexState &st = side->states[slot];
+        if (st.buf && vbuf::header(st.buf)->cnt > 0)
+            flushVertex(*side, slot, st);
+        if (!st.chain.empty())
+            side->store->compact(slot, st.chain);
+    }
+}
+
+void
+XPGraph::compactAllAdjs()
+{
+    declareArchiveConcurrency();
+    executor_->run([&](unsigned w) {
+        forWorkerSlots(w, [&](unsigned node, unsigned local,
+                              unsigned slots_here) {
+            if (config_.bindThreads &&
+                config_.placement != NumaPlacement::None)
+                NumaBinding::bindThread(static_cast<int>(node), false);
+            Partition &part = parts_[node];
+            for (Side *side : {part.out.get(), part.in.get()}) {
+                if (!side)
+                    continue;
+                const uint64_t slots = side->states.size();
+                const uint64_t per =
+                    (slots + slots_here - 1) / std::max(1u, slots_here);
+                const uint64_t begin =
+                    std::min<uint64_t>(slots, local * per);
+                const uint64_t end = std::min<uint64_t>(slots, begin + per);
+                for (uint64_t slot = begin; slot < end; ++slot) {
+                    VertexState &st = side->states[slot];
+                    if (st.buf && vbuf::header(st.buf)->cnt > 0)
+                        flushVertex(*side, slot, st);
+                    if (!st.chain.empty())
+                        side->store->compact(slot, st.chain);
+                }
+            }
+        });
+    });
+}
+
+// --- introspection -----------------------------------------------------------
+
+void
+XPGraph::declareQueryThreads(unsigned n)
+{
+    // Transition to the query phase: pending write-buffer contents drain
+    // in the background before the queries start. Declared readers model
+    // the LOAD per device: whether threads are bound or floating, the
+    // graph data is spread over the nodes, so each device sees ~1/P of
+    // the aggregate query traffic.
+    const unsigned per_device = std::max(1u, n / config_.numNodes);
+    for (auto &part : parts_) {
+        part.dev->quiesce();
+        part.dev->setDeclaredReaders(per_device);
+    }
+}
+
+IngestStats
+XPGraph::stats() const
+{
+    IngestStats s;
+    s.loggingNs = loggingNs_;
+    s.bufferingNs = bufferingNs_;
+    s.flushingNs = flushingNs_;
+    s.recoveryNs = recoveryNs_;
+    s.edgesLogged = edgesLogged_;
+    s.edgesBuffered = edgesBuffered_;
+    s.vbufFlushes = vbufFlushes_.load(std::memory_order_relaxed);
+    s.bufferingPhases = bufferingPhases_;
+    s.flushAllPhases = flushAllPhases_;
+    return s;
+}
+
+MemoryUsage
+XPGraph::memoryUsage() const
+{
+    MemoryUsage mu;
+    for (const auto &part : parts_) {
+        for (const Side *side : {part.out.get(), part.in.get()}) {
+            if (side)
+                mu.metaBytes +=
+                    side->states.capacity() * sizeof(VertexState);
+        }
+        mu.pblkBytes += part.alloc->used() + part.indexBytes;
+    }
+    mu.metaBytes += batch_.capacity() * sizeof(Edge);
+    for (const auto &node_shards : {outShards_, inShards_}) {
+        for (const auto &lists : node_shards)
+            for (const auto &list : lists)
+                mu.metaBytes += list.capacity() * sizeof(Edge);
+    }
+    mu.vbufBytes = pool_->peakLive();
+    mu.elogBytes = CircularEdgeLog::regionBytes(config_.elogCapacityEdges);
+    return mu;
+}
+
+PcmCounters
+XPGraph::pmemCounters() const
+{
+    PcmCounters total;
+    for (const auto &part : parts_)
+        total += part.dev->counters();
+    return total;
+}
+
+void
+XPGraph::syncBackings()
+{
+    for (auto &part : parts_)
+        part.dev->syncBacking();
+}
+
+} // namespace xpg

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The XPGraph engine: an XPLine-friendly persistent-memory graph store
+ * for large-scale evolving graphs (the paper's primary contribution).
+ *
+ * Data flows through three phases (S IV-A):
+ *  - logging: edges are appended to the PMEM circular edge log;
+ *  - buffering: batches of logged edges move into per-vertex DRAM
+ *    buffers (hierarchical, pool-managed);
+ *  - flushing: full vertex buffers (or, on thresholds, all of them) are
+ *    written to PMEM adjacency chains as whole-XPLine streams.
+ *
+ * The engine is partitioned across modeled NUMA nodes (S III-D) and all
+ * public interfaces of the paper's Table I are provided.
+ */
+
+#ifndef XPG_CORE_XPGRAPH_HPP
+#define XPG_CORE_XPGRAPH_HPP
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adjacency_store.hpp"
+#include "core/circular_edge_log.hpp"
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "graph/edge_sharding.hpp"
+#include "graph/graph_view.hpp"
+#include "graph/types.hpp"
+#include "mempool/vertex_buffer_pool.hpp"
+#include "pmem/pcm_counters.hpp"
+#include "util/parallel.hpp"
+
+namespace xpg {
+
+/** Per-vertex DRAM state: the vertex buffer and the cached chain. */
+struct VertexState
+{
+    std::byte *buf = nullptr; ///< pool-allocated vertex buffer
+    uint32_t bufBytes = 0;    ///< current buffer layer size (0 = none)
+    VertexChain chain;        ///< DRAM mirror of the PMEM chain
+};
+
+/** Device capacity per node that comfortably fits the given workload. */
+uint64_t recommendedBytesPerNode(const XPGraphConfig &config,
+                                 uint64_t expected_edges);
+
+/**
+ * XPGraph / XPGraph-B / XPGraph-D (selected by XPGraphConfig).
+ *
+ * Updates must come from a single client thread (the paper's logging
+ * thread); archiving parallelism is internal. Queries may run from many
+ * threads once updates are quiescent.
+ */
+class XPGraph : public GraphView
+{
+  public:
+    explicit XPGraph(const XPGraphConfig &config);
+
+    /**
+     * Re-open a crashed, file-backed instance: rebuilds DRAM indexes from
+     * the persistent vertex index and replays the un-flushed window of
+     * the edge log into fresh vertex buffers (S III-B recovery).
+     * @p config must match the crashed instance's configuration.
+     */
+    static std::unique_ptr<XPGraph> recover(const XPGraphConfig &config);
+
+    ~XPGraph() override;
+
+    // --- Graph updating interfaces (Table I) ---
+
+    /** Log one edge insertion. */
+    void addEdge(vid_t src, vid_t dst);
+
+    /** Log a batch of edges. @return edges accepted (always n). */
+    uint64_t addEdges(const Edge *edges, uint64_t n);
+
+    /** Log a batch and immediately run a buffering phase over it. */
+    uint64_t bufferEdges(const Edge *edges, uint64_t n);
+
+    /** Log one edge deletion (tombstone record). */
+    void delEdge(vid_t src, vid_t dst);
+
+    // --- Graph querying interfaces (Table I) ---
+
+    vid_t numVertices() const override { return config_.maxVertices; }
+
+    /** Live out-neighbors (flushed + buffered, tombstones applied). */
+    uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
+
+    /** Live in-neighbors (flushed + buffered, tombstones applied). */
+    uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
+
+    /** Raw records currently in v's DRAM vertex buffer. */
+    uint32_t getNebrsBufOut(vid_t v, std::vector<vid_t> &out) const;
+    uint32_t getNebrsBufIn(vid_t v, std::vector<vid_t> &out) const;
+
+    /** Raw records in v's PMEM adjacency chain. */
+    uint32_t getNebrsFlushOut(vid_t v, std::vector<vid_t> &out) const;
+    uint32_t getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const;
+
+    /** Out/in records of v among the non-buffered edges of the log. */
+    uint32_t getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const;
+    uint32_t getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const;
+
+    /** All non-buffered edges of the circular edge log. */
+    uint64_t getLoggedEdges(std::vector<Edge> &out) const;
+
+    // --- Graph arranging interfaces (Table I) ---
+
+    /** Buffer every non-buffered edge of the log. */
+    void bufferAllEdges();
+
+    /** Flush every DRAM vertex buffer to PMEM. */
+    void flushAllVbufs();
+
+    /** Merge v's adjacency chain into one block, applying tombstones. */
+    void compactAdjs(vid_t v);
+
+    /** compactAdjs for every vertex. */
+    void compactAllAdjs();
+
+    // --- NUMA / GraphView ---
+
+    int nodeOfOut(vid_t v) const override;
+    int nodeOfIn(vid_t v) const override;
+    unsigned numNodes() const override { return config_.numNodes; }
+    bool
+    queryBindingEnabled() const override
+    {
+        return config_.bindThreads &&
+               config_.placement != NumaPlacement::None;
+    }
+
+    /** Declare the number of concurrent query threads (read contention). */
+    void declareQueryThreads(unsigned n) override;
+
+    // --- Introspection ---
+
+    IngestStats stats() const;
+    MemoryUsage memoryUsage() const;
+    /** Aggregate device counters (PCM-equivalent, Fig.13). */
+    PcmCounters pmemCounters() const;
+    const XPGraphConfig &config() const { return config_; }
+    VertexBufferPool &pool() { return *pool_; }
+
+    /** msync all file backings (called before a simulated crash). */
+    void syncBackings();
+
+  private:
+    /** One direction's storage on one partition. */
+    struct Side
+    {
+        std::unique_ptr<AdjacencyStore> store;
+        std::vector<VertexState> states;
+    };
+
+    /** One NUMA partition: device, allocator, and its sides. */
+    struct Partition
+    {
+        std::unique_ptr<MemoryDevice> dev;
+        std::unique_ptr<PmemAllocator> alloc;
+        std::unique_ptr<Side> out;
+        std::unique_ptr<Side> in;
+        uint64_t outIndexOff = 0;
+        uint64_t inIndexOff = 0;
+        uint64_t outSlots = 0;
+        uint64_t inSlots = 0;
+        uint64_t indexBytes = 0;
+    };
+
+    XPGraph(const XPGraphConfig &config, bool recovering);
+
+    // layout / construction
+    std::string backingPath(unsigned node) const;
+    std::unique_ptr<MemoryDevice> makeDevice(unsigned node,
+                                             bool recovering) const;
+    void computeLayout(unsigned node, Partition &part) const;
+    void initPartitions(bool recovering);
+    void rebuildFromDevices();
+
+    // placement
+    unsigned outOwner(vid_t v) const;
+    unsigned inOwner(vid_t v) const;
+    uint64_t outSlot(vid_t v) const;
+    uint64_t inSlot(vid_t v) const;
+
+    // phases
+    void ensureLogProgress();
+    void runBufferingPhase();
+    void runFlushAll(bool release_buffers);
+    void shardBatch();
+    void bufferWorker(unsigned w);
+    void flushWorker(unsigned w, bool release_buffers);
+    void declareArchiveConcurrency();
+
+    /**
+     * Archive work is organized in "virtual slots": one per archive
+     * thread, but never fewer than one per node, so every partition is
+     * covered even when threads < nodes. Real worker w executes virtual
+     * slots w, w+T, w+2T, ...; slot s maps to (node s%P, local s/P).
+     */
+    unsigned
+    virtualSlots() const
+    {
+        return std::max(config_.archiveThreads, config_.numNodes);
+    }
+
+    /** Virtual slots assigned to @p node (>= 1). */
+    unsigned
+    slotsOnNode(unsigned node) const
+    {
+        const unsigned p = config_.numNodes;
+        return virtualSlots() / p + (node < virtualSlots() % p ? 1 : 0);
+    }
+
+    /** Run @p fn(node, local, slots_on_node) for worker w's slots. */
+    template <typename F>
+    void
+    forWorkerSlots(unsigned w, F &&fn)
+    {
+        const unsigned p = config_.numNodes;
+        for (unsigned s = w; s < virtualSlots();
+             s += config_.archiveThreads)
+            fn(s % p, s / p, slotsOnNode(s % p));
+    }
+
+    // per-edge work
+    void insertBuffered(Side &side, uint64_t slot, vid_t nebr);
+    void growBuffer(VertexState &st);
+    void flushVertex(Side &side, uint64_t slot, VertexState &st);
+
+    // query helpers
+    uint32_t collectLive(const Side *side, uint64_t slot,
+                         std::vector<vid_t> &out) const;
+
+    XPGraphConfig config_;
+    std::vector<Partition> parts_;
+    std::unique_ptr<CircularEdgeLog> log_;
+    std::unique_ptr<VertexBufferPool> pool_;
+    std::unique_ptr<ParallelExecutor> executor_;
+
+    // buffering-phase scratch (single ingest thread)
+    std::vector<Edge> batch_;
+    /// per (node): shard lists for out- and in-side inserts
+    std::vector<std::vector<std::vector<Edge>>> outShards_;
+    std::vector<std::vector<std::vector<Edge>>> inShards_;
+    std::vector<std::vector<ShardAssignment>> outAssign_;
+    std::vector<std::vector<ShardAssignment>> inAssign_;
+
+    // stats
+    uint64_t loggingNs_ = 0;
+    uint64_t bufferingNs_ = 0;
+    uint64_t flushingNs_ = 0;
+    uint64_t recoveryNs_ = 0;
+    uint64_t edgesLogged_ = 0;
+    uint64_t edgesBuffered_ = 0;
+    uint64_t bufferingPhases_ = 0;
+    uint64_t flushAllPhases_ = 0;
+    std::atomic<uint64_t> vbufFlushes_{0};
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_XPGRAPH_HPP

@@ -1,0 +1,47 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace xpg {
+
+Csr::Csr(vid_t num_vertices, std::span<const Edge> edges, bool reverse)
+    : numVertices_(num_vertices)
+{
+    // Per-vertex neighbor lists with delete-cancellation, then pack.
+    std::vector<std::vector<vid_t>> lists(num_vertices);
+    for (const Edge &e : edges) {
+        const vid_t from = reverse ? rawVid(e.dst) : e.src;
+        const vid_t to = reverse ? e.src : e.dst;
+        XPG_ASSERT(rawVid(from) < num_vertices && rawVid(to) < num_vertices,
+                   "edge endpoint out of range");
+        auto &list = lists[rawVid(from)];
+        if (isDelete(e.dst)) {
+            // Cancel one prior insert of the same neighbor, if any.
+            const vid_t target = reverse ? rawVid(to) : rawVid(to);
+            auto it = std::find(list.begin(), list.end(), target);
+            if (it != list.end())
+                list.erase(it);
+        } else {
+            list.push_back(rawVid(to));
+        }
+    }
+
+    offsets_.assign(num_vertices + 1, 0);
+    uint64_t total = 0;
+    for (vid_t v = 0; v < num_vertices; ++v) {
+        offsets_[v] = total;
+        total += lists[v].size();
+    }
+    offsets_[num_vertices] = total;
+
+    adj_.resize(total);
+    for (vid_t v = 0; v < num_vertices; ++v) {
+        auto &list = lists[v];
+        std::sort(list.begin(), list.end());
+        std::copy(list.begin(), list.end(), adj_.begin() + offsets_[v]);
+    }
+}
+
+} // namespace xpg

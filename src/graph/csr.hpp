@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host-memory CSR builder used as ground truth in tests and to compute the
+ * "CSR Size" column of Table II. Applies delete records (a delete cancels
+ * one prior matching insert), matching the semantics of the stores.
+ */
+
+#ifndef XPG_GRAPH_CSR_HPP
+#define XPG_GRAPH_CSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/** Immutable CSR snapshot of a directed graph (out- or in-edges). */
+class Csr
+{
+  public:
+    /**
+     * Build from an edge stream.
+     * @param num_vertices Vertex-space size.
+     * @param edges Stream in arrival order; delete-flagged dst cancels one
+     *        earlier matching insert.
+     * @param reverse Build in-edges instead of out-edges.
+     */
+    Csr(vid_t num_vertices, std::span<const Edge> edges,
+        bool reverse = false);
+
+    vid_t numVertices() const { return numVertices_; }
+    uint64_t numEdges() const { return adj_.size(); }
+
+    /** Neighbors of @p v, sorted ascending. */
+    std::span<const vid_t>
+    neighbors(vid_t v) const
+    {
+        return {adj_.data() + offsets_[v],
+                adj_.data() + offsets_[v + 1]};
+    }
+
+    uint64_t degree(vid_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+    /** Bytes of the CSR representation (offsets + adjacency). */
+    uint64_t
+    sizeBytes() const
+    {
+        return offsets_.size() * sizeof(uint64_t) +
+               adj_.size() * sizeof(vid_t);
+    }
+
+  private:
+    vid_t numVertices_;
+    std::vector<uint64_t> offsets_;
+    std::vector<vid_t> adj_;
+};
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_CSR_HPP

@@ -1,0 +1,48 @@
+#include "graph/edge_io.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace xpg {
+
+void
+saveEdgeList(const std::string &path, const std::vector<Edge> &edges)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        XPG_FATAL("cannot open " + path + " for writing");
+    if (!edges.empty() &&
+        std::fwrite(edges.data(), sizeof(Edge), edges.size(), f) !=
+            edges.size()) {
+        std::fclose(f);
+        XPG_FATAL("short write to " + path);
+    }
+    std::fclose(f);
+}
+
+std::vector<Edge>
+loadEdgeList(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        XPG_FATAL("cannot open " + path + " for reading");
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (bytes < 0 || bytes % sizeof(Edge) != 0) {
+        std::fclose(f);
+        XPG_FATAL(path + " is not a whole number of edge records");
+    }
+    std::vector<Edge> edges(static_cast<size_t>(bytes) / sizeof(Edge));
+    if (!edges.empty() &&
+        std::fread(edges.data(), sizeof(Edge), edges.size(), f) !=
+            edges.size()) {
+        std::fclose(f);
+        XPG_FATAL("short read from " + path);
+    }
+    std::fclose(f);
+    return edges;
+}
+
+} // namespace xpg

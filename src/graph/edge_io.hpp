@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Binary edge-list persistence, matching the paper's ingest input format
+ * ("an edge buffer stored in the binary edge list format").
+ */
+
+#ifndef XPG_GRAPH_EDGE_IO_HPP
+#define XPG_GRAPH_EDGE_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/** Write @p edges as raw records to @p path. Fatal on I/O failure. */
+void saveEdgeList(const std::string &path, const std::vector<Edge> &edges);
+
+/** Read raw edge records from @p path. Fatal on I/O failure. */
+std::vector<Edge> loadEdgeList(const std::string &path);
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_EDGE_IO_HPP

@@ -1,0 +1,69 @@
+#include "graph/edge_sharding.hpp"
+
+#include "pmem/dram_device.hpp"
+#include "util/logging.hpp"
+
+namespace xpg {
+
+EdgeSharder::EdgeSharder(vid_t max_vertices, unsigned num_shards)
+    : maxVertices_(max_vertices), numShards_(num_shards)
+{
+    XPG_ASSERT(max_vertices > 0, "vertex space must be non-empty");
+    XPG_ASSERT(num_shards > 0, "need at least one shard");
+}
+
+void
+EdgeSharder::shard(std::span<const Edge> edges,
+                   std::vector<std::vector<Edge>> &out) const
+{
+    out.resize(numShards_);
+    for (auto &list : out)
+        list.clear();
+    for (const Edge &e : edges)
+        out[shardOf(e.src)].push_back(e);
+    // Temporary ranged edge lists live in DRAM: one streaming read of the
+    // batch plus one streaming write of the copies.
+    chargeDramSequential(edges.size() * sizeof(Edge) * 2);
+}
+
+std::vector<ShardAssignment>
+EdgeSharder::assign(const std::vector<std::vector<Edge>> &shards,
+                    unsigned num_workers)
+{
+    XPG_ASSERT(num_workers > 0, "need at least one worker");
+    uint64_t total = 0;
+    for (const auto &s : shards)
+        total += s.size();
+
+    std::vector<ShardAssignment> result;
+    result.reserve(num_workers);
+    const uint64_t target =
+        (total + num_workers - 1) / num_workers;
+
+    unsigned cursor = 0;
+    for (unsigned w = 0; w < num_workers && cursor < shards.size(); ++w) {
+        ShardAssignment a{cursor, cursor};
+        uint64_t taken = 0;
+        const unsigned workers_left = num_workers - w;
+        const unsigned shards_left =
+            static_cast<unsigned>(shards.size()) - cursor;
+        // Never take so many shards that later workers would get none.
+        const unsigned max_take = shards_left - (workers_left - 1) < 1
+                                      ? 1
+                                      : shards_left - (workers_left - 1);
+        while (a.lastShard < shards.size() &&
+               (taken == 0 || taken + shards[a.lastShard].size() <= target)
+               && (a.lastShard - a.firstShard) < max_take) {
+            taken += shards[a.lastShard].size();
+            ++a.lastShard;
+        }
+        cursor = a.lastShard;
+        result.push_back(a);
+    }
+    // Tail shards (if any) go to the last worker.
+    if (cursor < shards.size() && !result.empty())
+        result.back().lastShard = static_cast<unsigned>(shards.size());
+    return result;
+}
+
+} // namespace xpg

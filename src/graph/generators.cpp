@@ -1,0 +1,96 @@
+#include "graph/generators.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace xpg {
+
+namespace {
+
+/** One RMAT endpoint pair for a graph of 2^scale vertices. */
+Edge
+rmatEdge(unsigned scale, const RmatParams &p, Rng &rng)
+{
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    double a = p.a, b = p.b, c = p.c;
+    for (unsigned level = 0; level < scale; ++level) {
+        const double d = 1.0 - a - b - c;
+        const double r = rng.nextDouble();
+        src <<= 1;
+        dst <<= 1;
+        if (r < a) {
+            // top-left quadrant: no bits set
+        } else if (r < a + b) {
+            dst |= 1;
+        } else if (r < a + b + c) {
+            src |= 1;
+        } else {
+            (void)d;
+            src |= 1;
+            dst |= 1;
+        }
+        // Perturb probabilities per level so degree distribution is not a
+        // perfect product measure (graph500-style noise).
+        const double n = p.noise;
+        a *= 1.0 - n / 2 + n * rng.nextDouble();
+        b *= 1.0 - n / 2 + n * rng.nextDouble();
+        c *= 1.0 - n / 2 + n * rng.nextDouble();
+        const double sum = a + b + c;
+        if (sum >= 0.995) {
+            a /= sum + 0.01;
+            b /= sum + 0.01;
+            c /= sum + 0.01;
+        }
+    }
+    return Edge{static_cast<vid_t>(src), static_cast<vid_t>(dst)};
+}
+
+} // namespace
+
+std::vector<Edge>
+generateRmat(unsigned scale, uint64_t num_edges, const RmatParams &params,
+             uint64_t seed)
+{
+    XPG_ASSERT(scale > 0 && scale < 31, "rmat scale out of range");
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    Rng rng(seed);
+    for (uint64_t i = 0; i < num_edges; ++i)
+        edges.push_back(rmatEdge(scale, params, rng));
+    return edges;
+}
+
+std::vector<Edge>
+generateUniform(vid_t num_vertices, uint64_t num_edges, uint64_t seed)
+{
+    XPG_ASSERT(num_vertices > 0, "need at least one vertex");
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    Rng rng(seed);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        edges.push_back(Edge{
+            static_cast<vid_t>(rng.nextBounded(num_vertices)),
+            static_cast<vid_t>(rng.nextBounded(num_vertices))});
+    }
+    return edges;
+}
+
+void
+foldVertices(std::vector<Edge> &edges, vid_t num_vertices)
+{
+    XPG_ASSERT(num_vertices > 0, "need at least one vertex");
+    auto fold = [num_vertices](vid_t v) -> vid_t {
+        // Fibonacci-hash then reduce; keeps hubs hubs while spreading ids.
+        const uint64_t h =
+            static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+        return static_cast<vid_t>(
+            (static_cast<unsigned __int128>(h) * num_vertices) >> 64);
+    };
+    for (auto &e : edges) {
+        e.src = fold(e.src);
+        e.dst = fold(e.dst);
+    }
+}
+
+} // namespace xpg

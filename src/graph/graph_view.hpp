@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Read interface shared by all graph stores (XPGraph and the GraphOne
+ * baselines), consumed by the analytics algorithms and benches.
+ */
+
+#ifndef XPG_GRAPH_GRAPH_VIEW_HPP
+#define XPG_GRAPH_GRAPH_VIEW_HPP
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/**
+ * A queryable directed graph. Implementations must support concurrent
+ * read-only queries from multiple threads (no concurrent updates).
+ */
+class GraphView
+{
+  public:
+    virtual ~GraphView() = default;
+
+    /** Size of the vertex-id space. */
+    virtual vid_t numVertices() const = 0;
+
+    /**
+     * Collect the live out-neighbors of @p v into @p out (appended).
+     * @return the number of neighbors appended.
+     */
+    virtual uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const = 0;
+
+    /** In-neighbor variant of getNebrsOut(). */
+    virtual uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const = 0;
+
+    /** NUMA node whose memory holds v's out-adjacency (query binding). */
+    virtual int nodeOfOut(vid_t v) const { return 0; }
+
+    /** NUMA node whose memory holds v's in-adjacency (query binding). */
+    virtual int nodeOfIn(vid_t v) const { return 0; }
+
+    /** Number of NUMA nodes data is spread over. */
+    virtual unsigned numNodes() const { return 1; }
+
+    /** Whether query threads should bind to nodeOfOut/nodeOfIn. */
+    virtual bool queryBindingEnabled() const { return false; }
+
+    /** Declare the number of concurrent query threads (read contention). */
+    virtual void declareQueryThreads(unsigned n) {}
+};
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_GRAPH_VIEW_HPP

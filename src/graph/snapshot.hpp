@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static snapshots of a live graph store.
+ *
+ * Evolving-graph systems (GraphOne, and XPGraph inheriting its view
+ * interfaces) serve long-running analytics from an immutable snapshot
+ * while updates continue against the live store. takeSnapshot() pulls
+ * every vertex's live adjacency through the GraphView interface (paying
+ * the store's modeled read costs once) into compact CSR arrays; the
+ * returned Snapshot then answers queries at DRAM cost.
+ */
+
+#ifndef XPG_GRAPH_SNAPSHOT_HPP
+#define XPG_GRAPH_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_view.hpp"
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/** Immutable CSR snapshot; itself a GraphView for the analytics stack. */
+class Snapshot : public GraphView
+{
+  public:
+    vid_t numVertices() const override
+    {
+        return static_cast<vid_t>(outOffsets_.size() - 1);
+    }
+
+    uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
+    uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
+
+    uint64_t numEdges() const { return outAdj_.size(); }
+
+    /** Bytes held by the snapshot's arrays. */
+    uint64_t sizeBytes() const;
+
+    /** Simulated nanoseconds it took to materialize this snapshot. */
+    uint64_t buildNs() const { return buildNs_; }
+
+  private:
+    friend std::unique_ptr<Snapshot> takeSnapshot(GraphView &,
+                                                  unsigned);
+
+    std::vector<uint64_t> outOffsets_;
+    std::vector<vid_t> outAdj_;
+    std::vector<uint64_t> inOffsets_;
+    std::vector<vid_t> inAdj_;
+    uint64_t buildNs_ = 0;
+};
+
+/**
+ * Materialize a consistent snapshot of @p view using @p num_threads
+ * readers (charged to simulated time like any other query workload).
+ * The caller must not run updates concurrently.
+ */
+std::unique_ptr<Snapshot> takeSnapshot(GraphView &view,
+                                       unsigned num_threads);
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_SNAPSHOT_HPP

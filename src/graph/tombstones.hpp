@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Delete-record (tombstone) cancellation shared by all stores: a delete
+ * record cancels one earlier insert of the same neighbor id.
+ */
+
+#ifndef XPG_GRAPH_TOMBSTONES_HPP
+#define XPG_GRAPH_TOMBSTONES_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xpg {
+
+/**
+ * Append the live neighbors of @p raw (records in arrival order, possibly
+ * containing delete-flagged entries) to @p out.
+ * @return the number of live neighbors appended.
+ */
+inline uint32_t
+cancelTombstones(const std::vector<vid_t> &raw, std::vector<vid_t> &out)
+{
+    bool any_delete = false;
+    for (vid_t v : raw) {
+        if (isDelete(v)) {
+            any_delete = true;
+            break;
+        }
+    }
+    if (!any_delete) {
+        out.insert(out.end(), raw.begin(), raw.end());
+        return static_cast<uint32_t>(raw.size());
+    }
+
+    std::unordered_map<vid_t, int64_t> counts;
+    counts.reserve(raw.size());
+    for (vid_t v : raw) {
+        if (isDelete(v)) {
+            auto it = counts.find(rawVid(v));
+            if (it != counts.end() && it->second > 0)
+                --it->second;
+        } else {
+            ++counts[v];
+        }
+    }
+    uint32_t n = 0;
+    for (const auto &[v, c] : counts) {
+        for (int64_t i = 0; i < c; ++i) {
+            out.push_back(v);
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_TOMBSTONES_HPP

@@ -1,0 +1,270 @@
+#include "mempool/vertex_buffer_pool.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+namespace {
+
+unsigned
+classOf(uint64_t size, uint32_t min_block)
+{
+    XPG_ASSERT(std::has_single_bit(size), "size must be a power of two");
+    XPG_ASSERT(size >= min_block, "size below minimum class");
+    return std::countr_zero(size) - std::countr_zero(
+        static_cast<uint64_t>(min_block));
+}
+
+} // namespace
+
+/**
+ * Per-thread buddy arena. All state is protected by the arena lock; the
+ * owning thread takes it uncontended, remote frees contend briefly.
+ */
+struct VertexBufferPool::Arena
+{
+    explicit Arena(unsigned num_classes) : freeLists(num_classes) {}
+
+    ~Arena()
+    {
+        for (void *bulk : ownedBulks)
+            std::free(bulk);
+    }
+
+    /// Free block addresses per class (LIFO for locality).
+    std::vector<std::vector<std::byte *>> freeLists;
+    /// addr -> class of every currently-free block, for buddy lookups.
+    std::unordered_map<uintptr_t, unsigned> freeIndex;
+    std::vector<void *> ownedBulks;
+    SpinLock lock;
+
+    void
+    pushFree(std::byte *ptr, unsigned cls)
+    {
+        freeLists[cls].push_back(ptr);
+        freeIndex.emplace(reinterpret_cast<uintptr_t>(ptr), cls);
+    }
+
+    std::byte *
+    popFree(unsigned cls)
+    {
+        auto &list = freeLists[cls];
+        if (list.empty())
+            return nullptr;
+        std::byte *ptr = list.back();
+        list.pop_back();
+        freeIndex.erase(reinterpret_cast<uintptr_t>(ptr));
+        return ptr;
+    }
+
+    /** Remove a specific free block (buddy being merged). */
+    bool
+    removeFree(std::byte *ptr, unsigned cls)
+    {
+        auto it = freeIndex.find(reinterpret_cast<uintptr_t>(ptr));
+        if (it == freeIndex.end() || it->second != cls)
+            return false;
+        freeIndex.erase(it);
+        auto &list = freeLists[cls];
+        for (size_t i = 0; i < list.size(); ++i) {
+            if (list[i] == ptr) {
+                list[i] = list.back();
+                list.pop_back();
+                return true;
+            }
+        }
+        XPG_PANIC("free index and free list out of sync");
+    }
+};
+
+VertexBufferPool::VertexBufferPool(const PoolConfig &config,
+                                   const CostParams *params)
+    : config_(config),
+      params_(params ? params : &globalCostParams())
+{
+    XPG_ASSERT(std::has_single_bit(config_.bulkSize), "bulkSize not pow2");
+    XPG_ASSERT(std::has_single_bit(
+                   static_cast<uint64_t>(config_.minBlock)),
+               "minBlock not pow2");
+    numClasses_ = classOf(config_.bulkSize, config_.minBlock) + 1;
+    static std::atomic<uint64_t> next_pool_id{1};
+    poolId_ = next_pool_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+VertexBufferPool::~VertexBufferPool() = default;
+
+VertexBufferPool::Arena &
+VertexBufferPool::myArena()
+{
+    // Thread-local cache of (pool id -> arena). Keyed by the pool's
+    // process-unique id, not its address: a new pool may reuse a
+    // destroyed pool's address, and the stale arena pointer must never
+    // match. A thread touches few live pools, so linear scan suffices.
+    struct CacheEntry
+    {
+        uint64_t poolId;
+        Arena *arena;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto &entry : cache)
+        if (entry.poolId == poolId_)
+            return *entry.arena;
+
+    auto arena = std::make_unique<Arena>(numClasses_);
+    Arena *raw = arena.get();
+    {
+        std::lock_guard<SpinLock> guard(arenasLock_);
+        arenas_.push_back(std::move(arena));
+    }
+    // Bound the cache: entries of destroyed pools accumulate in long-
+    // running threads; dropping live entries is safe (a fresh arena is
+    // registered on the next allocation).
+    if (cache.size() >= 64)
+        cache.clear();
+    cache.push_back({poolId_, raw});
+    return *raw;
+}
+
+VertexBufferPool::Arena &
+VertexBufferPool::arenaOf(const std::byte *ptr) const
+{
+    const auto addr = reinterpret_cast<uintptr_t>(ptr);
+    std::lock_guard<SpinLock> guard(bulksLock_);
+    for (const auto &range : bulks_)
+        if (addr >= range.begin && addr < range.end)
+            return *range.owner;
+    XPG_PANIC("pointer does not belong to this pool");
+}
+
+void
+VertexBufferPool::acquireBulk(Arena &arena)
+{
+    void *mem = std::aligned_alloc(config_.bulkSize, config_.bulkSize);
+    if (mem == nullptr)
+        XPG_FATAL("vertex buffer pool: host allocation failed");
+    arena.ownedBulks.push_back(mem);
+    arena.pushFree(static_cast<std::byte *>(mem), numClasses_ - 1);
+    {
+        std::lock_guard<SpinLock> guard(bulksLock_);
+        bulks_.push_back({reinterpret_cast<uintptr_t>(mem),
+                          reinterpret_cast<uintptr_t>(mem) +
+                              config_.bulkSize,
+                          &arena});
+    }
+    bytesReserved_.fetch_add(config_.bulkSize, std::memory_order_relaxed);
+    // Acquiring a bulk is the one place the pool touches the OS.
+    SimClock::charge(params_->sysAllocNs * 64);
+}
+
+std::byte *
+VertexBufferPool::alloc(uint32_t size)
+{
+    const unsigned cls = classOf(size, config_.minBlock);
+    Arena &arena = myArena();
+    SimClock::charge(params_->poolAllocNs);
+
+    std::lock_guard<SpinLock> guard(arena.lock);
+    // Find the smallest class with a free block, splitting downwards.
+    unsigned have = cls;
+    std::byte *block = nullptr;
+    while (have < numClasses_) {
+        block = arena.popFree(have);
+        if (block)
+            break;
+        ++have;
+    }
+    if (!block) {
+        acquireBulk(arena);
+        have = numClasses_ - 1;
+        block = arena.popFree(have);
+        XPG_ASSERT(block, "fresh bulk has no free block");
+    }
+    while (have > cls) {
+        --have;
+        const uint64_t half =
+            static_cast<uint64_t>(config_.minBlock) << have;
+        arena.pushFree(block + half, have);
+    }
+
+    const uint64_t live =
+        bytesLive_.fetch_add(size, std::memory_order_relaxed) + size;
+    uint64_t peak = peakLive_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peakLive_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+    }
+    return block;
+}
+
+void
+VertexBufferPool::free(std::byte *ptr, uint32_t size)
+{
+    unsigned cls = classOf(size, config_.minBlock);
+    Arena &arena = arenaOf(ptr);
+    SimClock::charge(params_->poolAllocNs);
+
+    std::lock_guard<SpinLock> guard(arena.lock);
+    // Buddy merge: the buddy of a block at offset o with size s is o ^ s.
+    while (cls + 1 < numClasses_) {
+        const uint64_t block_size =
+            static_cast<uint64_t>(config_.minBlock) << cls;
+        const auto addr = reinterpret_cast<uintptr_t>(ptr);
+        auto *buddy =
+            reinterpret_cast<std::byte *>(addr ^ block_size);
+        if (!arena.removeFree(buddy, cls))
+            break;
+        ptr = std::min(ptr, buddy);
+        ++cls;
+    }
+    arena.pushFree(ptr, cls);
+    bytesLive_.fetch_sub(size, std::memory_order_relaxed);
+}
+
+uint64_t
+VertexBufferPool::bytesLive() const
+{
+    return bytesLive_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+VertexBufferPool::bytesReserved() const
+{
+    return bytesReserved_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+VertexBufferPool::peakLive() const
+{
+    return peakLive_.load(std::memory_order_relaxed);
+}
+
+bool
+VertexBufferPool::nearlyFull() const
+{
+    if (config_.poolLimit == ~0ull)
+        return false;
+    const uint64_t reserved =
+        bytesReserved_.load(std::memory_order_relaxed);
+    const uint64_t live = bytesLive_.load(std::memory_order_relaxed);
+    // Live bytes approaching the limit, or the next bulk would bust it
+    // while most of the current reservation is already in use.
+    if (live + config_.bulkSize > config_.poolLimit)
+        return true;
+    return reserved + config_.bulkSize > config_.poolLimit &&
+           live * 10 >= reserved * 9;
+}
+
+size_t
+VertexBufferPool::bulkCount() const
+{
+    std::lock_guard<SpinLock> guard(bulksLock_);
+    return bulks_.size();
+}
+
+} // namespace xpg

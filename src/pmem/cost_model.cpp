@@ -1,0 +1,12 @@
+#include "pmem/cost_model.hpp"
+
+namespace xpg {
+
+CostParams &
+globalCostParams()
+{
+    static CostParams params;
+    return params;
+}
+
+} // namespace xpg

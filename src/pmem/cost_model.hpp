@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Latency cost model of the simulated memory hierarchy.
+ *
+ * Parameters approximate the Optane PMEM 200 behaviour reported in the
+ * paper's motivation section and in Yang et al., "An Empirical Guide to the
+ * Behavior and Use of Scalable Persistent Memory" (FAST'20), which the
+ * paper cites for its device characterization: ~300 ns random media reads,
+ * XPBuffer-absorbed small stores, store bandwidth that collapses beyond a
+ * handful of concurrent writers, and cross-NUMA penalties that are much
+ * larger than DRAM's (2-3x for loads, worse for stores).
+ *
+ * Only ratios matter for reproduction: the benches report simulated time,
+ * and the paper's figures are reproduced as relative shapes.
+ */
+
+#ifndef XPG_PMEM_COST_MODEL_HPP
+#define XPG_PMEM_COST_MODEL_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+namespace xpg {
+
+/** Tunable latency/contention parameters shared by all modeled devices. */
+struct CostParams
+{
+    // --- PMEM media (behind the XPBuffer) ---
+    /** Fetch one 256 B XPLine from 3D-XPoint media (random read). */
+    uint64_t pmemMediaReadNs = 305;
+    /** Write one XPLine to media on dirty eviction (random). */
+    uint64_t pmemMediaWriteNs = 600;
+    /** Media write issued as part of a detected sequential stream. */
+    uint64_t pmemMediaWriteSeqNs = 400;
+    /** CPU-visible cost of a store/load that hits the XPBuffer (eADR). */
+    uint64_t pmemBufferHitNs = 28;
+
+    // --- NUMA ---
+    /** Remote-socket multiplier on PMEM media reads. */
+    double pmemRemoteReadMult = 2.0;
+    /** Remote-socket multiplier on PMEM media writes (worse than reads). */
+    double pmemRemoteWriteMult = 2.4;
+    /** Remote-socket multiplier on DRAM accesses. */
+    double dramRemoteMult = 1.5;
+
+    // --- Store-concurrency collapse (paper Fig.4b) ---
+    /** Concurrent random writers the device sustains without penalty. */
+    unsigned pmemWriteFairThreads = 8;
+    /** Extra cost fraction per random writer beyond the fair count. */
+    double pmemWriteContentionSlope = 0.26;
+    /** Same, for sequential/full-line streams (much gentler). */
+    double pmemSeqWriteContentionSlope = 0.015;
+    /** Concurrent readers sustained without penalty. */
+    unsigned pmemReadFairThreads = 16;
+    /** Extra cost fraction per reader beyond the fair count. */
+    double pmemReadContentionSlope = 0.04;
+
+    // --- DRAM ---
+    /** Random (cache-missing) DRAM cache-line access. */
+    uint64_t dramRandomLineNs = 105;
+    /** Per-cache-line cost of a sequential DRAM stream. */
+    uint64_t dramSeqLineNs = 6;
+    /** DRAM concurrent accessors sustained without penalty. */
+    unsigned dramFairThreads = 24;
+    /** Extra cost fraction per DRAM accessor beyond the fair count. */
+    double dramContentionSlope = 0.02;
+
+    // --- Software cost models ---
+    /** System allocator (malloc/free) call under multi-threading. */
+    uint64_t sysAllocNs = 120;
+    /** Pool allocator (bump/free-list) call. */
+    uint64_t poolAllocNs = 15;
+    /** OS thread migration when rebinding a thread to another node. */
+    uint64_t threadMigrationNs = 25000;
+    /** VFS entry (syscall + metadata) cost per file-I/O call (GraphOne-N). */
+    uint64_t vfsCallNs = 5200;
+    /** File-system per-4KiB-block handling cost (GraphOne-N). */
+    uint64_t fsBlockNs = 1500;
+
+    /** Contention multiplier for @p accessors given a fair count/slope. */
+    static double
+    contentionMult(unsigned accessors, unsigned fair, double slope)
+    {
+        if (accessors <= fair)
+            return 1.0;
+        return 1.0 + slope * static_cast<double>(accessors - fair);
+    }
+};
+
+/** Process-wide default parameters (mutable for calibration experiments). */
+CostParams &globalCostParams();
+
+} // namespace xpg
+
+#endif // XPG_PMEM_COST_MODEL_HPP

@@ -1,0 +1,106 @@
+#include "pmem/memory_device.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <type_traits>
+
+#include "pmem/numa_topology.hpp"
+#include "util/logging.hpp"
+
+namespace xpg {
+
+DeviceBacking::DeviceBacking(uint64_t capacity, const std::string &path)
+    : capacity_(capacity), path_(path)
+{
+    XPG_ASSERT(capacity > 0, "device capacity must be positive");
+    void *mem = MAP_FAILED;
+    if (path_.empty()) {
+        mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    } else {
+        fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+        if (fd_ < 0)
+            XPG_FATAL("cannot open backing file " + path_);
+        if (::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0)
+            XPG_FATAL("cannot size backing file " + path_);
+        mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd_, 0);
+    }
+    if (mem == MAP_FAILED)
+        XPG_FATAL("mmap of device backing failed (" + path_ + ")");
+    data_ = static_cast<std::byte *>(mem);
+}
+
+DeviceBacking::~DeviceBacking()
+{
+    if (data_)
+        ::munmap(data_, capacity_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+DeviceBacking::sync()
+{
+    if (data_ && fd_ >= 0)
+        ::msync(data_, capacity_, MS_SYNC);
+}
+
+MemoryDevice::MemoryDevice(std::string name, uint64_t capacity, int node,
+                           unsigned num_nodes,
+                           const std::string &backing_path)
+    : name_(std::move(name)), node_(node),
+      numNodes_(num_nodes ? num_nodes : 1),
+      backing_(capacity, backing_path)
+{
+}
+
+void
+MemoryDevice::checkRange(uint64_t off, uint64_t size) const
+{
+    if (off + size > backing_.capacity() || off + size < off) {
+        XPG_PANIC("device '" + name_ + "' access out of range: off=" +
+                  std::to_string(off) + " size=" + std::to_string(size) +
+                  " capacity=" + std::to_string(backing_.capacity()));
+    }
+}
+
+double
+MemoryDevice::remoteFactor(double remote_mult)
+{
+    const int bound = NumaBinding::currentNode();
+    if (bound == node_)
+        return 1.0;
+    if (bound != kUnboundNode) {
+        remoteAccesses_.fetch_add(1, std::memory_order_relaxed);
+        return remote_mult;
+    }
+    if (numNodes_ <= 1)
+        return 1.0;
+    // An unbound thread floats across sockets; on average (P-1)/P of its
+    // accesses to this device land remote.
+    const double remote_frac =
+        static_cast<double>(numNodes_ - 1) / static_cast<double>(numNodes_);
+    remoteAccesses_.fetch_add(1, std::memory_order_relaxed);
+    return 1.0 + remote_frac * (remote_mult - 1.0);
+}
+
+PcmCounters
+MemoryDevice::counters() const
+{
+    PcmCounters c;
+    c.appBytesRead = appBytesRead_.load(std::memory_order_relaxed);
+    c.appBytesWritten = appBytesWritten_.load(std::memory_order_relaxed);
+    c.mediaBytesRead = mediaBytesRead_.load(std::memory_order_relaxed);
+    c.mediaBytesWritten = mediaBytesWritten_.load(std::memory_order_relaxed);
+    c.mediaReadOps = mediaReadOps_.load(std::memory_order_relaxed);
+    c.mediaWriteOps = mediaWriteOps_.load(std::memory_order_relaxed);
+    c.bufferHits = bufferHits_.load(std::memory_order_relaxed);
+    c.remoteAccesses = remoteAccesses_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace xpg

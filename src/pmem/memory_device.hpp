@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Abstract modeled memory device plus its mmap-based backing store.
+ *
+ * Every byte an engine keeps "in PMEM" (or in modeled DRAM for the volatile
+ * variants) lives behind a MemoryDevice and is accessed exclusively through
+ * read()/write()/persist(). That discipline is what makes the traffic
+ * counters and simulated-time charges complete by construction (DESIGN.md
+ * S4.1).
+ */
+
+#ifndef XPG_PMEM_MEMORY_DEVICE_HPP
+#define XPG_PMEM_MEMORY_DEVICE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pmem/pcm_counters.hpp"
+
+namespace xpg {
+
+/**
+ * Owns the address space of a device: an anonymous mapping, or a shared
+ * file mapping when a path is given (used by crash/recovery experiments —
+ * the file survives while all DRAM state is discarded).
+ */
+class DeviceBacking
+{
+  public:
+    /**
+     * @param capacity Size of the address space in bytes.
+     * @param path Backing file path; empty means anonymous (volatile).
+     */
+    DeviceBacking(uint64_t capacity, const std::string &path);
+    ~DeviceBacking();
+
+    DeviceBacking(const DeviceBacking &) = delete;
+    DeviceBacking &operator=(const DeviceBacking &) = delete;
+
+    std::byte *data() { return data_; }
+    const std::byte *data() const { return data_; }
+    uint64_t capacity() const { return capacity_; }
+    bool fileBacked() const { return !path_.empty(); }
+
+    /** msync the mapping (used before a simulated crash). */
+    void sync();
+
+  private:
+    uint64_t capacity_;
+    std::string path_;
+    std::byte *data_ = nullptr;
+    int fd_ = -1;
+};
+
+/**
+ * Base class of all modeled devices. Subclasses implement the cost and
+ * counter behaviour; data movement itself is a host-side memcpy.
+ */
+class MemoryDevice
+{
+  public:
+    /**
+     * @param name Device name for diagnostics.
+     * @param capacity Address-space size in bytes.
+     * @param node NUMA node this device belongs to.
+     * @param num_nodes Total node count of the modeled topology.
+     * @param backing_path Optional backing file (persistence).
+     */
+    MemoryDevice(std::string name, uint64_t capacity, int node,
+                 unsigned num_nodes, const std::string &backing_path);
+    virtual ~MemoryDevice() = default;
+
+    MemoryDevice(const MemoryDevice &) = delete;
+    MemoryDevice &operator=(const MemoryDevice &) = delete;
+
+    /** Copy @p size bytes at @p off into @p dst, charging modeled cost. */
+    virtual void read(uint64_t off, void *dst, uint64_t size) = 0;
+
+    /** Copy @p size bytes from @p src to @p off, charging modeled cost. */
+    virtual void write(uint64_t off, const void *src, uint64_t size) = 0;
+
+    /** clwb-style explicit write-back of the range (default: no-op). */
+    virtual void persist(uint64_t off, uint64_t size) {}
+
+    /**
+     * Drain internal write buffers in the background (between workload
+     * phases): media traffic is counted but no simulated time is charged
+     * to the caller. Default: no-op.
+     */
+    virtual void quiesce() {}
+
+    /** Typed helpers for fixed-layout metadata. */
+    template <typename T>
+    T
+    readPod(uint64_t off)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(off, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    writePod(uint64_t off, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(off, &value, sizeof(T));
+    }
+
+    const std::string &name() const { return name_; }
+    uint64_t capacity() const { return backing_.capacity(); }
+    int node() const { return node_; }
+    unsigned numNodes() const { return numNodes_; }
+
+    /** Declare how many threads will concurrently store to this device. */
+    void
+    setDeclaredWriters(unsigned n)
+    {
+        declaredWriters_.store(n ? n : 1, std::memory_order_relaxed);
+    }
+
+    /** Declare how many threads will concurrently load from this device. */
+    void
+    setDeclaredReaders(unsigned n)
+    {
+        declaredReaders_.store(n ? n : 1, std::memory_order_relaxed);
+    }
+
+    /** Snapshot of cumulative traffic counters. */
+    PcmCounters counters() const;
+
+    /** msync the backing (before a simulated crash). */
+    void syncBacking() { backing_.sync(); }
+
+  protected:
+    /** Raw pointer into the backing (subclass memcpy only). */
+    std::byte *raw(uint64_t off) { return backing_.data() + off; }
+
+    /** Bounds-check an access. */
+    void checkRange(uint64_t off, uint64_t size) const;
+
+    /**
+     * Multiplier >= 1 expressing how remote the calling thread is:
+     * 1.0 for a local-bound thread, the full remote multiplier for a
+     * remote-bound thread, and the topology-average for unbound threads.
+     * Bumps the remote counter when > 1.
+     */
+    double remoteFactor(double remote_mult);
+
+    unsigned
+    declaredWriters() const
+    {
+        return declaredWriters_.load(std::memory_order_relaxed);
+    }
+
+    unsigned
+    declaredReaders() const
+    {
+        return declaredReaders_.load(std::memory_order_relaxed);
+    }
+
+    /// Cumulative counters (relaxed atomics; exact totals, any order).
+    std::atomic<uint64_t> appBytesRead_{0};
+    std::atomic<uint64_t> appBytesWritten_{0};
+    std::atomic<uint64_t> mediaBytesRead_{0};
+    std::atomic<uint64_t> mediaBytesWritten_{0};
+    std::atomic<uint64_t> mediaReadOps_{0};
+    std::atomic<uint64_t> mediaWriteOps_{0};
+    std::atomic<uint64_t> bufferHits_{0};
+    std::atomic<uint64_t> remoteAccesses_{0};
+
+  private:
+    std::string name_;
+    int node_;
+    unsigned numNodes_;
+    std::atomic<unsigned> declaredWriters_{1};
+    std::atomic<unsigned> declaredReaders_{1};
+    DeviceBacking backing_;
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_MEMORY_DEVICE_HPP

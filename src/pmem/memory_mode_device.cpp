@@ -1,0 +1,107 @@
+#include "pmem/memory_mode_device.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#include "pmem/xpline.hpp"
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+MemoryModeDevice::MemoryModeDevice(std::string name, uint64_t capacity,
+                                   uint64_t dram_cache_bytes, int node,
+                                   unsigned num_nodes,
+                                   const CostParams *params)
+    : MemoryDevice(std::move(name), capacity, node, num_nodes, ""),
+      params_(params ? params : &globalCostParams())
+{
+    const uint64_t lines = std::max<uint64_t>(1, dram_cache_bytes /
+                                                     kXPLineSize);
+    tags_.resize(lines);
+    locks_ = std::make_unique<SpinLock[]>(kLockShards);
+}
+
+bool
+MemoryModeDevice::access(uint64_t line, bool is_write)
+{
+    const CostParams &p = *params_;
+    const uint64_t slot = line % tags_.size();
+    bool hit;
+    bool victim_dirty = false;
+    {
+        std::lock_guard<SpinLock> guard(locks_[slot % kLockShards]);
+        Tag &tag = tags_[slot];
+        hit = tag.valid && tag.line == line;
+        if (!hit) {
+            victim_dirty = tag.valid && tag.dirty;
+            tag.line = line;
+            tag.valid = true;
+            tag.dirty = is_write;
+        } else if (is_write) {
+            tag.dirty = true;
+        }
+    }
+
+    lineAccesses_.fetch_add(1, std::memory_order_relaxed);
+    // DRAM access happens either way (the cache is inclusive).
+    SimClock::charge(p.dramRandomLineNs);
+    if (hit) {
+        lineHits_.fetch_add(1, std::memory_order_relaxed);
+        bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    const double remote_r = remoteFactor(p.pmemRemoteReadMult);
+    mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
+    mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+    const double read_contention = CostParams::contentionMult(
+        declaredReaders(), p.pmemReadFairThreads, p.pmemReadContentionSlope);
+    SimClock::chargeScaled(p.pmemMediaReadNs, remote_r * read_contention);
+
+    if (victim_dirty) {
+        mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        const double write_contention = CostParams::contentionMult(
+            declaredWriters(), p.pmemWriteFairThreads,
+            p.pmemWriteContentionSlope);
+        SimClock::chargeScaled(p.pmemMediaWriteNs, write_contention);
+    }
+    return false;
+}
+
+void
+MemoryModeDevice::read(uint64_t off, void *dst, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    for (uint64_t line = first; line <= last; ++line)
+        access(line, false);
+    std::memcpy(dst, raw(off), size);
+}
+
+void
+MemoryModeDevice::write(uint64_t off, const void *src, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    for (uint64_t line = first; line <= last; ++line)
+        access(line, true);
+    std::memcpy(raw(off), src, size);
+}
+
+double
+MemoryModeDevice::hitRate() const
+{
+    const uint64_t acc = lineAccesses_.load(std::memory_order_relaxed);
+    if (acc == 0)
+        return 0.0;
+    return static_cast<double>(lineHits_.load(std::memory_order_relaxed)) /
+           static_cast<double>(acc);
+}
+
+} // namespace xpg

@@ -1,0 +1,38 @@
+#include "pmem/numa_topology.hpp"
+
+#include "pmem/cost_model.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+int &
+NumaBinding::tls()
+{
+    thread_local int node = kUnboundNode;
+    return node;
+}
+
+void
+NumaBinding::bindThread(int node, bool charge_migration)
+{
+    int &current = tls();
+    if (current == node)
+        return;
+    if (charge_migration && current != kUnboundNode)
+        SimClock::charge(globalCostParams().threadMigrationNs);
+    current = node;
+}
+
+void
+NumaBinding::unbindThread()
+{
+    tls() = kUnboundNode;
+}
+
+int
+NumaBinding::currentNode()
+{
+    return tls();
+}
+
+} // namespace xpg

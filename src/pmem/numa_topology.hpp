@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulated NUMA topology and thread binding.
+ *
+ * On the paper's testbed, threads are pinned to a socket's cores with
+ * pthread_setaffinity_np() and every PMEM DIMM belongs to one socket. Here
+ * binding is declarative: a thread records the node it is "pinned" to, and
+ * devices consult that declaration to decide whether an access is local or
+ * remote. Rebinding an already-bound thread charges the modeled OS thread
+ * migration cost (the effect that makes per-vertex query binding a bad
+ * idea, paper S III-D).
+ */
+
+#ifndef XPG_PMEM_NUMA_TOPOLOGY_HPP
+#define XPG_PMEM_NUMA_TOPOLOGY_HPP
+
+#include <cstdint>
+
+namespace xpg {
+
+/** Node id for a thread with no declared binding. */
+constexpr int kUnboundNode = -1;
+
+/** Static facade over the calling thread's declared NUMA binding. */
+class NumaBinding
+{
+  public:
+    /**
+     * Declare the calling thread pinned to @p node.
+     * Charges the thread-migration cost when changing an existing binding
+     * and @p charge_migration is true.
+     */
+    static void bindThread(int node, bool charge_migration = true);
+
+    /** Remove the calling thread's binding (no migration charge). */
+    static void unbindThread();
+
+    /** The calling thread's declared node, or kUnboundNode. */
+    static int currentNode();
+
+  private:
+    static int &tls();
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_NUMA_TOPOLOGY_HPP

@@ -1,0 +1,80 @@
+#include "pmem/pmem_allocator.hpp"
+
+#include "pmem/xpline.hpp"
+#include "util/logging.hpp"
+
+namespace xpg {
+
+PmemAllocator::PmemAllocator(MemoryDevice &dev, uint64_t region_start,
+                             uint64_t region_end, uint64_t tail_ptr_off)
+    : dev_(dev),
+      regionStart_(alignUp(region_start, kXPLineSize)),
+      regionEnd_(region_end),
+      tailPtrOff_(tail_ptr_off),
+      tail_(alignUp(region_start, kXPLineSize))
+{
+    XPG_ASSERT(regionStart_ < regionEnd_, "empty allocator region");
+    XPG_ASSERT(regionEnd_ <= dev.capacity(), "region beyond device");
+    dev_.writePod<uint64_t>(tailPtrOff_, tail_.load());
+}
+
+PmemAllocator::PmemAllocator(RecoverTag, MemoryDevice &dev,
+                             uint64_t region_start, uint64_t region_end,
+                             uint64_t tail_ptr_off)
+    : dev_(dev),
+      regionStart_(alignUp(region_start, kXPLineSize)),
+      regionEnd_(region_end),
+      tailPtrOff_(tail_ptr_off),
+      tail_(dev.readPod<uint64_t>(tail_ptr_off))
+{
+    const uint64_t tail = tail_.load();
+    XPG_ASSERT(tail >= regionStart_ && tail <= regionEnd_,
+               "recovered allocator tail out of region");
+}
+
+std::unique_ptr<PmemAllocator>
+PmemAllocator::recover(MemoryDevice &dev, uint64_t region_start,
+                       uint64_t region_end, uint64_t tail_ptr_off)
+{
+    return std::unique_ptr<PmemAllocator>(new PmemAllocator(
+        RecoverTag{}, dev, region_start, region_end, tail_ptr_off));
+}
+
+uint64_t
+PmemAllocator::alloc(uint64_t size, uint64_t align)
+{
+    XPG_ASSERT(align > 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+    uint64_t offset;
+    uint64_t current = tail_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+        offset = alignUp(current, align);
+        next = offset + size;
+        if (next > regionEnd_) {
+            XPG_FATAL("pmem region on '" + dev_.name() +
+                      "' exhausted: need " + std::to_string(size) +
+                      " bytes, " +
+                      std::to_string(regionEnd_ - current) + " left");
+        }
+    } while (!tail_.compare_exchange_weak(current, next,
+                                          std::memory_order_relaxed));
+    // Persist the new tail; last-writer-wins races only over-reserve,
+    // which recovery treats as free space.
+    dev_.writePod<uint64_t>(tailPtrOff_, next);
+    return offset;
+}
+
+uint64_t
+PmemAllocator::used() const
+{
+    return tail_.load(std::memory_order_relaxed) - regionStart_;
+}
+
+uint64_t
+PmemAllocator::available() const
+{
+    return regionEnd_ - tail_.load(std::memory_order_relaxed);
+}
+
+} // namespace xpg

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Persistent bump allocator over a device region.
+ *
+ * Adjacency blocks are only ever appended (XPGraph compacts by writing new
+ * blocks and abandoning old ones, like PMDK log-structured allocators), so
+ * a bump allocator with a persisted tail pointer is sufficient and — more
+ * importantly — trivially recoverable: after a crash the tail is read back
+ * from the device and allocation continues where it stopped.
+ */
+
+#ifndef XPG_PMEM_PMEM_ALLOCATOR_HPP
+#define XPG_PMEM_PMEM_ALLOCATOR_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "pmem/memory_device.hpp"
+
+namespace xpg {
+
+/** Sentinel device offset meaning "no block" (offset 0 is the superblock,
+ *  so it can double as null). */
+constexpr uint64_t kNullOffset = 0;
+
+/**
+ * Thread-safe persistent bump allocator.
+ *
+ * The in-DRAM tail is the authority during operation (fetch_add); the
+ * persistent copy at @p tail_ptr_off is updated after each allocation so a
+ * crash can lose at most blocks that were never linked into any persistent
+ * structure — which recovery treats as free space.
+ */
+class PmemAllocator
+{
+  public:
+    /**
+     * Create a fresh allocator (writes the initial tail).
+     * @param dev Device the region lives on.
+     * @param region_start First usable byte (aligned up to an XPLine).
+     * @param region_end One past the last usable byte.
+     * @param tail_ptr_off Device offset of the persisted 8-byte tail.
+     */
+    PmemAllocator(MemoryDevice &dev, uint64_t region_start,
+                  uint64_t region_end, uint64_t tail_ptr_off);
+
+    /** Attach to an existing region after a crash: reads the tail back. */
+    static std::unique_ptr<PmemAllocator> recover(MemoryDevice &dev,
+                                                  uint64_t region_start,
+                                                  uint64_t region_end,
+                                                  uint64_t tail_ptr_off);
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * @return device offset of the block. Fatal on exhaustion.
+     */
+    uint64_t alloc(uint64_t size, uint64_t align);
+
+    /** Bytes handed out so far. */
+    uint64_t used() const;
+
+    /** Bytes still available. */
+    uint64_t available() const;
+
+    uint64_t regionStart() const { return regionStart_; }
+    uint64_t regionEnd() const { return regionEnd_; }
+
+  private:
+    struct RecoverTag {};
+    PmemAllocator(RecoverTag, MemoryDevice &dev, uint64_t region_start,
+                  uint64_t region_end, uint64_t tail_ptr_off);
+
+    MemoryDevice &dev_;
+    uint64_t regionStart_;
+    uint64_t regionEnd_;
+    uint64_t tailPtrOff_;
+    std::atomic<uint64_t> tail_;
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_PMEM_ALLOCATOR_HPP

@@ -1,0 +1,138 @@
+#include "pmem/pmem_device.hpp"
+
+#include <cstring>
+
+#include "pmem/xpline.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+PmemDevice::PmemDevice(std::string name, uint64_t capacity, int node,
+                       unsigned num_nodes, const std::string &backing_path,
+                       const XPBufferConfig &buffer_config,
+                       const CostParams *params)
+    : MemoryDevice(std::move(name), capacity, node, num_nodes, backing_path),
+      buffer_(buffer_config),
+      params_(params ? params : &globalCostParams())
+{
+}
+
+void
+PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
+{
+    const CostParams &p = *params_;
+    if (out.hit) {
+        bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        SimClock::charge(p.pmemBufferHitNs);
+        return;
+    }
+    SimClock::charge(p.pmemBufferHitNs);
+    const double remote = remoteFactor(p.pmemRemoteWriteMult);
+    if (out.rmwRead) {
+        mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        SimClock::chargeScaled(p.pmemMediaReadNs, remote);
+    }
+    if (out.evictWrite) {
+        mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        const uint64_t base =
+            out.evictSeq ? p.pmemMediaWriteSeqNs : p.pmemMediaWriteNs;
+        const double slope = out.evictSeq ? p.pmemSeqWriteContentionSlope
+                                          : p.pmemWriteContentionSlope;
+        const double contention = CostParams::contentionMult(
+            declaredWriters(), p.pmemWriteFairThreads, slope);
+        SimClock::chargeScaled(base, remote * contention);
+    }
+}
+
+void
+PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
+{
+    const CostParams &p = *params_;
+    if (out.hit) {
+        bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        SimClock::charge(p.pmemBufferHitNs);
+        return;
+    }
+    SimClock::charge(p.pmemBufferHitNs);
+    const double remote = remoteFactor(p.pmemRemoteReadMult);
+    if (out.rmwRead) {
+        mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        const double contention = CostParams::contentionMult(
+            declaredReaders(), p.pmemReadFairThreads,
+            p.pmemReadContentionSlope);
+        SimClock::chargeScaled(p.pmemMediaReadNs, remote * contention);
+    }
+    if (out.evictWrite) {
+        mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        const uint64_t base =
+            out.evictSeq ? p.pmemMediaWriteSeqNs : p.pmemMediaWriteNs;
+        SimClock::chargeScaled(base, remote);
+    }
+}
+
+void
+PmemDevice::read(uint64_t off, void *dst, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    for (uint64_t line = first; line <= last; ++line)
+        chargeLoadOutcome(buffer_.load(line));
+    std::memcpy(dst, raw(off), size);
+}
+
+void
+PmemDevice::write(uint64_t off, const void *src, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    uint64_t cursor = off;
+    for (uint64_t line = first; line <= last; ++line) {
+        const bool starts_at_base = (cursor == line * kXPLineSize);
+        chargeStoreOutcome(buffer_.store(line, starts_at_base));
+        cursor = (line + 1) * kXPLineSize;
+    }
+    std::memcpy(raw(off), src, size);
+}
+
+void
+PmemDevice::quiesce()
+{
+    const unsigned drained = buffer_.drainDirty();
+    mediaWriteOps_.fetch_add(drained, std::memory_order_relaxed);
+    mediaBytesWritten_.fetch_add(uint64_t{drained} * kXPLineSize,
+                                 std::memory_order_relaxed);
+}
+
+void
+PmemDevice::persist(uint64_t off, uint64_t size)
+{
+    if (size == 0)
+        return;
+    checkRange(off, size);
+    const CostParams &p = *params_;
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    for (uint64_t line = first; line <= last; ++line) {
+        if (buffer_.flushLine(line)) {
+            mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+            mediaBytesWritten_.fetch_add(kXPLineSize,
+                                         std::memory_order_relaxed);
+            const double remote = remoteFactor(p.pmemRemoteWriteMult);
+            const double contention = CostParams::contentionMult(
+                declaredWriters(), p.pmemWriteFairThreads,
+                p.pmemSeqWriteContentionSlope);
+            SimClock::chargeScaled(p.pmemMediaWriteSeqNs,
+                                   remote * contention);
+        }
+    }
+}
+
+} // namespace xpg

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The modeled Optane PMEM device (App-Direct mode): XPBuffer in front of
+ * 256 B-granular media, with remote-NUMA and store-concurrency penalties.
+ */
+
+#ifndef XPG_PMEM_PMEM_DEVICE_HPP
+#define XPG_PMEM_PMEM_DEVICE_HPP
+
+#include <string>
+
+#include "pmem/cost_model.hpp"
+#include "pmem/memory_device.hpp"
+#include "pmem/xpbuffer.hpp"
+
+namespace xpg {
+
+/**
+ * App-Direct PMEM device model.
+ *
+ * Cost charging per XPLine touched:
+ *  - buffer hit: pmemBufferHitNs
+ *  - RMW / load-miss media read: pmemMediaReadNs x remote x read-contention
+ *  - dirty eviction: pmemMediaWriteNs (or the sequential rate for
+ *    stream-allocated lines) x remote x write-contention
+ *  - persist(): explicit clwb write-back at the sequential rate
+ */
+class PmemDevice : public MemoryDevice
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param capacity Address-space bytes.
+     * @param node Owning NUMA node.
+     * @param num_nodes Modeled topology width.
+     * @param backing_path Optional file backing for persistence tests.
+     * @param buffer_config XPBuffer geometry.
+     * @param params Cost parameters; defaults to the process-wide set.
+     */
+    PmemDevice(std::string name, uint64_t capacity, int node = 0,
+               unsigned num_nodes = 2, const std::string &backing_path = "",
+               const XPBufferConfig &buffer_config = XPBufferConfig{},
+               const CostParams *params = nullptr);
+
+    void read(uint64_t off, void *dst, uint64_t size) override;
+    void write(uint64_t off, const void *src, uint64_t size) override;
+    void persist(uint64_t off, uint64_t size) override;
+    void quiesce() override;
+
+    /** Drop XPBuffer contents without write-back (power-cycle model). */
+    void powerCycle() { buffer_.reset(); }
+
+    const CostParams &params() const { return *params_; }
+
+  private:
+    void chargeStoreOutcome(const XPAccessOutcome &out);
+    void chargeLoadOutcome(const XPAccessOutcome &out);
+
+    XPBuffer buffer_;
+    const CostParams *params_;
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_PMEM_DEVICE_HPP

@@ -1,0 +1,121 @@
+#include "pmem/ssd_device.hpp"
+
+#include <cstring>
+
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+namespace {
+
+constexpr uint64_t
+blockOf(uint64_t off)
+{
+    return off / kSsdBlockSize;
+}
+
+XPBufferConfig
+cacheConfig(uint64_t cache_blocks)
+{
+    XPBufferConfig c;
+    c.ways = 16;
+    c.numSets = 1;
+    while (c.numSets * c.ways < cache_blocks)
+        c.numSets *= 2;
+    return c;
+}
+
+} // namespace
+
+SsdDevice::SsdDevice(std::string name, uint64_t capacity, int node,
+                     unsigned num_nodes, const std::string &backing_path,
+                     const SsdParams &params, uint64_t cache_blocks)
+    : MemoryDevice(std::move(name), capacity, node, num_nodes,
+                   backing_path),
+      cache_(cacheConfig(cache_blocks)), params_(params)
+{
+}
+
+void
+SsdDevice::chargeOutcome(const XPAccessOutcome &out, bool is_write)
+{
+    if (out.hit) {
+        bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        SimClock::charge(params_.cacheHitNs);
+        return;
+    }
+    SimClock::charge(params_.cacheHitNs);
+    const unsigned accessors =
+        is_write ? declaredWriters() : declaredReaders();
+    const double queue = CostParams::contentionMult(
+        accessors, params_.fairQueueDepth, params_.queueSlope);
+    if (out.rmwRead) {
+        mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesRead_.fetch_add(kSsdBlockSize,
+                                  std::memory_order_relaxed);
+        SimClock::chargeScaled(params_.readBlockNs, queue);
+    }
+    if (out.evictWrite) {
+        mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+        mediaBytesWritten_.fetch_add(kSsdBlockSize,
+                                     std::memory_order_relaxed);
+        SimClock::chargeScaled(params_.writeBlockNs, queue);
+    }
+}
+
+void
+SsdDevice::read(uint64_t off, void *dst, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = blockOf(off);
+    const uint64_t last = blockOf(off + size - 1);
+    for (uint64_t block = first; block <= last; ++block)
+        chargeOutcome(cache_.load(block), false);
+    std::memcpy(dst, raw(off), size);
+}
+
+void
+SsdDevice::write(uint64_t off, const void *src, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = blockOf(off);
+    const uint64_t last = blockOf(off + size - 1);
+    uint64_t cursor = off;
+    for (uint64_t block = first; block <= last; ++block) {
+        const bool starts_at_base = cursor == block * kSsdBlockSize;
+        chargeOutcome(cache_.store(block, starts_at_base), true);
+        cursor = (block + 1) * kSsdBlockSize;
+    }
+    std::memcpy(raw(off), src, size);
+}
+
+void
+SsdDevice::persist(uint64_t off, uint64_t size)
+{
+    if (size == 0)
+        return;
+    checkRange(off, size);
+    const uint64_t first = blockOf(off);
+    const uint64_t last = blockOf(off + size - 1);
+    for (uint64_t block = first; block <= last; ++block) {
+        if (cache_.flushLine(block)) {
+            mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
+            mediaBytesWritten_.fetch_add(kSsdBlockSize,
+                                         std::memory_order_relaxed);
+            SimClock::charge(params_.writeBlockNs);
+        }
+    }
+}
+
+void
+SsdDevice::quiesce()
+{
+    const unsigned drained = cache_.drainDirty();
+    mediaWriteOps_.fetch_add(drained, std::memory_order_relaxed);
+    mediaBytesWritten_.fetch_add(uint64_t{drained} * kSsdBlockSize,
+                                 std::memory_order_relaxed);
+}
+
+} // namespace xpg

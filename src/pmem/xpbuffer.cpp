@@ -1,0 +1,157 @@
+#include "pmem/xpbuffer.hpp"
+
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace xpg {
+
+XPBuffer::XPBuffer(const XPBufferConfig &config)
+    : config_(config)
+{
+    XPG_ASSERT(config_.numSets > 0 &&
+               (config_.numSets & (config_.numSets - 1)) == 0,
+               "numSets must be a power of two");
+    XPG_ASSERT(config_.ways > 0, "ways must be positive");
+    sets_ = std::make_unique<Set[]>(config_.numSets);
+    for (unsigned s = 0; s < config_.numSets; ++s)
+        sets_[s].entries.resize(config_.ways);
+}
+
+XPBuffer::Set &
+XPBuffer::setFor(uint64_t line)
+{
+    return sets_[line & (config_.numSets - 1)];
+}
+
+XPBuffer::Entry &
+XPBuffer::victimIn(Set &set) const
+{
+    Entry *victim = &set.entries[0];
+    for (auto &e : set.entries) {
+        if (!e.valid)
+            return e;
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    return *victim;
+}
+
+XPAccessOutcome
+XPBuffer::store(uint64_t line, bool starts_at_base)
+{
+    Set &set = setFor(line);
+    std::lock_guard<SpinLock> guard(set.lock);
+    ++set.lruTick;
+
+    for (auto &e : set.entries) {
+        if (e.valid && e.line == line) {
+            e.dirty = true;
+            e.lru = set.lruTick;
+            XPAccessOutcome out;
+            out.hit = true;
+            return out;
+        }
+    }
+
+    XPAccessOutcome out;
+    Entry &victim = victimIn(set);
+    if (victim.valid && victim.dirty) {
+        out.evictWrite = true;
+        out.evictSeq = victim.seqAlloc;
+    }
+    out.rmwRead = !starts_at_base;
+    victim.line = line;
+    victim.valid = true;
+    victim.dirty = true;
+    victim.seqAlloc = starts_at_base;
+    victim.lru = set.lruTick;
+    return out;
+}
+
+XPAccessOutcome
+XPBuffer::load(uint64_t line)
+{
+    Set &set = setFor(line);
+    std::lock_guard<SpinLock> guard(set.lock);
+    ++set.lruTick;
+
+    for (auto &e : set.entries) {
+        if (e.valid && e.line == line) {
+            e.lru = set.lruTick;
+            XPAccessOutcome out;
+            out.hit = true;
+            return out;
+        }
+    }
+
+    XPAccessOutcome out;
+    Entry &victim = victimIn(set);
+    if (victim.valid && victim.dirty) {
+        out.evictWrite = true;
+        out.evictSeq = victim.seqAlloc;
+    }
+    out.rmwRead = true;
+    victim.line = line;
+    victim.valid = true;
+    victim.dirty = false;
+    victim.seqAlloc = false;
+    victim.lru = set.lruTick;
+    return out;
+}
+
+bool
+XPBuffer::flushLine(uint64_t line)
+{
+    Set &set = setFor(line);
+    std::lock_guard<SpinLock> guard(set.lock);
+    for (auto &e : set.entries) {
+        if (e.valid && e.line == line && e.dirty) {
+            e.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+XPBuffer::validLines() const
+{
+    unsigned count = 0;
+    for (unsigned s = 0; s < config_.numSets; ++s) {
+        std::lock_guard<SpinLock> guard(sets_[s].lock);
+        for (const auto &e : sets_[s].entries)
+            if (e.valid)
+                ++count;
+    }
+    return count;
+}
+
+unsigned
+XPBuffer::drainDirty()
+{
+    unsigned drained = 0;
+    for (unsigned s = 0; s < config_.numSets; ++s) {
+        std::lock_guard<SpinLock> guard(sets_[s].lock);
+        for (auto &e : sets_[s].entries) {
+            if (e.valid && e.dirty) {
+                e.dirty = false;
+                ++drained;
+            }
+        }
+    }
+    return drained;
+}
+
+void
+XPBuffer::reset()
+{
+    for (unsigned s = 0; s < config_.numSets; ++s) {
+        std::lock_guard<SpinLock> guard(sets_[s].lock);
+        for (auto &e : sets_[s].entries)
+            e = Entry{};
+        sets_[s].lruTick = 0;
+    }
+}
+
+} // namespace xpg

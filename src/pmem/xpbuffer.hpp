@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Model of the Optane DIMM's internal XPBuffer: a small write-combining
+ * cache of 256 B XPLines sitting between the iMC and the 3D-XPoint media.
+ *
+ * The buffer is the mechanism behind the paper's read/write amplification
+ * observation (S II-A): a sub-line store that misses costs a full XPLine
+ * read-modify-write, while stores that coalesce inside the buffer reach the
+ * media as a single line write.
+ *
+ * Modeling simplification: the RMW media read is charged at allocation time
+ * iff the triggering store does not begin at the line base. Streaming
+ * writes (which always start lines at their base and then fill them) are
+ * thereby recognized without per-byte coverage tracking; the only pattern
+ * miscounted is a random line-base store followed by eviction, which is
+ * ~1/64 of random traffic.
+ */
+
+#ifndef XPG_PMEM_XPBUFFER_HPP
+#define XPG_PMEM_XPBUFFER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace xpg {
+
+/**
+ * Geometry of the XPBuffer. Total lines = numSets * ways. The default
+ * (256 lines = 64 KiB) models the ~16 KiB write-combining buffer of each
+ * Optane DIMM aggregated over the four DIMMs of one socket.
+ */
+struct XPBufferConfig
+{
+    unsigned numSets = 32; ///< must be a power of two
+    unsigned ways = 16;
+};
+
+/** What a single line access did at the media boundary. */
+struct XPAccessOutcome
+{
+    bool hit = false;         ///< absorbed by the buffer
+    bool rmwRead = false;     ///< line fetched from media (RMW or load miss)
+    bool evictWrite = false;  ///< a dirty victim was written back
+    bool evictSeq = false;    ///< ...and that victim was stream-allocated
+};
+
+/**
+ * Set-associative LRU cache of XPLine indices with per-set locking.
+ * Thread-safe; cost charging is the caller's (device's) job — this class
+ * only reports what happened.
+ */
+class XPBuffer
+{
+  public:
+    explicit XPBuffer(const XPBufferConfig &config = XPBufferConfig{});
+
+    /**
+     * A store touching line @p line.
+     * @param line XPLine index.
+     * @param starts_at_base true when the store's first byte is the line
+     *        base (streaming allocation: no RMW read).
+     */
+    XPAccessOutcome store(uint64_t line, bool starts_at_base);
+
+    /** A load touching line @p line; misses allocate the line clean. */
+    XPAccessOutcome load(uint64_t line);
+
+    /**
+     * Explicit write-back (clwb-style) of @p line if present and dirty.
+     * @return true when a media write was issued.
+     */
+    bool flushLine(uint64_t line);
+
+    /** Number of currently valid lines (for tests). */
+    unsigned validLines() const;
+
+    /**
+     * Write back every dirty line (background drain between phases).
+     * @return the number of lines written back.
+     */
+    unsigned drainDirty();
+
+    /** Drop all lines, writing back nothing (power-cycle of the model). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        uint64_t line = 0;
+        uint32_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool seqAlloc = false;
+    };
+
+    struct Set
+    {
+        std::vector<Entry> entries;
+        uint32_t lruTick = 0;
+        mutable SpinLock lock;
+    };
+
+    Set &setFor(uint64_t line);
+    /** Pick victim way in a locked set: first invalid, else LRU. */
+    Entry &victimIn(Set &set) const;
+
+    XPBufferConfig config_;
+    std::unique_ptr<Set[]> sets_;
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_XPBUFFER_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef XPG_UTIL_LOGGING_HPP
+#define XPG_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace xpg {
+
+namespace detail {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace xpg
+
+/** Abort on a condition that indicates an internal bug. */
+#define XPG_PANIC(msg) ::xpg::detail::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit cleanly on a condition caused by bad user input/configuration. */
+#define XPG_FATAL(msg) ::xpg::detail::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an invariant; active in all build types (cheap checks only). */
+#define XPG_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            XPG_PANIC(std::string("assertion failed: ") + #cond + " - " +  \
+                      (msg));                                               \
+    } while (0)
+
+#endif // XPG_UTIL_LOGGING_HPP

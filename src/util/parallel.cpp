@@ -1,0 +1,100 @@
+#include "util/parallel.hpp"
+
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+
+ParallelExecutor::ParallelExecutor(unsigned num_workers)
+    : numWorkers_(num_workers)
+{
+    XPG_ASSERT(num_workers >= 1, "executor needs at least one worker");
+    deltas_.assign(numWorkers_, 0);
+    if (numWorkers_ == 1)
+        return; // run inline, no pool needed
+    threads_.reserve(numWorkers_);
+    for (unsigned w = 0; w < numWorkers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+    }
+    startCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ParallelExecutor::workerLoop(unsigned w)
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            startCv_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_)
+                return;
+            seen_generation = generation_;
+            task = task_;
+        }
+        SimScope scope;
+        (*task)(w);
+        const uint64_t delta = scope.elapsed();
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            deltas_[w] = delta;
+            if (--remaining_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+ParallelResult
+ParallelExecutor::run(const std::function<void(unsigned)> &fn)
+{
+    ParallelResult result;
+    if (numWorkers_ == 1) {
+        SimScope scope;
+        fn(0);
+        result.workerNanos.assign(1, scope.elapsed());
+        return result;
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        task_ = &fn;
+        remaining_ = numWorkers_;
+        ++generation_;
+    }
+    startCv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&] { return remaining_ == 0; });
+        result.workerNanos = deltas_;
+        task_ = nullptr;
+    }
+    return result;
+}
+
+ParallelResult
+ParallelExecutor::runChunked(
+    uint64_t n,
+    const std::function<void(uint64_t, uint64_t, unsigned)> &fn)
+{
+    const uint64_t per = (n + numWorkers_ - 1) / std::max(1u, numWorkers_);
+    return run([&](unsigned w) {
+        const uint64_t begin = std::min(n, static_cast<uint64_t>(w) * per);
+        const uint64_t end = std::min(n, begin + per);
+        if (begin < end)
+            fn(begin, end, w);
+    });
+}
+
+} // namespace xpg

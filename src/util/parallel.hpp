@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel execution helper that integrates with the simulated clock.
+ *
+ * ParallelExecutor owns a persistent pool of worker threads (like the
+ * archive-thread pool of a real graph store — workers keep their
+ * thread-local state such as memory-pool arenas across phases). run()
+ * executes the supplied functor once per worker and returns each worker's
+ * simulated-nanosecond delta; the simulated duration of the region is the
+ * maximum of those deltas — the behaviour of a real machine with that many
+ * cores — regardless of how many physical cores the host has.
+ */
+
+#ifndef XPG_UTIL_PARALLEL_HPP
+#define XPG_UTIL_PARALLEL_HPP
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpg {
+
+/** Result of a parallel region: per-worker simulated deltas. */
+struct ParallelResult
+{
+    std::vector<uint64_t> workerNanos;
+
+    /** Simulated duration of the region (slowest worker). */
+    uint64_t
+    maxNanos() const
+    {
+        uint64_t m = 0;
+        for (uint64_t ns : workerNanos)
+            m = std::max(m, ns);
+        return m;
+    }
+
+    /** Total simulated work across all workers. */
+    uint64_t
+    sumNanos() const
+    {
+        uint64_t s = 0;
+        for (uint64_t ns : workerNanos)
+            s += ns;
+        return s;
+    }
+};
+
+/**
+ * Persistent pool of simulated workers. Only one run() may be active at a
+ * time (phases are serial in all engines).
+ */
+class ParallelExecutor
+{
+  public:
+    /** @param num_workers Simulated worker (thread) count; must be >= 1. */
+    explicit ParallelExecutor(unsigned num_workers);
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    unsigned numWorkers() const { return numWorkers_; }
+
+    /**
+     * Run @p fn(worker_id) on every worker.
+     * @return per-worker simulated nanosecond deltas.
+     */
+    ParallelResult run(const std::function<void(unsigned)> &fn);
+
+    /**
+     * Convenience: statically partition [0, n) across workers and run
+     * @p fn(begin, end, worker_id) on each non-empty chunk.
+     */
+    ParallelResult runChunked(
+        uint64_t n,
+        const std::function<void(uint64_t, uint64_t, unsigned)> &fn);
+
+  private:
+    void workerLoop(unsigned w);
+
+    unsigned numWorkers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable startCv_;
+    std::condition_variable doneCv_;
+    const std::function<void(unsigned)> *task_ = nullptr;
+    uint64_t generation_ = 0;
+    unsigned remaining_ = 0;
+    bool stopping_ = false;
+    std::vector<uint64_t> deltas_;
+};
+
+} // namespace xpg
+
+#endif // XPG_UTIL_PARALLEL_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A minimal test-and-test-and-set spinlock. Used where critical sections
+ * are a handful of instructions (XPBuffer sets, free-list pushes) and a
+ * std::mutex would dominate the cost being modeled.
+ */
+
+#ifndef XPG_UTIL_SPINLOCK_HPP
+#define XPG_UTIL_SPINLOCK_HPP
+
+#include <atomic>
+
+namespace xpg {
+
+/** Tiny TTAS spinlock satisfying the Lockable requirements. */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock()
+    {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            while (locked_.load(std::memory_order_relaxed)) {
+                // spin on the cached value to avoid bus traffic
+            }
+        }
+        locked_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    try_lock()
+    {
+        if (flag_.test_and_set(std::memory_order_acquire))
+            return false;
+        locked_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+    void
+    unlock()
+    {
+        locked_.store(false, std::memory_order_relaxed);
+        flag_.clear(std::memory_order_release);
+    }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+    std::atomic<bool> locked_{false};
+};
+
+} // namespace xpg
+
+#endif // XPG_UTIL_SPINLOCK_HPP

@@ -1,0 +1,86 @@
+#include "util/table_printer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xpg {
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TablePrinter::bytes(uint64_t b)
+{
+    char buf[64];
+    const double mib = static_cast<double>(b) / (1024.0 * 1024.0);
+    if (mib >= 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", mib / 1024.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f MiB", mib);
+    return buf;
+}
+
+std::string
+TablePrinter::seconds(uint64_t ns, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f",
+                  decimals, static_cast<double>(ns) / 1e9);
+    return buf;
+}
+
+void
+TablePrinter::print() const
+{
+    // Column widths from header + rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].size() > widths[i])
+                widths[i] = cells[i].size();
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            std::printf("%-*s ", static_cast<int>(widths[i] + 1),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    std::fflush(stdout);
+}
+
+} // namespace xpg

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit the same
+ * rows/series the paper's figures and tables report.
+ */
+
+#ifndef XPG_UTIL_TABLE_PRINTER_HPP
+#define XPG_UTIL_TABLE_PRINTER_HPP
+
+#include <string>
+#include <vector>
+
+namespace xpg {
+
+/** Accumulates rows of string cells and prints an aligned ASCII table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a byte count as a human-readable MiB/GiB string. */
+    static std::string bytes(uint64_t b);
+
+    /** Format simulated nanoseconds as seconds. */
+    static std::string seconds(uint64_t ns, int decimals = 3);
+
+    /** Print the table to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xpg
+
+#endif // XPG_UTIL_TABLE_PRINTER_HPP

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Analytics algorithms: results over XPGraph and GraphOne must equal the
+ * CSR reference; binding strategies must not change results, only cost;
+ * small hand-checked graphs pin down exact values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytics/algorithms.hpp"
+#include "baselines/graphone.hpp"
+#include "core/xpgraph.hpp"
+#include "graph/csr_view.hpp"
+#include "graph/generators.hpp"
+
+namespace xpg {
+namespace {
+
+/** Small deterministic workload shared by the equivalence tests. */
+struct Workload
+{
+    vid_t nv;
+    std::vector<Edge> edges;
+};
+
+Workload
+makeWorkload()
+{
+    Workload w;
+    w.nv = 300;
+    w.edges = generateRmat(9, 9000, RmatParams{}, 97);
+    foldVertices(w.edges, w.nv);
+    return w;
+}
+
+std::unique_ptr<XPGraph>
+makeXpgraph(const Workload &w)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(w.nv, 0);
+    c.elogCapacityEdges = 1 << 13;
+    c.bufferingThresholdEdges = 1 << 9;
+    c.archiveThreads = 4;
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, w.edges.size());
+    auto g = std::make_unique<XPGraph>(c);
+    g->addEdges(w.edges.data(), w.edges.size());
+    g->bufferAllEdges();
+    return g;
+}
+
+std::unique_ptr<GraphOne>
+makeGraphone(const Workload &w)
+{
+    GraphOneConfig c;
+    c.maxVertices = w.nv;
+    c.archiveThreads = 4;
+    c.bytesPerNode = graphoneRecommendedBytesPerNode(c, w.edges.size());
+    auto g = std::make_unique<GraphOne>(c);
+    g->addEdges(w.edges.data(), w.edges.size());
+    g->archiveAll();
+    return g;
+}
+
+TEST(Analytics, OneHopCountsMatchReference)
+{
+    const Workload w = makeWorkload();
+    CsrView ref(w.nv, w.edges);
+    auto xpg = makeXpgraph(w);
+    auto g1 = makeGraphone(w);
+
+    std::vector<vid_t> queries;
+    for (vid_t v = 0; v < w.nv; v += 3)
+        queries.push_back(v);
+
+    const auto r_ref = runOneHop(ref, queries, 2);
+    const auto r_xpg = runOneHop(*xpg, queries, 4);
+    const auto r_g1 = runOneHop(*g1, queries, 4);
+    EXPECT_EQ(r_xpg.checksum, r_ref.checksum);
+    EXPECT_EQ(r_g1.checksum, r_ref.checksum);
+    EXPECT_GT(r_xpg.simNs, 0u);
+}
+
+TEST(Analytics, BfsVisitsSameVerticesEverywhere)
+{
+    const Workload w = makeWorkload();
+    CsrView ref(w.nv, w.edges);
+    auto xpg = makeXpgraph(w);
+    auto g1 = makeGraphone(w);
+
+    const vid_t root = 0;
+    const auto r_ref = runBfs(ref, root, 2);
+    const auto r_xpg = runBfs(*xpg, root, 4);
+    const auto r_g1 = runBfs(*g1, root, 4);
+    EXPECT_EQ(r_xpg.touched, r_ref.touched);
+    EXPECT_EQ(r_g1.touched, r_ref.touched);
+    EXPECT_EQ(r_xpg.iterations, r_ref.iterations);
+}
+
+TEST(Analytics, BfsOnPathGraphIsExact)
+{
+    // 0 -> 1 -> 2 -> 3 ; 4 isolated.
+    std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+    CsrView view(5, edges);
+    const auto r = runBfs(view, 0, 2);
+    EXPECT_EQ(r.touched, 4u);
+    EXPECT_EQ(r.iterations, 4u); // three expanding levels + empty check
+}
+
+TEST(Analytics, PageRankMatchesReferenceChecksum)
+{
+    const Workload w = makeWorkload();
+    CsrView ref(w.nv, w.edges);
+    auto xpg = makeXpgraph(w);
+
+    const auto r_ref = runPageRank(ref, 5, 2);
+    const auto r_xpg = runPageRank(*xpg, 5, 4);
+    // Rank sums must agree to the checksum quantization; summation order
+    // inside one vertex is identical (sorted in ref vs arrival order in
+    // XPGraph), so allow a tiny FP slack.
+    EXPECT_NEAR(static_cast<double>(r_xpg.checksum),
+                static_cast<double>(r_ref.checksum), 10.0);
+    EXPECT_EQ(r_xpg.iterations, 5u);
+}
+
+TEST(Analytics, PageRankSumsToOne)
+{
+    const Workload w = makeWorkload();
+    CsrView ref(w.nv, w.edges);
+    const auto r = runPageRank(ref, 10, 2);
+    // Sum of ranks stays ~1 (dangling mass is redistributed as 0.15
+    // floor; allow generous slack for dangling-vertex leakage).
+    EXPECT_GT(r.checksum, 100000u); // > 0.1 after 1e6 quantization
+    EXPECT_LE(r.checksum, 1100000u);
+}
+
+TEST(Analytics, ConnectedComponentsCountsExactly)
+{
+    // Two triangles and an isolated vertex: 3 components.
+    std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0},
+                            {3, 4}, {4, 5}, {5, 3}};
+    CsrView view(7, edges);
+    const auto r = runConnectedComponents(view, 2);
+    EXPECT_EQ(r.checksum, 3u);
+}
+
+TEST(Analytics, ConnectedComponentsMatchesReference)
+{
+    const Workload w = makeWorkload();
+    CsrView ref(w.nv, w.edges);
+    auto xpg = makeXpgraph(w);
+    auto g1 = makeGraphone(w);
+
+    const auto r_ref = runConnectedComponents(ref, 2);
+    const auto r_xpg = runConnectedComponents(*xpg, 4);
+    const auto r_g1 = runConnectedComponents(*g1, 4);
+    EXPECT_EQ(r_xpg.checksum, r_ref.checksum);
+    EXPECT_EQ(r_g1.checksum, r_ref.checksum);
+}
+
+TEST(Analytics, BindingStrategiesAgreeOnResults)
+{
+    const Workload w = makeWorkload();
+    auto xpg = makeXpgraph(w);
+    const auto bound = runBfs(*xpg, 0, 4, QueryBinding::PerRound);
+    const auto unbound = runBfs(*xpg, 0, 4, QueryBinding::None);
+    const auto per_vertex = runBfs(*xpg, 0, 4, QueryBinding::PerVertex);
+    EXPECT_EQ(bound.touched, unbound.touched);
+    EXPECT_EQ(bound.touched, per_vertex.touched);
+}
+
+TEST(Analytics, PerVertexBindingIsExpensive)
+{
+    // The anti-pattern of S III-D: constant thread migration costs far
+    // more than the remote accesses it avoids.
+    const Workload w = makeWorkload();
+    auto xpg = makeXpgraph(w);
+    std::vector<vid_t> queries;
+    for (vid_t v = 0; v < w.nv; ++v)
+        queries.push_back(v);
+    const auto per_round =
+        runOneHop(*xpg, queries, 4, QueryBinding::PerRound);
+    const auto per_vertex =
+        runOneHop(*xpg, queries, 4, QueryBinding::PerVertex);
+    EXPECT_GT(per_vertex.simNs, 2 * per_round.simNs);
+}
+
+TEST(Analytics, QueryBindingBeatsUnboundOnXPGraph)
+{
+    // Sub-graph placement + per-round binding avoids remote PMEM reads.
+    // Needs enough query volume that remote-read savings dominate the
+    // per-round classification and one-off binding costs.
+    // Uniform degrees isolate the remote-read effect from the load
+    // variance that hub vertices add at this tiny scale.
+    Workload w;
+    w.nv = 4000;
+    w.edges = generateUniform(w.nv, 120000, 111);
+    auto xpg = makeXpgraph(w);
+    xpg->flushAllVbufs(); // force queries to hit PMEM
+    std::vector<vid_t> queries;
+    for (vid_t v = 0; v < w.nv; ++v)
+        queries.push_back(v);
+    const auto bound =
+        runOneHop(*xpg, queries, 4, QueryBinding::PerRound);
+    const auto unbound = runOneHop(*xpg, queries, 4, QueryBinding::None);
+    EXPECT_LT(bound.simNs, unbound.simNs);
+}
+
+} // namespace
+} // namespace xpg

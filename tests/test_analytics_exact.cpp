@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Exact-value analytics tests on hand-constructed graphs: known BFS
+ * levels, PageRank fixed points, component structures, and one-hop
+ * checksums — pinning algorithm semantics independent of any store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analytics/algorithms.hpp"
+#include "graph/csr_view.hpp"
+
+namespace xpg {
+namespace {
+
+TEST(AnalyticsExact, OneHopChecksumIsTotalDegree)
+{
+    // Star: 0 -> {1,2,3,4}.
+    std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+    CsrView view(5, edges);
+    std::vector<vid_t> queries{0, 1, 0};
+    const auto r = runOneHop(view, queries, 2);
+    EXPECT_EQ(r.checksum, 8u); // 4 + 0 + 4
+    EXPECT_EQ(r.touched, 3u);
+}
+
+TEST(AnalyticsExact, BfsLevelsOnBinaryTree)
+{
+    // Perfect binary tree of 7 vertices: 3 expanding levels + final
+    // empty-frontier check.
+    std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {1, 4},
+                            {2, 5}, {2, 6}};
+    CsrView view(7, edges);
+    const auto r = runBfs(view, 0, 4);
+    EXPECT_EQ(r.touched, 7u);
+    EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(AnalyticsExact, BfsFollowsEdgeDirection)
+{
+    std::vector<Edge> edges{{1, 0}}; // only an in-edge for 0
+    CsrView view(2, edges);
+    const auto r = runBfs(view, 0, 1);
+    EXPECT_EQ(r.touched, 1u); // cannot traverse backwards
+}
+
+TEST(AnalyticsExact, BfsFromIsolatedVertex)
+{
+    CsrView view(3, std::vector<Edge>{{1, 2}});
+    const auto r = runBfs(view, 0, 2);
+    EXPECT_EQ(r.touched, 1u);
+}
+
+TEST(AnalyticsExact, PageRankUniformOnRing)
+{
+    // Directed ring: symmetric, so every vertex ends at rank 1/n.
+    const vid_t n = 8;
+    std::vector<Edge> edges;
+    for (vid_t v = 0; v < n; ++v)
+        edges.push_back(Edge{v, static_cast<vid_t>((v + 1) % n)});
+    CsrView view(n, edges);
+    const auto r = runPageRank(view, 20, 2);
+    // checksum = floor(sum(rank) * 1e6); ranks sum to 1 on a ring.
+    EXPECT_NEAR(static_cast<double>(r.checksum), 1e6, 2000.0);
+}
+
+TEST(AnalyticsExact, PageRankPrefersHighInDegree)
+{
+    // 0 and 1 both point at 2; 2 points at 0. Vertex 2 must rank top.
+    std::vector<Edge> edges{{0, 2}, {1, 2}, {2, 0}};
+    CsrView view(3, edges);
+    // Run manually to inspect: reuse the library then recompute here.
+    const auto r = runPageRank(view, 30, 1);
+    EXPECT_GT(r.checksum, 0u);
+    // Reference power iteration.
+    std::vector<double> rank(3, 1.0 / 3), next(3);
+    for (int it = 0; it < 30; ++it) {
+        const double base = 0.15 / 3;
+        next[0] = base + 0.85 * rank[2] / 1;
+        next[1] = base;
+        next[2] = base + 0.85 * (rank[0] / 1 + rank[1] / 1);
+        rank = next;
+    }
+    EXPECT_GT(rank[2], rank[0]);
+    EXPECT_GT(rank[0], rank[1]);
+}
+
+TEST(AnalyticsExact, ConnectedComponentsOnForest)
+{
+    // Chain 0-1-2, pair 3-4, isolated 5 and 6: 4 components.
+    std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}};
+    CsrView view(7, edges);
+    const auto r = runConnectedComponents(view, 2);
+    EXPECT_EQ(r.checksum, 4u);
+}
+
+TEST(AnalyticsExact, CcTreatsDirectionAsUndirected)
+{
+    // Directed both ways: still one component across the arrows.
+    std::vector<Edge> edges{{0, 1}, {2, 1}};
+    CsrView view(3, edges);
+    const auto r = runConnectedComponents(view, 2);
+    EXPECT_EQ(r.checksum, 1u);
+}
+
+TEST(AnalyticsExact, CcConvergesOnLongChain)
+{
+    const vid_t n = 60;
+    std::vector<Edge> edges;
+    for (vid_t v = 0; v + 1 < n; ++v)
+        edges.push_back(Edge{v, static_cast<vid_t>(v + 1)});
+    CsrView view(n, edges);
+    const auto r = runConnectedComponents(view, 4);
+    EXPECT_EQ(r.checksum, 1u);
+    EXPECT_LT(r.iterations, 64u) << "must converge within the cap";
+}
+
+TEST(AnalyticsExact, ThreadCountDoesNotChangeResults)
+{
+    std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}};
+    CsrView view(6, edges);
+    for (unsigned threads : {1u, 2u, 8u, 32u}) {
+        EXPECT_EQ(runBfs(view, 0, threads).touched, 4u)
+            << threads << " threads";
+        EXPECT_EQ(runConnectedComponents(view, threads).checksum, 2u)
+            << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace xpg

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Generators and dataset catalog: determinism, range validity, power-law
+ * skew, vertex folding, scaling behaviour, and the catalog contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace xpg {
+namespace {
+
+std::vector<uint32_t>
+outDegrees(vid_t nv, const std::vector<Edge> &edges)
+{
+    std::vector<uint32_t> deg(nv, 0);
+    for (const Edge &e : edges)
+        ++deg[rawVid(e.src)];
+    return deg;
+}
+
+TEST(Generators, RmatIsDeterministic)
+{
+    const auto a = generateRmat(10, 5000, RmatParams{}, 42);
+    const auto b = generateRmat(10, 5000, RmatParams{}, 42);
+    EXPECT_EQ(a, b);
+    const auto c = generateRmat(10, 5000, RmatParams{}, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(Generators, RmatEndpointsInRange)
+{
+    const unsigned scale = 12;
+    const auto edges = generateRmat(scale, 20000, RmatParams{}, 1);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 1u << scale);
+        EXPECT_LT(e.dst, 1u << scale);
+    }
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    // Power-law shape: the top 1% of vertices should hold a large share
+    // of edges, and many vertices should have degree <= 2 (the paper's
+    // S III-C observation driving hierarchical buffers).
+    const vid_t nv = 1 << 12;
+    const auto edges = generateRmat(12, 100000, RmatParams{}, 3);
+    auto deg = outDegrees(nv, edges);
+    std::sort(deg.begin(), deg.end(), std::greater<>());
+    uint64_t top = 0;
+    for (size_t i = 0; i < deg.size() / 100; ++i)
+        top += deg[i];
+    EXPECT_GT(top * 5, static_cast<uint64_t>(edges.size()))
+        << "top 1% holds < 20% of edges: not skewed";
+
+    size_t low = 0;
+    for (uint32_t d : deg)
+        low += d <= 2;
+    EXPECT_GT(low * 100, deg.size() * 30)
+        << "fewer than 30% of vertices have degree <= 2";
+}
+
+TEST(Generators, UniformIsNotSkewed)
+{
+    const vid_t nv = 1 << 12;
+    const auto edges = generateUniform(nv, 100000, 3);
+    auto deg = outDegrees(nv, edges);
+    const auto max_deg = *std::max_element(deg.begin(), deg.end());
+    EXPECT_LT(max_deg, 100u); // mean ~24; Poisson tail stays low
+}
+
+TEST(Generators, FoldMapsIntoRange)
+{
+    auto edges = generateRmat(12, 10000, RmatParams{}, 7);
+    foldVertices(edges, 1000);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 1000u);
+        EXPECT_LT(e.dst, 1000u);
+    }
+}
+
+TEST(Generators, FoldPreservesSkew)
+{
+    auto edges = generateRmat(12, 100000, RmatParams{}, 7);
+    foldVertices(edges, 1000);
+    auto deg = outDegrees(1000, edges);
+    std::sort(deg.begin(), deg.end(), std::greater<>());
+    uint64_t top = 0;
+    for (size_t i = 0; i < 10; ++i)
+        top += deg[i];
+    // Top 1% of the folded vertices still hold >10% of all edges.
+    EXPECT_GT(top * 10, 100000u);
+}
+
+TEST(Datasets, CatalogHasTheSevenPaperGraphs)
+{
+    const auto &catalog = datasetCatalog();
+    ASSERT_EQ(catalog.size(), 7u);
+    EXPECT_EQ(catalog[0].abbrev, "TT");
+    EXPECT_EQ(catalog[3].abbrev, "YW");
+    EXPECT_EQ(catalog[6].abbrev, "K30");
+    EXPECT_EQ(catalog[1].paperEdges, 2'600'000'000ull); // Friendster
+}
+
+TEST(Datasets, LookupByAbbrevWorksAndUnknownIsFatal)
+{
+    EXPECT_EQ(datasetByAbbrev("UK").name, "UKdomain");
+    EXPECT_EXIT(datasetByAbbrev("nope"), ::testing::ExitedWithCode(1),
+                "unknown dataset");
+}
+
+TEST(Datasets, ScalePreservesEdgeVertexRatio)
+{
+    const auto &spec = datasetByAbbrev("FS");
+    const Dataset ds = generateDataset(spec, 12);
+    const double paper_ratio = static_cast<double>(spec.paperEdges) /
+                               static_cast<double>(spec.paperVertices);
+    const double scaled_ratio =
+        static_cast<double>(ds.edges.size()) /
+        static_cast<double>(ds.numVertices);
+    EXPECT_NEAR(scaled_ratio, paper_ratio, paper_ratio * 0.15);
+}
+
+TEST(Datasets, DeeperShiftHalvesSizes)
+{
+    const auto &spec = datasetByAbbrev("TT");
+    const Dataset big = generateDataset(spec, 11);
+    const Dataset small = generateDataset(spec, 12);
+    EXPECT_NEAR(static_cast<double>(big.edges.size()),
+                2.0 * static_cast<double>(small.edges.size()),
+                0.01 * static_cast<double>(big.edges.size()));
+}
+
+TEST(Datasets, KronKeepsPowerOfTwoVertices)
+{
+    const Dataset ds = generateDataset(datasetByAbbrev("K28"), 12);
+    EXPECT_EQ(ds.numVertices & (ds.numVertices - 1), 0u);
+}
+
+TEST(Datasets, YahooWebHasSparseActiveIds)
+{
+    const Dataset ds = generateDataset(datasetByAbbrev("YW"), 12);
+    std::vector<uint8_t> touched(ds.numVertices, 0);
+    for (const Edge &e : ds.edges) {
+        touched[rawVid(e.src)] = 1;
+        touched[rawVid(e.dst)] = 1;
+    }
+    const auto active = std::count(touched.begin(), touched.end(), 1);
+    EXPECT_LT(static_cast<uint64_t>(active), ds.numVertices / 4)
+        << "YW stand-in should leave most vertex ids unused";
+}
+
+TEST(Datasets, EdgesAreInRange)
+{
+    for (const char *abbrev : {"TT", "FS", "UK", "YW", "K28"}) {
+        const Dataset ds =
+            generateDataset(datasetByAbbrev(abbrev), 13);
+        for (const Edge &e : ds.edges) {
+            ASSERT_LT(rawVid(e.src), ds.numVertices) << abbrev;
+            ASSERT_LT(rawVid(e.dst), ds.numVertices) << abbrev;
+        }
+    }
+}
+
+} // namespace
+} // namespace xpg

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * GraphOne baseline: correctness against CSR across its variants, and the
+ * access-pattern properties the paper's motivation section measures
+ * (archiving amplification on PMEM, logging being cheap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/graphone.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace xpg {
+namespace {
+
+GraphOneConfig
+testConfig(vid_t nv, uint64_t ne, GraphOneVariant variant)
+{
+    GraphOneConfig c;
+    c.maxVertices = nv;
+    c.variant = variant;
+    c.elogCapacityEdges = 1 << 14;
+    c.archiveThresholdEdges = 1 << 10;
+    c.archiveThreads = 4;
+    c.bytesPerNode = graphoneRecommendedBytesPerNode(c, ne);
+    return c;
+}
+
+void
+expectMatchesCsr(GraphOne &graph, vid_t nv, const std::vector<Edge> &edges)
+{
+    graph.archiveAll();
+    const Csr out_csr(nv, edges, false);
+    const Csr in_csr(nv, edges, true);
+    std::vector<vid_t> nebrs;
+    for (vid_t v = 0; v < nv; ++v) {
+        nebrs.clear();
+        graph.getNebrsOut(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect = out_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect.size()) << "out-degree of " << v;
+        EXPECT_TRUE(std::equal(nebrs.begin(), nebrs.end(), expect.begin()));
+
+        nebrs.clear();
+        graph.getNebrsIn(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect_in = in_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect_in.size()) << "in-degree of " << v;
+        EXPECT_TRUE(
+            std::equal(nebrs.begin(), nebrs.end(), expect_in.begin()));
+    }
+}
+
+class GraphOneVariants
+    : public ::testing::TestWithParam<GraphOneVariant>
+{
+};
+
+TEST_P(GraphOneVariants, MatchesCsr)
+{
+    const vid_t nv = 400;
+    auto edges = generateRmat(9, 12000, RmatParams{}, 51);
+    foldVertices(edges, nv);
+    GraphOne graph(testConfig(nv, edges.size(), GetParam()));
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GraphOneVariants,
+    ::testing::Values(GraphOneVariant::Dram, GraphOneVariant::Pmem,
+                      GraphOneVariant::Nova, GraphOneVariant::MemoryMode),
+    [](const ::testing::TestParamInfo<GraphOneVariant> &info) {
+        switch (info.param) {
+          case GraphOneVariant::Dram: return "Dram";
+          case GraphOneVariant::Pmem: return "Pmem";
+          case GraphOneVariant::Nova: return "Nova";
+          case GraphOneVariant::MemoryMode: return "MemoryMode";
+        }
+        return "unknown";
+    });
+
+TEST(GraphOne, DeleteCancelsEdge)
+{
+    const vid_t nv = 16;
+    GraphOne graph(testConfig(nv, 100, GraphOneVariant::Pmem));
+    graph.addEdge(1, 2);
+    graph.addEdge(1, 3);
+    graph.delEdge(1, 2);
+    graph.archiveAll();
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsOut(1, nebrs), 1u);
+    EXPECT_EQ(nebrs[0], 3u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsIn(2, nebrs), 0u);
+}
+
+TEST(GraphOne, ArchivingAmplifiesOnPmem)
+{
+    // The paper's motivation (Fig.3): GraphOne's per-edge 4-byte
+    // adjacency writes amplify heavily on PMEM, while logging does not.
+    const vid_t nv = 1 << 14;
+    auto edges = generateRmat(14, 200000, RmatParams{}, 3);
+    GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
+    graph.addEdges(edges.data(), edges.size());
+    graph.archiveAll();
+    const PcmCounters c = graph.pmemCounters();
+    // Media writes far exceed useful adjacency bytes (2*|E|*4B).
+    const double useful = 2.0 * edges.size() * sizeof(vid_t);
+    EXPECT_GT(static_cast<double>(c.mediaBytesWritten), 3.0 * useful);
+    EXPECT_GT(static_cast<double>(c.mediaBytesRead), 3.0 * useful);
+}
+
+TEST(GraphOne, LoggingIsCheapArchivingIsNot)
+{
+    const vid_t nv = 1 << 12;
+    auto edges = generateRmat(12, 100000, RmatParams{}, 7);
+    GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
+    graph.addEdges(edges.data(), edges.size());
+    graph.archiveAll();
+    const IngestStats s = graph.stats();
+    EXPECT_GT(s.archivingNs(), 5 * s.loggingNs);
+}
+
+TEST(GraphOne, NovaIsMuchSlowerThanPmem)
+{
+    const vid_t nv = 1 << 12;
+    auto edges = generateRmat(12, 60000, RmatParams{}, 7);
+
+    auto run = [&](GraphOneVariant variant) {
+        GraphOne graph(testConfig(nv, edges.size(), variant));
+        graph.addEdges(edges.data(), edges.size());
+        graph.archiveAll();
+        return graph.stats().ingestNs();
+    };
+    const uint64_t pmem_ns = run(GraphOneVariant::Pmem);
+    const uint64_t nova_ns = run(GraphOneVariant::Nova);
+    EXPECT_GT(nova_ns, 4 * pmem_ns);
+}
+
+TEST(GraphOne, StatsAndMemoryUsage)
+{
+    const vid_t nv = 256;
+    auto edges = generateUniform(nv, 20000, 19);
+    GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
+    graph.addEdges(edges.data(), edges.size());
+    graph.archiveAll();
+    const IngestStats s = graph.stats();
+    EXPECT_EQ(s.edgesLogged, edges.size());
+    EXPECT_EQ(s.edgesBuffered, edges.size());
+    EXPECT_GT(s.bufferingPhases, 0u);
+    const MemoryUsage mu = graph.memoryUsage();
+    EXPECT_GT(mu.metaBytes, 0u);
+    EXPECT_GT(mu.pblkBytes, 2 * edges.size() * sizeof(vid_t));
+}
+
+TEST(GraphOne, LogWrapsUnderSmallCapacity)
+{
+    const vid_t nv = 128;
+    GraphOneConfig c = testConfig(nv, 50000, GraphOneVariant::Pmem);
+    c.elogCapacityEdges = 1 << 10;
+    c.archiveThresholdEdges = 1 << 8;
+    auto edges = generateUniform(nv, 40000, 23);
+    GraphOne graph(c);
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+}
+
+} // namespace
+} // namespace xpg

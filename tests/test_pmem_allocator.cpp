@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Persistent bump allocator: alignment, accounting, exhaustion,
+ * concurrency, and tail recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pmem/pmem_allocator.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/xpline.hpp"
+
+namespace xpg {
+namespace {
+
+constexpr uint64_t kTailOff = 64;
+constexpr uint64_t kRegionStart = 4096;
+
+TEST(PmemAllocator, AllocationsAreDisjointAndAligned)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    uint64_t prev_end = 0;
+    for (int i = 1; i <= 50; ++i) {
+        const uint64_t off = alloc.alloc(i * 8, kXPLineSize);
+        EXPECT_EQ(off % kXPLineSize, 0u);
+        EXPECT_GE(off, prev_end);
+        EXPECT_GE(off, kRegionStart);
+        prev_end = off + i * 8;
+    }
+}
+
+TEST(PmemAllocator, SupportsSmallAlignments)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    const uint64_t a = alloc.alloc(4, 64);
+    const uint64_t b = alloc.alloc(4, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(PmemAllocator, UsedAndAvailableTrackAllocations)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    EXPECT_EQ(alloc.used(), 0u);
+    const uint64_t before = alloc.available();
+    alloc.alloc(kXPLineSize, kXPLineSize);
+    EXPECT_EQ(alloc.used(), kXPLineSize);
+    EXPECT_EQ(alloc.available(), before - kXPLineSize);
+}
+
+TEST(PmemAllocator, ExhaustionIsFatal)
+{
+    PmemDevice dev("t", 64 << 10, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 64 << 10, kTailOff);
+    EXPECT_EXIT(
+        {
+            for (int i = 0; i < 1000; ++i)
+                alloc.alloc(kXPLineSize, kXPLineSize);
+        },
+        ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(PmemAllocator, RecoverContinuesWhereItStopped)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint64_t last_end = 0;
+    {
+        PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+        for (int i = 0; i < 10; ++i)
+            last_end = alloc.alloc(100, kXPLineSize) + 100;
+    }
+    auto recovered =
+        PmemAllocator::recover(dev, kRegionStart, 1 << 20, kTailOff);
+    const uint64_t next = recovered->alloc(100, kXPLineSize);
+    EXPECT_GE(next, last_end);
+}
+
+TEST(PmemAllocator, RecoverRejectsCorruptTail)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    // Corrupt the persistent tail beyond the region.
+    dev.writePod<uint64_t>(kTailOff, 2ull << 20);
+    EXPECT_DEATH(
+        PmemAllocator::recover(dev, kRegionStart, 1 << 20, kTailOff),
+        "out of region");
+}
+
+TEST(PmemAllocator, ConcurrentAllocationsDoNotOverlap)
+{
+    PmemDevice dev("t", 8 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 8 << 20, kTailOff);
+    std::vector<std::vector<uint64_t>> per_thread(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&alloc, &per_thread, t] {
+            for (int i = 0; i < 500; ++i)
+                per_thread[t].push_back(
+                    alloc.alloc(kXPLineSize, kXPLineSize));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    std::set<uint64_t> all;
+    for (const auto &list : per_thread)
+        for (uint64_t off : list)
+            EXPECT_TRUE(all.insert(off).second) << "overlap at " << off;
+    EXPECT_EQ(all.size(), 2000u);
+}
+
+} // namespace
+} // namespace xpg

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * PmemDevice model: data integrity, counter accounting (amplification),
+ * NUMA remote detection, persist behaviour, and simulated-time charging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "pmem/numa_topology.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/xpline.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace xpg {
+namespace {
+
+class PmemDeviceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { NumaBinding::unbindThread(); }
+    void TearDown() override { NumaBinding::unbindThread(); }
+};
+
+TEST_F(PmemDeviceTest, ReadBackWrittenData)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    std::vector<uint8_t> data(1000);
+    std::iota(data.begin(), data.end(), 0);
+    dev.write(123, data.data(), data.size());
+    std::vector<uint8_t> back(1000);
+    dev.read(123, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST_F(PmemDeviceTest, AppCountersTrackRequests)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint32_t v = 42;
+    dev.write(0, &v, 4);
+    dev.read(0, &v, 4);
+    const auto c = dev.counters();
+    EXPECT_EQ(c.appBytesWritten, 4u);
+    EXPECT_EQ(c.appBytesRead, 4u);
+}
+
+TEST_F(PmemDeviceTest, RandomSmallWritesAmplify)
+{
+    // Scatter 4-byte writes across far more lines than the XPBuffer holds:
+    // nearly every store becomes a 256 B read-modify-write.
+    PmemDevice dev("t", 64 << 20, 0, 1);
+    Rng rng(1);
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i) {
+        const uint64_t off =
+            4 + kXPLineSize * rng.nextBounded((64 << 20) / kXPLineSize - 1);
+        uint32_t v = i;
+        dev.write(off, &v, 4);
+    }
+    const auto c = dev.counters();
+    // ~64x write amplification modulo buffer residue.
+    EXPECT_GT(c.writeAmplification(), 30.0);
+    EXPECT_GT(c.readAmplification(), 30.0 * 4 / 4);
+}
+
+TEST_F(PmemDeviceTest, SequentialStreamDoesNotAmplify)
+{
+    PmemDevice dev("t", 8 << 20, 0, 1);
+    std::vector<uint8_t> chunk(kXPLineSize);
+    for (uint64_t off = 0; off < (4 << 20);
+         off += kXPLineSize)
+        dev.write(off, chunk.data(), chunk.size());
+    const auto c = dev.counters();
+    EXPECT_EQ(c.mediaBytesRead, 0u); // no RMW reads for line-base streams
+    EXPECT_LE(c.mediaBytesWritten, c.appBytesWritten);
+}
+
+TEST_F(PmemDeviceTest, PersistForcesWriteBack)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint32_t v = 7;
+    dev.write(0, &v, 4);
+    const auto before = dev.counters();
+    dev.persist(0, 4);
+    const auto after = dev.counters();
+    EXPECT_EQ(after.mediaBytesWritten - before.mediaBytesWritten,
+              kXPLineSize);
+    // Second persist of a clean line is free.
+    dev.persist(0, 4);
+    EXPECT_EQ(dev.counters().mediaBytesWritten, after.mediaBytesWritten);
+}
+
+TEST_F(PmemDeviceTest, RemoteAccessCountedForBoundThreads)
+{
+    PmemDevice dev("t", 1 << 20, /*node=*/0, /*num_nodes=*/2);
+    NumaBinding::bindThread(0, false);
+    uint32_t v = 1;
+    dev.write(kXPLineSize, &v, 4);
+    EXPECT_EQ(dev.counters().remoteAccesses, 0u);
+    NumaBinding::bindThread(1, false);
+    dev.write(5 * kXPLineSize + 4, &v, 4);
+    EXPECT_GT(dev.counters().remoteAccesses, 0u);
+}
+
+TEST_F(PmemDeviceTest, RemoteAccessCostsMore)
+{
+    CostParams params = globalCostParams();
+    PmemDevice local("l", 4 << 20, 0, 2, "", XPBufferConfig{}, &params);
+    PmemDevice remote("r", 4 << 20, 1, 2, "", XPBufferConfig{}, &params);
+    NumaBinding::bindThread(0, false);
+
+    auto scatter = [](PmemDevice &dev) {
+        const uint64_t start = SimClock::now();
+        Rng rng(3);
+        for (unsigned i = 0; i < 4000; ++i) {
+            uint32_t v = i;
+            dev.write(4 + kXPLineSize * rng.nextBounded(8000), &v, 4);
+        }
+        return SimClock::now() - start;
+    };
+    const uint64_t local_ns = scatter(local);
+    const uint64_t remote_ns = scatter(remote);
+    EXPECT_GT(remote_ns, local_ns * 3 / 2);
+}
+
+TEST_F(PmemDeviceTest, WriteContentionSlowsRandomStores)
+{
+    PmemDevice dev("t", 4 << 20, 0, 1);
+    auto scatter = [&dev](uint64_t seed) {
+        const uint64_t start = SimClock::now();
+        Rng rng(seed);
+        for (unsigned i = 0; i < 4000; ++i) {
+            uint32_t v = i;
+            dev.write(4 + kXPLineSize * rng.nextBounded(8000), &v, 4);
+        }
+        return SimClock::now() - start;
+    };
+    dev.setDeclaredWriters(1);
+    const uint64_t quiet = scatter(11);
+    dev.setDeclaredWriters(32);
+    const uint64_t contended = scatter(12);
+    EXPECT_GT(contended, quiet * 2);
+}
+
+TEST_F(PmemDeviceTest, FileBackingSurvivesReopen)
+{
+    const std::string path = ::testing::TempDir() + "/pmem_backing.bin";
+    std::remove(path.c_str());
+    {
+        PmemDevice dev("t", 1 << 20, 0, 1, path);
+        uint64_t v = 0xdeadbeefcafef00dull;
+        dev.write(4096, &v, 8);
+        dev.syncBacking();
+    }
+    {
+        PmemDevice dev("t", 1 << 20, 0, 1, path);
+        uint64_t v = 0;
+        dev.read(4096, &v, 8);
+        EXPECT_EQ(v, 0xdeadbeefcafef00dull);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(PmemDeviceTest, OutOfRangeAccessPanics)
+{
+    PmemDevice dev("t", 4096, 0, 1);
+    uint32_t v = 0;
+    EXPECT_DEATH(dev.write(4096, &v, 4), "out of range");
+    EXPECT_DEATH(dev.read(4094, &v, 4), "out of range");
+}
+
+} // namespace
+} // namespace xpg

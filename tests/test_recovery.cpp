@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Crash/recovery integration: a file-backed XPGraph is destroyed at
+ * various points of its lifecycle (all DRAM state lost) and recovered
+ * from the device images; the recovered graph must equal the pre-crash
+ * graph (paper S III-B / S V-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/xpgraph.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace xpg {
+namespace {
+
+class RecoveryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = ::testing::TempDir() + "/xpg_recovery_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    XPGraphConfig
+    config(vid_t nv, uint64_t ne)
+    {
+        XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+        c.backingDir = dir_;
+        c.elogCapacityEdges = 1 << 13;
+        c.bufferingThresholdEdges = 1 << 9;
+        c.archiveThreads = 4;
+        c.pmemBytesPerNode = recommendedBytesPerNode(c, ne);
+        return c;
+    }
+
+    std::string dir_;
+};
+
+void
+expectSameNeighbors(XPGraph &graph, const Csr &out_csr, const Csr &in_csr)
+{
+    std::vector<vid_t> nebrs;
+    for (vid_t v = 0; v < graph.numVertices(); ++v) {
+        nebrs.clear();
+        graph.getNebrsOut(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect = out_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect.size()) << "out-degree of " << v;
+        EXPECT_TRUE(std::equal(nebrs.begin(), nebrs.end(), expect.begin()));
+
+        nebrs.clear();
+        graph.getNebrsIn(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect_in = in_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect_in.size()) << "in-degree of " << v;
+        EXPECT_TRUE(
+            std::equal(nebrs.begin(), nebrs.end(), expect_in.begin()));
+    }
+}
+
+TEST_F(RecoveryTest, RecoverAfterFullFlush)
+{
+    const vid_t nv = 300;
+    auto edges = generateRmat(9, 12000, RmatParams{}, 5);
+    foldVertices(edges, nv);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        graph.syncBackings();
+        // destructor: "crash" — all DRAM state gone
+    }
+    auto recovered = XPGraph::recover(c);
+    recovered->bufferAllEdges();
+    expectSameNeighbors(*recovered, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
+    EXPECT_GT(recovered->stats().recoveryNs, 0u);
+}
+
+/** Distinct edges (recovery's PMEM-dedup check drops duplicate edges
+ *  by design, paper S III-B; see RecoverDropsDuplicateOfFlushedEdge). */
+std::vector<Edge>
+distinctEdges(vid_t nv, uint64_t n, uint64_t seed)
+{
+    auto edges = generateUniform(nv, n * 2, seed);
+    std::sort(edges.begin(), edges.end(), [](const Edge &a, const Edge &b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    if (edges.size() > n)
+        edges.resize(n);
+    return edges;
+}
+
+TEST_F(RecoveryTest, RecoverWithUnflushedBuffers)
+{
+    // Crash with edges sitting in (lost) DRAM vertex buffers: they must
+    // be replayed from the log window [flushedUpTo, bufferedUpTo).
+    const vid_t nv = 200;
+    auto edges = distinctEdges(nv, 6000, 77);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges(); // buffered, NOT flushed
+        graph.syncBackings();
+    }
+    auto recovered = XPGraph::recover(c);
+    recovered->bufferAllEdges();
+    expectSameNeighbors(*recovered, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
+}
+
+TEST_F(RecoveryTest, RecoverWithNonBufferedLogEdges)
+{
+    // Crash with edges only in the log: they stay pending and are
+    // archived by the next buffering phase after recovery.
+    const vid_t nv = 100;
+    auto edges = generateUniform(nv, 3000, 31);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        // Log without triggering archiving for the tail edges.
+        graph.addEdges(edges.data(), edges.size());
+        graph.syncBackings();
+    }
+    auto recovered = XPGraph::recover(c);
+    recovered->bufferAllEdges();
+    expectSameNeighbors(*recovered, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
+}
+
+TEST_F(RecoveryTest, RecoveredGraphAcceptsNewEdges)
+{
+    const vid_t nv = 100;
+    auto edges = generateUniform(nv, 3000, 41);
+    const XPGraphConfig c = config(nv, edges.size() * 2);
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        graph.syncBackings();
+    }
+    auto recovered = XPGraph::recover(c);
+    auto more = generateUniform(nv, 3000, 42);
+    recovered->addEdges(more.data(), more.size());
+    recovered->bufferAllEdges();
+
+    std::vector<Edge> all = edges;
+    all.insert(all.end(), more.begin(), more.end());
+    expectSameNeighbors(*recovered, Csr(nv, all, false),
+                        Csr(nv, all, true));
+}
+
+TEST_F(RecoveryTest, RecoverPreservesDeletes)
+{
+    const vid_t nv = 50;
+    const XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.addEdge(1, 3);
+        graph.delEdge(1, 2);
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        graph.syncBackings();
+    }
+    auto recovered = XPGraph::recover(c);
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(recovered->getNebrsOut(1, nebrs), 1u);
+    EXPECT_EQ(nebrs[0], 3u);
+}
+
+TEST_F(RecoveryTest, RecoverDropsDuplicateOfFlushedEdge)
+{
+    // Documented consequence of the paper's redundancy check (S III-B):
+    // a replayed edge whose twin already reached PMEM is dropped, so a
+    // legitimate duplicate ingested after a flush does not survive a
+    // crash that catches it in a DRAM vertex buffer.
+    const vid_t nv = 10;
+    const XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.bufferAllEdges();
+        graph.flushAllVbufs(); // first copy reaches PMEM
+        graph.addEdge(1, 2);   // duplicate
+        graph.bufferAllEdges(); // duplicate buffered, not flushed
+        graph.syncBackings();
+    }
+    auto recovered = XPGraph::recover(c);
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(recovered->getNebrsOut(1, nebrs), 1u)
+        << "duplicate was dropped by the recovery dedup check";
+}
+
+TEST_F(RecoveryTest, RecoverRequiresBackingFiles)
+{
+    XPGraphConfig c = config(10, 100);
+    EXPECT_EXIT(XPGraph::recover(c), ::testing::ExitedWithCode(1),
+                "missing backing file");
+}
+
+TEST_F(RecoveryTest, RecoverRejectsMismatchedConfig)
+{
+    const vid_t nv = 100;
+    XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.syncBackings();
+    }
+    XPGraphConfig wrong = c;
+    wrong.maxVertices = nv * 2;
+    EXPECT_EXIT(XPGraph::recover(wrong), ::testing::ExitedWithCode(1),
+                "does not match");
+}
+
+TEST_F(RecoveryTest, FreshInstanceDiscardsStaleFiles)
+{
+    const vid_t nv = 50;
+    const XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        graph.syncBackings();
+    }
+    // A *fresh* instance over the same directory starts empty.
+    XPGraph fresh(c);
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(fresh.getNebrsOut(1, nebrs), 0u);
+}
+
+} // namespace
+} // namespace xpg

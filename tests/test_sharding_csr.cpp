@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Edge sharding (partition purity, completeness, balanced assignment)
+ * and the CSR reference builder (ordering, deletes, reverse edges,
+ * sizes), plus the hash partitioner and edge I/O round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_io.hpp"
+#include "graph/edge_sharding.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace xpg {
+namespace {
+
+TEST(EdgeSharder, ShardsCoverAllEdgesExactlyOnce)
+{
+    const vid_t nv = 1000;
+    const auto edges = generateUniform(nv, 5000, 11);
+    EdgeSharder sharder(nv, 16);
+    std::vector<std::vector<Edge>> shards;
+    sharder.shard(edges, shards);
+    uint64_t total = 0;
+    for (const auto &s : shards)
+        total += s.size();
+    EXPECT_EQ(total, edges.size());
+}
+
+TEST(EdgeSharder, ShardsAreVertexRangePure)
+{
+    const vid_t nv = 1000;
+    const auto edges = generateUniform(nv, 5000, 11);
+    EdgeSharder sharder(nv, 8);
+    std::vector<std::vector<Edge>> shards;
+    sharder.shard(edges, shards);
+    for (unsigned s = 0; s < shards.size(); ++s)
+        for (const Edge &e : shards[s])
+            EXPECT_EQ(sharder.shardOf(e.src), s);
+}
+
+TEST(EdgeSharder, ShardOfIsMonotoneInVertex)
+{
+    EdgeSharder sharder(1000, 8);
+    unsigned prev = 0;
+    for (vid_t v = 0; v < 1000; ++v) {
+        const unsigned s = sharder.shardOf(v);
+        EXPECT_GE(s, prev);
+        EXPECT_LT(s, 8u);
+        prev = s;
+    }
+    EXPECT_EQ(prev, 7u); // last vertex lands in the last shard
+}
+
+TEST(EdgeSharder, AssignCoversAllShardsContiguously)
+{
+    const vid_t nv = 512;
+    const auto edges = generateRmat(9, 20000, RmatParams{}, 13);
+    EdgeSharder sharder(nv, 32);
+    std::vector<std::vector<Edge>> shards;
+    sharder.shard(edges, shards);
+    const auto assign = EdgeSharder::assign(shards, 4);
+    unsigned cursor = 0;
+    for (const auto &a : assign) {
+        EXPECT_EQ(a.firstShard, cursor);
+        EXPECT_GE(a.lastShard, a.firstShard);
+        cursor = a.lastShard;
+    }
+    EXPECT_EQ(cursor, 32u);
+}
+
+TEST(EdgeSharder, AssignBalancesEdgeCounts)
+{
+    const vid_t nv = 4096;
+    const auto edges = generateUniform(nv, 40000, 17);
+    EdgeSharder sharder(nv, 64);
+    std::vector<std::vector<Edge>> shards;
+    sharder.shard(edges, shards);
+    const auto assign = EdgeSharder::assign(shards, 8);
+    uint64_t max_load = 0;
+    for (const auto &a : assign) {
+        uint64_t load = 0;
+        for (unsigned s = a.firstShard; s < a.lastShard; ++s)
+            load += shards[s].size();
+        max_load = std::max(max_load, load);
+    }
+    // Uniform edges: no worker should exceed ~1.5x the fair share.
+    EXPECT_LT(max_load, edges.size() / 8 * 3 / 2);
+}
+
+TEST(EdgeSharder, AssignHandlesMoreWorkersThanShards)
+{
+    std::vector<std::vector<Edge>> shards(2);
+    shards[0].push_back({0, 1});
+    shards[1].push_back({1, 2});
+    const auto assign = EdgeSharder::assign(shards, 8);
+    uint64_t covered = 0;
+    for (const auto &a : assign)
+        covered += a.lastShard - a.firstShard;
+    EXPECT_EQ(covered, 2u);
+}
+
+TEST(HashPartitioner, BalancesVerticesAcrossParts)
+{
+    HashPartitioner part(4);
+    std::vector<unsigned> counts(4, 0);
+    for (vid_t v = 0; v < 1000; ++v)
+        ++counts[part.partOf(v)];
+    for (unsigned c : counts)
+        EXPECT_EQ(c, 250u);
+}
+
+TEST(Csr, NeighborsAreSortedAndComplete)
+{
+    std::vector<Edge> edges{{0, 3}, {0, 1}, {0, 2}, {2, 0}};
+    Csr csr(4, edges);
+    const auto n0 = csr.neighbors(0);
+    EXPECT_EQ(std::vector<vid_t>(n0.begin(), n0.end()),
+              (std::vector<vid_t>{1, 2, 3}));
+    EXPECT_EQ(csr.degree(1), 0u);
+    EXPECT_EQ(csr.numEdges(), 4u);
+}
+
+TEST(Csr, ReverseBuildsInEdges)
+{
+    std::vector<Edge> edges{{0, 3}, {1, 3}, {3, 0}};
+    Csr in(4, edges, true);
+    const auto n3 = in.neighbors(3);
+    EXPECT_EQ(std::vector<vid_t>(n3.begin(), n3.end()),
+              (std::vector<vid_t>{0, 1}));
+    EXPECT_EQ(in.degree(0), 1u);
+}
+
+TEST(Csr, DeleteCancelsOneInsert)
+{
+    std::vector<Edge> edges{{0, 1}, {0, 1}, {0, asDelete(1)}};
+    Csr csr(2, edges);
+    EXPECT_EQ(csr.degree(0), 1u); // one duplicate survives
+}
+
+TEST(Csr, DeleteBeforeInsertIsIgnored)
+{
+    std::vector<Edge> edges{{0, asDelete(1)}, {0, 1}};
+    Csr csr(2, edges);
+    EXPECT_EQ(csr.degree(0), 1u); // delete applied to nothing
+}
+
+TEST(Csr, SizeBytesCountsOffsetsAndAdjacency)
+{
+    std::vector<Edge> edges{{0, 1}, {1, 0}};
+    Csr csr(2, edges);
+    EXPECT_EQ(csr.sizeBytes(), 3 * sizeof(uint64_t) + 2 * sizeof(vid_t));
+}
+
+TEST(EdgeIo, RoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/edges.bin";
+    const auto edges = generateUniform(100, 1000, 3);
+    saveEdgeList(path, edges);
+    const auto back = loadEdgeList(path);
+    EXPECT_EQ(edges, back);
+    std::remove(path.c_str());
+}
+
+TEST(EdgeIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadEdgeList("/nonexistent/nope.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Types, DeleteFlagHelpers)
+{
+    EXPECT_FALSE(isDelete(5));
+    EXPECT_TRUE(isDelete(asDelete(5)));
+    EXPECT_EQ(rawVid(asDelete(5)), 5u);
+    EXPECT_EQ(asDelete(asDelete(7)), asDelete(7));
+}
+
+} // namespace
+} // namespace xpg

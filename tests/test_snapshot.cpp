@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Snapshot export: equality with the live view, analytics equivalence,
+ * isolation from subsequent updates, and cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analytics/algorithms.hpp"
+#include "core/xpgraph.hpp"
+#include "graph/csr_view.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+
+namespace xpg {
+namespace {
+
+std::unique_ptr<XPGraph>
+buildGraph(vid_t nv, const std::vector<Edge> &edges)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+    c.elogCapacityEdges = 1 << 13;
+    c.bufferingThresholdEdges = 1 << 9;
+    c.archiveThreads = 4;
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
+    auto g = std::make_unique<XPGraph>(c);
+    g->addEdges(edges.data(), edges.size());
+    g->bufferAllEdges();
+    return g;
+}
+
+TEST(Snapshot, MatchesLiveView)
+{
+    const vid_t nv = 300;
+    auto edges = generateRmat(9, 8000, RmatParams{}, 61);
+    foldVertices(edges, nv);
+    auto graph = buildGraph(nv, edges);
+    auto snap = takeSnapshot(*graph, 4);
+
+    EXPECT_EQ(snap->numVertices(), nv);
+    EXPECT_EQ(snap->numEdges(), edges.size());
+    std::vector<vid_t> a, b;
+    for (vid_t v = 0; v < nv; ++v) {
+        a.clear();
+        b.clear();
+        graph->getNebrsOut(v, a);
+        snap->getNebrsOut(v, b);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b) << "out-neighbors of " << v;
+
+        a.clear();
+        b.clear();
+        graph->getNebrsIn(v, a);
+        snap->getNebrsIn(v, b);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b) << "in-neighbors of " << v;
+    }
+}
+
+TEST(Snapshot, IsolatedFromLaterUpdates)
+{
+    const vid_t nv = 50;
+    std::vector<Edge> edges{{1, 2}, {2, 3}};
+    auto graph = buildGraph(nv, edges);
+    auto snap = takeSnapshot(*graph, 2);
+
+    graph->addEdge(1, 7);
+    graph->bufferAllEdges();
+
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(snap->getNebrsOut(1, nebrs), 1u);
+    nebrs.clear();
+    EXPECT_EQ(graph->getNebrsOut(1, nebrs), 2u);
+}
+
+TEST(Snapshot, AnalyticsAgreeWithLiveStore)
+{
+    const vid_t nv = 400;
+    auto edges = generateRmat(9, 10000, RmatParams{}, 71);
+    foldVertices(edges, nv);
+    auto graph = buildGraph(nv, edges);
+    auto snap = takeSnapshot(*graph, 4);
+
+    const auto live_bfs = runBfs(*graph, 0, 4);
+    const auto snap_bfs = runBfs(*snap, 0, 4);
+    EXPECT_EQ(live_bfs.touched, snap_bfs.touched);
+
+    const auto live_cc = runConnectedComponents(*graph, 4);
+    const auto snap_cc = runConnectedComponents(*snap, 4);
+    EXPECT_EQ(live_cc.checksum, snap_cc.checksum);
+
+    // Snapshot queries are pure DRAM: they must be cheaper.
+    EXPECT_LT(snap_bfs.simNs, live_bfs.simNs);
+}
+
+TEST(Snapshot, BuildCostIsAccounted)
+{
+    const vid_t nv = 200;
+    auto edges = generateUniform(nv, 5000, 81);
+    auto graph = buildGraph(nv, edges);
+    auto snap = takeSnapshot(*graph, 4);
+    EXPECT_GT(snap->buildNs(), 0u);
+    EXPECT_GT(snap->sizeBytes(),
+              edges.size() * 2 * sizeof(vid_t)); // out + in + offsets
+}
+
+TEST(Snapshot, EmptyGraph)
+{
+    CsrView empty(10, std::vector<Edge>{});
+    auto snap = takeSnapshot(empty, 2);
+    EXPECT_EQ(snap->numVertices(), 10u);
+    EXPECT_EQ(snap->numEdges(), 0u);
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(snap->getNebrsOut(3, nebrs), 0u);
+}
+
+TEST(Snapshot, SingleThreadBuild)
+{
+    const vid_t nv = 64;
+    auto edges = generateUniform(nv, 1000, 91);
+    CsrView view(nv, edges);
+    auto snap = takeSnapshot(view, 1);
+    EXPECT_EQ(snap->numEdges(), edges.size());
+}
+
+} // namespace
+} // namespace xpg

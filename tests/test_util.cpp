@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Utility layer: SimClock, ParallelExecutor semantics (worker deltas,
+ * persistence of workers, chunking), Rng properties, and SpinLock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+#include "util/spinlock.hpp"
+
+namespace xpg {
+namespace {
+
+TEST(SimClock, ChargesAccumulatePerThread)
+{
+    const uint64_t t0 = SimClock::now();
+    SimClock::charge(100);
+    SimClock::chargeScaled(100, 2.5);
+    EXPECT_EQ(SimClock::now() - t0, 350u);
+
+    std::thread t([] {
+        // A fresh thread starts from zero.
+        EXPECT_EQ(SimClock::now(), 0u);
+        SimClock::charge(7);
+        EXPECT_EQ(SimClock::now(), 7u);
+    });
+    t.join();
+}
+
+TEST(SimClock, ScopeMeasuresDelta)
+{
+    SimClock::charge(10);
+    SimScope scope;
+    SimClock::charge(42);
+    EXPECT_EQ(scope.elapsed(), 42u);
+}
+
+TEST(ParallelExecutor, ReportsPerWorkerDeltas)
+{
+    ParallelExecutor ex(4);
+    const auto result = ex.run([](unsigned w) {
+        SimClock::charge((w + 1) * 100);
+    });
+    ASSERT_EQ(result.workerNanos.size(), 4u);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(result.workerNanos[w], (w + 1) * 100u);
+    EXPECT_EQ(result.maxNanos(), 400u);
+    EXPECT_EQ(result.sumNanos(), 1000u);
+}
+
+TEST(ParallelExecutor, WorkersPersistAcrossRuns)
+{
+    // Thread-local state (e.g., pool arenas) must survive between runs.
+    ParallelExecutor ex(3);
+    std::mutex mu;
+    std::set<std::thread::id> first;
+    std::set<std::thread::id> second;
+    ex.run([&](unsigned) {
+        std::lock_guard<std::mutex> g(mu);
+        first.insert(std::this_thread::get_id());
+    });
+    ex.run([&](unsigned) {
+        std::lock_guard<std::mutex> g(mu);
+        second.insert(std::this_thread::get_id());
+    });
+    EXPECT_EQ(first, second);
+}
+
+TEST(ParallelExecutor, DeltasResetBetweenRuns)
+{
+    ParallelExecutor ex(2);
+    ex.run([](unsigned) { SimClock::charge(1000); });
+    const auto result = ex.run([](unsigned) { SimClock::charge(5); });
+    EXPECT_EQ(result.maxNanos(), 5u);
+}
+
+TEST(ParallelExecutor, SingleWorkerRunsInline)
+{
+    ParallelExecutor ex(1);
+    const auto id = std::this_thread::get_id();
+    std::thread::id seen;
+    const auto result = ex.run([&](unsigned w) {
+        EXPECT_EQ(w, 0u);
+        seen = std::this_thread::get_id();
+        SimClock::charge(9);
+    });
+    EXPECT_EQ(seen, id);
+    EXPECT_EQ(result.maxNanos(), 9u);
+}
+
+TEST(ParallelExecutor, RunChunkedCoversRange)
+{
+    ParallelExecutor ex(4);
+    std::atomic<uint64_t> sum{0};
+    ex.runChunked(1000, [&](uint64_t begin, uint64_t end, unsigned) {
+        uint64_t local = 0;
+        for (uint64_t i = begin; i < end; ++i)
+            local += i;
+        sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+TEST(ParallelExecutor, ManyWorkersAllRun)
+{
+    ParallelExecutor ex(96);
+    std::atomic<unsigned> ran{0};
+    ex.run([&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 96u);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(1), b(1), c(2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(1);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(7);
+    std::vector<unsigned> counts(8, 0);
+    for (int i = 0; i < 80000; ++i)
+        ++counts[rng.nextBounded(8)];
+    for (unsigned c : counts) {
+        EXPECT_GT(c, 9000u);
+        EXPECT_LT(c, 11000u);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(SpinLock, MutualExclusion)
+{
+    SpinLock lock;
+    uint64_t counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 10000; ++i) {
+                std::lock_guard<SpinLock> guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(counter, 40000u);
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld)
+{
+    SpinLock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+} // namespace
+} // namespace xpg

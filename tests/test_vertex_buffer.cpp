@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Vertex-buffer layout helpers (paper Fig.6): header packing, capacity
+ * per layer, push/full semantics, and layer migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vertex_buffer.hpp"
+
+namespace xpg {
+namespace {
+
+TEST(VertexBuffer, CapacitiesMatchThePaper)
+{
+    // Fig.6: a 16-byte buffer holds (16-4)/4 = 3 neighbors.
+    EXPECT_EQ(vbuf::capacityFor(8), 1u);
+    EXPECT_EQ(vbuf::capacityFor(16), 3u);
+    EXPECT_EQ(vbuf::capacityFor(32), 7u);
+    EXPECT_EQ(vbuf::capacityFor(64), 15u);
+    EXPECT_EQ(vbuf::capacityFor(128), 31u);
+    EXPECT_EQ(vbuf::capacityFor(256), 63u);
+}
+
+TEST(VertexBuffer, LayerDoubling)
+{
+    EXPECT_EQ(vbuf::nextLayerBytes(16), 32u);
+    EXPECT_EQ(vbuf::nextLayerBytes(128), 256u);
+}
+
+TEST(VertexBuffer, InitAndPush)
+{
+    alignas(4) std::byte buf[16];
+    vbuf::init(buf, 16);
+    EXPECT_EQ(vbuf::header(buf)->mcnt, 3u);
+    EXPECT_EQ(vbuf::header(buf)->cnt, 0u);
+    EXPECT_FALSE(vbuf::full(buf));
+
+    vbuf::push(buf, 10);
+    vbuf::push(buf, 20);
+    vbuf::push(buf, 30);
+    EXPECT_TRUE(vbuf::full(buf));
+    EXPECT_EQ(vbuf::payload(buf)[0], 10u);
+    EXPECT_EQ(vbuf::payload(buf)[2], 30u);
+}
+
+TEST(VertexBuffer, MigratePreservesContents)
+{
+    alignas(4) std::byte small[16];
+    alignas(4) std::byte big[32];
+    vbuf::init(small, 16);
+    vbuf::push(small, 1);
+    vbuf::push(small, 2);
+    vbuf::push(small, 3);
+
+    vbuf::migrate(big, 32, small);
+    EXPECT_EQ(vbuf::header(big)->mcnt, 7u);
+    EXPECT_EQ(vbuf::header(big)->cnt, 3u);
+    EXPECT_FALSE(vbuf::full(big));
+    for (vid_t i = 0; i < 3; ++i)
+        EXPECT_EQ(vbuf::payload(big)[i], i + 1);
+}
+
+TEST(VertexBuffer, DeleteFlagSurvivesStorage)
+{
+    alignas(4) std::byte buf[16];
+    vbuf::init(buf, 16);
+    vbuf::push(buf, asDelete(9));
+    EXPECT_TRUE(isDelete(vbuf::payload(buf)[0]));
+    EXPECT_EQ(rawVid(vbuf::payload(buf)[0]), 9u);
+}
+
+/** Property: for any layer chain 16 -> ... -> 512, repeated grow+fill
+ *  keeps every pushed value. */
+class LayerChain : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(LayerChain, GrowPreservesAllValues)
+{
+    const uint32_t max_bytes = GetParam();
+    std::vector<std::byte> storage(16);
+    vbuf::init(storage.data(), 16);
+    uint32_t bytes = 16;
+
+    std::vector<vid_t> pushed;
+    vid_t next = 100;
+    while (bytes < max_bytes) {
+        while (!vbuf::full(storage.data())) {
+            vbuf::push(storage.data(), next);
+            pushed.push_back(next++);
+        }
+        std::vector<std::byte> bigger(bytes * 2);
+        vbuf::migrate(bigger.data(), bytes * 2, storage.data());
+        storage.swap(bigger);
+        bytes *= 2;
+    }
+    const auto *hdr = vbuf::header(storage.data());
+    ASSERT_EQ(hdr->cnt, pushed.size());
+    for (size_t i = 0; i < pushed.size(); ++i)
+        EXPECT_EQ(vbuf::payload(storage.data())[i], pushed[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxBytes, LayerChain,
+                         ::testing::Values(32u, 64u, 128u, 256u, 512u));
+
+} // namespace
+} // namespace xpg

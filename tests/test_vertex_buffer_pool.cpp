@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Buddy pool invariants: distinct live blocks, recycling, buddy merging,
+ * accounting, cross-thread frees, and the pool-limit signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "mempool/vertex_buffer_pool.hpp"
+
+namespace xpg {
+namespace {
+
+PoolConfig
+smallPool(uint64_t bulk = 1 << 20)
+{
+    PoolConfig c;
+    c.bulkSize = bulk;
+    c.minBlock = 16;
+    return c;
+}
+
+TEST(VertexBufferPool, AllocationsAreDistinctAndUsable)
+{
+    VertexBufferPool pool(smallPool());
+    std::set<std::byte *> seen;
+    std::vector<std::byte *> blocks;
+    for (int i = 0; i < 100; ++i) {
+        std::byte *p = pool.alloc(64);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate block";
+        std::memset(p, i, 64);
+        blocks.push_back(p);
+    }
+    // All blocks retain their bytes (no overlap).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(static_cast<unsigned char>(blocks[i][0]),
+                  static_cast<unsigned char>(i));
+    for (auto *p : blocks)
+        pool.free(p, 64);
+}
+
+TEST(VertexBufferPool, AlignmentMatchesSizeClass)
+{
+    VertexBufferPool pool(smallPool());
+    for (uint32_t size : {16u, 32u, 64u, 128u, 256u}) {
+        std::byte *p = pool.alloc(size);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % size, 0u)
+            << "size " << size;
+        pool.free(p, size);
+    }
+}
+
+TEST(VertexBufferPool, FreedBlockIsRecycled)
+{
+    VertexBufferPool pool(smallPool());
+    std::byte *a = pool.alloc(64);
+    pool.free(a, 64);
+    std::byte *b = pool.alloc(64);
+    EXPECT_EQ(a, b);
+    pool.free(b, 64);
+}
+
+TEST(VertexBufferPool, BuddyMergeAllowsLargerAllocation)
+{
+    // Allocate the whole bulk as min blocks, free them all, then a
+    // bulk-sized allocation must succeed from the same bulk.
+    const uint64_t bulk = 1 << 16;
+    VertexBufferPool pool(smallPool(bulk));
+    std::vector<std::byte *> blocks;
+    for (uint64_t i = 0; i < bulk / 16; ++i)
+        blocks.push_back(pool.alloc(16));
+    EXPECT_EQ(pool.bulkCount(), 1u);
+    for (auto *p : blocks)
+        pool.free(p, 16);
+    std::byte *big = pool.alloc(static_cast<uint32_t>(bulk));
+    EXPECT_EQ(pool.bulkCount(), 1u) << "merge failed; new bulk acquired";
+    pool.free(big, static_cast<uint32_t>(bulk));
+}
+
+TEST(VertexBufferPool, LiveAccountingTracksAllocations)
+{
+    VertexBufferPool pool(smallPool());
+    EXPECT_EQ(pool.bytesLive(), 0u);
+    std::byte *a = pool.alloc(128);
+    std::byte *b = pool.alloc(64);
+    EXPECT_EQ(pool.bytesLive(), 192u);
+    pool.free(a, 128);
+    EXPECT_EQ(pool.bytesLive(), 64u);
+    pool.free(b, 64);
+    EXPECT_EQ(pool.bytesLive(), 0u);
+    EXPECT_EQ(pool.peakLive(), 192u);
+}
+
+TEST(VertexBufferPool, ReservedGrowsByBulks)
+{
+    const uint64_t bulk = 1 << 16;
+    VertexBufferPool pool(smallPool(bulk));
+    EXPECT_EQ(pool.bytesReserved(), 0u);
+    pool.alloc(16);
+    EXPECT_EQ(pool.bytesReserved(), bulk);
+}
+
+TEST(VertexBufferPool, NearlyFullSignalsBeforeLimit)
+{
+    const uint64_t bulk = 1 << 16;
+    PoolConfig c = smallPool(bulk);
+    c.poolLimit = 2 * bulk;
+    VertexBufferPool pool(c);
+    EXPECT_FALSE(pool.nearlyFull());
+    std::vector<std::byte *> blocks;
+    // Fill most of the allowed space.
+    for (uint64_t i = 0; i < (2 * bulk) / 256 - 8; ++i)
+        blocks.push_back(pool.alloc(256));
+    EXPECT_TRUE(pool.nearlyFull());
+    for (auto *p : blocks)
+        pool.free(p, 256);
+    EXPECT_FALSE(pool.nearlyFull());
+}
+
+TEST(VertexBufferPool, CrossThreadFreeReturnsToOwningArena)
+{
+    VertexBufferPool pool(smallPool());
+    std::byte *p = pool.alloc(64);
+    std::thread t([&] { pool.free(p, 64); });
+    t.join();
+    EXPECT_EQ(pool.bytesLive(), 0u);
+    // The block is recyclable afterwards.
+    std::byte *q = pool.alloc(64);
+    EXPECT_EQ(q, p);
+    pool.free(q, 64);
+}
+
+TEST(VertexBufferPool, ManyThreadsGetIndependentArenas)
+{
+    VertexBufferPool pool(smallPool(1 << 16));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&pool] {
+            std::vector<std::byte *> mine;
+            for (int i = 0; i < 200; ++i)
+                mine.push_back(pool.alloc(32));
+            for (auto *p : mine)
+                pool.free(p, 32);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(pool.bytesLive(), 0u);
+    EXPECT_GE(pool.bulkCount(), 4u); // one bulk per thread at least
+}
+
+} // namespace
+} // namespace xpg

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * XPBuffer model invariants: hit/miss behaviour, RMW accounting, LRU
+ * eviction, explicit flush, and the streaming-allocation rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmem/xpbuffer.hpp"
+
+namespace xpg {
+namespace {
+
+XPBufferConfig
+tinyConfig(unsigned sets = 1, unsigned ways = 4)
+{
+    XPBufferConfig c;
+    c.numSets = sets;
+    c.ways = ways;
+    return c;
+}
+
+TEST(XPBuffer, FirstStoreMisses)
+{
+    XPBuffer buf(tinyConfig());
+    const auto out = buf.store(7, /*starts_at_base=*/false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.rmwRead); // sub-line store needs the rest of the line
+    EXPECT_FALSE(out.evictWrite);
+}
+
+TEST(XPBuffer, StreamingAllocationSkipsRmwRead)
+{
+    XPBuffer buf(tinyConfig());
+    const auto out = buf.store(7, /*starts_at_base=*/true);
+    EXPECT_FALSE(out.hit);
+    EXPECT_FALSE(out.rmwRead);
+}
+
+TEST(XPBuffer, RepeatStoreHits)
+{
+    XPBuffer buf(tinyConfig());
+    buf.store(7, false);
+    const auto out = buf.store(7, false);
+    EXPECT_TRUE(out.hit);
+    EXPECT_FALSE(out.rmwRead);
+}
+
+TEST(XPBuffer, LoadAfterStoreHits)
+{
+    XPBuffer buf(tinyConfig());
+    buf.store(7, true);
+    EXPECT_TRUE(buf.load(7).hit);
+}
+
+TEST(XPBuffer, LoadMissFetchesLine)
+{
+    XPBuffer buf(tinyConfig());
+    const auto out = buf.load(42);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.rmwRead);
+    EXPECT_FALSE(out.evictWrite);
+}
+
+TEST(XPBuffer, DirtyEvictionWritesBack)
+{
+    XPBuffer buf(tinyConfig(1, 2));
+    buf.store(1, false);
+    buf.store(2, false);
+    // Set is full of dirty lines; a third line must evict one.
+    const auto out = buf.store(3, false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.evictWrite);
+}
+
+TEST(XPBuffer, CleanEvictionDoesNotWriteBack)
+{
+    XPBuffer buf(tinyConfig(1, 2));
+    buf.load(1);
+    buf.load(2);
+    const auto out = buf.load(3);
+    EXPECT_FALSE(out.evictWrite);
+}
+
+TEST(XPBuffer, EvictionIsLru)
+{
+    XPBuffer buf(tinyConfig(1, 2));
+    buf.store(1, false);
+    buf.store(2, false);
+    buf.store(1, false); // refresh line 1; line 2 becomes LRU
+    buf.store(3, false); // evicts line 2
+    EXPECT_TRUE(buf.store(1, false).hit);
+    EXPECT_FALSE(buf.store(2, false).hit);
+}
+
+TEST(XPBuffer, SequentialAllocationTagTravelsToEviction)
+{
+    XPBuffer buf(tinyConfig(1, 1));
+    buf.store(1, /*starts_at_base=*/true);
+    const auto out = buf.store(2, false);
+    EXPECT_TRUE(out.evictWrite);
+    EXPECT_TRUE(out.evictSeq);
+    const auto out2 = buf.store(3, false);
+    EXPECT_TRUE(out2.evictWrite);
+    EXPECT_FALSE(out2.evictSeq); // line 2 was randomly allocated
+}
+
+TEST(XPBuffer, FlushLineWritesBackOnce)
+{
+    XPBuffer buf(tinyConfig());
+    buf.store(9, false);
+    EXPECT_TRUE(buf.flushLine(9));
+    EXPECT_FALSE(buf.flushLine(9)); // already clean
+    EXPECT_FALSE(buf.flushLine(1234)); // absent
+}
+
+TEST(XPBuffer, FlushedLineEvictsClean)
+{
+    XPBuffer buf(tinyConfig(1, 1));
+    buf.store(9, false);
+    buf.flushLine(9);
+    const auto out = buf.store(10, false);
+    EXPECT_FALSE(out.evictWrite);
+}
+
+TEST(XPBuffer, ValidLinesCountsAndResetClears)
+{
+    XPBuffer buf(tinyConfig(2, 2));
+    buf.store(0, false);
+    buf.store(1, false);
+    buf.store(2, false);
+    EXPECT_EQ(buf.validLines(), 3u);
+    buf.reset();
+    EXPECT_EQ(buf.validLines(), 0u);
+    EXPECT_FALSE(buf.store(0, false).hit);
+}
+
+TEST(XPBuffer, DistinctSetsDoNotConflict)
+{
+    XPBuffer buf(tinyConfig(2, 1));
+    buf.store(0, false); // set 0
+    buf.store(1, false); // set 1
+    EXPECT_TRUE(buf.store(0, false).hit);
+    EXPECT_TRUE(buf.store(1, false).hit);
+}
+
+} // namespace
+} // namespace xpg

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * XPGraph engine integration tests: correctness against a CSR ground
+ * truth across configurations (parameterized), the Table I interfaces,
+ * deletions, compaction, and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/xpgraph.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace xpg {
+namespace {
+
+XPGraphConfig
+testConfig(vid_t num_vertices, uint64_t num_edges)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(num_vertices, 0);
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, num_edges);
+    c.elogCapacityEdges = 1 << 14;
+    c.bufferingThresholdEdges = 1 << 10;
+    c.archiveThreads = 4;
+    return c;
+}
+
+/** Ingest, fully archive, and compare every adjacency against CSR. */
+void
+expectMatchesCsr(XPGraph &graph, vid_t num_vertices,
+                 const std::vector<Edge> &edges)
+{
+    graph.bufferAllEdges();
+    const Csr out_csr(num_vertices, edges, false);
+    const Csr in_csr(num_vertices, edges, true);
+    std::vector<vid_t> nebrs;
+    for (vid_t v = 0; v < num_vertices; ++v) {
+        nebrs.clear();
+        graph.getNebrsOut(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect = out_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect.size()) << "out-degree of " << v;
+        EXPECT_TRUE(std::equal(nebrs.begin(), nebrs.end(), expect.begin()))
+            << "out-neighbors of " << v;
+
+        nebrs.clear();
+        graph.getNebrsIn(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        const auto expect_in = in_csr.neighbors(v);
+        ASSERT_EQ(nebrs.size(), expect_in.size()) << "in-degree of " << v;
+        EXPECT_TRUE(
+            std::equal(nebrs.begin(), nebrs.end(), expect_in.begin()))
+            << "in-neighbors of " << v;
+    }
+}
+
+TEST(XPGraph, SmallGraphMatchesCsr)
+{
+    const vid_t nv = 64;
+    auto edges = generateUniform(nv, 2000, 7);
+    XPGraph graph(testConfig(nv, edges.size()));
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+}
+
+TEST(XPGraph, RmatGraphMatchesCsr)
+{
+    auto edges = generateRmat(10, 20000, RmatParams{}, 21);
+    const vid_t nv = 1 << 10;
+    XPGraph graph(testConfig(nv, edges.size()));
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+}
+
+/** Sweep the main configuration axes with one parameterized body. */
+struct ConfigCase
+{
+    std::string name;
+    unsigned numNodes;
+    NumaPlacement placement;
+    bool bind;
+    bool hierarchical;
+    uint32_t fixedBytes;
+    MemKind memKind;
+    bool battery;
+    unsigned threads;
+};
+
+class XPGraphConfigSweep : public ::testing::TestWithParam<ConfigCase>
+{
+};
+
+TEST_P(XPGraphConfigSweep, MatchesCsr)
+{
+    const ConfigCase &cc = GetParam();
+    const vid_t nv = 500;
+    auto edges = generateRmat(9, 15000, RmatParams{}, 33);
+    foldVertices(edges, nv);
+
+    XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+    c.numNodes = cc.numNodes;
+    c.placement = cc.placement;
+    c.bindThreads = cc.bind;
+    c.hierarchicalBuffers = cc.hierarchical;
+    c.fixedVertexBufBytes = cc.fixedBytes;
+    c.memKind = cc.memKind;
+    c.batteryBacked = cc.battery;
+    c.archiveThreads = cc.threads;
+    c.elogCapacityEdges = 1 << 13;
+    c.bufferingThresholdEdges = 1 << 9;
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
+
+    XPGraph graph(c);
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, XPGraphConfigSweep,
+    ::testing::Values(
+        ConfigCase{"subgraph2", 2, NumaPlacement::SubGraph, true, true, 64,
+                   MemKind::Pmem, false, 4},
+        ConfigCase{"subgraph4", 4, NumaPlacement::SubGraph, true, true, 64,
+                   MemKind::Pmem, false, 8},
+        ConfigCase{"outin", 2, NumaPlacement::OutInGraph, true, true, 64,
+                   MemKind::Pmem, false, 4},
+        ConfigCase{"nobind", 2, NumaPlacement::None, false, true, 64,
+                   MemKind::Pmem, false, 4},
+        ConfigCase{"fixed16", 2, NumaPlacement::SubGraph, true, false, 16,
+                   MemKind::Pmem, false, 4},
+        ConfigCase{"fixed256", 2, NumaPlacement::SubGraph, true, false,
+                   256, MemKind::Pmem, false, 4},
+        ConfigCase{"battery", 2, NumaPlacement::SubGraph, true, true, 64,
+                   MemKind::Pmem, true, 4},
+        ConfigCase{"dram", 2, NumaPlacement::SubGraph, true, false, 64,
+                   MemKind::Dram, true, 4},
+        ConfigCase{"memorymode", 2, NumaPlacement::SubGraph, true, false,
+                   64, MemKind::MemoryMode, true, 4},
+        ConfigCase{"singlethread", 1, NumaPlacement::SubGraph, true, true,
+                   64, MemKind::Pmem, false, 1},
+        ConfigCase{"manythreads", 2, NumaPlacement::SubGraph, true, true,
+                   64, MemKind::Pmem, false, 16}),
+    [](const ::testing::TestParamInfo<ConfigCase> &info) {
+        return info.param.name;
+    });
+
+TEST(XPGraph, DeleteCancelsEdge)
+{
+    const vid_t nv = 16;
+    XPGraph graph(testConfig(nv, 100));
+    graph.addEdge(1, 2);
+    graph.addEdge(1, 3);
+    graph.addEdge(1, 2); // duplicate
+    graph.delEdge(1, 2); // cancels one copy
+    graph.bufferAllEdges();
+
+    std::vector<vid_t> nebrs;
+    graph.getNebrsOut(1, nebrs);
+    std::sort(nebrs.begin(), nebrs.end());
+    EXPECT_EQ(nebrs, (std::vector<vid_t>{2, 3}));
+
+    nebrs.clear();
+    graph.getNebrsIn(2, nebrs);
+    EXPECT_EQ(nebrs, (std::vector<vid_t>{1}));
+}
+
+TEST(XPGraph, DeleteSurvivesFlushAndCompact)
+{
+    const vid_t nv = 16;
+    XPGraph graph(testConfig(nv, 1000));
+    graph.addEdge(1, 2);
+    graph.bufferAllEdges();
+    graph.flushAllVbufs(); // edge (1,2) now in PMEM
+    graph.delEdge(1, 2);
+    graph.bufferAllEdges();
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsOut(1, nebrs), 0u);
+
+    graph.compactAdjs(1);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsOut(1, nebrs), 0u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsIn(2, nebrs), 0u);
+}
+
+TEST(XPGraph, LoggedEdgesVisibleBeforeBuffering)
+{
+    const vid_t nv = 16;
+    XPGraphConfig c = testConfig(nv, 100);
+    c.bufferingThresholdEdges = 1 << 10; // never triggers here
+    XPGraph graph(c);
+    graph.addEdge(3, 4);
+    graph.addEdge(3, 5);
+
+    std::vector<Edge> logged;
+    EXPECT_EQ(graph.getLoggedEdges(logged), 2u);
+    EXPECT_EQ(logged[0], (Edge{3, 4}));
+
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 2u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogIn(4, nebrs), 1u);
+    EXPECT_EQ(nebrs[0], 3u);
+
+    // Not yet in buffers or PMEM.
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsBufOut(3, nebrs), 0u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsFlushOut(3, nebrs), 0u);
+
+    graph.bufferAllEdges();
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsBufOut(3, nebrs), 2u);
+    std::vector<Edge> after;
+    EXPECT_EQ(graph.getLoggedEdges(after), 0u);
+}
+
+TEST(XPGraph, FlushMovesBufferedToPmem)
+{
+    const vid_t nv = 16;
+    XPGraph graph(testConfig(nv, 100));
+    graph.addEdge(1, 2);
+    graph.bufferAllEdges();
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsBufOut(1, nebrs), 1u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsFlushOut(1, nebrs), 0u);
+
+    graph.flushAllVbufs();
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsBufOut(1, nebrs), 0u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsFlushOut(1, nebrs), 1u);
+    // Live view unchanged.
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsOut(1, nebrs), 1u);
+}
+
+TEST(XPGraph, CompactMergesChains)
+{
+    const vid_t nv = 8;
+    XPGraphConfig c = testConfig(nv, 40000);
+    XPGraph graph(c);
+    // A single hot vertex forces many buffer flushes -> long chain.
+    std::vector<Edge> edges;
+    for (vid_t i = 0; i < 5000; ++i)
+        edges.push_back(Edge{0, static_cast<vid_t>(1 + (i % 7))});
+    graph.addEdges(edges.data(), edges.size());
+    graph.bufferAllEdges();
+    graph.flushAllVbufs();
+
+    std::vector<vid_t> before;
+    graph.getNebrsOut(0, before);
+    graph.compactAllAdjs();
+    std::vector<vid_t> after;
+    graph.getNebrsOut(0, after);
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+}
+
+TEST(XPGraph, StatsCountEdges)
+{
+    const vid_t nv = 64;
+    auto edges = generateUniform(nv, 5000, 9);
+    XPGraph graph(testConfig(nv, edges.size()));
+    graph.addEdges(edges.data(), edges.size());
+    graph.bufferAllEdges();
+    const IngestStats s = graph.stats();
+    EXPECT_EQ(s.edgesLogged, 5000u);
+    EXPECT_EQ(s.edgesBuffered, 5000u);
+    EXPECT_GT(s.bufferingPhases, 1u);
+    EXPECT_GT(s.loggingNs, 0u);
+    EXPECT_GT(s.bufferingNs, 0u);
+    EXPECT_GT(s.ingestNs(), 0u);
+}
+
+TEST(XPGraph, MemoryUsageBreakdownIsPopulated)
+{
+    const vid_t nv = 256;
+    auto edges = generateUniform(nv, 20000, 5);
+    XPGraph graph(testConfig(nv, edges.size()));
+    graph.addEdges(edges.data(), edges.size());
+    graph.bufferAllEdges();
+    graph.flushAllVbufs();
+    const MemoryUsage mu = graph.memoryUsage();
+    EXPECT_GT(mu.metaBytes, 0u);
+    EXPECT_GT(mu.vbufBytes, 0u);
+    EXPECT_GT(mu.elogBytes, 0u);
+    EXPECT_GT(mu.pblkBytes, 0u);
+}
+
+TEST(XPGraph, PmemCountersShowWrites)
+{
+    const vid_t nv = 256;
+    auto edges = generateUniform(nv, 20000, 5);
+    XPGraph graph(testConfig(nv, edges.size()));
+    graph.addEdges(edges.data(), edges.size());
+    graph.flushAllVbufs();
+    const PcmCounters c = graph.pmemCounters();
+    EXPECT_GE(c.appBytesWritten, 20000u * sizeof(Edge));
+    EXPECT_GT(c.mediaBytesWritten, 0u);
+}
+
+TEST(XPGraph, LogWrapsUnderSmallCapacity)
+{
+    // Force many wrap-arounds and flush-alls.
+    const vid_t nv = 128;
+    XPGraphConfig c = testConfig(nv, 60000);
+    c.elogCapacityEdges = 1 << 10;
+    c.bufferingThresholdEdges = 1 << 8;
+    auto edges = generateUniform(nv, 50000, 13);
+    XPGraph graph(c);
+    graph.addEdges(edges.data(), edges.size());
+    expectMatchesCsr(graph, nv, edges);
+    EXPECT_GT(graph.stats().flushAllPhases, 1u);
+}
+
+TEST(XPGraph, PoolLimitTriggersFlushAll)
+{
+    const vid_t nv = 4096;
+    XPGraphConfig c = testConfig(nv, 200000);
+    c.poolBulkBytes = 1 << 16;
+    c.poolLimitBytes = 1 << 18; // tiny pool: must flush to recycle
+    auto edges = generateUniform(nv, 100000, 17);
+    XPGraph graph(c);
+    graph.addEdges(edges.data(), edges.size());
+    EXPECT_GT(graph.stats().flushAllPhases, 0u);
+    expectMatchesCsr(graph, nv, edges);
+    EXPECT_LE(graph.pool().bytesReserved(), (1u << 18));
+}
+
+TEST(XPGraph, BufferEdgesArchivesImmediately)
+{
+    const vid_t nv = 32;
+    XPGraph graph(testConfig(nv, 100));
+    std::vector<Edge> edges{{1, 2}, {2, 3}};
+    graph.bufferEdges(edges.data(), edges.size());
+    std::vector<Edge> logged;
+    EXPECT_EQ(graph.getLoggedEdges(logged), 0u);
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsOut(1, nebrs), 1u);
+}
+
+} // namespace
+} // namespace xpg

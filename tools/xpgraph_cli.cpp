@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Command-line driver for the library — the equivalent of the paper
+ * artifact's run scripts. Subcommands:
+ *
+ *   generate  --dataset FS [--shift N] --out edges.bin
+ *             Generate a scaled dataset and save it as a binary edge
+ *             list (the paper's ingest input format).
+ *
+ *   ingest    --in edges.bin [--vertices N] [--system xpgraph]
+ *             [--threads T] [--backing DIR]
+ *             Ingest an edge list into a chosen system and print the
+ *             simulated phase times, PCM-style counters, and memory use.
+ *             Systems: xpgraph, xpgraph-b, xpgraph-d, xpgraph-ssd,
+ *                      graphone-p, graphone-d, graphone-n.
+ *
+ *   query     --in edges.bin [--vertices N] [--algo bfs|pr|cc|onehop]
+ *             [--threads T] [--system xpgraph|graphone-p]
+ *             Ingest, then run one analytics workload.
+ *
+ *   recover   --backing DIR --vertices N [--edges M]
+ *             Re-open a crashed file-backed XPGraph instance and print
+ *             the recovery statistics.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/algorithms.hpp"
+#include "baselines/graphone.hpp"
+#include "core/xpgraph.hpp"
+#include "graph/datasets.hpp"
+#include "graph/edge_io.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+
+using namespace xpg;
+
+namespace {
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                XPG_FATAL(std::string("expected --option, got ") +
+                          argv[i]);
+            values_[argv[i] + 2] = argv[i + 1];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    uint64_t
+    getInt(const std::string &key, uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+vid_t
+maxVertexOf(const std::vector<Edge> &edges)
+{
+    vid_t max_v = 0;
+    for (const Edge &e : edges)
+        max_v = std::max({max_v, rawVid(e.src), rawVid(e.dst)});
+    return max_v + 1;
+}
+
+std::vector<Edge>
+loadInput(const Args &args, vid_t &num_vertices)
+{
+    const std::string path = args.get("in");
+    if (path.empty())
+        XPG_FATAL("--in <edges.bin> is required");
+    auto edges = loadEdgeList(path);
+    num_vertices = static_cast<vid_t>(
+        args.getInt("vertices", maxVertexOf(edges)));
+    std::printf("loaded %zu edges over %u vertices from %s\n",
+                edges.size(), num_vertices, path.c_str());
+    return edges;
+}
+
+void
+printIngestReport(const IngestStats &stats, const PcmCounters &pcm,
+                  const MemoryUsage &mem)
+{
+    std::printf("\n-- simulated phase times --\n");
+    std::printf("logging:    %10.3f ms\n", stats.loggingNs / 1e6);
+    std::printf("buffering:  %10.3f ms\n", stats.bufferingNs / 1e6);
+    std::printf("flushing:   %10.3f ms\n", stats.flushingNs / 1e6);
+    std::printf("ingest:     %10.3f ms (pipelined)\n",
+                stats.ingestNs() / 1e6);
+    std::printf("phases: %lu buffering, %lu flush-all; %lu vbuf flushes\n",
+                static_cast<unsigned long>(stats.bufferingPhases),
+                static_cast<unsigned long>(stats.flushAllPhases),
+                static_cast<unsigned long>(stats.vbufFlushes));
+    std::printf("\n-- device media counters (PCM equivalent) --\n");
+    std::printf("media read:  %s (%.2fx of app reads)\n",
+                TablePrinter::bytes(pcm.mediaBytesRead).c_str(),
+                pcm.readAmplification());
+    std::printf("media write: %s (%.2fx of app writes)\n",
+                TablePrinter::bytes(pcm.mediaBytesWritten).c_str(),
+                pcm.writeAmplification());
+    std::printf("\n-- memory usage --\n");
+    std::printf("DRAM meta: %s  vbuf: %s  |  elog: %s  pblk: %s\n",
+                TablePrinter::bytes(mem.metaBytes).c_str(),
+                TablePrinter::bytes(mem.vbufBytes).c_str(),
+                TablePrinter::bytes(mem.elogBytes).c_str(),
+                TablePrinter::bytes(mem.pblkBytes).c_str());
+}
+
+XPGraphConfig
+xpgraphConfigFor(const std::string &system, vid_t nv, uint64_t edges,
+                 const Args &args)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+    if (system == "xpgraph-b")
+        c.batteryBacked = true;
+    if (system == "xpgraph-d") {
+        c = XPGraphConfig::dramOnly(nv, 0);
+    } else if (system == "xpgraph-ssd") {
+        c.memKind = MemKind::Ssd;
+        c.proactiveFlush = false;
+    }
+    c.archiveThreads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    c.backingDir = args.get("backing");
+    if (!c.backingDir.empty())
+        std::filesystem::create_directories(c.backingDir);
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, edges);
+    return c;
+}
+
+GraphOneConfig
+graphoneConfigFor(const std::string &system, vid_t nv, uint64_t edges,
+                  const Args &args)
+{
+    GraphOneConfig c;
+    c.maxVertices = nv;
+    c.variant = system == "graphone-d"   ? GraphOneVariant::Dram
+                : system == "graphone-n" ? GraphOneVariant::Nova
+                                         : GraphOneVariant::Pmem;
+    c.archiveThreads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    c.bytesPerNode = graphoneRecommendedBytesPerNode(c, edges);
+    return c;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const std::string out = args.get("out");
+    if (out.empty())
+        XPG_FATAL("--out <file> is required");
+    const unsigned shift = static_cast<unsigned>(
+        args.getInt("shift", defaultScaleShift()));
+    const Dataset ds =
+        generateDataset(datasetByAbbrev(args.get("dataset", "FS")), shift);
+    saveEdgeList(out, ds.edges);
+    std::printf("wrote %zu edges (|V|=%u) to %s\n", ds.edges.size(),
+                ds.numVertices, out.c_str());
+    return 0;
+}
+
+int
+cmdIngest(const Args &args)
+{
+    vid_t nv = 0;
+    const auto edges = loadInput(args, nv);
+    const std::string system = args.get("system", "xpgraph");
+
+    if (system.rfind("graphone", 0) == 0) {
+        GraphOne graph(graphoneConfigFor(system, nv, edges.size(), args));
+        graph.addEdges(edges.data(), edges.size());
+        graph.archiveAll();
+        printIngestReport(graph.stats(), graph.pmemCounters(),
+                          graph.memoryUsage());
+    } else {
+        XPGraph graph(xpgraphConfigFor(system, nv, edges.size(), args));
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        if (!args.get("backing").empty())
+            graph.syncBackings();
+        printIngestReport(graph.stats(), graph.pmemCounters(),
+                          graph.memoryUsage());
+    }
+    return 0;
+}
+
+int
+cmdQuery(const Args &args)
+{
+    vid_t nv = 0;
+    const auto edges = loadInput(args, nv);
+    const std::string system = args.get("system", "xpgraph");
+    const std::string algo = args.get("algo", "bfs");
+    const unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+
+    std::unique_ptr<GraphView> view;
+    if (system.rfind("graphone", 0) == 0) {
+        auto g = std::make_unique<GraphOne>(
+            graphoneConfigFor(system, nv, edges.size(), args));
+        g->addEdges(edges.data(), edges.size());
+        g->archiveAll();
+        view = std::move(g);
+    } else {
+        auto g = std::make_unique<XPGraph>(
+            xpgraphConfigFor(system, nv, edges.size(), args));
+        g->addEdges(edges.data(), edges.size());
+        g->bufferAllEdges();
+        view = std::move(g);
+    }
+
+    AnalyticsResult result;
+    if (algo == "bfs") {
+        result = runBfs(*view, edges[0].src, threads);
+        std::printf("BFS from %u: visited %lu vertices in %lu levels\n",
+                    edges[0].src,
+                    static_cast<unsigned long>(result.touched),
+                    static_cast<unsigned long>(result.iterations));
+    } else if (algo == "pr") {
+        result = runPageRank(*view, 10, threads);
+        std::printf("PageRank(10): checksum %lu\n",
+                    static_cast<unsigned long>(result.checksum));
+    } else if (algo == "cc") {
+        result = runConnectedComponents(*view, threads);
+        std::printf("CC: %lu components in %lu rounds\n",
+                    static_cast<unsigned long>(result.checksum),
+                    static_cast<unsigned long>(result.iterations));
+    } else if (algo == "onehop") {
+        Rng rng(1);
+        std::vector<vid_t> queries;
+        for (int i = 0; i < 4096; ++i)
+            queries.push_back(
+                edges[rng.nextBounded(edges.size())].src);
+        result = runOneHop(*view, queries, threads);
+        std::printf("one-hop over %zu queries: %lu neighbors total\n",
+                    queries.size(),
+                    static_cast<unsigned long>(result.checksum));
+    } else {
+        XPG_FATAL("unknown --algo (bfs|pr|cc|onehop)");
+    }
+    std::printf("simulated time: %.3f ms with %u threads\n",
+                result.simNs / 1e6, threads);
+    return 0;
+}
+
+int
+cmdRecover(const Args &args)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(
+        static_cast<vid_t>(args.getInt("vertices", 0)), 0);
+    if (c.maxVertices == 0)
+        XPG_FATAL("--vertices <N> is required (must match the crashed "
+                  "instance)");
+    c.backingDir = args.get("backing");
+    if (c.backingDir.empty())
+        XPG_FATAL("--backing <dir> is required");
+    c.archiveThreads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    c.pmemBytesPerNode =
+        recommendedBytesPerNode(c, args.getInt("edges", 1 << 20));
+
+    auto graph = XPGraph::recover(c);
+    std::printf("recovered in %.3f simulated ms\n",
+                graph->stats().recoveryNs / 1e6);
+    const MemoryUsage mem = graph->memoryUsage();
+    std::printf("persistent adjacency: %s\n",
+                TablePrinter::bytes(mem.pblkBytes).c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: xpgraph_cli <generate|ingest|query|recover> [--opt v]\n"
+        "see the file header of tools/xpgraph_cli.cpp for details\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "generate")
+        return cmdGenerate(args);
+    if (cmd == "ingest")
+        return cmdIngest(args);
+    if (cmd == "query")
+        return cmdQuery(args);
+    if (cmd == "recover")
+        return cmdRecover(args);
+    usage();
+    return 1;
+}
