@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_design_choices.cpp" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o" "gcc" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/xpg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/xpg_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/xpg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xpg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mempool/CMakeFiles/xpg_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/xpg_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

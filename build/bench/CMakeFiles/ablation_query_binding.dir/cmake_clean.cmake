@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_binding.dir/ablation_query_binding.cpp.o"
+  "CMakeFiles/ablation_query_binding.dir/ablation_query_binding.cpp.o.d"
+  "ablation_query_binding"
+  "ablation_query_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

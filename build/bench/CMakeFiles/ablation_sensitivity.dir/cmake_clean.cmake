@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sensitivity.dir/ablation_sensitivity.cpp.o"
+  "CMakeFiles/ablation_sensitivity.dir/ablation_sensitivity.cpp.o.d"
+  "ablation_sensitivity"
+  "ablation_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssd_tier.dir/ablation_ssd_tier.cpp.o"
+  "CMakeFiles/ablation_ssd_tier.dir/ablation_ssd_tier.cpp.o.d"
+  "ablation_ssd_tier"
+  "ablation_ssd_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssd_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

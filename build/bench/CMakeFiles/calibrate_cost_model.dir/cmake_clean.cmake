@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_cost_model.dir/calibrate_cost_model.cpp.o"
+  "CMakeFiles/calibrate_cost_model.dir/calibrate_cost_model.cpp.o.d"
+  "calibrate_cost_model"
+  "calibrate_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

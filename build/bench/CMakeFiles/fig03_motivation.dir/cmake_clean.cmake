@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_motivation.dir/fig03_motivation.cpp.o"
+  "CMakeFiles/fig03_motivation.dir/fig03_motivation.cpp.o.d"
+  "fig03_motivation"
+  "fig03_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

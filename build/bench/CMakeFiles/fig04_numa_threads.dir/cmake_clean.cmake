@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_numa_threads.dir/fig04_numa_threads.cpp.o"
+  "CMakeFiles/fig04_numa_threads.dir/fig04_numa_threads.cpp.o.d"
+  "fig04_numa_threads"
+  "fig04_numa_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_numa_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

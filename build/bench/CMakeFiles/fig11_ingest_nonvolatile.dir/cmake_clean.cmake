@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ingest_nonvolatile.dir/fig11_ingest_nonvolatile.cpp.o"
+  "CMakeFiles/fig11_ingest_nonvolatile.dir/fig11_ingest_nonvolatile.cpp.o.d"
+  "fig11_ingest_nonvolatile"
+  "fig11_ingest_nonvolatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ingest_nonvolatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ingest_volatile.dir/fig12_ingest_volatile.cpp.o"
+  "CMakeFiles/fig12_ingest_volatile.dir/fig12_ingest_volatile.cpp.o.d"
+  "fig12_ingest_volatile"
+  "fig12_ingest_volatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ingest_volatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pmem_traffic.dir/fig13_pmem_traffic.cpp.o"
+  "CMakeFiles/fig13_pmem_traffic.dir/fig13_pmem_traffic.cpp.o.d"
+  "fig13_pmem_traffic"
+  "fig13_pmem_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pmem_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

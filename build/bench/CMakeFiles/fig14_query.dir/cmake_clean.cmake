@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_query.dir/fig14_query.cpp.o"
+  "CMakeFiles/fig14_query.dir/fig14_query.cpp.o.d"
+  "fig14_query"
+  "fig14_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_recovery.dir/fig15_recovery.cpp.o"
+  "CMakeFiles/fig15_recovery.dir/fig15_recovery.cpp.o.d"
+  "fig15_recovery"
+  "fig15_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_fixed_buffers.dir/fig16_fixed_buffers.cpp.o"
+  "CMakeFiles/fig16_fixed_buffers.dir/fig16_fixed_buffers.cpp.o.d"
+  "fig16_fixed_buffers"
+  "fig16_fixed_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_fixed_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hierarchical.dir/fig17_hierarchical.cpp.o"
+  "CMakeFiles/fig17_hierarchical.dir/fig17_hierarchical.cpp.o.d"
+  "fig17_hierarchical"
+  "fig17_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_numa_binding.dir/fig18_numa_binding.cpp.o"
+  "CMakeFiles/fig18_numa_binding.dir/fig18_numa_binding.cpp.o.d"
+  "fig18_numa_binding"
+  "fig18_numa_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_numa_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_numa_binding.
+# This may be replaced when dependencies are built.

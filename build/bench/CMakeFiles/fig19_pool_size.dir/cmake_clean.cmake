@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pool_size.dir/fig19_pool_size.cpp.o"
+  "CMakeFiles/fig19_pool_size.dir/fig19_pool_size.cpp.o.d"
+  "fig19_pool_size"
+  "fig19_pool_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pool_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

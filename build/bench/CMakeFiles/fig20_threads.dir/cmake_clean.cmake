@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_threads.dir/fig20_threads.cpp.o"
+  "CMakeFiles/fig20_threads.dir/fig20_threads.cpp.o.d"
+  "fig20_threads"
+  "fig20_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_datasets.dir/table2_datasets.cpp.o"
+  "CMakeFiles/table2_datasets.dir/table2_datasets.cpp.o.d"
+  "table2_datasets"
+  "table2_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memory.dir/table3_memory.cpp.o"
+  "CMakeFiles/table3_memory.dir/table3_memory.cpp.o.d"
+  "table3_memory"
+  "table3_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/xpg_bench_common.dir/bench_common.cpp.o.d"
+  "libxpg_bench_common.a"
+  "libxpg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpg_bench_common.a"
+)

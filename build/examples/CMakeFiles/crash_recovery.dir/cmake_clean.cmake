@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o"
+  "CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o.d"
+  "crash_recovery"
+  "crash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

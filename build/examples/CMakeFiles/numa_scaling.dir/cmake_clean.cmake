@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_scaling.dir/numa_scaling.cpp.o"
+  "CMakeFiles/numa_scaling.dir/numa_scaling.cpp.o.d"
+  "numa_scaling"
+  "numa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_stream.dir/social_stream.cpp.o"
+  "CMakeFiles/social_stream.dir/social_stream.cpp.o.d"
+  "social_stream"
+  "social_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

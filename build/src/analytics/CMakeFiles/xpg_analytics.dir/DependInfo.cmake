@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/algorithms.cpp" "src/analytics/CMakeFiles/xpg_analytics.dir/algorithms.cpp.o" "gcc" "src/analytics/CMakeFiles/xpg_analytics.dir/algorithms.cpp.o.d"
+  "/root/repo/src/analytics/query_driver.cpp" "src/analytics/CMakeFiles/xpg_analytics.dir/query_driver.cpp.o" "gcc" "src/analytics/CMakeFiles/xpg_analytics.dir/query_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/xpg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/xpg_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

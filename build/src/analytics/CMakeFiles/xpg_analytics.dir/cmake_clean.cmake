@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_analytics.dir/algorithms.cpp.o"
+  "CMakeFiles/xpg_analytics.dir/algorithms.cpp.o.d"
+  "CMakeFiles/xpg_analytics.dir/query_driver.cpp.o"
+  "CMakeFiles/xpg_analytics.dir/query_driver.cpp.o.d"
+  "libxpg_analytics.a"
+  "libxpg_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_baselines.dir/graphone.cpp.o"
+  "CMakeFiles/xpg_baselines.dir/graphone.cpp.o.d"
+  "libxpg_baselines.a"
+  "libxpg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_core.dir/adjacency_store.cpp.o"
+  "CMakeFiles/xpg_core.dir/adjacency_store.cpp.o.d"
+  "CMakeFiles/xpg_core.dir/circular_edge_log.cpp.o"
+  "CMakeFiles/xpg_core.dir/circular_edge_log.cpp.o.d"
+  "CMakeFiles/xpg_core.dir/xpgraph.cpp.o"
+  "CMakeFiles/xpg_core.dir/xpgraph.cpp.o.d"
+  "libxpg_core.a"
+  "libxpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

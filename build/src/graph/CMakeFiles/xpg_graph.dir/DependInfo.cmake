@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/xpg_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/xpg_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/edge_io.cpp" "src/graph/CMakeFiles/xpg_graph.dir/edge_io.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/edge_io.cpp.o.d"
+  "/root/repo/src/graph/edge_sharding.cpp" "src/graph/CMakeFiles/xpg_graph.dir/edge_sharding.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/edge_sharding.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/xpg_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/snapshot.cpp" "src/graph/CMakeFiles/xpg_graph.dir/snapshot.cpp.o" "gcc" "src/graph/CMakeFiles/xpg_graph.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmem/CMakeFiles/xpg_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

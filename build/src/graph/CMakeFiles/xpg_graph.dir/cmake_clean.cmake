@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_graph.dir/csr.cpp.o"
+  "CMakeFiles/xpg_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/xpg_graph.dir/datasets.cpp.o"
+  "CMakeFiles/xpg_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/xpg_graph.dir/edge_io.cpp.o"
+  "CMakeFiles/xpg_graph.dir/edge_io.cpp.o.d"
+  "CMakeFiles/xpg_graph.dir/edge_sharding.cpp.o"
+  "CMakeFiles/xpg_graph.dir/edge_sharding.cpp.o.d"
+  "CMakeFiles/xpg_graph.dir/generators.cpp.o"
+  "CMakeFiles/xpg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/xpg_graph.dir/snapshot.cpp.o"
+  "CMakeFiles/xpg_graph.dir/snapshot.cpp.o.d"
+  "libxpg_graph.a"
+  "libxpg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_mempool.dir/vertex_buffer_pool.cpp.o"
+  "CMakeFiles/xpg_mempool.dir/vertex_buffer_pool.cpp.o.d"
+  "libxpg_mempool.a"
+  "libxpg_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

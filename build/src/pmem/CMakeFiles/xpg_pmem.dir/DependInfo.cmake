@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/cost_model.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/cost_model.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/cost_model.cpp.o.d"
+  "/root/repo/src/pmem/dram_device.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/dram_device.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/dram_device.cpp.o.d"
+  "/root/repo/src/pmem/memory_device.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/memory_device.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/memory_device.cpp.o.d"
+  "/root/repo/src/pmem/memory_mode_device.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/memory_mode_device.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/memory_mode_device.cpp.o.d"
+  "/root/repo/src/pmem/numa_topology.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/numa_topology.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/numa_topology.cpp.o.d"
+  "/root/repo/src/pmem/pmem_allocator.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/pmem_allocator.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/pmem_allocator.cpp.o.d"
+  "/root/repo/src/pmem/pmem_device.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/pmem_device.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/pmem_device.cpp.o.d"
+  "/root/repo/src/pmem/ssd_device.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/ssd_device.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/ssd_device.cpp.o.d"
+  "/root/repo/src/pmem/xpbuffer.cpp" "src/pmem/CMakeFiles/xpg_pmem.dir/xpbuffer.cpp.o" "gcc" "src/pmem/CMakeFiles/xpg_pmem.dir/xpbuffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

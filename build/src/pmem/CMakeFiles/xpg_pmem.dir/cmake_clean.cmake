@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_pmem.dir/cost_model.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/cost_model.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/dram_device.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/dram_device.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/memory_device.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/memory_device.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/memory_mode_device.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/memory_mode_device.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/numa_topology.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/numa_topology.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/pmem_allocator.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/pmem_allocator.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/pmem_device.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/pmem_device.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/ssd_device.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/ssd_device.cpp.o.d"
+  "CMakeFiles/xpg_pmem.dir/xpbuffer.cpp.o"
+  "CMakeFiles/xpg_pmem.dir/xpbuffer.cpp.o.d"
+  "libxpg_pmem.a"
+  "libxpg_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

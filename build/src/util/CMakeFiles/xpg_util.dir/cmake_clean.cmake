@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpg_util.dir/parallel.cpp.o"
+  "CMakeFiles/xpg_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/xpg_util.dir/table_printer.cpp.o"
+  "CMakeFiles/xpg_util.dir/table_printer.cpp.o.d"
+  "libxpg_util.a"
+  "libxpg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpg_util.a"
+)

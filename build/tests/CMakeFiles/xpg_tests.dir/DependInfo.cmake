@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adjacency_store.cpp" "tests/CMakeFiles/xpg_tests.dir/test_adjacency_store.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_adjacency_store.cpp.o.d"
+  "/root/repo/tests/test_analytics.cpp" "tests/CMakeFiles/xpg_tests.dir/test_analytics.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_analytics.cpp.o.d"
+  "/root/repo/tests/test_analytics_exact.cpp" "tests/CMakeFiles/xpg_tests.dir/test_analytics_exact.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_analytics_exact.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/xpg_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_edge_log.cpp" "tests/CMakeFiles/xpg_tests.dir/test_edge_log.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_edge_log.cpp.o.d"
+  "/root/repo/tests/test_engine_edge_cases.cpp" "tests/CMakeFiles/xpg_tests.dir/test_engine_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_engine_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/xpg_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graphone.cpp" "tests/CMakeFiles/xpg_tests.dir/test_graphone.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_graphone.cpp.o.d"
+  "/root/repo/tests/test_pmem_allocator.cpp" "tests/CMakeFiles/xpg_tests.dir/test_pmem_allocator.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_pmem_allocator.cpp.o.d"
+  "/root/repo/tests/test_pmem_device.cpp" "tests/CMakeFiles/xpg_tests.dir/test_pmem_device.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_pmem_device.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/xpg_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/xpg_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_sharding_csr.cpp" "tests/CMakeFiles/xpg_tests.dir/test_sharding_csr.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_sharding_csr.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/xpg_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_snapshot.cpp.o.d"
+  "/root/repo/tests/test_ssd_device.cpp" "tests/CMakeFiles/xpg_tests.dir/test_ssd_device.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_ssd_device.cpp.o.d"
+  "/root/repo/tests/test_table_printer.cpp" "tests/CMakeFiles/xpg_tests.dir/test_table_printer.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_table_printer.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/xpg_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vertex_buffer.cpp" "tests/CMakeFiles/xpg_tests.dir/test_vertex_buffer.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_vertex_buffer.cpp.o.d"
+  "/root/repo/tests/test_vertex_buffer_pool.cpp" "tests/CMakeFiles/xpg_tests.dir/test_vertex_buffer_pool.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_vertex_buffer_pool.cpp.o.d"
+  "/root/repo/tests/test_xpbuffer.cpp" "tests/CMakeFiles/xpg_tests.dir/test_xpbuffer.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_xpbuffer.cpp.o.d"
+  "/root/repo/tests/test_xpgraph.cpp" "tests/CMakeFiles/xpg_tests.dir/test_xpgraph.cpp.o" "gcc" "tests/CMakeFiles/xpg_tests.dir/test_xpgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/xpg_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/xpg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xpg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mempool/CMakeFiles/xpg_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/xpg_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

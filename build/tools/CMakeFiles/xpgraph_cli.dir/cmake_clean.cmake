@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpgraph_cli.dir/xpgraph_cli.cpp.o"
+  "CMakeFiles/xpgraph_cli.dir/xpgraph_cli.cpp.o.d"
+  "xpgraph_cli"
+  "xpgraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpgraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xpgraph_cli.
+# This may be replaced when dependencies are built.
