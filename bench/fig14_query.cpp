@@ -5,11 +5,18 @@
  * non-zero-degree vertices (paper: 2^24, scaled here), BFS from three
  * random roots, ten PageRank iterations, and Connected Components.
  *
+ * Each kernel runs twice per store: once on the legacy materializing
+ * vector engine ("before") and once on the zero-copy visitor engine
+ * ("after"), with PMEM counter deltas captured around each run. The
+ * per-run numbers are emitted as JSON (XPG_BENCH_JSON env var, default
+ * ./BENCH_query.json) so the before/after regression is machine-checkable.
+ *
  * Paper shape: one-hop comparable (within ~30% either way); BFS up to
  * 4.46x, PageRank up to 3.57x, CC up to 4.23x faster on XPGraph.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,92 @@ sampleNonZeroVertices(const Dataset &ds, uint64_t count, uint64_t seed)
     return queries;
 }
 
+/** One engine's run of one kernel on one store. */
+struct EngineRun
+{
+    uint64_t simNs = 0;
+    uint64_t checksum = 0;
+    uint64_t mediaReadBytes = 0;
+    uint64_t appReadBytes = 0;
+};
+
+/** Vector-then-visitor measurement of one kernel. */
+struct Measurement
+{
+    EngineRun vec;
+    EngineRun vis;
+};
+
+template <typename Store, typename RunFn>
+Measurement
+measure(Store &store, RunFn &&run)
+{
+    Measurement m;
+    const EngineRun *last = nullptr;
+    for (QueryEngine engine : {QueryEngine::Vector, QueryEngine::Visitor}) {
+        EngineRun &er = engine == QueryEngine::Vector ? m.vec : m.vis;
+        const PcmCounters before = store.pmemCounters();
+        const AnalyticsResult r = run(engine);
+        const PcmCounters delta = store.pmemCounters() - before;
+        er.simNs = r.simNs;
+        er.checksum = r.checksum;
+        er.mediaReadBytes = delta.mediaBytesRead;
+        er.appReadBytes = delta.appBytesRead;
+        last = &er;
+    }
+    (void)last;
+    return m;
+}
+
+struct JsonRow
+{
+    std::string dataset;
+    std::string store;
+    std::string algo;
+    Measurement m;
+};
+
+void
+writeJson(const std::vector<JsonRow> &rows)
+{
+    const char *env = std::getenv("XPG_BENCH_JSON");
+    const std::string path = env != nullptr ? env : "BENCH_query.json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "fig14_query: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig14_query\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const JsonRow &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"dataset\": \"%s\", \"store\": \"%s\", "
+            "\"algorithm\": \"%s\",\n"
+            "     \"vector_ns\": %llu, \"visitor_ns\": %llu,\n"
+            "     \"vector_media_read_bytes\": %llu, "
+            "\"visitor_media_read_bytes\": %llu,\n"
+            "     \"vector_app_read_bytes\": %llu, "
+            "\"visitor_app_read_bytes\": %llu,\n"
+            "     \"vector_checksum\": %llu, \"visitor_checksum\": "
+            "%llu}%s\n",
+            r.dataset.c_str(), r.store.c_str(), r.algo.c_str(),
+            static_cast<unsigned long long>(r.m.vec.simNs),
+            static_cast<unsigned long long>(r.m.vis.simNs),
+            static_cast<unsigned long long>(r.m.vec.mediaReadBytes),
+            static_cast<unsigned long long>(r.m.vis.mediaReadBytes),
+            static_cast<unsigned long long>(r.m.vec.appReadBytes),
+            static_cast<unsigned long long>(r.m.vis.appReadBytes),
+            static_cast<unsigned long long>(r.m.vec.checksum),
+            static_cast<unsigned long long>(r.m.vis.checksum),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -55,9 +148,15 @@ main(int argc, char **argv)
         std::max<uint64_t>(1024, (1ull << 24) >> scaleShift());
 
     TablePrinter table("Fig.14: query time (simulated seconds), "
-                       "96 query threads");
+                       "96 query threads, visitor engine");
     table.header({"dataset", "algorithm", "GraphOne-P", "XPGraph",
                   "speedup"});
+    TablePrinter engines("Zero-copy engine: vector (before) vs visitor "
+                         "(after), per store");
+    engines.header({"dataset", "store", "algorithm", "vector", "visitor",
+                    "speedup", "media-rd before", "media-rd after"});
+
+    std::vector<JsonRow> json;
 
     for (const auto &name : names) {
         const Dataset ds = loadDataset(name);
@@ -73,50 +172,111 @@ main(int argc, char **argv)
             roots.push_back(
                 ds.edges[root_rng.nextBounded(ds.edges.size())].src);
 
-        struct Row
+        struct Algo
         {
-            const char *algo;
-            uint64_t g1Ns;
-            uint64_t xpgNs;
+            const char *name;
+            Measurement g1m;
+            Measurement xpgm;
         };
-        std::vector<Row> rows;
+        std::vector<Algo> algos;
 
         {
-            const auto a = runOneHop(*g1, queries, query_threads);
-            const auto b = runOneHop(*xpg, queries, query_threads);
-            rows.push_back({"1-hop", a.simNs, b.simNs});
+            Algo a{"1-hop", {}, {}};
+            a.g1m = measure(*g1, [&](QueryEngine e) {
+                return runOneHop(*g1, queries, query_threads,
+                                 QueryBinding::Auto, e);
+            });
+            a.xpgm = measure(*xpg, [&](QueryEngine e) {
+                return runOneHop(*xpg, queries, query_threads,
+                                 QueryBinding::Auto, e);
+            });
+            algos.push_back(a);
         }
         {
-            uint64_t a_ns = 0;
-            uint64_t b_ns = 0;
-            for (vid_t root : roots) {
-                a_ns += runBfs(*g1, root, query_threads).simNs;
-                b_ns += runBfs(*xpg, root, query_threads).simNs;
+            Algo a{"BFS(3 roots)", {}, {}};
+            auto sum3 = [&](auto &store) {
+                return measure(store, [&](QueryEngine e) {
+                    AnalyticsResult total;
+                    for (vid_t root : roots) {
+                        const auto r = runBfs(store, root, query_threads,
+                                              QueryBinding::Auto, e);
+                        total.simNs += r.simNs;
+                        total.checksum += r.checksum;
+                    }
+                    return total;
+                });
+            };
+            a.g1m = sum3(*g1);
+            a.xpgm = sum3(*xpg);
+            algos.push_back(a);
+        }
+        {
+            Algo a{"PageRank(10)", {}, {}};
+            a.g1m = measure(*g1, [&](QueryEngine e) {
+                return runPageRank(*g1, 10, query_threads,
+                                   QueryBinding::Auto, e);
+            });
+            a.xpgm = measure(*xpg, [&](QueryEngine e) {
+                return runPageRank(*xpg, 10, query_threads,
+                                   QueryBinding::Auto, e);
+            });
+            algos.push_back(a);
+        }
+        {
+            Algo a{"CC", {}, {}};
+            a.g1m = measure(*g1, [&](QueryEngine e) {
+                return runConnectedComponents(*g1, query_threads,
+                                              QueryBinding::Auto, 64, e);
+            });
+            a.xpgm = measure(*xpg, [&](QueryEngine e) {
+                return runConnectedComponents(*xpg, query_threads,
+                                              QueryBinding::Auto, 64, e);
+            });
+            algos.push_back(a);
+        }
+
+        for (const Algo &a : algos) {
+            table.row({ds.spec.abbrev, a.name,
+                       TablePrinter::seconds(a.g1m.vis.simNs),
+                       TablePrinter::seconds(a.xpgm.vis.simNs),
+                       TablePrinter::num(
+                           static_cast<double>(a.g1m.vis.simNs) /
+                               static_cast<double>(a.xpgm.vis.simNs),
+                           2) + "x"});
+            const struct
+            {
+                const char *store;
+                const Measurement *m;
+            } stores[] = {{"GraphOne-P", &a.g1m}, {"XPGraph", &a.xpgm}};
+            for (const auto &s : stores) {
+                engines.row(
+                    {ds.spec.abbrev, s.store, a.name,
+                     TablePrinter::seconds(s.m->vec.simNs),
+                     TablePrinter::seconds(s.m->vis.simNs),
+                     TablePrinter::num(
+                         static_cast<double>(s.m->vec.simNs) /
+                             static_cast<double>(s.m->vis.simNs),
+                         2) + "x",
+                     TablePrinter::bytes(s.m->vec.mediaReadBytes),
+                     TablePrinter::bytes(s.m->vis.mediaReadBytes)});
+                json.push_back({ds.spec.abbrev, s.store, a.name, *s.m});
+                if (s.m->vec.checksum != s.m->vis.checksum &&
+                    std::string(a.name) != "PageRank(10)") {
+                    std::printf("WARNING: %s %s %s engine checksums "
+                                "differ (%llu vs %llu)\n",
+                                ds.spec.abbrev.c_str(), s.store, a.name,
+                                static_cast<unsigned long long>(
+                                    s.m->vec.checksum),
+                                static_cast<unsigned long long>(
+                                    s.m->vis.checksum));
+                }
             }
-            rows.push_back({"BFS(3 roots)", a_ns, b_ns});
-        }
-        {
-            const auto a = runPageRank(*g1, 10, query_threads);
-            const auto b = runPageRank(*xpg, 10, query_threads);
-            rows.push_back({"PageRank(10)", a.simNs, b.simNs});
-        }
-        {
-            const auto a = runConnectedComponents(*g1, query_threads);
-            const auto b = runConnectedComponents(*xpg, query_threads);
-            rows.push_back({"CC", a.simNs, b.simNs});
-        }
-
-        for (const Row &r : rows) {
-            table.row({ds.spec.abbrev, r.algo,
-                       TablePrinter::seconds(r.g1Ns),
-                       TablePrinter::seconds(r.xpgNs),
-                       TablePrinter::num(static_cast<double>(r.g1Ns) /
-                                         static_cast<double>(r.xpgNs),
-                                         2) + "x"});
         }
     }
     table.print();
+    engines.print();
     std::printf("\npaper: 1-hop within ~30%%; BFS up to 4.46x, PageRank "
                 "up to 3.57x, CC up to 4.23x faster on XPGraph\n");
+    writeJson(json);
     return 0;
 }

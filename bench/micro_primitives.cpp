@@ -9,8 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
+#include "core/xpgraph.hpp"
 #include "graph/generators.hpp"
 #include "mempool/vertex_buffer_pool.hpp"
 #include "pmem/dram_device.hpp"
@@ -21,6 +23,27 @@
 namespace {
 
 using namespace xpg;
+
+/** A small flushed XPGraph shared by the query-primitive benches. */
+XPGraph &
+queryGraph()
+{
+    static std::unique_ptr<XPGraph> graph = [] {
+        const vid_t nv = 1 << 10;
+        XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+        c.elogCapacityEdges = 1 << 14;
+        c.bufferingThresholdEdges = 1 << 10;
+        c.archiveThreads = 4;
+        auto edges = generateRmat(10, 40000, RmatParams{}, 55);
+        c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
+        auto g = std::make_unique<XPGraph>(c);
+        g->addEdges(edges.data(), edges.size());
+        g->bufferAllEdges();
+        g->flushAllVbufs();
+        return g;
+    }();
+    return *graph;
+}
 
 void
 BM_PmemDeviceRandomWrite4B(benchmark::State &state)
@@ -106,6 +129,92 @@ BM_PoolGrowChain(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PoolGrowChain);
+
+void
+BM_GetNebrsVector(benchmark::State &state)
+{
+    // Materializing Table-I read: every call copies the adjacency into
+    // a caller vector (host-side) on top of the modeled device charges.
+    XPGraph &g = queryGraph();
+    Rng rng(4);
+    std::vector<vid_t> nebrs;
+    for (auto _ : state) {
+        nebrs.clear();
+        benchmark::DoNotOptimize(
+            g.getNebrsOut(rng.nextBounded(g.numVertices()), nebrs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetNebrsVector);
+
+void
+BM_GetNebrsVisitor(benchmark::State &state)
+{
+    // Zero-copy read: same modeled charges, no materialization.
+    XPGraph &g = queryGraph();
+    Rng rng(4);
+    for (auto _ : state) {
+        uint64_t sum = 0;
+        g.forEachNebrOut(rng.nextBounded(g.numVertices()),
+                         [&](vid_t n) { sum += n; });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetNebrsVisitor);
+
+void
+BM_DegreeVector(benchmark::State &state)
+{
+    // Degree via full materialization (how kernels counted degrees
+    // before the live-degree cache).
+    XPGraph &g = queryGraph();
+    Rng rng(5);
+    std::vector<vid_t> nebrs;
+    for (auto _ : state) {
+        nebrs.clear();
+        benchmark::DoNotOptimize(
+            g.getNebrsOut(rng.nextBounded(g.numVertices()), nebrs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DegreeVector);
+
+void
+BM_DegreeCached(benchmark::State &state)
+{
+    XPGraph &g = queryGraph();
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            g.degreeOut(rng.nextBounded(g.numVertices())));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DegreeCached);
+
+void
+BM_LogWindowQuery(benchmark::State &state)
+{
+    // Non-archived edge queries through the chained log-window index
+    // (previously a full scan of the un-buffered log per query).
+    const vid_t nv = 1 << 10;
+    XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+    c.elogCapacityEdges = 1 << 14;
+    c.bufferingThresholdEdges = 1 << 13; // keep edges in the log
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, 8192);
+    XPGraph g(c);
+    auto edges = generateRmat(10, 4096, RmatParams{}, 77);
+    g.addEdges(edges.data(), edges.size());
+    Rng rng(6);
+    std::vector<vid_t> nebrs;
+    for (auto _ : state) {
+        nebrs.clear();
+        benchmark::DoNotOptimize(
+            g.getNebrsLogOut(rng.nextBounded(nv), nebrs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogWindowQuery);
 
 void
 BM_RmatGenerate(benchmark::State &state)

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 query benchmark driver: configures and builds the tree, runs the
+# fig14 query bench (vector vs visitor engines) and the query-primitive
+# microbenchmarks, and leaves the machine-readable per-engine numbers in
+# BENCH_query.json (override the path with XPG_BENCH_JSON).
+#
+# Usage: bench/run_tier1_bench.sh [build-dir] [dataset...]
+#   build-dir  defaults to ./build
+#   dataset    fig14 dataset abbreviations, default "TT" (tier-1 sized)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+datasets=("${@:-TT}")
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)" \
+      --target fig14_query micro_primitives
+
+export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
+"${build_dir}/bench/fig14_query" "${datasets[@]}"
+
+"${build_dir}/bench/micro_primitives" \
+    --benchmark_filter='BM_(GetNebrs|Degree|LogWindow).*' \
+    --benchmark_min_time=0.05
+
+echo
+echo "wrote ${XPG_BENCH_JSON}"

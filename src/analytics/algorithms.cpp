@@ -15,21 +15,39 @@ namespace {
 
 thread_local std::vector<vid_t> t_nebrs;
 
+/** Schedule matching the engine: the legacy vector path keeps its
+ *  historical strided dealing; the visitor path lets the driver pick
+ *  (degree-balanced wherever the view has a degree cache). */
+SchedulePolicy
+scheduleFor(QueryEngine engine)
+{
+    return engine == QueryEngine::Vector ? SchedulePolicy::Strided
+                                         : SchedulePolicy::Auto;
+}
+
 } // namespace
 
 AnalyticsResult
 runOneHop(GraphView &view, std::span<const vid_t> queries,
-          unsigned num_threads, QueryBinding binding)
+          unsigned num_threads, QueryBinding binding, QueryEngine engine)
 {
-    QueryDriver driver(view, num_threads, binding);
+    // Per-query cost is O(1) on the visitor path (degree cache), so
+    // strided dealing is already balanced — skip the schedule build.
+    QueryDriver driver(view, num_threads, binding, SchedulePolicy::Strided);
     std::vector<uint64_t> partial(driver.numThreads(), 0);
 
     AnalyticsResult result;
-    result.simNs = driver.forEach(queries, [&](vid_t v, unsigned w) {
-        t_nebrs.clear();
-        const uint32_t n = view.getNebrsOut(v, t_nebrs);
-        partial[w] += n;
-    });
+    if (engine == QueryEngine::Vector) {
+        result.simNs = driver.forEach(queries, [&](vid_t v, unsigned w) {
+            t_nebrs.clear();
+            const uint32_t n = view.getNebrsOut(v, t_nebrs);
+            partial[w] += n;
+        });
+    } else {
+        result.simNs = driver.forEach(queries, [&](vid_t v, unsigned w) {
+            partial[w] += view.degreeOut(v);
+        });
+    }
     result.iterations = 1;
     result.touched = queries.size();
     for (uint64_t p : partial)
@@ -39,11 +57,11 @@ runOneHop(GraphView &view, std::span<const vid_t> queries,
 
 AnalyticsResult
 runBfs(GraphView &view, vid_t root, unsigned num_threads,
-       QueryBinding binding)
+       QueryBinding binding, QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
     XPG_ASSERT(root < nv, "BFS root out of range");
-    QueryDriver driver(view, num_threads, binding);
+    QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     auto visited = std::make_unique<std::atomic<uint8_t>[]>(nv);
     for (vid_t v = 0; v < nv; ++v)
@@ -53,25 +71,38 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
     std::vector<std::vector<vid_t>> next_local(driver.numThreads());
     std::vector<vid_t> frontier{root};
 
+    auto expand = [&](vid_t n, unsigned w) {
+        uint8_t expected = 0;
+        if (visited[n].compare_exchange_strong(expected, 1,
+                                               std::memory_order_relaxed))
+            next_local[w].push_back(n);
+    };
+
     AnalyticsResult result;
     result.touched = 1;
     while (!frontier.empty()) {
         ++result.iterations;
-        result.simNs += driver.forEach(frontier, [&](vid_t v, unsigned w) {
-            t_nebrs.clear();
-            view.getNebrsOut(v, t_nebrs);
-            // Auxiliary arrays (visited bitmap, ranks, labels) are tiny
-            // at the session's reduced scale and stay cache-resident;
-            // charge only the streaming touch, not DRAM misses.
-            chargeDramSequential(t_nebrs.size() / 8 + 1);
-            for (vid_t n : t_nebrs) {
-                uint8_t expected = 0;
-                if (visited[n].compare_exchange_strong(
-                        expected, 1, std::memory_order_relaxed)) {
-                    next_local[w].push_back(n);
-                }
-            }
-        });
+        if (engine == QueryEngine::Vector) {
+            result.simNs +=
+                driver.forEach(frontier, [&](vid_t v, unsigned w) {
+                    t_nebrs.clear();
+                    view.getNebrsOut(v, t_nebrs);
+                    // Auxiliary arrays (visited bitmap, ranks, labels)
+                    // are tiny at the session's reduced scale and stay
+                    // cache-resident; charge only the streaming touch,
+                    // not DRAM misses.
+                    chargeDramSequential(t_nebrs.size() / 8 + 1);
+                    for (vid_t n : t_nebrs)
+                        expand(n, w);
+                });
+        } else {
+            result.simNs +=
+                driver.forEach(frontier, [&](vid_t v, unsigned w) {
+                    const uint32_t deg = view.forEachNebrOut(
+                        v, [&](vid_t n) { expand(n, w); });
+                    chargeDramSequential(deg / 8 + 1);
+                });
+        }
 
         SimScope merge_scope;
         frontier.clear();
@@ -89,21 +120,31 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
 
 AnalyticsResult
 runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
-            QueryBinding binding)
+            QueryBinding binding, QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
-    QueryDriver driver(view, num_threads, binding);
+    QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     std::vector<double> contrib(nv, 0.0);
-    std::vector<double> next(nv, 0.0);
+    // next[] holds the ranks after the most recent sweep; seeding it
+    // with the uniform start vector makes the iterations == 0 case the
+    // initial distribution instead of all-zeros.
+    std::vector<double> next(nv, 1.0 / nv);
     std::vector<uint32_t> out_deg(nv, 0);
 
     AnalyticsResult result;
-    // Degree pass (counts live out-edges once).
-    result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
-        t_nebrs.clear();
-        out_deg[v] = view.getNebrsOut(v, t_nebrs);
-    });
+    // Degree pass. The vector engine counts live out-edges by
+    // materializing every adjacency; the visitor engine reads the
+    // live-degree cache in O(1) per vertex.
+    if (engine == QueryEngine::Vector) {
+        result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
+            t_nebrs.clear();
+            out_deg[v] = view.getNebrsOut(v, t_nebrs);
+        });
+    } else {
+        result.simNs += driver.forAllVertices(
+            [&](vid_t v, unsigned) { out_deg[v] = view.degreeOut(v); });
+    }
 
     const double base = 0.15 / static_cast<double>(nv);
     for (vid_t v = 0; v < nv; ++v)
@@ -111,22 +152,39 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
 
     for (unsigned it = 0; it < iterations; ++it) {
         ++result.iterations;
-        result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
-            t_nebrs.clear();
-            view.getNebrsIn(v, t_nebrs);
-            // contrib[] is cache-resident at the session scale.
-            chargeDramSequential(t_nebrs.size() * sizeof(vid_t));
-            double sum = 0.0;
-            for (vid_t u : t_nebrs)
-                sum += contrib[u];
-            next[v] = base + 0.85 * sum;
-        });
+        if (engine == QueryEngine::Vector) {
+            result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
+                t_nebrs.clear();
+                view.getNebrsIn(v, t_nebrs);
+                // contrib[] is cache-resident at the session scale.
+                chargeDramSequential(t_nebrs.size() * sizeof(vid_t));
+                double sum = 0.0;
+                for (vid_t u : t_nebrs)
+                    sum += contrib[u];
+                next[v] = base + 0.85 * sum;
+            });
+        } else {
+            result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
+                double sum = 0.0;
+                const uint32_t deg = view.forEachNebrIn(
+                    v, [&](vid_t u) { sum += contrib[u]; });
+                chargeDramSequential(uint64_t{deg} * sizeof(vid_t));
+                next[v] = base + 0.85 * sum;
+            });
+        }
 
-        SimScope swap_scope;
-        for (vid_t v = 0; v < nv; ++v)
-            contrib[v] = next[v] / std::max(1u, out_deg[v]);
-        chargeDramSequential(nv * sizeof(double) * 2);
-        result.simNs += swap_scope.elapsed();
+        // Re-normalize contributions only when another sweep will read
+        // them; the ranks reported below are exactly next[] after the
+        // final sweep, so the last-round normalization would be dead
+        // work (and historically made the final ranks/contribs
+        // inconsistent).
+        if (it + 1 < iterations) {
+            SimScope swap_scope;
+            for (vid_t v = 0; v < nv; ++v)
+                contrib[v] = next[v] / std::max(1u, out_deg[v]);
+            chargeDramSequential(nv * sizeof(double) * 2);
+            result.simNs += swap_scope.elapsed();
+        }
     }
 
     double rank_sum = 0.0;
@@ -139,10 +197,11 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
 
 AnalyticsResult
 runConnectedComponents(GraphView &view, unsigned num_threads,
-                       QueryBinding binding, unsigned max_iterations)
+                       QueryBinding binding, unsigned max_iterations,
+                       QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
-    QueryDriver driver(view, num_threads, binding);
+    QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     auto labels = std::make_unique<std::atomic<vid_t>[]>(nv);
     for (vid_t v = 0; v < nv; ++v)
@@ -156,12 +215,23 @@ runConnectedComponents(GraphView &view, unsigned num_threads,
         ++result.iterations;
         result.simNs += driver.forAllVertices([&](vid_t v, unsigned) {
             vid_t m = labels[v].load(std::memory_order_relaxed);
-            t_nebrs.clear();
-            view.getNebrsOut(v, t_nebrs);
-            view.getNebrsIn(v, t_nebrs);
-            chargeDramSequential(t_nebrs.size() * sizeof(vid_t));
-            for (vid_t n : t_nebrs)
-                m = std::min(m, labels[n].load(std::memory_order_relaxed));
+            if (engine == QueryEngine::Vector) {
+                t_nebrs.clear();
+                view.getNebrsOut(v, t_nebrs);
+                view.getNebrsIn(v, t_nebrs);
+                chargeDramSequential(t_nebrs.size() * sizeof(vid_t));
+                for (vid_t n : t_nebrs)
+                    m = std::min(m,
+                                 labels[n].load(std::memory_order_relaxed));
+            } else {
+                auto fold = [&](vid_t n) {
+                    m = std::min(m,
+                                 labels[n].load(std::memory_order_relaxed));
+                };
+                uint32_t deg = view.forEachNebrOut(v, fold);
+                deg += view.forEachNebrIn(v, fold);
+                chargeDramSequential(uint64_t{deg} * sizeof(vid_t));
+            }
             if (m < labels[v].load(std::memory_order_relaxed)) {
                 labels[v].store(m, std::memory_order_relaxed);
                 changed.store(true, std::memory_order_relaxed);

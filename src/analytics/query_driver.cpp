@@ -9,8 +9,9 @@
 namespace xpg {
 
 QueryDriver::QueryDriver(GraphView &view, unsigned num_threads,
-                         QueryBinding binding)
-    : view_(view), binding_(binding), executor_(num_threads)
+                         QueryBinding binding, SchedulePolicy schedule)
+    : view_(view), binding_(binding), schedule_(schedule),
+      executor_(num_threads)
 {
     view_.declareQueryThreads(num_threads);
     perNode_.resize(std::max(1u, view_.numNodes()));
@@ -31,6 +32,144 @@ QueryDriver::bindingActive() const
     return false;
 }
 
+bool
+QueryDriver::balancedActive() const
+{
+    switch (schedule_) {
+      case SchedulePolicy::Strided:
+        return false;
+      case SchedulePolicy::Balanced:
+        return true;
+      case SchedulePolicy::Auto:
+        // Balancing needs per-vertex weights; without a degree cache the
+        // gather would cost a full adjacency sweep and defeat the point.
+        return view_.hasFastDegrees();
+    }
+    return false;
+}
+
+std::vector<uint64_t>
+QueryDriver::chunkBoundaries(std::span<const uint64_t> weight,
+                             uint64_t list_size, unsigned parts) const
+{
+    std::vector<uint64_t> bounds(parts + 1, list_size);
+    bounds[0] = 0;
+    if (parts <= 1 || list_size == 0)
+        return bounds;
+
+    // Cut at equal cumulative-weight targets. Chunks stay contiguous in
+    // id order so adjacent vertices' adjacencies — packed into shared
+    // XPLines by the stores — are read by the same worker.
+    uint64_t total = 0;
+    for (uint64_t w : weight)
+        total += w;
+    uint64_t cum = 0;
+    uint64_t idx = 0;
+    for (unsigned k = 1; k < parts; ++k) {
+        const uint64_t target = total * k / parts;
+        while (idx < list_size && cum < target)
+            cum += weight[idx++];
+        bounds[k] = idx;
+    }
+    return bounds;
+}
+
+uint64_t
+QueryDriver::buildPlan(std::span<const vid_t> vertices, Plan &plan)
+{
+    const unsigned workers = executor_.numWorkers();
+    plan.bound = bindingActive();
+    const unsigned nodes =
+        plan.bound ? std::max(1u, static_cast<unsigned>(perNode_.size()))
+                   : 1;
+    plan.lists.assign(nodes, {});
+    plan.bounds.assign(nodes, {});
+    uint64_t build_ns = 0;
+
+    {
+        // Classify/copy: one DRAM stream over the list (same charge as
+        // the strided bound path's classification).
+        SimScope classify_scope;
+        chargeDramSequential(vertices.size() * sizeof(vid_t) * 2);
+        if (nodes == 1) {
+            plan.lists[0].assign(vertices.begin(), vertices.end());
+        } else {
+            for (vid_t v : vertices)
+                plan.lists[static_cast<unsigned>(view_.nodeOfOut(v)) %
+                           nodes]
+                    .push_back(v);
+        }
+        for (auto &list : plan.lists)
+            if (!std::is_sorted(list.begin(), list.end()))
+                std::sort(list.begin(), list.end());
+        build_ns += classify_scope.elapsed();
+    }
+
+    // Weight gather, parallel across the query workers (vertexWeight
+    // self-charges its metadata touch on the gathering thread).
+    std::vector<std::vector<uint64_t>> weights(nodes);
+    for (unsigned node = 0; node < nodes; ++node)
+        weights[node].resize(plan.lists[node].size());
+    const ParallelResult gather = executor_.run([&](unsigned w) {
+        for (unsigned node = 0; node < nodes; ++node) {
+            const auto &list = plan.lists[node];
+            auto &wt = weights[node];
+            for (uint64_t i = w; i < list.size(); i += workers)
+                wt[i] = view_.vertexWeight(list[i]);
+        }
+    });
+    build_ns += gather.maxNanos();
+
+    // Boundary scan: one serial streaming pass over the weights.
+    SimScope scan_scope;
+    chargeDramSequential(vertices.size() * sizeof(uint64_t));
+
+    // Virtual slots: every node gets at least one chunk even when there
+    // are fewer workers than nodes (workers then sweep several nodes).
+    const unsigned slots = std::max(workers, nodes);
+    for (unsigned node = 0; node < nodes; ++node) {
+        const unsigned parts =
+            plan.bound ? slots / nodes + (node < slots % nodes ? 1 : 0)
+                       : workers;
+        plan.bounds[node] = chunkBoundaries(
+            weights[node], plan.lists[node].size(), parts);
+    }
+    build_ns += scan_scope.elapsed();
+    plan.built = true;
+    return build_ns;
+}
+
+uint64_t
+QueryDriver::runPlan(const Plan &plan,
+                     const std::function<void(vid_t, unsigned)> &fn)
+{
+    const unsigned workers = executor_.numWorkers();
+    const unsigned nodes = static_cast<unsigned>(plan.lists.size());
+    const ParallelResult result = executor_.run([&](unsigned w) {
+        if (!plan.bound) {
+            NumaBinding::unbindThread();
+            const auto &list = plan.lists[0];
+            const auto &b = plan.bounds[0];
+            if (w + 1 < b.size())
+                for (uint64_t i = b[w]; i < b[w + 1]; ++i)
+                    fn(list[i], w);
+            return;
+        }
+        const unsigned slots = std::max(workers, nodes);
+        for (unsigned s = w; s < slots; s += workers) {
+            const unsigned node = s % nodes;
+            const unsigned local = s / nodes;
+            NumaBinding::bindThread(static_cast<int>(node), true);
+            const auto &list = plan.lists[node];
+            const auto &b = plan.bounds[node];
+            if (local + 1 < b.size())
+                for (uint64_t i = b[local]; i < b[local + 1]; ++i)
+                    fn(list[i], w);
+        }
+    });
+    return result.maxNanos();
+}
+
 uint64_t
 QueryDriver::forEach(std::span<const vid_t> vertices,
                      const std::function<void(vid_t, unsigned)> &fn)
@@ -38,9 +177,6 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
     const unsigned workers = executor_.numWorkers();
     uint64_t round_ns = 0;
 
-    // Work is dealt round-robin (strided) so the low-id hubs of
-    // power-law graphs spread across workers instead of landing on the
-    // first chunk.
     if (binding_ == QueryBinding::PerVertex) {
         // Anti-pattern: rebind to the data's node before every vertex.
         // Contiguous chunks, so consecutive vertices genuinely alternate
@@ -60,9 +196,19 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
             }
         });
         round_ns = result.maxNanos();
+    } else if (balancedActive() &&
+               vertices.size() >= uint64_t{workers} * 4) {
+        // Degree-balanced contiguous chunks; the schedule build is part
+        // of the round's cost. Tiny rounds (BFS frontier ramp-up) fall
+        // through to the strided paths — a weight pass would cost more
+        // than the imbalance it removes.
+        round_ns += buildPlan(vertices, tmpPlan_);
+        round_ns += runPlan(tmpPlan_, fn);
     } else if (!bindingActive()) {
         // Unbound: threads float; devices charge the average remote
-        // penalty.
+        // penalty. Work is dealt round-robin (strided) so the low-id
+        // hubs of power-law graphs spread across workers instead of
+        // landing on the first chunk.
         const ParallelResult result = executor_.run([&](unsigned w) {
             NumaBinding::unbindThread();
             for (uint64_t i = w; i < vertices.size(); i += workers)
@@ -83,18 +229,22 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
         chargeDramSequential(vertices.size() * sizeof(vid_t) * 2);
         round_ns += classify_scope.elapsed();
 
+        // Virtual slots cover every node even when workers < nodes (a
+        // worker then serves several nodes in turn); with workers >=
+        // nodes this degenerates to the one-slot-per-worker layout.
+        const unsigned slots = std::max(workers, nodes);
         const ParallelResult result = executor_.run([&](unsigned w) {
-            const unsigned node = w % nodes;
-            const unsigned local = w / nodes;
-            const unsigned threads_here =
-                workers / nodes + (node < workers % nodes ? 1 : 0);
-            if (local >= std::max(1u, threads_here))
-                return;
-            NumaBinding::bindThread(static_cast<int>(node), true);
-            const auto &list = perNode_[node];
-            const unsigned stride = std::max(1u, threads_here);
-            for (uint64_t i = local; i < list.size(); i += stride)
-                fn(list[i], w);
+            for (unsigned s = w; s < slots; s += workers) {
+                const unsigned node = s % nodes;
+                const unsigned local = s / nodes;
+                const unsigned slots_here =
+                    slots / nodes + (node < slots % nodes ? 1 : 0);
+                NumaBinding::bindThread(static_cast<int>(node), true);
+                const auto &list = perNode_[node];
+                const unsigned stride = std::max(1u, slots_here);
+                for (uint64_t i = local; i < list.size(); i += stride)
+                    fn(list[i], w);
+            }
         });
         round_ns += result.maxNanos();
     }
@@ -110,6 +260,15 @@ QueryDriver::forAllVertices(const std::function<void(vid_t, unsigned)> &fn)
         allVertices_.resize(view_.numVertices());
         for (vid_t v = 0; v < view_.numVertices(); ++v)
             allVertices_[v] = v;
+        allPlan_ = Plan{};
+    }
+    if (binding_ != QueryBinding::PerVertex && balancedActive()) {
+        uint64_t round_ns = 0;
+        if (!allPlan_.built)
+            round_ns += buildPlan(allVertices_, allPlan_);
+        round_ns += runPlan(allPlan_, fn);
+        totalNs_ += round_ns;
+        return round_ns;
     }
     return forEach(allVertices_, fn);
 }

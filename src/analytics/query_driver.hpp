@@ -5,6 +5,17 @@
  * classified by the NUMA node holding each vertex's adjacency, and
  * querying threads are bound to the matching node's cores — avoiding both
  * remote PMEM reads and per-vertex thread migration.
+ *
+ * Two work-distribution policies:
+ *  - Strided: deal vertices round-robin across workers. Spreads power-law
+ *    hubs, but a worker that draws several hubs straggles the round, and
+ *    the stride destroys storage-order locality.
+ *  - Balanced: weight each vertex by the store's O(1) degree cache
+ *    (GraphView::vertexWeight) and cut the id-ordered vertex list into
+ *    contiguous equal-weight chunks. Rounds finish together AND adjacent
+ *    vertices' adjacencies — which the stores pack into the same XPLines —
+ *    are read by the same worker, so the XPBuffer line a read warms is
+ *    reused by the very next vertex.
  */
 
 #ifndef XPG_ANALYTICS_QUERY_DRIVER_HPP
@@ -29,9 +40,21 @@ enum class QueryBinding
     PerVertex, ///< rebind on every vertex (the anti-pattern of S III-D)
 };
 
+/** How a round's vertices are distributed over workers. */
+enum class SchedulePolicy
+{
+    Auto,     ///< Balanced when the view has O(1) degrees, else Strided
+    Strided,  ///< round-robin deal (legacy behaviour)
+    Balanced, ///< degree-weighted contiguous chunks in id order
+};
+
 /**
  * Executes per-vertex work over vertex sets with the chosen binding
  * strategy, accumulating simulated time.
+ *
+ * The balanced policy caches the forAllVertices() schedule after the
+ * first round (the store is quiescent while a driver queries it), so
+ * the weight gather is paid once per driver, not once per iteration.
  */
 class QueryDriver
 {
@@ -40,9 +63,11 @@ class QueryDriver
      * @param view Graph under query (used for node classification).
      * @param num_threads Simulated query thread count.
      * @param binding Binding strategy.
+     * @param schedule Work-distribution policy.
      */
     QueryDriver(GraphView &view, unsigned num_threads,
-                QueryBinding binding = QueryBinding::Auto);
+                QueryBinding binding = QueryBinding::Auto,
+                SchedulePolicy schedule = SchedulePolicy::Auto);
 
     unsigned numThreads() const { return executor_.numWorkers(); }
 
@@ -61,13 +86,36 @@ class QueryDriver
     uint64_t totalNs() const { return totalNs_; }
 
   private:
+    /** A balanced schedule: id-ordered lists cut into weighted chunks. */
+    struct Plan
+    {
+        bool built = false;
+        bool bound = false;
+        /// Per node (a single entry when unbound): id-ordered vertices.
+        std::vector<std::vector<vid_t>> lists;
+        /// Per node: chunk boundaries, one chunk per virtual slot.
+        std::vector<std::vector<uint64_t>> bounds;
+    };
+
     bool bindingActive() const;
+    bool balancedActive() const;
+    /** @return simulated ns spent building (serial classify + parallel
+     *  weight gather). */
+    uint64_t buildPlan(std::span<const vid_t> vertices, Plan &plan);
+    std::vector<uint64_t> chunkBoundaries(std::span<const uint64_t> weight,
+                                          uint64_t list_size,
+                                          unsigned parts) const;
+    uint64_t runPlan(const Plan &plan,
+                     const std::function<void(vid_t, unsigned)> &fn);
 
     GraphView &view_;
     QueryBinding binding_;
+    SchedulePolicy schedule_;
     ParallelExecutor executor_;
     std::vector<std::vector<vid_t>> perNode_;
     std::vector<vid_t> allVertices_;
+    Plan allPlan_; ///< cached balanced plan for forAllVertices
+    Plan tmpPlan_; ///< per-call plan for frontier-style forEach
     uint64_t totalNs_ = 0;
 };
 

@@ -260,6 +260,8 @@ GraphOne::appendRecord(Direction &dir, vid_t v, vid_t record)
         sizeof(vid_t));
     ++chunk->count;
     ++meta.records;
+    if (isDelete(record))
+        ++meta.tombstones;
 }
 
 void
@@ -381,13 +383,33 @@ GraphOne::runArchivePhase()
 
 // --- queries -----------------------------------------------------------------
 
+/**
+ * Stream v's live records through @p fn. Device/file charges match the
+ * materializing path chunk for chunk; without tombstones the chunk
+ * contents are emitted straight from zero-copy views.
+ */
+template <typename F>
 uint32_t
-GraphOne::readDirection(const Direction &dir, vid_t v,
-                        std::vector<vid_t> &out) const
+GraphOne::visitDirection(const Direction &dir, vid_t v, F &&fn) const
 {
+    const VertexMeta &meta = dir.meta[v];
+    if (meta.tombstones == 0) {
+        uint32_t n = 0;
+        for (const Chunk &chunk : meta.chunks) {
+            if (chunk.count == 0)
+                continue;
+            chargeFileIo(uint64_t{chunk.count} * sizeof(vid_t));
+            const auto *recs = reinterpret_cast<const vid_t *>(
+                devices_[chunk.device]->readView(
+                    chunk.off, uint64_t{chunk.count} * sizeof(vid_t)));
+            for (uint32_t i = 0; i < chunk.count; ++i)
+                fn(recs[i]);
+            n += chunk.count;
+        }
+        return n;
+    }
     thread_local std::vector<vid_t> raw;
     raw.clear();
-    const VertexMeta &meta = dir.meta[v];
     for (const Chunk &chunk : meta.chunks) {
         if (chunk.count == 0)
             continue;
@@ -398,7 +420,25 @@ GraphOne::readDirection(const Direction &dir, vid_t v,
                                      uint64_t{chunk.count} *
                                          sizeof(vid_t));
     }
-    return cancelTombstones(raw, out);
+    return cancelTombstonesVisit(raw, fn);
+}
+
+uint32_t
+GraphOne::readDirection(const Direction &dir, vid_t v,
+                        std::vector<vid_t> &out) const
+{
+    return visitDirection(dir, v, [&](vid_t rec) { out.push_back(rec); });
+}
+
+uint32_t
+GraphOne::degreeOfDir(const Direction &dir, vid_t v) const
+{
+    const VertexMeta &meta = dir.meta[v];
+    if (meta.tombstones == 0) {
+        chargeDramScattered(1); // one vertex-meta cache line
+        return meta.records;
+    }
+    return visitDirection(dir, v, [](vid_t) {});
 }
 
 uint32_t
@@ -411,6 +451,40 @@ uint32_t
 GraphOne::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
 {
     return readDirection(in_, v, out);
+}
+
+uint32_t
+GraphOne::forEachNebrOut(vid_t v, NebrVisitor fn) const
+{
+    return visitDirection(out_, v, fn);
+}
+
+uint32_t
+GraphOne::forEachNebrIn(vid_t v, NebrVisitor fn) const
+{
+    return visitDirection(in_, v, fn);
+}
+
+uint32_t
+GraphOne::degreeOut(vid_t v) const
+{
+    return degreeOfDir(out_, v);
+}
+
+uint32_t
+GraphOne::degreeIn(vid_t v) const
+{
+    return degreeOfDir(in_, v);
+}
+
+uint64_t
+GraphOne::vertexWeight(vid_t v) const
+{
+    // Gathered by the query scheduler in one ascending-id bulk sweep of
+    // the per-vertex metadata.
+    chargeDramSequential(2 * kCacheLineSize);
+    return kVertexFixedWeight + uint64_t{out_.meta[v].records} +
+           in_.meta[v].records;
 }
 
 void

@@ -95,6 +95,12 @@ class GraphOne : public GraphView
     vid_t numVertices() const override { return config_.maxVertices; }
     uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
     uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
+    uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const override;
+    uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const override;
+    uint32_t degreeOut(vid_t v) const override;
+    uint32_t degreeIn(vid_t v) const override;
+    bool hasFastDegrees() const override { return true; }
+    uint64_t vertexWeight(vid_t v) const override;
     void declareQueryThreads(unsigned n) override;
 
     // --- introspection ---
@@ -117,7 +123,8 @@ class GraphOne : public GraphView
     struct VertexMeta
     {
         std::vector<Chunk> chunks;
-        uint32_t records = 0;
+        uint32_t records = 0;    ///< stored records (incl. deletes)
+        uint32_t tombstones = 0; ///< delete records among them
     };
 
     struct Direction
@@ -131,8 +138,11 @@ class GraphOne : public GraphView
     void appendRecord(Direction &dir, vid_t v, vid_t record);
     void runArchivePhase();
     void archiveWorker(unsigned w);
+    template <typename F>
+    uint32_t visitDirection(const Direction &dir, vid_t v, F &&fn) const;
     uint32_t readDirection(const Direction &dir, vid_t v,
                            std::vector<vid_t> &out) const;
+    uint32_t degreeOfDir(const Direction &dir, vid_t v) const;
 
     GraphOneConfig config_;
     std::vector<std::unique_ptr<MemoryDevice>> devices_;

@@ -101,6 +101,33 @@ class AdjacencyStore
     uint32_t readRaw(const VertexChain &chain,
                      std::vector<vid_t> &out) const;
 
+    /**
+     * Stream every record of @p chain (including delete tombstones)
+     * through @p fn(vid_t) in place via zero-copy device views — the
+     * same modeled device reads as readRaw(), no copy-out.
+     * @return records visited.
+     */
+    template <typename F>
+    uint32_t
+    forEachRaw(const VertexChain &chain, F &&fn) const
+    {
+        uint32_t total = 0;
+        uint64_t off = chain.head;
+        while (off != kNullOffset) {
+            const auto hdr = dev_->readPod<BlockHeader>(off);
+            if (hdr.count > 0) {
+                const auto *recs = reinterpret_cast<const vid_t *>(
+                    dev_->readView(off + sizeof(BlockHeader),
+                                   uint64_t{hdr.count} * sizeof(vid_t)));
+                for (uint32_t i = 0; i < hdr.count; ++i)
+                    fn(recs[i]);
+            }
+            total += hdr.count;
+            off = hdr.next;
+        }
+        return total;
+    }
+
     /** Whether the chain contains record @p nebr (recovery dedup). */
     bool contains(const VertexChain &chain, vid_t nebr) const;
 

@@ -1,0 +1,61 @@
+#include "core/log_window_index.hpp"
+
+#include <algorithm>
+
+namespace xpg {
+
+LogWindowIndex::LogWindowIndex(const CircularEdgeLog &log,
+                               vid_t num_vertices)
+    : log_(&log), numVertices_(num_vertices), capacity_(log.capacity())
+{
+    // Ring and heads are allocated on first real use (ensureCurrent with
+    // a non-empty window), so an instance costs nothing until the first
+    // log-window query.
+}
+
+void
+LogWindowIndex::ensureCurrent()
+{
+    const uint64_t target = log_->head();
+    if (indexedUpTo_.load(std::memory_order_acquire) >= target)
+        return;
+
+    std::lock_guard<std::mutex> lock(buildMutex_);
+    const uint64_t indexed = indexedUpTo_.load(std::memory_order_relaxed);
+    if (indexed >= target)
+        return;
+    // Positions below bufferedUpTo left the window unindexed: skip them.
+    const uint64_t from = std::max(indexed, log_->bufferedUpTo());
+    if (from >= target) {
+        indexedUpTo_.store(target, std::memory_order_release);
+        return;
+    }
+
+    if (ring_.empty()) {
+        ring_.resize(capacity_);
+        outHead_.assign(numVertices_, kNone);
+        inHead_.assign(numVertices_, kNone);
+    }
+
+    buildScratch_.clear();
+    log_->readRange(from, target, buildScratch_); // device-charged read
+    // DRAM cost of the index extension: a sequential stream of entry
+    // writes plus two scattered head-pointer updates per edge.
+    chargeDramSequential(buildScratch_.size() * sizeof(Entry));
+    chargeDramScattered(2 * buildScratch_.size());
+    for (uint64_t i = 0; i < buildScratch_.size(); ++i) {
+        const Edge &edge = buildScratch_[i];
+        const uint64_t pos = from + i;
+        Entry &e = ring_[pos % capacity_];
+        e.edge = edge;
+        e.pos = pos;
+        e.prevOut = outHead_[edge.src];
+        outHead_[edge.src] = pos;
+        const vid_t dst = rawVid(edge.dst);
+        e.prevIn = inHead_[dst];
+        inHead_[dst] = pos;
+    }
+    indexedUpTo_.store(target, std::memory_order_release);
+}
+
+} // namespace xpg

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-vertex chained index over the non-buffered window of the circular
+ * edge log, replacing the O(window) full-log scan that getNebrsLog*
+ * used to pay per queried vertex.
+ *
+ * Layout: a DRAM ring of Entry records, one slot per log position
+ * (slot = pos % capacity), plus per-vertex newest-position heads for the
+ * out and in directions. Each entry chains to the previous log position
+ * of the same source (prevOut) and destination (prevIn), so a vertex's
+ * window records are reachable in O(degree-in-window).
+ *
+ * The index is maintained incrementally and lazily: ensureCurrent()
+ * extends it from the last indexed position to head() (reading only the
+ * new log suffix, device-charged), and advancing bufferedUpTo() costs
+ * nothing — traversals simply stop at the window's lower bound. Stale
+ * heads/links below bufferedUpTo() are never dereferenced: a position is
+ * validated against the window before its (possibly reused) ring slot is
+ * read, and the slot's stored position is checked to match.
+ */
+
+#ifndef XPG_CORE_LOG_WINDOW_INDEX_HPP
+#define XPG_CORE_LOG_WINDOW_INDEX_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/circular_edge_log.hpp"
+#include "graph/types.hpp"
+#include "pmem/dram_device.hpp"
+
+namespace xpg {
+
+/** Chained per-vertex index over the log's [bufferedUpTo, head) window. */
+class LogWindowIndex
+{
+  public:
+    /**
+     * @param log Log to index (outlives this object).
+     * @param num_vertices Vertex-id space of the graph.
+     */
+    LogWindowIndex(const CircularEdgeLog &log, vid_t num_vertices);
+
+    /**
+     * Extend the index to cover every edge in [bufferedUpTo, head).
+     * Thread-safe; the fast path is one atomic load when up to date.
+     */
+    void ensureCurrent();
+
+    /**
+     * Visit the window's out-records of @p v, newest first (callers
+     * wanting log order reverse the collected result). Requires a
+     * preceding ensureCurrent() on this thread or earlier.
+     * @return records visited.
+     */
+    template <typename F>
+    uint32_t
+    visitOut(vid_t v, F &&fn) const
+    {
+        return visitChain(outHead_, v, true, fn);
+    }
+
+    /** In-direction variant of visitOut(): emits the stored record
+     *  (src, delete-flagged when the edge was a deletion). */
+    template <typename F>
+    uint32_t
+    visitIn(vid_t v, F &&fn) const
+    {
+        return visitChain(inHead_, v, false, fn);
+    }
+
+  private:
+    static constexpr uint64_t kNone = ~0ull;
+
+    struct Entry
+    {
+        Edge edge;       ///< the logged edge (dst carries delete flag)
+        uint64_t pos;    ///< log position stored in this slot
+        uint64_t prevOut; ///< previous window position of edge.src
+        uint64_t prevIn;  ///< previous window position of rawVid(edge.dst)
+    };
+
+    template <typename F>
+    uint32_t
+    visitChain(const std::vector<uint64_t> &heads, vid_t v, bool out,
+               F &&fn) const
+    {
+        if (heads.empty())
+            return 0; // index never built: window was empty
+        chargeDramScattered(1); // head lookup
+        const uint64_t low = log_->bufferedUpTo();
+        uint32_t n = 0;
+        uint64_t pos = heads[v];
+        while (pos != kNone && pos >= low) {
+            const Entry &e = ring_[pos % capacity_];
+            if (e.pos != pos)
+                break; // slot reused by a lapped position: chain is stale
+            chargeDramScattered(1); // random ring-slot access
+            if (out) {
+                fn(e.edge.dst);
+            } else {
+                fn(isDelete(e.edge.dst) ? asDelete(e.edge.src)
+                                        : e.edge.src);
+            }
+            ++n;
+            pos = out ? e.prevOut : e.prevIn;
+        }
+        return n;
+    }
+
+    const CircularEdgeLog *log_;
+    vid_t numVertices_;
+    uint64_t capacity_;
+
+    std::vector<Entry> ring_;          ///< slot = pos % capacity_
+    std::vector<uint64_t> outHead_;    ///< newest window pos per src
+    std::vector<uint64_t> inHead_;     ///< newest window pos per dst
+    std::atomic<uint64_t> indexedUpTo_{0};
+    std::mutex buildMutex_;
+    std::vector<Edge> buildScratch_;
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_LOG_WINDOW_INDEX_HPP

@@ -43,7 +43,6 @@ constexpr uint64_t kSuperblockBytes = 4096;
 constexpr uint64_t kAllocTailOff = 512;
 
 thread_local std::vector<vid_t> t_rawRecords;
-thread_local std::vector<Edge> t_logScratch;
 
 } // namespace
 
@@ -317,6 +316,13 @@ XPGraph::rebuildFromDevices()
                         reload.clear();
                         side->store->readRaw(st.chain, reload);
                         chargeDramScattered(2);
+                        // Rebuild the degree cache from the same scan.
+                        st.records = st.chain.records;
+                        st.tombstones = 0;
+                        for (vid_t rec : reload) {
+                            if (isDelete(rec))
+                                ++st.tombstones;
+                        }
                     }
                 }
             }
@@ -663,6 +669,13 @@ XPGraph::insertBuffered(Side &side, uint64_t slot, vid_t nebr)
     // the vertex buffer itself.
     chargeDramScattered(2);
 
+    // Degree cache: raw record count and tombstone count move together
+    // with the stored data (same cache line as the state slot already
+    // charged above).
+    ++st.records;
+    if (isDelete(nebr))
+        ++st.tombstones;
+
     if (!st.buf) {
         st.bufBytes = config_.hierarchicalBuffers
                           ? config_.minVertexBufBytes
@@ -705,23 +718,66 @@ XPGraph::flushVertex(Side &side, uint64_t slot, VertexState &st)
 
 // --- queries ---------------------------------------------------------------
 
+/**
+ * Stream v's live records (chain + buffer, tombstones applied) through
+ * @p fn in place. Device charges are identical to the materializing
+ * path: chain blocks are read through zero-copy views (same per-block
+ * header read + payload read), the buffer is one random DRAM touch.
+ */
+template <typename F>
 uint32_t
-XPGraph::collectLive(const Side *side, uint64_t slot,
-                     std::vector<vid_t> &out) const
+XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
 {
-    t_rawRecords.clear();
-    if (side) {
-        side->store->readRaw(side->states[slot].chain, t_rawRecords);
-        const VertexState &st = side->states[slot];
+    if (!side)
+        return 0;
+    const VertexState &st = side->states[slot];
+    if (st.tombstones == 0) {
+        // No delete records anywhere in this vertex: every stored
+        // record is live — emit straight from the storage.
+        uint32_t n = side->store->forEachRaw(st.chain, fn);
         if (st.buf) {
             const auto *hdr = vbuf::header(st.buf);
             chargeDramRandom(sizeof(vbuf::Header) +
                              hdr->cnt * sizeof(vid_t));
             const vid_t *pay = vbuf::payload(st.buf);
-            t_rawRecords.insert(t_rawRecords.end(), pay, pay + hdr->cnt);
+            for (uint32_t i = 0; i < hdr->cnt; ++i)
+                fn(pay[i]);
+            n += hdr->cnt;
         }
+        return n;
     }
-    return cancelTombstones(t_rawRecords, out);
+    // Tombstones pending: gather the raw records once (same device
+    // charges as above) and cancel through the small stack-set.
+    t_rawRecords.clear();
+    side->store->readRaw(st.chain, t_rawRecords);
+    if (st.buf) {
+        const auto *hdr = vbuf::header(st.buf);
+        chargeDramRandom(sizeof(vbuf::Header) + hdr->cnt * sizeof(vid_t));
+        const vid_t *pay = vbuf::payload(st.buf);
+        t_rawRecords.insert(t_rawRecords.end(), pay, pay + hdr->cnt);
+    }
+    return cancelTombstonesVisit(t_rawRecords, fn);
+}
+
+uint32_t
+XPGraph::collectLive(const Side *side, uint64_t slot,
+                     std::vector<vid_t> &out) const
+{
+    return forEachLive(side, slot, [&](vid_t v) { out.push_back(v); });
+}
+
+uint32_t
+XPGraph::degreeOf(const Side *side, uint64_t slot) const
+{
+    if (!side)
+        return 0;
+    const VertexState &st = side->states[slot];
+    if (st.tombstones == 0) {
+        chargeDramScattered(1); // one vertex-state cache line
+        return st.records;
+    }
+    // Pending tombstones: count by visiting (full charge).
+    return forEachLive(side, slot, [](vid_t) {});
 }
 
 uint32_t
@@ -736,6 +792,50 @@ XPGraph::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
 {
     const Partition &part = parts_[inOwner(v)];
     return collectLive(part.in.get(), inSlot(v), out);
+}
+
+uint32_t
+XPGraph::forEachNebrOut(vid_t v, NebrVisitor fn) const
+{
+    const Partition &part = parts_[outOwner(v)];
+    return forEachLive(part.out.get(), outSlot(v), fn);
+}
+
+uint32_t
+XPGraph::forEachNebrIn(vid_t v, NebrVisitor fn) const
+{
+    const Partition &part = parts_[inOwner(v)];
+    return forEachLive(part.in.get(), inSlot(v), fn);
+}
+
+uint32_t
+XPGraph::degreeOut(vid_t v) const
+{
+    const Partition &part = parts_[outOwner(v)];
+    return degreeOf(part.out.get(), outSlot(v));
+}
+
+uint32_t
+XPGraph::degreeIn(vid_t v) const
+{
+    const Partition &part = parts_[inOwner(v)];
+    return degreeOf(part.in.get(), inSlot(v));
+}
+
+uint64_t
+XPGraph::vertexWeight(vid_t v) const
+{
+    // Gathered by the query scheduler in one ascending-id bulk sweep:
+    // the out- and in-side state entries stream through DRAM.
+    chargeDramSequential(2 * kCacheLineSize);
+    uint64_t w = kVertexFixedWeight;
+    const Partition &po = parts_[outOwner(v)];
+    if (po.out)
+        w += po.out->states[outSlot(v)].records;
+    const Partition &pi = parts_[inOwner(v)];
+    if (pi.in)
+        w += pi.in->states[inSlot(v)].records;
+    return w;
 }
 
 uint32_t
@@ -789,33 +889,39 @@ XPGraph::getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const
     return part.in->store->readRaw(part.in->states[inSlot(v)].chain, out);
 }
 
+LogWindowIndex &
+XPGraph::logIndex() const
+{
+    {
+        std::lock_guard<std::mutex> lock(logIndexMutex_);
+        if (!logIndex_) {
+            logIndex_ = std::make_unique<LogWindowIndex>(
+                *log_, config_.maxVertices);
+        }
+    }
+    logIndex_->ensureCurrent();
+    return *logIndex_;
+}
+
 uint32_t
 XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
 {
-    t_logScratch.clear();
-    log_->readRange(log_->bufferedUpTo(), log_->head(), t_logScratch);
-    uint32_t n = 0;
-    for (const Edge &e : t_logScratch) {
-        if (e.src == v) {
-            out.push_back(e.dst);
-            ++n;
-        }
-    }
+    LogWindowIndex &index = logIndex();
+    const auto base = static_cast<std::ptrdiff_t>(out.size());
+    const uint32_t n =
+        index.visitOut(v, [&](vid_t rec) { out.push_back(rec); });
+    std::reverse(out.begin() + base, out.end()); // chains are newest-first
     return n;
 }
 
 uint32_t
 XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
 {
-    t_logScratch.clear();
-    log_->readRange(log_->bufferedUpTo(), log_->head(), t_logScratch);
-    uint32_t n = 0;
-    for (const Edge &e : t_logScratch) {
-        if (rawVid(e.dst) == v) {
-            out.push_back(isDelete(e.dst) ? asDelete(e.src) : e.src);
-            ++n;
-        }
-    }
+    LogWindowIndex &index = logIndex();
+    const auto base = static_cast<std::ptrdiff_t>(out.size());
+    const uint32_t n =
+        index.visitIn(v, [&](vid_t rec) { out.push_back(rec); });
+    std::reverse(out.begin() + base, out.end());
     return n;
 }
 
@@ -844,6 +950,9 @@ XPGraph::compactAdjs(vid_t v)
             flushVertex(*side, slot, st);
         if (!st.chain.empty())
             side->store->compact(slot, st.chain);
+        // Compaction applied every tombstone; the buffer is empty.
+        st.records = st.chain.records;
+        st.tombstones = 0;
     }
 }
 
@@ -873,6 +982,8 @@ XPGraph::compactAllAdjs()
                         flushVertex(*side, slot, st);
                     if (!st.chain.empty())
                         side->store->compact(slot, st.chain);
+                    st.records = st.chain.records;
+                    st.tombstones = 0;
                 }
             }
         });

@@ -20,11 +20,13 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/adjacency_store.hpp"
 #include "core/circular_edge_log.hpp"
+#include "core/log_window_index.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "graph/edge_sharding.hpp"
@@ -42,6 +44,17 @@ struct VertexState
     std::byte *buf = nullptr; ///< pool-allocated vertex buffer
     uint32_t bufBytes = 0;    ///< current buffer layer size (0 = none)
     VertexChain chain;        ///< DRAM mirror of the PMEM chain
+
+    /**
+     * Degree cache (invariant maintained at insert/flush/compact/
+     * recovery): `records` counts every stored record of the vertex
+     * (chain + buffer, including delete records); `tombstones` counts
+     * the delete records among them. When tombstones == 0 the live
+     * degree is exactly `records` — an O(1) answer; otherwise queries
+     * fall back to a fully-charged visiting count.
+     */
+    uint32_t records = 0;
+    uint32_t tombstones = 0;
 };
 
 /** Device capacity per node that comfortably fits the given workload. */
@@ -93,6 +106,17 @@ class XPGraph : public GraphView
 
     /** Live in-neighbors (flushed + buffered, tombstones applied). */
     uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
+
+    /** Zero-copy visit of the live out-neighbors (same device charges
+     *  as getNebrsOut, no materialization). */
+    uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const override;
+    uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const override;
+
+    /** O(1) when v has no pending tombstones (the common case). */
+    uint32_t degreeOut(vid_t v) const override;
+    uint32_t degreeIn(vid_t v) const override;
+    bool hasFastDegrees() const override { return true; }
+    uint64_t vertexWeight(vid_t v) const override;
 
     /** Raw records currently in v's DRAM vertex buffer. */
     uint32_t getNebrsBufOut(vid_t v, std::vector<vid_t> &out) const;
@@ -234,12 +258,19 @@ class XPGraph : public GraphView
     void flushVertex(Side &side, uint64_t slot, VertexState &st);
 
     // query helpers
+    template <typename F>
+    uint32_t forEachLive(const Side *side, uint64_t slot, F &&fn) const;
     uint32_t collectLive(const Side *side, uint64_t slot,
                          std::vector<vid_t> &out) const;
+    uint32_t degreeOf(const Side *side, uint64_t slot) const;
+    /** Lazily create + extend the log-window index (first log query). */
+    LogWindowIndex &logIndex() const;
 
     XPGraphConfig config_;
     std::vector<Partition> parts_;
     std::unique_ptr<CircularEdgeLog> log_;
+    mutable std::unique_ptr<LogWindowIndex> logIndex_;
+    mutable std::mutex logIndexMutex_;
     std::unique_ptr<VertexBufferPool> pool_;
     std::unique_ptr<ParallelExecutor> executor_;
 

@@ -42,6 +42,46 @@ class CsrView : public GraphView
         return static_cast<uint32_t>(nebrs.size());
     }
 
+    uint32_t
+    forEachNebrOut(vid_t v, NebrVisitor fn) const override
+    {
+        const auto nebrs = out_.neighbors(v);
+        for (vid_t nebr : nebrs)
+            fn(nebr);
+        return static_cast<uint32_t>(nebrs.size());
+    }
+
+    uint32_t
+    forEachNebrIn(vid_t v, NebrVisitor fn) const override
+    {
+        const auto nebrs = in_.neighbors(v);
+        for (vid_t nebr : nebrs)
+            fn(nebr);
+        return static_cast<uint32_t>(nebrs.size());
+    }
+
+    uint32_t
+    degreeOut(vid_t v) const override
+    {
+        return static_cast<uint32_t>(out_.neighbors(v).size());
+    }
+
+    uint32_t
+    degreeIn(vid_t v) const override
+    {
+        return static_cast<uint32_t>(in_.neighbors(v).size());
+    }
+
+    bool hasFastDegrees() const override { return true; }
+
+    uint64_t
+    vertexWeight(vid_t v) const override
+    {
+        // Cost-free reference: no modeled charge for the gather.
+        return kVertexFixedWeight + out_.neighbors(v).size() +
+               in_.neighbors(v).size();
+    }
+
     const Csr &outCsr() const { return out_; }
     const Csr &inCsr() const { return in_; }
 

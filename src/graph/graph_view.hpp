@@ -2,16 +2,54 @@
  * @file
  * Read interface shared by all graph stores (XPGraph and the GraphOne
  * baselines), consumed by the analytics algorithms and benches.
+ *
+ * Two query surfaces coexist:
+ *  - the Table-I vector interface (getNebrsOut/In) that materializes the
+ *    neighbor list into a caller vector, and
+ *  - the zero-copy visitor interface (forEachNebrOut/In + degreeOut/In)
+ *    that streams neighbors in place without materialization. Stores
+ *    charge identical modeled device costs on both surfaces; the visitor
+ *    surface only removes host-side copies and enables O(1) degrees.
  */
 
 #ifndef XPG_GRAPH_GRAPH_VIEW_HPP
 #define XPG_GRAPH_GRAPH_VIEW_HPP
 
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace xpg {
+
+/**
+ * Non-owning, non-allocating callable reference used by the visitor
+ * query API (a function_ref for `void(vid_t)`). Callers pass lambdas;
+ * stores invoke without any std::function heap allocation.
+ */
+class NebrVisitor
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, NebrVisitor> &&
+                  std::is_invocable_v<F &, vid_t>>>
+    NebrVisitor(F &&fn) // NOLINT(google-explicit-constructor)
+        : ctx_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(fn)))),
+          call_([](void *ctx, vid_t v) {
+              (*static_cast<std::remove_reference_t<F> *>(ctx))(v);
+          })
+    {
+    }
+
+    void operator()(vid_t v) const { call_(ctx_, v); }
+
+  private:
+    void *ctx_;
+    void (*call_)(void *, vid_t);
+};
 
 /**
  * A queryable directed graph. Implementations must support concurrent
@@ -34,6 +72,53 @@ class GraphView
     /** In-neighbor variant of getNebrsOut(). */
     virtual uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const = 0;
 
+    /**
+     * Invoke @p fn for each live out-neighbor of @p v without
+     * materializing a neighbor vector. Charges the same modeled device
+     * reads as getNebrsOut(). Default adapts the vector interface.
+     * @return the number of neighbors visited.
+     */
+    virtual uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const;
+
+    /** In-neighbor variant of forEachNebrOut(). */
+    virtual uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const;
+
+    /**
+     * Live out-degree of @p v. Stores with a degree cache answer in
+     * O(1); the default counts via forEachNebrOut (full charge).
+     */
+    virtual uint32_t
+    degreeOut(vid_t v) const
+    {
+        return forEachNebrOut(v, [](vid_t) {});
+    }
+
+    /** Live in-degree of @p v (see degreeOut()). */
+    virtual uint32_t
+    degreeIn(vid_t v) const
+    {
+        return forEachNebrIn(v, [](vid_t) {});
+    }
+
+    /** Whether degreeOut/In are O(1) (degree cache / CSR offsets). */
+    virtual bool hasFastDegrees() const { return false; }
+
+    /**
+     * Cheap per-vertex work estimate used for load-balanced query
+     * scheduling (gathered in ascending-id bulk sweeps). Stores charge
+     * their own modeled cost for the lookup. Default: uniform.
+     *
+     * Implementations should return kVertexFixedWeight + stored records:
+     * visiting a vertex pays a fixed metadata/header cost worth roughly
+     * that many record-reads, so pure-degree weights would pack thousands
+     * of low-degree vertices into one "light" chunk and recreate the
+     * stragglers the balance exists to remove.
+     */
+    virtual uint64_t vertexWeight(vid_t) const { return kVertexFixedWeight; }
+
+    /** Fixed per-vertex visit cost, in units of one adjacency record. */
+    static constexpr uint64_t kVertexFixedWeight = 64;
+
     /** NUMA node whose memory holds v's out-adjacency (query binding). */
     virtual int nodeOfOut(vid_t v) const { return 0; }
 
@@ -49,6 +134,37 @@ class GraphView
     /** Declare the number of concurrent query threads (read contention). */
     virtual void declareQueryThreads(unsigned n) {}
 };
+
+namespace detail {
+inline std::vector<vid_t> &
+visitorScratch()
+{
+    thread_local std::vector<vid_t> scratch;
+    return scratch;
+}
+} // namespace detail
+
+inline uint32_t
+GraphView::forEachNebrOut(vid_t v, NebrVisitor fn) const
+{
+    auto &scratch = detail::visitorScratch();
+    scratch.clear();
+    const uint32_t n = getNebrsOut(v, scratch);
+    for (vid_t nebr : scratch)
+        fn(nebr);
+    return n;
+}
+
+inline uint32_t
+GraphView::forEachNebrIn(vid_t v, NebrVisitor fn) const
+{
+    auto &scratch = detail::visitorScratch();
+    scratch.clear();
+    const uint32_t n = getNebrsIn(v, scratch);
+    for (vid_t nebr : scratch)
+        fn(nebr);
+    return n;
+}
 
 } // namespace xpg
 

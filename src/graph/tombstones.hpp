@@ -2,22 +2,135 @@
  * @file
  * Delete-record (tombstone) cancellation shared by all stores: a delete
  * record cancels one earlier insert of the same neighbor id.
+ *
+ * The streaming form (cancelTombstonesVisit) tracks only the neighbor
+ * ids that actually have delete records — a small stack-resident set in
+ * the common case — instead of folding every record through a heap
+ * hash map. Records whose id is never deleted are emitted immediately
+ * in arrival order; tracked ids are emitted after the fold (the
+ * relative order of survivors under deletes is unspecified, as before).
  */
 
 #ifndef XPG_GRAPH_TOMBSTONES_HPP
 #define XPG_GRAPH_TOMBSTONES_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace xpg {
 
+namespace detail {
+
+/** Tracked neighbor id: one per distinct delete target. */
+struct TombstoneSlot
+{
+    vid_t id;
+    int64_t live; ///< net live inserts folded so far
+};
+
 /**
- * Append the live neighbors of @p raw (records in arrival order, possibly
- * containing delete-flagged entries) to @p out.
+ * Fold @p raw against the tracked delete targets in @p slots
+ * [0, n_slots), emitting untracked inserts straight to @p fn.
+ * @return live records emitted (including deferred tracked emits).
+ */
+template <typename F>
+inline uint32_t
+foldTracked(std::span<const vid_t> raw, TombstoneSlot *slots,
+            size_t n_slots, F &&fn)
+{
+    auto find = [&](vid_t id) -> TombstoneSlot * {
+        for (size_t i = 0; i < n_slots; ++i)
+            if (slots[i].id == id)
+                return &slots[i];
+        return nullptr;
+    };
+    uint32_t n = 0;
+    for (vid_t v : raw) {
+        if (isDelete(v)) {
+            TombstoneSlot *s = find(rawVid(v));
+            if (s && s->live > 0)
+                --s->live;
+        } else if (TombstoneSlot *s = find(v)) {
+            ++s->live;
+        } else {
+            fn(v);
+            ++n;
+        }
+    }
+    for (size_t i = 0; i < n_slots; ++i) {
+        for (int64_t k = 0; k < slots[i].live; ++k) {
+            fn(slots[i].id);
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace detail
+
+/**
+ * Emit the live neighbors of @p raw (records in arrival order, possibly
+ * containing delete-flagged entries) through @p fn(vid_t).
+ * @return the number of live neighbors emitted.
+ */
+template <typename F>
+inline uint32_t
+cancelTombstonesVisit(std::span<const vid_t> raw, F &&fn)
+{
+    // Distinct delete targets; nearly always few enough for the stack.
+    constexpr size_t kStackSlots = 64;
+    detail::TombstoneSlot stack_slots[kStackSlots];
+    size_t n_slots = 0;
+    bool spilled = false;
+    for (vid_t v : raw) {
+        if (!isDelete(v))
+            continue;
+        const vid_t id = rawVid(v);
+        bool known = false;
+        for (size_t i = 0; i < n_slots; ++i) {
+            if (stack_slots[i].id == id) {
+                known = true;
+                break;
+            }
+        }
+        if (known)
+            continue;
+        if (n_slots == kStackSlots) {
+            spilled = true;
+            break;
+        }
+        stack_slots[n_slots++] = detail::TombstoneSlot{id, 0};
+    }
+
+    if (!spilled)
+        return detail::foldTracked(raw, stack_slots, n_slots, fn);
+
+    // Pathological tombstone fan-out: spill the tracked set to the heap.
+    std::vector<detail::TombstoneSlot> heap_slots(
+        stack_slots, stack_slots + n_slots);
+    for (vid_t v : raw) {
+        if (!isDelete(v))
+            continue;
+        const vid_t id = rawVid(v);
+        bool known = false;
+        for (const auto &s : heap_slots) {
+            if (s.id == id) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            heap_slots.push_back(detail::TombstoneSlot{id, 0});
+    }
+    return detail::foldTracked(raw, heap_slots.data(), heap_slots.size(),
+                               fn);
+}
+
+/**
+ * Append the live neighbors of @p raw to @p out.
  * @return the number of live neighbors appended.
  */
 inline uint32_t
@@ -34,26 +147,7 @@ cancelTombstones(const std::vector<vid_t> &raw, std::vector<vid_t> &out)
         out.insert(out.end(), raw.begin(), raw.end());
         return static_cast<uint32_t>(raw.size());
     }
-
-    std::unordered_map<vid_t, int64_t> counts;
-    counts.reserve(raw.size());
-    for (vid_t v : raw) {
-        if (isDelete(v)) {
-            auto it = counts.find(rawVid(v));
-            if (it != counts.end() && it->second > 0)
-                --it->second;
-        } else {
-            ++counts[v];
-        }
-    }
-    uint32_t n = 0;
-    for (const auto &[v, c] : counts) {
-        for (int64_t i = 0; i < c; ++i) {
-            out.push_back(v);
-            ++n;
-        }
-    }
-    return n;
+    return cancelTombstonesVisit(raw, [&](vid_t v) { out.push_back(v); });
 }
 
 } // namespace xpg

@@ -39,6 +39,15 @@ DramDevice::read(uint64_t off, void *dst, uint64_t size)
     std::memcpy(dst, raw(off), size);
 }
 
+const std::byte *
+DramDevice::readView(uint64_t off, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    chargeAccess(size, false);
+    return raw(off);
+}
+
 void
 DramDevice::write(uint64_t off, const void *src, uint64_t size)
 {

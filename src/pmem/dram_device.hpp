@@ -29,6 +29,7 @@ class DramDevice : public MemoryDevice
                const CostParams *params = nullptr);
 
     void read(uint64_t off, void *dst, uint64_t size) override;
+    const std::byte *readView(uint64_t off, uint64_t size) override;
     void write(uint64_t off, const void *src, uint64_t size) override;
 
     const CostParams &params() const { return *params_; }

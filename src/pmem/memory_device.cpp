@@ -6,6 +6,7 @@
 
 #include <cstring>
 #include <type_traits>
+#include <vector>
 
 #include "pmem/numa_topology.hpp"
 #include "util/logging.hpp"
@@ -56,6 +57,16 @@ MemoryDevice::MemoryDevice(std::string name, uint64_t capacity, int node,
       numNodes_(num_nodes ? num_nodes : 1),
       backing_(capacity, backing_path)
 {
+}
+
+const std::byte *
+MemoryDevice::readView(uint64_t off, uint64_t size)
+{
+    thread_local std::vector<std::byte> scratch;
+    if (scratch.size() < size)
+        scratch.resize(size);
+    read(off, scratch.data(), size);
+    return scratch.data();
 }
 
 void

@@ -78,6 +78,17 @@ class MemoryDevice
     /** Copy @p size bytes at @p off into @p dst, charging modeled cost. */
     virtual void read(uint64_t off, void *dst, uint64_t size) = 0;
 
+    /**
+     * Zero-copy read: charge exactly like read() but return a pointer to
+     * the range instead of copying it out. The pointer stays valid until
+     * the next write to the range (queries never run concurrently with
+     * updates). The base implementation copies into a thread-local
+     * scratch via read(), so the returned view is additionally
+     * invalidated by the thread's next readView() call; device
+     * subclasses override with a true in-place view.
+     */
+    virtual const std::byte *readView(uint64_t off, uint64_t size);
+
     /** Copy @p size bytes from @p src to @p off, charging modeled cost. */
     virtual void write(uint64_t off, const void *src, uint64_t size) = 0;
 

@@ -82,6 +82,18 @@ MemoryModeDevice::read(uint64_t off, void *dst, uint64_t size)
     std::memcpy(dst, raw(off), size);
 }
 
+const std::byte *
+MemoryModeDevice::readView(uint64_t off, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = xplineOf(off);
+    const uint64_t last = xplineOf(off + size - 1);
+    for (uint64_t line = first; line <= last; ++line)
+        access(line, false);
+    return raw(off);
+}
+
 void
 MemoryModeDevice::write(uint64_t off, const void *src, uint64_t size)
 {

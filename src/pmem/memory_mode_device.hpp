@@ -36,6 +36,7 @@ class MemoryModeDevice : public MemoryDevice
                      const CostParams *params = nullptr);
 
     void read(uint64_t off, void *dst, uint64_t size) override;
+    const std::byte *readView(uint64_t off, uint64_t size) override;
     void write(uint64_t off, const void *src, uint64_t size) override;
 
     /** Fraction of line accesses served from the DRAM cache. */

@@ -75,15 +75,29 @@ PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
 }
 
 void
-PmemDevice::read(uint64_t off, void *dst, uint64_t size)
+PmemDevice::chargeRead(uint64_t off, uint64_t size)
 {
-    checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line)
         chargeLoadOutcome(buffer_.load(line));
+}
+
+void
+PmemDevice::read(uint64_t off, void *dst, uint64_t size)
+{
+    checkRange(off, size);
+    chargeRead(off, size);
     std::memcpy(dst, raw(off), size);
+}
+
+const std::byte *
+PmemDevice::readView(uint64_t off, uint64_t size)
+{
+    checkRange(off, size);
+    chargeRead(off, size);
+    return raw(off);
 }
 
 void

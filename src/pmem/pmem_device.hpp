@@ -43,6 +43,7 @@ class PmemDevice : public MemoryDevice
                const CostParams *params = nullptr);
 
     void read(uint64_t off, void *dst, uint64_t size) override;
+    const std::byte *readView(uint64_t off, uint64_t size) override;
     void write(uint64_t off, const void *src, uint64_t size) override;
     void persist(uint64_t off, uint64_t size) override;
     void quiesce() override;
@@ -55,6 +56,7 @@ class PmemDevice : public MemoryDevice
   private:
     void chargeStoreOutcome(const XPAccessOutcome &out);
     void chargeLoadOutcome(const XPAccessOutcome &out);
+    void chargeRead(uint64_t off, uint64_t size);
 
     XPBuffer buffer_;
     const CostParams *params_;

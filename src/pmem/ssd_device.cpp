@@ -75,6 +75,18 @@ SsdDevice::read(uint64_t off, void *dst, uint64_t size)
     std::memcpy(dst, raw(off), size);
 }
 
+const std::byte *
+SsdDevice::readView(uint64_t off, uint64_t size)
+{
+    checkRange(off, size);
+    appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    const uint64_t first = blockOf(off);
+    const uint64_t last = blockOf(off + size - 1);
+    for (uint64_t block = first; block <= last; ++block)
+        chargeOutcome(cache_.load(block), false);
+    return raw(off);
+}
+
 void
 SsdDevice::write(uint64_t off, const void *src, uint64_t size)
 {

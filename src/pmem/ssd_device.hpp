@@ -55,6 +55,7 @@ class SsdDevice : public MemoryDevice
               uint64_t cache_blocks = 1024);
 
     void read(uint64_t off, void *dst, uint64_t size) override;
+    const std::byte *readView(uint64_t off, uint64_t size) override;
     void write(uint64_t off, const void *src, uint64_t size) override;
     void persist(uint64_t off, uint64_t size) override;
     void quiesce() override;

@@ -88,6 +88,48 @@ TEST(AnalyticsExact, PageRankPrefersHighInDegree)
     EXPECT_GT(rank[0], rank[1]);
 }
 
+TEST(AnalyticsExact, PageRankConservesRankMass)
+{
+    // On a graph with no dangling vertices no rank leaks, so the ranks
+    // reported after the final sweep must sum to exactly 1 (up to FP
+    // noise) — this pins the final-iteration fix: ranks come from the
+    // last sweep's output, not a re-normalized vector.
+    const vid_t n = 12;
+    std::vector<Edge> edges;
+    for (vid_t v = 0; v < n; ++v) {
+        edges.push_back(Edge{v, static_cast<vid_t>((v + 1) % n)});
+        edges.push_back(Edge{v, static_cast<vid_t>((v + 5) % n)});
+    }
+    CsrView view(n, edges);
+    for (unsigned iterations : {1u, 3u, 10u}) {
+        for (QueryEngine engine :
+             {QueryEngine::Vector, QueryEngine::Visitor}) {
+            const auto r = runPageRank(view, iterations, 2,
+                                       QueryBinding::Auto, engine);
+            EXPECT_NEAR(static_cast<double>(r.checksum), 1e6, 5.0)
+                << iterations << " iterations";
+        }
+    }
+}
+
+TEST(AnalyticsExact, PageRankZeroIterationsIsUniformStart)
+{
+    CsrView view(4, std::vector<Edge>{{0, 1}, {1, 2}});
+    const auto r = runPageRank(view, 0, 2);
+    EXPECT_EQ(r.iterations, 0u);
+    // Ranks are the untouched uniform start vector, summing to 1.
+    EXPECT_NEAR(static_cast<double>(r.checksum), 1e6, 5.0);
+}
+
+TEST(AnalyticsExact, PageRankIsDeterministicAcrossRuns)
+{
+    std::vector<Edge> edges{{0, 2}, {1, 2}, {2, 0}, {2, 1}};
+    CsrView view(3, edges);
+    const auto a = runPageRank(view, 7, 4);
+    const auto b = runPageRank(view, 7, 4);
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
 TEST(AnalyticsExact, ConnectedComponentsOnForest)
 {
     // Chain 0-1-2, pair 3-4, isolated 5 and 6: 4 components.

@@ -69,6 +69,17 @@ expectSameNeighbors(XPGraph &graph, const Csr &out_csr, const Csr &in_csr)
         ASSERT_EQ(nebrs.size(), expect_in.size()) << "in-degree of " << v;
         EXPECT_TRUE(
             std::equal(nebrs.begin(), nebrs.end(), expect_in.begin()));
+
+        // The recovered store must also rebuild the live-degree cache
+        // and serve the zero-copy visitor path consistently.
+        EXPECT_EQ(graph.degreeOut(v), expect.size())
+            << "recovered degree cache (out) of " << v;
+        EXPECT_EQ(graph.degreeIn(v), expect_in.size())
+            << "recovered degree cache (in) of " << v;
+        uint32_t visited = 0;
+        graph.forEachNebrOut(v, [&](vid_t) { ++visited; });
+        EXPECT_EQ(visited, expect.size())
+            << "recovered visitor (out) of " << v;
     }
 }
 

@@ -30,7 +30,9 @@ testConfig(vid_t num_vertices, uint64_t num_edges)
     return c;
 }
 
-/** Ingest, fully archive, and compare every adjacency against CSR. */
+/** Ingest, fully archive, and compare every adjacency against CSR —
+ *  through the vector interface, the zero-copy visitor interface, and
+ *  the O(1) degree cache, which must all agree. */
 void
 expectMatchesCsr(XPGraph &graph, vid_t num_vertices,
                  const std::vector<Edge> &edges)
@@ -39,6 +41,7 @@ expectMatchesCsr(XPGraph &graph, vid_t num_vertices,
     const Csr out_csr(num_vertices, edges, false);
     const Csr in_csr(num_vertices, edges, true);
     std::vector<vid_t> nebrs;
+    std::vector<vid_t> visited;
     for (vid_t v = 0; v < num_vertices; ++v) {
         nebrs.clear();
         graph.getNebrsOut(v, nebrs);
@@ -48,6 +51,15 @@ expectMatchesCsr(XPGraph &graph, vid_t num_vertices,
         EXPECT_TRUE(std::equal(nebrs.begin(), nebrs.end(), expect.begin()))
             << "out-neighbors of " << v;
 
+        visited.clear();
+        const uint32_t n_out = graph.forEachNebrOut(
+            v, [&](vid_t n) { visited.push_back(n); });
+        std::sort(visited.begin(), visited.end());
+        EXPECT_EQ(visited, nebrs) << "visitor out-neighbors of " << v;
+        EXPECT_EQ(n_out, nebrs.size());
+        EXPECT_EQ(graph.degreeOut(v), nebrs.size())
+            << "degree cache (out) of " << v;
+
         nebrs.clear();
         graph.getNebrsIn(v, nebrs);
         std::sort(nebrs.begin(), nebrs.end());
@@ -56,6 +68,15 @@ expectMatchesCsr(XPGraph &graph, vid_t num_vertices,
         EXPECT_TRUE(
             std::equal(nebrs.begin(), nebrs.end(), expect_in.begin()))
             << "in-neighbors of " << v;
+
+        visited.clear();
+        const uint32_t n_in = graph.forEachNebrIn(
+            v, [&](vid_t n) { visited.push_back(n); });
+        std::sort(visited.begin(), visited.end());
+        EXPECT_EQ(visited, nebrs) << "visitor in-neighbors of " << v;
+        EXPECT_EQ(n_in, nebrs.size());
+        EXPECT_EQ(graph.degreeIn(v), nebrs.size())
+            << "degree cache (in) of " << v;
     }
 }
 
@@ -218,6 +239,131 @@ TEST(XPGraph, LoggedEdgesVisibleBeforeBuffering)
     EXPECT_EQ(graph.getNebrsBufOut(3, nebrs), 2u);
     std::vector<Edge> after;
     EXPECT_EQ(graph.getLoggedEdges(after), 0u);
+}
+
+TEST(XPGraph, VisitorAgreesAcrossStorageLayers)
+{
+    // Adjacencies spanning flushed PMEM chains, DRAM vertex buffers,
+    // and tombstones in both layers: the visitor and degree cache must
+    // agree with the materializing interface everywhere.
+    const vid_t nv = 64;
+    XPGraphConfig c = testConfig(nv, 8000);
+    XPGraph graph(c);
+
+    auto first = generateUniform(nv, 3000, 41);
+    graph.addEdges(first.data(), first.size());
+    graph.bufferAllEdges();
+    graph.flushAllVbufs(); // first batch now in PMEM chains
+
+    // Delete a slice of the flushed edges (tombstones against PMEM).
+    for (uint64_t i = 0; i < first.size(); i += 17)
+        graph.delEdge(first[i].src, first[i].dst);
+
+    // Second batch stays in DRAM buffers, with some same-batch deletes.
+    auto second = generateUniform(nv, 2000, 42);
+    graph.addEdges(second.data(), second.size());
+    for (uint64_t i = 0; i < second.size(); i += 13)
+        graph.delEdge(second[i].src, second[i].dst);
+    graph.bufferAllEdges();
+
+    std::vector<vid_t> nebrs;
+    std::vector<vid_t> visited;
+    for (vid_t v = 0; v < nv; ++v) {
+        nebrs.clear();
+        graph.getNebrsOut(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        visited.clear();
+        graph.forEachNebrOut(v, [&](vid_t n) { visited.push_back(n); });
+        std::sort(visited.begin(), visited.end());
+        EXPECT_EQ(visited, nebrs) << "out of " << v;
+        EXPECT_EQ(graph.degreeOut(v), nebrs.size()) << "degree of " << v;
+
+        nebrs.clear();
+        graph.getNebrsIn(v, nebrs);
+        std::sort(nebrs.begin(), nebrs.end());
+        visited.clear();
+        graph.forEachNebrIn(v, [&](vid_t n) { visited.push_back(n); });
+        std::sort(visited.begin(), visited.end());
+        EXPECT_EQ(visited, nebrs) << "in of " << v;
+        EXPECT_EQ(graph.degreeIn(v), nebrs.size()) << "in-degree of " << v;
+    }
+}
+
+TEST(XPGraph, DegreeCacheTracksDeletesThroughCompaction)
+{
+    const vid_t nv = 16;
+    XPGraph graph(testConfig(nv, 1000));
+    graph.addEdge(1, 2);
+    graph.addEdge(1, 3);
+    graph.addEdge(1, 2); // duplicate
+    graph.bufferAllEdges();
+    EXPECT_EQ(graph.degreeOut(1), 3u);
+
+    graph.delEdge(1, 2); // cancels one copy
+    graph.bufferAllEdges();
+    EXPECT_EQ(graph.degreeOut(1), 2u);
+    EXPECT_EQ(graph.degreeIn(2), 1u);
+
+    graph.flushAllVbufs();
+    EXPECT_EQ(graph.degreeOut(1), 2u);
+
+    graph.compactAdjs(1);
+    EXPECT_EQ(graph.degreeOut(1), 2u);
+    graph.compactAllAdjs();
+    EXPECT_EQ(graph.degreeIn(2), 1u);
+
+    // After compaction the tombstones are gone; deleting again removes
+    // the surviving copy and the cache must follow.
+    graph.delEdge(1, 2);
+    graph.bufferAllEdges();
+    EXPECT_EQ(graph.degreeOut(1), 1u);
+    EXPECT_EQ(graph.degreeIn(2), 0u);
+}
+
+TEST(XPGraph, LogIndexFollowsTheBufferingWindow)
+{
+    const vid_t nv = 16;
+    XPGraphConfig c = testConfig(nv, 1000);
+    c.bufferingThresholdEdges = 1 << 10; // manual buffering only
+    XPGraph graph(c);
+
+    graph.addEdge(3, 4);
+    graph.addEdge(3, 5);
+    graph.addEdge(7, 4);
+
+    std::vector<vid_t> nebrs;
+    EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 2u);
+    EXPECT_EQ(nebrs, (std::vector<vid_t>{4, 5}));
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogIn(4, nebrs), 2u);
+    std::sort(nebrs.begin(), nebrs.end());
+    EXPECT_EQ(nebrs, (std::vector<vid_t>{3, 7}));
+
+    // Repeated queries hit the already-built index and stay correct.
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogOut(7, nebrs), 1u);
+    EXPECT_EQ(nebrs[0], 4u);
+
+    // Advance the window: buffered edges leave the log view, and edges
+    // logged afterwards are indexed incrementally.
+    graph.bufferAllEdges();
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 0u);
+
+    graph.addEdge(3, 9);
+    graph.addEdge(8, 9);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 1u);
+    EXPECT_EQ(nebrs[0], 9u);
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogIn(9, nebrs), 2u);
+    std::sort(nebrs.begin(), nebrs.end());
+    EXPECT_EQ(nebrs, (std::vector<vid_t>{3, 8}));
+
+    // And the window keeps sliding.
+    graph.bufferAllEdges();
+    nebrs.clear();
+    EXPECT_EQ(graph.getNebrsLogIn(9, nebrs), 0u);
 }
 
 TEST(XPGraph, FlushMovesBufferedToPmem)
