@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 namespace xpg::bench {
 
@@ -55,21 +56,39 @@ graphoneConfig(const Dataset &ds, GraphOneVariant variant,
 }
 
 IngestOutcome
-ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
-              const std::string &label)
+ingestStore(GraphStore &store, const Dataset &ds, const std::string &label,
+            bool volatile_store, unsigned sessions)
 {
-    XPGraph graph(config);
-    graph.addEdges(ds.edges.data(), ds.edges.size());
-    graph.bufferAllEdges();
-    graph.flushAllVbufs();
+    const Edge *edges = ds.edges.data();
+    const uint64_t total = ds.edges.size();
+    if (sessions == 0) {
+        store.addEdges(edges, total);
+    } else {
+        // Contiguous chunks keep every (src,dst) pair's records in one
+        // session's log, preserving per-pair tombstone ordering.
+        std::vector<std::thread> clients;
+        clients.reserve(sessions);
+        const uint64_t chunk = (total + sessions - 1) / sessions;
+        for (unsigned t = 0; t < sessions; ++t) {
+            const uint64_t lo = std::min<uint64_t>(t * chunk, total);
+            const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
+            clients.emplace_back([&store, edges, lo, hi, t] {
+                auto session = store.session(t);
+                session->addEdges(edges + lo, hi - lo);
+            });
+        }
+        for (std::thread &c : clients)
+            c.join();
+    }
+    store.archiveAll();
 
     IngestOutcome o;
     o.system = label;
     o.dataset = ds.spec.abbrev;
-    o.stats = graph.stats();
-    o.counters = graph.pmemCounters();
-    o.mem = graph.memoryUsage();
-    if (config.memKind == MemKind::Dram) {
+    o.stats = store.ingestStats();
+    o.counters = store.pmemCounters();
+    o.mem = store.memoryUsage();
+    if (volatile_store) {
         const ScaledTestbed t = ScaledTestbed::at(scaleShift());
         o.oom = dramFootprint(o) > t.dramBudgetBytes;
     }
@@ -77,24 +96,21 @@ ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
 }
 
 IngestOutcome
+ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
+              const std::string &label)
+{
+    XPGraph graph(config);
+    return ingestStore(graph, ds, label,
+                       config.memKind == MemKind::Dram);
+}
+
+IngestOutcome
 ingestGraphone(const Dataset &ds, const GraphOneConfig &config,
                const std::string &label)
 {
     GraphOne graph(config);
-    graph.addEdges(ds.edges.data(), ds.edges.size());
-    graph.archiveAll();
-
-    IngestOutcome o;
-    o.system = label;
-    o.dataset = ds.spec.abbrev;
-    o.stats = graph.stats();
-    o.counters = graph.pmemCounters();
-    o.mem = graph.memoryUsage();
-    if (config.variant == GraphOneVariant::Dram) {
-        const ScaledTestbed t = ScaledTestbed::at(scaleShift());
-        o.oom = dramFootprint(o) > t.dramBudgetBytes;
-    }
-    return o;
+    return ingestStore(graph, ds, label,
+                       config.variant == GraphOneVariant::Dram);
 }
 
 std::unique_ptr<XPGraph>

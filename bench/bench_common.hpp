@@ -89,6 +89,21 @@ XPGraphConfig xpgraphConfig(const Dataset &ds, unsigned archive_threads);
 GraphOneConfig graphoneConfig(const Dataset &ds, GraphOneVariant variant,
                               unsigned archive_threads);
 
+/**
+ * Engine-polymorphic ingest driver: feed the dataset through the
+ * GraphStore interface, then fully archive it (a sync point).
+ *
+ * @p sessions == 0 drives the store through its default-session shim
+ * (store.addEdges), exactly as the single-thread benches always have.
+ * @p sessions >= 1 spawns that many client threads, each opening its own
+ * IngestSession (thread index as the NUMA hint) and appending a
+ * contiguous chunk of the edge stream. @p volatile_store marks runs that
+ * must fit the scaled DRAM budget (OOM modeling).
+ */
+IngestOutcome ingestStore(GraphStore &store, const Dataset &ds,
+                          const std::string &label, bool volatile_store,
+                          unsigned sessions = 0);
+
 /** Build + ingest + fully archive an XPGraph instance. */
 IngestOutcome ingestXpgraph(const Dataset &ds, const XPGraphConfig &config,
                             const std::string &label);

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 query benchmark driver: configures and builds the tree, runs the
-# fig14 query bench (vector vs visitor engines) and the query-primitive
-# microbenchmarks, and leaves the machine-readable per-engine numbers in
-# BENCH_query.json (override the path with XPG_BENCH_JSON).
+# Tier-1 benchmark driver: configures and builds the tree, runs the
+# fig14 query bench (vector vs visitor engines), the query-primitive
+# microbenchmarks, and the concurrent-ingest scaling bench, and leaves
+# the machine-readable numbers in BENCH_query.json / BENCH_ingest.json
+# (override the paths with XPG_BENCH_JSON / XPG_BENCH_INGEST_JSON).
+#
+# With XPG_TSAN=1 a second build tree (<build-dir>-tsan) is compiled
+# with -DXPG_SANITIZE=thread and the concurrency test suites run under
+# ThreadSanitizer before the benches.
 #
 # Usage: bench/run_tier1_bench.sh [build-dir] [dataset...]
 #   build-dir  defaults to ./build
-#   dataset    fig14 dataset abbreviations, default "TT" (tier-1 sized)
+#   dataset    fig14/fig20 dataset abbreviations, default "TT"
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,9 +19,17 @@ build_dir="${1:-${repo_root}/build}"
 shift $(( $# > 0 ? 1 : 0 ))
 datasets=("${@:-TT}")
 
+if [[ "${XPG_TSAN:-0}" == "1" ]]; then
+    tsan_dir="${build_dir}-tsan"
+    cmake -B "${tsan_dir}" -S "${repo_root}" -DXPG_SANITIZE=thread
+    cmake --build "${tsan_dir}" -j "$(nproc)" --target xpg_tests
+    "${tsan_dir}/tests/xpg_tests" \
+        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*'
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "$(nproc)" \
-      --target fig14_query micro_primitives
+      --target fig14_query micro_primitives fig20_ingest
 
 export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 "${build_dir}/bench/fig14_query" "${datasets[@]}"
@@ -25,5 +38,8 @@ export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
     --benchmark_filter='BM_(GetNebrs|Degree|LogWindow).*' \
     --benchmark_min_time=0.05
 
+export XPG_BENCH_INGEST_JSON="${XPG_BENCH_INGEST_JSON:-${repo_root}/BENCH_ingest.json}"
+"${build_dir}/bench/fig20_ingest" "${datasets[0]}"
+
 echo
-echo "wrote ${XPG_BENCH_JSON}"
+echo "wrote ${XPG_BENCH_JSON} and ${XPG_BENCH_INGEST_JSON}"

@@ -29,7 +29,53 @@ constexpr uint32_t kMaxChunkRecords = 16384;
 /** Per-batch degree-increment scratch, reused across phases. */
 thread_local std::vector<vid_t> t_touched;
 
+void
+atomicFetchMax(std::atomic<uint64_t> &target, uint64_t value)
+{
+    uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !target.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
 } // namespace
+
+/**
+ * A client thread's handle onto the ONE shared edge log. GraphOne is
+ * NUMA-oblivious: sessions never bind their thread, so accesses to the
+ * single log device pay the unbound (topology-average) remote factor.
+ */
+class GraphOne::Session final : public IngestSession
+{
+  public:
+    explicit Session(GraphOne &graph) : graph_(graph)
+    {
+        graph_.openSession();
+    }
+
+    ~Session() override
+    {
+        graph_.closeSession(loggingNs_, loggingNs_ + inlineArchiveNs_);
+    }
+
+    uint64_t
+    addEdges(const Edge *edges, uint64_t n) override
+    {
+        loggingNs_ += graph_.appendFromClient(edges, n, inlineArchiveNs_);
+        edgesLogged_ += n;
+        return n;
+    }
+
+    uint64_t edgesLogged() const override { return edgesLogged_; }
+    uint64_t loggingNs() const override { return loggingNs_; }
+
+  private:
+    GraphOne &graph_;
+    uint64_t edgesLogged_ = 0;
+    uint64_t loggingNs_ = 0;
+    uint64_t inlineArchiveNs_ = 0;
+};
 
 uint64_t
 graphoneRecommendedBytesPerNode(const GraphOneConfig &config,
@@ -167,47 +213,153 @@ GraphOne::delEdge(vid_t src, vid_t dst)
 uint64_t
 GraphOne::addEdges(const Edge *edges, uint64_t n)
 {
+    uint64_t inline_ns = 0;
+    const uint64_t ns = appendFromClient(edges, n, inline_ns);
+    defaultSessionNs_.fetch_add(ns, std::memory_order_relaxed);
+    defaultStreamNs_.fetch_add(ns + inline_ns, std::memory_order_relaxed);
+    return n;
+}
+
+std::unique_ptr<IngestSession>
+GraphOne::session(unsigned /*thread_hint*/)
+{
+    // One shared log: every session lands on it regardless of the hint.
+    return std::make_unique<Session>(*this);
+}
+
+void
+GraphOne::openSession()
+{
+    openSessions_.fetch_add(1, std::memory_order_relaxed);
+    sessionsOpened_.fetch_add(1, std::memory_order_relaxed);
+    declareLogWriters();
+}
+
+void
+GraphOne::closeSession(uint64_t session_ns, uint64_t stream_ns)
+{
+    atomicFetchMax(sessionNsMax_, session_ns);
+    atomicFetchMax(streamNsMax_, stream_ns);
+    openSessions_.fetch_sub(1, std::memory_order_relaxed);
+    declareLogWriters();
+}
+
+void
+GraphOne::declareLogWriters()
+{
+    // Every session stores into the same log device — the shared-DIMM
+    // write contention XPGraph's per-node logs avoid.
+    logDevice_->setDeclaredWriters(
+        std::max(1u, openSessions_.load(std::memory_order_relaxed)));
+}
+
+uint64_t
+GraphOne::tryReserveLog(uint64_t n, uint64_t &pos)
+{
+    uint64_t cur = reservedHead_.load(std::memory_order_relaxed);
+    for (;;) {
+        const uint64_t archived =
+            archivedUpTo_.load(std::memory_order_acquire);
+        const uint64_t free =
+            config_.elogCapacityEdges - (cur - archived);
+        const uint64_t take = std::min(n, free);
+        if (take == 0)
+            return 0;
+        if (reservedHead_.compare_exchange_weak(
+                cur, cur + take, std::memory_order_relaxed,
+                std::memory_order_relaxed)) {
+            pos = cur;
+            return take;
+        }
+    }
+}
+
+void
+GraphOne::writeLog(uint64_t pos, const Edge *edges, uint64_t n)
+{
+    uint64_t written = 0;
+    while (written < n) {
+        const uint64_t p = pos + written;
+        const uint64_t slot = p % config_.elogCapacityEdges;
+        const uint64_t run =
+            std::min(n - written, config_.elogCapacityEdges - slot);
+        logDevice_->write(logRegionOff_ + slot * sizeof(Edge),
+                          edges + written, run * sizeof(Edge));
+        written += run;
+    }
+}
+
+void
+GraphOne::publishLog(uint64_t pos, uint64_t n)
+{
+    // Ordered publish: readers only ever see a contiguous prefix.
+    uint64_t expected = pos;
+    while (!publishedHead_.compare_exchange_weak(
+        expected, pos + n, std::memory_order_release,
+        std::memory_order_relaxed)) {
+        expected = pos;
+    }
+}
+
+uint64_t
+GraphOne::appendFromClient(const Edge *edges, uint64_t n,
+                           uint64_t &inline_archive_ns)
+{
+    uint64_t logging_ns = 0;
     uint64_t done = 0;
     while (done < n) {
-        const uint64_t pending = head_ - archivedUpTo_;
+        const uint64_t pending = pendingEdges();
+        uint64_t want = n - done;
         if (pending >= config_.archiveThresholdEdges) {
-            runArchivePhase();
+            std::unique_lock<std::mutex> lock(archiveMutex_,
+                                              std::try_to_lock);
+            if (lock.owns_lock()) {
+                const uint64_t before =
+                    archivingNs_.load(std::memory_order_relaxed);
+                runArchivePhaseLocked();
+                inline_archive_ns +=
+                    archivingNs_.load(std::memory_order_relaxed) -
+                    before;
+                continue;
+            }
+            // Another session is archiving: keep logging meanwhile.
+        } else {
+            want = std::min(want,
+                            config_.archiveThresholdEdges - pending);
+        }
+        uint64_t pos = 0;
+        const uint64_t take = tryReserveLog(want, pos);
+        if (take == 0) {
+            // Log full: archive (blocking on whoever is already at it).
+            std::lock_guard<std::mutex> lock(archiveMutex_);
+            if (logFreeSlots() == 0) {
+                const uint64_t before =
+                    archivingNs_.load(std::memory_order_relaxed);
+                runArchivePhaseLocked();
+                inline_archive_ns +=
+                    archivingNs_.load(std::memory_order_relaxed) -
+                    before;
+            }
             continue;
         }
-        const uint64_t until_threshold =
-            config_.archiveThresholdEdges - pending;
-        const uint64_t room =
-            config_.elogCapacityEdges - (head_ - archivedUpTo_);
-        if (room == 0) {
-            runArchivePhase();
-            continue;
-        }
-        const uint64_t take = std::min({n - done, until_threshold, room});
-
         SimScope scope;
-        uint64_t written = 0;
-        while (written < take) {
-            const uint64_t pos = head_ + written;
-            const uint64_t slot = pos % config_.elogCapacityEdges;
-            const uint64_t run = std::min(
-                take - written, config_.elogCapacityEdges - slot);
-            logDevice_->write(logRegionOff_ + slot * sizeof(Edge),
-                              edges + done + written, run * sizeof(Edge));
-            written += run;
-        }
-        loggingNs_ += scope.elapsed();
-        head_ += take;
+        writeLog(pos, edges + done, take);
+        publishLog(pos, take);
+        logging_ns += scope.elapsed();
         done += take;
-        edgesLogged_ += take;
     }
-    return done;
+    loggingNs_.fetch_add(logging_ns, std::memory_order_relaxed);
+    edgesLogged_.fetch_add(n, std::memory_order_relaxed);
+    return logging_ns;
 }
 
 void
 GraphOne::archiveAll()
 {
-    while (archivedUpTo_ < head_)
-        runArchivePhase();
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    while (archivedUpTo_.load(std::memory_order_acquire) <
+           publishedHead_.load(std::memory_order_acquire))
+        runArchivePhaseLocked();
 }
 
 // --- archiving ---------------------------------------------------------------
@@ -314,13 +466,15 @@ GraphOne::archiveWorker(unsigned w)
 }
 
 void
-GraphOne::runArchivePhase()
+GraphOne::runArchivePhaseLocked()
 {
-    const uint64_t from = archivedUpTo_;
+    const uint64_t from = archivedUpTo_.load(std::memory_order_relaxed);
     // Archive at most one threshold-sized batch per phase, as GraphOne
-    // does in normal operation (archiveAll loops over phases).
+    // does in normal operation (archiveAll loops over phases). The
+    // published head is the race-free snapshot of the log.
     const uint64_t to =
-        std::min(head_, from + config_.archiveThresholdEdges);
+        std::min(publishedHead_.load(std::memory_order_acquire),
+                 from + config_.archiveThresholdEdges);
     if (from == to)
         return;
 
@@ -372,11 +526,13 @@ GraphOne::runArchivePhase()
     const ParallelResult result =
         executor_->run([this](unsigned w) { archiveWorker(w); });
     archivingNs_ += result.maxNanos();
-    // Between phases only the logging thread stores to the devices.
+    // Between phases the stores come from the logging sessions (which
+    // all target the shared log device).
     for (auto &dev : devices_)
         dev->setDeclaredWriters(1);
+    declareLogWriters();
 
-    archivedUpTo_ = to;
+    archivedUpTo_.store(to, std::memory_order_release);
     edgesArchived_ += to - from;
     ++archivePhases_;
 }
@@ -507,17 +663,28 @@ IngestStats
 GraphOne::stats() const
 {
     IngestStats s;
-    s.loggingNs = loggingNs_;
-    s.bufferingNs = archivingNs_; // archiving fills the buffering slot
-    s.edgesLogged = edgesLogged_;
-    s.edgesBuffered = edgesArchived_;
-    s.bufferingPhases = archivePhases_;
+    s.loggingNs = loggingNs_.load(std::memory_order_relaxed);
+    s.loggingNsMax =
+        std::max(defaultSessionNs_.load(std::memory_order_relaxed),
+                 sessionNsMax_.load(std::memory_order_relaxed));
+    if (s.loggingNsMax == 0)
+        s.loggingNsMax = s.loggingNs;
+    s.clientNsMax =
+        std::max(defaultStreamNs_.load(std::memory_order_relaxed),
+                 streamNsMax_.load(std::memory_order_relaxed));
+    // archiving fills the buffering slot
+    s.bufferingNs = archivingNs_.load(std::memory_order_relaxed);
+    s.edgesLogged = edgesLogged_.load(std::memory_order_relaxed);
+    s.edgesBuffered = edgesArchived_.load(std::memory_order_relaxed);
+    s.bufferingPhases = archivePhases_.load(std::memory_order_relaxed);
+    s.sessionsOpened = sessionsOpened_.load(std::memory_order_relaxed);
     return s;
 }
 
 MemoryUsage
 GraphOne::memoryUsage() const
 {
+    std::lock_guard<std::mutex> lock(archiveMutex_);
     MemoryUsage mu;
     for (const Direction *dir : {&out_, &in_}) {
         mu.metaBytes += dir->meta.capacity() * sizeof(VertexMeta);

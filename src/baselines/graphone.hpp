@@ -23,12 +23,14 @@
 #ifndef XPG_BASELINES_GRAPHONE_HPP
 #define XPG_BASELINES_GRAPHONE_HPP
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "graph/edge_sharding.hpp"
-#include "graph/graph_view.hpp"
+#include "graph/graph_store.hpp"
 #include "graph/types.hpp"
 #include "mempool/system_allocator_model.hpp"
 #include "pmem/memory_device.hpp"
@@ -67,21 +69,34 @@ struct GraphOneConfig
 uint64_t graphoneRecommendedBytesPerNode(const GraphOneConfig &config,
                                          uint64_t expected_edges);
 
-/** The GraphOne baseline store. */
-class GraphOne : public GraphView
+/**
+ * The GraphOne baseline store.
+ *
+ * Threading: GraphOne keeps ONE shared edge log (on device 0 for the
+ * PMEM variants), so concurrent sessions all reserve slots in the same
+ * log with an atomic tail CAS and contend on the same device from
+ * unbound threads — the NUMA-oblivious design the paper's Fig.20
+ * scaling comparison punishes. Archiving runs inline (under the archive
+ * mutex) on whichever client crosses the threshold.
+ */
+class GraphOne : public GraphStore
 {
   public:
     explicit GraphOne(const GraphOneConfig &config);
     ~GraphOne() override;
 
-    // --- updates ---
-    void addEdge(vid_t src, vid_t dst);
-    uint64_t addEdges(const Edge *edges, uint64_t n);
-    void delEdge(vid_t src, vid_t dst);
+    // --- updates (default session) ---
+    void addEdge(vid_t src, vid_t dst) override;
+    uint64_t addEdges(const Edge *edges, uint64_t n) override;
+    void delEdge(vid_t src, vid_t dst) override;
+
+    /** Open a concurrent ingestion session (shared log; unbound). */
+    std::unique_ptr<IngestSession>
+    session(unsigned thread_hint = 0) override;
 
     /** Archive every non-archived edge of the log (in threshold-sized
-     *  batches, as normal operation would). */
-    void archiveAll();
+     *  batches, as normal operation would). A sync point. */
+    void archiveAll() override;
 
     /** Adjust the archive threshold/batch size at runtime (used by the
      *  phase-separation and recovery experiments). */
@@ -105,11 +120,14 @@ class GraphOne : public GraphView
 
     // --- introspection ---
     IngestStats stats() const;
-    MemoryUsage memoryUsage() const;
-    PcmCounters pmemCounters() const;
+    IngestStats ingestStats() const override { return stats(); }
+    MemoryUsage memoryUsage() const override;
+    PcmCounters pmemCounters() const override;
     const GraphOneConfig &config() const { return config_; }
 
   private:
+    class Session;
+    friend class Session;
     /** One chunk of a vertex's adjacency (metadata in DRAM). */
     struct Chunk
     {
@@ -136,7 +154,37 @@ class GraphOne : public GraphView
     void chargeFileIo(uint64_t bytes) const;
     void ensureCapacity(Direction &dir, vid_t v, uint32_t increment);
     void appendRecord(Direction &dir, vid_t v, vid_t record);
-    void runArchivePhase();
+
+    // --- concurrent logging (sessions + default shim) ---
+    /** Published-but-unarchived edges. */
+    uint64_t
+    pendingEdges() const
+    {
+        return publishedHead_.load(std::memory_order_acquire) -
+               archivedUpTo_.load(std::memory_order_acquire);
+    }
+    /** Free log slots, counting reserved-but-unpublished as taken. */
+    uint64_t
+    logFreeSlots() const
+    {
+        return config_.elogCapacityEdges -
+               (reservedHead_.load(std::memory_order_relaxed) -
+                archivedUpTo_.load(std::memory_order_acquire));
+    }
+    uint64_t tryReserveLog(uint64_t n, uint64_t &pos);
+    void writeLog(uint64_t pos, const Edge *edges, uint64_t n);
+    void publishLog(uint64_t pos, uint64_t n);
+    /** Shared client append path. @return simulated ns spent logging;
+     *  archive phases this client ran inline (they serialize into its
+     *  stream — a client cannot log while archiving) are added to
+     *  @p inline_archive_ns. */
+    uint64_t appendFromClient(const Edge *edges, uint64_t n,
+                              uint64_t &inline_archive_ns);
+    void openSession();
+    void closeSession(uint64_t session_ns, uint64_t stream_ns);
+    void declareLogWriters();
+
+    void runArchivePhaseLocked();
     void archiveWorker(unsigned w);
     template <typename F>
     uint32_t visitDirection(const Direction &dir, vid_t v, F &&fn) const;
@@ -156,25 +204,40 @@ class GraphOne : public GraphView
     Direction out_;
     Direction in_;
 
-    // circular edge log state (DRAM mirrors; GraphOne persists lazily)
+    // circular edge log state (DRAM mirrors; GraphOne persists lazily).
+    // One shared log: sessions reserve with a CAS on the tail and
+    // publish in order, exactly like XPGraph's per-node logs — but every
+    // thread contends on this one region.
     uint64_t logRegionOff_ = 0;
-    uint64_t head_ = 0;
-    uint64_t archivedUpTo_ = 0;
+    std::atomic<uint64_t> reservedHead_{0};
+    std::atomic<uint64_t> publishedHead_{0};
+    std::atomic<uint64_t> archivedUpTo_{0};
     std::atomic<uint64_t> chunkCounter_{0};
 
-    // archive-phase scratch
+    /** Serializes archive phases and the scratch below. */
+    mutable std::mutex archiveMutex_;
+
+    // archive-phase scratch (guarded by archiveMutex_)
     std::vector<Edge> batch_;
     std::vector<std::vector<Edge>> outShards_;
     std::vector<std::vector<Edge>> inShards_;
     std::vector<ShardAssignment> outAssign_;
     std::vector<ShardAssignment> inAssign_;
 
-    // stats
-    uint64_t loggingNs_ = 0;
-    uint64_t archivingNs_ = 0;
-    uint64_t edgesLogged_ = 0;
-    uint64_t edgesArchived_ = 0;
-    uint64_t archivePhases_ = 0;
+    // stats (relaxed atomics: updated from concurrent sessions)
+    std::atomic<uint64_t> loggingNs_{0};
+    std::atomic<uint64_t> defaultSessionNs_{0};
+    std::atomic<uint64_t> sessionNsMax_{0};
+    /** Default shim / slowest session stream walls: logging plus the
+     *  archive phases that client coordinated inline. */
+    std::atomic<uint64_t> defaultStreamNs_{0};
+    std::atomic<uint64_t> streamNsMax_{0};
+    std::atomic<uint64_t> archivingNs_{0};
+    std::atomic<uint64_t> edgesLogged_{0};
+    std::atomic<uint64_t> edgesArchived_{0};
+    std::atomic<uint64_t> archivePhases_{0};
+    std::atomic<uint64_t> sessionsOpened_{0};
+    std::atomic<unsigned> openSessions_{0};
 };
 
 } // namespace xpg

@@ -1,6 +1,7 @@
 #include "core/circular_edge_log.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "pmem/xpline.hpp"
 #include "util/logging.hpp"
@@ -22,7 +23,8 @@ CircularEdgeLog::CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
     XPG_ASSERT(capacity_edges > 0, "log capacity must be positive");
     XPG_ASSERT(region_off % kXPLineSize == 0,
                "log region must be XPLine-aligned");
-    persistHeader();
+    std::lock_guard<SpinLock> guard(headerLock_);
+    persistHeaderLocked();
 }
 
 CircularEdgeLog::CircularEdgeLog(RecoverTag, MemoryDevice &dev,
@@ -33,11 +35,28 @@ CircularEdgeLog::CircularEdgeLog(RecoverTag, MemoryDevice &dev,
     if (h.magic != kMagic)
         XPG_FATAL("edge log header magic mismatch (not a log region?)");
     capacityEdges_ = h.capacityEdges;
-    head_ = h.head;
-    bufferedUpTo_ = h.bufferedUpTo;
-    flushedUpTo_ = h.flushedUpTo;
-    XPG_ASSERT(flushedUpTo_ <= bufferedUpTo_ && bufferedUpTo_ <= head_,
+    reservedHead_.store(h.head, std::memory_order_relaxed);
+    publishedHead_.store(h.head, std::memory_order_relaxed);
+    bufferedUpTo_.store(h.bufferedUpTo, std::memory_order_relaxed);
+    flushedUpTo_.store(h.flushedUpTo, std::memory_order_relaxed);
+    XPG_ASSERT(h.flushedUpTo <= h.bufferedUpTo && h.bufferedUpTo <= h.head,
                "recovered log pointers out of order");
+}
+
+CircularEdgeLog::CircularEdgeLog(CircularEdgeLog &&other) noexcept
+    : dev_(other.dev_), regionOff_(other.regionOff_),
+      capacityEdges_(other.capacityEdges_),
+      batteryBacked_(other.batteryBacked_)
+{
+    reservedHead_.store(other.reservedHead_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    publishedHead_.store(
+        other.publishedHead_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    bufferedUpTo_.store(other.bufferedUpTo_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    flushedUpTo_.store(other.flushedUpTo_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
 }
 
 CircularEdgeLog
@@ -54,48 +73,102 @@ CircularEdgeLog::slotOff(uint64_t pos) const
 }
 
 void
-CircularEdgeLog::persistHeader()
+CircularEdgeLog::persistHeaderLocked()
 {
-    Header h{kMagic, capacityEdges_, head_, bufferedUpTo_, flushedUpTo_};
+    Header h{kMagic, capacityEdges_,
+             publishedHead_.load(std::memory_order_acquire),
+             bufferedUpTo_.load(std::memory_order_relaxed),
+             flushedUpTo_.load(std::memory_order_relaxed)};
     dev_->writePod<Header>(regionOff_, h);
+}
+
+uint64_t
+CircularEdgeLog::tryReserve(uint64_t n, uint64_t &pos)
+{
+    uint64_t cur = reservedHead_.load(std::memory_order_relaxed);
+    for (;;) {
+        // The reclaim bound only grows, so a stale read is conservative.
+        const uint64_t reclaim_bound =
+            batteryBacked_ ? bufferedUpTo() : flushedUpTo();
+        const uint64_t free = capacityEdges_ - (cur - reclaim_bound);
+        const uint64_t take = std::min(n, free);
+        if (take == 0)
+            return 0;
+        if (reservedHead_.compare_exchange_weak(
+                cur, cur + take, std::memory_order_relaxed,
+                std::memory_order_relaxed)) {
+            pos = cur;
+            return take;
+        }
+    }
+}
+
+void
+CircularEdgeLog::writeReserved(uint64_t pos, const Edge *edges, uint64_t n)
+{
+    uint64_t written = 0;
+    while (written < n) {
+        // Contiguous run up to the physical wrap point.
+        const uint64_t p = pos + written;
+        const uint64_t slot = p % capacityEdges_;
+        const uint64_t run = std::min(n - written, capacityEdges_ - slot);
+        dev_->write(slotOff(p), edges + written, run * sizeof(Edge));
+        written += run;
+    }
+}
+
+void
+CircularEdgeLog::publish(uint64_t pos, uint64_t n)
+{
+    // Ordered publish: the published head is a contiguous prefix, so a
+    // reservation waits for every earlier one. Reservations are
+    // short-lived (reserve -> write -> publish), so the spin is bounded.
+    uint64_t expected = pos;
+    while (!publishedHead_.compare_exchange_weak(
+        expected, pos + n, std::memory_order_release,
+        std::memory_order_relaxed)) {
+        expected = pos;
+    }
+    std::lock_guard<SpinLock> guard(headerLock_);
+    persistHeaderLocked();
 }
 
 uint64_t
 CircularEdgeLog::append(const Edge *edges, uint64_t n)
 {
-    const uint64_t take = std::min(n, freeSlots());
-    uint64_t written = 0;
-    while (written < take) {
-        // Contiguous run up to the physical wrap point.
-        const uint64_t pos = head_ + written;
-        const uint64_t slot = pos % capacityEdges_;
-        const uint64_t run =
-            std::min(take - written, capacityEdges_ - slot);
-        dev_->write(slotOff(pos), edges + written, run * sizeof(Edge));
-        written += run;
-    }
-    head_ += written;
-    if (written > 0)
-        persistHeader();
-    return written;
+    uint64_t pos = 0;
+    const uint64_t take = tryReserve(n, pos);
+    if (take == 0)
+        return 0;
+    writeReserved(pos, edges, take);
+    publish(pos, take);
+    return take;
 }
 
 void
 CircularEdgeLog::readRange(uint64_t from, uint64_t to,
                            std::vector<Edge> &out) const
 {
-    XPG_ASSERT(from <= to && to <= head_, "log read range invalid");
+    XPG_ASSERT(from <= to && to <= head(), "log read range invalid");
     XPG_ASSERT(to - from <= capacityEdges_, "log read range too wide");
     const size_t base = out.size();
     out.resize(base + (to - from));
+    readRangeInto(from, to, out.data() + base);
+}
+
+void
+CircularEdgeLog::readRangeInto(uint64_t from, uint64_t to,
+                               Edge *out) const
+{
+    XPG_ASSERT(from <= to && to <= head(), "log read range invalid");
+    XPG_ASSERT(to - from <= capacityEdges_, "log read range too wide");
     uint64_t read = 0;
     while (from + read < to) {
         const uint64_t pos = from + read;
         const uint64_t slot = pos % capacityEdges_;
         const uint64_t run =
             std::min(to - pos, capacityEdges_ - slot);
-        dev_->read(slotOff(pos), out.data() + base + read,
-                   run * sizeof(Edge));
+        dev_->read(slotOff(pos), out + read, run * sizeof(Edge));
         read += run;
     }
 }
@@ -103,19 +176,21 @@ CircularEdgeLog::readRange(uint64_t from, uint64_t to,
 void
 CircularEdgeLog::markBuffered(uint64_t up_to)
 {
-    XPG_ASSERT(up_to >= bufferedUpTo_ && up_to <= head_,
+    XPG_ASSERT(up_to >= bufferedUpTo() && up_to <= head(),
                "markBuffered out of order");
-    bufferedUpTo_ = up_to;
-    persistHeader();
+    bufferedUpTo_.store(up_to, std::memory_order_release);
+    std::lock_guard<SpinLock> guard(headerLock_);
+    persistHeaderLocked();
 }
 
 void
 CircularEdgeLog::markFlushed(uint64_t up_to)
 {
-    XPG_ASSERT(up_to >= flushedUpTo_ && up_to <= bufferedUpTo_,
+    XPG_ASSERT(up_to >= flushedUpTo() && up_to <= bufferedUpTo(),
                "markFlushed out of order");
-    flushedUpTo_ = up_to;
-    persistHeader();
+    flushedUpTo_.store(up_to, std::memory_order_release);
+    std::lock_guard<SpinLock> guard(headerLock_);
+    persistHeaderLocked();
 }
 
 } // namespace xpg

@@ -1,6 +1,7 @@
 /**
  * @file
- * The consistency-guaranteed circular edge log (paper S III-B, Fig.7).
+ * The consistency-guaranteed circular edge log (paper S III-B, Fig.7),
+ * now safe for concurrent appenders (the multi-session ingestion API).
  *
  * Incoming edges are appended at @e head. Three monotonic positions
  * partition the log (all counted in edges since the beginning of time;
@@ -15,6 +16,16 @@
  *    unless the system is battery-backed (XPGraph-B).
  *  - [.., flushedUpTo): flushed to PMEM adjacency lists; reclaimable.
  *
+ * Concurrency model (S III-D / Fig.20): appenders first *reserve* a
+ * contiguous run of slots with one atomic CAS on the reservation tail,
+ * write their edges into the reserved slots (disjoint device ranges, no
+ * lock), then *publish* in reservation order — the published head is the
+ * longest contiguous prefix of fully written slots. Readers (the
+ * archiver, queries, recovery) only ever see the published prefix, so a
+ * read below head() is race-free by construction. The tiny header lock
+ * is taken only to serialize header persistence (publish/seal), never on
+ * the slot-write fast path.
+ *
  * The header (head + both positions) lives in the same PMEM region, so
  * recovery can locate the replay window [flushedUpTo, bufferedUpTo).
  */
@@ -22,10 +33,12 @@
 #ifndef XPG_CORE_CIRCULAR_EDGE_LOG_HPP
 #define XPG_CORE_CIRCULAR_EDGE_LOG_HPP
 
+#include <atomic>
 #include <vector>
 
 #include "graph/types.hpp"
 #include "pmem/memory_device.hpp"
+#include "util/spinlock.hpp"
 
 namespace xpg {
 
@@ -44,38 +57,88 @@ class CircularEdgeLog
     static CircularEdgeLog recover(MemoryDevice &dev, uint64_t region_off,
                                    bool battery_backed);
 
-    uint64_t capacity() const { return capacityEdges_; }
-    uint64_t head() const { return head_; }
-    uint64_t bufferedUpTo() const { return bufferedUpTo_; }
-    uint64_t flushedUpTo() const { return flushedUpTo_; }
+    CircularEdgeLog(CircularEdgeLog &&other) noexcept;
 
-    /** Edges logged but not yet buffered. */
-    uint64_t nonBuffered() const { return head_ - bufferedUpTo_; }
+    uint64_t capacity() const { return capacityEdges_; }
+
+    /** Published head: every position below it is fully written. */
+    uint64_t
+    head() const
+    {
+        return publishedHead_.load(std::memory_order_acquire);
+    }
+
+    uint64_t
+    bufferedUpTo() const
+    {
+        return bufferedUpTo_.load(std::memory_order_acquire);
+    }
+
+    uint64_t
+    flushedUpTo() const
+    {
+        return flushedUpTo_.load(std::memory_order_acquire);
+    }
+
+    /** Edges logged (published) but not yet buffered. */
+    uint64_t nonBuffered() const { return head() - bufferedUpTo(); }
 
     /** Edges buffered but not yet flushed (volatile if not battery). */
-    uint64_t unflushed() const { return bufferedUpTo_ - flushedUpTo_; }
+    uint64_t unflushed() const { return bufferedUpTo() - flushedUpTo(); }
 
     /**
      * Free slots: appends beyond this would overwrite edges that are not
-     * yet safe (flushed, or buffered when battery-backed).
+     * yet safe (flushed, or buffered when battery-backed). Counts
+     * reserved-but-unpublished slots as taken, so the value is safe to
+     * act on under concurrent reservation.
      */
     uint64_t
     freeSlots() const
     {
         const uint64_t reclaim_bound =
-            batteryBacked_ ? bufferedUpTo_ : flushedUpTo_;
-        return capacityEdges_ - (head_ - reclaim_bound);
+            batteryBacked_ ? bufferedUpTo() : flushedUpTo();
+        return capacityEdges_ -
+               (reservedHead_.load(std::memory_order_relaxed) -
+                reclaim_bound);
     }
 
     /**
-     * Append up to @p n edges (bounded by freeSlots()).
+     * Reserve up to @p n contiguous slots (bounded by freeSlots()).
+     * Thread-safe; the reservation must be completed with
+     * writeReserved() + publish() or later readers deadlock on the
+     * publish order.
+     * @param[out] pos The first reserved position.
+     * @return slots reserved (0 when the log is full).
+     */
+    uint64_t tryReserve(uint64_t n, uint64_t &pos);
+
+    /** Write @p n edges into the reserved run starting at @p pos. */
+    void writeReserved(uint64_t pos, const Edge *edges, uint64_t n);
+
+    /**
+     * Publish the reserved run [pos, pos+n): waits (spins) until every
+     * earlier reservation is published, advances the published head, and
+     * persists the header. After publish the run is visible to readers.
+     */
+    void publish(uint64_t pos, uint64_t n);
+
+    /**
+     * Append up to @p n edges (bounded by freeSlots()): reserve + write
+     * + publish in one call. Thread-safe.
      * @return edges actually appended.
      */
     uint64_t append(const Edge *edges, uint64_t n);
 
-    /** Read edges [from, to) (positions) into @p out (appended). */
+    /** Read edges [from, to) (positions <= head()) into @p out. */
     void readRange(uint64_t from, uint64_t to,
                    std::vector<Edge> &out) const;
+
+    /**
+     * Read edges [from, to) into caller-provided storage (at least
+     * to - from slots). Safe to call concurrently for disjoint ranges:
+     * archive workers split a drain window into per-thread chunks.
+     */
+    void readRangeInto(uint64_t from, uint64_t to, Edge *out) const;
 
     /** Advance bufferedUpTo (persists the header). */
     void markBuffered(uint64_t up_to);
@@ -99,17 +162,23 @@ class CircularEdgeLog
     static constexpr uint64_t kMagic = 0x58504c4f47453131ull; // "XPLOGE11"
 
     uint64_t slotOff(uint64_t pos) const;
-    void persistHeader();
+    /** Persist the header; caller must hold headerLock_. */
+    void persistHeaderLocked();
 
     MemoryDevice *dev_;
     uint64_t regionOff_;
     uint64_t capacityEdges_;
     bool batteryBacked_;
 
-    // DRAM mirrors of the persistent header fields.
-    uint64_t head_ = 0;
-    uint64_t bufferedUpTo_ = 0;
-    uint64_t flushedUpTo_ = 0;
+    // DRAM mirrors of the persistent header fields (atomic: appended and
+    // advanced concurrently by sessions and the archiver).
+    std::atomic<uint64_t> reservedHead_{0};  ///< reservation tail
+    std::atomic<uint64_t> publishedHead_{0}; ///< contiguous written prefix
+    std::atomic<uint64_t> bufferedUpTo_{0};
+    std::atomic<uint64_t> flushedUpTo_{0};
+
+    /** Serializes header persistence only (never the slot fast path). */
+    mutable SpinLock headerLock_;
 };
 
 } // namespace xpg

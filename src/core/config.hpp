@@ -8,6 +8,11 @@
  *                 be overwritten in the log.
  *  - XPGraph-D  : modeled DRAM (or Optane Memory Mode) devices, fixed
  *                 64-byte vertex buffers, no consistency requirements.
+ *
+ * validate()/validated() centralize the range and consistency checks
+ * that used to live as ad-hoc asserts in the constructors: callers can
+ * inspect the actionable error strings (tests, tools) or let validated()
+ * fail fatally with all of them at once.
  */
 
 #ifndef XPG_CORE_CONFIG_HPP
@@ -15,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
@@ -67,7 +73,7 @@ struct XPGraphConfig
     uint64_t poolLimitBytes = ~0ull;
 
     // --- circular edge log (S III-B, Fig.7) ---
-    /** Log capacity in edges (paper default: 8 GiB of 8 B edges). */
+    /** Per-node log capacity in edges (paper: 8 GiB of 8 B edges). */
     uint64_t elogCapacityEdges = 1ull << 20;
     /** Non-buffered edges that trigger a buffering phase (paper: 2^16). */
     uint64_t bufferingThresholdEdges = 1ull << 16;
@@ -82,6 +88,30 @@ struct XPGraphConfig
     unsigned shardsPerThread = 16;
     /** Proactively clwb adjacency writes >= one XPLine (S IV-A). */
     bool proactiveFlush = true;
+    /**
+     * Run archiving (buffering + flushing) on a dedicated background
+     * thread, pipelined with session logging. false = archive inline on
+     * the client thread at the thresholds (deterministic; the pre-
+     * session behaviour). With concurrent sessions, inline archiving
+     * already overlaps with the other sessions' logging; the background
+     * archiver additionally overlaps with a single session.
+     */
+    bool pipelinedArchiving = false;
+
+    /**
+     * Check every range/consistency constraint and return the problems
+     * as actionable messages (empty = valid). @p for_recovery adds the
+     * constraints XPGraph::recover() needs on top of construction.
+     */
+    std::vector<std::string> validate(bool for_recovery = false) const;
+
+    /**
+     * The validated configuration: returns *this unchanged when
+     * validate() is clean, otherwise fails fatally listing every
+     * problem. Engine constructors and recover() call this instead of
+     * ad-hoc asserts.
+     */
+    const XPGraphConfig &validated(bool for_recovery = false) const;
 
     /** The persistent prototype ("XPGraph"). */
     static XPGraphConfig

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/vertex_buffer.hpp"
 #include "graph/tombstones.hpp"
@@ -27,7 +28,7 @@ struct Superblock
     uint32_t numNodes;
     uint32_t placement;
     uint64_t maxVertices;
-    uint64_t logOff; ///< 0 when this node hosts no edge log
+    uint64_t logOff; ///< this node's edge-log region
     uint64_t logCapacityEdges;
     uint64_t outIndexOff;
     uint64_t outSlots;
@@ -37,12 +38,23 @@ struct Superblock
 };
 
 constexpr uint64_t kSuperMagic = 0x5850475250483032ull; // "XPGRPH02"
-constexpr uint32_t kSuperVersion = 1;
+/** v2: every node hosts an edge log (NUMA-sharded concurrent logging). */
+constexpr uint32_t kSuperVersion = 2;
 constexpr uint64_t kSuperblockBytes = 4096;
 /** Device offset of the allocator's persistent tail pointer. */
 constexpr uint64_t kAllocTailOff = 512;
 
 thread_local std::vector<vid_t> t_rawRecords;
+
+void
+atomicFetchMax(std::atomic<uint64_t> &target, uint64_t value)
+{
+    uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !target.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
 
 } // namespace
 
@@ -66,18 +78,58 @@ recommendedBytesPerNode(const XPGraphConfig &config, uint64_t expected_edges)
            (32ull << 20);
 }
 
+// --- the ingestion session --------------------------------------------------
+
+/**
+ * One client thread's handle onto its NUMA partition's edge log. The
+ * session lazily binds its thread to the partition's node (when thread
+ * binding is configured) and keeps per-stream statistics that fold into
+ * the store on close.
+ */
+class XPGraph::Session final : public IngestSession
+{
+  public:
+    Session(XPGraph &graph, unsigned node) : graph_(graph), node_(node)
+    {
+        graph_.openSession(node_);
+    }
+
+    ~Session() override
+    {
+        graph_.closeSession(node_, loggingNs_, streamNs_);
+    }
+
+    uint64_t
+    addEdges(const Edge *edges, uint64_t n) override
+    {
+        const AppendCost cost =
+            graph_.appendFromClient(node_, /*bind=*/true, edges, n);
+        loggingNs_ += cost.loggingNs;
+        streamNs_ += cost.streamNs();
+        edgesLogged_ += n;
+        return n;
+    }
+
+    unsigned node() const override { return node_; }
+    uint64_t edgesLogged() const override { return edgesLogged_; }
+    uint64_t loggingNs() const override { return loggingNs_; }
+
+  private:
+    XPGraph &graph_;
+    unsigned node_;
+    uint64_t edgesLogged_ = 0;
+    uint64_t loggingNs_ = 0;
+    /// loggingNs_ plus archive phases this session coordinated inline
+    uint64_t streamNs_ = 0;
+};
+
+// --- construction -----------------------------------------------------------
+
 XPGraph::XPGraph(const XPGraphConfig &config) : XPGraph(config, false) {}
 
 XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
-    : config_(config)
+    : config_(config.validated(recovering))
 {
-    XPG_ASSERT(config_.maxVertices > 0, "maxVertices must be set");
-    XPG_ASSERT(config_.pmemBytesPerNode > 0, "pmemBytesPerNode must be set");
-    XPG_ASSERT(config_.numNodes >= 1, "need at least one node");
-    if (config_.placement == NumaPlacement::OutInGraph)
-        XPG_ASSERT(config_.numNodes <= 2,
-                   "out/in-graph placement uses at most two nodes");
-
     PoolConfig pool_config;
     pool_config.bulkSize = config_.poolBulkBytes;
     pool_config.poolLimit = config_.poolLimitBytes;
@@ -89,6 +141,8 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
     initPartitions(recovering);
 
     const unsigned p = config_.numNodes;
+    logIndexes_.resize(p);
+    phaseUpTo_.resize(p, 0);
     outShards_.resize(p);
     inShards_.resize(p);
     outAssign_.resize(p);
@@ -99,9 +153,17 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
         outShards_[node].resize(shards);
         inShards_[node].resize(shards);
     }
+
+    if (config_.pipelinedArchiving)
+        startArchiver();
 }
 
-XPGraph::~XPGraph() = default;
+XPGraph::~XPGraph()
+{
+    XPG_ASSERT(openSessions_.load(std::memory_order_relaxed) == 0,
+               "destroying XPGraph with open ingestion sessions");
+    stopArchiver();
+}
 
 std::string
 XPGraph::backingPath(unsigned node) const
@@ -161,14 +223,12 @@ XPGraph::computeLayout(unsigned node, Partition &part) const
         in_slots = per;
     }
 
+    // Every node hosts its own edge log (S III-D): the sessions bound to
+    // the node append locally, so remote log traffic disappears.
     uint64_t cursor = kSuperblockBytes;
-    uint64_t log_off = 0;
-    if (node == 0) {
-        log_off = cursor;
-        cursor += alignUp(
-            CircularEdgeLog::regionBytes(config_.elogCapacityEdges),
-            kXPLineSize);
-    }
+    cursor += alignUp(
+        CircularEdgeLog::regionBytes(config_.elogCapacityEdges),
+        kXPLineSize);
     part.outSlots = out_slots;
     part.inSlots = in_slots;
     part.outIndexOff = cursor;
@@ -181,8 +241,6 @@ XPGraph::computeLayout(unsigned node, Partition &part) const
         XPG_FATAL("pmemBytesPerNode too small for metadata; use "
                   "recommendedBytesPerNode()");
     }
-    // Stash log info for initPartitions via the superblock written there.
-    (void)log_off;
 }
 
 void
@@ -225,11 +283,9 @@ XPGraph::initPartitions(bool recovering)
             part.alloc = PmemAllocator::recover(*part.dev, alloc_start,
                                                 config_.pmemBytesPerNode,
                                                 kAllocTailOff);
-            if (node == 0) {
-                log_ = std::make_unique<CircularEdgeLog>(
-                    CircularEdgeLog::recover(*part.dev, sb.logOff,
-                                             config_.batteryBacked));
-            }
+            part.log = std::make_unique<CircularEdgeLog>(
+                CircularEdgeLog::recover(*part.dev, sb.logOff,
+                                         config_.batteryBacked));
         } else {
             Superblock sb{};
             sb.magic = kSuperMagic;
@@ -238,7 +294,7 @@ XPGraph::initPartitions(bool recovering)
             sb.numNodes = config_.numNodes;
             sb.placement = static_cast<uint32_t>(config_.placement);
             sb.maxVertices = config_.maxVertices;
-            sb.logOff = node == 0 ? log_region_off : 0;
+            sb.logOff = log_region_off;
             sb.logCapacityEdges = config_.elogCapacityEdges;
             sb.outIndexOff = part.outIndexOff;
             sb.outSlots = part.outSlots;
@@ -250,11 +306,9 @@ XPGraph::initPartitions(bool recovering)
             part.alloc = std::make_unique<PmemAllocator>(
                 *part.dev, alloc_start, config_.pmemBytesPerNode,
                 kAllocTailOff);
-            if (node == 0) {
-                log_ = std::make_unique<CircularEdgeLog>(
-                    *part.dev, log_region_off, config_.elogCapacityEdges,
-                    config_.batteryBacked);
-            }
+            part.log = std::make_unique<CircularEdgeLog>(
+                *part.dev, log_region_off, config_.elogCapacityEdges,
+                config_.batteryBacked);
         }
 
         if (part.outSlots > 0) {
@@ -277,10 +331,8 @@ XPGraph::initPartitions(bool recovering)
 std::unique_ptr<XPGraph>
 XPGraph::recover(const XPGraphConfig &config)
 {
-    XPG_ASSERT(!config.backingDir.empty(),
-               "recovery requires file-backed devices");
-    auto graph =
-        std::unique_ptr<XPGraph>(new XPGraph(config, /*recovering=*/true));
+    auto graph = std::unique_ptr<XPGraph>(new XPGraph(
+        config.validated(/*for_recovery=*/true), /*recovering=*/true));
     graph->rebuildFromDevices();
     return graph;
 }
@@ -330,27 +382,33 @@ XPGraph::rebuildFromDevices()
     });
     recoveryNs_ += result.maxNanos();
 
-    // Phase 2 (serial): replay the buffered-but-unflushed log window into
-    // fresh vertex buffers, skipping records already in PMEM (S III-B).
+    // Phase 2 (serial): replay every node's buffered-but-unflushed log
+    // window into fresh vertex buffers, skipping records already in PMEM
+    // (S III-B). Per-log order is the sessions' publish order, so
+    // same-vertex records replay in their original relative order.
     SimScope replay_scope;
     std::vector<Edge> window;
-    log_->readRange(log_->flushedUpTo(), log_->bufferedUpTo(), window);
-    for (const Edge &e : window) {
-        {
-            Side &side = *parts_[outOwner(e.src)].out;
-            const uint64_t slot = outSlot(e.src);
-            VertexState &st = side.states[slot];
-            if (!side.store->contains(st.chain, e.dst))
-                insertBuffered(side, slot, e.dst);
-        }
-        {
-            const vid_t in_rec =
-                isDelete(e.dst) ? asDelete(e.src) : e.src;
-            Side &side = *parts_[inOwner(rawVid(e.dst))].in;
-            const uint64_t slot = inSlot(rawVid(e.dst));
-            VertexState &st = side.states[slot];
-            if (!side.store->contains(st.chain, in_rec))
-                insertBuffered(side, slot, in_rec);
+    for (auto &part : parts_) {
+        window.clear();
+        part.log->readRange(part.log->flushedUpTo(),
+                            part.log->bufferedUpTo(), window);
+        for (const Edge &e : window) {
+            {
+                Side &side = *parts_[outOwner(e.src)].out;
+                const uint64_t slot = outSlot(e.src);
+                VertexState &st = side.states[slot];
+                if (!side.store->contains(st.chain, e.dst))
+                    insertBuffered(side, slot, e.dst);
+            }
+            {
+                const vid_t in_rec =
+                    isDelete(e.dst) ? asDelete(e.src) : e.src;
+                Side &side = *parts_[inOwner(rawVid(e.dst))].in;
+                const uint64_t slot = inSlot(rawVid(e.dst));
+                VertexState &st = side.states[slot];
+                if (!side.store->contains(st.chain, in_rec))
+                    insertBuffered(side, slot, in_rec);
+            }
         }
     }
     recoveryNs_ += replay_scope.elapsed();
@@ -419,51 +477,203 @@ XPGraph::delEdge(vid_t src, vid_t dst)
 uint64_t
 XPGraph::addEdges(const Edge *edges, uint64_t n)
 {
-    uint64_t done = 0;
-    while (done < n) {
-        const uint64_t non_buffered = log_->nonBuffered();
-        if (non_buffered >= config_.bufferingThresholdEdges) {
-            runBufferingPhase();
-            continue;
-        }
-        const uint64_t until_threshold =
-            config_.bufferingThresholdEdges - non_buffered;
-        const uint64_t room = log_->freeSlots();
-        if (room == 0) {
-            ensureLogProgress();
-            continue;
-        }
-        const uint64_t take =
-            std::min({n - done, until_threshold, room});
-        SimScope scope;
-        const uint64_t appended = log_->append(edges + done, take);
-        loggingNs_ += scope.elapsed();
-        XPG_ASSERT(appended == take, "log append fell short of freeSlots");
-        done += appended;
-        edgesLogged_ += appended;
-    }
-    return done;
+    // The default session: node 0's log, no thread binding — the exact
+    // pre-session single-client behaviour.
+    const AppendCost cost = appendFromClient(0, /*bind=*/false, edges, n);
+    defaultSessionNs_.fetch_add(cost.loggingNs, std::memory_order_relaxed);
+    defaultStreamNs_.fetch_add(cost.streamNs(), std::memory_order_relaxed);
+    return n;
 }
 
 uint64_t
 XPGraph::bufferEdges(const Edge *edges, uint64_t n)
 {
     const uint64_t added = addEdges(edges, n);
-    runBufferingPhase();
+    bufferAllEdges();
     return added;
 }
 
-void
-XPGraph::ensureLogProgress()
+std::unique_ptr<IngestSession>
+XPGraph::session(unsigned thread_hint)
 {
-    if (log_->nonBuffered() > 0) {
-        runBufferingPhase();
-        if (log_->freeSlots() > 0)
-            return;
+    return std::make_unique<Session>(*this,
+                                     thread_hint % config_.numNodes);
+}
+
+void
+XPGraph::openSession(unsigned node)
+{
+    parts_[node].sessions.fetch_add(1, std::memory_order_relaxed);
+    openSessions_.fetch_add(1, std::memory_order_relaxed);
+    sessionsOpened_.fetch_add(1, std::memory_order_relaxed);
+    declareIdleWriters();
+}
+
+void
+XPGraph::closeSession(unsigned node, uint64_t logging_ns,
+                      uint64_t stream_ns)
+{
+    atomicFetchMax(sessionNsMax_, logging_ns);
+    atomicFetchMax(streamNsMax_, stream_ns);
+    parts_[node].sessions.fetch_sub(1, std::memory_order_relaxed);
+    openSessions_.fetch_sub(1, std::memory_order_relaxed);
+    declareIdleWriters();
+}
+
+uint64_t
+XPGraph::totalNonBuffered() const
+{
+    uint64_t n = 0;
+    for (const auto &part : parts_)
+        n += part.log->nonBuffered();
+    return n;
+}
+
+XPGraph::AppendCost
+XPGraph::appendFromClient(unsigned node, bool bind, const Edge *edges,
+                          uint64_t n)
+{
+    Partition &part = parts_[node];
+    CircularEdgeLog &log = *part.log;
+    // Range-check at the API boundary, in the offending client's thread,
+    // before the record reaches the shared log (a plain CPU check, no
+    // simulated cost). The archive phases keep a backstop assert.
+    for (uint64_t i = 0; i < n; ++i)
+        XPG_ASSERT(rawVid(edges[i].src) < config_.maxVertices &&
+                   rawVid(edges[i].dst) < config_.maxVertices,
+                   "edge endpoint out of range");
+    if (bind && config_.bindThreads &&
+        config_.placement != NumaPlacement::None &&
+        NumaBinding::currentNode() != static_cast<int>(node))
+        NumaBinding::bindThread(static_cast<int>(node));
+
+    AppendCost cost;
+    uint64_t done = 0;
+    while (done < n) {
+        const uint64_t non_buffered = totalNonBuffered();
+        uint64_t want = n - done;
+        if (non_buffered >= config_.bufferingThresholdEdges) {
+            if (requestArchive(cost.inlineArchiveNs))
+                continue; // archived inline: re-evaluate the threshold
+            // Someone else (a session or the background archiver) is
+            // draining the logs — keep logging; that is the pipeline.
+        } else {
+            // Stop at the threshold so the batch that crosses it
+            // triggers archiving at the same point a lone client would.
+            want = std::min(want, config_.bufferingThresholdEdges -
+                                      non_buffered);
+        }
+        uint64_t pos = 0;
+        const uint64_t take = log.tryReserve(want, pos);
+        if (take == 0) {
+            waitForLogSpace(node, cost.inlineArchiveNs);
+            continue;
+        }
+        SimScope scope;
+        log.writeReserved(pos, edges + done, take);
+        log.publish(pos, take);
+        cost.loggingNs += scope.elapsed();
+        done += take;
     }
-    // Everything is buffered but the log is still full: flush to reclaim.
-    runFlushAll(/*release_buffers=*/false);
-    XPG_ASSERT(log_->freeSlots() > 0, "flush-all failed to reclaim log");
+    loggingNs_.fetch_add(cost.loggingNs, std::memory_order_relaxed);
+    edgesLogged_.fetch_add(n, std::memory_order_relaxed);
+    return cost;
+}
+
+bool
+XPGraph::requestArchive(uint64_t &inline_ns)
+{
+    if (config_.pipelinedArchiving) {
+        archiveRequested_.store(true, std::memory_order_relaxed);
+        archiveCv_.notify_one();
+        return false;
+    }
+    std::unique_lock<std::mutex> lock(archiveMutex_, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false; // another session is archiving right now
+    const uint64_t before = archivePhaseNsLocked();
+    runBufferingPhaseLocked(/*capped=*/true);
+    inline_ns += archivePhaseNsLocked() - before;
+    return true;
+}
+
+void
+XPGraph::waitForLogSpace(unsigned node, uint64_t &inline_ns)
+{
+    CircularEdgeLog &log = *parts_[node].log;
+    std::unique_lock<std::mutex> lock(archiveMutex_);
+    if (!config_.pipelinedArchiving) {
+        if (log.freeSlots() > 0)
+            return; // another session already reclaimed space
+        const uint64_t before = archivePhaseNsLocked();
+        runBufferingPhaseLocked();
+        if (log.freeSlots() == 0) {
+            // Everything is buffered but the log is still full: flush.
+            runFlushAllLocked(/*release_buffers=*/false);
+            XPG_ASSERT(log.freeSlots() > 0,
+                       "flush-all failed to reclaim log");
+        }
+        inline_ns += archivePhaseNsLocked() - before;
+        return;
+    }
+    reclaimRequested_.store(true, std::memory_order_relaxed);
+    archiveRequested_.store(true, std::memory_order_relaxed);
+    archiveCv_.notify_one();
+    spaceCv_.wait(lock, [&] {
+        return log.freeSlots() > 0 || archiverStop_;
+    });
+    XPG_ASSERT(log.freeSlots() > 0,
+               "store shut down while a session was blocked on log space");
+}
+
+// --- background archiver ---------------------------------------------------
+
+void
+XPGraph::startArchiver()
+{
+    archiverThread_ = std::thread([this] { archiverLoop(); });
+}
+
+void
+XPGraph::stopArchiver()
+{
+    if (!archiverThread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(archiveMutex_);
+        archiverStop_ = true;
+    }
+    archiveCv_.notify_all();
+    archiverThread_.join();
+}
+
+void
+XPGraph::archiverLoop()
+{
+    std::unique_lock<std::mutex> lock(archiveMutex_);
+    while (!archiverStop_) {
+        archiveCv_.wait(lock, [&] {
+            return archiverStop_ ||
+                   archiveRequested_.load(std::memory_order_relaxed);
+        });
+        if (archiverStop_)
+            break;
+        archiveRequested_.store(false, std::memory_order_relaxed);
+        const bool reclaim =
+            reclaimRequested_.exchange(false, std::memory_order_relaxed);
+        runBufferingPhaseLocked(/*capped=*/true);
+        if (reclaim) {
+            // A session hit a full log: make sure space actually opened
+            // (battery mode frees at markBuffered; otherwise flush).
+            bool still_full = false;
+            for (const auto &part : parts_)
+                still_full |= part.log->freeSlots() == 0;
+            if (still_full)
+                runFlushAllLocked(/*release_buffers=*/false);
+        }
+        spaceCv_.notify_all();
+    }
+    spaceCv_.notify_all();
 }
 
 // --- buffering phase -----------------------------------------------------
@@ -519,11 +729,33 @@ XPGraph::declareArchiveConcurrency()
     // Archive writes are structurally node-local (each slot only touches
     // its node's device), so per-device concurrency is the node's slot
     // count regardless of binding — binding only removes the remote
-    // penalty of floating threads.
+    // penalty of floating threads. Sessions bound to the node keep
+    // logging into its device while a pipelined phase runs, so they add
+    // to the declared store pressure.
     for (unsigned node = 0; node < config_.numNodes; ++node) {
-        const unsigned writers =
+        const unsigned archive_workers =
             std::min(slotsOnNode(node), config_.archiveThreads);
-        parts_[node].dev->setDeclaredWriters(std::max(1u, writers));
+        const unsigned loggers =
+            parts_[node].sessions.load(std::memory_order_relaxed);
+        parts_[node].dev->setDeclaredWriters(
+            std::max(1u, archive_workers + loggers));
+        // The same workers drain the node's log window in parallel.
+        parts_[node].dev->setDeclaredReaders(
+            std::max(1u, archive_workers));
+    }
+}
+
+void
+XPGraph::declareIdleWriters()
+{
+    // Between phases, the stores to a device come from the sessions
+    // bound to its node (at least the single default client), and the
+    // phase readers are gone (queries re-declare their own load).
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        const unsigned loggers =
+            parts_[node].sessions.load(std::memory_order_relaxed);
+        parts_[node].dev->setDeclaredWriters(std::max(1u, loggers));
+        parts_[node].dev->setDeclaredReaders(1);
     }
 }
 
@@ -559,39 +791,88 @@ XPGraph::bufferWorker(unsigned w)
 }
 
 void
-XPGraph::runBufferingPhase()
+XPGraph::runBufferingPhaseLocked(bool capped)
 {
-    const uint64_t from = log_->bufferedUpTo();
-    const uint64_t to = log_->head();
-    if (from == to)
-        return;
-
     SimScope serial_scope;
     batch_.clear();
-    log_->readRange(from, to, batch_);
-    shardBatch();
+    uint64_t total = 0;
+    std::vector<uint64_t> from(config_.numNodes, 0);
+    std::vector<uint64_t> base(config_.numNodes, 0);
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        CircularEdgeLog &log = *parts_[node].log;
+        from[node] = log.bufferedUpTo();
+        uint64_t to = log.head(); // published-prefix snapshot
+        if (capped)
+            // Bounded drain: sessions may have piled up far more than
+            // the threshold while a previous phase ran; draining it all
+            // at once would stream a long-cold log region (every XPLine
+            // a media read). Threshold-sized chunks stay in the write
+            // buffer, and the backlog drains over successive phases.
+            to = std::min(to, from[node] + config_.bufferingThresholdEdges);
+        phaseUpTo_[node] = to;
+        base[node] = total;
+        total += to - from[node];
+    }
+    if (total == 0)
+        return;
+    batch_.resize(total);
     declareArchiveConcurrency();
     bufferingNs_ += serial_scope.elapsed();
+
+    // Drain the windows with the node-local archive workers, each
+    // reading a disjoint chunk of its node's log. A serial read would
+    // throttle every phase to one thread once the window has aged out
+    // of the XPLine write buffer (concurrent sessions keep writing, so
+    // under load the window is always cold by the time it drains).
+    const ParallelResult read_result = executor_->run([&](unsigned w) {
+        forWorkerSlots(w, [&](unsigned node, unsigned local,
+                              unsigned slots_here) {
+            if (config_.bindThreads &&
+                config_.placement != NumaPlacement::None)
+                NumaBinding::bindThread(static_cast<int>(node), false);
+            else
+                NumaBinding::unbindThread();
+            const uint64_t n = phaseUpTo_[node] - from[node];
+            const uint64_t chunk =
+                (n + slots_here - 1) / std::max(1u, slots_here);
+            const uint64_t lo = std::min(n, local * chunk);
+            const uint64_t hi = std::min(n, lo + chunk);
+            if (lo < hi)
+                parts_[node].log->readRangeInto(
+                    from[node] + lo, from[node] + hi,
+                    batch_.data() + base[node] + lo);
+        });
+    });
+    bufferingNs_ += read_result.maxNanos();
+
+    SimScope shard_scope;
+    shardBatch();
+    bufferingNs_ += shard_scope.elapsed();
 
     const ParallelResult result =
         executor_->run([this](unsigned w) { bufferWorker(w); });
     bufferingNs_ += result.maxNanos();
-    // Between phases only the logging thread stores to the devices.
-    for (auto &part : parts_)
-        part.dev->setDeclaredWriters(1);
+    declareIdleWriters();
 
-    log_->markBuffered(to);
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        CircularEdgeLog &log = *parts_[node].log;
+        if (phaseUpTo_[node] > log.bufferedUpTo())
+            log.markBuffered(phaseUpTo_[node]);
+    }
     ++bufferingPhases_;
-    edgesBuffered_ += to - from;
+    edgesBuffered_ += total;
 
     const uint64_t flush_threshold = static_cast<uint64_t>(
         config_.flushThresholdFrac *
         static_cast<double>(config_.elogCapacityEdges));
-    const bool log_pressure =
-        !config_.batteryBacked && log_->unflushed() >= flush_threshold;
+    bool log_pressure = false;
+    if (!config_.batteryBacked) {
+        for (const auto &part : parts_)
+            log_pressure |= part.log->unflushed() >= flush_threshold;
+    }
     const bool pool_pressure = pool_->nearlyFull();
     if (log_pressure || pool_pressure)
-        runFlushAll(/*release_buffers=*/pool_pressure);
+        runFlushAllLocked(/*release_buffers=*/pool_pressure);
 }
 
 // --- flushing ------------------------------------------------------------
@@ -633,7 +914,7 @@ XPGraph::flushWorker(unsigned w, bool release_buffers)
 }
 
 void
-XPGraph::runFlushAll(bool release_buffers)
+XPGraph::runFlushAllLocked(bool release_buffers)
 {
     declareArchiveConcurrency();
     const ParallelResult result = executor_->run(
@@ -641,22 +922,32 @@ XPGraph::runFlushAll(bool release_buffers)
             flushWorker(w, release_buffers);
         });
     flushingNs_ += result.maxNanos();
-    for (auto &part : parts_)
-        part.dev->setDeclaredWriters(1);
+    declareIdleWriters();
     ++flushAllPhases_;
-    log_->markFlushed(log_->bufferedUpTo());
+    for (auto &part : parts_)
+        part.log->markFlushed(part.log->bufferedUpTo());
 }
 
 void
 XPGraph::flushAllVbufs()
 {
-    runFlushAll(/*release_buffers=*/false);
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    runFlushAllLocked(/*release_buffers=*/false);
 }
 
 void
 XPGraph::bufferAllEdges()
 {
-    runBufferingPhase();
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    runBufferingPhaseLocked();
+}
+
+void
+XPGraph::archiveAll()
+{
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    runBufferingPhaseLocked();
+    runFlushAllLocked(/*release_buffers=*/false);
 }
 
 // --- per-edge buffered insert ---------------------------------------------
@@ -890,46 +1181,57 @@ XPGraph::getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const
 }
 
 LogWindowIndex &
-XPGraph::logIndex() const
+XPGraph::logIndex(unsigned node) const
 {
     {
         std::lock_guard<std::mutex> lock(logIndexMutex_);
-        if (!logIndex_) {
-            logIndex_ = std::make_unique<LogWindowIndex>(
-                *log_, config_.maxVertices);
+        if (!logIndexes_[node]) {
+            logIndexes_[node] = std::make_unique<LogWindowIndex>(
+                *parts_[node].log, config_.maxVertices);
         }
     }
-    logIndex_->ensureCurrent();
-    return *logIndex_;
+    logIndexes_[node]->ensureCurrent();
+    return *logIndexes_[node];
 }
 
 uint32_t
 XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
 {
-    LogWindowIndex &index = logIndex();
-    const auto base = static_cast<std::ptrdiff_t>(out.size());
-    const uint32_t n =
-        index.visitOut(v, [&](vid_t rec) { out.push_back(rec); });
-    std::reverse(out.begin() + base, out.end()); // chains are newest-first
+    // Per-log windows are scanned node by node: records of one session
+    // stream keep their order; streams from different nodes concatenate
+    // (concurrent sessions have no global order anyway).
+    uint32_t n = 0;
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        LogWindowIndex &index = logIndex(node);
+        const auto base = static_cast<std::ptrdiff_t>(out.size());
+        n += index.visitOut(v, [&](vid_t rec) { out.push_back(rec); });
+        std::reverse(out.begin() + base, out.end()); // newest-first chains
+    }
     return n;
 }
 
 uint32_t
 XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
 {
-    LogWindowIndex &index = logIndex();
-    const auto base = static_cast<std::ptrdiff_t>(out.size());
-    const uint32_t n =
-        index.visitIn(v, [&](vid_t rec) { out.push_back(rec); });
-    std::reverse(out.begin() + base, out.end());
+    uint32_t n = 0;
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        LogWindowIndex &index = logIndex(node);
+        const auto base = static_cast<std::ptrdiff_t>(out.size());
+        n += index.visitIn(v, [&](vid_t rec) { out.push_back(rec); });
+        std::reverse(out.begin() + base, out.end());
+    }
     return n;
 }
 
 uint64_t
 XPGraph::getLoggedEdges(std::vector<Edge> &out) const
 {
-    const uint64_t n = log_->nonBuffered();
-    log_->readRange(log_->bufferedUpTo(), log_->head(), out);
+    uint64_t n = 0;
+    for (const auto &part : parts_) {
+        n += part.log->nonBuffered();
+        part.log->readRange(part.log->bufferedUpTo(), part.log->head(),
+                            out);
+    }
     return n;
 }
 
@@ -938,6 +1240,7 @@ XPGraph::getLoggedEdges(std::vector<Edge> &out) const
 void
 XPGraph::compactAdjs(vid_t v)
 {
+    std::lock_guard<std::mutex> lock(archiveMutex_);
     for (int dir = 0; dir < 2; ++dir) {
         const bool is_out = dir == 0;
         Partition &part = parts_[is_out ? outOwner(v) : inOwner(v)];
@@ -959,6 +1262,7 @@ XPGraph::compactAdjs(vid_t v)
 void
 XPGraph::compactAllAdjs()
 {
+    std::lock_guard<std::mutex> lock(archiveMutex_);
     declareArchiveConcurrency();
     executor_->run([&](unsigned w) {
         forWorkerSlots(w, [&](unsigned node, unsigned local,
@@ -995,11 +1299,13 @@ XPGraph::compactAllAdjs()
 void
 XPGraph::declareQueryThreads(unsigned n)
 {
-    // Transition to the query phase: pending write-buffer contents drain
-    // in the background before the queries start. Declared readers model
-    // the LOAD per device: whether threads are bound or floating, the
-    // graph data is spread over the nodes, so each device sees ~1/P of
-    // the aggregate query traffic.
+    // Transition to the query phase: the lock waits out any in-flight
+    // archive phase, then pending write-buffer contents drain in the
+    // background before the queries start. Declared readers model the
+    // LOAD per device: whether threads are bound or floating, the graph
+    // data is spread over the nodes, so each device sees ~1/P of the
+    // aggregate query traffic.
+    std::lock_guard<std::mutex> lock(archiveMutex_);
     const unsigned per_device = std::max(1u, n / config_.numNodes);
     for (auto &part : parts_) {
         part.dev->quiesce();
@@ -1011,21 +1317,31 @@ IngestStats
 XPGraph::stats() const
 {
     IngestStats s;
-    s.loggingNs = loggingNs_;
-    s.bufferingNs = bufferingNs_;
-    s.flushingNs = flushingNs_;
-    s.recoveryNs = recoveryNs_;
-    s.edgesLogged = edgesLogged_;
-    s.edgesBuffered = edgesBuffered_;
+    s.loggingNs = loggingNs_.load(std::memory_order_relaxed);
+    s.loggingNsMax =
+        std::max(defaultSessionNs_.load(std::memory_order_relaxed),
+                 sessionNsMax_.load(std::memory_order_relaxed));
+    if (s.loggingNsMax == 0)
+        s.loggingNsMax = s.loggingNs;
+    s.clientNsMax =
+        std::max(defaultStreamNs_.load(std::memory_order_relaxed),
+                 streamNsMax_.load(std::memory_order_relaxed));
+    s.bufferingNs = bufferingNs_.load(std::memory_order_relaxed);
+    s.flushingNs = flushingNs_.load(std::memory_order_relaxed);
+    s.recoveryNs = recoveryNs_.load(std::memory_order_relaxed);
+    s.edgesLogged = edgesLogged_.load(std::memory_order_relaxed);
+    s.edgesBuffered = edgesBuffered_.load(std::memory_order_relaxed);
     s.vbufFlushes = vbufFlushes_.load(std::memory_order_relaxed);
-    s.bufferingPhases = bufferingPhases_;
-    s.flushAllPhases = flushAllPhases_;
+    s.bufferingPhases = bufferingPhases_.load(std::memory_order_relaxed);
+    s.flushAllPhases = flushAllPhases_.load(std::memory_order_relaxed);
+    s.sessionsOpened = sessionsOpened_.load(std::memory_order_relaxed);
     return s;
 }
 
 MemoryUsage
 XPGraph::memoryUsage() const
 {
+    std::lock_guard<std::mutex> lock(archiveMutex_);
     MemoryUsage mu;
     for (const auto &part : parts_) {
         for (const Side *side : {part.out.get(), part.in.get()}) {
@@ -1042,7 +1358,8 @@ XPGraph::memoryUsage() const
                 mu.metaBytes += list.capacity() * sizeof(Edge);
     }
     mu.vbufBytes = pool_->peakLive();
-    mu.elogBytes = CircularEdgeLog::regionBytes(config_.elogCapacityEdges);
+    mu.elogBytes = config_.numNodes *
+                   CircularEdgeLog::regionBytes(config_.elogCapacityEdges);
     return mu;
 }
 

@@ -4,14 +4,27 @@
  * for large-scale evolving graphs (the paper's primary contribution).
  *
  * Data flows through three phases (S IV-A):
- *  - logging: edges are appended to the PMEM circular edge log;
+ *  - logging: edges are appended to a PMEM circular edge log — one log
+ *    per modeled NUMA node, appended concurrently by the sessions bound
+ *    to that node (atomic tail reservation + ordered publish);
  *  - buffering: batches of logged edges move into per-vertex DRAM
  *    buffers (hierarchical, pool-managed);
  *  - flushing: full vertex buffers (or, on thresholds, all of them) are
  *    written to PMEM adjacency chains as whole-XPLine streams.
  *
  * The engine is partitioned across modeled NUMA nodes (S III-D) and all
- * public interfaces of the paper's Table I are provided.
+ * public interfaces of the paper's Table I are provided through the
+ * engine-independent GraphStore surface.
+ *
+ * Threading (Fig.18/20): any number of IngestSessions — obtained from
+ * session(threadHint) — may update concurrently from distinct threads;
+ * each session appends to its NUMA-local partition's log. Archiving
+ * (buffering + flushing) runs either inline at the thresholds on the
+ * triggering session's thread (deterministic; the default) or pipelined
+ * on a dedicated background archiver (config.pipelinedArchiving). The
+ * sync points — bufferAllEdges()/flushAllVbufs()/archiveAll() and
+ * declareQueryThreads() — establish the consistent frontier queries
+ * observe; queries must not run concurrently with archiving.
  */
 
 #ifndef XPG_CORE_XPGRAPH_HPP
@@ -19,9 +32,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/adjacency_store.hpp"
@@ -30,7 +45,7 @@
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "graph/edge_sharding.hpp"
-#include "graph/graph_view.hpp"
+#include "graph/graph_store.hpp"
 #include "graph/types.hpp"
 #include "mempool/vertex_buffer_pool.hpp"
 #include "pmem/pcm_counters.hpp"
@@ -64,38 +79,49 @@ uint64_t recommendedBytesPerNode(const XPGraphConfig &config,
 /**
  * XPGraph / XPGraph-B / XPGraph-D (selected by XPGraphConfig).
  *
- * Updates must come from a single client thread (the paper's logging
- * thread); archiving parallelism is internal. Queries may run from many
- * threads once updates are quiescent.
+ * Updates come from any number of IngestSessions on distinct threads
+ * (the store's addEdge/addEdges/delEdge are the single-threaded default
+ * session). Queries may run from many threads once updates are
+ * quiescent (after a sync point).
  */
-class XPGraph : public GraphView
+class XPGraph : public GraphStore
 {
   public:
     explicit XPGraph(const XPGraphConfig &config);
 
     /**
      * Re-open a crashed, file-backed instance: rebuilds DRAM indexes from
-     * the persistent vertex index and replays the un-flushed window of
-     * the edge log into fresh vertex buffers (S III-B recovery).
-     * @p config must match the crashed instance's configuration.
+     * the persistent vertex index and replays the un-flushed windows of
+     * the per-node edge logs into fresh vertex buffers (S III-B
+     * recovery). @p config must match the crashed instance's.
      */
     static std::unique_ptr<XPGraph> recover(const XPGraphConfig &config);
 
     ~XPGraph() override;
 
-    // --- Graph updating interfaces (Table I) ---
+    // --- Graph updating interfaces (Table I; default session) ---
 
     /** Log one edge insertion. */
-    void addEdge(vid_t src, vid_t dst);
+    void addEdge(vid_t src, vid_t dst) override;
 
     /** Log a batch of edges. @return edges accepted (always n). */
-    uint64_t addEdges(const Edge *edges, uint64_t n);
+    uint64_t addEdges(const Edge *edges, uint64_t n) override;
 
     /** Log a batch and immediately run a buffering phase over it. */
     uint64_t bufferEdges(const Edge *edges, uint64_t n);
 
     /** Log one edge deletion (tombstone record). */
-    void delEdge(vid_t src, vid_t dst);
+    void delEdge(vid_t src, vid_t dst) override;
+
+    /**
+     * Open a concurrent ingestion session bound to NUMA partition
+     * (thread_hint % numNodes): its appends go to that node's log, and
+     * (when thread binding is on) the session binds its client thread to
+     * the node on first use. Sessions are independent; close (destroy)
+     * them before destroying the store.
+     */
+    std::unique_ptr<IngestSession>
+    session(unsigned thread_hint = 0) override;
 
     // --- Graph querying interfaces (Table I) ---
 
@@ -126,20 +152,23 @@ class XPGraph : public GraphView
     uint32_t getNebrsFlushOut(vid_t v, std::vector<vid_t> &out) const;
     uint32_t getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const;
 
-    /** Out/in records of v among the non-buffered edges of the log. */
+    /** Out/in records of v among the non-buffered edges of the logs. */
     uint32_t getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const;
     uint32_t getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const;
 
-    /** All non-buffered edges of the circular edge log. */
+    /** All non-buffered edges of the circular edge logs. */
     uint64_t getLoggedEdges(std::vector<Edge> &out) const;
 
     // --- Graph arranging interfaces (Table I) ---
 
-    /** Buffer every non-buffered edge of the log. */
+    /** Buffer every non-buffered edge of the logs (sync point). */
     void bufferAllEdges();
 
-    /** Flush every DRAM vertex buffer to PMEM. */
+    /** Flush every DRAM vertex buffer to PMEM (sync point). */
     void flushAllVbufs();
+
+    /** bufferAllEdges() + flushAllVbufs(): the GraphStore sync point. */
+    void archiveAll() override;
 
     /** Merge v's adjacency chain into one block, applying tombstones. */
     void compactAdjs(vid_t v);
@@ -159,15 +188,17 @@ class XPGraph : public GraphView
                config_.placement != NumaPlacement::None;
     }
 
-    /** Declare the number of concurrent query threads (read contention). */
+    /** Declare the number of concurrent query threads (read contention).
+     *  Also a sync point: waits out any in-flight archive phase. */
     void declareQueryThreads(unsigned n) override;
 
     // --- Introspection ---
 
     IngestStats stats() const;
-    MemoryUsage memoryUsage() const;
+    IngestStats ingestStats() const override { return stats(); }
+    MemoryUsage memoryUsage() const override;
     /** Aggregate device counters (PCM-equivalent, Fig.13). */
-    PcmCounters pmemCounters() const;
+    PcmCounters pmemCounters() const override;
     const XPGraphConfig &config() const { return config_; }
     VertexBufferPool &pool() { return *pool_; }
 
@@ -175,6 +206,9 @@ class XPGraph : public GraphView
     void syncBackings();
 
   private:
+    class Session;
+    friend class Session;
+
     /** One direction's storage on one partition. */
     struct Side
     {
@@ -182,11 +216,12 @@ class XPGraph : public GraphView
         std::vector<VertexState> states;
     };
 
-    /** One NUMA partition: device, allocator, and its sides. */
+    /** One NUMA partition: device, allocator, log, and its sides. */
     struct Partition
     {
         std::unique_ptr<MemoryDevice> dev;
         std::unique_ptr<PmemAllocator> alloc;
+        std::unique_ptr<CircularEdgeLog> log;
         std::unique_ptr<Side> out;
         std::unique_ptr<Side> in;
         uint64_t outIndexOff = 0;
@@ -194,6 +229,21 @@ class XPGraph : public GraphView
         uint64_t outSlots = 0;
         uint64_t inSlots = 0;
         uint64_t indexBytes = 0;
+        /// Sessions currently bound to this partition (write contention).
+        std::atomic<unsigned> sessions{0};
+
+        Partition() = default;
+        // The atomic deletes the implicit move (only used while the
+        // partitions vector is resized at construction, single-threaded).
+        Partition(Partition &&other) noexcept
+            : dev(std::move(other.dev)), alloc(std::move(other.alloc)),
+              log(std::move(other.log)), out(std::move(other.out)),
+              in(std::move(other.in)), outIndexOff(other.outIndexOff),
+              inIndexOff(other.inIndexOff), outSlots(other.outSlots),
+              inSlots(other.inSlots), indexBytes(other.indexBytes),
+              sessions(other.sessions.load(std::memory_order_relaxed))
+        {
+        }
     };
 
     XPGraph(const XPGraphConfig &config, bool recovering);
@@ -212,14 +262,74 @@ class XPGraph : public GraphView
     uint64_t outSlot(vid_t v) const;
     uint64_t inSlot(vid_t v) const;
 
-    // phases
-    void ensureLogProgress();
-    void runBufferingPhase();
-    void runFlushAll(bool release_buffers);
+    // --- logging (sessions; thread-safe) ---
+
+    /** Total published-but-unbuffered edges across every node's log. */
+    uint64_t totalNonBuffered() const;
+
+    /** Simulated time one appendFromClient call spent, split into the
+     *  pure log write and the archive phases it coordinated inline (a
+     *  client cannot log while it runs a phase itself, so its stream
+     *  wall-clock is the sum of both). */
+    struct AppendCost
+    {
+        uint64_t loggingNs = 0;
+        uint64_t inlineArchiveNs = 0;
+        uint64_t streamNs() const { return loggingNs + inlineArchiveNs; }
+    };
+
+    /**
+     * The shared client append path (default session and IngestSessions):
+     * reserve + write + publish on @p node's log, triggering/notifying
+     * archiving at the thresholds and blocking only when the log is
+     * full.
+     */
+    AppendCost appendFromClient(unsigned node, bool bind,
+                                const Edge *edges, uint64_t n);
+
+    /**
+     * Threshold crossing: inline mode runs a buffering phase if no other
+     * session is archiving (returns true if it ran, adding the phase
+     * cost to @p inline_ns); pipelined mode wakes the background
+     * archiver (returns false — keep logging).
+     */
+    bool requestArchive(uint64_t &inline_ns);
+
+    /** Block until @p node's log has a free slot (archive/flush runs);
+     *  inline mode adds the phases this client ran to @p inline_ns. */
+    void waitForLogSpace(unsigned node, uint64_t &inline_ns);
+
+    void openSession(unsigned node);
+    void closeSession(unsigned node, uint64_t logging_ns,
+                      uint64_t stream_ns);
+
+    // --- archiving phases (caller holds archiveMutex_) ---
+
+    /** One buffering phase over a published-prefix snapshot. @p capped
+     *  bounds the drain at bufferingThresholdEdges per node so
+     *  threshold-triggered phases stay small and read the log hot;
+     *  sync points pass false and drain to the snapshot head. */
+    void runBufferingPhaseLocked(bool capped = false);
+    /** Archive-phase ns charged so far (caller holds archiveMutex_). */
+    uint64_t
+    archivePhaseNsLocked() const
+    {
+        return bufferingNs_.load(std::memory_order_relaxed) +
+               flushingNs_.load(std::memory_order_relaxed);
+    }
+    void runFlushAllLocked(bool release_buffers);
     void shardBatch();
     void bufferWorker(unsigned w);
     void flushWorker(unsigned w, bool release_buffers);
     void declareArchiveConcurrency();
+    /** Writers per device between phases: the bound session count. */
+    void declareIdleWriters();
+
+    // --- background archiver (config.pipelinedArchiving) ---
+
+    void startArchiver();
+    void stopArchiver();
+    void archiverLoop();
 
     /**
      * Archive work is organized in "virtual slots": one per archive
@@ -263,35 +373,54 @@ class XPGraph : public GraphView
     uint32_t collectLive(const Side *side, uint64_t slot,
                          std::vector<vid_t> &out) const;
     uint32_t degreeOf(const Side *side, uint64_t slot) const;
-    /** Lazily create + extend the log-window index (first log query). */
-    LogWindowIndex &logIndex() const;
+    /** Lazily create + extend node's log-window index (first query). */
+    LogWindowIndex &logIndex(unsigned node) const;
 
     XPGraphConfig config_;
     std::vector<Partition> parts_;
-    std::unique_ptr<CircularEdgeLog> log_;
-    mutable std::unique_ptr<LogWindowIndex> logIndex_;
+    mutable std::vector<std::unique_ptr<LogWindowIndex>> logIndexes_;
     mutable std::mutex logIndexMutex_;
     std::unique_ptr<VertexBufferPool> pool_;
     std::unique_ptr<ParallelExecutor> executor_;
 
-    // buffering-phase scratch (single ingest thread)
+    /**
+     * Serializes archive phases (buffering/flushing/compaction) and the
+     * scratch below; sessions take it only at the thresholds (try_lock)
+     * or when their log is full. The logging fast path is lock-free.
+     */
+    mutable std::mutex archiveMutex_;
+    std::condition_variable archiveCv_; ///< wakes the archiver
+    std::condition_variable spaceCv_;   ///< wakes log-full sessions
+    std::thread archiverThread_;
+    bool archiverStop_ = false; ///< guarded by archiveMutex_
+    std::atomic<bool> archiveRequested_{false};
+    std::atomic<bool> reclaimRequested_{false};
+
+    // buffering-phase scratch (guarded by archiveMutex_)
     std::vector<Edge> batch_;
+    std::vector<uint64_t> phaseUpTo_; ///< per-node markBuffered target
     /// per (node): shard lists for out- and in-side inserts
     std::vector<std::vector<std::vector<Edge>>> outShards_;
     std::vector<std::vector<std::vector<Edge>>> inShards_;
     std::vector<std::vector<ShardAssignment>> outAssign_;
     std::vector<std::vector<ShardAssignment>> inAssign_;
 
-    // stats
-    uint64_t loggingNs_ = 0;
-    uint64_t bufferingNs_ = 0;
-    uint64_t flushingNs_ = 0;
-    uint64_t recoveryNs_ = 0;
-    uint64_t edgesLogged_ = 0;
-    uint64_t edgesBuffered_ = 0;
-    uint64_t bufferingPhases_ = 0;
-    uint64_t flushAllPhases_ = 0;
+    // stats (relaxed atomics: sessions + archiver update concurrently)
+    std::atomic<uint64_t> loggingNs_{0};     ///< sum over all streams
+    std::atomic<uint64_t> defaultSessionNs_{0}; ///< default shim: logging
+    std::atomic<uint64_t> defaultStreamNs_{0};  ///< + inline archiving
+    std::atomic<uint64_t> sessionNsMax_{0};  ///< slowest session: logging
+    std::atomic<uint64_t> streamNsMax_{0};   ///< + inline archiving
+    std::atomic<uint64_t> bufferingNs_{0};
+    std::atomic<uint64_t> flushingNs_{0};
+    std::atomic<uint64_t> recoveryNs_{0};
+    std::atomic<uint64_t> edgesLogged_{0};
+    std::atomic<uint64_t> edgesBuffered_{0};
+    std::atomic<uint64_t> bufferingPhases_{0};
+    std::atomic<uint64_t> flushAllPhases_{0};
     std::atomic<uint64_t> vbufFlushes_{0};
+    std::atomic<uint64_t> sessionsOpened_{0};
+    std::atomic<unsigned> openSessions_{0};
 };
 
 } // namespace xpg

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The stable ingest + query interface implemented by every engine
+ * (XPGraph and the GraphOne baselines): the paper's Table I update
+ * methods, the thread-safe session surface, the arranging entry point,
+ * and the GraphView query surface. Benches and tests drive all engines
+ * through this one polymorphic harness instead of engine-specific call
+ * sites.
+ *
+ * Threading contract:
+ *  - addEdge/addEdges/delEdge on the store itself are the *default
+ *    session*: a convenience shim for single-client-thread callers
+ *    (everything written before the session API keeps compiling).
+ *  - session(threadHint) opens an independent ingestion session; any
+ *    number of sessions may update concurrently from distinct threads.
+ *    A session must not be shared between threads without external
+ *    synchronization (it is a lightweight per-thread handle).
+ *  - archiveAll() (and the store-specific flush entry points) are the
+ *    sync points: after they return on a quiescent store, queries see
+ *    every previously published update (the consistent frontier).
+ */
+
+#ifndef XPG_GRAPH_GRAPH_STORE_HPP
+#define XPG_GRAPH_GRAPH_STORE_HPP
+
+#include <memory>
+
+#include "core/stats.hpp"
+#include "graph/graph_view.hpp"
+#include "graph/types.hpp"
+#include "pmem/pcm_counters.hpp"
+
+namespace xpg {
+
+/**
+ * A lightweight, single-threaded handle for one client thread's updates.
+ * Different sessions may be used from different threads concurrently;
+ * the store serializes internally (NUMA-sharded logs in XPGraph, atomic
+ * log reservation in GraphOne). Closing (destroying) the session folds
+ * its per-thread statistics into the store.
+ */
+class IngestSession
+{
+  public:
+    virtual ~IngestSession() = default;
+
+    /** Log one edge insertion. */
+    virtual void
+    addEdge(vid_t src, vid_t dst)
+    {
+        const Edge e{src, dst};
+        addEdges(&e, 1);
+    }
+
+    /** Log a batch of edges. @return edges accepted (always n). */
+    virtual uint64_t addEdges(const Edge *edges, uint64_t n) = 0;
+
+    /** Log one edge deletion (tombstone record). */
+    virtual void
+    delEdge(vid_t src, vid_t dst)
+    {
+        const Edge e{src, asDelete(dst)};
+        addEdges(&e, 1);
+    }
+
+    /** NUMA node this session's edge log lives on (0 if unsharded). */
+    virtual unsigned node() const { return 0; }
+
+    /** Edges this session has logged so far. */
+    virtual uint64_t edgesLogged() const = 0;
+
+    /** Simulated nanoseconds this session spent logging. */
+    virtual uint64_t loggingNs() const = 0;
+};
+
+/** The engine-independent ingest + query interface (Table I). */
+class GraphStore : public GraphView
+{
+  public:
+    // --- Graph updating interfaces (default session shim) ---
+
+    /** Log one edge insertion. */
+    virtual void addEdge(vid_t src, vid_t dst) = 0;
+
+    /** Log a batch of edges. @return edges accepted (always n). */
+    virtual uint64_t addEdges(const Edge *edges, uint64_t n) = 0;
+
+    /** Log one edge deletion (tombstone record). */
+    virtual void delEdge(vid_t src, vid_t dst) = 0;
+
+    /**
+     * Open a concurrent ingestion session. @p thread_hint selects the
+     * NUMA partition the session binds to (hint % numNodes); pass the
+     * client thread's index for round-robin spreading.
+     */
+    virtual std::unique_ptr<IngestSession>
+    session(unsigned thread_hint = 0) = 0;
+
+    // --- Graph arranging interfaces ---
+
+    /**
+     * Drain the edge log(s) into the adjacency structures completely:
+     * buffer + flush for XPGraph, archive for GraphOne. A sync point:
+     * afterwards queries see every published update.
+     */
+    virtual void archiveAll() = 0;
+
+    // --- Introspection ---
+
+    virtual IngestStats ingestStats() const = 0;
+    virtual PcmCounters pmemCounters() const = 0;
+    virtual MemoryUsage memoryUsage() const = 0;
+};
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_GRAPH_STORE_HPP

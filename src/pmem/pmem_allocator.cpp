@@ -1,5 +1,7 @@
 #include "pmem/pmem_allocator.hpp"
 
+#include <mutex>
+
 #include "pmem/xpline.hpp"
 #include "util/logging.hpp"
 
@@ -15,7 +17,8 @@ PmemAllocator::PmemAllocator(MemoryDevice &dev, uint64_t region_start,
 {
     XPG_ASSERT(regionStart_ < regionEnd_, "empty allocator region");
     XPG_ASSERT(regionEnd_ <= dev.capacity(), "region beyond device");
-    dev_.writePod<uint64_t>(tailPtrOff_, tail_.load());
+    persistedTail_ = tail_.load();
+    dev_.writePod<uint64_t>(tailPtrOff_, persistedTail_);
 }
 
 PmemAllocator::PmemAllocator(RecoverTag, MemoryDevice &dev,
@@ -30,6 +33,7 @@ PmemAllocator::PmemAllocator(RecoverTag, MemoryDevice &dev,
     const uint64_t tail = tail_.load();
     XPG_ASSERT(tail >= regionStart_ && tail <= regionEnd_,
                "recovered allocator tail out of region");
+    persistedTail_ = tail;
 }
 
 std::unique_ptr<PmemAllocator>
@@ -59,9 +63,17 @@ PmemAllocator::alloc(uint64_t size, uint64_t align)
         }
     } while (!tail_.compare_exchange_weak(current, next,
                                           std::memory_order_relaxed));
-    // Persist the new tail; last-writer-wins races only over-reserve,
-    // which recovery treats as free space.
-    dev_.writePod<uint64_t>(tailPtrOff_, next);
+    // Persist the new tail monotonically: a concurrent allocator may
+    // already have persisted a higher value, which must not be rolled
+    // back. Over-reservation (persisted > linked) is safe — recovery
+    // treats it as free space.
+    {
+        std::lock_guard<SpinLock> guard(persistLock_);
+        if (next > persistedTail_) {
+            persistedTail_ = next;
+            dev_.writePod<uint64_t>(tailPtrOff_, next);
+        }
+    }
     return offset;
 }
 

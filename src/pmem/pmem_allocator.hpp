@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "pmem/memory_device.hpp"
+#include "util/spinlock.hpp"
 
 namespace xpg {
 
@@ -76,6 +77,12 @@ class PmemAllocator
     uint64_t regionEnd_;
     uint64_t tailPtrOff_;
     std::atomic<uint64_t> tail_;
+    /** Serializes the tail persist; guards persistedTail_. Keeps the
+     *  persisted value monotonic when concurrent archive workers
+     *  allocate (an unordered last-writer could persist a stale tail,
+     *  and recovery would hand out space that is already linked). */
+    SpinLock persistLock_;
+    uint64_t persistedTail_ = 0;
 };
 
 } // namespace xpg

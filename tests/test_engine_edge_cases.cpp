@@ -156,8 +156,9 @@ TEST(EngineEdgeCases, MaxVertexIdIsUsable)
 TEST(EngineEdgeCases, OutOfRangeEdgePanics)
 {
     XPGraph graph(smallConfig(10, 100));
-    graph.addEdge(10, 0); // logged; range-checked at buffering
-    EXPECT_DEATH(graph.bufferAllEdges(), "out of range");
+    // Range-checked at the append boundary, in the client's thread,
+    // before the record reaches the shared log.
+    EXPECT_DEATH(graph.addEdge(10, 0), "out of range");
 }
 
 TEST(EngineEdgeCases, MissingConfigIsRejected)
