@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 benchmark driver: configures and builds the tree, runs the
 # fig14 query bench (vector vs visitor engines), the query-primitive
-# microbenchmarks, and the concurrent-ingest scaling bench, and leaves
-# the machine-readable numbers in BENCH_query.json / BENCH_ingest.json
-# (override the paths with XPG_BENCH_JSON / XPG_BENCH_INGEST_JSON).
+# microbenchmarks, the concurrent-ingest scaling bench, and the
+# recovery-depth bench, and leaves the machine-readable numbers in
+# BENCH_query.json / BENCH_ingest.json / BENCH_recovery.json (override
+# the paths with XPG_BENCH_JSON / XPG_BENCH_INGEST_JSON /
+# XPG_BENCH_RECOVERY_JSON).
+#
+# Between build and benches the bounded crash-sweep stage runs: every
+# test labeled "crash" (the systematic power-loss sweep over XPGraph and
+# GraphOne, a few seconds wall time).
 #
 # With XPG_TSAN=1 a second build tree (<build-dir>-tsan) is compiled
 # with -DXPG_SANITIZE=thread and the concurrency test suites run under
 # ThreadSanitizer before the benches.
+#
+# With XPG_ASAN=1 a third build tree (<build-dir>-asan) is compiled with
+# -DXPG_SANITIZE=address and the recovery/crash suites (device crash
+# model, allocator recovery, XPGraph recovery, crash sweep) run under
+# AddressSanitizer — recovery code walks raw device images, exactly
+# where an out-of-bounds read would hide.
 #
 # Usage: bench/run_tier1_bench.sh [build-dir] [dataset...]
 #   build-dir  defaults to ./build
@@ -27,9 +39,24 @@ if [[ "${XPG_TSAN:-0}" == "1" ]]; then
         --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*'
 fi
 
+if [[ "${XPG_ASAN:-0}" == "1" ]]; then
+    asan_dir="${build_dir}-asan"
+    cmake -B "${asan_dir}" -S "${repo_root}" -DXPG_SANITIZE=address
+    cmake --build "${asan_dir}" -j "$(nproc)" \
+          --target xpg_tests xpg_crash_tests
+    "${asan_dir}/tests/xpg_tests" \
+        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*'
+    "${asan_dir}/tests/xpg_crash_tests"
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "$(nproc)" \
-      --target fig14_query micro_primitives fig20_ingest
+      --target fig14_query micro_primitives fig20_ingest fig_recovery \
+               xpg_crash_tests
+
+# Bounded crash-sweep stage: systematic power-loss points with recovery
+# validation (tests/test_crash_sweep.cpp).
+ctest --test-dir "${build_dir}" -L crash --output-on-failure
 
 export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 "${build_dir}/bench/fig14_query" "${datasets[@]}"
@@ -41,5 +68,8 @@ export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 export XPG_BENCH_INGEST_JSON="${XPG_BENCH_INGEST_JSON:-${repo_root}/BENCH_ingest.json}"
 "${build_dir}/bench/fig20_ingest" "${datasets[0]}"
 
+export XPG_BENCH_RECOVERY_JSON="${XPG_BENCH_RECOVERY_JSON:-${repo_root}/BENCH_recovery.json}"
+"${build_dir}/bench/fig_recovery" "${datasets[0]}"
+
 echo
-echo "wrote ${XPG_BENCH_JSON} and ${XPG_BENCH_INGEST_JSON}"
+echo "wrote ${XPG_BENCH_JSON}, ${XPG_BENCH_INGEST_JSON} and ${XPG_BENCH_RECOVERY_JSON}"

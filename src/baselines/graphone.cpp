@@ -1,8 +1,11 @@
 #include "baselines/graphone.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdio>
 
 #include "graph/tombstones.hpp"
+#include "util/checksum.hpp"
 #include "pmem/dram_device.hpp"
 #include "pmem/memory_mode_device.hpp"
 #include "pmem/numa_topology.hpp"
@@ -25,6 +28,38 @@ constexpr uint64_t kAllocTailOff = 256;
  *  chunks with no large per-vertex floor. */
 constexpr uint32_t kMinChunkRecords = 16;
 constexpr uint32_t kMaxChunkRecords = 16384;
+
+/**
+ * Durable-log header for the file-backed Pmem variant: two alternating
+ * copies one XPLine apart (a torn header write can never destroy the
+ * only valid copy). The recorded head covers only persisted slots —
+ * publishLog() persists the slot range before the publish CAS.
+ */
+struct G1LogHeader
+{
+    uint64_t magic;
+    uint64_t capacityEdges;
+    uint64_t head;
+    uint64_t generation;
+    uint64_t checksum; ///< FNV-1a over all preceding fields
+
+    uint64_t
+    computeChecksum() const
+    {
+        return fnv1a64(this, offsetof(G1LogHeader, checksum));
+    }
+
+    bool
+    valid() const
+    {
+        return magic == 0x47314c4f47484452ull /* "G1LOGHDR" */ &&
+               capacityEdges > 0 && checksum == computeChecksum();
+    }
+};
+constexpr uint64_t kG1LogMagic = 0x47314c4f47484452ull;
+/** Copies at kLogHeaderOff and one XPLine above (both inside the header
+ *  page, clear of the allocator tail slot at kAllocTailOff). */
+constexpr uint64_t kLogHeaderOff = 1024;
 
 /** Per-batch degree-increment scratch, reused across phases. */
 thread_local std::vector<vid_t> t_touched;
@@ -96,7 +131,12 @@ graphoneRecommendedBytesPerNode(const GraphOneConfig &config,
     return log_bytes + chunk_bytes + (32ull << 20);
 }
 
-GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
+GraphOne::GraphOne(const GraphOneConfig &config) : GraphOne(config, false)
+{
+}
+
+GraphOne::GraphOne(const GraphOneConfig &config, bool recovering)
+    : config_(config)
 {
     XPG_ASSERT(config_.maxVertices > 0, "maxVertices must be set");
     XPG_ASSERT(config_.bytesPerNode > 0, "bytesPerNode must be set");
@@ -115,6 +155,13 @@ GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
     for (unsigned node = 0; node < num_devices; ++node) {
         const std::string name = "g1-node" + std::to_string(node);
         std::unique_ptr<MemoryDevice> dev;
+        std::string path;
+        if (!config_.backingDir.empty() &&
+            config_.variant == GraphOneVariant::Pmem) {
+            path = backingPath(node);
+            if (!recovering)
+                std::remove(path.c_str()); // fresh instance: discard file
+        }
         switch (config_.variant) {
           case GraphOneVariant::Dram:
             dev = std::make_unique<DramDevice>(name, config_.bytesPerNode,
@@ -125,7 +172,7 @@ GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
           case GraphOneVariant::Nova:
             dev = std::make_unique<PmemDevice>(name, config_.bytesPerNode,
                                                static_cast<int>(node),
-                                               config_.numNodes);
+                                               config_.numNodes, path);
             break;
           case GraphOneVariant::MemoryMode:
             dev = std::make_unique<MemoryModeDevice>(
@@ -153,6 +200,38 @@ GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
     }
     logRegionOff_ = kLogRegionOff;
 
+    durableLog_ = !config_.backingDir.empty() &&
+                  config_.variant == GraphOneVariant::Pmem;
+    if (durableLog_ && recovering) {
+        // Adopt the checksum-valid header copy with the max generation.
+        const auto a = logDevice_->readPod<G1LogHeader>(kLogHeaderOff);
+        const auto b = logDevice_->readPod<G1LogHeader>(kLogHeaderOff +
+                                                        kXPLineSize);
+        const G1LogHeader *best = nullptr;
+        if (a.valid())
+            best = &a;
+        if (b.valid() && (!best || b.generation > best->generation))
+            best = &b;
+        if (!best || best->capacityEdges != config_.elogCapacityEdges) {
+            XPG_FATAL("graphone recovery: no valid log header copy on '" +
+                      logDevice_->name() + "'");
+        }
+        logGeneration_ = best->generation;
+        reservedHead_.store(best->head, std::memory_order_relaxed);
+        publishedHead_.store(best->head, std::memory_order_relaxed);
+        // Adjacency metadata is DRAM-resident, so everything still in
+        // the log must be re-archived; edges the circular log already
+        // overwrote (head beyond one capacity) are unrecoverable.
+        archivedUpTo_.store(best->head > config_.elogCapacityEdges
+                                ? best->head - config_.elogCapacityEdges
+                                : 0,
+                            std::memory_order_relaxed);
+    } else if (durableLog_) {
+        // Seed both header copies (generation 1 and 2, head 0).
+        persistLogHeader();
+        persistLogHeader();
+    }
+
     for (unsigned node = 0; node < devices_.size(); ++node) {
         // Chunk space starts after the log region on device 0.
         const uint64_t start =
@@ -178,10 +257,57 @@ GraphOne::GraphOne(const GraphOneConfig &config) : config_(config)
 
 GraphOne::~GraphOne() = default;
 
+std::unique_ptr<GraphOne>
+GraphOne::recover(const GraphOneConfig &config)
+{
+    XPG_ASSERT(!config.backingDir.empty() &&
+                   config.variant == GraphOneVariant::Pmem,
+               "GraphOne::recover needs a file-backed Pmem instance");
+    std::FILE *probe = std::fopen(
+        (config.backingDir + "/graphone_node0.pmem").c_str(), "rb");
+    if (!probe)
+        XPG_FATAL("graphone recovery: missing backing file " +
+                  config.backingDir + "/graphone_node0.pmem");
+    std::fclose(probe);
+    auto graph = std::unique_ptr<GraphOne>(
+        new GraphOne(config, /*recovering=*/true));
+    // GraphOne recovery IS re-archiving: rebuild the DRAM adjacency
+    // chains from the durable log window.
+    graph->archiveAll();
+    return graph;
+}
+
+std::shared_ptr<FaultInjector>
+GraphOne::injectFaults(const FaultPlan &plan)
+{
+    auto injector = std::make_shared<FaultInjector>(plan);
+    for (auto &dev : devices_)
+        dev->armFaults(injector);
+    if (novaLogDevice_)
+        novaLogDevice_->armFaults(injector);
+    return injector;
+}
+
+void
+GraphOne::powerCycle()
+{
+    for (auto &dev : devices_)
+        dev->powerCycle();
+    if (novaLogDevice_)
+        novaLogDevice_->powerCycle();
+}
+
 MemoryDevice &
 GraphOne::interleavedDevice(uint64_t counter) const
 {
     return *devices_[counter % devices_.size()];
+}
+
+std::string
+GraphOne::backingPath(unsigned node) const
+{
+    return config_.backingDir + "/graphone_node" + std::to_string(node) +
+           ".pmem";
 }
 
 void
@@ -292,6 +418,11 @@ GraphOne::writeLog(uint64_t pos, const Edge *edges, uint64_t n)
 void
 GraphOne::publishLog(uint64_t pos, uint64_t n)
 {
+    // Durability fence: the slots must be on the media BEFORE the run
+    // becomes publishable — once our CAS lands, any later publisher may
+    // persist a header whose head covers this range.
+    if (durableLog_)
+        persistLogSlots(pos, n);
     // Ordered publish: readers only ever see a contiguous prefix.
     uint64_t expected = pos;
     while (!publishedHead_.compare_exchange_weak(
@@ -299,6 +430,38 @@ GraphOne::publishLog(uint64_t pos, uint64_t n)
         std::memory_order_relaxed)) {
         expected = pos;
     }
+    if (durableLog_)
+        persistLogHeader();
+}
+
+void
+GraphOne::persistLogSlots(uint64_t pos, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n) {
+        const uint64_t slot = (pos + done) % config_.elogCapacityEdges;
+        const uint64_t run =
+            std::min(n - done, config_.elogCapacityEdges - slot);
+        logDevice_->persist(logRegionOff_ + slot * sizeof(Edge),
+                            run * sizeof(Edge));
+        done += run;
+    }
+}
+
+void
+GraphOne::persistLogHeader()
+{
+    std::lock_guard<SpinLock> lock(logHeaderLock_);
+    G1LogHeader hdr{};
+    hdr.magic = kG1LogMagic;
+    hdr.capacityEdges = config_.elogCapacityEdges;
+    hdr.head = publishedHead_.load(std::memory_order_acquire);
+    hdr.generation = ++logGeneration_;
+    hdr.checksum = hdr.computeChecksum();
+    const uint64_t off =
+        kLogHeaderOff + (hdr.generation & 1 ? kXPLineSize : 0);
+    logDevice_->writePod<G1LogHeader>(off, hdr);
+    logDevice_->persist(off, sizeof(G1LogHeader));
 }
 
 uint64_t

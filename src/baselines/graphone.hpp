@@ -26,6 +26,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/stats.hpp"
@@ -33,9 +34,11 @@
 #include "graph/graph_store.hpp"
 #include "graph/types.hpp"
 #include "mempool/system_allocator_model.hpp"
+#include "pmem/fault_plan.hpp"
 #include "pmem/memory_device.hpp"
 #include "pmem/pmem_allocator.hpp"
 #include "util/parallel.hpp"
+#include "util/spinlock.hpp"
 
 namespace xpg {
 
@@ -63,6 +66,14 @@ struct GraphOneConfig
     uint64_t archiveThresholdEdges = 1ull << 16;
     unsigned archiveThreads = 16;
     unsigned shardsPerThread = 16;
+    /**
+     * Directory for the Pmem variant's backing file; empty = volatile.
+     * A file-backed GraphOne logs durably (slots + dual checksummed log
+     * header persisted at publish) so recover() can re-archive the log —
+     * GraphOne's adjacency metadata is DRAM-resident, so its recovery
+     * story IS re-archiving (FAST'19 S 3.4).
+     */
+    std::string backingDir;
 };
 
 /** Device bytes per node that comfortably fit the workload. */
@@ -84,6 +95,25 @@ class GraphOne : public GraphStore
   public:
     explicit GraphOne(const GraphOneConfig &config);
     ~GraphOne() override;
+
+    /**
+     * Re-open a crashed, file-backed Pmem-variant instance: adopts the
+     * checksum-valid log header copy with the highest generation and
+     * re-archives the durable log window into fresh (DRAM) adjacency
+     * chains. Requires the log not to have wrapped past un-archivable
+     * edges (size elogCapacityEdges to the workload). Fatal on a corrupt
+     * header or missing backing file; @p config must match the crashed
+     * instance's.
+     */
+    static std::unique_ptr<GraphOne> recover(const GraphOneConfig &config);
+
+    /** Arm every device with one shared machine-wide FaultInjector
+     *  (see XPGraph::injectFaults). */
+    std::shared_ptr<FaultInjector> injectFaults(const FaultPlan &plan);
+
+    /** Simulate the power loss on every device (see
+     *  XPGraph::powerCycle); destroy + recover() afterwards. */
+    void powerCycle();
 
     // --- updates (default session) ---
     void addEdge(vid_t src, vid_t dst) override;
@@ -150,7 +180,10 @@ class GraphOne : public GraphStore
         std::vector<VertexMeta> meta;
     };
 
+    GraphOne(const GraphOneConfig &config, bool recovering);
+
     MemoryDevice &interleavedDevice(uint64_t counter) const;
+    std::string backingPath(unsigned node) const;
     void chargeFileIo(uint64_t bytes) const;
     void ensureCapacity(Direction &dir, vid_t v, uint32_t increment);
     void appendRecord(Direction &dir, vid_t v, vid_t record);
@@ -174,6 +207,11 @@ class GraphOne : public GraphStore
     uint64_t tryReserveLog(uint64_t n, uint64_t &pos);
     void writeLog(uint64_t pos, const Edge *edges, uint64_t n);
     void publishLog(uint64_t pos, uint64_t n);
+    /** Durable logging: persist the slot range [pos, pos+n). */
+    void persistLogSlots(uint64_t pos, uint64_t n);
+    /** Durable logging: persist the published head into the alternating
+     *  header copy (generation g -> copy g & 1). */
+    void persistLogHeader();
     /** Shared client append path. @return simulated ns spent logging;
      *  archive phases this client ran inline (they serialize into its
      *  stream — a client cannot log while archiving) are added to
@@ -213,6 +251,13 @@ class GraphOne : public GraphStore
     std::atomic<uint64_t> publishedHead_{0};
     std::atomic<uint64_t> archivedUpTo_{0};
     std::atomic<uint64_t> chunkCounter_{0};
+
+    /** File-backed Pmem variant: persist slots + header at publish so
+     *  acknowledged edges survive a power loss. */
+    bool durableLog_ = false;
+    /** Serializes log-header persistence; guards logGeneration_. */
+    SpinLock logHeaderLock_;
+    uint64_t logGeneration_ = 0;
 
     /** Serializes archive phases and the scratch below. */
     mutable std::mutex archiveMutex_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "pmem/xpline.hpp"
+#include "util/checksum.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
@@ -17,6 +18,23 @@ constexpr uint32_t kMaxBlockRecords = 16384;
 /** Scratch assembly buffer for freshly written blocks. */
 thread_local std::vector<std::byte> t_blockScratch;
 
+/** Pack a commit word: live count plus checksum over those records. */
+inline uint64_t
+packCommit(uint32_t count, uint32_t sum)
+{
+    return uint64_t{count} | (uint64_t{sum} << 32);
+}
+
+/** Additive position-mixed checksum over records [from, to). */
+inline uint32_t
+sumRecords(const vid_t *recs, uint32_t from, uint32_t to, uint32_t base)
+{
+    uint32_t sum = base;
+    for (uint32_t i = from; i < to; ++i)
+        sum += recordSum32(recs[i], i);
+    return sum;
+}
+
 } // namespace
 
 AdjacencyStore::AdjacencyStore(MemoryDevice &dev, PmemAllocator &alloc,
@@ -27,6 +45,14 @@ AdjacencyStore::AdjacencyStore(MemoryDevice &dev, PmemAllocator &alloc,
 {
     XPG_ASSERT(index_off % kXPLineSize == 0,
                "index region must be XPLine-aligned");
+}
+
+uint64_t
+AdjacencyStore::blockBytes(uint32_t capacity)
+{
+    const uint64_t raw_bytes =
+        sizeof(BlockHeader) + uint64_t{capacity} * sizeof(vid_t);
+    return alignUp(raw_bytes, raw_bytes >= kXPLineSize ? kXPLineSize : 64);
 }
 
 uint64_t
@@ -52,13 +78,10 @@ AdjacencyStore::newBlockCapacity(uint32_t pending, uint32_t stored) const
     // blocks (Table III shows only ~1.2x space overhead over CSR, so
     // there is no big per-vertex floor); blocks of at least one XPLine
     // are rounded to whole XPLines for line-aligned streaming.
-    const uint32_t min_records = 12; // one 64 B unit of records
+    const uint32_t min_records = 12; // three 64 B units of records
     uint32_t target = std::max(pending, std::min(stored, kMaxBlockRecords));
     target = std::max(target, min_records);
-    const uint64_t raw_bytes =
-        sizeof(BlockHeader) + uint64_t{target} * sizeof(vid_t);
-    const uint64_t bytes = alignUp(
-        raw_bytes, raw_bytes >= kXPLineSize ? kXPLineSize : 64);
+    const uint64_t bytes = blockBytes(target);
     return static_cast<uint32_t>((bytes - sizeof(BlockHeader)) /
                                  sizeof(vid_t));
 }
@@ -67,10 +90,8 @@ uint64_t
 AdjacencyStore::writeBlock(const vid_t *nebrs, uint32_t n,
                            uint32_t capacity)
 {
-    const uint64_t raw_bytes =
-        sizeof(BlockHeader) + uint64_t{capacity} * sizeof(vid_t);
-    const uint64_t align = raw_bytes >= kXPLineSize ? kXPLineSize : 64;
-    const uint64_t bytes = alignUp(raw_bytes, align);
+    const uint64_t bytes = blockBytes(capacity);
+    const uint64_t align = bytes >= kXPLineSize ? kXPLineSize : 64;
     const uint64_t off = alloc_->alloc(bytes, align);
 
     // Assemble header + records in scratch and write them as one stream
@@ -78,9 +99,11 @@ AdjacencyStore::writeBlock(const vid_t *nebrs, uint32_t n,
     const uint64_t init_bytes = sizeof(BlockHeader) + n * sizeof(vid_t);
     t_blockScratch.resize(init_bytes);
     auto *hdr = reinterpret_cast<BlockHeader *>(t_blockScratch.data());
-    hdr->count = n;
+    hdr->magic = kBlockMagic;
     hdr->capacity = capacity;
     hdr->next = kNullOffset;
+    hdr->commit[0] = packCommit(n, sumRecords(nebrs, 0, n, 0));
+    hdr->commit[1] = 0;
     std::memcpy(t_blockScratch.data() + sizeof(BlockHeader), nebrs,
                 n * sizeof(vid_t));
     dev_->write(off, t_blockScratch.data(), init_bytes);
@@ -105,11 +128,22 @@ AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
                                   uint64_t{chain.tailCount} *
                                       sizeof(vid_t);
         dev_->write(data_off, cursor, take * sizeof(vid_t));
+        // Commit the grown count with a single 8-byte word carrying the
+        // incrementally extended record checksum, into the commit slot
+        // *not* holding the previous commit: if this commit reaches the
+        // media but part of the payload does not, recovery falls back to
+        // the other slot's intact commit.
+        uint32_t sum = chain.tailSum;
+        for (uint32_t i = 0; i < take; ++i)
+            sum += recordSum32(cursor[i], chain.tailCount + i);
         chain.tailCount += take;
+        chain.tailSum = sum;
+        chain.tailCommitSlot ^= 1;
         chain.records += take;
-        // Update the tail header's count (4-byte write at the block
-        // base, which the XPBuffer usually still holds).
-        dev_->writePod<uint32_t>(chain.tail, chain.tailCount);
+        dev_->writePod<uint64_t>(
+            chain.tail + offsetof(BlockHeader, commit) +
+                uint64_t{chain.tailCommitSlot} * sizeof(uint64_t),
+            packCommit(chain.tailCount, sum));
         if (proactiveFlush_ && take * sizeof(vid_t) >= kXPLineSize)
             dev_->persist(data_off, take * sizeof(vid_t));
         cursor += take;
@@ -134,6 +168,8 @@ AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
         chain.tail = off;
         chain.tailCount = take;
         chain.tailCapacity = capacity;
+        chain.tailSum = sumRecords(cursor, 0, take, 0);
+        chain.tailCommitSlot = 0;
         chain.records += take;
         // The persistent index holds only the chain head (written once
         // per vertex); the tail is recovered by walking the chain, so
@@ -154,13 +190,14 @@ AdjacencyStore::readRaw(const VertexChain &chain,
     uint64_t off = chain.head;
     while (off != kNullOffset) {
         const auto hdr = dev_->readPod<BlockHeader>(off);
+        const uint32_t count = hdr.liveCount();
         const size_t base = out.size();
-        out.resize(base + hdr.count);
-        if (hdr.count > 0) {
+        out.resize(base + count);
+        if (count > 0) {
             dev_->read(off + sizeof(BlockHeader), out.data() + base,
-                       uint64_t{hdr.count} * sizeof(vid_t));
+                       uint64_t{count} * sizeof(vid_t));
         }
-        total += hdr.count;
+        total += count;
         off = hdr.next;
     }
     return total;
@@ -173,10 +210,11 @@ AdjacencyStore::contains(const VertexChain &chain, vid_t nebr) const
     uint64_t off = chain.head;
     while (off != kNullOffset) {
         const auto hdr = dev_->readPod<BlockHeader>(off);
-        scratch.resize(hdr.count);
-        if (hdr.count > 0) {
+        const uint32_t count = hdr.liveCount();
+        scratch.resize(count);
+        if (count > 0) {
             dev_->read(off + sizeof(BlockHeader), scratch.data(),
-                       uint64_t{hdr.count} * sizeof(vid_t));
+                       uint64_t{count} * sizeof(vid_t));
             for (vid_t v : scratch)
                 if (v == nebr)
                     return true;
@@ -211,12 +249,21 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
     const uint32_t n = static_cast<uint32_t>(live.size());
     const uint32_t capacity = newBlockCapacity(n ? n : 1, 0);
     const uint64_t off = writeBlock(live.data(), n, capacity);
+    // Durability fence: compaction swings the index head away from a
+    // chain whose edges may be flushed (no longer replayable from the
+    // log), so the new block must be fully durable *before* the entry
+    // can point at it — otherwise a crash between the two writes loses
+    // the old (still durable) chain and the new one together.
+    dev_->persist(off, sizeof(BlockHeader) + uint64_t{n} * sizeof(vid_t));
     chain.head = off;
     chain.tail = off;
     chain.tailCount = n;
     chain.tailCapacity = capacity;
+    chain.tailSum = sumRecords(live.data(), 0, n, 0);
+    chain.tailCommitSlot = 0;
     chain.records = n;
     persistIndex(slot, chain);
+    dev_->persist(indexEntryOff(slot), sizeof(IndexEntry));
 }
 
 VertexChain
@@ -230,17 +277,128 @@ AdjacencyStore::loadChain(uint64_t slot) const
     uint64_t prev = kNullOffset;
     while (off != kNullOffset) {
         const auto hdr = dev_->readPod<BlockHeader>(off);
-        chain.records += hdr.count;
+        const uint32_t count = hdr.liveCount();
+        chain.records += count;
         prev = off;
         if (hdr.next == kNullOffset) {
             chain.tail = off;
-            chain.tailCount = hdr.count;
+            chain.tailCount = count;
             chain.tailCapacity = hdr.capacity;
+            const uint8_t tail_slot =
+                static_cast<uint32_t>(hdr.commit[1]) >
+                static_cast<uint32_t>(hdr.commit[0]) ? 1 : 0;
+            chain.tailCommitSlot = tail_slot;
+            chain.tailSum =
+                static_cast<uint32_t>(hdr.commit[tail_slot] >> 32);
         }
         off = hdr.next;
     }
     if (chain.head != kNullOffset && chain.tail == kNullOffset)
         chain.tail = prev;
+    return chain;
+}
+
+bool
+AdjacencyStore::validateBlock(uint64_t off, BlockHeader &hdr,
+                              uint32_t &count, uint32_t &sum,
+                              uint8_t &slot, ChainScan &scan) const
+{
+    const uint64_t region_start = alloc_->regionStart();
+    const uint64_t region_end = alloc_->regionEnd();
+    if (off < region_start || off % 64 != 0 ||
+        off + sizeof(BlockHeader) > region_end)
+        return false;
+    hdr = dev_->readPod<BlockHeader>(off);
+    if (hdr.magic != kBlockMagic || hdr.capacity == 0)
+        return false;
+    if (off + blockBytes(hdr.capacity) > region_end)
+        return false;
+    if (hdr.next != kNullOffset &&
+        (hdr.next < region_start || hdr.next % 64 != 0 ||
+         hdr.next + sizeof(BlockHeader) > region_end))
+        return false;
+
+    // Adopt the commit word with the largest verifying count; a torn
+    // payload under the newer commit falls back to the older one. A
+    // commit whose count exceeds the capacity is garbage by definition.
+    thread_local std::vector<vid_t> scratch;
+    const uint32_t count_a = static_cast<uint32_t>(hdr.commit[0]);
+    const uint32_t count_b = static_cast<uint32_t>(hdr.commit[1]);
+    const uint32_t read_count =
+        std::min(std::max(count_a, count_b), hdr.capacity);
+    scratch.resize(read_count);
+    if (read_count > 0)
+        dev_->read(off + sizeof(BlockHeader), scratch.data(),
+                   uint64_t{read_count} * sizeof(vid_t));
+    bool adopted = false;
+    for (int s = 0; s < 2; ++s) {
+        const uint32_t c = static_cast<uint32_t>(hdr.commit[s]);
+        const uint32_t want = static_cast<uint32_t>(hdr.commit[s] >> 32);
+        if (c > hdr.capacity)
+            continue;
+        if (sumRecords(scratch.data(), 0, c, 0) != want)
+            continue;
+        if (!adopted || c > count) {
+            count = c;
+            sum = want;
+            slot = static_cast<uint8_t>(s);
+            adopted = true;
+        }
+    }
+    if (adopted && count < read_count)
+        scan.recordsTruncated += read_count - count;
+    return adopted;
+}
+
+VertexChain
+AdjacencyStore::loadChainValidated(uint64_t slot, ChainScan &scan)
+{
+    const auto entry = dev_->readPod<IndexEntry>(indexEntryOff(slot));
+    VertexChain chain;
+    uint64_t off = entry.head;
+    uint64_t prev = kNullOffset;
+    while (off != kNullOffset) {
+        BlockHeader hdr{};
+        uint32_t count = 0;
+        uint32_t sum = 0;
+        uint8_t commit_slot = 0;
+        if (!validateBlock(off, hdr, count, sum, commit_slot, scan)) {
+            // Truncate to the last consistent prefix and repair the
+            // dangling pointer on the device, so the garbage block can
+            // never be resurrected (or cross-linked once the allocator
+            // reuses its space) by a later recovery.
+            ++scan.blocksDropped;
+            if (prev == kNullOffset) {
+                if (entry.head != kNullOffset)
+                    ++scan.invalidIndexEntries;
+                chain = VertexChain{};
+                dev_->writePod<IndexEntry>(
+                    indexEntryOff(slot),
+                    IndexEntry{kNullOffset, kNullOffset});
+                dev_->persist(indexEntryOff(slot), sizeof(IndexEntry));
+            } else {
+                dev_->writePod<uint64_t>(
+                    prev + offsetof(BlockHeader, next), kNullOffset);
+                dev_->persist(prev + offsetof(BlockHeader, next),
+                              sizeof(uint64_t));
+            }
+            break;
+        }
+        if (chain.head == kNullOffset)
+            chain.head = off;
+        chain.records += count;
+        const uint64_t footprint = blockBytes(hdr.capacity);
+        scan.referencedBytes += footprint;
+        scan.maxReferencedEnd =
+            std::max(scan.maxReferencedEnd, off + footprint);
+        chain.tail = off;
+        chain.tailCount = count;
+        chain.tailCapacity = hdr.capacity;
+        chain.tailSum = sum;
+        chain.tailCommitSlot = commit_slot;
+        prev = off;
+        off = hdr.next;
+    }
     return chain;
 }
 

@@ -29,8 +29,20 @@ struct VertexChain
     uint32_t tailCount = 0;       ///< records stored in the tail block
     uint32_t tailCapacity = 0;    ///< record capacity of the tail block
     uint32_t records = 0;         ///< records across the whole chain
+    uint32_t tailSum = 0;         ///< running record checksum of the tail
+    uint8_t tailCommitSlot = 0;   ///< commit word holding the tail commit
 
     bool empty() const { return head == kNullOffset; }
+};
+
+/** What a validated chain scan found and repaired (recovery report). */
+struct ChainScan
+{
+    uint64_t blocksDropped = 0;     ///< blocks failing validation, unlinked
+    uint64_t recordsTruncated = 0;  ///< records rolled back to older commit
+    uint64_t invalidIndexEntries = 0; ///< index heads out of bounds
+    uint64_t referencedBytes = 0;   ///< footprint of surviving blocks
+    uint64_t maxReferencedEnd = 0;  ///< highest offset a block reaches
 };
 
 /**
@@ -41,14 +53,39 @@ struct VertexChain
 class AdjacencyStore
 {
   public:
-    /** On-device block header. */
+    /**
+     * On-device block header. A block is self-validating: the live
+     * record count is not a bare integer but a *commit word* packing
+     * count (low 32) and a position-mixed checksum over the first count
+     * records (high 32) — written as a single 8-byte store, which PMEM's
+     * failure atomicity makes untearable. Two commit words alternate so
+     * an in-place tail append that crashes mid-way (payload partially
+     * durable, new commit durable) falls back to the previous commit
+     * instead of invalidating records committed long ago. Recovery
+     * adopts the commit with the largest verifying count.
+     */
     struct BlockHeader
     {
-        uint32_t count;    ///< records stored
-        uint32_t capacity; ///< record capacity
-        uint64_t next;     ///< next block offset or kNullOffset
+        uint32_t magic;     ///< kBlockMagic
+        uint32_t capacity;  ///< record capacity
+        uint64_t next;      ///< next block offset or kNullOffset
+        uint64_t commit[2]; ///< alternating {count | sum32 << 32} words
+
+        /** Runtime record count (coherent backing: larger commit wins). */
+        uint32_t
+        liveCount() const
+        {
+            const uint32_t a = static_cast<uint32_t>(commit[0]);
+            const uint32_t b = static_cast<uint32_t>(commit[1]);
+            return a > b ? a : b;
+        }
     };
-    static_assert(sizeof(BlockHeader) == 16);
+    static_assert(sizeof(BlockHeader) == 32);
+
+    static constexpr uint32_t kBlockMagic = 0x42415058u; // "XPAB"
+
+    /** Aligned device footprint of a block with @p capacity records. */
+    static uint64_t blockBytes(uint32_t capacity);
 
     /**
      * Persistent per-slot index entry. Only `head` is authoritative:
@@ -115,14 +152,15 @@ class AdjacencyStore
         uint64_t off = chain.head;
         while (off != kNullOffset) {
             const auto hdr = dev_->readPod<BlockHeader>(off);
-            if (hdr.count > 0) {
+            const uint32_t count = hdr.liveCount();
+            if (count > 0) {
                 const auto *recs = reinterpret_cast<const vid_t *>(
                     dev_->readView(off + sizeof(BlockHeader),
-                                   uint64_t{hdr.count} * sizeof(vid_t)));
-                for (uint32_t i = 0; i < hdr.count; ++i)
+                                   uint64_t{count} * sizeof(vid_t)));
+                for (uint32_t i = 0; i < count; ++i)
                     fn(recs[i]);
             }
-            total += hdr.count;
+            total += count;
             off = hdr.next;
         }
         return total;
@@ -138,12 +176,29 @@ class AdjacencyStore
      */
     void compact(uint64_t slot, VertexChain &chain);
 
-    /** Rebuild the DRAM chain mirror of @p slot from the device. */
+    /** Rebuild the DRAM chain mirror of @p slot from the device
+     *  (trusting it — use loadChainValidated() after a crash). */
     VertexChain loadChain(uint64_t slot) const;
+
+    /**
+     * Crash-safe chain rebuild: validates every block (magic, bounds,
+     * commit checksum) and truncates the chain at the first invalid one,
+     * repairing the dangling link / index entry on the device so a later
+     * crash cannot resurrect the garbage. Thread-safe for distinct
+     * slots; @p scan accumulates what was found (caller merges).
+     */
+    VertexChain loadChainValidated(uint64_t slot, ChainScan &scan);
 
   private:
     uint64_t indexEntryOff(uint64_t slot) const;
     void persistIndex(uint64_t slot, const VertexChain &chain);
+
+    /**
+     * Validate one block at @p off. On success fills count/sum/slot of
+     * the adopted commit and returns true.
+     */
+    bool validateBlock(uint64_t off, BlockHeader &hdr, uint32_t &count,
+                       uint32_t &sum, uint8_t &slot, ChainScan &scan) const;
 
     /** Record capacity for a new block given pending and stored counts. */
     uint32_t newBlockCapacity(uint32_t pending, uint32_t stored) const;

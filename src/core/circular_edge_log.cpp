@@ -1,17 +1,34 @@
 #include "core/circular_edge_log.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <mutex>
 
 #include "pmem/xpline.hpp"
+#include "util/checksum.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
 
 uint64_t
+CircularEdgeLog::Header::computeChecksum() const
+{
+    return fnv1a64(this, offsetof(Header, checksum));
+}
+
+bool
+CircularEdgeLog::Header::valid() const
+{
+    return magic == kMagic && capacityEdges > 0 &&
+           checksum == computeChecksum() && flushedUpTo <= bufferedUpTo &&
+           bufferedUpTo <= head;
+}
+
+uint64_t
 CircularEdgeLog::regionBytes(uint64_t capacity_edges)
 {
-    return kXPLineSize + capacity_edges * sizeof(Edge);
+    // Two header copies (one XPLine each) followed by the slot array.
+    return 2 * kXPLineSize + capacity_edges * sizeof(Edge);
 }
 
 CircularEdgeLog::CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
@@ -24,29 +41,29 @@ CircularEdgeLog::CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
     XPG_ASSERT(region_off % kXPLineSize == 0,
                "log region must be XPLine-aligned");
     std::lock_guard<SpinLock> guard(headerLock_);
+    // Seed both copies so recovery never reads uninitialized memory as a
+    // header candidate.
+    persistHeaderLocked();
     persistHeaderLocked();
 }
 
 CircularEdgeLog::CircularEdgeLog(RecoverTag, MemoryDevice &dev,
-                                 uint64_t region_off, bool battery_backed)
-    : dev_(&dev), regionOff_(region_off), batteryBacked_(battery_backed)
+                                 uint64_t region_off, bool battery_backed,
+                                 const Header &h)
+    : dev_(&dev), regionOff_(region_off), capacityEdges_(h.capacityEdges),
+      batteryBacked_(battery_backed), generation_(h.generation)
 {
-    const Header h = dev_->readPod<Header>(regionOff_);
-    if (h.magic != kMagic)
-        XPG_FATAL("edge log header magic mismatch (not a log region?)");
-    capacityEdges_ = h.capacityEdges;
     reservedHead_.store(h.head, std::memory_order_relaxed);
     publishedHead_.store(h.head, std::memory_order_relaxed);
     bufferedUpTo_.store(h.bufferedUpTo, std::memory_order_relaxed);
     flushedUpTo_.store(h.flushedUpTo, std::memory_order_relaxed);
-    XPG_ASSERT(h.flushedUpTo <= h.bufferedUpTo && h.bufferedUpTo <= h.head,
-               "recovered log pointers out of order");
 }
 
 CircularEdgeLog::CircularEdgeLog(CircularEdgeLog &&other) noexcept
     : dev_(other.dev_), regionOff_(other.regionOff_),
       capacityEdges_(other.capacityEdges_),
-      batteryBacked_(other.batteryBacked_)
+      batteryBacked_(other.batteryBacked_),
+      generation_(other.generation_)
 {
     reservedHead_.store(other.reservedHead_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
@@ -59,27 +76,79 @@ CircularEdgeLog::CircularEdgeLog(CircularEdgeLog &&other) noexcept
                        std::memory_order_relaxed);
 }
 
+std::optional<CircularEdgeLog>
+CircularEdgeLog::tryRecover(MemoryDevice &dev, uint64_t region_off,
+                            bool battery_backed, std::string *error,
+                            uint64_t *copies_rejected)
+{
+    // A crash can tear the header copy that was being written; the other
+    // copy is then the last fully persisted one. Adopt the valid copy
+    // with the highest generation.
+    const Header a = dev.readPod<Header>(region_off);
+    const Header b = dev.readPod<Header>(region_off + kXPLineSize);
+    const bool a_ok = a.valid();
+    const bool b_ok = b.valid();
+    if (copies_rejected)
+        *copies_rejected += static_cast<uint64_t>(!a_ok) + !b_ok;
+    if (!a_ok && !b_ok) {
+        if (error)
+            *error = "edge log header corrupt on '" + dev.name() +
+                     "': no valid header copy (not a log region, or both "
+                     "copies torn)";
+        return std::nullopt;
+    }
+    const Header &h =
+        (a_ok && (!b_ok || a.generation >= b.generation)) ? a : b;
+    return CircularEdgeLog(RecoverTag{}, dev, region_off, battery_backed,
+                           h);
+}
+
 CircularEdgeLog
 CircularEdgeLog::recover(MemoryDevice &dev, uint64_t region_off,
                          bool battery_backed)
 {
-    return CircularEdgeLog(RecoverTag{}, dev, region_off, battery_backed);
+    std::string error;
+    auto log = tryRecover(dev, region_off, battery_backed, &error);
+    if (!log)
+        XPG_FATAL(error + " (edge log header magic mismatch?)");
+    return std::move(*log);
 }
 
 uint64_t
 CircularEdgeLog::slotOff(uint64_t pos) const
 {
-    return regionOff_ + kXPLineSize + (pos % capacityEdges_) * sizeof(Edge);
+    return regionOff_ + 2 * kXPLineSize +
+           (pos % capacityEdges_) * sizeof(Edge);
 }
 
 void
 CircularEdgeLog::persistHeaderLocked()
 {
-    Header h{kMagic, capacityEdges_,
+    Header h{kMagic,
+             capacityEdges_,
              publishedHead_.load(std::memory_order_acquire),
              bufferedUpTo_.load(std::memory_order_relaxed),
-             flushedUpTo_.load(std::memory_order_relaxed)};
-    dev_->writePod<Header>(regionOff_, h);
+             flushedUpTo_.load(std::memory_order_relaxed),
+             ++generation_,
+             0};
+    h.checksum = h.computeChecksum();
+    const uint64_t off =
+        regionOff_ + (h.generation & 1 ? kXPLineSize : 0);
+    dev_->writePod<Header>(off, h);
+    dev_->persist(off, sizeof(Header));
+}
+
+void
+CircularEdgeLog::persistSlots(uint64_t pos, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n) {
+        const uint64_t p = pos + done;
+        const uint64_t slot = p % capacityEdges_;
+        const uint64_t run = std::min(n - done, capacityEdges_ - slot);
+        dev_->persist(slotOff(p), run * sizeof(Edge));
+        done += run;
+    }
 }
 
 uint64_t
@@ -120,6 +189,12 @@ CircularEdgeLog::writeReserved(uint64_t pos, const Edge *edges, uint64_t n)
 void
 CircularEdgeLog::publish(uint64_t pos, uint64_t n)
 {
+    // Durability fence: the slots must be on the media before any header
+    // that covers them can be persisted — once our CAS lands, a later
+    // publisher may immediately persist a header with head >= pos + n.
+    // Persisting before the CAS keeps the invariant "every persisted
+    // header describes only durable slots" (prefix consistency).
+    persistSlots(pos, n);
     // Ordered publish: the published head is a contiguous prefix, so a
     // reservation waits for every earlier one. Reservations are
     // short-lived (reserve -> write -> publish), so the spin is bounded.
@@ -189,6 +264,17 @@ CircularEdgeLog::markFlushed(uint64_t up_to)
     XPG_ASSERT(up_to >= flushedUpTo() && up_to <= bufferedUpTo(),
                "markFlushed out of order");
     flushedUpTo_.store(up_to, std::memory_order_release);
+    std::lock_guard<SpinLock> guard(headerLock_);
+    persistHeaderLocked();
+}
+
+void
+CircularEdgeLog::truncateHead(uint64_t new_head)
+{
+    XPG_ASSERT(new_head >= bufferedUpTo() && new_head <= head(),
+               "truncateHead out of range");
+    publishedHead_.store(new_head, std::memory_order_release);
+    reservedHead_.store(new_head, std::memory_order_release);
     std::lock_guard<SpinLock> guard(headerLock_);
     persistHeaderLocked();
 }

@@ -34,6 +34,8 @@
 #define XPG_CORE_CIRCULAR_EDGE_LOG_HPP
 
 #include <atomic>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -53,9 +55,24 @@ class CircularEdgeLog
     CircularEdgeLog(MemoryDevice &dev, uint64_t region_off,
                     uint64_t capacity_edges, bool battery_backed);
 
-    /** Re-attach to an existing log after a crash. */
+    /** Re-attach to an existing log after a crash (fatal on a corrupt
+     *  header — use tryRecover() for a typed error). */
     static CircularEdgeLog recover(MemoryDevice &dev, uint64_t region_off,
                                    bool battery_backed);
+
+    /**
+     * Re-attach to an existing log, validating both header copies
+     * (magic, checksum, pointer ordering) and adopting the valid copy
+     * with the highest generation.
+     * @param[out] error Diagnostic when both copies are invalid.
+     * @param[out] copies_rejected Incremented per invalid (torn/garbage)
+     *             header copy that had to be rejected in favor of the
+     *             other one. Optional.
+     * @return the log, or nullopt with @p error set.
+     */
+    static std::optional<CircularEdgeLog>
+    tryRecover(MemoryDevice &dev, uint64_t region_off, bool battery_backed,
+               std::string *error, uint64_t *copies_rejected = nullptr);
 
     CircularEdgeLog(CircularEdgeLog &&other) noexcept;
 
@@ -146,11 +163,22 @@ class CircularEdgeLog
     /** Advance flushedUpTo (persists the header). */
     void markFlushed(uint64_t up_to);
 
-  private:
-    struct RecoverTag {};
-    CircularEdgeLog(RecoverTag, MemoryDevice &dev, uint64_t region_off,
-                    bool battery_backed);
+    /**
+     * Recovery-only repair: rewind the published head to @p new_head
+     * (>= bufferedUpTo, <= head) and persist the header. Used when
+     * recovery detects garbage in the published window and truncates to
+     * the last consistent prefix. Not thread-safe — the store is
+     * quiescent during recovery.
+     */
+    void truncateHead(uint64_t new_head);
 
+  private:
+    /**
+     * On-device header, kept in two alternating copies (A at the region
+     * base, B one XPLine above) so a torn header write can never destroy
+     * the only valid copy: generation g goes to copy g & 1, and recovery
+     * adopts the checksum-valid copy with the highest generation.
+     */
     struct Header
     {
         uint64_t magic;
@@ -158,12 +186,23 @@ class CircularEdgeLog
         uint64_t head;
         uint64_t bufferedUpTo;
         uint64_t flushedUpTo;
+        uint64_t generation;
+        uint64_t checksum; ///< FNV-1a over all preceding fields
+
+        uint64_t computeChecksum() const;
+        bool valid() const;
     };
-    static constexpr uint64_t kMagic = 0x58504c4f47453131ull; // "XPLOGE11"
+    static constexpr uint64_t kMagic = 0x58504c4f47453132ull; // "XPLOGE12"
+
+    struct RecoverTag {};
+    CircularEdgeLog(RecoverTag, MemoryDevice &dev, uint64_t region_off,
+                    bool battery_backed, const Header &header);
 
     uint64_t slotOff(uint64_t pos) const;
     /** Persist the header; caller must hold headerLock_. */
     void persistHeaderLocked();
+    /** Persist the published slot range [pos, pos+n) to the media. */
+    void persistSlots(uint64_t pos, uint64_t n);
 
     MemoryDevice *dev_;
     uint64_t regionOff_;
@@ -177,8 +216,10 @@ class CircularEdgeLog
     std::atomic<uint64_t> bufferedUpTo_{0};
     std::atomic<uint64_t> flushedUpTo_{0};
 
-    /** Serializes header persistence only (never the slot fast path). */
+    /** Serializes header persistence only (never the slot fast path).
+     *  Guards generation_. */
     mutable SpinLock headerLock_;
+    uint64_t generation_ = 0; ///< of the last persisted header copy
 };
 
 } // namespace xpg

@@ -1,6 +1,7 @@
 #include "core/config.hpp"
 
 #include "core/circular_edge_log.hpp"
+#include "util/checksum.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
@@ -110,6 +111,27 @@ XPGraphConfig::validate(bool for_recovery) const
             "the directory holding the xpgraph_node*.pmem images");
 
     return problems;
+}
+
+uint64_t
+XPGraphConfig::geometryFingerprint() const
+{
+    // Hash exactly the fields that determine the persistent layout
+    // (region offsets and sizes) or the durability contract. Tuning
+    // knobs that only change runtime behaviour (thresholds, thread
+    // counts, buffer sizing) are deliberately excluded so they can be
+    // changed across a restart.
+    uint64_t h = fnv1a64("xpgraph-geometry-v1", 19);
+    const uint64_t fields[] = {
+        uint64_t{maxVertices},
+        static_cast<uint64_t>(memKind),
+        uint64_t{numNodes},
+        static_cast<uint64_t>(placement),
+        pmemBytesPerNode,
+        elogCapacityEdges,
+        uint64_t{batteryBacked},
+    };
+    return fnv1a64(fields, sizeof(fields), h);
 }
 
 const XPGraphConfig &

@@ -113,6 +113,15 @@ struct XPGraphConfig
      */
     const XPGraphConfig &validated(bool for_recovery = false) const;
 
+    /**
+     * Fingerprint of every field that shapes the persistent layout or
+     * durability contract. Stored in the superblock at creation;
+     * recover() rejects a config whose fingerprint differs, because
+     * attaching with mismatched geometry silently misinterprets every
+     * region offset.
+     */
+    uint64_t geometryFingerprint() const;
+
     /** The persistent prototype ("XPGraph"). */
     static XPGraphConfig
     persistent(vid_t max_vertices, uint64_t bytes_per_node)

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structured recovery outcome: typed status plus what recovery actually
+ * found, repaired, truncated and leaked, instead of best-effort silence.
+ *
+ * The contract recovery guarantees is *prefix consistency*: the recovered
+ * graph equals the acknowledged ingest stream with some suffix removed —
+ * never a phantom edge, never a duplicated edge, never garbage replayed
+ * into an adjacency list. The report quantifies the removed suffix and the
+ * repairs that enforced it.
+ */
+
+#ifndef XPG_CORE_RECOVERY_HPP
+#define XPG_CORE_RECOVERY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace xpg {
+
+/** Why recover() refused (or how it succeeded). */
+enum class RecoveryStatus
+{
+    Ok = 0,
+    MissingBacking,    ///< no backing file for a partition device
+    SuperblockCorrupt, ///< bad magic/version/checksum in the superblock
+    ConfigMismatch,    ///< config fingerprint/geometry differs
+    AllocatorCorrupt,  ///< persisted bump tail out of region
+    LogCorrupt,        ///< no valid edge-log header copy
+};
+
+const char *recoveryStatusName(RecoveryStatus status);
+
+/** What recovery did; returned by XPGraph::recover(). */
+struct RecoveryReport
+{
+    RecoveryStatus status = RecoveryStatus::Ok;
+    /** Human-readable diagnostic when status != Ok. */
+    std::string error;
+
+    // --- replay (edges moved from the durable log window back into
+    //     vertex buffers) ---
+    uint64_t edgesReplayed = 0;   ///< re-inserted from [flushed, head)
+    uint64_t edgesDeduped = 0;    ///< already present in adjacency; skipped
+    uint64_t logEdgesTruncated = 0; ///< published window cut at garbage
+    uint64_t logEdgesSkipped = 0;   ///< invalid edges skipped in replay
+    /** Torn/garbage log-header copies rejected for the other copy. */
+    uint64_t logHeaderCopiesRejected = 0;
+
+    // --- adjacency/index validation ---
+    uint64_t blocksDropped = 0;     ///< torn/garbage blocks unlinked
+    uint64_t recordsTruncated = 0;  ///< records rolled back to older commit
+    uint64_t invalidIndexEntries = 0; ///< index heads reset to null
+    uint64_t bytesLeaked = 0; ///< allocated-but-unreachable bytes (bump
+                              ///  tail space abandoned by the crash)
+
+    uint64_t recoveryNs = 0; ///< simulated recovery time
+
+    bool ok() const { return status == RecoveryStatus::Ok; }
+    /** True when any repair (truncation/unlink/reset) was needed. */
+    bool
+    repaired() const
+    {
+        return logEdgesTruncated || logEdgesSkipped ||
+               logHeaderCopiesRejected || blocksDropped ||
+               recordsTruncated || invalidIndexEntries;
+    }
+};
+
+} // namespace xpg
+
+#endif // XPG_CORE_RECOVERY_HPP

@@ -1,10 +1,12 @@
 #include "core/xpgraph.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/vertex_buffer.hpp"
+#include "util/checksum.hpp"
 #include "graph/tombstones.hpp"
 #include "pmem/dram_device.hpp"
 #include "pmem/memory_mode_device.hpp"
@@ -35,11 +37,24 @@ struct Superblock
     uint64_t inIndexOff;
     uint64_t inSlots;
     uint64_t allocStart;
+    /** Fingerprint of the creating config's layout-shaping fields
+     *  (XPGraphConfig::geometryFingerprint). */
+    uint64_t configFingerprint;
+    /** Monotonic instance generation: bumped (and re-persisted) on every
+     *  successful recovery, so lineage is visible in the report/tools. */
+    uint64_t generation;
+    uint64_t checksum; ///< FNV-1a over all preceding fields
+
+    uint64_t
+    computeChecksum() const
+    {
+        return fnv1a64(this, offsetof(Superblock, checksum));
+    }
 };
 
-constexpr uint64_t kSuperMagic = 0x5850475250483032ull; // "XPGRPH02"
-/** v2: every node hosts an edge log (NUMA-sharded concurrent logging). */
-constexpr uint32_t kSuperVersion = 2;
+constexpr uint64_t kSuperMagic = 0x5850475250483033ull; // "XPGRPH03"
+/** v3: checksummed superblock with config fingerprint + generation. */
+constexpr uint32_t kSuperVersion = 3;
 constexpr uint64_t kSuperblockBytes = 4096;
 /** Device offset of the allocator's persistent tail pointer. */
 constexpr uint64_t kAllocTailOff = 512;
@@ -57,6 +72,26 @@ atomicFetchMax(std::atomic<uint64_t> &target, uint64_t value)
 }
 
 } // namespace
+
+const char *
+recoveryStatusName(RecoveryStatus status)
+{
+    switch (status) {
+      case RecoveryStatus::Ok:
+        return "Ok";
+      case RecoveryStatus::MissingBacking:
+        return "MissingBacking";
+      case RecoveryStatus::SuperblockCorrupt:
+        return "SuperblockCorrupt";
+      case RecoveryStatus::ConfigMismatch:
+        return "ConfigMismatch";
+      case RecoveryStatus::AllocatorCorrupt:
+        return "AllocatorCorrupt";
+      case RecoveryStatus::LogCorrupt:
+        return "LogCorrupt";
+    }
+    return "Unknown";
+}
 
 uint64_t
 recommendedBytesPerNode(const XPGraphConfig &config, uint64_t expected_edges)
@@ -125,10 +160,14 @@ class XPGraph::Session final : public IngestSession
 
 // --- construction -----------------------------------------------------------
 
-XPGraph::XPGraph(const XPGraphConfig &config) : XPGraph(config, false) {}
+XPGraph::XPGraph(const XPGraphConfig &config)
+    : XPGraph(config, false, nullptr)
+{
+}
 
-XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
-    : config_(config.validated(recovering))
+XPGraph::XPGraph(const XPGraphConfig &config, bool recovering,
+                 RecoveryReport *report)
+    : config_(config.validated(recovering)), recoveryReport_(report)
 {
     PoolConfig pool_config;
     pool_config.bulkSize = config_.poolBulkBytes;
@@ -138,7 +177,8 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering)
 
     executor_ = std::make_unique<ParallelExecutor>(config_.archiveThreads);
 
-    initPartitions(recovering);
+    if (!initPartitions(recovering))
+        return; // typed recovery failure: recover() reports and discards
 
     const unsigned p = config_.numNodes;
     logIndexes_.resize(p);
@@ -243,7 +283,17 @@ XPGraph::computeLayout(unsigned node, Partition &part) const
     }
 }
 
-void
+bool
+XPGraph::recoveryFail(RecoveryStatus status, const std::string &msg)
+{
+    if (!recoveryReport_)
+        XPG_FATAL(msg);
+    recoveryReport_->status = status;
+    recoveryReport_->error = msg;
+    return false;
+}
+
+bool
 XPGraph::initPartitions(bool recovering)
 {
     parts_.resize(config_.numNodes);
@@ -253,9 +303,11 @@ XPGraph::initPartitions(bool recovering)
             // Recovery requires the backing file to exist.
             std::FILE *probe =
                 std::fopen(backingPath(node).c_str(), "rb");
-            if (!probe)
-                XPG_FATAL("recovery: missing backing file " +
-                          backingPath(node));
+            if (!probe) {
+                return recoveryFail(RecoveryStatus::MissingBacking,
+                                    "recovery: missing backing file " +
+                                        backingPath(node));
+            }
             std::fclose(probe);
         }
         part.dev = makeDevice(node, recovering);
@@ -270,22 +322,43 @@ XPGraph::initPartitions(bool recovering)
 
         if (recovering) {
             const auto sb = part.dev->readPod<Superblock>(0);
-            if (sb.magic != kSuperMagic || sb.version != kSuperVersion)
-                XPG_FATAL("superblock mismatch on node " +
-                          std::to_string(node));
+            if (sb.magic != kSuperMagic || sb.version != kSuperVersion) {
+                return recoveryFail(RecoveryStatus::SuperblockCorrupt,
+                                    "superblock mismatch on node " +
+                                        std::to_string(node));
+            }
+            if (sb.checksum != sb.computeChecksum()) {
+                return recoveryFail(RecoveryStatus::SuperblockCorrupt,
+                                    "superblock mismatch on node " +
+                                        std::to_string(node) +
+                                        ": bad checksum");
+            }
             if (sb.maxVertices != config_.maxVertices ||
                 sb.numNodes != config_.numNodes ||
                 sb.placement != static_cast<uint32_t>(config_.placement) ||
-                sb.logCapacityEdges != config_.elogCapacityEdges) {
-                XPG_FATAL("recovery configuration does not match the "
-                          "persisted instance");
+                sb.logCapacityEdges != config_.elogCapacityEdges ||
+                sb.configFingerprint != config_.geometryFingerprint()) {
+                return recoveryFail(
+                    RecoveryStatus::ConfigMismatch,
+                    "recovery configuration does not match the "
+                    "persisted instance (geometry fingerprint)");
             }
+            std::string err;
             part.alloc = PmemAllocator::recover(*part.dev, alloc_start,
                                                 config_.pmemBytesPerNode,
-                                                kAllocTailOff);
-            part.log = std::make_unique<CircularEdgeLog>(
-                CircularEdgeLog::recover(*part.dev, sb.logOff,
-                                         config_.batteryBacked));
+                                                kAllocTailOff, &err);
+            if (!part.alloc)
+                return recoveryFail(RecoveryStatus::AllocatorCorrupt,
+                                    err);
+            auto log = CircularEdgeLog::tryRecover(
+                *part.dev, sb.logOff, config_.batteryBacked, &err,
+                recoveryReport_
+                    ? &recoveryReport_->logHeaderCopiesRejected
+                    : nullptr);
+            if (!log)
+                return recoveryFail(RecoveryStatus::LogCorrupt, err);
+            part.log =
+                std::make_unique<CircularEdgeLog>(std::move(*log));
         } else {
             Superblock sb{};
             sb.magic = kSuperMagic;
@@ -301,7 +374,13 @@ XPGraph::initPartitions(bool recovering)
             sb.inIndexOff = part.inIndexOff;
             sb.inSlots = part.inSlots;
             sb.allocStart = alloc_start;
+            sb.configFingerprint = config_.geometryFingerprint();
+            sb.generation = 1;
+            sb.checksum = sb.computeChecksum();
             part.dev->writePod<Superblock>(0, sb);
+            // The superblock must reach the media now: a crash before the
+            // first flush would otherwise lose it to the XPBuffer.
+            part.dev->persist(0, sizeof(Superblock));
 
             part.alloc = std::make_unique<PmemAllocator>(
                 *part.dev, alloc_start, config_.pmemBytesPerNode,
@@ -326,28 +405,59 @@ XPGraph::initPartitions(bool recovering)
             part.in->states.resize(part.inSlots);
         }
     }
+    return true;
 }
 
 std::unique_ptr<XPGraph>
-XPGraph::recover(const XPGraphConfig &config)
+XPGraph::recover(const XPGraphConfig &config, RecoveryReport *report)
 {
-    auto graph = std::unique_ptr<XPGraph>(new XPGraph(
-        config.validated(/*for_recovery=*/true), /*recovering=*/true));
-    graph->rebuildFromDevices();
+    if (report)
+        *report = RecoveryReport{};
+    auto graph = std::unique_ptr<XPGraph>(
+        new XPGraph(config.validated(/*for_recovery=*/true),
+                    /*recovering=*/true, report));
+    if (report && !report->ok())
+        return nullptr;
+    graph->recoveryReport_ = nullptr; // report outlives only recover()
+    graph->rebuildFromDevices(report);
+    graph->bumpSuperblockGenerations();
+    if (report) {
+        report->recoveryNs =
+            graph->recoveryNs_.load(std::memory_order_relaxed);
+    }
     return graph;
 }
 
 void
-XPGraph::rebuildFromDevices()
+XPGraph::bumpSuperblockGenerations()
+{
+    for (auto &part : parts_) {
+        auto sb = part.dev->readPod<Superblock>(0);
+        ++sb.generation;
+        sb.checksum = sb.computeChecksum();
+        part.dev->writePod<Superblock>(0, sb);
+        part.dev->persist(0, sizeof(Superblock));
+    }
+}
+
+void
+XPGraph::rebuildFromDevices(RecoveryReport *report)
 {
     // Phase 1 (parallel): rebuild the DRAM chain mirrors from the
-    // persistent vertex index.
+    // persistent vertex index, validating every block (magic, bounds,
+    // commit words, record checksum) and truncating each chain at the
+    // first torn/garbage block. Scans accumulate per (worker, node) to
+    // stay race-free and are merged below.
+    const unsigned p = config_.numNodes;
+    std::vector<ChainScan> scans(
+        static_cast<size_t>(config_.archiveThreads) * p);
     auto result = executor_->run([&](unsigned w) {
         forWorkerSlots(w, [&](unsigned node, unsigned local,
                               unsigned slots_here) {
             if (config_.bindThreads)
                 NumaBinding::bindThread(static_cast<int>(node), false);
             Partition &part = parts_[node];
+            ChainScan &scan = scans[static_cast<size_t>(w) * p + node];
             thread_local std::vector<vid_t> reload;
             for (Side *side : {part.out.get(), part.in.get()}) {
                 if (!side)
@@ -360,7 +470,7 @@ XPGraph::rebuildFromDevices()
                 const uint64_t end = std::min<uint64_t>(slots, begin + per);
                 for (uint64_t slot = begin; slot < end; ++slot) {
                     VertexState &st = side->states[slot];
-                    st.chain = side->store->loadChain(slot);
+                    st.chain = side->store->loadChainValidated(slot, scan);
                     // "Loading the graph data from PMEM" (S V-D): the
                     // block contents are read back and the DRAM
                     // per-vertex state is rebuilt.
@@ -382,23 +492,82 @@ XPGraph::rebuildFromDevices()
     });
     recoveryNs_ += result.maxNanos();
 
+    // Merge the scans: repair the allocator tail wherever a durable
+    // linked block sits past the persisted tail (its tail persist was
+    // still buffered at the crash), and account the abandoned space.
+    for (unsigned node = 0; node < p; ++node) {
+        ChainScan merged;
+        for (unsigned w = 0; w < config_.archiveThreads; ++w) {
+            const ChainScan &s = scans[static_cast<size_t>(w) * p + node];
+            merged.blocksDropped += s.blocksDropped;
+            merged.recordsTruncated += s.recordsTruncated;
+            merged.invalidIndexEntries += s.invalidIndexEntries;
+            merged.referencedBytes += s.referencedBytes;
+            merged.maxReferencedEnd =
+                std::max(merged.maxReferencedEnd, s.maxReferencedEnd);
+        }
+        Partition &part = parts_[node];
+        if (merged.maxReferencedEnd > 0)
+            part.alloc->ensureTailAtLeast(merged.maxReferencedEnd);
+        if (report) {
+            report->blocksDropped += merged.blocksDropped;
+            report->recordsTruncated += merged.recordsTruncated;
+            report->invalidIndexEntries += merged.invalidIndexEntries;
+            const uint64_t used = part.alloc->used();
+            if (used > merged.referencedBytes)
+                report->bytesLeaked += used - merged.referencedBytes;
+        }
+    }
+
     // Phase 2 (serial): replay every node's buffered-but-unflushed log
     // window into fresh vertex buffers, skipping records already in PMEM
     // (S III-B). Per-log order is the sessions' publish order, so
     // same-vertex records replay in their original relative order.
+    //
+    // The fenced publish (slots persist before the head CAS, header
+    // persists after) guarantees every position below the recovered head
+    // is a fully durable edge — but recovery double-checks: a garbage
+    // edge in the published-but-unbuffered window truncates the head to
+    // the last consistent prefix, and one in the replay window (already
+    // consumed by a buffering phase; cannot be truncated) is skipped.
     SimScope replay_scope;
+    const auto edge_ok = [&](const Edge &e) {
+        return !isDelete(e.src) && rawVid(e.src) < config_.maxVertices &&
+               rawVid(e.dst) < config_.maxVertices;
+    };
     std::vector<Edge> window;
     for (auto &part : parts_) {
+        const uint64_t buffered = part.log->bufferedUpTo();
         window.clear();
-        part.log->readRange(part.log->flushedUpTo(),
-                            part.log->bufferedUpTo(), window);
+        part.log->readRange(buffered, part.log->head(), window);
+        uint64_t valid = 0;
+        while (valid < window.size() && edge_ok(window[valid]))
+            ++valid;
+        if (valid < window.size()) {
+            if (report)
+                report->logEdgesTruncated += window.size() - valid;
+            part.log->truncateHead(buffered + valid);
+        }
+
+        window.clear();
+        part.log->readRange(part.log->flushedUpTo(), buffered, window);
         for (const Edge &e : window) {
+            if (!edge_ok(e)) {
+                if (report)
+                    ++report->logEdgesSkipped;
+                continue;
+            }
             {
                 Side &side = *parts_[outOwner(e.src)].out;
                 const uint64_t slot = outSlot(e.src);
                 VertexState &st = side.states[slot];
-                if (!side.store->contains(st.chain, e.dst))
+                if (!side.store->contains(st.chain, e.dst)) {
                     insertBuffered(side, slot, e.dst);
+                    if (report)
+                        ++report->edgesReplayed;
+                } else if (report) {
+                    ++report->edgesDeduped;
+                }
             }
             {
                 const vid_t in_rec =
@@ -412,6 +581,22 @@ XPGraph::rebuildFromDevices()
         }
     }
     recoveryNs_ += replay_scope.elapsed();
+}
+
+std::shared_ptr<FaultInjector>
+XPGraph::injectFaults(const FaultPlan &plan)
+{
+    auto injector = std::make_shared<FaultInjector>(plan);
+    for (auto &part : parts_)
+        part.dev->armFaults(injector);
+    return injector;
+}
+
+void
+XPGraph::powerCycle()
+{
+    for (auto &part : parts_)
+        part.dev->powerCycle();
 }
 
 // --- placement -----------------------------------------------------------
@@ -924,6 +1109,13 @@ XPGraph::runFlushAllLocked(bool release_buffers)
     flushingNs_ += result.maxNanos();
     declareIdleWriters();
     ++flushAllPhases_;
+    // Durability fence: markFlushed lets the log reclaim these edges, so
+    // every adjacency write of this phase (blocks, commit words, index
+    // entries still sitting in the XPBuffer) must reach the media first —
+    // otherwise a crash after the header persist loses edges that are in
+    // neither the log window nor a durable chain.
+    for (auto &part : parts_)
+        part.dev->quiesce();
     for (auto &part : parts_)
         part.log->markFlushed(part.log->bufferedUpTo());
 }

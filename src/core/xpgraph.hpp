@@ -43,7 +43,9 @@
 #include "core/circular_edge_log.hpp"
 #include "core/log_window_index.hpp"
 #include "core/config.hpp"
+#include "core/recovery.hpp"
 #include "core/stats.hpp"
+#include "pmem/fault_plan.hpp"
 #include "graph/edge_sharding.hpp"
 #include "graph/graph_store.hpp"
 #include "graph/types.hpp"
@@ -91,11 +93,21 @@ class XPGraph : public GraphStore
 
     /**
      * Re-open a crashed, file-backed instance: rebuilds DRAM indexes from
-     * the persistent vertex index and replays the un-flushed windows of
-     * the per-node edge logs into fresh vertex buffers (S III-B
-     * recovery). @p config must match the crashed instance's.
+     * the persistent vertex index (validating every adjacency block and
+     * truncating chains at the first torn/garbage block) and replays the
+     * un-flushed windows of the per-node edge logs into fresh vertex
+     * buffers (S III-B recovery). @p config must match the crashed
+     * instance's geometry (superblock fingerprint check).
+     *
+     * With @p report == nullptr any inconsistency recovery cannot repair
+     * (missing backing, corrupt superblock, config mismatch, corrupt
+     * allocator tail or log header) is fatal. With a report, those return
+     * nullptr with report->status/error set, and a successful recovery
+     * fills the repair counters (ok() == true).
      */
-    static std::unique_ptr<XPGraph> recover(const XPGraphConfig &config);
+    static std::unique_ptr<XPGraph> recover(const XPGraphConfig &config,
+                                            RecoveryReport *report
+                                            = nullptr);
 
     ~XPGraph() override;
 
@@ -205,6 +217,24 @@ class XPGraph : public GraphStore
     /** msync all file backings (called before a simulated crash). */
     void syncBackings();
 
+    // --- fault injection (crash-sweep tests; see pmem/fault_plan.hpp) ---
+
+    /**
+     * Arm every partition device with one shared FaultInjector built from
+     * @p plan: a single machine-wide power loss, triggered by the Nth
+     * media write on any device. Returns the injector so the caller can
+     * poll crashed(). Volatile device kinds ignore the injection.
+     */
+    std::shared_ptr<FaultInjector> injectFaults(const FaultPlan &plan);
+
+    /**
+     * Simulate the power loss: every device discards its unflushed
+     * XPBuffer lines and reverts in-flight (post-crash) stores to the
+     * last media-durable image. The in-DRAM engine state is garbage
+     * afterwards — destroy this instance and call recover().
+     */
+    void powerCycle();
+
   private:
     class Session;
     friend class Session;
@@ -246,15 +276,22 @@ class XPGraph : public GraphStore
         }
     };
 
-    XPGraph(const XPGraphConfig &config, bool recovering);
+    XPGraph(const XPGraphConfig &config, bool recovering,
+            RecoveryReport *report);
 
     // layout / construction
     std::string backingPath(unsigned node) const;
     std::unique_ptr<MemoryDevice> makeDevice(unsigned node,
                                              bool recovering) const;
     void computeLayout(unsigned node, Partition &part) const;
-    void initPartitions(bool recovering);
-    void rebuildFromDevices();
+    /** @return false on a typed recovery failure (report filled). */
+    bool initPartitions(bool recovering);
+    /** Fill recoveryReport_ and return false, or fatal without one. */
+    bool recoveryFail(RecoveryStatus status, const std::string &msg);
+    void rebuildFromDevices(RecoveryReport *report);
+    /** Successful recovery: bump + re-persist every superblock's
+     *  generation stamp. */
+    void bumpSuperblockGenerations();
 
     // placement
     unsigned outOwner(vid_t v) const;
@@ -377,6 +414,9 @@ class XPGraph : public GraphStore
     LogWindowIndex &logIndex(unsigned node) const;
 
     XPGraphConfig config_;
+    /** recover()'s report while the recovering constructor runs; null on
+     *  plain construction (typed failures become fatal). */
+    RecoveryReport *recoveryReport_ = nullptr;
     std::vector<Partition> parts_;
     mutable std::vector<std::unique_ptr<LogWindowIndex>> logIndexes_;
     mutable std::mutex logIndexMutex_;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic crash-point fault injection for the modeled PMEM device.
+ *
+ * A FaultPlan arms a device (or a set of devices sharing one injector, to
+ * model a machine-wide power loss) with a counter-driven crash trigger:
+ * after the Nth media write the "power fails" — every byte that has not
+ * reached the media by then is lost, and every later write is silently
+ * volatile. The triggering write itself can additionally be torn at 8-byte
+ * granularity (real PMEM guarantees 8-byte failure atomicity, nothing
+ * more), persisting only a prefix or suffix of the 256 B XPLine, or be
+ * dropped entirely.
+ *
+ * Because the trigger is a plain media-write countdown and the engine's
+ * write order is deterministic for single-threaded ingest with one archive
+ * worker, a crash sweep (arm at N = 1, 1+K, 1+2K, ...) is exactly
+ * reproducible.
+ */
+
+#ifndef XPG_PMEM_FAULT_PLAN_HPP
+#define XPG_PMEM_FAULT_PLAN_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace xpg {
+
+/** Crash-point description, consumed once by a FaultInjector. */
+struct FaultPlan
+{
+    /** How the triggering (Nth) media write reaches the media. */
+    enum class TornMode : uint8_t
+    {
+        None,   ///< the Nth write lands whole, then power fails
+        Prefix, ///< only the first tornBytes of the line land
+        Suffix, ///< only the last tornBytes of the line land
+        Drop,   ///< the Nth write is lost entirely
+    };
+
+    /** Crash after this many media writes (0 = never crash). */
+    uint64_t crashAfterMediaWrites = 0;
+    TornMode torn = TornMode::None;
+    /** Bytes of the line that land for Prefix/Suffix (rounded down to a
+     *  multiple of 8; 8-byte units never tear). */
+    uint32_t tornBytes = 128;
+};
+
+/**
+ * Shared countdown for one simulated power-failure event. Every armed
+ * device reports its media writes here; the Nth write anywhere trips the
+ * crash for all of them, like a machine losing power.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan)
+        : plan_(plan), remaining_(plan.crashAfterMediaWrites)
+    {
+    }
+
+    /**
+     * Account one media write.
+     * @return true iff this write is the triggering one (the caller must
+     *         apply the plan's TornMode to it).
+     */
+    bool
+    onMediaWrite()
+    {
+        if (plan_.crashAfterMediaWrites == 0 ||
+            crashed_.load(std::memory_order_relaxed))
+            return false;
+        const uint64_t prev =
+            remaining_.fetch_sub(1, std::memory_order_relaxed);
+        if (prev == 1) {
+            crashed_.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /** Power has failed: everything not yet durable stays lost. */
+    bool
+    crashed() const
+    {
+        return crashed_.load(std::memory_order_relaxed);
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    std::atomic<uint64_t> remaining_;
+    std::atomic<bool> crashed_{false};
+};
+
+} // namespace xpg
+
+#endif // XPG_PMEM_FAULT_PLAN_HPP

@@ -15,8 +15,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "pmem/fault_plan.hpp"
 #include "pmem/pcm_counters.hpp"
 
 namespace xpg {
@@ -101,6 +103,25 @@ class MemoryDevice
      * to the caller. Default: no-op.
      */
     virtual void quiesce() {}
+
+    /**
+     * Arm deterministic fault injection (crash after Nth media write).
+     * Several devices may share one injector to model machine-wide power
+     * loss. Default: unsupported (volatile devices have nothing to lose).
+     * @return true when the device supports fault injection.
+     */
+    virtual bool
+    armFaults(std::shared_ptr<FaultInjector> /*injector*/)
+    {
+        return false;
+    }
+
+    /**
+     * Simulated power cycle: revert every byte that never reached durable
+     * media to its last durable image and drop all internal buffers.
+     * Default: no-op (volatile devices are not recovered from).
+     */
+    virtual void powerCycle() {}
 
     /** Typed helpers for fixed-layout metadata. */
     template <typename T>

@@ -19,6 +19,9 @@ PmemAllocator::PmemAllocator(MemoryDevice &dev, uint64_t region_start,
     XPG_ASSERT(regionEnd_ <= dev.capacity(), "region beyond device");
     persistedTail_ = tail_.load();
     dev_.writePod<uint64_t>(tailPtrOff_, persistedTail_);
+    // Media-durable immediately: a crash before the first allocation's
+    // tail persist must still find a valid (initial) tail on recovery.
+    dev_.persist(tailPtrOff_, sizeof(uint64_t));
 }
 
 PmemAllocator::PmemAllocator(RecoverTag, MemoryDevice &dev,
@@ -30,18 +33,51 @@ PmemAllocator::PmemAllocator(RecoverTag, MemoryDevice &dev,
       tailPtrOff_(tail_ptr_off),
       tail_(dev.readPod<uint64_t>(tail_ptr_off))
 {
-    const uint64_t tail = tail_.load();
-    XPG_ASSERT(tail >= regionStart_ && tail <= regionEnd_,
-               "recovered allocator tail out of region");
-    persistedTail_ = tail;
+    persistedTail_ = tail_.load();
 }
 
 std::unique_ptr<PmemAllocator>
 PmemAllocator::recover(MemoryDevice &dev, uint64_t region_start,
-                       uint64_t region_end, uint64_t tail_ptr_off)
+                       uint64_t region_end, uint64_t tail_ptr_off,
+                       std::string *error)
 {
+    // Validate the persisted tail before trusting it: after a crash (or
+    // against a stale/corrupt backing file) it can hold anything, and a
+    // bad tail would hand out blocks outside the region.
+    const uint64_t start = alignUp(region_start, kXPLineSize);
+    const uint64_t tail = dev.readPod<uint64_t>(tail_ptr_off);
+    if (tail < start || tail > region_end) {
+        const std::string msg =
+            "recovered allocator tail out of region on '" + dev.name() +
+            "': tail=" + std::to_string(tail) + ", region=[" +
+            std::to_string(start) + ", " + std::to_string(region_end) +
+            ")";
+        if (error) {
+            *error = msg;
+            return nullptr;
+        }
+        XPG_FATAL(msg);
+    }
     return std::unique_ptr<PmemAllocator>(new PmemAllocator(
         RecoverTag{}, dev, region_start, region_end, tail_ptr_off));
+}
+
+void
+PmemAllocator::ensureTailAtLeast(uint64_t tail)
+{
+    XPG_ASSERT(tail >= regionStart_ && tail <= regionEnd_,
+               "tail repair out of region");
+    uint64_t current = tail_.load(std::memory_order_relaxed);
+    while (current < tail &&
+           !tail_.compare_exchange_weak(current, tail,
+                                        std::memory_order_relaxed)) {
+    }
+    std::lock_guard<SpinLock> guard(persistLock_);
+    if (tail > persistedTail_) {
+        persistedTail_ = tail;
+        dev_.writePod<uint64_t>(tailPtrOff_, tail);
+        dev_.persist(tailPtrOff_, sizeof(uint64_t));
+    }
 }
 
 uint64_t

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "pmem/memory_device.hpp"
 #include "util/spinlock.hpp"
@@ -46,17 +47,34 @@ class PmemAllocator
     PmemAllocator(MemoryDevice &dev, uint64_t region_start,
                   uint64_t region_end, uint64_t tail_ptr_off);
 
-    /** Attach to an existing region after a crash: reads the tail back. */
+    /**
+     * Attach to an existing region after a crash: reads the tail back and
+     * validates it against the region bounds (a torn or garbage tail must
+     * not hand out out-of-range blocks).
+     * @param error When non-null, an invalid tail stores a diagnostic
+     *        here and returns nullptr; when null it is fatal.
+     */
     static std::unique_ptr<PmemAllocator> recover(MemoryDevice &dev,
                                                   uint64_t region_start,
                                                   uint64_t region_end,
-                                                  uint64_t tail_ptr_off);
+                                                  uint64_t tail_ptr_off,
+                                                  std::string *error
+                                                  = nullptr);
 
     /**
      * Allocate @p size bytes aligned to @p align (power of two).
      * @return device offset of the block. Fatal on exhaustion.
      */
     uint64_t alloc(uint64_t size, uint64_t align);
+
+    /**
+     * Recovery-time repair: advance the tail to at least @p tail (an
+     * absolute device offset) and persist it. Used when recovery finds a
+     * durable linked block past the persisted tail — the tail write for
+     * its allocation was still buffered when power failed, and handing
+     * that space out again would overwrite live data.
+     */
+    void ensureTailAtLeast(uint64_t tail);
 
     /** Bytes handed out so far. */
     uint64_t used() const;

@@ -1,6 +1,9 @@
 #include "pmem/pmem_device.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "pmem/xpline.hpp"
 #include "util/sim_clock.hpp"
@@ -75,13 +78,76 @@ PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
 }
 
 void
+PmemDevice::noteLineDirtied(uint64_t line)
+{
+    std::lock_guard<SpinLock> guard(shadowLock_);
+    // If an image already exists (a line that was made volatile by a crash
+    // and is dirtied again), it is the true durable content — keep it.
+    auto [it, inserted] = shadow_.try_emplace(line);
+    if (inserted)
+        std::memcpy(it->second.data(), raw(line * kXPLineSize), kXPLineSize);
+}
+
+void
+PmemDevice::applyTornWrite(uint64_t line, LineImage &old_image)
+{
+    // The media write tears: only an 8-byte-aligned prefix or suffix of
+    // the line's new content lands; the rest keeps the old durable bytes.
+    // 8-byte units never tear, modeling PMEM's 8 B failure atomicity.
+    const FaultPlan &plan = faults_->plan();
+    uint64_t keep = std::min<uint64_t>(plan.tornBytes & ~uint64_t{7},
+                                       kXPLineSize);
+    const std::byte *cur = raw(line * kXPLineSize);
+    if (plan.torn == FaultPlan::TornMode::Prefix)
+        std::memcpy(old_image.data(), cur, keep);
+    else
+        std::memcpy(old_image.data() + (kXPLineSize - keep),
+                    cur + (kXPLineSize - keep), keep);
+}
+
+void
+PmemDevice::noteMediaWrite(uint64_t line)
+{
+    std::lock_guard<SpinLock> guard(shadowLock_);
+    if (!faults_) {
+        shadow_.erase(line);
+        return;
+    }
+    if (faults_->onMediaWrite()) {
+        // This is the crashing write.
+        switch (faults_->plan().torn) {
+        case FaultPlan::TornMode::None:
+            shadow_.erase(line); // lands whole, then power fails
+            break;
+        case FaultPlan::TornMode::Drop:
+            break; // lost entirely; old image stays durable
+        case FaultPlan::TornMode::Prefix:
+        case FaultPlan::TornMode::Suffix: {
+            auto it = shadow_.find(line);
+            if (it != shadow_.end())
+                applyTornWrite(line, it->second);
+            break;
+        }
+        }
+        return;
+    }
+    if (faults_->crashed())
+        return; // power already failed: nothing becomes durable anymore
+    shadow_.erase(line);
+}
+
+void
 PmemDevice::chargeRead(uint64_t off, uint64_t size)
 {
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
-    for (uint64_t line = first; line <= last; ++line)
-        chargeLoadOutcome(buffer_.load(line));
+    for (uint64_t line = first; line <= last; ++line) {
+        const XPAccessOutcome out = buffer_.load(line);
+        chargeLoadOutcome(out);
+        if (out.evictWrite)
+            noteMediaWrite(out.evictedLine);
+    }
 }
 
 void
@@ -105,24 +171,40 @@ PmemDevice::write(uint64_t off, const void *src, uint64_t size)
 {
     checkRange(off, size);
     appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
-    const uint64_t first = xplineOf(off);
-    const uint64_t last = xplineOf(off + size - 1);
+    // Per-line store + copy: an eviction caused by a later line of this
+    // same write must write back the *final* content of the evicted line,
+    // so each line's bytes land in the backing before the next line's
+    // store can pick it as a victim.
+    const std::byte *cursor_src = static_cast<const std::byte *>(src);
     uint64_t cursor = off;
-    for (uint64_t line = first; line <= last; ++line) {
+    const uint64_t end = off + size;
+    while (cursor < end) {
+        const uint64_t line = xplineOf(cursor);
+        const uint64_t line_end = (line + 1) * kXPLineSize;
+        const uint64_t chunk = std::min(end, line_end) - cursor;
         const bool starts_at_base = (cursor == line * kXPLineSize);
-        chargeStoreOutcome(buffer_.store(line, starts_at_base));
-        cursor = (line + 1) * kXPLineSize;
+        const XPAccessOutcome out = buffer_.store(line, starts_at_base);
+        if (out.dirtied)
+            noteLineDirtied(line); // snapshot pre-store durable image
+        chargeStoreOutcome(out);
+        if (out.evictWrite)
+            noteMediaWrite(out.evictedLine);
+        std::memcpy(raw(cursor), cursor_src, chunk);
+        cursor_src += chunk;
+        cursor += chunk;
     }
-    std::memcpy(raw(off), src, size);
 }
 
 void
 PmemDevice::quiesce()
 {
-    const unsigned drained = buffer_.drainDirty();
+    std::vector<uint64_t> drained_lines;
+    const unsigned drained = buffer_.drainDirty(&drained_lines);
     mediaWriteOps_.fetch_add(drained, std::memory_order_relaxed);
     mediaBytesWritten_.fetch_add(uint64_t{drained} * kXPLineSize,
                                  std::memory_order_relaxed);
+    for (const uint64_t line : drained_lines)
+        noteMediaWrite(line);
 }
 
 void
@@ -139,6 +221,7 @@ PmemDevice::persist(uint64_t off, uint64_t size)
             mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
             mediaBytesWritten_.fetch_add(kXPLineSize,
                                          std::memory_order_relaxed);
+            noteMediaWrite(line);
             const double remote = remoteFactor(p.pmemRemoteWriteMult);
             const double contention = CostParams::contentionMult(
                 declaredWriters(), p.pmemWriteFairThreads,
@@ -147,6 +230,32 @@ PmemDevice::persist(uint64_t off, uint64_t size)
                                    remote * contention);
         }
     }
+}
+
+void
+PmemDevice::powerCycle()
+{
+    std::lock_guard<SpinLock> guard(shadowLock_);
+    for (const auto &[line, image] : shadow_)
+        std::memcpy(raw(line * kXPLineSize), image.data(), kXPLineSize);
+    shadow_.clear();
+    faults_.reset();
+    buffer_.reset();
+}
+
+bool
+PmemDevice::armFaults(std::shared_ptr<FaultInjector> injector)
+{
+    std::lock_guard<SpinLock> guard(shadowLock_);
+    faults_ = std::move(injector);
+    return true;
+}
+
+bool
+PmemDevice::crashTriggered() const
+{
+    std::lock_guard<SpinLock> guard(shadowLock_);
+    return faults_ && faults_->crashed();
 }
 
 } // namespace xpg

@@ -7,11 +7,18 @@
 #ifndef XPG_PMEM_PMEM_DEVICE_HPP
 #define XPG_PMEM_PMEM_DEVICE_HPP
 
+#include <array>
+#include <cstddef>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "pmem/cost_model.hpp"
+#include "pmem/fault_plan.hpp"
 #include "pmem/memory_device.hpp"
 #include "pmem/xpbuffer.hpp"
+#include "pmem/xpline.hpp"
+#include "util/spinlock.hpp"
 
 namespace xpg {
 
@@ -48,18 +55,47 @@ class PmemDevice : public MemoryDevice
     void persist(uint64_t off, uint64_t size) override;
     void quiesce() override;
 
-    /** Drop XPBuffer contents without write-back (power-cycle model). */
-    void powerCycle() { buffer_.reset(); }
+    /**
+     * Power-cycle model: every line whose latest content never reached
+     * the media is reverted to its last durable image, then the XPBuffer
+     * is dropped and any armed fault plan is disarmed. After this the
+     * backing holds exactly what a real crash would have preserved.
+     */
+    void powerCycle() override;
+
+    /** Arm counter-driven crash injection (see FaultPlan). */
+    bool armFaults(std::shared_ptr<FaultInjector> injector) override;
+
+    /** True once an armed fault plan has tripped on this device's
+     *  injector (all writes since then are volatile). */
+    bool crashTriggered() const;
 
     const CostParams &params() const { return *params_; }
 
   private:
+    using LineImage = std::array<std::byte, kXPLineSize>;
+
     void chargeStoreOutcome(const XPAccessOutcome &out);
     void chargeLoadOutcome(const XPAccessOutcome &out);
     void chargeRead(uint64_t off, uint64_t size);
+    /** A line went clean -> dirty: snapshot its durable image. */
+    void noteLineDirtied(uint64_t line);
+    /** A line's current content was written to the media. */
+    void noteMediaWrite(uint64_t line);
+    void applyTornWrite(uint64_t line, LineImage &old_image);
 
     XPBuffer buffer_;
     const CostParams *params_;
+    /** Guards shadow_ and faults_. */
+    mutable SpinLock shadowLock_;
+    /**
+     * Last durable image of every line that is currently dirtier in the
+     * backing than on the modeled media. A line absent from the map is
+     * durable as-is in the backing. powerCycle() restores these images,
+     * which is what makes unflushed writes actually disappear.
+     */
+    std::unordered_map<uint64_t, LineImage> shadow_;
+    std::shared_ptr<FaultInjector> faults_;
 };
 
 } // namespace xpg

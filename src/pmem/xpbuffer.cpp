@@ -46,10 +46,11 @@ XPBuffer::store(uint64_t line, bool starts_at_base)
 
     for (auto &e : set.entries) {
         if (e.valid && e.line == line) {
-            e.dirty = true;
-            e.lru = set.lruTick;
             XPAccessOutcome out;
             out.hit = true;
+            out.dirtied = !e.dirty;
+            e.dirty = true;
+            e.lru = set.lruTick;
             return out;
         }
     }
@@ -59,8 +60,10 @@ XPBuffer::store(uint64_t line, bool starts_at_base)
     if (victim.valid && victim.dirty) {
         out.evictWrite = true;
         out.evictSeq = victim.seqAlloc;
+        out.evictedLine = victim.line;
     }
     out.rmwRead = !starts_at_base;
+    out.dirtied = true;
     victim.line = line;
     victim.valid = true;
     victim.dirty = true;
@@ -90,6 +93,7 @@ XPBuffer::load(uint64_t line)
     if (victim.valid && victim.dirty) {
         out.evictWrite = true;
         out.evictSeq = victim.seqAlloc;
+        out.evictedLine = victim.line;
     }
     out.rmwRead = true;
     victim.line = line;
@@ -128,7 +132,7 @@ XPBuffer::validLines() const
 }
 
 unsigned
-XPBuffer::drainDirty()
+XPBuffer::drainDirty(std::vector<uint64_t> *lines)
 {
     unsigned drained = 0;
     for (unsigned s = 0; s < config_.numSets; ++s) {
@@ -137,6 +141,8 @@ XPBuffer::drainDirty()
             if (e.valid && e.dirty) {
                 e.dirty = false;
                 ++drained;
+                if (lines)
+                    lines->push_back(e.line);
             }
         }
     }

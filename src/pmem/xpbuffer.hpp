@@ -45,6 +45,8 @@ struct XPAccessOutcome
     bool rmwRead = false;     ///< line fetched from media (RMW or load miss)
     bool evictWrite = false;  ///< a dirty victim was written back
     bool evictSeq = false;    ///< ...and that victim was stream-allocated
+    bool dirtied = false;     ///< the accessed line went clean -> dirty
+    uint64_t evictedLine = 0; ///< victim line index (valid iff evictWrite)
 };
 
 /**
@@ -79,9 +81,11 @@ class XPBuffer
 
     /**
      * Write back every dirty line (background drain between phases).
+     * @param drained When non-null, the written-back line indices are
+     *        appended (crash-model bookkeeping).
      * @return the number of lines written back.
      */
-    unsigned drainDirty();
+    unsigned drainDirty(std::vector<uint64_t> *drained = nullptr);
 
     /** Drop all lines, writing back nothing (power-cycle of the model). */
     void reset();

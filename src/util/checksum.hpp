@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tiny checksums for persistent metadata self-validation.
+ *
+ * Recovery cannot trust any persisted structure: a crash can leave torn
+ * lines, stale generations, or plain garbage behind. Every metadata
+ * record (superblock, log header, adjacency block commit) therefore
+ * carries a checksum that recovery verifies before believing a single
+ * field. FNV-1a is used for multi-word records and a murmur-style 32-bit
+ * mix for incremental per-record sums — both are cheap, deterministic and
+ * good enough to reject torn/stale data (this is corruption *detection*,
+ * not cryptography).
+ */
+
+#ifndef XPG_UTIL_CHECKSUM_HPP
+#define XPG_UTIL_CHECKSUM_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xpg {
+
+/** FNV-1a over a byte range. */
+inline uint64_t
+fnv1a64(const void *data, size_t size,
+        uint64_t seed = 1469598103934665603ull)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Murmur3 finalizer: full-avalanche 32-bit mix. */
+inline uint32_t
+mix32(uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+}
+
+/**
+ * Position-dependent contribution of one 32-bit record at index @p index
+ * to an additive running sum. Addition keeps the sum incrementally
+ * updatable on append; mixing the index in keeps it order-sensitive.
+ */
+inline uint32_t
+recordSum32(uint32_t record, uint32_t index)
+{
+    return mix32(record ^ mix32(index + 0x9e3779b9u));
+}
+
+} // namespace xpg
+
+#endif // XPG_UTIL_CHECKSUM_HPP

@@ -94,6 +94,50 @@ TEST(PmemAllocator, RecoverRejectsCorruptTail)
         "out of region");
 }
 
+TEST(PmemAllocator, RecoverReportsCorruptTailAsTypedError)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    dev.writePod<uint64_t>(kTailOff, 2ull << 20);
+    std::string err;
+    auto recovered = PmemAllocator::recover(dev, kRegionStart, 1 << 20,
+                                            kTailOff, &err);
+    EXPECT_EQ(recovered, nullptr);
+    EXPECT_NE(err.find("out of region"), std::string::npos) << err;
+    EXPECT_NE(err.find("tail="), std::string::npos) << err;
+}
+
+TEST(PmemAllocator, InitialTailIsMediaDurable)
+{
+    // A crash immediately after creation must still find a valid tail:
+    // the constructor persists it, it cannot linger in the XPBuffer.
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+    dev.powerCycle();
+    std::string err;
+    auto recovered = PmemAllocator::recover(dev, kRegionStart, 1 << 20,
+                                            kTailOff, &err);
+    ASSERT_NE(recovered, nullptr) << err;
+    EXPECT_EQ(recovered->used(), 0u);
+}
+
+TEST(PmemAllocator, EnsureTailAtLeastAdvancesAndPersists)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    {
+        PmemAllocator alloc(dev, kRegionStart, 1 << 20, kTailOff);
+        alloc.ensureTailAtLeast(kRegionStart + 4 * kXPLineSize);
+        EXPECT_EQ(alloc.used(), 4 * kXPLineSize);
+        // Lower values must not roll the tail back.
+        alloc.ensureTailAtLeast(kRegionStart + kXPLineSize);
+        EXPECT_EQ(alloc.used(), 4 * kXPLineSize);
+    }
+    dev.powerCycle(); // the repaired tail was persisted
+    auto recovered =
+        PmemAllocator::recover(dev, kRegionStart, 1 << 20, kTailOff);
+    EXPECT_EQ(recovered->used(), 4 * kXPLineSize);
+}
+
 TEST(PmemAllocator, ConcurrentAllocationsDoNotOverlap)
 {
     PmemDevice dev("t", 8 << 20, 0, 1);

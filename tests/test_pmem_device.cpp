@@ -173,5 +173,192 @@ TEST_F(PmemDeviceTest, OutOfRangeAccessPanics)
     EXPECT_DEATH(dev.read(4094, &v, 4), "out of range");
 }
 
+// --- crash model: powerCycle() and fault injection ---
+
+TEST_F(PmemDeviceTest, PowerCycleDropsUnflushedWrites)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint64_t v = 0x1111111111111111ull;
+    dev.write(0, &v, 8); // buffered, never reaches the media
+    dev.powerCycle();
+    uint64_t back = ~0ull;
+    dev.read(0, &back, 8);
+    EXPECT_EQ(back, 0u);
+}
+
+TEST_F(PmemDeviceTest, PowerCyclePreservesPersistedWrites)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint64_t durable = 0x2222222222222222ull;
+    uint64_t lost = 0x3333333333333333ull;
+    dev.write(0, &durable, 8);
+    dev.persist(0, 8);
+    dev.write(kXPLineSize, &lost, 8); // different line, unflushed
+    dev.powerCycle();
+    uint64_t back = 0;
+    dev.read(0, &back, 8);
+    EXPECT_EQ(back, durable);
+    dev.read(kXPLineSize, &back, 8);
+    EXPECT_EQ(back, 0u);
+}
+
+TEST_F(PmemDeviceTest, QuiesceMakesWritesDurable)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint64_t v = 0x4444444444444444ull;
+    dev.write(3 * kXPLineSize + 16, &v, 8);
+    dev.quiesce();
+    dev.powerCycle();
+    uint64_t back = 0;
+    dev.read(3 * kXPLineSize + 16, &back, 8);
+    EXPECT_EQ(back, v);
+}
+
+TEST_F(PmemDeviceTest, TrippedInjectorMakesLaterWritesVolatile)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1; // first media write trips, lands whole
+    auto injector = std::make_shared<FaultInjector>(plan);
+    ASSERT_TRUE(dev.armFaults(injector));
+
+    uint64_t first = 0x5555555555555555ull;
+    dev.write(0, &first, 8);
+    dev.persist(0, 8); // the triggering write (TornMode::None: lands)
+    EXPECT_TRUE(injector->crashed());
+    EXPECT_TRUE(dev.crashTriggered());
+
+    uint64_t second = 0x6666666666666666ull;
+    dev.write(kXPLineSize, &second, 8);
+    dev.persist(kXPLineSize, 8); // after the crash: silently volatile
+    dev.powerCycle();
+
+    uint64_t back = 0;
+    dev.read(0, &back, 8);
+    EXPECT_EQ(back, first);
+    dev.read(kXPLineSize, &back, 8);
+    EXPECT_EQ(back, 0u);
+}
+
+TEST_F(PmemDeviceTest, DroppedTriggeringWriteNeverLands)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    uint64_t old_v = 0x7777777777777777ull;
+    dev.write(0, &old_v, 8);
+    dev.persist(0, 8);
+
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1;
+    plan.torn = FaultPlan::TornMode::Drop;
+    dev.armFaults(std::make_shared<FaultInjector>(plan));
+
+    uint64_t new_v = 0x8888888888888888ull;
+    dev.write(0, &new_v, 8);
+    dev.persist(0, 8); // triggering write is dropped entirely
+    dev.powerCycle();
+
+    uint64_t back = 0;
+    dev.read(0, &back, 8);
+    EXPECT_EQ(back, old_v);
+}
+
+TEST_F(PmemDeviceTest, TornPrefixWritePersistsOnlyTheFirstBytes)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    std::vector<uint8_t> a(kXPLineSize, 0xAA);
+    std::vector<uint8_t> b(kXPLineSize, 0xBB);
+    dev.write(4096, a.data(), a.size());
+    dev.persist(4096, a.size());
+
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1;
+    plan.torn = FaultPlan::TornMode::Prefix;
+    plan.tornBytes = 128;
+    dev.armFaults(std::make_shared<FaultInjector>(plan));
+
+    dev.write(4096, b.data(), b.size());
+    dev.persist(4096, b.size()); // trips: only the first 128 bytes land
+    dev.powerCycle();
+
+    std::vector<uint8_t> back(kXPLineSize);
+    dev.read(4096, back.data(), back.size());
+    for (unsigned i = 0; i < kXPLineSize; ++i)
+        EXPECT_EQ(back[i], i < 128 ? 0xBB : 0xAA) << "byte " << i;
+}
+
+TEST_F(PmemDeviceTest, TornSuffixWritePersistsOnlyTheLastBytes)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    std::vector<uint8_t> a(kXPLineSize, 0xAA);
+    std::vector<uint8_t> b(kXPLineSize, 0xBB);
+    dev.write(4096, a.data(), a.size());
+    dev.persist(4096, a.size());
+
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1;
+    plan.torn = FaultPlan::TornMode::Suffix;
+    plan.tornBytes = 64;
+    dev.armFaults(std::make_shared<FaultInjector>(plan));
+
+    dev.write(4096, b.data(), b.size());
+    dev.persist(4096, b.size());
+    dev.powerCycle();
+
+    std::vector<uint8_t> back(kXPLineSize);
+    dev.read(4096, back.data(), back.size());
+    for (unsigned i = 0; i < kXPLineSize; ++i)
+        EXPECT_EQ(back[i], i < kXPLineSize - 64 ? 0xAA : 0xBB)
+            << "byte " << i;
+}
+
+TEST_F(PmemDeviceTest, SharedInjectorCrashesAllArmedDevices)
+{
+    // One injector across two devices models a machine-wide power loss:
+    // the trigger on one device makes writes on the other volatile too.
+    PmemDevice dev0("n0", 1 << 20, 0, 2);
+    PmemDevice dev1("n1", 1 << 20, 1, 2);
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1;
+    auto injector = std::make_shared<FaultInjector>(plan);
+    dev0.armFaults(injector);
+    dev1.armFaults(injector);
+
+    uint64_t v = 0x9999999999999999ull;
+    dev0.write(0, &v, 8);
+    dev0.persist(0, 8); // trips the shared countdown
+    EXPECT_TRUE(dev1.crashTriggered());
+
+    dev1.write(0, &v, 8);
+    dev1.persist(0, 8); // volatile: the machine is already down
+    dev0.powerCycle();
+    dev1.powerCycle();
+
+    uint64_t back = 0;
+    dev0.read(0, &back, 8);
+    EXPECT_EQ(back, v);
+    dev1.read(0, &back, 8);
+    EXPECT_EQ(back, 0u);
+}
+
+TEST_F(PmemDeviceTest, PowerCycleDisarmsFaults)
+{
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    FaultPlan plan;
+    plan.crashAfterMediaWrites = 1;
+    dev.armFaults(std::make_shared<FaultInjector>(plan));
+    uint64_t v = 1;
+    dev.write(0, &v, 8);
+    dev.persist(0, 8); // trip
+    dev.powerCycle();  // restart: the plan is consumed
+
+    uint64_t v2 = 0xabcdabcdabcdabcdull;
+    dev.write(kXPLineSize, &v2, 8);
+    dev.persist(kXPLineSize, 8);
+    dev.powerCycle();
+    uint64_t back = 0;
+    dev.read(kXPLineSize, &back, 8);
+    EXPECT_EQ(back, v2); // durable again after the restart
+}
+
 } // namespace
 } // namespace xpg

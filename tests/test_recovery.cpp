@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -242,6 +243,169 @@ TEST_F(RecoveryTest, RecoverRejectsMismatchedConfig)
     wrong.maxVertices = nv * 2;
     EXPECT_EXIT(XPGraph::recover(wrong), ::testing::ExitedWithCode(1),
                 "does not match");
+}
+
+// --- typed RecoveryReport (structured, non-fatal recovery outcomes) ---
+
+TEST_F(RecoveryTest, TypedReportMissingBacking)
+{
+    XPGraphConfig c = config(10, 100);
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(c, &report);
+    EXPECT_EQ(recovered, nullptr);
+    EXPECT_EQ(report.status, RecoveryStatus::MissingBacking);
+    EXPECT_NE(report.error.find("missing backing file"),
+              std::string::npos)
+        << report.error;
+    EXPECT_STREQ(recoveryStatusName(report.status), "MissingBacking");
+}
+
+TEST_F(RecoveryTest, TypedReportConfigMismatch)
+{
+    const vid_t nv = 100;
+    XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.syncBackings();
+    }
+    XPGraphConfig wrong = c;
+    wrong.elogCapacityEdges *= 2;
+    wrong.pmemBytesPerNode = recommendedBytesPerNode(wrong, 1000);
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(wrong, &report);
+    EXPECT_EQ(recovered, nullptr);
+    EXPECT_EQ(report.status, RecoveryStatus::ConfigMismatch);
+    EXPECT_NE(report.error.find("does not match"), std::string::npos)
+        << report.error;
+}
+
+TEST_F(RecoveryTest, TypedReportCorruptSuperblock)
+{
+    const vid_t nv = 100;
+    XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.syncBackings();
+    }
+    // Scribble over the superblock magic of node 0's backing file.
+    const std::string path = dir_ + "/xpgraph_node0.pmem";
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << path;
+    const uint64_t garbage = 0x6261646d61676963ull;
+    std::fwrite(&garbage, sizeof(garbage), 1, f);
+    std::fclose(f);
+
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(c, &report);
+    EXPECT_EQ(recovered, nullptr);
+    EXPECT_EQ(report.status, RecoveryStatus::SuperblockCorrupt);
+    EXPECT_NE(report.error.find("superblock"), std::string::npos)
+        << report.error;
+}
+
+TEST_F(RecoveryTest, TypedReportFlippedSuperblockBitFailsChecksum)
+{
+    const vid_t nv = 100;
+    XPGraphConfig c = config(nv, 1000);
+    {
+        XPGraph graph(c);
+        graph.addEdge(1, 2);
+        graph.syncBackings();
+    }
+    // Flip one byte inside the superblock body (past magic + version):
+    // only the checksum catches this.
+    const std::string path = dir_ + "/xpgraph_node0.pmem";
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << path;
+    std::fseek(f, 40, SEEK_SET);
+    uint8_t b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+    b ^= 0x40;
+    std::fseek(f, 40, SEEK_SET);
+    std::fwrite(&b, 1, 1, f);
+    std::fclose(f);
+
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(c, &report);
+    EXPECT_EQ(recovered, nullptr);
+    EXPECT_EQ(report.status, RecoveryStatus::SuperblockCorrupt);
+    EXPECT_NE(report.error.find("checksum"), std::string::npos)
+        << report.error;
+}
+
+TEST_F(RecoveryTest, CleanRecoveryReportCounts)
+{
+    const vid_t nv = 200;
+    auto edges = distinctEdges(nv, 6000, 91);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges(); // buffered, not flushed: replay expected
+        graph.syncBackings();
+    }
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(c, &report);
+    ASSERT_NE(recovered, nullptr) << report.error;
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.edgesReplayed, 0u);
+    EXPECT_FALSE(report.repaired()) << "clean shutdown needed repairs";
+    EXPECT_GT(report.recoveryNs, 0u);
+    recovered->bufferAllEdges();
+    expectSameNeighbors(*recovered, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
+}
+
+TEST_F(RecoveryTest, TuningKnobsMayChangeAcrossRecovery)
+{
+    // Only geometry is fingerprinted: buffering/archiving knobs may be
+    // retuned across a restart without invalidating the store.
+    const vid_t nv = 100;
+    auto edges = distinctEdges(nv, 2000, 93);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges();
+        graph.syncBackings();
+    }
+    XPGraphConfig retuned = c;
+    retuned.bufferingThresholdEdges *= 4;
+    retuned.archiveThreads = 2;
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(retuned, &report);
+    ASSERT_NE(recovered, nullptr) << report.error;
+    EXPECT_TRUE(report.ok());
+    recovered->bufferAllEdges();
+    expectSameNeighbors(*recovered, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
+}
+
+TEST_F(RecoveryTest, RecoverTwiceIsStable)
+{
+    const vid_t nv = 100;
+    auto edges = distinctEdges(nv, 2000, 95);
+    const XPGraphConfig c = config(nv, edges.size());
+    {
+        XPGraph graph(c);
+        graph.addEdges(edges.data(), edges.size());
+        graph.bufferAllEdges();
+        graph.flushAllVbufs();
+        graph.syncBackings();
+    }
+    {
+        auto first = XPGraph::recover(c);
+        first->syncBackings();
+    }
+    RecoveryReport report;
+    auto second = XPGraph::recover(c, &report);
+    ASSERT_NE(second, nullptr) << report.error;
+    EXPECT_TRUE(report.ok());
+    second->bufferAllEdges();
+    expectSameNeighbors(*second, Csr(nv, edges, false),
+                        Csr(nv, edges, true));
 }
 
 TEST_F(RecoveryTest, FreshInstanceDiscardsStaleFiles)

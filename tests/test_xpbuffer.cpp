@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "pmem/xpbuffer.hpp"
 
 namespace xpg {
@@ -142,6 +145,39 @@ TEST(XPBuffer, DistinctSetsDoNotConflict)
     buf.store(1, false); // set 1
     EXPECT_TRUE(buf.store(0, false).hit);
     EXPECT_TRUE(buf.store(1, false).hit);
+}
+
+TEST(XPBuffer, StoreReportsDirtiedTransition)
+{
+    XPBuffer buf(tinyConfig());
+    EXPECT_TRUE(buf.store(5, false).dirtied); // miss allocates dirty
+    EXPECT_FALSE(buf.store(5, false).dirtied); // already dirty
+    buf.flushLine(5);
+    EXPECT_TRUE(buf.store(5, false).dirtied); // clean -> dirty again
+    EXPECT_FALSE(buf.load(6).dirtied);         // loads allocate clean
+}
+
+TEST(XPBuffer, EvictionReportsVictimLine)
+{
+    XPBuffer buf(tinyConfig(1, 1));
+    buf.store(9, false);
+    const auto out = buf.store(10, false);
+    ASSERT_TRUE(out.evictWrite);
+    EXPECT_EQ(out.evictedLine, 9u);
+}
+
+TEST(XPBuffer, DrainDirtyReportsDrainedLines)
+{
+    XPBuffer buf(tinyConfig(2, 2));
+    buf.store(0, false);
+    buf.store(1, false);
+    buf.load(2); // clean: must not be drained
+    std::vector<uint64_t> drained;
+    EXPECT_EQ(buf.drainDirty(&drained), 2u);
+    std::sort(drained.begin(), drained.end());
+    EXPECT_EQ(drained, (std::vector<uint64_t>{0, 1}));
+    EXPECT_EQ(buf.drainDirty(&drained), 0u); // all clean now
+    EXPECT_EQ(drained.size(), 2u);
 }
 
 } // namespace
