@@ -2,7 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
+
+#include "telemetry/telemetry.hpp"
 
 namespace xpg::bench {
 
@@ -85,7 +88,7 @@ ingestStore(GraphStore &store, const Dataset &ds, const std::string &label,
     IngestOutcome o;
     o.system = label;
     o.dataset = ds.spec.abbrev;
-    o.stats = store.ingestStats();
+    o.stats = store.snapshotStats();
     o.counters = store.pmemCounters();
     o.mem = store.memoryUsage();
     if (volatile_store) {
@@ -146,6 +149,38 @@ secondsOrOom(const IngestOutcome &o)
     if (o.oom)
         return "OOM";
     return TablePrinter::seconds(o.ingestNs());
+}
+
+bool
+writeJsonReport(const json::JsonValue &doc, const char *env_var,
+                const std::string &default_path, const char *bench_name)
+{
+    const char *env = env_var != nullptr ? std::getenv(env_var) : nullptr;
+    const std::string path =
+        env != nullptr && env[0] != '\0' ? env : default_path;
+    if (!doc.writeFile(path)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", bench_name,
+                     path.c_str());
+        return false;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+}
+
+json::JsonValue
+telemetryPhaseSeries()
+{
+    json::JsonValue out = json::JsonValue::object();
+    if (!telemetry::kEnabled)
+        return out;
+    auto &tel = telemetry::Telemetry::instance();
+    for (const std::string &name : tel.histogramNames()) {
+        const telemetry::Histogram h = tel.mergedHistogram(name);
+        if (h.count == 0)
+            continue;
+        out.set(name, h.toJson());
+    }
+    return out;
 }
 
 void

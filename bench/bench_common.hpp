@@ -19,6 +19,7 @@
 #include "baselines/graphone.hpp"
 #include "core/xpgraph.hpp"
 #include "graph/datasets.hpp"
+#include "util/json_writer.hpp"
 #include "util/table_printer.hpp"
 
 namespace xpg::bench {
@@ -127,6 +128,26 @@ std::string secondsOrOom(const IngestOutcome &o);
 
 /** Standard bench banner: scale, dataset sizes, reminder of units. */
 void printBanner(const std::string &bench, const std::string &paper_ref);
+
+/**
+ * Shared bench-report writer: resolve the output path (@p env_var
+ * overrides @p default_path when set), pretty-print @p doc, and log
+ * the outcome the way every bench always has ("wrote PATH" on stdout,
+ * an error on stderr). Replaces the per-bench fprintf JSON emitters.
+ * @return true when the file was written.
+ */
+bool writeJsonReport(const json::JsonValue &doc, const char *env_var,
+                     const std::string &default_path,
+                     const char *bench_name);
+
+/**
+ * Merged (all label sets) quantile summary of every registered
+ * telemetry histogram whose name starts with one of ingest./archive./
+ * pmem./query./recovery. — the per-phase latency series the figure
+ * reports attach per row. Returns an empty object with telemetry OFF
+ * or when nothing was recorded.
+ */
+json::JsonValue telemetryPhaseSeries();
 
 } // namespace xpg::bench
 

@@ -7,13 +7,20 @@
  * Paper shape: XPGraph reads 2.29-4.17x and writes 2.02-3.44x less than
  * GraphOne-P; XPGraph-B reads up to 31% and writes up to 47% less than
  * XPGraph; GraphOne-N an order of magnitude worse.
+ *
+ * Emits BENCH_traffic.json (XPG_BENCH_TRAFFIC_JSON to override): per
+ * (dataset, system) the full PCM counter set plus — with telemetry
+ * compiled in — the per-phase latency quantiles of that run, splitting
+ * the traffic's time cost into logging vs archiving.
  */
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace xpg;
 using namespace xpg::bench;
@@ -40,20 +47,47 @@ main(int argc, char **argv)
     writes.header({"dataset", "GraphOne-P", "GraphOne-N", "XPGraph",
                    "XPGraph-B", "G1-P/XPG", "B vs XPG"});
 
+    json::JsonValue json_rows = json::JsonValue::array();
     for (const auto &name : names) {
         const Dataset ds = loadDataset(name);
 
-        const auto g1p = ingestGraphone(
-            ds, graphoneConfig(ds, GraphOneVariant::Pmem, threads),
-            "GraphOne-P");
-        const auto g1n = ingestGraphone(
-            ds, graphoneConfig(ds, GraphOneVariant::Nova, threads),
-            "GraphOne-N");
-        const auto xpg =
-            ingestXpgraph(ds, xpgraphConfig(ds, threads), "XPGraph");
-        XPGraphConfig bc = xpgraphConfig(ds, threads);
-        bc.batteryBacked = true;
-        const auto xpgb = ingestXpgraph(ds, bc, "XPGraph-B");
+        // Each run gets its own telemetry window so the phase series
+        // attributes the traffic's time cost to logging vs archiving.
+        auto measured = [&](auto &&run) {
+            if (telemetry::kEnabled)
+                telemetry::Telemetry::instance().reset();
+            IngestOutcome o = run();
+            json::JsonValue row = json::JsonValue::object();
+            row.set("dataset", ds.spec.abbrev);
+            row.set("system", o.system);
+            row.set("ingest_ns", o.ingestNs());
+            row.set("counters", o.counters.toJson());
+            const json::JsonValue phases = telemetryPhaseSeries();
+            if (phases.size() != 0)
+                row.set("phase_latency_ns", phases);
+            json_rows.push(std::move(row));
+            return o;
+        };
+
+        const auto g1p = measured([&] {
+            return ingestGraphone(
+                ds, graphoneConfig(ds, GraphOneVariant::Pmem, threads),
+                "GraphOne-P");
+        });
+        const auto g1n = measured([&] {
+            return ingestGraphone(
+                ds, graphoneConfig(ds, GraphOneVariant::Nova, threads),
+                "GraphOne-N");
+        });
+        const auto xpg = measured([&] {
+            return ingestXpgraph(ds, xpgraphConfig(ds, threads),
+                                 "XPGraph");
+        });
+        const auto xpgb = measured([&] {
+            XPGraphConfig bc = xpgraphConfig(ds, threads);
+            bc.batteryBacked = true;
+            return ingestXpgraph(ds, bc, "XPGraph-B");
+        });
 
         auto ratio = [](uint64_t a, uint64_t b) {
             return TablePrinter::num(static_cast<double>(a) /
@@ -88,6 +122,11 @@ main(int argc, char **argv)
     }
     reads.print();
     writes.print();
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("bench", "fig13_pmem_traffic");
+    doc.set("rows", std::move(json_rows));
+    writeJsonReport(doc, "XPG_BENCH_TRAFFIC_JSON", "BENCH_traffic.json",
+                    "fig13_pmem_traffic");
     std::printf("\npaper: XPGraph reduces PMEM reads 2.29-4.17x and "
                 "writes 2.02-3.44x vs GraphOne-P; XPGraph-B saves up to "
                 "31%% reads / 47%% writes more\n");

@@ -89,42 +89,32 @@ struct JsonRow
 void
 writeJson(const std::vector<JsonRow> &rows)
 {
-    const char *env = std::getenv("XPG_BENCH_JSON");
-    const std::string path = env != nullptr ? env : "BENCH_query.json";
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "fig14_query: cannot write %s\n",
-                     path.c_str());
-        return;
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("bench", "fig14_query");
+    json::JsonValue arr = json::JsonValue::array();
+    for (const JsonRow &r : rows) {
+        json::JsonValue row = json::JsonValue::object();
+        row.set("dataset", r.dataset);
+        row.set("store", r.store);
+        row.set("algorithm", r.algo);
+        row.set("vector_ns", r.m.vec.simNs);
+        row.set("visitor_ns", r.m.vis.simNs);
+        row.set("vector_media_read_bytes", r.m.vec.mediaReadBytes);
+        row.set("visitor_media_read_bytes", r.m.vis.mediaReadBytes);
+        row.set("vector_app_read_bytes", r.m.vec.appReadBytes);
+        row.set("visitor_app_read_bytes", r.m.vis.appReadBytes);
+        row.set("vector_checksum", r.m.vec.checksum);
+        row.set("visitor_checksum", r.m.vis.checksum);
+        arr.push(std::move(row));
     }
-    std::fprintf(f, "{\n  \"bench\": \"fig14_query\",\n  \"rows\": [\n");
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const JsonRow &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\"dataset\": \"%s\", \"store\": \"%s\", "
-            "\"algorithm\": \"%s\",\n"
-            "     \"vector_ns\": %llu, \"visitor_ns\": %llu,\n"
-            "     \"vector_media_read_bytes\": %llu, "
-            "\"visitor_media_read_bytes\": %llu,\n"
-            "     \"vector_app_read_bytes\": %llu, "
-            "\"visitor_app_read_bytes\": %llu,\n"
-            "     \"vector_checksum\": %llu, \"visitor_checksum\": "
-            "%llu}%s\n",
-            r.dataset.c_str(), r.store.c_str(), r.algo.c_str(),
-            static_cast<unsigned long long>(r.m.vec.simNs),
-            static_cast<unsigned long long>(r.m.vis.simNs),
-            static_cast<unsigned long long>(r.m.vec.mediaReadBytes),
-            static_cast<unsigned long long>(r.m.vis.mediaReadBytes),
-            static_cast<unsigned long long>(r.m.vec.appReadBytes),
-            static_cast<unsigned long long>(r.m.vis.appReadBytes),
-            static_cast<unsigned long long>(r.m.vec.checksum),
-            static_cast<unsigned long long>(r.m.vis.checksum),
-            i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
+    doc.set("rows", std::move(arr));
+    // Kernel/round latency quantiles accumulated across every run of
+    // the bench (telemetry ON; absent otherwise).
+    const json::JsonValue phases = telemetryPhaseSeries();
+    if (phases.size() != 0)
+        doc.set("phase_latency_ns", phases);
+    writeJsonReport(doc, "XPG_BENCH_JSON", "BENCH_query.json",
+                    "fig14_query");
 }
 
 } // namespace

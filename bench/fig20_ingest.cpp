@@ -20,11 +20,11 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace xpg;
 using namespace xpg::bench;
@@ -36,6 +36,8 @@ struct Row
     std::string store;
     unsigned sessions;
     IngestOutcome o;
+    /// Merged per-phase latency quantiles of this run (telemetry ON).
+    json::JsonValue phases;
 
     double
     edgesPerSec(uint64_t edges) const
@@ -50,48 +52,32 @@ struct Row
 void
 writeJson(const std::vector<Row> &rows, const Dataset &ds)
 {
-    const char *env = std::getenv("XPG_BENCH_INGEST_JSON");
-    const std::string path = env != nullptr ? env : "BENCH_ingest.json";
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "fig20_ingest: cannot write %s\n",
-                     path.c_str());
-        return;
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("bench", "fig20_ingest");
+    doc.set("dataset", ds.spec.abbrev);
+    doc.set("edges", static_cast<uint64_t>(ds.edges.size()));
+    json::JsonValue arr = json::JsonValue::array();
+    for (const Row &r : rows) {
+        json::JsonValue row = json::JsonValue::object();
+        row.set("store", r.store);
+        row.set("sessions", r.sessions);
+        row.set("ingest_ns", r.o.ingestNs());
+        row.set("logging_wall_ns", r.o.stats.loggingNsMax > 0
+                                       ? r.o.stats.loggingNsMax
+                                       : r.o.stats.loggingNs);
+        row.set("client_wall_ns", r.o.stats.clientNsMax);
+        row.set("archiving_ns", r.o.stats.archivingNs());
+        row.set("edges_per_sec", r.edgesPerSec(ds.edges.size()));
+        row.set("media_write_bytes", r.o.counters.mediaBytesWritten);
+        row.set("media_read_bytes", r.o.counters.mediaBytesRead);
+        row.set("sessions_opened", r.o.stats.sessionsOpened);
+        if (r.phases.size() != 0)
+            row.set("phase_latency_ns", r.phases);
+        arr.push(std::move(row));
     }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"fig20_ingest\",\n"
-                 "  \"dataset\": \"%s\",\n  \"edges\": %llu,\n"
-                 "  \"rows\": [\n",
-                 ds.spec.abbrev.c_str(),
-                 static_cast<unsigned long long>(ds.edges.size()));
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\"store\": \"%s\", \"sessions\": %u,\n"
-            "     \"ingest_ns\": %llu, \"logging_wall_ns\": %llu, "
-            "\"client_wall_ns\": %llu, \"archiving_ns\": %llu,\n"
-            "     \"edges_per_sec\": %.0f,\n"
-            "     \"media_write_bytes\": %llu, "
-            "\"media_read_bytes\": %llu,\n"
-            "     \"sessions_opened\": %llu}%s\n",
-            r.store.c_str(), r.sessions,
-            static_cast<unsigned long long>(r.o.ingestNs()),
-            static_cast<unsigned long long>(
-                r.o.stats.loggingNsMax > 0 ? r.o.stats.loggingNsMax
-                                           : r.o.stats.loggingNs),
-            static_cast<unsigned long long>(r.o.stats.clientNsMax),
-            static_cast<unsigned long long>(r.o.stats.archivingNs()),
-            r.edgesPerSec(ds.edges.size()),
-            static_cast<unsigned long long>(
-                r.o.counters.mediaBytesWritten),
-            static_cast<unsigned long long>(r.o.counters.mediaBytesRead),
-            static_cast<unsigned long long>(r.o.stats.sessionsOpened),
-            i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
+    doc.set("rows", std::move(arr));
+    writeJsonReport(doc, "XPG_BENCH_INGEST_JSON", "BENCH_ingest.json",
+                    "fig20_ingest");
 }
 
 } // namespace
@@ -129,6 +115,10 @@ main(int argc, char **argv)
     for (const StoreKind &kind : kinds) {
         double base_tput = 0.0;
         for (unsigned sessions : session_counts) {
+            // Per-row telemetry window: zero the histograms so this
+            // row's phase quantiles cover exactly this run.
+            if (telemetry::kEnabled)
+                telemetry::Telemetry::instance().reset();
             IngestOutcome o;
             if (kind.graphone) {
                 GraphOne store(graphoneConfig(
@@ -142,7 +132,7 @@ main(int argc, char **argv)
                 o = ingestStore(store, ds, kind.label,
                                 /*volatile_store=*/false, sessions);
             }
-            Row r{kind.label, sessions, o};
+            Row r{kind.label, sessions, o, telemetryPhaseSeries()};
             const double tput = r.edgesPerSec(ds.edges.size());
             if (sessions == 1)
                 base_tput = tput;

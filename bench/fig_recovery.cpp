@@ -45,39 +45,30 @@ struct Row
 void
 writeJson(const std::vector<Row> &rows, const Dataset &ds)
 {
-    const char *env = std::getenv("XPG_BENCH_RECOVERY_JSON");
-    const std::string path = env != nullptr ? env : "BENCH_recovery.json";
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "fig_recovery: cannot write %s\n",
-                     path.c_str());
-        return;
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("bench", "fig_recovery");
+    doc.set("dataset", ds.spec.abbrev);
+    doc.set("base_edges", static_cast<uint64_t>(ds.edges.size()));
+    json::JsonValue arr = json::JsonValue::array();
+    for (const Row &r : rows) {
+        json::JsonValue row = json::JsonValue::object();
+        row.set("archiving", r.mode);
+        row.set("log_depth", r.depth);
+        row.set("recovery_ns", r.report.recoveryNs);
+        row.set("rearchive_ns", r.rearchiveNs);
+        row.set("edges_replayed", r.report.edgesReplayed);
+        row.set("edges_deduped", r.report.edgesDeduped);
+        row.set("repaired", r.report.repaired());
+        arr.push(std::move(row));
     }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"fig_recovery\",\n"
-                 "  \"dataset\": \"%s\",\n  \"base_edges\": %llu,\n"
-                 "  \"rows\": [\n",
-                 ds.spec.abbrev.c_str(),
-                 static_cast<unsigned long long>(ds.edges.size()));
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\"archiving\": \"%s\", \"log_depth\": %llu,\n"
-            "     \"recovery_ns\": %llu, \"rearchive_ns\": %llu,\n"
-            "     \"edges_replayed\": %llu, \"edges_deduped\": %llu,\n"
-            "     \"repaired\": %s}%s\n",
-            r.mode.c_str(), static_cast<unsigned long long>(r.depth),
-            static_cast<unsigned long long>(r.report.recoveryNs),
-            static_cast<unsigned long long>(r.rearchiveNs),
-            static_cast<unsigned long long>(r.report.edgesReplayed),
-            static_cast<unsigned long long>(r.report.edgesDeduped),
-            r.report.repaired() ? "true" : "false",
-            i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
+    doc.set("rows", std::move(arr));
+    // Rebuild/replay step quantiles across every recovery of the bench
+    // (telemetry ON; absent otherwise).
+    const json::JsonValue phases = telemetryPhaseSeries();
+    if (phases.size() != 0)
+        doc.set("phase_latency_ns", phases);
+    writeJsonReport(doc, "XPG_BENCH_RECOVERY_JSON", "BENCH_recovery.json",
+                    "fig_recovery");
 }
 
 } // namespace

@@ -21,6 +21,12 @@
 # AddressSanitizer — recovery code walks raw device images, exactly
 # where an out-of-bounds read would hide.
 #
+# The closing telemetry stage (skip with XPG_TELEMETRY_STAGE=0) runs the
+# CLI pipeline with --telemetry and json.tool-validates the trace and
+# metrics files, then builds a -DXPG_TELEMETRY=OFF tree
+# (<build-dir>-notel) and bounds the simulated-time drift between the
+# two fig20 runs at 2%.
+#
 # Usage: bench/run_tier1_bench.sh [build-dir] [dataset...]
 #   build-dir  defaults to ./build
 #   dataset    fig14/fig20 dataset abbreviations, default "TT"
@@ -36,7 +42,7 @@ if [[ "${XPG_TSAN:-0}" == "1" ]]; then
     cmake -B "${tsan_dir}" -S "${repo_root}" -DXPG_SANITIZE=thread
     cmake --build "${tsan_dir}" -j "$(nproc)" --target xpg_tests
     "${tsan_dir}/tests/xpg_tests" \
-        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*'
+        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*'
 fi
 
 if [[ "${XPG_ASAN:-0}" == "1" ]]; then
@@ -70,6 +76,55 @@ export XPG_BENCH_INGEST_JSON="${XPG_BENCH_INGEST_JSON:-${repo_root}/BENCH_ingest
 
 export XPG_BENCH_RECOVERY_JSON="${XPG_BENCH_RECOVERY_JSON:-${repo_root}/BENCH_recovery.json}"
 "${build_dir}/bench/fig_recovery" "${datasets[0]}"
+
+# Telemetry stage (skip with XPG_TELEMETRY_STAGE=0). Three checks:
+#  1. The CLI pipeline run (ingest + archive + query + crash + recover)
+#     with --telemetry produces a Chrome trace and a metrics snapshot
+#     that real JSON parsers accept.
+#  2. A -DXPG_TELEMETRY=OFF tree compiles the whole library and test
+#     suite (the macros really collapse to no-ops) and still passes the
+#     Telemetry* tests, which use the classes directly.
+#  3. The OFF tree's fig20 run reports the same simulated ingest time
+#     (<2% drift allowed) — telemetry never charges SimClock, so the
+#     simulated-throughput numbers must not depend on the build flavor.
+if [[ "${XPG_TELEMETRY_STAGE:-1}" == "1" ]]; then
+    cmake --build "${build_dir}" -j "$(nproc)" --target xpgraph_cli
+    trace_json="${XPG_BENCH_TRACE_JSON:-${repo_root}/BENCH_trace.json}"
+    "${build_dir}/tools/xpgraph_cli" pipeline --dataset "${datasets[0]}" \
+        --sessions 4 --telemetry "${trace_json}"
+    python3 -m json.tool "${trace_json}" > /dev/null
+    python3 -m json.tool "${trace_json%.json}.metrics.json" > /dev/null
+    echo "telemetry: ${trace_json} and ${trace_json%.json}.metrics.json parse"
+
+    notel_dir="${build_dir}-notel"
+    cmake -B "${notel_dir}" -S "${repo_root}" -DXPG_TELEMETRY=OFF
+    cmake --build "${notel_dir}" -j "$(nproc)" \
+          --target fig20_ingest xpg_tests
+    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*'
+    notel_json="${repo_root}/BENCH_ingest_notel.json"
+    XPG_BENCH_INGEST_JSON="${notel_json}" \
+        "${notel_dir}/bench/fig20_ingest" "${datasets[0]}"
+    python3 - "${XPG_BENCH_INGEST_JSON}" "${notel_json}" <<'EOF'
+import json, sys
+on, off = (json.load(open(p)) for p in sys.argv[1:3])
+by_key = lambda doc: {(r["store"], r["sessions"]): r["ingest_ns"]
+                      for r in doc["rows"]}
+on_rows, off_rows = by_key(on), by_key(off)
+assert on_rows.keys() == off_rows.keys(), "row sets differ"
+# Individual multi-session rows are scheduling-sensitive (which client
+# triggers each inline archive phase varies run to run, with or without
+# telemetry), so bound the aggregate simulated ingest time: telemetry
+# never charges SimClock, and any real overhead would shift every row
+# the same way instead of washing out.
+on_total, off_total = sum(on_rows.values()), sum(off_rows.values())
+drift = abs(on_total - off_total) / max(off_total, 1)
+if drift > 0.02:
+    sys.exit(f"FAIL: telemetry simulated-time overhead {drift:.2%} "
+             f"({on_total} vs {off_total} total simulated ns)")
+print(f"telemetry overhead check passed (total simulated-time drift "
+      f"{drift:.4%} across {len(on_rows)} runs)")
+EOF
+fi
 
 echo
 echo "wrote ${XPG_BENCH_JSON}, ${XPG_BENCH_INGEST_JSON} and ${XPG_BENCH_RECOVERY_JSON}"

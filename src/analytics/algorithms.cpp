@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pmem/dram_device.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/sim_clock.hpp"
 
@@ -14,6 +15,18 @@ namespace xpg {
 namespace {
 
 thread_local std::vector<vid_t> t_nebrs;
+
+/** Record a finished kernel's simulated wall into the per-algorithm
+ *  latency histogram (no-op with telemetry OFF). */
+void
+noteKernel(const char *algo, uint64_t sim_ns)
+{
+    (void)algo;
+    XPG_TEL_RECORD(
+        XPG_TEL_HISTOGRAM("query.kernel_ns",
+                          (telemetry::Labels{.phase = algo})),
+        sim_ns);
+}
 
 /** Schedule matching the engine: the legacy vector path keeps its
  *  historical strided dealing; the visitor path lets the driver pick
@@ -33,6 +46,7 @@ runOneHop(GraphView &view, std::span<const vid_t> queries,
 {
     // Per-query cost is O(1) on the visitor path (degree cache), so
     // strided dealing is already balanced — skip the schedule build.
+    XPG_TRACE_SCOPE(kernelSpan, "onehop", "query");
     QueryDriver driver(view, num_threads, binding, SchedulePolicy::Strided);
     std::vector<uint64_t> partial(driver.numThreads(), 0);
 
@@ -52,6 +66,7 @@ runOneHop(GraphView &view, std::span<const vid_t> queries,
     result.touched = queries.size();
     for (uint64_t p : partial)
         result.checksum += p;
+    noteKernel("onehop", result.simNs);
     return result;
 }
 
@@ -61,6 +76,7 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
 {
     const vid_t nv = view.numVertices();
     XPG_ASSERT(root < nv, "BFS root out of range");
+    XPG_TRACE_SCOPE(kernelSpan, "bfs", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     auto visited = std::make_unique<std::atomic<uint8_t>[]>(nv);
@@ -115,6 +131,7 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
         result.touched += frontier.size();
     }
     result.checksum = result.touched;
+    noteKernel("bfs", result.simNs);
     return result;
 }
 
@@ -123,6 +140,7 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
             QueryBinding binding, QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
+    XPG_TRACE_SCOPE(kernelSpan, "pagerank", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     std::vector<double> contrib(nv, 0.0);
@@ -192,6 +210,7 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
         rank_sum += next[v];
     result.checksum = static_cast<uint64_t>(rank_sum * 1e6);
     result.touched = nv;
+    noteKernel("pagerank", result.simNs);
     return result;
 }
 
@@ -201,6 +220,7 @@ runConnectedComponents(GraphView &view, unsigned num_threads,
                        QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
+    XPG_TRACE_SCOPE(kernelSpan, "cc", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
     auto labels = std::make_unique<std::atomic<vid_t>[]>(nv);
@@ -247,6 +267,7 @@ runConnectedComponents(GraphView &view, unsigned num_threads,
             ++components;
     result.checksum = components;
     result.touched = nv;
+    noteKernel("cc", result.simNs);
     return result;
 }
 

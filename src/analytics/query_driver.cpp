@@ -15,6 +15,15 @@ QueryDriver::QueryDriver(GraphView &view, unsigned num_threads,
 {
     view_.declareQueryThreads(num_threads);
     perNode_.resize(std::max(1u, view_.numNodes()));
+    telRoundHist_ = XPG_TEL_HISTOGRAM(
+        "query.round_ns", (telemetry::Labels{.phase = "round"}));
+}
+
+void
+QueryDriver::noteRound(uint64_t round_ns)
+{
+    XPG_TEL_RECORD(telRoundHist_, round_ns);
+    XPG_TEL_TICK();
 }
 
 bool
@@ -176,6 +185,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
 {
     const unsigned workers = executor_.numWorkers();
     uint64_t round_ns = 0;
+    XPG_TRACE_SCOPE(roundSpan, "query_round", "query");
 
     if (binding_ == QueryBinding::PerVertex) {
         // Anti-pattern: rebind to the data's node before every vertex.
@@ -250,6 +260,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
     }
 
     totalNs_ += round_ns;
+    noteRound(round_ns);
     return round_ns;
 }
 
@@ -263,11 +274,13 @@ QueryDriver::forAllVertices(const std::function<void(vid_t, unsigned)> &fn)
         allPlan_ = Plan{};
     }
     if (binding_ != QueryBinding::PerVertex && balancedActive()) {
+        XPG_TRACE_SCOPE(roundSpan, "query_round", "query");
         uint64_t round_ns = 0;
         if (!allPlan_.built)
             round_ns += buildPlan(allVertices_, allPlan_);
         round_ns += runPlan(allPlan_, fn);
         totalNs_ += round_ns;
+        noteRound(round_ns);
         return round_ns;
     }
     return forEach(allVertices_, fn);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph_view.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace xpg {
@@ -107,6 +108,9 @@ class QueryDriver
                                           unsigned parts) const;
     uint64_t runPlan(const Plan &plan,
                      const std::function<void(vid_t, unsigned)> &fn);
+    /** Per-round telemetry: record the round's simulated ns and drive
+     *  the periodic-snapshot tick (both no-ops with telemetry OFF). */
+    void noteRound(uint64_t round_ns);
 
     GraphView &view_;
     QueryBinding binding_;
@@ -117,6 +121,7 @@ class QueryDriver
     Plan allPlan_; ///< cached balanced plan for forAllVertices
     Plan tmpPlan_; ///< per-call plan for frontier-style forEach
     uint64_t totalNs_ = 0;
+    telemetry::ShardedHistogram *telRoundHist_ = nullptr;
 };
 
 } // namespace xpg

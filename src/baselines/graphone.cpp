@@ -64,6 +64,10 @@ constexpr uint64_t kLogHeaderOff = 1024;
 /** Per-batch degree-increment scratch, reused across phases. */
 thread_local std::vector<vid_t> t_touched;
 
+/** Trace spans for chunked appends only: single-edge addEdge loops
+ *  would flood the ring with sub-noise events. */
+constexpr uint64_t kTraceAppendMinEdges = 64;
+
 void
 atomicFetchMax(std::atomic<uint64_t> &target, uint64_t value)
 {
@@ -86,7 +90,11 @@ class GraphOne::Session final : public IngestSession
   public:
     explicit Session(GraphOne &graph) : graph_(graph)
     {
-        graph_.openSession();
+        id_ = graph_.openSession();
+        telAppendHist_ = XPG_TEL_HISTOGRAM(
+            "ingest.session_append_ns",
+            (telemetry::Labels{.store = "graphone",
+                               .session = static_cast<int>(id_)}));
     }
 
     ~Session() override
@@ -97,8 +105,19 @@ class GraphOne::Session final : public IngestSession
     uint64_t
     addEdges(const Edge *edges, uint64_t n) override
     {
-        loggingNs_ += graph_.appendFromClient(edges, n, inlineArchiveNs_);
+        if (!threadNamed_) {
+            XPG_TEL_NAME_THREAD("g1-session-" + std::to_string(id_));
+            threadNamed_ = true;
+        }
+        const uint64_t traceStart = XPG_TEL_HOST_NOW();
+        const uint64_t ns =
+            graph_.appendFromClient(edges, n, inlineArchiveNs_);
+        loggingNs_ += ns;
         edgesLogged_ += n;
+        XPG_TEL_RECORD(telAppendHist_, ns);
+        if (n >= kTraceAppendMinEdges)
+            XPG_TRACE_EMIT("session_append", "ingest", traceStart,
+                           XPG_TEL_HOST_NOW() - traceStart, ns);
         return n;
     }
 
@@ -107,6 +126,9 @@ class GraphOne::Session final : public IngestSession
 
   private:
     GraphOne &graph_;
+    unsigned id_ = 0;
+    bool threadNamed_ = false;
+    telemetry::ShardedHistogram *telAppendHist_ = nullptr;
     uint64_t edgesLogged_ = 0;
     uint64_t loggingNs_ = 0;
     uint64_t inlineArchiveNs_ = 0;
@@ -246,6 +268,7 @@ GraphOne::GraphOne(const GraphOneConfig &config, bool recovering)
 
     executor_ =
         std::make_unique<ParallelExecutor>(config_.archiveThreads);
+    initTelemetry();
     out_.meta.resize(config_.maxVertices);
     in_.meta.resize(config_.maxVertices);
 
@@ -256,6 +279,29 @@ GraphOne::GraphOne(const GraphOneConfig &config, bool recovering)
 }
 
 GraphOne::~GraphOne() = default;
+
+void
+GraphOne::initTelemetry()
+{
+    // Handles resolve to nullptr with -DXPG_TELEMETRY=OFF (and the
+    // macros swallow every recording site, so they never dereference).
+    telAppendHist_ = XPG_TEL_HISTOGRAM(
+        "ingest.log_append_ns", (telemetry::Labels{.store = "graphone"}));
+    telArchivePhaseHist_ = XPG_TEL_HISTOGRAM(
+        "archive.archive_phase_ns",
+        (telemetry::Labels{.store = "graphone", .phase = "archive"}));
+    telRecoveryHist_ = XPG_TEL_HISTOGRAM(
+        "recovery.step_ns",
+        (telemetry::Labels{.store = "graphone", .phase = "rearchive"}));
+    telEdgesLogged_ = XPG_TEL_COUNTER(
+        "ingest.edges_logged", (telemetry::Labels{.store = "graphone"}));
+    telEdgesArchived_ = XPG_TEL_COUNTER(
+        "archive.edges_buffered",
+        (telemetry::Labels{.store = "graphone"}));
+    telArchivePhases_ = XPG_TEL_COUNTER(
+        "archive.buffering_phases",
+        (telemetry::Labels{.store = "graphone"}));
+}
 
 std::unique_ptr<GraphOne>
 GraphOne::recover(const GraphOneConfig &config)
@@ -273,7 +319,13 @@ GraphOne::recover(const GraphOneConfig &config)
         new GraphOne(config, /*recovering=*/true));
     // GraphOne recovery IS re-archiving: rebuild the DRAM adjacency
     // chains from the durable log window.
-    graph->archiveAll();
+    {
+        XPG_TRACE_SCOPE(recoverSpan, "recovery.rearchive_log",
+                        "recovery");
+        SimScope scope;
+        graph->archiveAll();
+        XPG_TEL_RECORD(graph->telRecoveryHist_, scope.elapsed());
+    }
     return graph;
 }
 
@@ -353,12 +405,14 @@ GraphOne::session(unsigned /*thread_hint*/)
     return std::make_unique<Session>(*this);
 }
 
-void
+unsigned
 GraphOne::openSession()
 {
     openSessions_.fetch_add(1, std::memory_order_relaxed);
-    sessionsOpened_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned id = static_cast<unsigned>(
+        sessionsOpened_.fetch_add(1, std::memory_order_relaxed) + 1);
     declareLogWriters();
+    return id;
 }
 
 void
@@ -505,14 +559,21 @@ GraphOne::appendFromClient(const Edge *edges, uint64_t n,
             }
             continue;
         }
+        const uint64_t traceStart = XPG_TEL_HOST_NOW();
         SimScope scope;
         writeLog(pos, edges + done, take);
         publishLog(pos, take);
-        logging_ns += scope.elapsed();
+        const uint64_t append_ns = scope.elapsed();
+        logging_ns += append_ns;
+        XPG_TEL_RECORD(telAppendHist_, append_ns);
+        if (take >= kTraceAppendMinEdges)
+            XPG_TRACE_EMIT("log_append", "ingest", traceStart,
+                           XPG_TEL_HOST_NOW() - traceStart, append_ns);
         done += take;
     }
     loggingNs_.fetch_add(logging_ns, std::memory_order_relaxed);
     edgesLogged_.fetch_add(n, std::memory_order_relaxed);
+    XPG_TEL_ADD(telEdgesLogged_, n);
     return logging_ns;
 }
 
@@ -641,6 +702,9 @@ GraphOne::runArchivePhaseLocked()
     if (from == to)
         return;
 
+    // Runs on whichever client crossed the threshold (GraphOne archives
+    // inline) — the trace shows it serializing that session's stream.
+    XPG_TRACE_SCOPE(phaseSpan, "archive_phase", "archive");
     SimScope serial_scope;
     batch_.clear();
     batch_.reserve(to - from);
@@ -684,11 +748,13 @@ GraphOne::runArchivePhaseLocked()
                static_cast<unsigned>(devices_.size()));
     for (auto &dev : devices_)
         dev->setDeclaredWriters(writers);
-    archivingNs_ += serial_scope.elapsed();
+    const uint64_t serial_ns = serial_scope.elapsed();
+    archivingNs_ += serial_ns;
 
     const ParallelResult result =
         executor_->run([this](unsigned w) { archiveWorker(w); });
-    archivingNs_ += result.maxNanos();
+    const uint64_t parallel_ns = result.maxNanos();
+    archivingNs_ += parallel_ns;
     // Between phases the stores come from the logging sessions (which
     // all target the shared log device).
     for (auto &dev : devices_)
@@ -698,6 +764,9 @@ GraphOne::runArchivePhaseLocked()
     archivedUpTo_.store(to, std::memory_order_release);
     edgesArchived_ += to - from;
     ++archivePhases_;
+    XPG_TEL_RECORD(telArchivePhaseHist_, serial_ns + parallel_ns);
+    XPG_TEL_ADD(telEdgesArchived_, to - from);
+    XPG_TEL_ADD(telArchivePhases_, 1);
 }
 
 // --- queries -----------------------------------------------------------------
@@ -842,6 +911,38 @@ GraphOne::stats() const
     s.bufferingPhases = archivePhases_.load(std::memory_order_relaxed);
     s.sessionsOpened = sessionsOpened_.load(std::memory_order_relaxed);
     return s;
+}
+
+IngestStats
+GraphOne::snapshotStats() const
+{
+    // Archive phases mutate archivingNs_/edgesArchived_/archivePhases_
+    // while holding archiveMutex_; taking it here keeps the copy from
+    // mixing a phase's partial updates.
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    return stats();
+}
+
+void
+GraphOne::publishTelemetry() const
+{
+    if (!telemetry::kEnabled)
+        return;
+    auto &tel = telemetry::Telemetry::instance();
+    const telemetry::Labels store{.store = "graphone"};
+    const IngestStats s = snapshotStats();
+    tel.gauge("ingest.logging_ns", store).set(s.loggingNs);
+    tel.gauge("ingest.logging_ns_max", store).set(s.loggingNsMax);
+    tel.gauge("ingest.client_ns_max", store).set(s.clientNsMax);
+    tel.gauge("ingest.ingest_ns", store).set(s.ingestNs());
+    tel.gauge("archive.buffering_ns", store).set(s.bufferingNs);
+    tel.gauge("ingest.edges_logged_total", store).set(s.edgesLogged);
+    tel.gauge("archive.edges_buffered_total", store).set(s.edgesBuffered);
+    tel.gauge("ingest.sessions_opened", store).set(s.sessionsOpened);
+    for (size_t i = 0; i < devices_.size(); ++i)
+        devices_[i]->publishTelemetry("graphone", static_cast<int>(i));
+    if (novaLogDevice_)
+        novaLogDevice_->publishTelemetry("graphone", /*node_label=*/-1);
 }
 
 MemoryUsage

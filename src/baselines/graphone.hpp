@@ -37,6 +37,7 @@
 #include "pmem/fault_plan.hpp"
 #include "pmem/memory_device.hpp"
 #include "pmem/pmem_allocator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 #include "util/spinlock.hpp"
 
@@ -151,6 +152,18 @@ class GraphOne : public GraphStore
     // --- introspection ---
     IngestStats stats() const;
     IngestStats ingestStats() const override { return stats(); }
+
+    /**
+     * Phase-consistent stats(): archive phases run under archiveMutex_
+     * and mutate several stat atomics mid-phase, so a concurrent
+     * stats() can mix instants; this serializes against them.
+     */
+    IngestStats snapshotStats() const override;
+
+    /** Push stats + per-device counters into the telemetry registry as
+     *  store="graphone" gauges (no-op with -DXPG_TELEMETRY=OFF). */
+    void publishTelemetry() const override;
+
     MemoryUsage memoryUsage() const override;
     PcmCounters pmemCounters() const override;
     const GraphOneConfig &config() const { return config_; }
@@ -181,6 +194,9 @@ class GraphOne : public GraphStore
     };
 
     GraphOne(const GraphOneConfig &config, bool recovering);
+
+    /** Resolve cached telemetry handles (null with telemetry OFF). */
+    void initTelemetry();
 
     MemoryDevice &interleavedDevice(uint64_t counter) const;
     std::string backingPath(unsigned node) const;
@@ -218,7 +234,8 @@ class GraphOne : public GraphStore
      *  @p inline_archive_ns. */
     uint64_t appendFromClient(const Edge *edges, uint64_t n,
                               uint64_t &inline_archive_ns);
-    void openSession();
+    /** @return this session's 1-based ordinal (for telemetry labels). */
+    unsigned openSession();
     void closeSession(uint64_t session_ns, uint64_t stream_ns);
     void declareLogWriters();
 
@@ -283,6 +300,14 @@ class GraphOne : public GraphStore
     std::atomic<uint64_t> archivePhases_{0};
     std::atomic<uint64_t> sessionsOpened_{0};
     std::atomic<unsigned> openSessions_{0};
+
+    // telemetry handles (null with -DXPG_TELEMETRY=OFF)
+    telemetry::ShardedHistogram *telAppendHist_ = nullptr;
+    telemetry::ShardedHistogram *telArchivePhaseHist_ = nullptr;
+    telemetry::ShardedHistogram *telRecoveryHist_ = nullptr;
+    telemetry::Counter *telEdgesLogged_ = nullptr;
+    telemetry::Counter *telEdgesArchived_ = nullptr;
+    telemetry::Counter *telArchivePhases_ = nullptr;
 };
 
 } // namespace xpg

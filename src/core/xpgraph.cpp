@@ -61,6 +61,10 @@ constexpr uint64_t kAllocTailOff = 512;
 
 thread_local std::vector<vid_t> t_rawRecords;
 
+/** Trace spans for chunked appends only: single-edge addEdge loops
+ *  would flood the ring with sub-noise events. */
+constexpr uint64_t kTraceAppendMinEdges = 64;
+
 void
 atomicFetchMax(std::atomic<uint64_t> &target, uint64_t value)
 {
@@ -126,7 +130,12 @@ class XPGraph::Session final : public IngestSession
   public:
     Session(XPGraph &graph, unsigned node) : graph_(graph), node_(node)
     {
-        graph_.openSession(node_);
+        id_ = graph_.openSession(node_);
+        telAppendHist_ = XPG_TEL_HISTOGRAM(
+            "ingest.session_append_ns",
+            (telemetry::Labels{.store = "xpgraph",
+                               .node = static_cast<int>(node_),
+                               .session = static_cast<int>(id_)}));
     }
 
     ~Session() override
@@ -137,11 +146,21 @@ class XPGraph::Session final : public IngestSession
     uint64_t
     addEdges(const Edge *edges, uint64_t n) override
     {
+        if (!threadNamed_) {
+            XPG_TEL_NAME_THREAD("session-" + std::to_string(id_));
+            threadNamed_ = true;
+        }
+        const uint64_t traceStart = XPG_TEL_HOST_NOW();
         const AppendCost cost =
             graph_.appendFromClient(node_, /*bind=*/true, edges, n);
         loggingNs_ += cost.loggingNs;
         streamNs_ += cost.streamNs();
         edgesLogged_ += n;
+        XPG_TEL_RECORD(telAppendHist_, cost.loggingNs);
+        if (n >= kTraceAppendMinEdges)
+            XPG_TRACE_EMIT("session_append", "ingest", traceStart,
+                           XPG_TEL_HOST_NOW() - traceStart,
+                           cost.streamNs());
         return n;
     }
 
@@ -152,6 +171,9 @@ class XPGraph::Session final : public IngestSession
   private:
     XPGraph &graph_;
     unsigned node_;
+    unsigned id_ = 0; ///< 1-based open order (stable telemetry label)
+    bool threadNamed_ = false;
+    telemetry::ShardedHistogram *telAppendHist_ = nullptr;
     uint64_t edgesLogged_ = 0;
     uint64_t loggingNs_ = 0;
     /// loggingNs_ plus archive phases this session coordinated inline
@@ -177,6 +199,8 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering,
 
     executor_ = std::make_unique<ParallelExecutor>(config_.archiveThreads);
 
+    initTelemetry();
+
     if (!initPartitions(recovering))
         return; // typed recovery failure: recover() reports and discards
 
@@ -196,6 +220,59 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering,
 
     if (config_.pipelinedArchiving)
         startArchiver();
+}
+
+void
+XPGraph::initTelemetry()
+{
+    // Handles resolve to nullptr when built with -DXPG_TELEMETRY=OFF
+    // (the macros swallow every recording site too, so the null
+    // pointers are never dereferenced).
+    telAppendHist_.resize(config_.numNodes, nullptr);
+    for (unsigned node = 0; node < config_.numNodes; ++node)
+        telAppendHist_[node] = XPG_TEL_HISTOGRAM(
+            "ingest.log_append_ns",
+            (telemetry::Labels{.store = "xpgraph",
+                               .node = static_cast<int>(node)}));
+    telBufferPhaseHist_ = XPG_TEL_HISTOGRAM(
+        "archive.buffering_phase_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = "buffering"}));
+    telFlushPhaseHist_ = XPG_TEL_HISTOGRAM(
+        "archive.flush_phase_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = "flushing"}));
+    telRecoveryRebuildHist_ = XPG_TEL_HISTOGRAM(
+        "recovery.step_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = "rebuild"}));
+    telRecoveryReplayHist_ = XPG_TEL_HISTOGRAM(
+        "recovery.step_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = "replay"}));
+    telEdgesLogged_ = XPG_TEL_COUNTER(
+        "ingest.edges_logged", (telemetry::Labels{.store = "xpgraph"}));
+    telEdgesBuffered_ = XPG_TEL_COUNTER(
+        "archive.edges_buffered",
+        (telemetry::Labels{.store = "xpgraph"}));
+    telBufferingPhases_ = XPG_TEL_COUNTER(
+        "archive.buffering_phases",
+        (telemetry::Labels{.store = "xpgraph"}));
+    telFlushPhases_ = XPG_TEL_COUNTER(
+        "archive.flush_phases", (telemetry::Labels{.store = "xpgraph"}));
+}
+
+void
+XPGraph::phaseEnterLocked()
+{
+    // Odd epoch = an archive phase is mutating the phase aggregates.
+    // Only the outermost phase flips it (buffering can nest a flush).
+    if (phaseDepth_++ == 0)
+        phaseEpoch_.fetch_add(1, std::memory_order_release);
+}
+
+void
+XPGraph::phaseExitLocked()
+{
+    XPG_ASSERT(phaseDepth_ > 0, "phase exit without enter");
+    if (--phaseDepth_ == 0)
+        phaseEpoch_.fetch_add(1, std::memory_order_release);
 }
 
 XPGraph::~XPGraph()
@@ -451,7 +528,11 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
     const unsigned p = config_.numNodes;
     std::vector<ChainScan> scans(
         static_cast<size_t>(config_.archiveThreads) * p);
-    auto result = executor_->run([&](unsigned w) {
+    ParallelResult result;
+    {
+        XPG_TRACE_SCOPE(rebuildSpan, "recovery.rebuild_chains",
+                        "recovery");
+        result = executor_->run([&](unsigned w) {
         forWorkerSlots(w, [&](unsigned node, unsigned local,
                               unsigned slots_here) {
             if (config_.bindThreads)
@@ -489,8 +570,10 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
                 }
             }
         });
-    });
+        });
+    }
     recoveryNs_ += result.maxNanos();
+    XPG_TEL_RECORD(telRecoveryRebuildHist_, result.maxNanos());
 
     // Merge the scans: repair the allocator tail wherever a durable
     // linked block sits past the persisted tail (its tail persist was
@@ -531,6 +614,7 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
     // the last consistent prefix, and one in the replay window (already
     // consumed by a buffering phase; cannot be truncated) is skipped.
     SimScope replay_scope;
+    XPG_TRACE_SCOPE(replaySpan, "recovery.replay_log", "recovery");
     const auto edge_ok = [&](const Edge &e) {
         return !isDelete(e.src) && rawVid(e.src) < config_.maxVertices &&
                rawVid(e.dst) < config_.maxVertices;
@@ -581,6 +665,7 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
         }
     }
     recoveryNs_ += replay_scope.elapsed();
+    XPG_TEL_RECORD(telRecoveryReplayHist_, replay_scope.elapsed());
 }
 
 std::shared_ptr<FaultInjector>
@@ -685,13 +770,15 @@ XPGraph::session(unsigned thread_hint)
                                      thread_hint % config_.numNodes);
 }
 
-void
+unsigned
 XPGraph::openSession(unsigned node)
 {
     parts_[node].sessions.fetch_add(1, std::memory_order_relaxed);
     openSessions_.fetch_add(1, std::memory_order_relaxed);
-    sessionsOpened_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned id = static_cast<unsigned>(
+        sessionsOpened_.fetch_add(1, std::memory_order_relaxed) + 1);
     declareIdleWriters();
+    return id;
 }
 
 void
@@ -754,14 +841,21 @@ XPGraph::appendFromClient(unsigned node, bool bind, const Edge *edges,
             waitForLogSpace(node, cost.inlineArchiveNs);
             continue;
         }
+        const uint64_t traceStart = XPG_TEL_HOST_NOW();
         SimScope scope;
         log.writeReserved(pos, edges + done, take);
         log.publish(pos, take);
-        cost.loggingNs += scope.elapsed();
+        const uint64_t appendNs = scope.elapsed();
+        cost.loggingNs += appendNs;
+        XPG_TEL_RECORD(telAppendHist_[node], appendNs);
+        if (take >= kTraceAppendMinEdges)
+            XPG_TRACE_EMIT("log_append", "ingest", traceStart,
+                           XPG_TEL_HOST_NOW() - traceStart, appendNs);
         done += take;
     }
     loggingNs_.fetch_add(cost.loggingNs, std::memory_order_relaxed);
     edgesLogged_.fetch_add(n, std::memory_order_relaxed);
+    XPG_TEL_ADD(telEdgesLogged_, n);
     return cost;
 }
 
@@ -804,6 +898,9 @@ XPGraph::waitForLogSpace(unsigned node, uint64_t &inline_ns)
     reclaimRequested_.store(true, std::memory_order_relaxed);
     archiveRequested_.store(true, std::memory_order_relaxed);
     archiveCv_.notify_one();
+    // Client stalled on a full log waiting for the pipelined archiver —
+    // the backpressure the trace timeline should make visible.
+    XPG_TRACE_SCOPE(waitSpan, "log_full_wait", "ingest");
     spaceCv_.wait(lock, [&] {
         return log.freeSlots() > 0 || archiverStop_;
     });
@@ -835,6 +932,7 @@ XPGraph::stopArchiver()
 void
 XPGraph::archiverLoop()
 {
+    XPG_TEL_NAME_THREAD("archiver");
     std::unique_lock<std::mutex> lock(archiveMutex_);
     while (!archiverStop_) {
         archiveCv_.wait(lock, [&] {
@@ -846,15 +944,19 @@ XPGraph::archiverLoop()
         archiveRequested_.store(false, std::memory_order_relaxed);
         const bool reclaim =
             reclaimRequested_.exchange(false, std::memory_order_relaxed);
-        runBufferingPhaseLocked(/*capped=*/true);
-        if (reclaim) {
-            // A session hit a full log: make sure space actually opened
-            // (battery mode frees at markBuffered; otherwise flush).
-            bool still_full = false;
-            for (const auto &part : parts_)
-                still_full |= part.log->freeSlots() == 0;
-            if (still_full)
-                runFlushAllLocked(/*release_buffers=*/false);
+        {
+            XPG_TRACE_SCOPE(drainSpan, "archiver_drain", "archive");
+            runBufferingPhaseLocked(/*capped=*/true);
+            if (reclaim) {
+                // A session hit a full log: make sure space actually
+                // opened (battery mode frees at markBuffered; otherwise
+                // flush).
+                bool still_full = false;
+                for (const auto &part : parts_)
+                    still_full |= part.log->freeSlots() == 0;
+                if (still_full)
+                    runFlushAllLocked(/*release_buffers=*/false);
+            }
         }
         spaceCv_.notify_all();
     }
@@ -978,6 +1080,10 @@ XPGraph::bufferWorker(unsigned w)
 void
 XPGraph::runBufferingPhaseLocked(bool capped)
 {
+    phaseEnterLocked();
+    XPG_TRACE_SCOPE(phaseSpan, "buffering_phase", "archive");
+    const uint64_t phaseStartNs =
+        bufferingNs_.load(std::memory_order_relaxed);
     SimScope serial_scope;
     batch_.clear();
     uint64_t total = 0;
@@ -998,8 +1104,10 @@ XPGraph::runBufferingPhaseLocked(bool capped)
         base[node] = total;
         total += to - from[node];
     }
-    if (total == 0)
+    if (total == 0) {
+        phaseExitLocked();
         return;
+    }
     batch_.resize(total);
     declareArchiveConcurrency();
     bufferingNs_ += serial_scope.elapsed();
@@ -1046,6 +1154,11 @@ XPGraph::runBufferingPhaseLocked(bool capped)
     }
     ++bufferingPhases_;
     edgesBuffered_ += total;
+    XPG_TEL_ADD(telBufferingPhases_, 1);
+    XPG_TEL_ADD(telEdgesBuffered_, total);
+    XPG_TEL_RECORD(telBufferPhaseHist_,
+                   bufferingNs_.load(std::memory_order_relaxed) -
+                       phaseStartNs);
 
     const uint64_t flush_threshold = static_cast<uint64_t>(
         config_.flushThresholdFrac *
@@ -1058,6 +1171,7 @@ XPGraph::runBufferingPhaseLocked(bool capped)
     const bool pool_pressure = pool_->nearlyFull();
     if (log_pressure || pool_pressure)
         runFlushAllLocked(/*release_buffers=*/pool_pressure);
+    phaseExitLocked();
 }
 
 // --- flushing ------------------------------------------------------------
@@ -1101,12 +1215,16 @@ XPGraph::flushWorker(unsigned w, bool release_buffers)
 void
 XPGraph::runFlushAllLocked(bool release_buffers)
 {
+    phaseEnterLocked();
+    XPG_TRACE_SCOPE(phaseSpan, "flush_phase", "archive");
     declareArchiveConcurrency();
     const ParallelResult result = executor_->run(
         [this, release_buffers](unsigned w) {
             flushWorker(w, release_buffers);
         });
     flushingNs_ += result.maxNanos();
+    XPG_TEL_RECORD(telFlushPhaseHist_, result.maxNanos());
+    XPG_TEL_ADD(telFlushPhases_, 1);
     declareIdleWriters();
     ++flushAllPhases_;
     // Durability fence: markFlushed lets the log reclaim these edges, so
@@ -1118,6 +1236,7 @@ XPGraph::runFlushAllLocked(bool release_buffers)
         part.dev->quiesce();
     for (auto &part : parts_)
         part.log->markFlushed(part.log->bufferedUpTo());
+    phaseExitLocked();
 }
 
 void
@@ -1528,6 +1647,50 @@ XPGraph::stats() const
     s.flushAllPhases = flushAllPhases_.load(std::memory_order_relaxed);
     s.sessionsOpened = sessionsOpened_.load(std::memory_order_relaxed);
     return s;
+}
+
+IngestStats
+XPGraph::snapshotStats() const
+{
+    // Optimistic epoch-validated read: retry while an archive phase is
+    // in flight (odd epoch) or one completed mid-copy (epoch moved).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const uint64_t e1 = phaseEpoch_.load(std::memory_order_acquire);
+        if ((e1 & 1) != 0)
+            continue;
+        const IngestStats s = stats();
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (phaseEpoch_.load(std::memory_order_relaxed) == e1)
+            return s;
+    }
+    // Phases are running back-to-back; serialize against them instead
+    // of spinning forever.
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    return stats();
+}
+
+void
+XPGraph::publishTelemetry() const
+{
+    if (!telemetry::kEnabled)
+        return;
+    auto &tel = telemetry::Telemetry::instance();
+    const telemetry::Labels store{.store = "xpgraph"};
+    const IngestStats s = snapshotStats();
+    tel.gauge("ingest.logging_ns", store).set(s.loggingNs);
+    tel.gauge("ingest.logging_ns_max", store).set(s.loggingNsMax);
+    tel.gauge("ingest.client_ns_max", store).set(s.clientNsMax);
+    tel.gauge("ingest.ingest_ns", store).set(s.ingestNs());
+    tel.gauge("archive.buffering_ns", store).set(s.bufferingNs);
+    tel.gauge("archive.flushing_ns", store).set(s.flushingNs);
+    tel.gauge("recovery.recovery_ns", store).set(s.recoveryNs);
+    tel.gauge("ingest.edges_logged_total", store).set(s.edgesLogged);
+    tel.gauge("archive.edges_buffered_total", store).set(s.edgesBuffered);
+    tel.gauge("archive.vbuf_flushes", store).set(s.vbufFlushes);
+    tel.gauge("ingest.sessions_opened", store).set(s.sessionsOpened);
+    for (unsigned node = 0; node < config_.numNodes; ++node)
+        parts_[node].dev->publishTelemetry("xpgraph",
+                                           static_cast<int>(node));
 }
 
 MemoryUsage

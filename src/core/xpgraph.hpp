@@ -51,6 +51,7 @@
 #include "graph/types.hpp"
 #include "mempool/vertex_buffer_pool.hpp"
 #include "pmem/pcm_counters.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace xpg {
@@ -208,6 +209,24 @@ class XPGraph : public GraphStore
 
     IngestStats stats() const;
     IngestStats ingestStats() const override { return stats(); }
+
+    /**
+     * Phase-consistent stats(): validates the archive-phase epoch
+     * around the field reads, so the copy never mixes a phase's
+     * partial updates (counter bumped, ns not yet added). Lock-free
+     * unless phases run back-to-back, then falls back to the archive
+     * lock. Works identically with telemetry compiled out.
+     */
+    IngestStats snapshotStats() const override;
+
+    /**
+     * Push the cumulative stats and every partition device's traffic
+     * counters into the telemetry registry as labeled gauges (no-op
+     * when built with -DXPG_TELEMETRY=OFF). Call before exporting a
+     * snapshot.
+     */
+    void publishTelemetry() const override;
+
     MemoryUsage memoryUsage() const override;
     /** Aggregate device counters (PCM-equivalent, Fig.13). */
     PcmCounters pmemCounters() const override;
@@ -336,7 +355,8 @@ class XPGraph : public GraphStore
      *  inline mode adds the phases this client ran to @p inline_ns. */
     void waitForLogSpace(unsigned node, uint64_t &inline_ns);
 
-    void openSession(unsigned node);
+    /** @return this session's unique id (1-based open order). */
+    unsigned openSession(unsigned node);
     void closeSession(unsigned node, uint64_t logging_ns,
                       uint64_t stream_ns);
 
@@ -404,6 +424,14 @@ class XPGraph : public GraphStore
     void growBuffer(VertexState &st);
     void flushVertex(Side &side, uint64_t slot, VertexState &st);
 
+    // --- telemetry / snapshot consistency ---
+
+    /** Resolve the cached metric/histogram handles (constructor). */
+    void initTelemetry();
+    /** Outermost-phase epoch bump; caller holds archiveMutex_. */
+    void phaseEnterLocked();
+    void phaseExitLocked();
+
     // query helpers
     template <typename F>
     uint32_t forEachLive(const Side *side, uint64_t slot, F &&fn) const;
@@ -461,6 +489,27 @@ class XPGraph : public GraphStore
     std::atomic<uint64_t> vbufFlushes_{0};
     std::atomic<uint64_t> sessionsOpened_{0};
     std::atomic<unsigned> openSessions_{0};
+
+    /**
+     * Archive-phase epoch for snapshotStats(): odd while an archive
+     * phase (buffering/flush, possibly nested) is running, even when
+     * quiescent. phaseDepth_ tracks the nesting and is guarded by
+     * archiveMutex_ like the phases themselves.
+     */
+    std::atomic<uint64_t> phaseEpoch_{0};
+    unsigned phaseDepth_ = 0;
+
+    // cached telemetry handles (null when -DXPG_TELEMETRY=OFF); the
+    // per-node append histograms are indexed by partition.
+    std::vector<telemetry::ShardedHistogram *> telAppendHist_;
+    telemetry::ShardedHistogram *telBufferPhaseHist_ = nullptr;
+    telemetry::ShardedHistogram *telFlushPhaseHist_ = nullptr;
+    telemetry::ShardedHistogram *telRecoveryRebuildHist_ = nullptr;
+    telemetry::ShardedHistogram *telRecoveryReplayHist_ = nullptr;
+    telemetry::Counter *telEdgesLogged_ = nullptr;
+    telemetry::Counter *telEdgesBuffered_ = nullptr;
+    telemetry::Counter *telBufferingPhases_ = nullptr;
+    telemetry::Counter *telFlushPhases_ = nullptr;
 };
 
 } // namespace xpg

@@ -108,8 +108,29 @@ class GraphStore : public GraphView
     // --- Introspection ---
 
     virtual IngestStats ingestStats() const = 0;
+
+    /**
+     * Phase-consistent ingestStats(): safe to call while sessions and
+     * the archiver are live. ingestStats() reads the relaxed stat
+     * fields one by one, so a concurrent archive phase can leave the
+     * copy mixing instants (e.g. bufferingPhases incremented but the
+     * phase's bufferingNs not yet added); implementations override
+     * this to read outside any in-flight phase (epoch validation in
+     * XPGraph, the archive lock in GraphOne). Single-threaded callers
+     * can keep using ingestStats().
+     */
+    virtual IngestStats snapshotStats() const { return ingestStats(); }
+
     virtual PcmCounters pmemCounters() const = 0;
     virtual MemoryUsage memoryUsage() const = 0;
+
+    /**
+     * Publish this store's cumulative stats and per-device counters
+     * into the telemetry registry as gauges (no-op by default and with
+     * -DXPG_TELEMETRY=OFF). Exporters call this right before taking a
+     * metrics snapshot so gauges reflect the moment of export.
+     */
+    virtual void publishTelemetry() const {}
 };
 
 } // namespace xpg

@@ -85,6 +85,15 @@ struct CostParams
             return 1.0;
         return 1.0 + slope * static_cast<double>(accessors - fair);
     }
+
+    /** A scaled cost rounded exactly like SimClock::chargeScaled, so a
+     *  site can charge the clock and record the same value elsewhere
+     *  (e.g. a telemetry histogram) without rounding drift. */
+    static uint64_t
+    scaledNs(uint64_t ns, double mult)
+    {
+        return static_cast<uint64_t>(static_cast<double>(ns) * mult + 0.5);
+    }
 };
 
 /** Process-wide default parameters (mutable for calibration experiments). */

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "pmem/numa_topology.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
@@ -112,6 +113,24 @@ MemoryDevice::counters() const
     c.bufferHits = bufferHits_.load(std::memory_order_relaxed);
     c.remoteAccesses = remoteAccesses_.load(std::memory_order_relaxed);
     return c;
+}
+
+void
+MemoryDevice::publishTelemetry(const char *store, int node_label) const
+{
+    if (!telemetry::kEnabled)
+        return;
+    auto &tel = telemetry::Telemetry::instance();
+    const telemetry::Labels labels{.store = store, .node = node_label};
+    const PcmCounters c = counters();
+    tel.gauge("pmem.app_bytes_read", labels).set(c.appBytesRead);
+    tel.gauge("pmem.app_bytes_written", labels).set(c.appBytesWritten);
+    tel.gauge("pmem.media_bytes_read", labels).set(c.mediaBytesRead);
+    tel.gauge("pmem.media_bytes_written", labels).set(c.mediaBytesWritten);
+    tel.gauge("pmem.media_read_ops", labels).set(c.mediaReadOps);
+    tel.gauge("pmem.media_write_ops", labels).set(c.mediaWriteOps);
+    tel.gauge("pmem.buffer_hits", labels).set(c.bufferHits);
+    tel.gauge("pmem.remote_accesses", labels).set(c.remoteAccesses);
 }
 
 } // namespace xpg

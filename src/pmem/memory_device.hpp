@@ -164,6 +164,13 @@ class MemoryDevice
     /** Snapshot of cumulative traffic counters. */
     PcmCounters counters() const;
 
+    /**
+     * Publish counters() into the telemetry registry as per-node
+     * gauges labeled {store, node} (no-op with -DXPG_TELEMETRY=OFF).
+     * Engines call this from their publishTelemetry() hook.
+     */
+    void publishTelemetry(const char *store, int node_label) const;
+
     /** msync the backing (before a simulated crash). */
     void syncBacking() { backing_.sync(); }
 

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "util/json_writer.hpp"
+
 namespace xpg {
 
 /** Snapshot of a device's cumulative traffic counters. */
@@ -54,6 +56,14 @@ struct PcmCounters
         return *this;
     }
 
+    PcmCounters
+    operator+(const PcmCounters &o) const
+    {
+        PcmCounters s = *this;
+        s += o;
+        return s;
+    }
+
     /** Read amplification: media bytes read per app byte written+read. */
     double
     readAmplification() const
@@ -70,6 +80,28 @@ struct PcmCounters
         const uint64_t denom = appBytesWritten ? appBytesWritten : 1;
         return static_cast<double>(mediaBytesWritten) /
                static_cast<double>(denom);
+    }
+
+    /**
+     * Export for bench reports and telemetry snapshots: raw counters
+     * plus the derived amplification factors, so per-node deltas can
+     * be merged (operator+) and emitted without bench-side formatting.
+     */
+    json::JsonValue
+    toJson() const
+    {
+        json::JsonValue v = json::JsonValue::object();
+        v.set("app_bytes_read", appBytesRead);
+        v.set("app_bytes_written", appBytesWritten);
+        v.set("media_bytes_read", mediaBytesRead);
+        v.set("media_bytes_written", mediaBytesWritten);
+        v.set("media_read_ops", mediaReadOps);
+        v.set("media_write_ops", mediaWriteOps);
+        v.set("buffer_hits", bufferHits);
+        v.set("remote_accesses", remoteAccesses);
+        v.set("read_amplification", readAmplification());
+        v.set("write_amplification", writeAmplification());
+        return v;
     }
 };
 

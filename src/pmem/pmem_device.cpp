@@ -18,6 +18,17 @@ PmemDevice::PmemDevice(std::string name, uint64_t capacity, int node,
       buffer_(buffer_config),
       params_(params ? params : &globalCostParams())
 {
+    initTelemetryHandles();
+}
+
+void
+PmemDevice::initTelemetryHandles()
+{
+    telWritebackHist_ = XPG_TEL_HISTOGRAM(
+        "pmem.xpline_writeback_ns",
+        (telemetry::Labels{.node = node()}));
+    telMediaReadHist_ = XPG_TEL_HISTOGRAM(
+        "pmem.xpline_read_ns", (telemetry::Labels{.node = node()}));
 }
 
 void
@@ -34,7 +45,10 @@ PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
     if (out.rmwRead) {
         mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
-        SimClock::chargeScaled(p.pmemMediaReadNs, remote);
+        const uint64_t readNs = CostParams::scaledNs(p.pmemMediaReadNs,
+                                                     remote);
+        SimClock::charge(readNs);
+        XPG_TEL_RECORD(telMediaReadHist_, readNs);
     }
     if (out.evictWrite) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
@@ -45,7 +59,10 @@ PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
                                           : p.pmemWriteContentionSlope;
         const double contention = CostParams::contentionMult(
             declaredWriters(), p.pmemWriteFairThreads, slope);
-        SimClock::chargeScaled(base, remote * contention);
+        const uint64_t writeNs =
+            CostParams::scaledNs(base, remote * contention);
+        SimClock::charge(writeNs);
+        XPG_TEL_RECORD(telWritebackHist_, writeNs);
     }
 }
 
@@ -66,14 +83,19 @@ PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
         const double contention = CostParams::contentionMult(
             declaredReaders(), p.pmemReadFairThreads,
             p.pmemReadContentionSlope);
-        SimClock::chargeScaled(p.pmemMediaReadNs, remote * contention);
+        const uint64_t readNs =
+            CostParams::scaledNs(p.pmemMediaReadNs, remote * contention);
+        SimClock::charge(readNs);
+        XPG_TEL_RECORD(telMediaReadHist_, readNs);
     }
     if (out.evictWrite) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
         const uint64_t base =
             out.evictSeq ? p.pmemMediaWriteSeqNs : p.pmemMediaWriteNs;
-        SimClock::chargeScaled(base, remote);
+        const uint64_t writeNs = CostParams::scaledNs(base, remote);
+        SimClock::charge(writeNs);
+        XPG_TEL_RECORD(telWritebackHist_, writeNs);
     }
 }
 

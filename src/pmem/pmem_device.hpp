@@ -18,6 +18,7 @@
 #include "pmem/memory_device.hpp"
 #include "pmem/xpbuffer.hpp"
 #include "pmem/xpline.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/spinlock.hpp"
 
 namespace xpg {
@@ -75,6 +76,12 @@ class PmemDevice : public MemoryDevice
   private:
     using LineImage = std::array<std::byte, kXPLineSize>;
 
+    /** Lazily-resolved per-node telemetry histograms (null with
+     *  -DXPG_TELEMETRY=OFF): modeled ns of each XPLine media
+     *  write-back / fetch, the per-operation view under the phase
+     *  aggregates. */
+    void initTelemetryHandles();
+
     void chargeStoreOutcome(const XPAccessOutcome &out);
     void chargeLoadOutcome(const XPAccessOutcome &out);
     void chargeRead(uint64_t off, uint64_t size);
@@ -96,6 +103,9 @@ class PmemDevice : public MemoryDevice
      */
     std::unordered_map<uint64_t, LineImage> shadow_;
     std::shared_ptr<FaultInjector> faults_;
+
+    telemetry::ShardedHistogram *telWritebackHist_ = nullptr;
+    telemetry::ShardedHistogram *telMediaReadHist_ = nullptr;
 };
 
 } // namespace xpg

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Log2-bucketed latency histograms.
+ *
+ * Two layers:
+ *
+ *  - Histogram: a plain, single-threaded histogram of uint64 samples
+ *    (simulated nanoseconds throughout this codebase). Bucket b holds
+ *    samples whose bit width is b, i.e. bucket 0 is {0}, bucket 1 is
+ *    {1}, bucket 2 is [2,3], bucket 3 is [4,7], ... — 65 buckets cover
+ *    the full uint64 range. Quantiles interpolate linearly inside the
+ *    winning bucket and are clamped to the observed max, which keeps
+ *    p99 honest for spiky distributions.
+ *
+ *  - ShardedHistogram: the concurrent recording front. Each recording
+ *    thread lazily acquires a private shard (relaxed-atomic buckets so
+ *    a concurrent snapshot() is race-free under TSAN); snapshot()
+ *    merges all shards into a plain Histogram. The hot path is one
+ *    thread-local vector lookup plus three relaxed atomic adds — no
+ *    locks, no CAS loops.
+ *
+ * Shards are never deallocated while the process lives (resetValues()
+ * zeroes them instead), so thread-local shard caches can never dangle
+ * even if threads outlive the registry contents.
+ */
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace xpg::telemetry {
+
+/// Plain mergeable log2 histogram (not thread-safe; produced by
+/// ShardedHistogram::snapshot() or used directly in tests/exporters).
+struct Histogram
+{
+    static constexpr unsigned kBuckets = 65;
+
+    uint64_t buckets[kBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t maxValue = 0;
+
+    /// Bucket index for a sample: 0 -> 0, otherwise bit_width(v).
+    static unsigned bucketFor(uint64_t v)
+    {
+        return v == 0 ? 0u : static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /// Smallest sample landing in bucket b.
+    static uint64_t bucketLo(unsigned b)
+    {
+        return b <= 1 ? (b == 0 ? 0u : 1u) : uint64_t{1} << (b - 1);
+    }
+
+    /// Largest sample landing in bucket b.
+    static uint64_t bucketHi(unsigned b)
+    {
+        if (b <= 1)
+            return b;
+        if (b >= 64)
+            return ~uint64_t{0};
+        return (uint64_t{1} << b) - 1;
+    }
+
+    void record(uint64_t v)
+    {
+        ++buckets[bucketFor(v)];
+        ++count;
+        sum += v;
+        if (v > maxValue)
+            maxValue = v;
+    }
+
+    void merge(const Histogram &other)
+    {
+        for (unsigned b = 0; b < kBuckets; ++b)
+            buckets[b] += other.buckets[b];
+        count += other.count;
+        sum += other.sum;
+        if (other.maxValue > maxValue)
+            maxValue = other.maxValue;
+    }
+
+    double mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+
+    /// Quantile estimate for q in [0,1]: walks the cumulative counts,
+    /// interpolates within the winning bucket, clamps to maxValue.
+    double quantile(double q) const;
+
+    /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+    json::JsonValue toJson() const;
+};
+
+/// Concurrent recording front: per-thread shards of relaxed atomics.
+class ShardedHistogram
+{
+  public:
+    ShardedHistogram();
+    ~ShardedHistogram() = default;
+
+    ShardedHistogram(const ShardedHistogram &) = delete;
+    ShardedHistogram &operator=(const ShardedHistogram &) = delete;
+
+    /// Record one sample. Lock-free after the calling thread's first
+    /// record into this histogram (which allocates its shard).
+    void record(uint64_t v)
+    {
+        Shard &s = localShard();
+        s.buckets[Histogram::bucketFor(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        uint64_t seen = s.maxValue.load(std::memory_order_relaxed);
+        while (v > seen && !s.maxValue.compare_exchange_weak(
+                               seen, v, std::memory_order_relaxed))
+            ;
+    }
+
+    /// Merge every shard into a plain histogram. Safe concurrently
+    /// with record(); sees each sample's fields independently (a
+    /// sample racing the snapshot may contribute partially — counts
+    /// settle by the next quiescent snapshot).
+    Histogram snapshot() const;
+
+    /// Zero all shards in place (shards stay allocated so cached
+    /// thread-local pointers never dangle).
+    void resetValues();
+
+  private:
+    struct Shard
+    {
+        std::atomic<uint64_t> buckets[Histogram::kBuckets] = {};
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sum{0};
+        std::atomic<uint64_t> maxValue{0};
+    };
+
+    Shard &localShard();
+
+    /// Process-wide id used to index the per-thread shard cache.
+    const uint32_t id_;
+
+    mutable std::mutex mu_; ///< guards shards_ growth
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace xpg::telemetry

@@ -1,0 +1,107 @@
+#include "telemetry/metrics.hpp"
+
+namespace xpg::telemetry {
+
+std::string
+MetricsRegistry::keyFor(std::string_view name, const Labels &labels)
+{
+    std::string key;
+    key.reserve(name.size() + 32);
+    key.append(name);
+    key.push_back('\0');
+    if (labels.store != nullptr)
+        key.append(labels.store);
+    key.push_back('\0');
+    key.append(std::to_string(labels.node));
+    key.push_back('\0');
+    key.append(std::to_string(labels.session));
+    key.push_back('\0');
+    if (labels.phase != nullptr)
+        key.append(labels.phase);
+    return key;
+}
+
+Counter &
+MetricsRegistry::findOrCreate(std::string_view name, const Labels &labels,
+                              MetricKind kind)
+{
+    const std::string key = keyFor(name, labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second->cell;
+    entries_.emplace_back();
+    Entry &e = entries_.back();
+    e.info.name.assign(name);
+    e.info.kind = kind;
+    e.info.store = labels.store != nullptr ? labels.store : "";
+    e.info.node = labels.node;
+    e.info.session = labels.session;
+    e.info.phase = labels.phase != nullptr ? labels.phase : "";
+    index_.emplace(key, &e);
+    return e.cell;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name, const Labels &labels)
+{
+    return findOrCreate(name, labels, MetricKind::Counter);
+}
+
+Counter &
+MetricsRegistry::gauge(std::string_view name, const Labels &labels)
+{
+    return findOrCreate(name, labels, MetricKind::Gauge);
+}
+
+void
+MetricsRegistry::forEach(
+    const std::function<void(const MetricInfo &, uint64_t)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry &e : entries_)
+        fn(e.info, e.cell.value());
+}
+
+void
+MetricsRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry &e : entries_)
+        e.cell.set(0);
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+json::JsonValue
+MetricsRegistry::toJson() const
+{
+    json::JsonValue arr = json::JsonValue::array();
+    forEach([&arr](const MetricInfo &info, uint64_t value) {
+        json::JsonValue m = json::JsonValue::object();
+        m.set("name", info.name);
+        m.set("kind",
+              info.kind == MetricKind::Counter ? "counter" : "gauge");
+        json::JsonValue labels = json::JsonValue::object();
+        if (!info.store.empty())
+            labels.set("store", info.store);
+        if (info.node >= 0)
+            labels.set("node", info.node);
+        if (info.session >= 0)
+            labels.set("session", info.session);
+        if (!info.phase.empty())
+            labels.set("phase", info.phase);
+        if (labels.size() != 0)
+            m.set("labels", std::move(labels));
+        m.set("value", value);
+        arr.push(std::move(m));
+    });
+    return arr;
+}
+
+} // namespace xpg::telemetry

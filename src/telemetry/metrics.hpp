@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Named metrics registry: relaxed-atomic counters and gauges with
+ * hierarchical labels (store, NUMA node, session, phase).
+ *
+ * Registration (looking a metric up by name+labels) takes a mutex and
+ * returns a stable Counter& whose address never moves for the life of
+ * the registry; hot paths cache the pointer once and then mutate it
+ * with single relaxed atomic ops. This is the same split the device
+ * cost model uses: locked slow path to wire things up, lock-free
+ * counters on the data path.
+ *
+ * Counters are monotonic adders (ingest.edges_logged); gauges are
+ * set-to-latest values (pmem.media_bytes_written published from the
+ * device counters at snapshot time). Both share the Counter storage —
+ * the kind only changes how exporters label them.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/json_writer.hpp"
+
+namespace xpg::telemetry {
+
+/// Label set attached to a metric at registration time. Unset fields
+/// (nullptr / -1) are omitted from exports. The char pointers are
+/// copied into owned strings on registration, so string literals and
+/// temporaries are both fine.
+struct Labels
+{
+    const char *store = nullptr; ///< "xpgraph", "graphone", ...
+    int node = -1;               ///< NUMA node index
+    int session = -1;            ///< ingest session id
+    const char *phase = nullptr; ///< "logging", "buffering", ...
+};
+
+/// One relaxed-atomic cell. Stable address once registered.
+class Counter
+{
+  public:
+    void add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    void set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void max(uint64_t v)
+    {
+        uint64_t seen = value_.load(std::memory_order_relaxed);
+        while (v > seen && !value_.compare_exchange_weak(
+                               seen, v, std::memory_order_relaxed))
+            ;
+    }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+enum class MetricKind { Counter, Gauge };
+
+/// Export-time view of one registered metric.
+struct MetricInfo
+{
+    std::string name;
+    MetricKind kind;
+    std::string store; ///< empty when unset
+    int node;          ///< -1 when unset
+    int session;       ///< -1 when unset
+    std::string phase; ///< empty when unset
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /// Find-or-create. The returned reference stays valid for the
+    /// registry's lifetime; repeated calls with equal name+labels
+    /// return the same cell.
+    Counter &counter(std::string_view name, const Labels &labels = {});
+    Counter &gauge(std::string_view name, const Labels &labels = {});
+
+    /// Visit every registered metric (locked; values read relaxed).
+    void forEach(
+        const std::function<void(const MetricInfo &, uint64_t)> &fn) const;
+
+    /// Zero every value, keeping registrations (and thus cached
+    /// Counter pointers) intact.
+    void resetValues();
+
+    size_t size() const;
+
+    /// [{"name":..,"kind":..,"labels":{..},"value":..}, ...] sorted by
+    /// registration order.
+    json::JsonValue toJson() const;
+
+  private:
+    struct Entry
+    {
+        MetricInfo info;
+        Counter cell;
+    };
+
+    Counter &findOrCreate(std::string_view name, const Labels &labels,
+                          MetricKind kind);
+
+    static std::string keyFor(std::string_view name, const Labels &labels);
+
+    mutable std::mutex mu_;
+    std::deque<Entry> entries_; ///< deque: stable element addresses
+    std::unordered_map<std::string, Entry *> index_;
+};
+
+} // namespace xpg::telemetry

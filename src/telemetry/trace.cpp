@@ -1,0 +1,238 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "util/sim_clock.hpp"
+
+namespace xpg::telemetry {
+
+namespace {
+
+std::atomic<uint32_t> g_nextThreadId{0};
+
+thread_local uint32_t t_threadId = 0; ///< 0 = unassigned; ids start at 1
+
+/// tid -> display name, plus interned dynamic strings. Registration
+/// paths only; never on the event hot path.
+struct NameTables
+{
+    std::mutex mu;
+    std::map<uint32_t, std::string> threadNames;
+    std::deque<std::string> interned;
+};
+
+NameTables &
+nameTables()
+{
+    static NameTables tables;
+    return tables;
+}
+
+} // namespace
+
+uint64_t
+hostNowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             epoch)
+            .count());
+}
+
+uint32_t
+currentThreadId()
+{
+    if (t_threadId == 0)
+        t_threadId = g_nextThreadId.fetch_add(1, std::memory_order_relaxed) + 1;
+    return t_threadId;
+}
+
+void
+nameCurrentThread(const std::string &name)
+{
+    NameTables &tables = nameTables();
+    std::lock_guard<std::mutex> lock(tables.mu);
+    tables.threadNames[currentThreadId()] = name;
+}
+
+const char *
+internString(const std::string &s)
+{
+    NameTables &tables = nameTables();
+    std::lock_guard<std::mutex> lock(tables.mu);
+    tables.interned.push_back(s);
+    return tables.interned.back().c_str();
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity))
+{
+}
+
+void
+TraceBuffer::emit(const char *name, const char *cat, char ph, uint64_t tsNs,
+                  uint64_t durNs, uint64_t simNs)
+{
+    const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[ticket % capacity_];
+    const uint64_t claim = 2 * ticket + 1;
+
+    // Claim the slot unless a newer ticket already owns it (a stalled
+    // writer that lost a full ring lap drops its event instead of
+    // corrupting the newer one).
+    uint64_t cur = slot.seq.load(std::memory_order_relaxed);
+    for (;;) {
+        if (cur >= claim)
+            return;
+        if (slot.seq.compare_exchange_weak(cur, claim,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+            break;
+    }
+
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.cat.store(cat, std::memory_order_relaxed);
+    slot.ph.store(ph, std::memory_order_relaxed);
+    slot.tid.store(currentThreadId(), std::memory_order_relaxed);
+    slot.tsNs.store(tsNs, std::memory_order_relaxed);
+    slot.durNs.store(durNs, std::memory_order_relaxed);
+    slot.simNs.store(simNs, std::memory_order_relaxed);
+
+    // Publish — CAS so a newer claimant that raced in is not marked
+    // consistent with our (torn) payload.
+    uint64_t expected = claim;
+    slot.seq.compare_exchange_strong(expected, claim + 1,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed);
+}
+
+void
+TraceBuffer::emitComplete(const char *name, const char *cat, uint64_t tsNs,
+                          uint64_t durNs, uint64_t simNs)
+{
+    emit(name, cat, 'X', tsNs, durNs, simNs);
+}
+
+void
+TraceBuffer::emitInstant(const char *name, const char *cat, uint64_t tsNs,
+                         uint64_t simNs)
+{
+    emit(name, cat, 'i', tsNs, 0, simNs);
+}
+
+std::vector<TraceEventView>
+TraceBuffer::collect() const
+{
+    std::vector<TraceEventView> out;
+    out.reserve(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+        const Slot &slot = slots_[i];
+        const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 == 0 || (s1 & 1) != 0)
+            continue; // empty or write in flight
+        TraceEventView ev;
+        ev.ticket = s1 / 2 - 1;
+        ev.name = slot.name.load(std::memory_order_relaxed);
+        ev.cat = slot.cat.load(std::memory_order_relaxed);
+        ev.ph = slot.ph.load(std::memory_order_relaxed);
+        ev.tid = slot.tid.load(std::memory_order_relaxed);
+        ev.tsNs = slot.tsNs.load(std::memory_order_relaxed);
+        ev.durNs = slot.durNs.load(std::memory_order_relaxed);
+        ev.simNs = slot.simNs.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != s1)
+            continue; // torn by a concurrent writer
+        if (ev.name == nullptr || ev.cat == nullptr)
+            continue;
+        out.push_back(ev);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEventView &a, const TraceEventView &b) {
+                  return a.ticket < b.ticket;
+              });
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    for (size_t i = 0; i < capacity_; ++i)
+        slots_[i].seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+}
+
+json::JsonValue
+TraceBuffer::toJson() const
+{
+    json::JsonValue events = json::JsonValue::array();
+
+    {
+        NameTables &tables = nameTables();
+        std::lock_guard<std::mutex> lock(tables.mu);
+        for (const auto &[tid, name] : tables.threadNames) {
+            json::JsonValue meta = json::JsonValue::object();
+            meta.set("name", "thread_name");
+            meta.set("ph", "M");
+            meta.set("pid", 1);
+            meta.set("tid", tid);
+            json::JsonValue args = json::JsonValue::object();
+            args.set("name", name);
+            meta.set("args", std::move(args));
+            events.push(std::move(meta));
+        }
+    }
+
+    for (const TraceEventView &ev : collect()) {
+        json::JsonValue e = json::JsonValue::object();
+        e.set("name", ev.name);
+        e.set("cat", ev.cat);
+        e.set("ph", std::string(1, ev.ph));
+        e.set("pid", 1);
+        e.set("tid", ev.tid);
+        // Chrome trace timestamps are microseconds; keep sub-us detail
+        // in the fraction.
+        e.set("ts", static_cast<double>(ev.tsNs) / 1000.0);
+        if (ev.ph == 'X')
+            e.set("dur", static_cast<double>(ev.durNs) / 1000.0);
+        else
+            e.set("s", "t"); // instant scope: thread
+        json::JsonValue args = json::JsonValue::object();
+        args.set("sim_ns", ev.simNs);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+    }
+
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ns");
+    doc.set("otherData",
+            json::JsonValue::object()
+                .set("emitted", emitted())
+                .set("capacity", static_cast<uint64_t>(capacity_)));
+    return doc;
+}
+
+TraceScope::TraceScope(TraceBuffer *buffer, const char *name, const char *cat)
+    : buffer_(buffer), name_(name), cat_(cat),
+      startNs_(buffer != nullptr ? hostNowNs() : 0),
+      startSimNs_(buffer != nullptr ? SimClock::now() : 0)
+{
+}
+
+TraceScope::~TraceScope()
+{
+    if (buffer_ == nullptr)
+        return;
+    const uint64_t now = hostNowNs();
+    buffer_->emitComplete(name_, cat_, startNs_, now - startNs_,
+                          SimClock::now() - startSimNs_);
+}
+
+} // namespace xpg::telemetry

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Bounded lock-free trace-event ring buffer with Chrome trace_event
+ * JSON export (loadable in about:tracing / Perfetto).
+ *
+ * Writers take a monotonic ticket (one fetch_add) and claim the slot
+ * ticket % capacity with a per-slot sequence CAS: seq 2*ticket+1 marks
+ * the write in flight, 2*ticket+2 marks it published. A writer that
+ * finds its slot already claimed by a *newer* ticket (ring wrapped a
+ * full lap while it was stalled) drops its event instead of corrupting
+ * the newer one; the publish is a CAS for the same reason. Readers
+ * validate seq-even-and-unchanged around the payload reads, so a torn
+ * slot is skipped, never misreported. All payload fields are relaxed
+ * atomics, which keeps the whole protocol data-race-free under TSAN.
+ *
+ * Timestamps are host steady-clock nanoseconds since process start —
+ * the only shared timebase across threads (SimClock streams are
+ * per-thread) — so pipelined-archiver/client overlap shows up as real
+ * overlap on the timeline. The simulated-ns duration rides along as an
+ * event arg.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace xpg::telemetry {
+
+/// Host wall-clock nanoseconds since the first call in this process.
+uint64_t hostNowNs();
+
+/// Small dense id for the calling thread (assigned on first use).
+uint32_t currentThreadId();
+
+/// Attach a display name to the calling thread; exported as Chrome
+/// "M" (metadata) events so about:tracing shows named rows.
+void nameCurrentThread(const std::string &name);
+
+/// Copy @p s into process-lifetime storage and return a stable
+/// pointer. For dynamic span names (e.g. "session-3"); string
+/// literals don't need it.
+const char *internString(const std::string &s);
+
+/// One consistent event read out of the ring.
+struct TraceEventView
+{
+    uint64_t ticket; ///< global emission order
+    const char *name;
+    const char *cat;
+    char ph; ///< 'X' complete span, 'i' instant
+    uint32_t tid;
+    uint64_t tsNs;  ///< host ns since process start
+    uint64_t durNs; ///< host ns (0 for instants)
+    uint64_t simNs; ///< simulated ns attached as an arg
+};
+
+class TraceBuffer
+{
+  public:
+    static constexpr size_t kDefaultCapacity = size_t{1} << 15;
+
+    explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /// Emit a complete ('X') span. Wait-free apart from the slot CAS.
+    void emitComplete(const char *name, const char *cat, uint64_t tsNs,
+                      uint64_t durNs, uint64_t simNs);
+
+    /// Emit an instant ('i') event at @p tsNs.
+    void emitInstant(const char *name, const char *cat, uint64_t tsNs,
+                     uint64_t simNs = 0);
+
+    /// All consistent events currently in the ring, sorted by ticket.
+    /// Safe concurrently with writers (in-flight slots are skipped).
+    std::vector<TraceEventView> collect() const;
+
+    /// Total events ever emitted (including ones the ring evicted).
+    uint64_t emitted() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /// Drop all events. Callers must be quiescent (no concurrent
+    /// writers); used between bench rows and in tests.
+    void clear();
+
+    /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit"}
+    /// including thread-name metadata events.
+    json::JsonValue toJson() const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> seq{0}; ///< 0 empty; odd in-flight; even done
+        std::atomic<const char *> name{nullptr};
+        std::atomic<const char *> cat{nullptr};
+        std::atomic<char> ph{'X'};
+        std::atomic<uint32_t> tid{0};
+        std::atomic<uint64_t> tsNs{0};
+        std::atomic<uint64_t> durNs{0};
+        std::atomic<uint64_t> simNs{0};
+    };
+
+    void emit(const char *name, const char *cat, char ph, uint64_t tsNs,
+              uint64_t durNs, uint64_t simNs);
+
+    const size_t capacity_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<uint64_t> head_{0}; ///< next ticket
+};
+
+/// RAII complete-span emitter. Measures host wall time between
+/// construction and destruction plus the calling thread's simulated-ns
+/// delta, then emits one 'X' event. A null buffer makes it a no-op, so
+/// instrumented code doesn't need its own guards.
+class TraceScope
+{
+  public:
+    TraceScope(TraceBuffer *buffer, const char *name, const char *cat);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceBuffer *buffer_;
+    const char *name_;
+    const char *cat_;
+    uint64_t startNs_;
+    uint64_t startSimNs_;
+};
+
+} // namespace xpg::telemetry

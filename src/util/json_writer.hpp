@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Minimal JSON document builder shared by the telemetry exporters and
+ * the bench report writers.
+ *
+ * Build a tree of JsonValue nodes (object / array / string / number /
+ * bool / null) and serialize it with dump(). The writer owns all the
+ * escaping rules in one place so individual benches stop hand-rolling
+ * fprintf-based JSON (each with its own escaping bugs).
+ *
+ * Not a parser: output-only by design. Numbers are stored either as
+ * uint64/int64/double and are emitted losslessly for the integer kinds
+ * (no conversion through double, so 2^53+ byte counters stay exact).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xpg::json {
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Uint, Int, Double, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), boolV_(b) {}
+    JsonValue(uint64_t v) : kind_(Kind::Uint), uintV_(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), intV_(v) {}
+    JsonValue(int v) : kind_(Kind::Int), intV_(v) {}
+    JsonValue(unsigned v) : kind_(Kind::Uint), uintV_(v) {}
+    JsonValue(double v) : kind_(Kind::Double), doubleV_(v) {}
+    JsonValue(const char *s) : kind_(Kind::String), stringV_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), stringV_(std::move(s)) {}
+    JsonValue(std::string_view s) : kind_(Kind::String), stringV_(s) {}
+
+    static JsonValue object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    static JsonValue array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /// Object member insertion (overwrites nothing: callers own key
+    /// uniqueness; duplicate sets append and the last one wins in any
+    /// sane parser, but don't rely on it).
+    JsonValue &set(std::string key, JsonValue value)
+    {
+        kind_ = Kind::Object;
+        members_.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+
+    /// Array element append.
+    JsonValue &push(JsonValue value)
+    {
+        kind_ = Kind::Array;
+        elements_.push_back(std::move(value));
+        return *this;
+    }
+
+    size_t size() const
+    {
+        return kind_ == Kind::Array ? elements_.size() : members_.size();
+    }
+
+    /// Serialize. indent > 0 pretty-prints with that many spaces per
+    /// level; indent == 0 emits compact single-line JSON.
+    std::string dump(int indent = 2) const
+    {
+        std::string out;
+        write(out, indent, 0);
+        if (indent > 0)
+            out.push_back('\n');
+        return out;
+    }
+
+    /// Convenience: dump() to a file. Returns false on I/O failure.
+    bool writeFile(const std::string &path, int indent = 2) const
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        const std::string text = dump(indent);
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        return std::fclose(f) == 0 && ok;
+    }
+
+    static void escape(std::string &out, std::string_view s)
+    {
+        for (const char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+            }
+        }
+    }
+
+  private:
+    void write(std::string &out, int indent, int depth) const
+    {
+        switch (kind_) {
+        case Kind::Null: out += "null"; break;
+        case Kind::Bool: out += boolV_ ? "true" : "false"; break;
+        case Kind::Uint: {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "%llu",
+                          static_cast<unsigned long long>(uintV_));
+            out += buf;
+            break;
+        }
+        case Kind::Int: {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "%lld",
+                          static_cast<long long>(intV_));
+            out += buf;
+            break;
+        }
+        case Kind::Double: {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.17g", doubleV_);
+            out += buf;
+            break;
+        }
+        case Kind::String:
+            out.push_back('"');
+            escape(out, stringV_);
+            out.push_back('"');
+            break;
+        case Kind::Array: {
+            if (elements_.empty()) {
+                out += "[]";
+                break;
+            }
+            out.push_back('[');
+            for (size_t i = 0; i < elements_.size(); ++i) {
+                if (i != 0)
+                    out.push_back(',');
+                newline(out, indent, depth + 1);
+                elements_[i].write(out, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push_back(']');
+            break;
+        }
+        case Kind::Object: {
+            if (members_.empty()) {
+                out += "{}";
+                break;
+            }
+            out.push_back('{');
+            for (size_t i = 0; i < members_.size(); ++i) {
+                if (i != 0)
+                    out.push_back(',');
+                newline(out, indent, depth + 1);
+                out.push_back('"');
+                escape(out, members_[i].first);
+                out += indent > 0 ? "\": " : "\":";
+                members_[i].second.write(out, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push_back('}');
+            break;
+        }
+        }
+    }
+
+    static void newline(std::string &out, int indent, int depth)
+    {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent) * depth, ' ');
+    }
+
+    Kind kind_;
+    bool boolV_ = false;
+    uint64_t uintV_ = 0;
+    int64_t intV_ = 0;
+    double doubleV_ = 0.0;
+    std::string stringV_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace xpg::json

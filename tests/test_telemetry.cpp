@@ -1,0 +1,651 @@
+/**
+ * @file
+ * Telemetry subsystem tests: log2 histogram bucket boundaries,
+ * quantiles and merging; concurrent sharded recording; trace-ring
+ * wraparound under concurrent writers (run under TSAN by the CI's
+ * XPG_TSAN stage via the Telemetry* filter); metrics-registry handle
+ * stability; and snapshot / trace JSON round-trips through a minimal
+ * in-test JSON parser — proving the exported documents are really
+ * parseable, not just printf-shaped.
+ *
+ * The tests drive the telemetry classes directly (not the XPG_TEL_*
+ * macros), so they pass identically in the default build and in a
+ * -DXPG_TELEMETRY=OFF tree: compile-time removal only strips the
+ * macros, never the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/xpgraph.hpp"
+#include "graph/generators.hpp"
+#include "pmem/pcm_counters.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace xpg {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::Labels;
+using telemetry::MetricsRegistry;
+using telemetry::ShardedHistogram;
+using telemetry::TraceBuffer;
+using telemetry::TraceEventView;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to round-trip what we export.
+// ---------------------------------------------------------------------------
+
+struct MiniJson
+{
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<MiniJson> arr;
+    std::map<std::string, MiniJson> obj;
+
+    const MiniJson &
+    at(const std::string &key) const
+    {
+        static const MiniJson kNull;
+        auto it = obj.find(key);
+        return it == obj.end() ? kNull : it->second;
+    }
+
+    bool has(const std::string &key) const { return obj.count(key) > 0; }
+};
+
+class MiniJsonParser
+{
+  public:
+    /** Parses @p text; sets *ok to whether the full input was consumed. */
+    static MiniJson
+    parse(const std::string &text, bool *ok)
+    {
+        MiniJsonParser p(text);
+        MiniJson v = p.parseValue();
+        p.skipWs();
+        *ok = !p.failed_ && p.pos_ == text.size();
+        return v;
+    }
+
+  private:
+    explicit MiniJsonParser(const std::string &t) : text_(t) {}
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    MiniJson
+    fail()
+    {
+        failed_ = true;
+        return MiniJson{};
+    }
+
+    MiniJson
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail();
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            MiniJson v;
+            v.kind = MiniJson::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            MiniJson v;
+            v.kind = MiniJson::Kind::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return MiniJson{};
+        }
+        return parseNumber();
+    }
+
+    MiniJson
+    parseNumber()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start)
+            return fail();
+        pos_ += static_cast<size_t>(end - start);
+        MiniJson v;
+        v.kind = MiniJson::Kind::Num;
+        v.num = d;
+        return v;
+    }
+
+    MiniJson
+    parseString()
+    {
+        if (!eat('"'))
+            return fail();
+        MiniJson v;
+        v.kind = MiniJson::Kind::Str;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail();
+                const char esc = text_[pos_++];
+                switch (esc) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case 'b': c = '\b'; break;
+                case 'f': c = '\f'; break;
+                case 'u':
+                    if (pos_ + 4 > text_.size())
+                        return fail();
+                    pos_ += 4; // decoded as '?': tests only need ASCII
+                    c = '?';
+                    break;
+                default: c = esc; break;
+                }
+            }
+            v.str.push_back(c);
+        }
+        if (!eat('"'))
+            return fail();
+        return v;
+    }
+
+    MiniJson
+    parseArray()
+    {
+        if (!eat('['))
+            return fail();
+        MiniJson v;
+        v.kind = MiniJson::Kind::Arr;
+        skipWs();
+        if (eat(']'))
+            return v;
+        do {
+            v.arr.push_back(parseValue());
+            if (failed_)
+                return v;
+        } while (eat(','));
+        if (!eat(']'))
+            return fail();
+        return v;
+    }
+
+    MiniJson
+    parseObject()
+    {
+        if (!eat('{'))
+            return fail();
+        MiniJson v;
+        v.kind = MiniJson::Kind::Obj;
+        skipWs();
+        if (eat('}'))
+            return v;
+        do {
+            const MiniJson key = parseString();
+            if (failed_ || !eat(':'))
+                return fail();
+            v.obj[key.str] = parseValue();
+            if (failed_)
+                return v;
+        } while (eat(','));
+        if (!eat('}'))
+            return fail();
+        return v;
+    }
+};
+
+MiniJson
+parseOrDie(const std::string &text)
+{
+    bool ok = false;
+    MiniJson v = MiniJsonParser::parse(text, &ok);
+    EXPECT_TRUE(ok) << "unparseable JSON: " << text.substr(0, 200);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket boundaries, quantiles, merge.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundaries)
+{
+    // The first buckets are exact singletons / power-of-two ranges.
+    EXPECT_EQ(Histogram::bucketFor(0), 0u);
+    EXPECT_EQ(Histogram::bucketFor(1), 1u);
+    EXPECT_EQ(Histogram::bucketFor(2), 2u);
+    EXPECT_EQ(Histogram::bucketFor(3), 2u);
+    EXPECT_EQ(Histogram::bucketFor(4), 3u);
+    EXPECT_EQ(Histogram::bucketFor(~uint64_t{0}), 64u);
+
+    // Every bucket's [lo, hi] maps back to itself, and the values just
+    // outside land in the neighboring buckets.
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+        const uint64_t lo = Histogram::bucketLo(b);
+        const uint64_t hi = Histogram::bucketHi(b);
+        EXPECT_LE(lo, hi) << "bucket " << b;
+        EXPECT_EQ(Histogram::bucketFor(lo), b) << "lo of bucket " << b;
+        EXPECT_EQ(Histogram::bucketFor(hi), b) << "hi of bucket " << b;
+        if (b + 1 < Histogram::kBuckets) {
+            EXPECT_EQ(Histogram::bucketFor(hi + 1), b + 1)
+                << "hi+1 of bucket " << b;
+        }
+        if (b >= 1 && lo > 0) {
+            EXPECT_EQ(Histogram::bucketFor(lo - 1), b - 1)
+                << "lo-1 of bucket " << b;
+        }
+    }
+}
+
+TEST(TelemetryHistogram, CountsSumsAndQuantiles)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty
+
+    // A constant distribution: quantiles interpolate inside the one
+    // occupied log2 bucket ([512,1023] for 1000) and are clamped to
+    // the observed max, so they land in [bucketLo, 1000].
+    for (int i = 0; i < 100; ++i)
+        h.record(1000);
+    EXPECT_EQ(h.count, 100u);
+    EXPECT_EQ(h.sum, 100000u);
+    EXPECT_EQ(h.maxValue, 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+    EXPECT_GE(h.quantile(0.50), 512.0);
+    EXPECT_LE(h.quantile(0.50), 1000.0);
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
+    EXPECT_LE(h.quantile(0.99), 1000.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0); // clamp hits the max
+
+    // A bimodal distribution: p50 stays in the low mode's bucket, p99
+    // in the high mode's.
+    Histogram bi;
+    for (int i = 0; i < 98; ++i)
+        bi.record(16); // bucket [16,31]
+    for (int i = 0; i < 2; ++i)
+        bi.record(1 << 20);
+    EXPECT_GE(bi.quantile(0.50), 16.0);
+    EXPECT_LE(bi.quantile(0.50), 31.0);
+    EXPECT_GE(bi.quantile(0.99), static_cast<double>(1 << 19));
+    EXPECT_LE(bi.quantile(0.99), static_cast<double>(1 << 20));
+    // Quantiles never exceed the observed max, even at q=1.
+    EXPECT_LE(bi.quantile(1.0), static_cast<double>(1 << 20));
+}
+
+TEST(TelemetryHistogram, MergeIsExactOnCountsAndSums)
+{
+    Histogram a;
+    Histogram b;
+    for (int i = 0; i < 50; ++i)
+        a.record(8);
+    for (int i = 0; i < 50; ++i)
+        b.record(1 << 12);
+    const uint64_t total_sum = a.sum + b.sum;
+
+    a.merge(b);
+    EXPECT_EQ(a.count, 100u);
+    EXPECT_EQ(a.sum, total_sum);
+    EXPECT_EQ(a.maxValue, uint64_t{1} << 12);
+    // Half the mass at 8, half at 4096: the median sits between the
+    // modes, p99 in the top bucket.
+    EXPECT_GE(a.quantile(0.99), static_cast<double>(1 << 11));
+    EXPECT_LE(a.quantile(0.99), static_cast<double>(1 << 12));
+}
+
+TEST(TelemetryHistogram, ShardedConcurrentRecording)
+{
+    ShardedHistogram sh;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 20000;
+
+    std::atomic<bool> stop{false};
+    // A concurrent reader exercises the record/snapshot race TSAN
+    // checks for; its intermediate counts must never exceed the final.
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const Histogram snap = sh.snapshot();
+            EXPECT_LE(snap.count, kThreads * kPerThread);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&sh, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                sh.record(static_cast<uint64_t>(t) + 1);
+        });
+    for (std::thread &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    const Histogram merged = sh.snapshot();
+    EXPECT_EQ(merged.count, kThreads * kPerThread);
+    uint64_t expected_sum = 0;
+    for (int t = 0; t < kThreads; ++t)
+        expected_sum += (static_cast<uint64_t>(t) + 1) * kPerThread;
+    EXPECT_EQ(merged.sum, expected_sum);
+    EXPECT_EQ(merged.maxValue, static_cast<uint64_t>(kThreads));
+
+    sh.resetValues();
+    EXPECT_EQ(sh.snapshot().count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring: wraparound, concurrent writers, consistency of reads.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTraceRing, WraparoundKeepsNewestEvents)
+{
+    TraceBuffer ring(64);
+    for (uint64_t i = 0; i < 1000; ++i)
+        ring.emitComplete("span", "test", /*tsNs=*/i, /*durNs=*/1,
+                          /*simNs=*/i);
+    EXPECT_EQ(ring.emitted(), 1000u);
+
+    const std::vector<TraceEventView> events = ring.collect();
+    EXPECT_EQ(events.size(), 64u);
+    // The ring holds exactly the newest lap, in ticket order.
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].ticket, 1000 - 64 + i);
+        EXPECT_EQ(events[i].tsNs, events[i].ticket); // payload matches
+        EXPECT_STREQ(events[i].name, "span");
+    }
+}
+
+TEST(TelemetryTraceRing, ConcurrentWritersAndReaders)
+{
+    TraceBuffer ring(256);
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 5000;
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        // Collecting mid-write must only ever return fully published
+        // events with sane payloads — torn slots are skipped.
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto events = ring.collect();
+            EXPECT_LE(events.size(), ring.capacity());
+            uint64_t prev_ticket = 0;
+            bool first = true;
+            for (const TraceEventView &ev : events) {
+                EXPECT_TRUE(first || ev.ticket > prev_ticket);
+                first = false;
+                prev_ticket = ev.ticket;
+                ASSERT_NE(ev.name, nullptr);
+                EXPECT_STREQ(ev.name, "w");
+                EXPECT_EQ(ev.ph, 'X');
+                EXPECT_EQ(ev.tsNs, ev.simNs); // written as a pair below
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&ring, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                const uint64_t stamp =
+                    static_cast<uint64_t>(t) * kPerThread + i;
+                ring.emitComplete("w", "test", stamp, 1, stamp);
+            }
+        });
+    for (std::thread &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(ring.emitted(), kThreads * kPerThread);
+    EXPECT_EQ(ring.collect().size(), ring.capacity());
+
+    ring.clear();
+    EXPECT_TRUE(ring.collect().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry: handle stability, labels, reset-in-place.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryMetrics, FindOrCreateReturnsStableCells)
+{
+    MetricsRegistry reg;
+    telemetry::Counter &a =
+        reg.counter("edges", Labels{.store = "xpgraph", .node = 0});
+    telemetry::Counter &a_again =
+        reg.counter("edges", Labels{.store = "xpgraph", .node = 0});
+    telemetry::Counter &b =
+        reg.counter("edges", Labels{.store = "xpgraph", .node = 1});
+    EXPECT_EQ(&a, &a_again); // same name+labels: same cell
+    EXPECT_NE(&a, &b);       // different node label: distinct cell
+
+    a.add(5);
+    a.add(7);
+    b.set(100);
+    b.max(50); // max() never lowers
+    EXPECT_EQ(a.value(), 12u);
+    EXPECT_EQ(b.value(), 100u);
+
+    EXPECT_EQ(reg.size(), 2u);
+    reg.resetValues();
+    EXPECT_EQ(a.value(), 0u); // zeroed in place, handle still valid
+    EXPECT_EQ(reg.size(), 2u);
+    a.add(3);
+    EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(TelemetryMetrics, ForEachExportsLabels)
+{
+    MetricsRegistry reg;
+    reg.gauge("g", Labels{.store = "graphone", .session = 4,
+                          .phase = "archive"})
+        .set(9);
+    bool seen = false;
+    reg.forEach([&](const telemetry::MetricInfo &info, uint64_t value) {
+        seen = true;
+        EXPECT_EQ(info.name, "g");
+        EXPECT_EQ(info.kind, telemetry::MetricKind::Gauge);
+        EXPECT_EQ(info.store, "graphone");
+        EXPECT_EQ(info.node, -1); // unset stays -1 (omitted on export)
+        EXPECT_EQ(info.session, 4);
+        EXPECT_EQ(info.phase, "archive");
+        EXPECT_EQ(value, 9u);
+    });
+    EXPECT_TRUE(seen);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trips through the minimal parser.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySnapshot, MetricsJsonRoundTrip)
+{
+    auto &tel = telemetry::Telemetry::instance();
+    tel.reset();
+    tel.counter("test.rt_edges", Labels{.store = "test"}).add(42);
+    tel.gauge("test.rt_depth", Labels{.store = "test", .node = 1}).set(7);
+    auto &h = tel.histogram(
+        "test.rt_ns",
+        Labels{.store = "test", .node = 1, .session = 2, .phase = "unit"});
+    for (uint64_t v : {100u, 200u, 400u, 800u, 1600u})
+        h.record(v);
+
+    const MiniJson doc = parseOrDie(tel.snapshotJson());
+    EXPECT_EQ(doc.at("schema").str, "xpgraph-telemetry-v1");
+    EXPECT_EQ(doc.at("enabled").boolean, telemetry::kEnabled);
+
+    // Other suites in this binary register metrics too; search by name.
+    bool found_counter = false;
+    for (const MiniJson &m : doc.at("metrics").arr) {
+        if (m.at("name").str != "test.rt_edges")
+            continue;
+        found_counter = true;
+        EXPECT_EQ(m.at("kind").str, "counter");
+        EXPECT_EQ(m.at("labels").at("store").str, "test");
+        EXPECT_FALSE(m.at("labels").has("node")); // unset: omitted
+        EXPECT_DOUBLE_EQ(m.at("value").num, 42.0);
+    }
+    EXPECT_TRUE(found_counter);
+
+    bool found_histo = false;
+    for (const MiniJson &m : doc.at("histograms").arr) {
+        if (m.at("name").str != "test.rt_ns")
+            continue;
+        found_histo = true;
+        EXPECT_DOUBLE_EQ(m.at("count").num, 5.0);
+        EXPECT_DOUBLE_EQ(m.at("sum").num, 3100.0);
+        EXPECT_DOUBLE_EQ(m.at("max").num, 1600.0);
+        EXPECT_EQ(m.at("labels").at("node").num, 1.0);
+        EXPECT_EQ(m.at("labels").at("session").num, 2.0);
+        EXPECT_EQ(m.at("labels").at("phase").str, "unit");
+        // Quantiles are ordered and bounded by the max.
+        EXPECT_LE(m.at("p50").num, m.at("p95").num);
+        EXPECT_LE(m.at("p95").num, m.at("p99").num);
+        EXPECT_LE(m.at("p99").num, 1600.0);
+    }
+    EXPECT_TRUE(found_histo);
+
+    tel.reset(); // leave the singleton clean for other suites
+}
+
+TEST(TelemetrySnapshot, TraceJsonRoundTrip)
+{
+    TraceBuffer ring(32);
+    ring.emitComplete("flush_phase", "archive", /*tsNs=*/2500,
+                      /*durNs=*/1500, /*simNs=*/900);
+    ring.emitInstant("crash", "recovery", /*tsNs=*/5000);
+
+    const MiniJson doc = parseOrDie(ring.toJson().dump());
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ns");
+    const auto &events = doc.at("traceEvents").arr;
+
+    bool found_span = false;
+    bool found_instant = false;
+    for (const MiniJson &e : events) {
+        if (e.at("name").str == "flush_phase") {
+            found_span = true;
+            EXPECT_EQ(e.at("ph").str, "X");
+            EXPECT_EQ(e.at("cat").str, "archive");
+            EXPECT_DOUBLE_EQ(e.at("ts").num, 2.5);  // us
+            EXPECT_DOUBLE_EQ(e.at("dur").num, 1.5); // us
+            EXPECT_DOUBLE_EQ(e.at("args").at("sim_ns").num, 900.0);
+        } else if (e.at("name").str == "crash") {
+            found_instant = true;
+            EXPECT_EQ(e.at("ph").str, "i");
+            EXPECT_EQ(e.at("s").str, "t");
+        }
+    }
+    EXPECT_TRUE(found_span);
+    EXPECT_TRUE(found_instant);
+}
+
+TEST(TelemetrySnapshot, PcmCountersJsonRoundTrip)
+{
+    PcmCounters c;
+    c.appBytesWritten = 1000;
+    c.mediaBytesWritten = 2560;
+    c.appBytesRead = 500;
+    c.mediaBytesRead = 1280;
+    c.mediaWriteOps = 10;
+    c.bufferHits = 3;
+
+    const MiniJson doc = parseOrDie(c.toJson().dump());
+    EXPECT_DOUBLE_EQ(doc.at("app_bytes_written").num, 1000.0);
+    EXPECT_DOUBLE_EQ(doc.at("media_bytes_written").num, 2560.0);
+    EXPECT_DOUBLE_EQ(doc.at("media_write_ops").num, 10.0);
+    EXPECT_DOUBLE_EQ(doc.at("buffer_hits").num, 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("write_amplification").num, 2.56);
+    EXPECT_DOUBLE_EQ(doc.at("read_amplification").num, 2.56);
+
+    // operator+ merges every raw field; amplification is re-derived.
+    const PcmCounters doubled = c + c;
+    const MiniJson doc2 = parseOrDie(doubled.toJson().dump());
+    EXPECT_DOUBLE_EQ(doc2.at("media_bytes_written").num, 5120.0);
+    EXPECT_DOUBLE_EQ(doc2.at("write_amplification").num, 2.56);
+}
+
+// ---------------------------------------------------------------------------
+// snapshotStats: torn-free reads while archive phases run concurrently.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySnapshot, SnapshotStatsConsistentUnderConcurrentArchiving)
+{
+    XPGraphConfig c = XPGraphConfig::persistent(1 << 12, 0);
+    c.elogCapacityEdges = 1 << 13;
+    c.bufferingThresholdEdges = 1 << 9; // many phases mid-ingest
+    c.archiveThreads = 4;
+    const auto edges = generateUniform(1 << 12, 1 << 15, /*seed=*/42);
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
+    XPGraph graph(c);
+
+    std::atomic<bool> done{false};
+    std::thread client([&] {
+        graph.addEdges(edges.data(), edges.size());
+        done.store(true, std::memory_order_release);
+    });
+
+    // Snapshots race the client's inline archive phases. Each one must
+    // be internally consistent: no partially-updated phase totals, and
+    // the cumulative fields never move backwards between reads.
+    IngestStats prev{};
+    while (!done.load(std::memory_order_acquire)) {
+        const IngestStats s = graph.snapshotStats();
+        EXPECT_GE(s.edgesLogged, prev.edgesLogged);
+        EXPECT_GE(s.edgesBuffered, prev.edgesBuffered);
+        EXPECT_GE(s.bufferingNs, prev.bufferingNs);
+        EXPECT_GE(s.bufferingPhases, prev.bufferingPhases);
+        prev = s;
+    }
+    client.join();
+
+    graph.archiveAll();
+    const IngestStats fin = graph.snapshotStats();
+    EXPECT_EQ(fin.edgesLogged, edges.size());
+    EXPECT_EQ(fin.edgesBuffered, edges.size());
+}
+
+} // namespace
+} // namespace xpg

@@ -21,6 +21,18 @@
  *   recover   --backing DIR --vertices N [--edges M]
  *             Re-open a crashed file-backed XPGraph instance and print
  *             the recovery statistics.
+ *
+ *   pipeline  [--dataset TT] [--shift N] [--sessions S] [--threads T]
+ *             [--backing DIR]
+ *             End-to-end demo: generate, ingest through S concurrent
+ *             sessions with the pipelined archiver, query, crash, and
+ *             recover — the run the telemetry acceptance check records.
+ *
+ * Every subcommand accepts --telemetry FILE (or --telemetry=FILE): on
+ * exit the Chrome trace timeline is written to FILE (load it in
+ * about:tracing) and the metrics snapshot — counters, gauges, and
+ * latency quantiles — to FILE with ".json" replaced by ".metrics.json".
+ * Requires the default -DXPG_TELEMETRY=ON build.
  */
 
 #include <cstdio>
@@ -30,6 +42,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/algorithms.hpp"
@@ -37,6 +50,7 @@
 #include "core/xpgraph.hpp"
 #include "graph/datasets.hpp"
 #include "graph/edge_io.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -45,17 +59,25 @@ using namespace xpg;
 
 namespace {
 
-/** Minimal --key value argument parser. */
+/** Minimal argument parser: --key value and --key=value. */
 class Args
 {
   public:
     Args(int argc, char **argv, int first)
     {
-        for (int i = first; i + 1 < argc; i += 2) {
+        for (int i = first; i < argc; ++i) {
             if (std::strncmp(argv[i], "--", 2) != 0)
                 XPG_FATAL(std::string("expected --option, got ") +
                           argv[i]);
-            values_[argv[i] + 2] = argv[i + 1];
+            const std::string opt = argv[i] + 2;
+            const size_t eq = opt.find('=');
+            if (eq != std::string::npos) {
+                values_[opt.substr(0, eq)] = opt.substr(eq + 1);
+            } else {
+                if (i + 1 >= argc)
+                    XPG_FATAL("--" + opt + " needs a value");
+                values_[opt] = argv[++i];
+            }
         }
     }
 
@@ -83,6 +105,67 @@ class Args
   private:
     std::map<std::string, std::string> values_;
 };
+
+/** trace.json -> trace.metrics.json (suffix-agnostic otherwise). */
+std::string
+metricsPathFor(const std::string &trace_path)
+{
+    std::string base = trace_path;
+    const std::string suffix = ".json";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        base.erase(base.size() - suffix.size());
+    return base + ".metrics.json";
+}
+
+/**
+ * Arm the periodic exporter if --telemetry was given: long runs then
+ * rewrite both files every few hundred query rounds, so a hung or
+ * killed process still leaves a recent timeline behind.
+ */
+void
+setupTelemetry(const Args &args)
+{
+    const std::string path = args.get("telemetry");
+    if (path.empty())
+        return;
+    if (!telemetry::kEnabled) {
+        std::fprintf(stderr,
+                     "warning: --telemetry ignored (built with "
+                     "-DXPG_TELEMETRY=OFF)\n");
+        return;
+    }
+    XPG_TEL_NAME_THREAD("main");
+    telemetry::Telemetry::instance().configurePeriodic(
+        metricsPathFor(path), path, /*periodTicks=*/256);
+}
+
+/**
+ * Final telemetry export for --telemetry FILE: publish @p store's
+ * cumulative stats as gauges, then write the trace timeline to FILE
+ * and the metrics snapshot next to it.
+ */
+void
+writeTelemetry(const Args &args, const GraphStore *store)
+{
+    const std::string path = args.get("telemetry");
+    if (path.empty() || !telemetry::kEnabled)
+        return;
+    if (store != nullptr)
+        store->publishTelemetry();
+    auto &tel = telemetry::Telemetry::instance();
+    const std::string metrics = metricsPathFor(path);
+    if (!tel.writeTraceJson(path))
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    else
+        std::printf("\nwrote trace timeline %s (load in about:tracing)\n",
+                    path.c_str());
+    if (!tel.writeSnapshotJson(metrics))
+        std::fprintf(stderr, "cannot write %s\n", metrics.c_str());
+    else
+        std::printf("wrote metrics snapshot %s\n", metrics.c_str());
+}
 
 vid_t
 maxVertexOf(const std::vector<Edge> &edges)
@@ -202,6 +285,7 @@ cmdIngest(const Args &args)
         graph.archiveAll();
         printIngestReport(graph.stats(), graph.pmemCounters(),
                           graph.memoryUsage());
+        writeTelemetry(args, &graph);
     } else {
         XPGraph graph(xpgraphConfigFor(system, nv, edges.size(), args));
         graph.addEdges(edges.data(), edges.size());
@@ -211,6 +295,7 @@ cmdIngest(const Args &args)
             graph.syncBackings();
         printIngestReport(graph.stats(), graph.pmemCounters(),
                           graph.memoryUsage());
+        writeTelemetry(args, &graph);
     }
     return 0;
 }
@@ -226,17 +311,20 @@ cmdQuery(const Args &args)
         static_cast<unsigned>(args.getInt("threads", 16));
 
     std::unique_ptr<GraphView> view;
+    GraphStore *store = nullptr;
     if (system.rfind("graphone", 0) == 0) {
         auto g = std::make_unique<GraphOne>(
             graphoneConfigFor(system, nv, edges.size(), args));
         g->addEdges(edges.data(), edges.size());
         g->archiveAll();
+        store = g.get();
         view = std::move(g);
     } else {
         auto g = std::make_unique<XPGraph>(
             xpgraphConfigFor(system, nv, edges.size(), args));
         g->addEdges(edges.data(), edges.size());
         g->bufferAllEdges();
+        store = g.get();
         view = std::move(g);
     }
 
@@ -271,6 +359,7 @@ cmdQuery(const Args &args)
     }
     std::printf("simulated time: %.3f ms with %u threads\n",
                 result.simNs / 1e6, threads);
+    writeTelemetry(args, store);
     return 0;
 }
 
@@ -296,6 +385,93 @@ cmdRecover(const Args &args)
     const MemoryUsage mem = graph->memoryUsage();
     std::printf("persistent adjacency: %s\n",
                 TablePrinter::bytes(mem.pblkBytes).c_str());
+    writeTelemetry(args, graph.get());
+    return 0;
+}
+
+int
+cmdPipeline(const Args &args)
+{
+    // One run exercising every instrumented phase: concurrent-session
+    // ingest overlapped with the pipelined archiver, the query kernels,
+    // a crash, and recovery. With --telemetry FILE the resulting
+    // timeline shows the client-session and archiver spans overlapping
+    // and the recovery rebuild/replay steps after them.
+    const unsigned shift = static_cast<unsigned>(
+        args.getInt("shift", defaultScaleShift()));
+    const Dataset ds =
+        generateDataset(datasetByAbbrev(args.get("dataset", "TT")), shift);
+    const unsigned sessions =
+        static_cast<unsigned>(args.getInt("sessions", 4));
+    const unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    const std::string dir =
+        args.get("backing", "/tmp/xpg_cli_pipeline");
+    std::filesystem::create_directories(dir);
+
+    XPGraphConfig c = XPGraphConfig::persistent(ds.numVertices, 0);
+    c.archiveThreads = threads;
+    c.pipelinedArchiving = true;
+    c.backingDir = dir;
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, ds.edges.size());
+
+    {
+        XPGraph graph(c);
+        const Edge *edges = ds.edges.data();
+        const uint64_t total = ds.edges.size();
+        std::vector<std::thread> clients;
+        const uint64_t chunk = (total + sessions - 1) / sessions;
+        for (unsigned t = 0; t < sessions; ++t) {
+            const uint64_t lo = std::min<uint64_t>(t * chunk, total);
+            const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
+            clients.emplace_back([&graph, edges, lo, hi, t] {
+                auto session = graph.session(t);
+                session->addEdges(edges + lo, hi - lo);
+            });
+        }
+        for (std::thread &cl : clients)
+            cl.join();
+        graph.archiveAll();
+        std::printf("ingested %llu edges through %u sessions "
+                    "(%.3f simulated ms)\n",
+                    static_cast<unsigned long long>(total), sessions,
+                    graph.snapshotStats().ingestNs() / 1e6);
+
+        const auto bfs = runBfs(graph, ds.edges[0].src, threads);
+        const auto pr = runPageRank(graph, 10, threads);
+        const auto cc = runConnectedComponents(graph, threads);
+        std::printf("queries: BFS %lu levels, PR checksum %lu, "
+                    "CC %lu components\n",
+                    static_cast<unsigned long>(bfs.iterations),
+                    static_cast<unsigned long>(pr.checksum),
+                    static_cast<unsigned long>(cc.checksum));
+
+        // Leave an un-archived window in the log so recovery has edges
+        // to replay (the expensive half of its critical path).
+        auto extra = generateUniform(ds.numVertices,
+                                     std::max<uint64_t>(total / 64, 1024),
+                                     /*seed=*/total);
+        graph.addEdges(extra.data(), extra.size());
+        graph.bufferAllEdges();
+        graph.syncBackings();
+        // destructor == power failure
+    }
+
+    RecoveryReport report;
+    auto recovered = XPGraph::recover(c, &report);
+    if (!recovered || !report.ok()) {
+        std::fprintf(stderr, "FAIL: recovery: %s\n",
+                     report.error.c_str());
+        return 1;
+    }
+    std::printf("recovered in %.3f simulated ms (%llu edges replayed)\n",
+                report.recoveryNs / 1e6,
+                static_cast<unsigned long long>(report.edgesReplayed));
+
+    writeTelemetry(args, recovered.get());
+    recovered.reset();
+    if (!args.has("backing"))
+        std::filesystem::remove_all(dir);
     return 0;
 }
 
@@ -303,7 +479,8 @@ void
 usage()
 {
     std::printf(
-        "usage: xpgraph_cli <generate|ingest|query|recover> [--opt v]\n"
+        "usage: xpgraph_cli <generate|ingest|query|recover|pipeline> "
+        "[--opt v | --opt=v] [--telemetry trace.json]\n"
         "see the file header of tools/xpgraph_cli.cpp for details\n");
 }
 
@@ -318,6 +495,7 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Args args(argc, argv, 2);
+    setupTelemetry(args);
     if (cmd == "generate")
         return cmdGenerate(args);
     if (cmd == "ingest")
@@ -326,6 +504,8 @@ main(int argc, char **argv)
         return cmdQuery(args);
     if (cmd == "recover")
         return cmdRecover(args);
+    if (cmd == "pipeline")
+        return cmdPipeline(args);
     usage();
     return 1;
 }
