@@ -90,6 +90,7 @@ ingestStore(GraphStore &store, const Dataset &ds, const std::string &label,
     o.dataset = ds.spec.abbrev;
     o.stats = store.snapshotStats();
     o.counters = store.pmemCounters();
+    o.attribution = store.pmemAttribution();
     o.mem = store.memoryUsage();
     if (volatile_store) {
         const ScaledTestbed t = ScaledTestbed::at(scaleShift());

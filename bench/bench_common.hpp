@@ -72,6 +72,7 @@ struct IngestOutcome
     bool oom = false;        ///< exceeded the scaled DRAM budget
     IngestStats stats;
     PcmCounters counters;
+    telemetry::AttributionSnapshot attribution; ///< per-cause split
     MemoryUsage mem;
 
     uint64_t ingestNs() const { return stats.ingestNs(); }

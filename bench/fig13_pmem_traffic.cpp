@@ -62,6 +62,8 @@ main(int argc, char **argv)
             row.set("system", o.system);
             row.set("ingest_ns", o.ingestNs());
             row.set("counters", o.counters.toJson());
+            if (telemetry::kAttributionEnabled)
+                row.set("attribution", o.attribution.toJson());
             const json::JsonValue phases = telemetryPhaseSeries();
             if (phases.size() != 0)
                 row.set("phase_latency_ns", phases);

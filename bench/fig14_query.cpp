@@ -86,8 +86,17 @@ struct JsonRow
     Measurement m;
 };
 
+/** Lifetime per-cause traffic split of one store (ingest + all kernels). */
+struct StoreAttribution
+{
+    std::string dataset;
+    std::string store;
+    telemetry::AttributionSnapshot attribution;
+};
+
 void
-writeJson(const std::vector<JsonRow> &rows)
+writeJson(const std::vector<JsonRow> &rows,
+          const std::vector<StoreAttribution> &attrs)
 {
     json::JsonValue doc = json::JsonValue::object();
     doc.set("bench", "fig14_query");
@@ -108,6 +117,19 @@ writeJson(const std::vector<JsonRow> &rows)
         arr.push(std::move(row));
     }
     doc.set("rows", std::move(arr));
+    if (telemetry::kAttributionEnabled && !attrs.empty()) {
+        // Per-store lifetime split: how much of each store's media
+        // traffic the queries caused vs the ingest that built it.
+        json::JsonValue attr_arr = json::JsonValue::array();
+        for (const StoreAttribution &a : attrs) {
+            json::JsonValue row = json::JsonValue::object();
+            row.set("dataset", a.dataset);
+            row.set("store", a.store);
+            row.set("attribution", a.attribution.toJson());
+            attr_arr.push(std::move(row));
+        }
+        doc.set("store_attribution", std::move(attr_arr));
+    }
     // Kernel/round latency quantiles accumulated across every run of
     // the bench (telemetry ON; absent otherwise).
     const json::JsonValue phases = telemetryPhaseSeries();
@@ -147,6 +169,7 @@ main(int argc, char **argv)
                     "speedup", "media-rd before", "media-rd after"});
 
     std::vector<JsonRow> json;
+    std::vector<StoreAttribution> attrs;
 
     for (const auto &name : names) {
         const Dataset ds = loadDataset(name);
@@ -262,11 +285,14 @@ main(int argc, char **argv)
                 }
             }
         }
+        attrs.push_back(
+            {ds.spec.abbrev, "GraphOne-P", g1->pmemAttribution()});
+        attrs.push_back({ds.spec.abbrev, "XPGraph", xpg->pmemAttribution()});
     }
     table.print();
     engines.print();
     std::printf("\npaper: 1-hop within ~30%%; BFS up to 4.46x, PageRank "
                 "up to 3.57x, CC up to 4.23x faster on XPGraph\n");
-    writeJson(json);
+    writeJson(json, attrs);
     return 0;
 }

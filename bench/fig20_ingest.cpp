@@ -71,6 +71,8 @@ writeJson(const std::vector<Row> &rows, const Dataset &ds)
         row.set("media_write_bytes", r.o.counters.mediaBytesWritten);
         row.set("media_read_bytes", r.o.counters.mediaBytesRead);
         row.set("sessions_opened", r.o.stats.sessionsOpened);
+        if (telemetry::kAttributionEnabled)
+            row.set("attribution", r.o.attribution.toJson());
         if (r.phases.size() != 0)
             row.set("phase_latency_ns", r.phases);
         arr.push(std::move(row));

@@ -21,11 +21,17 @@
 # AddressSanitizer — recovery code walks raw device images, exactly
 # where an out-of-bounds read would hide.
 #
+# After the recovery bench, the fig13 traffic bench runs and its report
+# is gated twice with tools/bench_diff: the paper's write-amplification
+# ordering (XPGraph strictly below GraphOne-P) must hold, and no metric
+# may regress >10% against the committed BENCH_traffic.json baseline.
+#
 # The closing telemetry stage (skip with XPG_TELEMETRY_STAGE=0) runs the
 # CLI pipeline with --telemetry and json.tool-validates the trace and
-# metrics files, then builds a -DXPG_TELEMETRY=OFF tree
-# (<build-dir>-notel) and bounds the simulated-time drift between the
-# two fig20 runs at 2%.
+# metrics files, runs the attribution profiler and asserts its per-cause
+# rows sum back to the device counters (≤0.1%), then builds a
+# -DXPG_TELEMETRY=OFF tree (<build-dir>-notel) and bounds the
+# simulated-time drift between the two fig20 runs at 2%.
 #
 # Usage: bench/run_tier1_bench.sh [build-dir] [dataset...]
 #   build-dir  defaults to ./build
@@ -42,7 +48,7 @@ if [[ "${XPG_TSAN:-0}" == "1" ]]; then
     cmake -B "${tsan_dir}" -S "${repo_root}" -DXPG_SANITIZE=thread
     cmake --build "${tsan_dir}" -j "$(nproc)" --target xpg_tests
     "${tsan_dir}/tests/xpg_tests" \
-        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*'
+        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*:Attribution*'
 fi
 
 if [[ "${XPG_ASAN:-0}" == "1" ]]; then
@@ -58,7 +64,7 @@ fi
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target fig14_query micro_primitives fig20_ingest fig_recovery \
-               xpg_crash_tests
+               fig13_pmem_traffic xpg_crash_tests
 
 # Bounded crash-sweep stage: systematic power-loss points with recovery
 # validation (tests/test_crash_sweep.cpp).
@@ -76,6 +82,24 @@ export XPG_BENCH_INGEST_JSON="${XPG_BENCH_INGEST_JSON:-${repo_root}/BENCH_ingest
 
 export XPG_BENCH_RECOVERY_JSON="${XPG_BENCH_RECOVERY_JSON:-${repo_root}/BENCH_recovery.json}"
 "${build_dir}/bench/fig_recovery" "${datasets[0]}"
+
+export XPG_BENCH_TRAFFIC_JSON="${XPG_BENCH_TRAFFIC_JSON:-${repo_root}/BENCH_traffic.json}"
+"${build_dir}/bench/fig13_pmem_traffic" "${datasets[@]}"
+
+# Traffic regression gate: the paper's headline ordering (XPGraph's
+# write amplification strictly below GraphOne-P's) must hold in the run
+# just produced, and — when a baseline BENCH_traffic.json is committed —
+# no (dataset, system) metric may have regressed more than 10% against
+# it.
+"${repo_root}/tools/bench_diff" "${XPG_BENCH_TRAFFIC_JSON}" \
+    --assert-write-amp-order
+if baseline_traffic="$(git -C "${repo_root}" show HEAD:BENCH_traffic.json \
+                           2>/dev/null)"; then
+    "${repo_root}/tools/bench_diff" \
+        <(printf '%s' "${baseline_traffic}") "${XPG_BENCH_TRAFFIC_JSON}"
+else
+    echo "bench_diff: no committed BENCH_traffic.json baseline; skipping"
+fi
 
 # Telemetry stage (skip with XPG_TELEMETRY_STAGE=0). Three checks:
 #  1. The CLI pipeline run (ingest + archive + query + crash + recover)
@@ -96,11 +120,39 @@ if [[ "${XPG_TELEMETRY_STAGE:-1}" == "1" ]]; then
     python3 -m json.tool "${trace_json%.json}.metrics.json" > /dev/null
     echo "telemetry: ${trace_json} and ${trace_json%.json}.metrics.json parse"
 
+    # Attribution profile stage: the profiler's per-cause rows must sum
+    # back to the device-wide PCM counters (≤0.1% slack — in-process
+    # they are exact by construction; the slack only covers future
+    # float-derived fields).
+    profile_json="${XPG_BENCH_PROFILE_JSON:-${repo_root}/BENCH_profile.json}"
+    "${build_dir}/tools/xpgraph_cli" profile --dataset "${datasets[0]}" \
+        --json "${profile_json}"
+    python3 -m json.tool "${profile_json}" > /dev/null
+    python3 - "${profile_json}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+dev = doc["counters"]
+tot = doc["attribution_total"]
+bad = []
+for key, dev_v in dev.items():
+    if key not in tot or "amplification" in key:
+        continue
+    slack = abs(tot[key] - dev_v) / max(dev_v, 1)
+    if slack > 0.001:
+        bad.append(f"{key}: attributed {tot[key]} vs device {dev_v} "
+                   f"({slack:.3%})")
+if bad:
+    sys.exit("FAIL: attribution does not sum to the device counters:\n  "
+             + "\n  ".join(bad))
+print(f"profile check passed: attributed totals match the device "
+      f"counters on {len(dev)} fields")
+EOF
+
     notel_dir="${build_dir}-notel"
     cmake -B "${notel_dir}" -S "${repo_root}" -DXPG_TELEMETRY=OFF
     cmake --build "${notel_dir}" -j "$(nproc)" \
           --target fig20_ingest xpg_tests
-    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*'
+    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*:Attribution*'
     notel_json="${repo_root}/BENCH_ingest_notel.json"
     XPG_BENCH_INGEST_JSON="${notel_json}" \
         "${notel_dir}/bench/fig20_ingest" "${datasets[0]}"

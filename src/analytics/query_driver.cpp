@@ -4,6 +4,7 @@
 
 #include "pmem/dram_device.hpp"
 #include "pmem/numa_topology.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/sim_clock.hpp"
 
 namespace xpg {
@@ -120,6 +121,7 @@ QueryDriver::buildPlan(std::span<const vid_t> vertices, Plan &plan)
     for (unsigned node = 0; node < nodes; ++node)
         weights[node].resize(plan.lists[node].size());
     const ParallelResult gather = executor_.run([&](unsigned w) {
+        XPG_ATTR_SCOPE(attrScope, QueryRead);
         for (unsigned node = 0; node < nodes; ++node) {
             const auto &list = plan.lists[node];
             auto &wt = weights[node];
@@ -155,6 +157,9 @@ QueryDriver::runPlan(const Plan &plan,
     const unsigned workers = executor_.numWorkers();
     const unsigned nodes = static_cast<unsigned>(plan.lists.size());
     const ParallelResult result = executor_.run([&](unsigned w) {
+        // Worker-thread tag: everything a query round touches on the
+        // devices lands under QueryRead, whatever path the kernel uses.
+        XPG_ATTR_SCOPE(attrScope, QueryRead);
         if (!plan.bound) {
             NumaBinding::unbindThread();
             const auto &list = plan.lists[0];
@@ -194,6 +199,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
         const uint64_t per = (vertices.size() + workers - 1) /
                              std::max(1u, workers);
         const ParallelResult result = executor_.run([&](unsigned w) {
+            XPG_ATTR_SCOPE(attrScope, QueryRead);
             const uint64_t begin =
                 std::min<uint64_t>(vertices.size(),
                                    static_cast<uint64_t>(w) * per);
@@ -220,6 +226,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
         // hubs of power-law graphs spread across workers instead of
         // landing on the first chunk.
         const ParallelResult result = executor_.run([&](unsigned w) {
+            XPG_ATTR_SCOPE(attrScope, QueryRead);
             NumaBinding::unbindThread();
             for (uint64_t i = w; i < vertices.size(); i += workers)
                 fn(vertices[i], w);
@@ -244,6 +251,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
         // nodes this degenerates to the one-slot-per-worker layout.
         const unsigned slots = std::max(workers, nodes);
         const ParallelResult result = executor_.run([&](unsigned w) {
+            XPG_ATTR_SCOPE(attrScope, QueryRead);
             for (unsigned s = w; s < slots; s += workers) {
                 const unsigned node = s % nodes;
                 const unsigned local = s / nodes;

@@ -11,6 +11,7 @@
 #include "pmem/numa_topology.hpp"
 #include "pmem/pmem_device.hpp"
 #include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/logging.hpp"
 #include "util/sim_clock.hpp"
 
@@ -226,6 +227,7 @@ GraphOne::GraphOne(const GraphOneConfig &config, bool recovering)
                   config_.variant == GraphOneVariant::Pmem;
     if (durableLog_ && recovering) {
         // Adopt the checksum-valid header copy with the max generation.
+        XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
         const auto a = logDevice_->readPod<G1LogHeader>(kLogHeaderOff);
         const auto b = logDevice_->readPod<G1LogHeader>(kLogHeaderOff +
                                                         kXPLineSize);
@@ -457,6 +459,7 @@ GraphOne::tryReserveLog(uint64_t n, uint64_t &pos)
 void
 GraphOne::writeLog(uint64_t pos, const Edge *edges, uint64_t n)
 {
+    XPG_ATTR_SCOPE(attrScope, EdgeLogAppend);
     uint64_t written = 0;
     while (written < n) {
         const uint64_t p = pos + written;
@@ -491,6 +494,7 @@ GraphOne::publishLog(uint64_t pos, uint64_t n)
 void
 GraphOne::persistLogSlots(uint64_t pos, uint64_t n)
 {
+    XPG_ATTR_SCOPE(attrScope, EdgeLogAppend);
     uint64_t done = 0;
     while (done < n) {
         const uint64_t slot = (pos + done) % config_.elogCapacityEdges;
@@ -506,6 +510,7 @@ void
 GraphOne::persistLogHeader()
 {
     std::lock_guard<SpinLock> lock(logHeaderLock_);
+    XPG_ATTR_SCOPE(attrScope, Superblock);
     G1LogHeader hdr{};
     hdr.magic = kG1LogMagic;
     hdr.capacityEdges = config_.elogCapacityEdges;
@@ -643,7 +648,10 @@ GraphOne::appendRecord(Direction &dir, vid_t v, vid_t record)
 void
 GraphOne::archiveWorker(unsigned w)
 {
-    // GraphOne is NUMA-oblivious: archive threads float.
+    // GraphOne is NUMA-oblivious: archive threads float. The per-edge
+    // random chunk writes are the archive's traffic (thread-local tag,
+    // so each worker opens its own scope).
+    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
     NumaBinding::unbindThread();
 
     // Out-direction: shards partition the src space, so this worker owns
@@ -709,7 +717,8 @@ GraphOne::runArchivePhaseLocked()
     batch_.clear();
     batch_.reserve(to - from);
     {
-        // Read the batch back from the log.
+        // Read the batch back from the log: archive traffic, not query.
+        XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
         uint64_t read = 0;
         batch_.resize(to - from);
         while (from + read < to) {
@@ -780,6 +789,7 @@ template <typename F>
 uint32_t
 GraphOne::visitDirection(const Direction &dir, vid_t v, F &&fn) const
 {
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     const VertexMeta &meta = dir.meta[v];
     if (meta.tombstones == 0) {
         uint32_t n = 0;
@@ -972,6 +982,42 @@ GraphOne::pmemCounters() const
     for (const auto &dev : devices_)
         total += dev->counters();
     return total;
+}
+
+telemetry::AttributionSnapshot
+GraphOne::pmemAttribution() const
+{
+    telemetry::AttributionSnapshot total;
+    for (const auto &dev : devices_)
+        total += dev->attribution();
+    if (novaLogDevice_)
+        total += novaLogDevice_->attribution();
+    return total;
+}
+
+std::vector<telemetry::LineHeatTable::HotLine>
+GraphOne::hotLines(unsigned n) const
+{
+    std::vector<telemetry::LineHeatTable::HotLine> merged;
+    for (const auto &dev : devices_) {
+        const auto *pmem = dynamic_cast<const PmemDevice *>(dev.get());
+        if (!pmem)
+            continue;
+        const auto top = pmem->heat().top(n);
+        merged.insert(merged.end(), top.begin(), top.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const telemetry::LineHeatTable::HotLine &a,
+                 const telemetry::LineHeatTable::HotLine &b) {
+                  const uint64_t ta = a.reads + a.writes;
+                  const uint64_t tb = b.reads + b.writes;
+                  if (ta != tb)
+                      return ta > tb;
+                  return a.line < b.line;
+              });
+    if (merged.size() > n)
+        merged.resize(n);
+    return merged;
 }
 
 } // namespace xpg

@@ -166,6 +166,11 @@ class GraphOne : public GraphStore
 
     MemoryUsage memoryUsage() const override;
     PcmCounters pmemCounters() const override;
+    /** Per-cause breakdown of pmemCounters(), summed over devices. */
+    telemetry::AttributionSnapshot pmemAttribution() const override;
+    /** Hottest XPLines merged across the chunk/log devices. */
+    std::vector<telemetry::LineHeatTable::HotLine>
+    hotLines(unsigned n) const override;
     const GraphOneConfig &config() const { return config_; }
 
   private:

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/checksum.hpp"
 #include "util/logging.hpp"
 
@@ -65,6 +66,7 @@ AdjacencyStore::indexEntryOff(uint64_t slot) const
 void
 AdjacencyStore::persistIndex(uint64_t slot, const VertexChain &chain)
 {
+    XPG_ATTR_SCOPE(attrScope, VertexMeta);
     dev_->writePod<IndexEntry>(indexEntryOff(slot),
                                IndexEntry{chain.head, chain.tail});
 }
@@ -90,6 +92,7 @@ uint64_t
 AdjacencyStore::writeBlock(const vid_t *nebrs, uint32_t n,
                            uint32_t capacity)
 {
+    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
     const uint64_t bytes = blockBytes(capacity);
     const uint64_t align = bytes >= kXPLineSize ? kXPLineSize : 64;
     const uint64_t off = alloc_->alloc(bytes, align);
@@ -116,6 +119,7 @@ void
 AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
                        VertexChain &chain)
 {
+    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
     uint32_t remaining = n;
     const vid_t *cursor = nebrs;
 
@@ -229,6 +233,7 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
 {
     if (chain.empty())
         return;
+    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
     std::vector<vid_t> raw;
     readRaw(chain, raw);
 

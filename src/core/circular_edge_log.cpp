@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/checksum.hpp"
 #include "util/logging.hpp"
 
@@ -84,6 +85,7 @@ CircularEdgeLog::tryRecover(MemoryDevice &dev, uint64_t region_off,
     // A crash can tear the header copy that was being written; the other
     // copy is then the last fully persisted one. Adopt the valid copy
     // with the highest generation.
+    XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
     const Header a = dev.readPod<Header>(region_off);
     const Header b = dev.readPod<Header>(region_off + kXPLineSize);
     const bool a_ok = a.valid();
@@ -134,6 +136,7 @@ CircularEdgeLog::persistHeaderLocked()
     h.checksum = h.computeChecksum();
     const uint64_t off =
         regionOff_ + (h.generation & 1 ? kXPLineSize : 0);
+    XPG_ATTR_SCOPE(attrScope, Superblock);
     dev_->writePod<Header>(off, h);
     dev_->persist(off, sizeof(Header));
 }
@@ -141,6 +144,7 @@ CircularEdgeLog::persistHeaderLocked()
 void
 CircularEdgeLog::persistSlots(uint64_t pos, uint64_t n)
 {
+    XPG_ATTR_SCOPE(attrScope, EdgeLogAppend);
     uint64_t done = 0;
     while (done < n) {
         const uint64_t p = pos + done;
@@ -175,6 +179,7 @@ CircularEdgeLog::tryReserve(uint64_t n, uint64_t &pos)
 void
 CircularEdgeLog::writeReserved(uint64_t pos, const Edge *edges, uint64_t n)
 {
+    XPG_ATTR_SCOPE(attrScope, EdgeLogAppend);
     uint64_t written = 0;
     while (written < n) {
         // Contiguous run up to the physical wrap point.

@@ -14,6 +14,7 @@
 #include "pmem/pmem_device.hpp"
 #include "pmem/ssd_device.hpp"
 #include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/logging.hpp"
 #include "util/sim_clock.hpp"
 
@@ -398,6 +399,7 @@ XPGraph::initPartitions(bool recovering)
             kXPLineSize);
 
         if (recovering) {
+            XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
             const auto sb = part.dev->readPod<Superblock>(0);
             if (sb.magic != kSuperMagic || sb.version != kSuperVersion) {
                 return recoveryFail(RecoveryStatus::SuperblockCorrupt,
@@ -454,6 +456,7 @@ XPGraph::initPartitions(bool recovering)
             sb.configFingerprint = config_.geometryFingerprint();
             sb.generation = 1;
             sb.checksum = sb.computeChecksum();
+            XPG_ATTR_SCOPE(attrScope, Superblock);
             part.dev->writePod<Superblock>(0, sb);
             // The superblock must reach the media now: a crash before the
             // first flush would otherwise lose it to the XPBuffer.
@@ -508,6 +511,7 @@ XPGraph::recover(const XPGraphConfig &config, RecoveryReport *report)
 void
 XPGraph::bumpSuperblockGenerations()
 {
+    XPG_ATTR_SCOPE(attrScope, Superblock);
     for (auto &part : parts_) {
         auto sb = part.dev->readPod<Superblock>(0);
         ++sb.generation;
@@ -533,6 +537,9 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
         XPG_TRACE_SCOPE(rebuildSpan, "recovery.rebuild_chains",
                         "recovery");
         result = executor_->run([&](unsigned w) {
+        // Scopes are thread-local, so the tag must be planted in each
+        // worker body, not around the executor_->run() call.
+        XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
         forWorkerSlots(w, [&](unsigned node, unsigned local,
                               unsigned slots_here) {
             if (config_.bindThreads)
@@ -615,6 +622,7 @@ XPGraph::rebuildFromDevices(RecoveryReport *report)
     // consumed by a buffering phase; cannot be truncated) is skipped.
     SimScope replay_scope;
     XPG_TRACE_SCOPE(replaySpan, "recovery.replay_log", "recovery");
+    XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
     const auto edge_ok = [&](const Edge &e) {
         return !isDelete(e.src) && rawVid(e.src) < config_.maxVertices &&
                rawVid(e.dst) < config_.maxVertices;
@@ -1118,6 +1126,9 @@ XPGraph::runBufferingPhaseLocked(bool capped)
     // of the XPLine write buffer (concurrent sessions keep writing, so
     // under load the window is always cold by the time it drains).
     const ParallelResult read_result = executor_->run([&](unsigned w) {
+        // Log reads feeding an archive phase are archive traffic, not
+        // query traffic (thread-local tag, so it lives in the worker).
+        XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
         forWorkerSlots(w, [&](unsigned node, unsigned local,
                               unsigned slots_here) {
             if (config_.bindThreads &&
@@ -1179,6 +1190,7 @@ XPGraph::runBufferingPhaseLocked(bool capped)
 void
 XPGraph::flushWorker(unsigned w, bool release_buffers)
 {
+    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
     forWorkerSlots(w, [&](unsigned node, unsigned local,
                           unsigned slots_here) {
         if (config_.bindThreads &&
@@ -1332,6 +1344,7 @@ XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
 {
     if (!side)
         return 0;
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     const VertexState &st = side->states[slot];
     if (st.tombstones == 0) {
         // No delete records anywhere in this vertex: every stored
@@ -1373,6 +1386,7 @@ XPGraph::degreeOf(const Side *side, uint64_t slot) const
 {
     if (!side)
         return 0;
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     const VertexState &st = side->states[slot];
     if (st.tombstones == 0) {
         chargeDramScattered(1); // one vertex-state cache line
@@ -1478,6 +1492,7 @@ XPGraph::getNebrsFlushOut(vid_t v, std::vector<vid_t> &out) const
     const Partition &part = parts_[outOwner(v)];
     if (!part.out)
         return 0;
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     return part.out->store->readRaw(part.out->states[outSlot(v)].chain,
                                     out);
 }
@@ -1488,6 +1503,7 @@ XPGraph::getNebrsFlushIn(vid_t v, std::vector<vid_t> &out) const
     const Partition &part = parts_[inOwner(v)];
     if (!part.in)
         return 0;
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     return part.in->store->readRaw(part.in->states[inSlot(v)].chain, out);
 }
 
@@ -1511,6 +1527,7 @@ XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
     // Per-log windows are scanned node by node: records of one session
     // stream keep their order; streams from different nodes concatenate
     // (concurrent sessions have no global order anyway).
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     uint32_t n = 0;
     for (unsigned node = 0; node < config_.numNodes; ++node) {
         LogWindowIndex &index = logIndex(node);
@@ -1524,6 +1541,7 @@ XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
 uint32_t
 XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
 {
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     uint32_t n = 0;
     for (unsigned node = 0; node < config_.numNodes; ++node) {
         LogWindowIndex &index = logIndex(node);
@@ -1537,6 +1555,7 @@ XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
 uint64_t
 XPGraph::getLoggedEdges(std::vector<Edge> &out) const
 {
+    XPG_ATTR_SCOPE(attrScope, QueryRead);
     uint64_t n = 0;
     for (const auto &part : parts_) {
         n += part.log->nonBuffered();
@@ -1725,6 +1744,43 @@ XPGraph::pmemCounters() const
     for (const auto &part : parts_)
         total += part.dev->counters();
     return total;
+}
+
+telemetry::AttributionSnapshot
+XPGraph::pmemAttribution() const
+{
+    telemetry::AttributionSnapshot total;
+    for (const auto &part : parts_)
+        total += part.dev->attribution();
+    return total;
+}
+
+std::vector<telemetry::LineHeatTable::HotLine>
+XPGraph::hotLines(unsigned n) const
+{
+    // Merge the per-node device tables. Line indices are device-local;
+    // entries from different nodes can share an index and are reported
+    // as separate rows (the profiler cares about heat, not identity).
+    std::vector<telemetry::LineHeatTable::HotLine> merged;
+    for (const auto &part : parts_) {
+        const auto *pmem = dynamic_cast<const PmemDevice *>(part.dev.get());
+        if (!pmem)
+            continue;
+        const auto top = pmem->heat().top(n);
+        merged.insert(merged.end(), top.begin(), top.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const telemetry::LineHeatTable::HotLine &a,
+                 const telemetry::LineHeatTable::HotLine &b) {
+                  const uint64_t ta = a.reads + a.writes;
+                  const uint64_t tb = b.reads + b.writes;
+                  if (ta != tb)
+                      return ta > tb;
+                  return a.line < b.line;
+              });
+    if (merged.size() > n)
+        merged.resize(n);
+    return merged;
 }
 
 void

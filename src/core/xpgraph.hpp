@@ -230,6 +230,11 @@ class XPGraph : public GraphStore
     MemoryUsage memoryUsage() const override;
     /** Aggregate device counters (PCM-equivalent, Fig.13). */
     PcmCounters pmemCounters() const override;
+    /** Per-cause breakdown of pmemCounters(), summed over partitions. */
+    telemetry::AttributionSnapshot pmemAttribution() const override;
+    /** Hottest XPLines merged across the per-node devices. */
+    std::vector<telemetry::LineHeatTable::HotLine>
+    hotLines(unsigned n) const override;
     const XPGraphConfig &config() const { return config_; }
     VertexBufferPool &pool() { return *pool_; }
 

@@ -25,10 +25,13 @@
 
 #include <memory>
 
+#include <vector>
+
 #include "core/stats.hpp"
 #include "graph/graph_view.hpp"
 #include "graph/types.hpp"
 #include "pmem/pcm_counters.hpp"
+#include "telemetry/attribution.hpp"
 
 namespace xpg {
 
@@ -123,6 +126,32 @@ class GraphStore : public GraphView
 
     virtual PcmCounters pmemCounters() const = 0;
     virtual MemoryUsage memoryUsage() const = 0;
+
+    /**
+     * Per-cause breakdown of the same traffic pmemCounters() reports:
+     * one row per AccessCategory, summed across this store's devices.
+     * The attribution increments live at the same code sites as the
+     * PcmCounters increments, so snapshot().total() matches
+     * pmemCounters() exactly on a quiescent store. Empty (all-zero)
+     * when built with -DXPG_TELEMETRY=OFF.
+     */
+    virtual telemetry::AttributionSnapshot
+    pmemAttribution() const
+    {
+        return {};
+    }
+
+    /**
+     * The hottest XPLines across this store's devices: top @p n by
+     * total touches, merged from the per-device heat tables. Empty for
+     * stores without an XPBuffer model (DRAM) or with telemetry OFF.
+     */
+    virtual std::vector<telemetry::LineHeatTable::HotLine>
+    hotLines(unsigned n) const
+    {
+        (void)n;
+        return {};
+    }
 
     /**
      * Publish this store's cumulative stats and per-device counters

@@ -35,6 +35,7 @@ DramDevice::read(uint64_t off, void *dst, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     chargeAccess(size, false);
     std::memcpy(dst, raw(off), size);
 }
@@ -44,6 +45,7 @@ DramDevice::readView(uint64_t off, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     chargeAccess(size, false);
     return raw(off);
 }
@@ -53,6 +55,7 @@ DramDevice::write(uint64_t off, const void *src, uint64_t size)
 {
     checkRange(off, size);
     appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesWritten, size);
     chargeAccess(size, true);
     std::memcpy(raw(off), src, size);
 }

@@ -88,6 +88,7 @@ MemoryDevice::remoteFactor(double remote_mult)
         return 1.0;
     if (bound != kUnboundNode) {
         remoteAccesses_.fetch_add(1, std::memory_order_relaxed);
+        attrAdd(telemetry::AttrField::RemoteAccesses, 1);
         return remote_mult;
     }
     if (numNodes_ <= 1)
@@ -97,6 +98,7 @@ MemoryDevice::remoteFactor(double remote_mult)
     const double remote_frac =
         static_cast<double>(numNodes_ - 1) / static_cast<double>(numNodes_);
     remoteAccesses_.fetch_add(1, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::RemoteAccesses, 1);
     return 1.0 + remote_frac * (remote_mult - 1.0);
 }
 
@@ -131,6 +133,30 @@ MemoryDevice::publishTelemetry(const char *store, int node_label) const
     tel.gauge("pmem.media_write_ops", labels).set(c.mediaWriteOps);
     tel.gauge("pmem.buffer_hits", labels).set(c.bufferHits);
     tel.gauge("pmem.remote_accesses", labels).set(c.remoteAccesses);
+
+    // Per-category attribution gauges, named attr.<category>.<field>
+    // with the same {store, node} labels; empty categories are skipped
+    // so the registry only grows for activity that happened.
+    const telemetry::AttributionSnapshot a = attribution();
+    for (const telemetry::AccessCategory cat :
+         telemetry::allAccessCategories()) {
+        const telemetry::AttributionRow &row = a[cat];
+        if (row.empty())
+            continue;
+        const std::string prefix =
+            std::string("attr.") + telemetry::accessCategoryName(cat) + ".";
+        tel.gauge(prefix + "app_bytes_read", labels)
+            .set(row.pcm.appBytesRead);
+        tel.gauge(prefix + "app_bytes_written", labels)
+            .set(row.pcm.appBytesWritten);
+        tel.gauge(prefix + "media_bytes_read", labels)
+            .set(row.pcm.mediaBytesRead);
+        tel.gauge(prefix + "media_bytes_written", labels)
+            .set(row.pcm.mediaBytesWritten);
+        tel.gauge(prefix + "rmw_reads", labels).set(row.rmwReads);
+        tel.gauge(prefix + "sub_line_stores", labels)
+            .set(row.subLineStores);
+    }
 }
 
 } // namespace xpg

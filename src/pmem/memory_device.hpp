@@ -20,6 +20,7 @@
 
 #include "pmem/fault_plan.hpp"
 #include "pmem/pcm_counters.hpp"
+#include "telemetry/attribution.hpp"
 
 namespace xpg {
 
@@ -165,6 +166,17 @@ class MemoryDevice
     PcmCounters counters() const;
 
     /**
+     * Per-category attribution of those same counters: each increment a
+     * subclass applies to a counter field is mirrored into the row of
+     * the calling thread's AccessScope category, so summing the rows
+     * reproduces counters() exactly. All-zero with -DXPG_TELEMETRY=OFF.
+     */
+    telemetry::AttributionSnapshot attribution() const
+    {
+        return attr_.snapshot();
+    }
+
+    /**
      * Publish counters() into the telemetry registry as per-node
      * gauges labeled {store, node} (no-op with -DXPG_TELEMETRY=OFF).
      * Engines call this from their publishTelemetry() hook.
@@ -201,6 +213,45 @@ class MemoryDevice
         return declaredReaders_.load(std::memory_order_relaxed);
     }
 
+    /** Mirror a counter increment into the calling scope's category. */
+    void
+    attrAdd(telemetry::AttrField f, uint64_t n)
+    {
+        if constexpr (telemetry::kAttributionEnabled)
+            attr_.add(telemetry::AccessScope::current(), f, n);
+        else {
+            (void)f;
+            (void)n;
+        }
+    }
+
+    /** Mirror an increment into an explicit category (eviction blame). */
+    void
+    attrAddTo(telemetry::AccessCategory c, telemetry::AttrField f,
+              uint64_t n)
+    {
+        attr_.add(c, f, n);
+    }
+
+    /** The calling scope's category as an XPBuffer owner tag. */
+    static uint8_t
+    ownerTag()
+    {
+        if constexpr (telemetry::kAttributionEnabled)
+            return static_cast<uint8_t>(telemetry::AccessScope::current());
+        else
+            return static_cast<uint8_t>(telemetry::AccessCategory::Other);
+    }
+
+    /** Owner tag back to a category (bad tags fall back to Other). */
+    static telemetry::AccessCategory
+    ownerCategory(uint8_t tag)
+    {
+        return tag < telemetry::kAccessCategoryCount
+                   ? static_cast<telemetry::AccessCategory>(tag)
+                   : telemetry::AccessCategory::Other;
+    }
+
     /// Cumulative counters (relaxed atomics; exact totals, any order).
     std::atomic<uint64_t> appBytesRead_{0};
     std::atomic<uint64_t> appBytesWritten_{0};
@@ -210,6 +261,9 @@ class MemoryDevice
     std::atomic<uint64_t> mediaWriteOps_{0};
     std::atomic<uint64_t> bufferHits_{0};
     std::atomic<uint64_t> remoteAccesses_{0};
+
+    /// Per-category mirror of the counters above (attribution layer).
+    telemetry::AttributionTable attr_;
 
   private:
     std::string name_;

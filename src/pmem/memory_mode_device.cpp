@@ -25,21 +25,26 @@ MemoryModeDevice::MemoryModeDevice(std::string name, uint64_t capacity,
 bool
 MemoryModeDevice::access(uint64_t line, bool is_write)
 {
+    using telemetry::AttrField;
     const CostParams &p = *params_;
     const uint64_t slot = line % tags_.size();
     bool hit;
     bool victim_dirty = false;
+    uint8_t victim_owner = 0;
     {
         std::lock_guard<SpinLock> guard(locks_[slot % kLockShards]);
         Tag &tag = tags_[slot];
         hit = tag.valid && tag.line == line;
         if (!hit) {
             victim_dirty = tag.valid && tag.dirty;
+            victim_owner = tag.owner;
             tag.line = line;
             tag.valid = true;
             tag.dirty = is_write;
+            tag.owner = is_write ? ownerTag() : uint8_t{0};
         } else if (is_write) {
             tag.dirty = true;
+            tag.owner = ownerTag();
         }
     }
 
@@ -49,12 +54,20 @@ MemoryModeDevice::access(uint64_t line, bool is_write)
     if (hit) {
         lineHits_.fetch_add(1, std::memory_order_relaxed);
         bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        attrAdd(AttrField::BufferHits, 1);
         return true;
     }
 
     const double remote_r = remoteFactor(p.pmemRemoteReadMult);
     mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
     mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+    attrAdd(AttrField::MediaReadOps, 1);
+    attrAdd(AttrField::MediaBytesRead, kXPLineSize);
+    if (is_write) {
+        // A write miss fetches the full line before merging the store:
+        // memory-mode's flavor of sub-line RMW amplification.
+        attrAdd(AttrField::RmwReads, 1);
+    }
     const double read_contention = CostParams::contentionMult(
         declaredReaders(), p.pmemReadFairThreads, p.pmemReadContentionSlope);
     SimClock::chargeScaled(p.pmemMediaReadNs, remote_r * read_contention);
@@ -62,6 +75,9 @@ MemoryModeDevice::access(uint64_t line, bool is_write)
     if (victim_dirty) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        attrAddTo(ownerCategory(victim_owner), AttrField::MediaWriteOps, 1);
+        attrAddTo(ownerCategory(victim_owner), AttrField::MediaBytesWritten,
+                  kXPLineSize);
         const double write_contention = CostParams::contentionMult(
             declaredWriters(), p.pmemWriteFairThreads,
             p.pmemWriteContentionSlope);
@@ -75,6 +91,7 @@ MemoryModeDevice::read(uint64_t off, void *dst, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line)
@@ -87,6 +104,7 @@ MemoryModeDevice::readView(uint64_t off, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line)
@@ -99,6 +117,7 @@ MemoryModeDevice::write(uint64_t off, const void *src, uint64_t size)
 {
     checkRange(off, size);
     appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesWritten, size);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line)

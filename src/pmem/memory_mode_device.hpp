@@ -53,6 +53,7 @@ class MemoryModeDevice : public MemoryDevice
         uint64_t line = ~0ull;
         bool valid = false;
         bool dirty = false;
+        uint8_t owner = 0; ///< attribution tag of the last dirtying store
     };
 
     std::vector<Tag> tags_;

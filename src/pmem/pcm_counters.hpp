@@ -64,7 +64,14 @@ struct PcmCounters
         return s;
     }
 
-    /** Read amplification: media bytes read per app byte written+read. */
+    /**
+     * Read amplification: media bytes read per app byte *read* — the
+     * symmetric counterpart of writeAmplification() and the paper's
+     * Fig. 3b definition. RMW reads triggered by sub-line stores inflate
+     * the numerator without touching the denominator, which is exactly
+     * the effect the figure measures (so a write-heavy workload can show
+     * read amplification far above 1 even though it issues few loads).
+     */
     double
     readAmplification() const
     {

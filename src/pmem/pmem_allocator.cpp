@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
@@ -18,6 +19,7 @@ PmemAllocator::PmemAllocator(MemoryDevice &dev, uint64_t region_start,
     XPG_ASSERT(regionStart_ < regionEnd_, "empty allocator region");
     XPG_ASSERT(regionEnd_ <= dev.capacity(), "region beyond device");
     persistedTail_ = tail_.load();
+    XPG_ATTR_SCOPE(attrScope, AllocatorMeta);
     dev_.writePod<uint64_t>(tailPtrOff_, persistedTail_);
     // Media-durable immediately: a crash before the first allocation's
     // tail persist must still find a valid (initial) tail on recovery.
@@ -75,6 +77,7 @@ PmemAllocator::ensureTailAtLeast(uint64_t tail)
     std::lock_guard<SpinLock> guard(persistLock_);
     if (tail > persistedTail_) {
         persistedTail_ = tail;
+        XPG_ATTR_SCOPE(attrScope, AllocatorMeta);
         dev_.writePod<uint64_t>(tailPtrOff_, tail);
         dev_.persist(tailPtrOff_, sizeof(uint64_t));
     }
@@ -107,6 +110,7 @@ PmemAllocator::alloc(uint64_t size, uint64_t align)
         std::lock_guard<SpinLock> guard(persistLock_);
         if (next > persistedTail_) {
             persistedTail_ = next;
+            XPG_ATTR_SCOPE(attrScope, AllocatorMeta);
             dev_.writePod<uint64_t>(tailPtrOff_, next);
         }
     }

@@ -34,9 +34,11 @@ PmemDevice::initTelemetryHandles()
 void
 PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
 {
+    using telemetry::AttrField;
     const CostParams &p = *params_;
     if (out.hit) {
         bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        attrAdd(AttrField::BufferHits, 1);
         SimClock::charge(p.pmemBufferHitNs);
         return;
     }
@@ -45,6 +47,12 @@ PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
     if (out.rmwRead) {
         mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        // The sub-line-store detector: this media read exists only
+        // because a store began off the line base, so the full line of
+        // read amplification is blamed on the storing category.
+        attrAdd(AttrField::MediaReadOps, 1);
+        attrAdd(AttrField::MediaBytesRead, kXPLineSize);
+        attrAdd(AttrField::RmwReads, 1);
         const uint64_t readNs = CostParams::scaledNs(p.pmemMediaReadNs,
                                                      remote);
         SimClock::charge(readNs);
@@ -53,6 +61,10 @@ PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
     if (out.evictWrite) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        attrAddTo(ownerCategory(out.evictedOwner), AttrField::MediaWriteOps,
+                  1);
+        attrAddTo(ownerCategory(out.evictedOwner),
+                  AttrField::MediaBytesWritten, kXPLineSize);
         const uint64_t base =
             out.evictSeq ? p.pmemMediaWriteSeqNs : p.pmemMediaWriteNs;
         const double slope = out.evictSeq ? p.pmemSeqWriteContentionSlope
@@ -69,9 +81,11 @@ PmemDevice::chargeStoreOutcome(const XPAccessOutcome &out)
 void
 PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
 {
+    using telemetry::AttrField;
     const CostParams &p = *params_;
     if (out.hit) {
         bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        attrAdd(AttrField::BufferHits, 1);
         SimClock::charge(p.pmemBufferHitNs);
         return;
     }
@@ -80,6 +94,10 @@ PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
     if (out.rmwRead) {
         mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesRead_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        // A load miss, not an RMW: media read bytes land in the loading
+        // category but rmwReads stays untouched.
+        attrAdd(AttrField::MediaReadOps, 1);
+        attrAdd(AttrField::MediaBytesRead, kXPLineSize);
         const double contention = CostParams::contentionMult(
             declaredReaders(), p.pmemReadFairThreads,
             p.pmemReadContentionSlope);
@@ -91,6 +109,10 @@ PmemDevice::chargeLoadOutcome(const XPAccessOutcome &out)
     if (out.evictWrite) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesWritten_.fetch_add(kXPLineSize, std::memory_order_relaxed);
+        attrAddTo(ownerCategory(out.evictedOwner), AttrField::MediaWriteOps,
+                  1);
+        attrAddTo(ownerCategory(out.evictedOwner),
+                  AttrField::MediaBytesWritten, kXPLineSize);
         const uint64_t base =
             out.evictSeq ? p.pmemMediaWriteSeqNs : p.pmemMediaWriteNs;
         const uint64_t writeNs = CostParams::scaledNs(base, remote);
@@ -162,9 +184,11 @@ void
 PmemDevice::chargeRead(uint64_t off, uint64_t size)
 {
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line) {
+        heat_.touch(line, ownerCategory(ownerTag()), false);
         const XPAccessOutcome out = buffer_.load(line);
         chargeLoadOutcome(out);
         if (out.evictWrite)
@@ -193,6 +217,8 @@ PmemDevice::write(uint64_t off, const void *src, uint64_t size)
 {
     checkRange(off, size);
     appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesWritten, size);
+    const uint8_t owner = ownerTag();
     // Per-line store + copy: an eviction caused by a later line of this
     // same write must write back the *final* content of the evicted line,
     // so each line's bytes land in the backing before the next line's
@@ -205,7 +231,11 @@ PmemDevice::write(uint64_t off, const void *src, uint64_t size)
         const uint64_t line_end = (line + 1) * kXPLineSize;
         const uint64_t chunk = std::min(end, line_end) - cursor;
         const bool starts_at_base = (cursor == line * kXPLineSize);
-        const XPAccessOutcome out = buffer_.store(line, starts_at_base);
+        if (!starts_at_base)
+            attrAdd(telemetry::AttrField::SubLineStores, 1);
+        heat_.touch(line, ownerCategory(owner), true);
+        const XPAccessOutcome out =
+            buffer_.store(line, starts_at_base, owner);
         if (out.dirtied)
             noteLineDirtied(line); // snapshot pre-store durable image
         chargeStoreOutcome(out);
@@ -221,10 +251,18 @@ void
 PmemDevice::quiesce()
 {
     std::vector<uint64_t> drained_lines;
-    const unsigned drained = buffer_.drainDirty(&drained_lines);
+    std::vector<uint8_t> drained_owners;
+    const unsigned drained =
+        buffer_.drainDirty(&drained_lines, &drained_owners);
     mediaWriteOps_.fetch_add(drained, std::memory_order_relaxed);
     mediaBytesWritten_.fetch_add(uint64_t{drained} * kXPLineSize,
                                  std::memory_order_relaxed);
+    for (const uint8_t owner : drained_owners) {
+        attrAddTo(ownerCategory(owner), telemetry::AttrField::MediaWriteOps,
+                  1);
+        attrAddTo(ownerCategory(owner),
+                  telemetry::AttrField::MediaBytesWritten, kXPLineSize);
+    }
     for (const uint64_t line : drained_lines)
         noteMediaWrite(line);
 }
@@ -239,10 +277,15 @@ PmemDevice::persist(uint64_t off, uint64_t size)
     const uint64_t first = xplineOf(off);
     const uint64_t last = xplineOf(off + size - 1);
     for (uint64_t line = first; line <= last; ++line) {
-        if (buffer_.flushLine(line)) {
+        uint8_t owner = ownerTag();
+        if (buffer_.flushLine(line, &owner)) {
             mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
             mediaBytesWritten_.fetch_add(kXPLineSize,
                                          std::memory_order_relaxed);
+            attrAddTo(ownerCategory(owner),
+                      telemetry::AttrField::MediaWriteOps, 1);
+            attrAddTo(ownerCategory(owner),
+                      telemetry::AttrField::MediaBytesWritten, kXPLineSize);
             noteMediaWrite(line);
             const double remote = remoteFactor(p.pmemRemoteWriteMult);
             const double contention = CostParams::contentionMult(

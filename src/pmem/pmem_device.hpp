@@ -73,6 +73,9 @@ class PmemDevice : public MemoryDevice
 
     const CostParams &params() const { return *params_; }
 
+    /** Bounded per-XPLine heat map (empty with -DXPG_TELEMETRY=OFF). */
+    const telemetry::LineHeatTable &heat() const { return heat_; }
+
   private:
     using LineImage = std::array<std::byte, kXPLineSize>;
 
@@ -103,6 +106,7 @@ class PmemDevice : public MemoryDevice
      */
     std::unordered_map<uint64_t, LineImage> shadow_;
     std::shared_ptr<FaultInjector> faults_;
+    telemetry::LineHeatTable heat_;
 
     telemetry::ShardedHistogram *telWritebackHist_ = nullptr;
     telemetry::ShardedHistogram *telMediaReadHist_ = nullptr;

@@ -39,8 +39,10 @@ SsdDevice::SsdDevice(std::string name, uint64_t capacity, int node,
 void
 SsdDevice::chargeOutcome(const XPAccessOutcome &out, bool is_write)
 {
+    using telemetry::AttrField;
     if (out.hit) {
         bufferHits_.fetch_add(1, std::memory_order_relaxed);
+        attrAdd(AttrField::BufferHits, 1);
         SimClock::charge(params_.cacheHitNs);
         return;
     }
@@ -53,12 +55,20 @@ SsdDevice::chargeOutcome(const XPAccessOutcome &out, bool is_write)
         mediaReadOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesRead_.fetch_add(kSsdBlockSize,
                                   std::memory_order_relaxed);
+        attrAdd(AttrField::MediaReadOps, 1);
+        attrAdd(AttrField::MediaBytesRead, kSsdBlockSize);
+        if (is_write)
+            attrAdd(AttrField::RmwReads, 1);
         SimClock::chargeScaled(params_.readBlockNs, queue);
     }
     if (out.evictWrite) {
         mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
         mediaBytesWritten_.fetch_add(kSsdBlockSize,
                                      std::memory_order_relaxed);
+        attrAddTo(ownerCategory(out.evictedOwner), AttrField::MediaWriteOps,
+                  1);
+        attrAddTo(ownerCategory(out.evictedOwner),
+                  AttrField::MediaBytesWritten, kSsdBlockSize);
         SimClock::chargeScaled(params_.writeBlockNs, queue);
     }
 }
@@ -68,6 +78,7 @@ SsdDevice::read(uint64_t off, void *dst, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     const uint64_t first = blockOf(off);
     const uint64_t last = blockOf(off + size - 1);
     for (uint64_t block = first; block <= last; ++block)
@@ -80,6 +91,7 @@ SsdDevice::readView(uint64_t off, uint64_t size)
 {
     checkRange(off, size);
     appBytesRead_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesRead, size);
     const uint64_t first = blockOf(off);
     const uint64_t last = blockOf(off + size - 1);
     for (uint64_t block = first; block <= last; ++block)
@@ -92,12 +104,15 @@ SsdDevice::write(uint64_t off, const void *src, uint64_t size)
 {
     checkRange(off, size);
     appBytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    attrAdd(telemetry::AttrField::AppBytesWritten, size);
     const uint64_t first = blockOf(off);
     const uint64_t last = blockOf(off + size - 1);
     uint64_t cursor = off;
     for (uint64_t block = first; block <= last; ++block) {
         const bool starts_at_base = cursor == block * kSsdBlockSize;
-        chargeOutcome(cache_.store(block, starts_at_base), true);
+        if (!starts_at_base)
+            attrAdd(telemetry::AttrField::SubLineStores, 1);
+        chargeOutcome(cache_.store(block, starts_at_base, ownerTag()), true);
         cursor = (block + 1) * kSsdBlockSize;
     }
     std::memcpy(raw(off), src, size);
@@ -112,10 +127,16 @@ SsdDevice::persist(uint64_t off, uint64_t size)
     const uint64_t first = blockOf(off);
     const uint64_t last = blockOf(off + size - 1);
     for (uint64_t block = first; block <= last; ++block) {
-        if (cache_.flushLine(block)) {
+        uint8_t owner = ownerTag();
+        if (cache_.flushLine(block, &owner)) {
             mediaWriteOps_.fetch_add(1, std::memory_order_relaxed);
             mediaBytesWritten_.fetch_add(kSsdBlockSize,
                                          std::memory_order_relaxed);
+            attrAddTo(ownerCategory(owner),
+                      telemetry::AttrField::MediaWriteOps, 1);
+            attrAddTo(ownerCategory(owner),
+                      telemetry::AttrField::MediaBytesWritten,
+                      kSsdBlockSize);
             SimClock::charge(params_.writeBlockNs);
         }
     }
@@ -124,10 +145,17 @@ SsdDevice::persist(uint64_t off, uint64_t size)
 void
 SsdDevice::quiesce()
 {
-    const unsigned drained = cache_.drainDirty();
+    std::vector<uint8_t> drained_owners;
+    const unsigned drained = cache_.drainDirty(nullptr, &drained_owners);
     mediaWriteOps_.fetch_add(drained, std::memory_order_relaxed);
     mediaBytesWritten_.fetch_add(uint64_t{drained} * kSsdBlockSize,
                                  std::memory_order_relaxed);
+    for (const uint8_t owner : drained_owners) {
+        attrAddTo(ownerCategory(owner), telemetry::AttrField::MediaWriteOps,
+                  1);
+        attrAddTo(ownerCategory(owner),
+                  telemetry::AttrField::MediaBytesWritten, kSsdBlockSize);
+    }
 }
 
 } // namespace xpg

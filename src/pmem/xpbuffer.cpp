@@ -38,7 +38,7 @@ XPBuffer::victimIn(Set &set) const
 }
 
 XPAccessOutcome
-XPBuffer::store(uint64_t line, bool starts_at_base)
+XPBuffer::store(uint64_t line, bool starts_at_base, uint8_t owner)
 {
     Set &set = setFor(line);
     std::lock_guard<SpinLock> guard(set.lock);
@@ -50,6 +50,7 @@ XPBuffer::store(uint64_t line, bool starts_at_base)
             out.hit = true;
             out.dirtied = !e.dirty;
             e.dirty = true;
+            e.owner = owner;
             e.lru = set.lruTick;
             return out;
         }
@@ -61,6 +62,7 @@ XPBuffer::store(uint64_t line, bool starts_at_base)
         out.evictWrite = true;
         out.evictSeq = victim.seqAlloc;
         out.evictedLine = victim.line;
+        out.evictedOwner = victim.owner;
     }
     out.rmwRead = !starts_at_base;
     out.dirtied = true;
@@ -68,6 +70,7 @@ XPBuffer::store(uint64_t line, bool starts_at_base)
     victim.valid = true;
     victim.dirty = true;
     victim.seqAlloc = starts_at_base;
+    victim.owner = owner;
     victim.lru = set.lruTick;
     return out;
 }
@@ -94,24 +97,28 @@ XPBuffer::load(uint64_t line)
         out.evictWrite = true;
         out.evictSeq = victim.seqAlloc;
         out.evictedLine = victim.line;
+        out.evictedOwner = victim.owner;
     }
     out.rmwRead = true;
     victim.line = line;
     victim.valid = true;
     victim.dirty = false;
     victim.seqAlloc = false;
+    victim.owner = 0;
     victim.lru = set.lruTick;
     return out;
 }
 
 bool
-XPBuffer::flushLine(uint64_t line)
+XPBuffer::flushLine(uint64_t line, uint8_t *owner)
 {
     Set &set = setFor(line);
     std::lock_guard<SpinLock> guard(set.lock);
     for (auto &e : set.entries) {
         if (e.valid && e.line == line && e.dirty) {
             e.dirty = false;
+            if (owner)
+                *owner = e.owner;
             return true;
         }
     }
@@ -132,7 +139,8 @@ XPBuffer::validLines() const
 }
 
 unsigned
-XPBuffer::drainDirty(std::vector<uint64_t> *lines)
+XPBuffer::drainDirty(std::vector<uint64_t> *lines,
+                     std::vector<uint8_t> *owners)
 {
     unsigned drained = 0;
     for (unsigned s = 0; s < config_.numSets; ++s) {
@@ -143,6 +151,8 @@ XPBuffer::drainDirty(std::vector<uint64_t> *lines)
                 ++drained;
                 if (lines)
                     lines->push_back(e.line);
+                if (owners)
+                    owners->push_back(e.owner);
             }
         }
     }

@@ -47,6 +47,7 @@ struct XPAccessOutcome
     bool evictSeq = false;    ///< ...and that victim was stream-allocated
     bool dirtied = false;     ///< the accessed line went clean -> dirty
     uint64_t evictedLine = 0; ///< victim line index (valid iff evictWrite)
+    uint8_t evictedOwner = 0; ///< victim's owner tag (valid iff evictWrite)
 };
 
 /**
@@ -64,17 +65,25 @@ class XPBuffer
      * @param line XPLine index.
      * @param starts_at_base true when the store's first byte is the line
      *        base (streaming allocation: no RMW read).
+     * @param owner Opaque owner tag remembered with the line (the device
+     *        passes the current attribution category); a later eviction
+     *        reports it via XPAccessOutcome::evictedOwner so the
+     *        write-back is blamed on the code path that dirtied the
+     *        line, not the one that evicted it.
      */
-    XPAccessOutcome store(uint64_t line, bool starts_at_base);
+    XPAccessOutcome store(uint64_t line, bool starts_at_base,
+                          uint8_t owner = 0);
 
     /** A load touching line @p line; misses allocate the line clean. */
     XPAccessOutcome load(uint64_t line);
 
     /**
      * Explicit write-back (clwb-style) of @p line if present and dirty.
+     * @param owner When non-null and a write was issued, receives the
+     *        line's owner tag.
      * @return true when a media write was issued.
      */
-    bool flushLine(uint64_t line);
+    bool flushLine(uint64_t line, uint8_t *owner = nullptr);
 
     /** Number of currently valid lines (for tests). */
     unsigned validLines() const;
@@ -83,9 +92,12 @@ class XPBuffer
      * Write back every dirty line (background drain between phases).
      * @param drained When non-null, the written-back line indices are
      *        appended (crash-model bookkeeping).
+     * @param owners When non-null, the owner tag of each drained line is
+     *        appended in lockstep with @p drained.
      * @return the number of lines written back.
      */
-    unsigned drainDirty(std::vector<uint64_t> *drained = nullptr);
+    unsigned drainDirty(std::vector<uint64_t> *drained = nullptr,
+                        std::vector<uint8_t> *owners = nullptr);
 
     /** Drop all lines, writing back nothing (power-cycle of the model). */
     void reset();
@@ -98,6 +110,7 @@ class XPBuffer
         bool valid = false;
         bool dirty = false;
         bool seqAlloc = false;
+        uint8_t owner = 0; ///< attribution tag of the last store
     };
 
     struct Set

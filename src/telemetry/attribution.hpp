@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Media-traffic attribution: who caused each byte the device models move.
+ *
+ * The paper's diagnostic (Fig. 3b / Fig. 13) is read/write amplification
+ * on the XPLine media; its design story is *which access pattern* causes
+ * it — per-edge sub-line random stores (GraphOne's logging) vs. the
+ * sequential vertex-centric buffering XPGraph substitutes. The device
+ * models count exact app/media bytes but only device-wide; this layer
+ * buckets every one of those increments by the engine activity that
+ * issued the access.
+ *
+ * Mechanism (DESIGN.md §10):
+ *  - AccessScope: a thread-local RAII category stack. Engine call sites
+ *    open a scope ("this code path is an edge-log append"); device charge
+ *    paths read AccessScope::current() and route the *same* increment
+ *    they apply to the PcmCounters field into the per-category table, so
+ *    the per-category rows sum to counters() exactly, by construction.
+ *  - AttributionTable: one per device (devices are per-NUMA-node, so the
+ *    table is the per-(category × node × read/write) matrix after the
+ *    device's node label is attached).
+ *  - Eviction blame: a dirty XPLine written back by a *later* access is
+ *    charged to the category that last stored to that line (the XPBuffer
+ *    entry carries the owner tag), not to the evicting category.
+ *  - Sub-line RMW blame: a store that does not begin at the line base and
+ *    misses the XPBuffer forces a full-line media read; that read's bytes
+ *    land in the triggering category's row and its rmwReads count — the
+ *    read-amplification detector.
+ *  - LineHeatTable: bounded per-XPLine touch counts with the owning
+ *    category (top-N hottest lines; overflow is counted, never resized).
+ *
+ * Like the rest of the telemetry layer, everything here collapses under
+ * -DXPG_TELEMETRY=OFF: the classes still compile (tests use them
+ * directly) but the table/heat mutators and the XPG_ATTR_SCOPE macro
+ * become no-ops, and nothing here ever charges SimClock in any build.
+ */
+
+#ifndef XPG_TELEMETRY_ATTRIBUTION_HPP
+#define XPG_TELEMETRY_ATTRIBUTION_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pmem/pcm_counters.hpp"
+#include "util/json_writer.hpp"
+#include "util/spinlock.hpp"
+
+#ifndef XPG_TELEMETRY_ENABLED
+#define XPG_TELEMETRY_ENABLED 1
+#endif
+
+namespace xpg::telemetry {
+
+inline constexpr bool kAttributionEnabled = XPG_TELEMETRY_ENABLED != 0;
+
+/**
+ * What an access is doing, from the engine's point of view. Other is the
+ * fallback for untagged call sites (and the value current() reports on a
+ * thread with no open scope), so the category rows always partition the
+ * device totals.
+ */
+enum class AccessCategory : uint8_t
+{
+    EdgeLogAppend = 0,   ///< circular/GraphOne edge-log slot writes
+    AdjacencyArchive,    ///< copying buffered edges into adjacency blocks
+    VertexMeta,          ///< per-vertex index/degree entry persistence
+    AllocatorMeta,       ///< allocator tail-pointer bookkeeping
+    Superblock,          ///< superblock + log-header metadata
+    QueryRead,           ///< neighbor reads on behalf of queries
+    RecoveryReplay,      ///< post-crash validation, replay, and repair
+    Other,               ///< untagged traffic (fallback)
+};
+
+inline constexpr unsigned kAccessCategoryCount = 8;
+
+/** Stable snake_case name ("edge_log_append", ...) for JSON/metric keys. */
+const char *accessCategoryName(AccessCategory c);
+
+/** All categories, in enum order (iteration helper). */
+const std::array<AccessCategory, kAccessCategoryCount> &allAccessCategories();
+
+/**
+ * RAII thread-local category tag. Constructing pushes (saves the previous
+ * category, installs the new one); destruction restores — including via
+ * exception unwind, which is the whole point of the RAII shape. Nesting
+ * overrides: an archive phase that persists a vertex-index entry opens a
+ * VertexMeta scope inside its AdjacencyArchive scope and the inner bytes
+ * land under VertexMeta.
+ *
+ * Engine call sites use the XPG_ATTR_SCOPE macro so -DXPG_TELEMETRY=OFF
+ * compiles them away entirely; the class itself stays functional in both
+ * builds for direct (test) use.
+ */
+class AccessScope
+{
+  public:
+    explicit AccessScope(AccessCategory cat) noexcept : prev_(tls_)
+    {
+        tls_ = cat;
+    }
+    ~AccessScope() { tls_ = prev_; }
+
+    AccessScope(const AccessScope &) = delete;
+    AccessScope &operator=(const AccessScope &) = delete;
+
+    /** The calling thread's innermost open category (Other when none). */
+    static AccessCategory current() noexcept { return tls_; }
+
+  private:
+    static thread_local AccessCategory tls_;
+    AccessCategory prev_;
+};
+
+/**
+ * The per-(category, field) counter fields. The first eight mirror
+ * PcmCounters one-for-one — that is what makes "rows sum to the device
+ * counters" a structural identity rather than an approximation. The last
+ * two are attribution-only diagnostics.
+ */
+enum class AttrField : unsigned
+{
+    AppBytesRead = 0,
+    AppBytesWritten,
+    MediaBytesRead,
+    MediaBytesWritten,
+    MediaReadOps,
+    MediaWriteOps,
+    BufferHits,
+    RemoteAccesses,
+    RmwReads,      ///< full-line media reads forced by sub-line stores
+    SubLineStores, ///< stores not beginning at a line base
+    kCount,
+};
+
+inline constexpr unsigned kAttrFieldCount =
+    static_cast<unsigned>(AttrField::kCount);
+
+/** One category's share of a device's traffic (snapshot form). */
+struct AttributionRow
+{
+    PcmCounters pcm;
+    uint64_t rmwReads = 0;
+    uint64_t subLineStores = 0;
+
+    AttributionRow &
+    operator+=(const AttributionRow &o)
+    {
+        pcm += o.pcm;
+        rmwReads += o.rmwReads;
+        subLineStores += o.subLineStores;
+        return *this;
+    }
+
+    bool
+    empty() const
+    {
+        return pcm.appBytesRead == 0 && pcm.appBytesWritten == 0 &&
+               pcm.mediaBytesRead == 0 && pcm.mediaBytesWritten == 0 &&
+               pcm.bufferHits == 0 && pcm.remoteAccesses == 0 &&
+               rmwReads == 0 && subLineStores == 0;
+    }
+
+    json::JsonValue toJson() const;
+};
+
+/** Per-category snapshot of one device (or a sum of devices). */
+struct AttributionSnapshot
+{
+    std::array<AttributionRow, kAccessCategoryCount> rows;
+
+    AttributionRow &
+    operator[](AccessCategory c)
+    {
+        return rows[static_cast<unsigned>(c)];
+    }
+    const AttributionRow &
+    operator[](AccessCategory c) const
+    {
+        return rows[static_cast<unsigned>(c)];
+    }
+
+    AttributionSnapshot &
+    operator+=(const AttributionSnapshot &o)
+    {
+        for (unsigned i = 0; i < kAccessCategoryCount; ++i)
+            rows[i] += o.rows[i];
+        return *this;
+    }
+
+    /** Sum over categories — equals the device's counters() exactly. */
+    PcmCounters total() const;
+
+    /** Object keyed by category name; empty categories are omitted. */
+    json::JsonValue toJson() const;
+};
+
+/**
+ * Per-device attribution matrix: relaxed atomics, mutated on the device
+ * charge paths next to the matching PcmCounters increment. add() is a
+ * no-op with -DXPG_TELEMETRY=OFF (the snapshot then stays all-zero).
+ */
+class AttributionTable
+{
+  public:
+    void
+    add(AccessCategory c, AttrField f, uint64_t n)
+    {
+        if constexpr (kAttributionEnabled) {
+            cells_[static_cast<unsigned>(c)][static_cast<unsigned>(f)]
+                .fetch_add(n, std::memory_order_relaxed);
+        } else {
+            (void)c;
+            (void)f;
+            (void)n;
+        }
+    }
+
+    AttributionSnapshot snapshot() const;
+    void reset();
+
+  private:
+    std::atomic<uint64_t> cells_[kAccessCategoryCount][kAttrFieldCount] = {};
+};
+
+/**
+ * Bounded per-XPLine heat map: touch counts per line with a per-category
+ * split, so the hottest lines can name their owning category. Sharded
+ * spinlock + fixed capacity; once a shard is full, touches of *new* lines
+ * are counted in untrackedTouches() instead of growing the table, which
+ * keeps the hot path allocation-free in steady state and the memory bound
+ * hard. touch() is a no-op with -DXPG_TELEMETRY=OFF.
+ */
+class LineHeatTable
+{
+  public:
+    struct HotLine
+    {
+        uint64_t line = 0;
+        uint64_t reads = 0;
+        uint64_t writes = 0;
+        AccessCategory owner = AccessCategory::Other; ///< most touches
+    };
+
+    static constexpr unsigned kDefaultCapacity = 4096;
+
+    explicit LineHeatTable(unsigned capacity = kDefaultCapacity);
+
+    void
+    touch(uint64_t line, AccessCategory cat, bool is_write)
+    {
+        if constexpr (kAttributionEnabled)
+            touchSlow(line, cat, is_write);
+        else {
+            (void)line;
+            (void)cat;
+            (void)is_write;
+        }
+    }
+
+    /**
+     * Top @p n lines by total (read+write) touches, hottest first; ties
+     * break toward the lower line index so the order is deterministic.
+     */
+    std::vector<HotLine> top(unsigned n) const;
+
+    uint64_t trackedLines() const;
+    uint64_t untrackedTouches() const;
+    void reset();
+
+    /** Array of {line, reads, writes, owner} for the top @p n lines. */
+    json::JsonValue topJson(unsigned n) const;
+
+  private:
+    struct Slot
+    {
+        uint64_t reads = 0;
+        uint64_t writes = 0;
+        std::array<uint32_t, kAccessCategoryCount> byCat = {};
+    };
+
+    struct Shard
+    {
+        mutable SpinLock lock;
+        std::unordered_map<uint64_t, Slot> map;
+    };
+
+    void touchSlow(uint64_t line, AccessCategory cat, bool is_write);
+
+    static constexpr unsigned kShards = 16;
+    unsigned perShardCapacity_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<uint64_t> untracked_{0};
+};
+
+} // namespace xpg::telemetry
+
+// ---------------------------------------------------------------------------
+// Call-site macro: the only attribution surface engine code uses.
+// ---------------------------------------------------------------------------
+
+#if XPG_TELEMETRY_ENABLED
+/** Open a category scope for the rest of the enclosing block. */
+#define XPG_ATTR_SCOPE(varName, category)                                    \
+    ::xpg::telemetry::AccessScope varName(                                   \
+        ::xpg::telemetry::AccessCategory::category)
+#else
+#define XPG_ATTR_SCOPE(varName, category) ((void)0)
+#endif
+
+#endif // XPG_TELEMETRY_ATTRIBUTION_HPP

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Media-traffic attribution layer (DESIGN.md §10): AccessScope nesting
+ * and exception-safety, per-thread scope independence, the exact-sum
+ * invariant (category rows partition the device's PcmCounters), RMW and
+ * eviction blame, the bounded per-XPLine heat table, and the OFF-build
+ * no-op collapse. Every suite here is named Attribution* so the TSAN
+ * stage of bench/run_tier1_bench.sh picks all of it up with one filter.
+ *
+ * Also pins PcmCounters::readAmplification() to its documented
+ * definition (media bytes read per app byte READ) — the doc/code
+ * mismatch fix must not regress silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pmem/numa_topology.hpp"
+#include "pmem/pmem_device.hpp"
+#include "pmem/xpline.hpp"
+#include "telemetry/attribution.hpp"
+#include "util/rng.hpp"
+
+namespace xpg {
+namespace {
+
+using telemetry::AccessCategory;
+using telemetry::AccessScope;
+using telemetry::AttributionSnapshot;
+using telemetry::kAttributionEnabled;
+using telemetry::LineHeatTable;
+
+/** All eight PcmCounters fields, not just the byte counters. */
+void
+expectCountersEqual(const PcmCounters &a, const PcmCounters &b)
+{
+    EXPECT_EQ(a.appBytesRead, b.appBytesRead);
+    EXPECT_EQ(a.appBytesWritten, b.appBytesWritten);
+    EXPECT_EQ(a.mediaBytesRead, b.mediaBytesRead);
+    EXPECT_EQ(a.mediaBytesWritten, b.mediaBytesWritten);
+    EXPECT_EQ(a.mediaReadOps, b.mediaReadOps);
+    EXPECT_EQ(a.mediaWriteOps, b.mediaWriteOps);
+    EXPECT_EQ(a.bufferHits, b.bufferHits);
+    EXPECT_EQ(a.remoteAccesses, b.remoteAccesses);
+}
+
+// --- AccessScope: the thread-local RAII tag stack ----------------------
+
+TEST(AttributionScope, DefaultsToOther)
+{
+    EXPECT_EQ(AccessScope::current(), AccessCategory::Other);
+}
+
+TEST(AttributionScope, NestingOverridesAndRestores)
+{
+    EXPECT_EQ(AccessScope::current(), AccessCategory::Other);
+    {
+        AccessScope outer(AccessCategory::AdjacencyArchive);
+        EXPECT_EQ(AccessScope::current(),
+                  AccessCategory::AdjacencyArchive);
+        {
+            AccessScope inner(AccessCategory::VertexMeta);
+            EXPECT_EQ(AccessScope::current(), AccessCategory::VertexMeta);
+        }
+        EXPECT_EQ(AccessScope::current(),
+                  AccessCategory::AdjacencyArchive);
+    }
+    EXPECT_EQ(AccessScope::current(), AccessCategory::Other);
+}
+
+TEST(AttributionScope, ExceptionUnwindRestoresPreviousCategory)
+{
+    AccessScope outer(AccessCategory::EdgeLogAppend);
+    try {
+        AccessScope inner(AccessCategory::RecoveryReplay);
+        EXPECT_EQ(AccessScope::current(), AccessCategory::RecoveryReplay);
+        throw std::runtime_error("unwind through the scope");
+    } catch (const std::runtime_error &) {
+        // The inner scope's destructor ran during unwind.
+        EXPECT_EQ(AccessScope::current(), AccessCategory::EdgeLogAppend);
+    }
+}
+
+TEST(AttributionScope, ThreadsCarryIndependentTags)
+{
+    // Each thread pins its own category and re-checks it across a yield
+    // barrier; under TSAN this also proves the tag storage is race-free.
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> mismatch{false};
+    AccessScope main_scope(AccessCategory::Superblock);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &ready, &mismatch] {
+            // A fresh thread starts untagged, whatever the spawner held.
+            if (AccessScope::current() != AccessCategory::Other)
+                mismatch.store(true);
+            const auto mine = static_cast<AccessCategory>(
+                t % telemetry::kAccessCategoryCount);
+            AccessScope scope(mine);
+            ready.fetch_add(1);
+            while (ready.load() < kThreads)
+                std::this_thread::yield();
+            if (AccessScope::current() != mine)
+                mismatch.store(true);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_EQ(AccessScope::current(), AccessCategory::Superblock);
+}
+
+// --- Exact-sum invariant on a real device ------------------------------
+
+TEST(AttributionDevice, CategoryRowsSumToDeviceCountersExactly)
+{
+    // Mixed workload spanning every charge path: buffered small stores,
+    // scatter stores that RMW and evict, streaming line-base stores,
+    // loads, explicit persist, and a background quiesce drain.
+    NumaBinding::unbindThread();
+    PmemDevice dev("t", 32 << 20, 0, 2);
+    Rng rng(7);
+    {
+        XPG_ATTR_SCOPE(s, EdgeLogAppend);
+        for (unsigned i = 0; i < 4000; ++i) {
+            uint32_t v = i;
+            dev.write(4 + kXPLineSize * rng.nextBounded(40000), &v, 4);
+        }
+    }
+    {
+        XPG_ATTR_SCOPE(s, AdjacencyArchive);
+        std::vector<uint8_t> chunk(kXPLineSize, 0x5A);
+        for (uint64_t off = 16 << 20; off < (17 << 20);
+             off += kXPLineSize)
+            dev.write(off, chunk.data(), chunk.size());
+    }
+    {
+        XPG_ATTR_SCOPE(s, VertexMeta);
+        uint64_t v = 42;
+        dev.write(8 << 20, &v, 8);
+        dev.persist(8 << 20, 8);
+    }
+    {
+        XPG_ATTR_SCOPE(s, QueryRead);
+        uint64_t back = 0;
+        for (unsigned i = 0; i < 2000; ++i)
+            dev.read(kXPLineSize * rng.nextBounded(40000), &back, 8);
+    }
+    uint32_t untagged = 1; // lands in Other
+    dev.write(24 << 20, &untagged, 4);
+    dev.quiesce(); // drains outside any scope; blame goes to the owners
+
+    const AttributionSnapshot snap = dev.attribution();
+    if (kAttributionEnabled) {
+        expectCountersEqual(snap.total(), dev.counters());
+        // The workload above drove every category it tagged.
+        EXPECT_GT(snap[AccessCategory::EdgeLogAppend].pcm.appBytesWritten,
+                  0u);
+        EXPECT_GT(
+            snap[AccessCategory::AdjacencyArchive].pcm.appBytesWritten,
+            0u);
+        EXPECT_GT(snap[AccessCategory::QueryRead].pcm.appBytesRead, 0u);
+        EXPECT_EQ(snap[AccessCategory::Other].pcm.appBytesWritten, 4u);
+    } else {
+        expectCountersEqual(snap.total(), PcmCounters{});
+    }
+}
+
+TEST(AttributionDevice, SubLineScatterBlamesRmwOnTheStoringCategory)
+{
+    if (!kAttributionEnabled)
+        GTEST_SKIP() << "attribution compiled out";
+    NumaBinding::unbindThread();
+    PmemDevice dev("t", 64 << 20, 0, 1);
+    Rng rng(3);
+    const unsigned n = 20000;
+    {
+        XPG_ATTR_SCOPE(s, EdgeLogAppend);
+        for (unsigned i = 0; i < n; ++i) {
+            const uint64_t off =
+                4 + kXPLineSize *
+                        rng.nextBounded((64 << 20) / kXPLineSize - 1);
+            uint32_t v = i;
+            dev.write(off, &v, 4);
+        }
+    }
+    const AttributionSnapshot snap = dev.attribution();
+    const auto &row = snap[AccessCategory::EdgeLogAppend];
+    // Every store began off the line base...
+    EXPECT_EQ(row.subLineStores, n);
+    // ...and nearly all of them missed the buffer into a full-line RMW,
+    // whose read bytes are charged to the storing category.
+    EXPECT_GT(row.rmwReads, n / 2);
+    EXPECT_EQ(row.pcm.mediaBytesRead, row.rmwReads * kXPLineSize);
+    EXPECT_EQ(row.pcm.appBytesRead, 0u); // no loads were issued
+    // Nothing leaked into the fallback row.
+    EXPECT_TRUE(snap[AccessCategory::Other].empty());
+}
+
+TEST(AttributionDevice, WriteBackBlamesTheOwnerNotTheFlusher)
+{
+    if (!kAttributionEnabled)
+        GTEST_SKIP() << "attribution compiled out";
+    NumaBinding::unbindThread();
+    PmemDevice dev("t", 1 << 20, 0, 1);
+    {
+        XPG_ATTR_SCOPE(s, VertexMeta);
+        uint64_t v = 7;
+        dev.write(0, &v, 8);
+    }
+    // Both the untagged quiesce drain and a persist issued under a
+    // *different* scope write back VertexMeta's dirty line on its
+    // behalf.
+    {
+        XPG_ATTR_SCOPE(s, Superblock);
+        dev.persist(0, 8);
+    }
+    dev.quiesce();
+    const AttributionSnapshot snap = dev.attribution();
+    EXPECT_EQ(snap[AccessCategory::VertexMeta].pcm.mediaBytesWritten,
+              kXPLineSize);
+    EXPECT_EQ(snap[AccessCategory::Superblock].pcm.mediaBytesWritten, 0u);
+    EXPECT_TRUE(snap[AccessCategory::Other].empty());
+}
+
+TEST(AttributionDevice, ConcurrentTaggedWritersStaySeparated)
+{
+    // Four threads, four categories, disjoint regions: the per-category
+    // app-byte rows must reproduce each thread's contribution exactly
+    // (and TSAN must see no races on the table or the scope storage).
+    NumaBinding::unbindThread();
+    PmemDevice dev("t", 32 << 20, 0, 1);
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kWritesPerThread = 2000;
+    const AccessCategory cats[kThreads] = {
+        AccessCategory::EdgeLogAppend, AccessCategory::AdjacencyArchive,
+        AccessCategory::VertexMeta, AccessCategory::QueryRead};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &dev, &cats] {
+            NumaBinding::unbindThread();
+            AccessScope scope(cats[t]);
+            Rng rng(100 + t);
+            const uint64_t base = uint64_t{t} * (8 << 20);
+            for (unsigned i = 0; i < kWritesPerThread; ++i) {
+                uint32_t v = i;
+                dev.write(base + 4 + kXPLineSize * rng.nextBounded(
+                                        (8 << 20) / kXPLineSize - 1),
+                          &v, 4);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    dev.quiesce();
+    const AttributionSnapshot snap = dev.attribution();
+    if (kAttributionEnabled) {
+        expectCountersEqual(snap.total(), dev.counters());
+        for (const AccessCategory c : cats)
+            EXPECT_EQ(snap[c].pcm.appBytesWritten,
+                      uint64_t{kWritesPerThread} * 4);
+        EXPECT_TRUE(snap[AccessCategory::Other].empty());
+    } else {
+        expectCountersEqual(snap.total(), PcmCounters{});
+    }
+}
+
+// --- LineHeatTable -----------------------------------------------------
+
+TEST(AttributionHeat, TopNOrderIsDeterministic)
+{
+    if (!kAttributionEnabled)
+        GTEST_SKIP() << "heat table compiled out";
+    LineHeatTable heat;
+    // Touch counts descend with the line index; lines 40/41 tie.
+    for (unsigned line = 0; line < 8; ++line)
+        for (unsigned i = 0; i < 100 - line * 10; ++i)
+            heat.touch(line, AccessCategory::QueryRead, i % 2 == 0);
+    for (unsigned i = 0; i < 5; ++i) {
+        heat.touch(40, AccessCategory::VertexMeta, true);
+        heat.touch(41, AccessCategory::VertexMeta, true);
+    }
+    const auto top = heat.top(4);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0].line, 0u);
+    EXPECT_EQ(top[0].reads + top[0].writes, 100u);
+    EXPECT_EQ(top[1].line, 1u);
+    EXPECT_EQ(top[2].line, 2u);
+    EXPECT_EQ(top[3].line, 3u);
+    // Same input, same answer (the sort has no unstable tie).
+    const auto again = heat.top(4);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(top[i].line, again[i].line);
+    // The tied pair breaks toward the lower line index.
+    const auto wide = heat.top(16);
+    ASSERT_EQ(wide.size(), 10u);
+    EXPECT_EQ(wide[8].line, 40u);
+    EXPECT_EQ(wide[9].line, 41u);
+}
+
+TEST(AttributionHeat, OwnerIsTheDominantCategory)
+{
+    if (!kAttributionEnabled)
+        GTEST_SKIP() << "heat table compiled out";
+    LineHeatTable heat;
+    for (unsigned i = 0; i < 9; ++i)
+        heat.touch(5, AccessCategory::AdjacencyArchive, true);
+    for (unsigned i = 0; i < 3; ++i)
+        heat.touch(5, AccessCategory::QueryRead, false);
+    const auto top = heat.top(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].line, 5u);
+    EXPECT_EQ(top[0].writes, 9u);
+    EXPECT_EQ(top[0].reads, 3u);
+    EXPECT_EQ(top[0].owner, AccessCategory::AdjacencyArchive);
+}
+
+TEST(AttributionHeat, CapacityBoundCountsOverflowInsteadOfGrowing)
+{
+    if (!kAttributionEnabled)
+        GTEST_SKIP() << "heat table compiled out";
+    LineHeatTable heat(/*capacity=*/64);
+    for (uint64_t line = 0; line < 10000; ++line)
+        heat.touch(line, AccessCategory::Other, true);
+    EXPECT_LE(heat.trackedLines(), 64u + LineHeatTable{}.trackedLines());
+    EXPECT_GT(heat.untrackedTouches(), 0u);
+    EXPECT_EQ(heat.trackedLines() + heat.untrackedTouches(), 10000u);
+    // Known lines keep counting after the table is full.
+    heat.touch(0, AccessCategory::Other, true);
+    const auto top = heat.top(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].line, 0u);
+    EXPECT_EQ(top[0].writes, 2u);
+    heat.reset();
+    EXPECT_EQ(heat.trackedLines(), 0u);
+    EXPECT_EQ(heat.untrackedTouches(), 0u);
+    EXPECT_TRUE(heat.top(4).empty());
+}
+
+// --- OFF-build collapse ------------------------------------------------
+
+TEST(AttributionOffBuild, MutatorsAreNoOpsWhenCompiledOut)
+{
+    // The same source compiles in both flavors; with -DXPG_TELEMETRY=OFF
+    // the table and heat map must stay empty no matter what runs, and
+    // with telemetry ON they must not (guarding against a macro typo
+    // silently disabling attribution everywhere).
+    telemetry::AttributionTable table;
+    table.add(AccessCategory::QueryRead,
+              telemetry::AttrField::AppBytesRead, 64);
+    LineHeatTable heat;
+    heat.touch(1, AccessCategory::QueryRead, false);
+    const AttributionSnapshot snap = table.snapshot();
+    if (kAttributionEnabled) {
+        EXPECT_EQ(snap[AccessCategory::QueryRead].pcm.appBytesRead, 64u);
+        EXPECT_EQ(heat.trackedLines(), 1u);
+    } else {
+        expectCountersEqual(snap.total(), PcmCounters{});
+        EXPECT_EQ(heat.trackedLines(), 0u);
+        EXPECT_EQ(heat.untrackedTouches(), 0u);
+    }
+}
+
+// --- PcmCounters::readAmplification() pin ------------------------------
+
+TEST(AttributionPcmCounters, ReadAmplificationDividesByAppBytesRead)
+{
+    // Pins the documented definition: media bytes read per app byte
+    // *read*. A write-heavy workload (appBytesWritten >> appBytesRead)
+    // must not leak into the denominator.
+    PcmCounters c;
+    c.appBytesRead = 1000;
+    c.appBytesWritten = 999999; // must be ignored
+    c.mediaBytesRead = 4000;
+    c.mediaBytesWritten = 8;
+    EXPECT_DOUBLE_EQ(c.readAmplification(), 4.0);
+    EXPECT_DOUBLE_EQ(c.writeAmplification(), 8.0 / 999999.0);
+}
+
+TEST(AttributionPcmCounters, ZeroDenominatorsDoNotDivideByZero)
+{
+    // RMW reads with no loads at all: the guard denominator is 1, so the
+    // number stays finite and still reports the full media-read count.
+    PcmCounters c;
+    c.mediaBytesRead = 512;
+    EXPECT_DOUBLE_EQ(c.readAmplification(), 512.0);
+    EXPECT_DOUBLE_EQ(c.writeAmplification(), 0.0);
+}
+
+} // namespace
+} // namespace xpg

@@ -28,6 +28,17 @@
  *             sessions with the pipelined archiver, query, crash, and
  *             recover — the run the telemetry acceptance check records.
  *
+ *   profile   [--dataset TT | --in edges.bin] [--shift N]
+ *             [--system xpgraph] [--threads T] [--queries N] [--top N]
+ *             [--json FILE]
+ *             Ingest + archive + query, then print the media-traffic
+ *             attribution: per-cause amplification breakdown (app vs
+ *             media bytes, RMW reads per category) and the hottest
+ *             XPLines with their owning category. --json dumps the
+ *             device counters and the attribution rows for scripted
+ *             checks (the CI stage asserts the rows sum to the device
+ *             totals). Needs the default -DXPG_TELEMETRY=ON build.
+ *
  * Every subcommand accepts --telemetry FILE (or --telemetry=FILE): on
  * exit the Chrome trace timeline is written to FILE (load it in
  * about:tracing) and the metrics snapshot — counters, gauges, and
@@ -389,6 +400,166 @@ cmdRecover(const Args &args)
     return 0;
 }
 
+/** media/app ratio cell; "-" when the category moved no app bytes. */
+std::string
+ampCell(uint64_t media, uint64_t app)
+{
+    if (app == 0)
+        return media == 0 ? "-" : "inf";
+    return TablePrinter::num(static_cast<double>(media) /
+                             static_cast<double>(app)) +
+           "x";
+}
+
+int
+cmdProfile(const Args &args)
+{
+    vid_t nv = 0;
+    std::vector<Edge> edges;
+    std::string input;
+    if (args.has("in")) {
+        edges = loadInput(args, nv);
+        input = args.get("in");
+    } else {
+        const unsigned shift = static_cast<unsigned>(
+            args.getInt("shift", defaultScaleShift()));
+        input = args.get("dataset", "TT");
+        Dataset ds = generateDataset(datasetByAbbrev(input), shift);
+        nv = ds.numVertices;
+        edges = std::move(ds.edges);
+        std::printf("generated %zu edges over %u vertices (%s)\n",
+                    edges.size(), nv, input.c_str());
+    }
+    const std::string system = args.get("system", "xpgraph");
+    const unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    const uint64_t queries = args.getInt("queries", 4096);
+    const unsigned top =
+        static_cast<unsigned>(args.getInt("top", 10));
+
+    if (!telemetry::kEnabled)
+        std::fprintf(stderr,
+                     "warning: built with -DXPG_TELEMETRY=OFF — the "
+                     "attribution rows below will all be zero\n");
+
+    std::unique_ptr<GraphStore> store;
+    if (system.rfind("graphone", 0) == 0) {
+        store = std::make_unique<GraphOne>(
+            graphoneConfigFor(system, nv, edges.size(), args));
+    } else {
+        store = std::make_unique<XPGraph>(
+            xpgraphConfigFor(system, nv, edges.size(), args));
+    }
+    store->addEdges(edges.data(), edges.size());
+    store->archiveAll();
+    if (queries > 0) {
+        // Materializing one-hops (the visitor engine would answer from
+        // the DRAM degree cache and leave no media trace) plus a BFS:
+        // enough adjacency reads for query_read to show in the table.
+        Rng rng(1);
+        std::vector<vid_t> sources;
+        for (uint64_t i = 0; i < queries; ++i)
+            sources.push_back(edges[rng.nextBounded(edges.size())].src);
+        runOneHop(*store, sources, threads, QueryBinding::Auto,
+                  QueryEngine::Vector);
+        runBfs(*store, edges[0].src, threads);
+    }
+
+    const telemetry::AttributionSnapshot attr = store->pmemAttribution();
+    const PcmCounters pcm = store->pmemCounters();
+    const uint64_t media_total = pcm.mediaBytesRead + pcm.mediaBytesWritten;
+
+    TablePrinter table("media-traffic attribution (" + system + ", " +
+                       input + ")");
+    table.header({"cause", "app rd", "app wr", "media rd", "media wr",
+                  "amp", "% media", "rmw reads", "sub-line"});
+    for (const auto cat : telemetry::allAccessCategories()) {
+        const telemetry::AttributionRow &r = attr[cat];
+        if (r.empty())
+            continue;
+        const uint64_t app = r.pcm.appBytesRead + r.pcm.appBytesWritten;
+        const uint64_t media =
+            r.pcm.mediaBytesRead + r.pcm.mediaBytesWritten;
+        table.row({telemetry::accessCategoryName(cat),
+                   TablePrinter::bytes(r.pcm.appBytesRead),
+                   TablePrinter::bytes(r.pcm.appBytesWritten),
+                   TablePrinter::bytes(r.pcm.mediaBytesRead),
+                   TablePrinter::bytes(r.pcm.mediaBytesWritten),
+                   ampCell(media, app),
+                   media_total
+                       ? TablePrinter::num(100.0 *
+                                           static_cast<double>(media) /
+                                           static_cast<double>(media_total))
+                       : "-",
+                   std::to_string(r.rmwReads),
+                   std::to_string(r.subLineStores)});
+    }
+    const PcmCounters attributed = attr.total();
+    table.row({"total (attributed)",
+               TablePrinter::bytes(attributed.appBytesRead),
+               TablePrinter::bytes(attributed.appBytesWritten),
+               TablePrinter::bytes(attributed.mediaBytesRead),
+               TablePrinter::bytes(attributed.mediaBytesWritten),
+               ampCell(attributed.mediaBytesRead +
+                           attributed.mediaBytesWritten,
+                       attributed.appBytesRead +
+                           attributed.appBytesWritten),
+               media_total ? "100.00" : "-", "", ""});
+    table.print();
+    std::printf("device-wide: read amp %.2fx, write amp %.2fx\n",
+                pcm.readAmplification(), pcm.writeAmplification());
+    if (telemetry::kEnabled) {
+        const bool exact =
+            attributed.appBytesRead == pcm.appBytesRead &&
+            attributed.appBytesWritten == pcm.appBytesWritten &&
+            attributed.mediaBytesRead == pcm.mediaBytesRead &&
+            attributed.mediaBytesWritten == pcm.mediaBytesWritten &&
+            attributed.mediaReadOps == pcm.mediaReadOps &&
+            attributed.mediaWriteOps == pcm.mediaWriteOps &&
+            attributed.bufferHits == pcm.bufferHits &&
+            attributed.remoteAccesses == pcm.remoteAccesses;
+        std::printf("attributed rows sum to device counters: %s\n",
+                    exact ? "exact" : "MISMATCH");
+    }
+
+    const auto hot = store->hotLines(top);
+    if (!hot.empty()) {
+        TablePrinter heat("hottest XPLines (top " +
+                          std::to_string(top) + ")");
+        heat.header({"line", "reads", "writes", "owner"});
+        for (const auto &h : hot)
+            heat.row({std::to_string(h.line), std::to_string(h.reads),
+                      std::to_string(h.writes),
+                      telemetry::accessCategoryName(h.owner)});
+        heat.print();
+    }
+
+    const std::string json_path = args.get("json");
+    if (!json_path.empty()) {
+        json::JsonValue root = json::JsonValue::object();
+        root.set("system", system);
+        root.set("input", input);
+        root.set("counters", pcm.toJson());
+        root.set("attribution", attr.toJson());
+        root.set("attribution_total", attr.total().toJson());
+        json::JsonValue lines = json::JsonValue::array();
+        for (const auto &h : hot) {
+            json::JsonValue l = json::JsonValue::object();
+            l.set("line", h.line);
+            l.set("reads", h.reads);
+            l.set("writes", h.writes);
+            l.set("owner", telemetry::accessCategoryName(h.owner));
+            lines.push(std::move(l));
+        }
+        root.set("hot_lines", std::move(lines));
+        if (!root.writeFile(json_path))
+            XPG_FATAL("cannot write " + json_path);
+        std::printf("wrote attribution profile %s\n", json_path.c_str());
+    }
+    writeTelemetry(args, store.get());
+    return 0;
+}
+
 int
 cmdPipeline(const Args &args)
 {
@@ -479,7 +650,8 @@ void
 usage()
 {
     std::printf(
-        "usage: xpgraph_cli <generate|ingest|query|recover|pipeline> "
+        "usage: xpgraph_cli "
+        "<generate|ingest|query|recover|pipeline|profile> "
         "[--opt v | --opt=v] [--telemetry trace.json]\n"
         "see the file header of tools/xpgraph_cli.cpp for details\n");
 }
@@ -506,6 +678,8 @@ main(int argc, char **argv)
         return cmdRecover(args);
     if (cmd == "pipeline")
         return cmdPipeline(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
     usage();
     return 1;
 }
