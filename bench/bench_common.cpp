@@ -92,6 +92,7 @@ ingestStore(GraphStore &store, const Dataset &ds, const std::string &label,
     o.counters = store.pmemCounters();
     o.attribution = store.pmemAttribution();
     o.mem = store.memoryUsage();
+    o.compression = store.compressionStats();
     if (volatile_store) {
         const ScaledTestbed t = ScaledTestbed::at(scaleShift());
         o.oom = dramFootprint(o) > t.dramBudgetBytes;

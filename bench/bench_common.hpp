@@ -74,6 +74,7 @@ struct IngestOutcome
     PcmCounters counters;
     telemetry::AttributionSnapshot attribution; ///< per-cause split
     MemoryUsage mem;
+    CompressionStats compression; ///< codec activity (zero when off/N.A.)
 
     uint64_t ingestNs() const { return stats.ingestNs(); }
 };

@@ -64,6 +64,16 @@ main(int argc, char **argv)
             row.set("counters", o.counters.toJson());
             if (telemetry::kAttributionEnabled)
                 row.set("attribution", o.attribution.toJson());
+            if (o.compression.chunksCompressed > 0) {
+                row.set("chunks_compressed",
+                        o.compression.chunksCompressed);
+                row.set("compressed_bytes_per_edge",
+                        o.compression.bytesPerEdge());
+                row.set("compression_ratio",
+                        o.compression.compressionRatio());
+                row.set("compression_bytes_saved",
+                        o.compression.bytesSaved());
+            }
             const json::JsonValue phases = telemetryPhaseSeries();
             if (phases.size() != 0)
                 row.set("phase_latency_ns", phases);

@@ -9,9 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "core/adjacency_codec.hpp"
 #include "core/xpgraph.hpp"
 #include "graph/generators.hpp"
 #include "mempool/vertex_buffer_pool.hpp"
@@ -215,6 +218,79 @@ BM_LogWindowQuery(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LogWindowQuery);
+
+/** A sorted hub neighbor run shaped like an archived flush (clustered
+ *  rmat destinations), for the codec benches below. */
+std::vector<vid_t>
+codecRun(uint32_t n)
+{
+    auto edges = generateRmat(20, n, RmatParams{}, 33);
+    std::vector<vid_t> run;
+    run.reserve(n);
+    for (const Edge &e : edges)
+        run.push_back(e.dst);
+    std::sort(run.begin(), run.end());
+    return run;
+}
+
+void
+BM_AdjCodecEncode(benchmark::State &state)
+{
+    const auto run = codecRun(static_cast<uint32_t>(state.range(0)));
+    std::vector<std::byte> payload;
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        payload.clear();
+        bytes = adjcodec::encodeRun(
+            run.data(), static_cast<uint32_t>(run.size()), payload);
+        benchmark::DoNotOptimize(payload.data());
+    }
+    state.SetItemsProcessed(state.iterations() * run.size());
+    state.counters["bytes_per_edge"] = benchmark::Counter(
+        static_cast<double>(bytes) / static_cast<double>(run.size()));
+}
+BENCHMARK(BM_AdjCodecEncode)->Arg(128)->Arg(1024)->Arg(16384);
+
+void
+BM_AdjCodecDecode(benchmark::State &state)
+{
+    const auto run = codecRun(static_cast<uint32_t>(state.range(0)));
+    std::vector<std::byte> payload;
+    adjcodec::encodeRun(run.data(), static_cast<uint32_t>(run.size()),
+                        payload);
+    for (auto _ : state) {
+        uint64_t sum = 0;
+        adjcodec::decodeRun(payload.data(), payload.size(),
+                            [&](vid_t v) { sum += v; });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * run.size());
+    state.counters["bytes_per_edge"] = benchmark::Counter(
+        static_cast<double>(payload.size()) /
+        static_cast<double>(run.size()));
+}
+BENCHMARK(BM_AdjCodecDecode)->Arg(128)->Arg(1024)->Arg(16384);
+
+void
+BM_AdjRawCopyBaseline(benchmark::State &state)
+{
+    // The raw format's per-edge cost for comparison with the codec rows:
+    // a 4 B/record memcpy plus the summing walk the decode bench does.
+    const auto run = codecRun(static_cast<uint32_t>(state.range(0)));
+    std::vector<vid_t> block(run.size());
+    for (auto _ : state) {
+        std::memcpy(block.data(), run.data(),
+                    run.size() * sizeof(vid_t));
+        uint64_t sum = 0;
+        for (vid_t v : block)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * run.size());
+    state.counters["bytes_per_edge"] =
+        benchmark::Counter(static_cast<double>(sizeof(vid_t)));
+}
+BENCHMARK(BM_AdjRawCopyBaseline)->Arg(128)->Arg(1024)->Arg(16384);
 
 void
 BM_RmatGenerate(benchmark::State &state)

@@ -24,7 +24,13 @@
 # After the recovery bench, the fig13 traffic bench runs and its report
 # is gated twice with tools/bench_diff: the paper's write-amplification
 # ordering (XPGraph strictly below GraphOne-P) must hold, and no metric
-# may regress >10% against the committed BENCH_traffic.json baseline.
+# may regress >10% against the committed BENCH_traffic.json baseline
+# (including the compressed-chunk fields: compressed_bytes_per_edge and
+# compression_ratio).
+#
+# The compression equivalence gate then runs bfs/cc/onehop through the
+# CLI with --compress 1 and --compress 0 and requires byte-identical
+# result lines: the chunk format must be invisible to queries.
 #
 # The closing telemetry stage (skip with XPG_TELEMETRY_STAGE=0) runs the
 # CLI pipeline with --telemetry and json.tool-validates the trace and
@@ -57,7 +63,7 @@ if [[ "${XPG_ASAN:-0}" == "1" ]]; then
     cmake --build "${asan_dir}" -j "$(nproc)" \
           --target xpg_tests xpg_crash_tests
     "${asan_dir}/tests/xpg_tests" \
-        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*'
+        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*:CompressedStoreFixture.*:AdjacencyCodec.*'
     "${asan_dir}/tests/xpg_crash_tests"
 fi
 
@@ -74,7 +80,7 @@ export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 "${build_dir}/bench/fig14_query" "${datasets[@]}"
 
 "${build_dir}/bench/micro_primitives" \
-    --benchmark_filter='BM_(GetNebrs|Degree|LogWindow).*' \
+    --benchmark_filter='BM_(GetNebrs|Degree|LogWindow|AdjCodec|AdjRawCopy).*' \
     --benchmark_min_time=0.05
 
 export XPG_BENCH_INGEST_JSON="${XPG_BENCH_INGEST_JSON:-${repo_root}/BENCH_ingest.json}"
@@ -100,6 +106,38 @@ if baseline_traffic="$(git -C "${repo_root}" show HEAD:BENCH_traffic.json \
 else
     echo "bench_diff: no committed BENCH_traffic.json baseline; skipping"
 fi
+
+# Compression equivalence gate: the delta+varint chunk format is a
+# storage-layer change only, so every order-insensitive query kernel
+# must produce identical results with compression on and off (PageRank
+# is excluded for the same float-order sensitivity fig14 documents).
+# CC's rounds-to-converge is normalized away: compressed chunks store
+# neighbor runs sorted, and label-propagation can converge in a
+# different number of rounds under a different (equally legal) visit
+# order — the component count itself must still match exactly.
+cmake --build "${build_dir}" -j "$(nproc)" --target xpgraph_cli
+equiv_edges="$(mktemp --suffix=.bin)"
+compress_log="$(mktemp)"
+nocompress_log="$(mktemp)"
+"${build_dir}/tools/xpgraph_cli" generate --dataset "${datasets[0]}" \
+    --out "${equiv_edges}"
+for algo in bfs cc onehop; do
+    "${build_dir}/tools/xpgraph_cli" query --in "${equiv_edges}" \
+        --algo "${algo}" --compress 1 \
+        | grep -E '^(BFS|CC:|one-hop)' \
+        | sed -E 's/ in [0-9]+ rounds//' >> "${compress_log}"
+    "${build_dir}/tools/xpgraph_cli" query --in "${equiv_edges}" \
+        --algo "${algo}" --compress 0 \
+        | grep -E '^(BFS|CC:|one-hop)' \
+        | sed -E 's/ in [0-9]+ rounds//' >> "${nocompress_log}"
+done
+[[ -s "${compress_log}" ]] || { echo "FAIL: no query result lines captured"; exit 1; }
+if ! diff "${compress_log}" "${nocompress_log}"; then
+    echo "FAIL: query results differ between --compress 1 and 0"
+    exit 1
+fi
+echo "compression equivalence check passed (bfs/cc/onehop identical)"
+rm -f "${equiv_edges}" "${compress_log}" "${nocompress_log}"
 
 # Telemetry stage (skip with XPG_TELEMETRY_STAGE=0). Three checks:
 #  1. The CLI pipeline run (ingest + archive + query + crash + recover)

@@ -19,6 +19,12 @@ constexpr uint32_t kMaxBlockRecords = 16384;
 /** Scratch assembly buffer for freshly written blocks. */
 thread_local std::vector<std::byte> t_blockScratch;
 
+/** Scratch for the sorted copy of a run being compressed. */
+thread_local std::vector<vid_t> t_sortScratch;
+
+/** Scratch for the encoded payload of a run being compressed. */
+thread_local std::vector<std::byte> t_encodeScratch;
+
 /** Pack a commit word: live count plus checksum over those records. */
 inline uint64_t
 packCommit(uint32_t count, uint32_t sum)
@@ -36,13 +42,26 @@ sumRecords(const vid_t *recs, uint32_t from, uint32_t to, uint32_t base)
     return sum;
 }
 
+/** Whether a run holds any delete tombstone (those runs stay raw: the
+ *  codec stores sorted insert-only gaps and bit 31 is the delete flag). */
+inline bool
+hasDeleteRecord(const vid_t *recs, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        if (isDelete(recs[i]))
+            return true;
+    return false;
+}
+
 } // namespace
 
 AdjacencyStore::AdjacencyStore(MemoryDevice &dev, PmemAllocator &alloc,
                                uint64_t index_off, uint64_t num_slots,
-                               bool proactive_flush)
+                               bool proactive_flush,
+                               CompressionPolicy policy)
     : dev_(&dev), alloc_(&alloc), indexOff_(index_off),
-      numSlots_(num_slots), proactiveFlush_(proactive_flush)
+      numSlots_(num_slots), proactiveFlush_(proactive_flush),
+      policy_(policy)
 {
     XPG_ASSERT(index_off % kXPLineSize == 0,
                "index region must be XPLine-aligned");
@@ -54,6 +73,28 @@ AdjacencyStore::blockBytes(uint32_t capacity)
     const uint64_t raw_bytes =
         sizeof(BlockHeader) + uint64_t{capacity} * sizeof(vid_t);
     return alignUp(raw_bytes, raw_bytes >= kXPLineSize ? kXPLineSize : 64);
+}
+
+uint64_t
+AdjacencyStore::compressedBlockBytes(uint32_t payload_bytes)
+{
+    const uint64_t raw_bytes = sizeof(BlockHeader) + uint64_t{payload_bytes};
+    return alignUp(raw_bytes, raw_bytes >= kXPLineSize ? kXPLineSize : 64);
+}
+
+CompressionStats
+AdjacencyStore::compressionStats() const
+{
+    CompressionStats s;
+    s.chunksCompressed =
+        chunksCompressed_.load(std::memory_order_relaxed);
+    s.recordsCompressed =
+        recordsCompressed_.load(std::memory_order_relaxed);
+    s.rawBytes = s.recordsCompressed * sizeof(vid_t);
+    s.encodedBytes = encodedBytes_.load(std::memory_order_relaxed);
+    s.decodeCalls = decodeCalls_.load(std::memory_order_relaxed);
+    s.decodedRecords = decodedRecords_.load(std::memory_order_relaxed);
+    return s;
 }
 
 uint64_t
@@ -115,6 +156,93 @@ AdjacencyStore::writeBlock(const vid_t *nebrs, uint32_t n,
     return off;
 }
 
+bool
+AdjacencyStore::shouldCompress(const vid_t *nebrs, uint32_t n,
+                               uint32_t stored) const
+{
+    if (!policy_.enabled || n < 2)
+        return false;
+    // Degree-aware: only hubs whose stored + pending records reach the
+    // threshold pay the (cheap) sort+encode; cold vertices keep the raw
+    // format and its tail-fill behavior untouched.
+    if (uint64_t{stored} + n < policy_.minDegree)
+        return false;
+    return !hasDeleteRecord(nebrs, n);
+}
+
+uint64_t
+AdjacencyStore::writeCompressedBlock(const vid_t *nebrs, uint32_t n,
+                                     uint32_t &payload_bytes)
+{
+    // Sort a copy (the caller's run is a vertex-buffer payload or the
+    // compaction survivor list; neither may be reordered in place) and
+    // delta+varint encode it into the payload scratch.
+    t_sortScratch.assign(nebrs, nebrs + n);
+    std::sort(t_sortScratch.begin(), t_sortScratch.end());
+    t_encodeScratch.clear();
+    const uint64_t payload =
+        adjcodec::encodeRun(t_sortScratch.data(), n, t_encodeScratch);
+    payload_bytes = static_cast<uint32_t>(payload);
+
+    const uint64_t bytes = compressedBlockBytes(payload_bytes);
+    const uint64_t align = bytes >= kXPLineSize ? kXPLineSize : 64;
+    const uint64_t off = alloc_->alloc(bytes, align);
+
+    // One sealed stream: header + exact-fit payload + zero pad to the
+    // allocation footprint leave as a single aligned write (no slack,
+    // no later sub-line tail stores; for XPLine-sized blocks the write
+    // covers whole lines, so the media RMW disappears too). The commit
+    // word checksums the encoded bytes, so a torn chunk fails
+    // validation exactly like a torn raw block.
+    const uint64_t init_bytes = bytes;
+    t_blockScratch.assign(init_bytes, std::byte{0});
+    auto *hdr = reinterpret_cast<BlockHeader *>(t_blockScratch.data());
+    hdr->magic = kCompressedMagic;
+    hdr->capacity = payload_bytes;
+    hdr->next = kNullOffset;
+    hdr->commit[0] = packCommit(
+        n, adjcodec::payloadChecksum(t_encodeScratch.data(),
+                                     payload_bytes));
+    hdr->commit[1] = 0;
+    std::memcpy(t_blockScratch.data() + sizeof(BlockHeader),
+                t_encodeScratch.data(), payload_bytes);
+    // The block write stays AdjacencyArchive-attributed (it replaces
+    // the raw-block write one-for-one, keeping the row comparable
+    // across formats); AdjacencyCodec owns the decode-side reads.
+    {
+        XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
+        dev_->write(off, t_blockScratch.data(), init_bytes);
+        if (proactiveFlush_ && init_bytes >= kXPLineSize)
+            dev_->persist(off, init_bytes);
+    }
+
+    chunksCompressed_.fetch_add(1, std::memory_order_relaxed);
+    recordsCompressed_.fetch_add(n, std::memory_order_relaxed);
+    encodedBytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    return off;
+}
+
+void
+AdjacencyStore::linkNewBlock(uint64_t slot, uint64_t off,
+                             VertexChain &chain)
+{
+    const bool first_block = chain.empty();
+    if (!first_block) {
+        // Link from the previous tail; that header line is usually
+        // still buffered from its own write.
+        dev_->writePod<uint64_t>(chain.tail + offsetof(BlockHeader, next),
+                                 off);
+    }
+    if (first_block)
+        chain.head = off;
+    chain.tail = off;
+    // The persistent index holds only the chain head (written once
+    // per vertex); the tail is recovered by walking the chain, so
+    // growing a chain costs no random index write.
+    if (first_block)
+        persistIndex(slot, chain);
+}
+
 void
 AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
                        VertexChain &chain)
@@ -123,7 +251,8 @@ AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
     uint32_t remaining = n;
     const vid_t *cursor = nebrs;
 
-    // Fill the tail block's free space first.
+    // Fill the tail block's free space first. Compressed tails are
+    // sealed (tailCapacity == tailCount), so this branch is raw-only.
     if (!chain.empty() && chain.tailCount < chain.tailCapacity &&
         remaining > 0) {
         const uint32_t take = std::min(
@@ -154,32 +283,34 @@ AdjacencyStore::append(uint64_t slot, const vid_t *nebrs, uint32_t n,
         remaining -= take;
     }
 
+    if (remaining > 0 && shouldCompress(cursor, remaining, chain.records)) {
+        // Hub run without tombstones: the whole remainder becomes one
+        // sealed compressed chunk.
+        uint32_t payload_bytes = 0;
+        const uint64_t off =
+            writeCompressedBlock(cursor, remaining, payload_bytes);
+        linkNewBlock(slot, off, chain);
+        chain.tailCount = remaining;
+        chain.tailCapacity = remaining; // sealed: no tail-fill slack
+        chain.tailSum = adjcodec::payloadChecksum(t_encodeScratch.data(),
+                                                  payload_bytes);
+        chain.tailCommitSlot = 0;
+        chain.records += remaining;
+        return;
+    }
+
     while (remaining > 0) {
         const uint32_t capacity =
             newBlockCapacity(remaining, chain.records);
         const uint32_t take = std::min(remaining, capacity);
         const uint64_t off = writeBlock(cursor, take, capacity);
 
-        const bool first_block = chain.empty();
-        if (!first_block) {
-            // Link from the previous tail; that header line is usually
-            // still buffered from its own write.
-            dev_->writePod<uint64_t>(
-                chain.tail + offsetof(BlockHeader, next), off);
-        }
-        if (first_block)
-            chain.head = off;
-        chain.tail = off;
+        linkNewBlock(slot, off, chain);
         chain.tailCount = take;
         chain.tailCapacity = capacity;
         chain.tailSum = sumRecords(cursor, 0, take, 0);
         chain.tailCommitSlot = 0;
         chain.records += take;
-        // The persistent index holds only the chain head (written once
-        // per vertex); the tail is recovered by walking the chain, so
-        // growing a chain costs no random index write.
-        if (first_block)
-            persistIndex(slot, chain);
 
         cursor += take;
         remaining -= take;
@@ -194,14 +325,19 @@ AdjacencyStore::readRaw(const VertexChain &chain,
     uint64_t off = chain.head;
     while (off != kNullOffset) {
         const auto hdr = dev_->readPod<BlockHeader>(off);
-        const uint32_t count = hdr.liveCount();
-        const size_t base = out.size();
-        out.resize(base + count);
-        if (count > 0) {
-            dev_->read(off + sizeof(BlockHeader), out.data() + base,
-                       uint64_t{count} * sizeof(vid_t));
+        if (hdr.compressed()) {
+            total += visitCompressed(off, hdr,
+                                     [&](vid_t v) { out.push_back(v); });
+        } else {
+            const uint32_t count = hdr.liveCount();
+            const size_t base = out.size();
+            out.resize(base + count);
+            if (count > 0) {
+                dev_->read(off + sizeof(BlockHeader), out.data() + base,
+                           uint64_t{count} * sizeof(vid_t));
+            }
+            total += count;
         }
-        total += count;
         off = hdr.next;
     }
     return total;
@@ -214,14 +350,24 @@ AdjacencyStore::contains(const VertexChain &chain, vid_t nebr) const
     uint64_t off = chain.head;
     while (off != kNullOffset) {
         const auto hdr = dev_->readPod<BlockHeader>(off);
-        const uint32_t count = hdr.liveCount();
-        scratch.resize(count);
-        if (count > 0) {
-            dev_->read(off + sizeof(BlockHeader), scratch.data(),
-                       uint64_t{count} * sizeof(vid_t));
-            for (vid_t v : scratch)
+        if (hdr.compressed()) {
+            bool found = false;
+            visitCompressed(off, hdr, [&](vid_t v) {
                 if (v == nebr)
-                    return true;
+                    found = true;
+            });
+            if (found)
+                return true;
+        } else {
+            const uint32_t count = hdr.liveCount();
+            scratch.resize(count);
+            if (count > 0) {
+                dev_->read(off + sizeof(BlockHeader), scratch.data(),
+                           uint64_t{count} * sizeof(vid_t));
+                for (vid_t v : scratch)
+                    if (v == nebr)
+                        return true;
+            }
         }
         off = hdr.next;
     }
@@ -252,19 +398,38 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
     }
 
     const uint32_t n = static_cast<uint32_t>(live.size());
-    const uint32_t capacity = newBlockCapacity(n ? n : 1, 0);
-    const uint64_t off = writeBlock(live.data(), n, capacity);
+    uint64_t off;
+    uint64_t durable_bytes;
+    uint32_t tail_capacity;
+    uint32_t tail_sum;
+    // The survivor list is insert-only, so an eligible hub compacts into
+    // one compressed chunk — the big read-amplification win for query
+    // scans over compacted hubs.
+    if (policy_.enabled && n >= 2 && n >= policy_.minDegree) {
+        uint32_t payload_bytes = 0;
+        off = writeCompressedBlock(live.data(), n, payload_bytes);
+        durable_bytes = sizeof(BlockHeader) + payload_bytes;
+        tail_capacity = n; // sealed
+        tail_sum = adjcodec::payloadChecksum(t_encodeScratch.data(),
+                                             payload_bytes);
+    } else {
+        const uint32_t capacity = newBlockCapacity(n ? n : 1, 0);
+        off = writeBlock(live.data(), n, capacity);
+        durable_bytes = sizeof(BlockHeader) + uint64_t{n} * sizeof(vid_t);
+        tail_capacity = capacity;
+        tail_sum = sumRecords(live.data(), 0, n, 0);
+    }
     // Durability fence: compaction swings the index head away from a
     // chain whose edges may be flushed (no longer replayable from the
     // log), so the new block must be fully durable *before* the entry
     // can point at it — otherwise a crash between the two writes loses
     // the old (still durable) chain and the new one together.
-    dev_->persist(off, sizeof(BlockHeader) + uint64_t{n} * sizeof(vid_t));
+    dev_->persist(off, durable_bytes);
     chain.head = off;
     chain.tail = off;
     chain.tailCount = n;
-    chain.tailCapacity = capacity;
-    chain.tailSum = sumRecords(live.data(), 0, n, 0);
+    chain.tailCapacity = tail_capacity;
+    chain.tailSum = tail_sum;
     chain.tailCommitSlot = 0;
     chain.records = n;
     persistIndex(slot, chain);
@@ -288,13 +453,21 @@ AdjacencyStore::loadChain(uint64_t slot) const
         if (hdr.next == kNullOffset) {
             chain.tail = off;
             chain.tailCount = count;
-            chain.tailCapacity = hdr.capacity;
-            const uint8_t tail_slot =
-                static_cast<uint32_t>(hdr.commit[1]) >
-                static_cast<uint32_t>(hdr.commit[0]) ? 1 : 0;
-            chain.tailCommitSlot = tail_slot;
-            chain.tailSum =
-                static_cast<uint32_t>(hdr.commit[tail_slot] >> 32);
+            if (hdr.compressed()) {
+                // Sealed chunk: full by definition, commit[0] only.
+                chain.tailCapacity = count;
+                chain.tailCommitSlot = 0;
+                chain.tailSum =
+                    static_cast<uint32_t>(hdr.commit[0] >> 32);
+            } else {
+                chain.tailCapacity = hdr.capacity;
+                const uint8_t tail_slot =
+                    static_cast<uint32_t>(hdr.commit[1]) >
+                    static_cast<uint32_t>(hdr.commit[0]) ? 1 : 0;
+                chain.tailCommitSlot = tail_slot;
+                chain.tailSum =
+                    static_cast<uint32_t>(hdr.commit[tail_slot] >> 32);
+            }
         }
         off = hdr.next;
     }
@@ -314,14 +487,69 @@ AdjacencyStore::validateBlock(uint64_t off, BlockHeader &hdr,
         off + sizeof(BlockHeader) > region_end)
         return false;
     hdr = dev_->readPod<BlockHeader>(off);
-    if (hdr.magic != kBlockMagic || hdr.capacity == 0)
+    if ((hdr.magic != kBlockMagic && hdr.magic != kCompressedMagic) ||
+        hdr.capacity == 0)
         return false;
-    if (off + blockBytes(hdr.capacity) > region_end)
+    if (off + footprintOf(hdr) > region_end)
         return false;
     if (hdr.next != kNullOffset &&
         (hdr.next < region_start || hdr.next % 64 != 0 ||
          hdr.next + sizeof(BlockHeader) > region_end))
         return false;
+
+    if (hdr.compressed()) {
+        // A compressed chunk is sealed with a single commit whose
+        // checksum covers the encoded payload; a valid non-empty commit
+        // must also decode cleanly to exactly its count. A torn chunk
+        // (commit durable, payload not — or vice versa) fails both and
+        // falls back to the vacuous zero commit, i.e. the chunk holds
+        // nothing durable, exactly like a torn fresh raw block.
+        thread_local std::vector<std::byte> payload;
+        payload.resize(hdr.capacity);
+        {
+            XPG_ATTR_SCOPE(codecScope, AdjacencyCodec);
+            dev_->read(off + sizeof(BlockHeader), payload.data(),
+                       hdr.capacity);
+        }
+        const uint32_t declared = std::min(
+            std::max(static_cast<uint32_t>(hdr.commit[0]),
+                     static_cast<uint32_t>(hdr.commit[1])),
+            hdr.capacity);
+        bool adopted = false;
+        for (int s = 0; s < 2; ++s) {
+            const uint32_t c = static_cast<uint32_t>(hdr.commit[s]);
+            const uint32_t want =
+                static_cast<uint32_t>(hdr.commit[s] >> 32);
+            if (c == 0 && want == 0) {
+                if (!adopted) {
+                    count = 0;
+                    sum = 0;
+                    slot = static_cast<uint8_t>(s);
+                    adopted = true;
+                }
+                continue;
+            }
+            if (c > hdr.capacity) // >= 1 payload byte per record
+                continue;
+            if (adjcodec::payloadChecksum(payload.data(), hdr.capacity) !=
+                want)
+                continue;
+            uint32_t decoded = 0;
+            if (!adjcodec::decodeRun(payload.data(), hdr.capacity,
+                                     [&](vid_t) { ++decoded; }) ||
+                decoded != c)
+                continue;
+            if (!adopted || c > count) {
+                count = c;
+                sum = want;
+                slot = static_cast<uint8_t>(s);
+                adopted = true;
+            }
+        }
+        if (adopted && count < declared)
+            scan.recordsTruncated += declared - count;
+        return adopted;
+    }
 
     // Adopt the commit word with the largest verifying count; a torn
     // payload under the newer commit falls back to the older one. A
@@ -392,13 +620,15 @@ AdjacencyStore::loadChainValidated(uint64_t slot, ChainScan &scan)
         if (chain.head == kNullOffset)
             chain.head = off;
         chain.records += count;
-        const uint64_t footprint = blockBytes(hdr.capacity);
+        const uint64_t footprint = footprintOf(hdr);
         scan.referencedBytes += footprint;
         scan.maxReferencedEnd =
             std::max(scan.maxReferencedEnd, off + footprint);
         chain.tail = off;
         chain.tailCount = count;
-        chain.tailCapacity = hdr.capacity;
+        // A surviving compressed chunk is sealed: report it full so the
+        // raw tail-fill path can never write into its payload.
+        chain.tailCapacity = hdr.compressed() ? count : hdr.capacity;
         chain.tailSum = sum;
         chain.tailCommitSlot = commit_slot;
         prev = off;

@@ -8,13 +8,28 @@
  * produce. The persistent index (16 bytes per vertex slot: chain head and
  * tail offsets) is what makes recovery an index rebuild instead of a full
  * re-archive (paper S V-D).
+ *
+ * Two block formats coexist on the same chain (DESIGN.md §11):
+ *  - raw blocks (kBlockMagic): 4-byte records, tail-filled in place with
+ *    dual alternating commit words;
+ *  - compressed chunks (kCompressedMagic): a sorted insert-only run,
+ *    delta-encoded and varint-packed (adjacency_codec.hpp). Compressed
+ *    chunks are *sealed* exact-fit writes — header + payload leave the
+ *    CPU as one aligned stream, are never tail-filled, and their commit
+ *    word checksums the encoded payload so a torn chunk is rejected by
+ *    recovery exactly like a torn raw block.
+ * The format choice is degree-aware (CompressionPolicy): hub runs are
+ * compressed, low-degree vertices stay raw.
  */
 
 #ifndef XPG_CORE_ADJACENCY_STORE_HPP
 #define XPG_CORE_ADJACENCY_STORE_HPP
 
+#include <atomic>
 #include <vector>
 
+#include "core/adjacency_codec.hpp"
+#include "core/stats.hpp"
 #include "graph/types.hpp"
 #include "pmem/memory_device.hpp"
 #include "pmem/pmem_allocator.hpp"
@@ -46,6 +61,22 @@ struct ChainScan
 };
 
 /**
+ * When the archiver writes a vertex's run as a compressed chunk instead
+ * of a raw block. Compression applies only when a *new* block is chained
+ * (raw tail slack is always filled first — cheapest in media traffic),
+ * only to runs without delete records, and only once the vertex's
+ * degree (stored + pending) reaches minDegree: hubs are where the
+ * archive traffic concentrates and where sorted runs delta-encode well;
+ * low-degree vertices keep the raw format and the untouched
+ * hierarchical vertex-buffer path.
+ */
+struct CompressionPolicy
+{
+    bool enabled = false;     ///< default off: byte-exact legacy behavior
+    uint32_t minDegree = 128; ///< stored+pending records gating compression
+};
+
+/**
  * Append-only adjacency block chains over a device region.
  * Thread-safety: concurrent calls must target distinct slots (guaranteed
  * by edge sharding); the allocator and device are themselves thread-safe.
@@ -56,18 +87,25 @@ class AdjacencyStore
     /**
      * On-device block header. A block is self-validating: the live
      * record count is not a bare integer but a *commit word* packing
-     * count (low 32) and a position-mixed checksum over the first count
-     * records (high 32) — written as a single 8-byte store, which PMEM's
-     * failure atomicity makes untearable. Two commit words alternate so
-     * an in-place tail append that crashes mid-way (payload partially
-     * durable, new commit durable) falls back to the previous commit
-     * instead of invalidating records committed long ago. Recovery
-     * adopts the commit with the largest verifying count.
+     * count (low 32) and a position-mixed checksum (high 32) — written
+     * as a single 8-byte store, which PMEM's failure atomicity makes
+     * untearable. Raw blocks alternate two commit words so an in-place
+     * tail append that crashes mid-way (payload partially durable, new
+     * commit durable) falls back to the previous commit instead of
+     * invalidating records committed long ago; recovery adopts the
+     * commit with the largest verifying count. Compressed chunks are
+     * sealed at write time: only commit[0] is ever set, and its checksum
+     * covers the encoded payload bytes rather than 4-byte records.
+     *
+     * `capacity` is format-dependent: record capacity for raw blocks,
+     * exact payload *byte* length for compressed chunks (sealed blocks
+     * have no slack, which is also what lets readers charge exactly the
+     * encoded bytes).
      */
     struct BlockHeader
     {
-        uint32_t magic;     ///< kBlockMagic
-        uint32_t capacity;  ///< record capacity
+        uint32_t magic;     ///< kBlockMagic or kCompressedMagic
+        uint32_t capacity;  ///< records (raw) / payload bytes (compressed)
         uint64_t next;      ///< next block offset or kNullOffset
         uint64_t commit[2]; ///< alternating {count | sum32 << 32} words
 
@@ -79,13 +117,28 @@ class AdjacencyStore
             const uint32_t b = static_cast<uint32_t>(commit[1]);
             return a > b ? a : b;
         }
+
+        bool compressed() const { return magic == kCompressedMagic; }
     };
     static_assert(sizeof(BlockHeader) == 32);
 
-    static constexpr uint32_t kBlockMagic = 0x42415058u; // "XPAB"
+    static constexpr uint32_t kBlockMagic = 0x42415058u;      // "XPAB"
+    static constexpr uint32_t kCompressedMagic = 0x43415058u; // "XPAC"
 
-    /** Aligned device footprint of a block with @p capacity records. */
+    /** Aligned device footprint of a raw block with @p capacity records. */
     static uint64_t blockBytes(uint32_t capacity);
+
+    /** Aligned device footprint of a compressed chunk whose payload
+     *  (run header + varint stream) is @p payload_bytes long. */
+    static uint64_t compressedBlockBytes(uint32_t payload_bytes);
+
+    /** Footprint of @p hdr's block, whichever format it uses. */
+    static uint64_t
+    footprintOf(const BlockHeader &hdr)
+    {
+        return hdr.compressed() ? compressedBlockBytes(hdr.capacity)
+                                : blockBytes(hdr.capacity);
+    }
 
     /**
      * Persistent per-slot index entry. Only `head` is authoritative:
@@ -114,12 +167,18 @@ class AdjacencyStore
      * @param index_off Device offset of the persistent index region.
      * @param num_slots Vertex slots this store owns.
      * @param proactive_flush clwb adjacency writes of >= one XPLine.
+     * @param policy When archived runs become compressed chunks.
      */
     AdjacencyStore(MemoryDevice &dev, PmemAllocator &alloc,
                    uint64_t index_off, uint64_t num_slots,
-                   bool proactive_flush);
+                   bool proactive_flush, CompressionPolicy policy = {});
 
     uint64_t numSlots() const { return numSlots_; }
+
+    const CompressionPolicy &compressionPolicy() const { return policy_; }
+
+    /** Cumulative codec activity of this store (encode + decode). */
+    CompressionStats compressionStats() const;
 
     /**
      * Append @p n neighbor records to @p slot's chain, filling the tail
@@ -132,7 +191,8 @@ class AdjacencyStore
 
     /**
      * Read every record of @p slot's chain into @p out (appended),
-     * including delete tombstones.
+     * including delete tombstones. Compressed chunks are decoded;
+     * their records come out in ascending order (within the chunk).
      * @return records appended.
      */
     uint32_t readRaw(const VertexChain &chain,
@@ -141,7 +201,9 @@ class AdjacencyStore
     /**
      * Stream every record of @p chain (including delete tombstones)
      * through @p fn(vid_t) in place via zero-copy device views — the
-     * same modeled device reads as readRaw(), no copy-out.
+     * same modeled device reads as readRaw(), no copy-out. Compressed
+     * chunks decode in place from the (smaller) payload view, so
+     * queries read fewer media bytes than the raw format would.
      * @return records visited.
      */
     template <typename F>
@@ -152,15 +214,19 @@ class AdjacencyStore
         uint64_t off = chain.head;
         while (off != kNullOffset) {
             const auto hdr = dev_->readPod<BlockHeader>(off);
-            const uint32_t count = hdr.liveCount();
-            if (count > 0) {
-                const auto *recs = reinterpret_cast<const vid_t *>(
-                    dev_->readView(off + sizeof(BlockHeader),
-                                   uint64_t{count} * sizeof(vid_t)));
-                for (uint32_t i = 0; i < count; ++i)
-                    fn(recs[i]);
+            if (hdr.compressed()) {
+                total += visitCompressed(off, hdr, fn);
+            } else {
+                const uint32_t count = hdr.liveCount();
+                if (count > 0) {
+                    const auto *recs = reinterpret_cast<const vid_t *>(
+                        dev_->readView(off + sizeof(BlockHeader),
+                                       uint64_t{count} * sizeof(vid_t)));
+                    for (uint32_t i = 0; i < count; ++i)
+                        fn(recs[i]);
+                }
+                total += count;
             }
-            total += count;
             off = hdr.next;
         }
         return total;
@@ -172,7 +238,8 @@ class AdjacencyStore
     /**
      * Rewrite @p slot's chain as a single block with tombstones applied
      * (Table I compact_adjs). Old blocks are abandoned to the
-     * log-structured allocator.
+     * log-structured allocator. The output run is insert-only, so an
+     * eligible vertex compacts into one compressed chunk.
      */
     void compact(uint64_t slot, VertexChain &chain);
 
@@ -182,10 +249,12 @@ class AdjacencyStore
 
     /**
      * Crash-safe chain rebuild: validates every block (magic, bounds,
-     * commit checksum) and truncates the chain at the first invalid one,
-     * repairing the dangling link / index entry on the device so a later
-     * crash cannot resurrect the garbage. Thread-safe for distinct
-     * slots; @p scan accumulates what was found (caller merges).
+     * commit checksum — for compressed chunks the checksum covers the
+     * encoded payload and the varint stream must decode cleanly) and
+     * truncates the chain at the first invalid one, repairing the
+     * dangling link / index entry on the device so a later crash cannot
+     * resurrect the garbage. Thread-safe for distinct slots; @p scan
+     * accumulates what was found (caller merges).
      */
     VertexChain loadChainValidated(uint64_t slot, ChainScan &scan);
 
@@ -203,14 +272,60 @@ class AdjacencyStore
     /** Record capacity for a new block given pending and stored counts. */
     uint32_t newBlockCapacity(uint32_t pending, uint32_t stored) const;
 
-    /** Allocate and write a fresh block holding @p n records. */
+    /** Allocate and write a fresh raw block holding @p n records. */
     uint64_t writeBlock(const vid_t *nebrs, uint32_t n, uint32_t capacity);
+
+    /** Whether @p policy_ compresses this run when chaining a new block:
+     *  enabled, degree reached, and no delete records in the run. */
+    bool shouldCompress(const vid_t *nebrs, uint32_t n,
+                        uint32_t stored) const;
+
+    /** Allocate and write a sealed compressed chunk of the run
+     *  (sorted copy, delta+varint encode, checksummed commit).
+     *  @return the block offset. */
+    uint64_t writeCompressedBlock(const vid_t *nebrs, uint32_t n,
+                                  uint32_t &payload_bytes);
+
+    /** Link a fresh block at @p off into @p chain (shared by the raw
+     *  and compressed paths); persists the index for a first block. */
+    void linkNewBlock(uint64_t slot, uint64_t off, VertexChain &chain);
+
+    /** Decode the chunk at @p off through @p fn, charging exactly the
+     *  payload bytes under the AdjacencyCodec scope. */
+    template <typename F>
+    uint32_t
+    visitCompressed(uint64_t off, const BlockHeader &hdr, F &&fn) const
+    {
+        const uint32_t count = hdr.liveCount();
+        if (count == 0 || hdr.capacity == 0)
+            return 0;
+        XPG_ATTR_SCOPE(codecScope, AdjacencyCodec);
+        const std::byte *payload =
+            dev_->readView(off + sizeof(BlockHeader), hdr.capacity);
+        uint32_t emitted = 0;
+        adjcodec::decodeRun(payload, hdr.capacity, [&](vid_t v) {
+            fn(v);
+            ++emitted;
+        });
+        decodeCalls_.fetch_add(1, std::memory_order_relaxed);
+        decodedRecords_.fetch_add(emitted, std::memory_order_relaxed);
+        return emitted;
+    }
 
     MemoryDevice *dev_;
     PmemAllocator *alloc_;
     uint64_t indexOff_;
     uint64_t numSlots_;
     bool proactiveFlush_;
+    CompressionPolicy policy_;
+
+    // codec accounting (relaxed: archiver shards are disjoint, queries
+    // run on many threads; exact totals in any order)
+    std::atomic<uint64_t> chunksCompressed_{0};
+    std::atomic<uint64_t> recordsCompressed_{0};
+    std::atomic<uint64_t> encodedBytes_{0};
+    mutable std::atomic<uint64_t> decodeCalls_{0};
+    mutable std::atomic<uint64_t> decodedRecords_{0};
 };
 
 } // namespace xpg

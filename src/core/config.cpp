@@ -106,6 +106,10 @@ XPGraphConfig::validate(bool for_recovery) const
         bad("shardsPerThread is 0: the edge sharder needs at least one "
             "shard per archive slot");
 
+    if (compressAdjacency && compressMinDegree < 2)
+        bad("compressMinDegree must be >= 2: a compressed chunk needs "
+            "at least a first vid and one gap to beat the raw format");
+
     if (for_recovery && backingDir.empty())
         bad("recovery requires file-backed devices: set backingDir to "
             "the directory holding the xpgraph_node*.pmem images");

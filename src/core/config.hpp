@@ -97,6 +97,16 @@ struct XPGraphConfig
      * archiver additionally overlaps with a single session.
      */
     bool pipelinedArchiving = false;
+    /**
+     * Archive hub runs as delta+varint compressed chunks (DESIGN.md
+     * §11) instead of raw 4-byte records. A tuning knob, not geometry:
+     * raw and compressed blocks coexist on one chain and recovery
+     * validates both, so it may be toggled across restarts.
+     */
+    bool compressAdjacency = true;
+    /** Degree (stored + pending records) from which a newly chained
+     *  block is written compressed; below it vertices stay raw. */
+    uint32_t compressMinDegree = 128;
 
     /**
      * Check every range/consistency constraint and return the problems

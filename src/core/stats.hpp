@@ -63,6 +63,60 @@ struct IngestStats
     }
 };
 
+/**
+ * Cumulative compressed-adjacency-chunk statistics (DESIGN.md §11):
+ * what the delta+varint codec wrote and decoded. rawBytes is what the
+ * same records would have cost as 4-byte raw payloads, so
+ * rawBytes - encodedBytes is the media traffic cut at the source.
+ */
+struct CompressionStats
+{
+    uint64_t chunksCompressed = 0;  ///< compressed blocks written
+    uint64_t recordsCompressed = 0; ///< neighbor records those blocks hold
+    uint64_t rawBytes = 0;          ///< 4 B/record cost of the raw format
+    uint64_t encodedBytes = 0;      ///< payload bytes actually written
+    uint64_t decodeCalls = 0;       ///< compressed payloads decoded
+    uint64_t decodedRecords = 0;    ///< records produced by those decodes
+
+    uint64_t
+    bytesSaved() const
+    {
+        return rawBytes > encodedBytes ? rawBytes - encodedBytes : 0;
+    }
+
+    /** raw/encoded; 1.0 when nothing was compressed. */
+    double
+    compressionRatio() const
+    {
+        if (encodedBytes == 0)
+            return 1.0;
+        return static_cast<double>(rawBytes) /
+               static_cast<double>(encodedBytes);
+    }
+
+    /** Encoded payload bytes per stored record (4.0 = raw cost). */
+    double
+    bytesPerEdge() const
+    {
+        if (recordsCompressed == 0)
+            return 0.0;
+        return static_cast<double>(encodedBytes) /
+               static_cast<double>(recordsCompressed);
+    }
+
+    CompressionStats &
+    operator+=(const CompressionStats &o)
+    {
+        chunksCompressed += o.chunksCompressed;
+        recordsCompressed += o.recordsCompressed;
+        rawBytes += o.rawBytes;
+        encodedBytes += o.encodedBytes;
+        decodeCalls += o.decodeCalls;
+        decodedRecords += o.decodedRecords;
+        return *this;
+    }
+};
+
 /** Memory usage breakdown (Table III columns). */
 struct MemoryUsage
 {

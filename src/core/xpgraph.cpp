@@ -470,18 +470,22 @@ XPGraph::initPartitions(bool recovering)
                 config_.batteryBacked);
         }
 
+        const CompressionPolicy compression{config_.compressAdjacency,
+                                            config_.compressMinDegree};
         if (part.outSlots > 0) {
             part.out = std::make_unique<Side>();
             part.out->store = std::make_unique<AdjacencyStore>(
                 *part.dev, *part.alloc, part.outIndexOff, part.outSlots,
-                config_.proactiveFlush && config_.memKind == MemKind::Pmem);
+                config_.proactiveFlush && config_.memKind == MemKind::Pmem,
+                compression);
             part.out->states.resize(part.outSlots);
         }
         if (part.inSlots > 0) {
             part.in = std::make_unique<Side>();
             part.in->store = std::make_unique<AdjacencyStore>(
                 *part.dev, *part.alloc, part.inIndexOff, part.inSlots,
-                config_.proactiveFlush && config_.memKind == MemKind::Pmem);
+                config_.proactiveFlush && config_.memKind == MemKind::Pmem,
+                compression);
             part.in->states.resize(part.inSlots);
         }
     }
@@ -1707,6 +1711,13 @@ XPGraph::publishTelemetry() const
     tel.gauge("archive.edges_buffered_total", store).set(s.edgesBuffered);
     tel.gauge("archive.vbuf_flushes", store).set(s.vbufFlushes);
     tel.gauge("ingest.sessions_opened", store).set(s.sessionsOpened);
+    const CompressionStats cs = compressionStats();
+    tel.gauge("compress.chunks", store).set(cs.chunksCompressed);
+    tel.gauge("compress.records", store).set(cs.recordsCompressed);
+    tel.gauge("compress.encoded_bytes", store).set(cs.encodedBytes);
+    tel.gauge("compress.bytes_saved", store).set(cs.bytesSaved());
+    tel.gauge("compress.decode_calls", store).set(cs.decodeCalls);
+    tel.gauge("compress.decoded_records", store).set(cs.decodedRecords);
     for (unsigned node = 0; node < config_.numNodes; ++node)
         parts_[node].dev->publishTelemetry("xpgraph",
                                            static_cast<int>(node));
@@ -1743,6 +1754,19 @@ XPGraph::pmemCounters() const
     PcmCounters total;
     for (const auto &part : parts_)
         total += part.dev->counters();
+    return total;
+}
+
+CompressionStats
+XPGraph::compressionStats() const
+{
+    CompressionStats total;
+    for (const auto &part : parts_) {
+        for (const Side *side : {part.out.get(), part.in.get()}) {
+            if (side)
+                total += side->store->compressionStats();
+        }
+    }
     return total;
 }
 

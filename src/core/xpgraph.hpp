@@ -232,6 +232,8 @@ class XPGraph : public GraphStore
     PcmCounters pmemCounters() const override;
     /** Per-cause breakdown of pmemCounters(), summed over partitions. */
     telemetry::AttributionSnapshot pmemAttribution() const override;
+    /** Codec activity summed over every partition's out/in store. */
+    CompressionStats compressionStats() const override;
     /** Hottest XPLines merged across the per-node devices. */
     std::vector<telemetry::LineHeatTable::HotLine>
     hotLines(unsigned n) const override;

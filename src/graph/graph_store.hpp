@@ -142,6 +142,14 @@ class GraphStore : public GraphView
     }
 
     /**
+     * Cumulative compressed-adjacency-chunk activity (DESIGN.md §11):
+     * chunks/records written compressed, encoded vs raw bytes, decode
+     * calls. All-zero for stores without the codec (the GraphOne
+     * baselines) or with compression disabled.
+     */
+    virtual CompressionStats compressionStats() const { return {}; }
+
+    /**
      * The hottest XPLines across this store's devices: top @p n by
      * total touches, merged from the per-device heat tables. Empty for
      * stores without an XPBuffer model (DRAM) or with telemetry OFF.

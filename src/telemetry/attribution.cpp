@@ -25,6 +25,8 @@ accessCategoryName(AccessCategory c)
         return "query_read";
     case AccessCategory::RecoveryReplay:
         return "recovery_replay";
+    case AccessCategory::AdjacencyCodec:
+        return "adjacency_codec";
     case AccessCategory::Other:
         return "other";
     }
@@ -38,7 +40,8 @@ allAccessCategories()
         AccessCategory::EdgeLogAppend,    AccessCategory::AdjacencyArchive,
         AccessCategory::VertexMeta,       AccessCategory::AllocatorMeta,
         AccessCategory::Superblock,       AccessCategory::QueryRead,
-        AccessCategory::RecoveryReplay,   AccessCategory::Other,
+        AccessCategory::RecoveryReplay,   AccessCategory::AdjacencyCodec,
+        AccessCategory::Other,
     };
     return cats;
 }

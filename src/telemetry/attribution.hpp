@@ -71,10 +71,11 @@ enum class AccessCategory : uint8_t
     Superblock,          ///< superblock + log-header metadata
     QueryRead,           ///< neighbor reads on behalf of queries
     RecoveryReplay,      ///< post-crash validation, replay, and repair
+    AdjacencyCodec,      ///< compressed-chunk encode writes / decode reads
     Other,               ///< untagged traffic (fallback)
 };
 
-inline constexpr unsigned kAccessCategoryCount = 8;
+inline constexpr unsigned kAccessCategoryCount = 9;
 
 /** Stable snake_case name ("edge_log_append", ...) for JSON/metric keys. */
 const char *accessCategoryName(AccessCategory c);

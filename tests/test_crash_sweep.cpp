@@ -280,6 +280,53 @@ TEST_F(CrashSweepTest, XPGraphDeletesAndCompaction)
     EXPECT_GE(points, kMinPoints);
 }
 
+TEST_F(CrashSweepTest, XPGraphCompressedChunks)
+{
+    // Compressed-chunk flavor: a low compression threshold over a small,
+    // hub-heavy vertex set makes most archived runs leave as sealed
+    // delta+varint chunks, so the sweep crashes mid-archive of
+    // compressed chunks (including torn chunk writes) and recovery must
+    // validate their payload checksums. Delete ops force raw blocks onto
+    // the same chains, covering the mixed-format walk.
+    const vid_t nv = 48;
+    const auto edges = distinctEdges(nv, 1200, 19);
+    const auto ops = deleteCompactionOps(edges);
+    XPGraphConfig config = xpgConfig(nv, ops.size());
+    config.compressMinDegree = 8;
+
+    // The flavor is only meaningful if chunks are actually written.
+    {
+        XPGraph dry(config);
+        crash::runUntilCrash(dry, ops, nullptr,
+                             [&] { dry.compactAllAdjs(); });
+        dry.archiveAll();
+        ASSERT_GT(dry.compressionStats().chunksCompressed, 0u)
+            << "workload never hit the compressed path — dead sweep";
+    }
+
+    const uint64_t media = dryRunMediaWrites(
+        [&] { return std::make_unique<XPGraph>(config); }, ops,
+        [](XPGraph &g) { g.compactAllAdjs(); });
+    const uint64_t step = std::max<uint64_t>(1, media / kTargetPoints);
+
+    constexpr FaultPlan::TornMode kModes[] = {FaultPlan::TornMode::None,
+                                              FaultPlan::TornMode::Prefix,
+                                              FaultPlan::TornMode::Suffix,
+                                              FaultPlan::TornMode::Drop};
+    uint64_t points = 0;
+    for (uint64_t n = 1; n <= media; n += step) {
+        FaultPlan plan;
+        plan.crashAfterMediaWrites = n;
+        plan.torn = kModes[points % 4];
+        plan.tornBytes = 8 * (1 + points % 31);
+        sweepOnePointXpg(config, ops, nv, plan);
+        if (::testing::Test::HasFatalFailure())
+            return;
+        ++points;
+    }
+    EXPECT_GE(points, kMinPoints);
+}
+
 TEST_F(CrashSweepTest, GraphOneEveryKthMediaWrite)
 {
     const vid_t nv = 96;

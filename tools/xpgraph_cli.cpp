@@ -245,6 +245,9 @@ xpgraphConfigFor(const std::string &system, vid_t nv, uint64_t edges,
     }
     c.archiveThreads =
         static_cast<unsigned>(args.getInt("threads", 16));
+    c.compressAdjacency = args.getInt("compress", 1) != 0;
+    c.compressMinDegree = static_cast<uint32_t>(
+        args.getInt("compress-min-degree", c.compressMinDegree));
     c.backingDir = args.get("backing");
     if (!c.backingDir.empty())
         std::filesystem::create_directories(c.backingDir);
@@ -522,6 +525,23 @@ cmdProfile(const Args &args)
                     exact ? "exact" : "MISMATCH");
     }
 
+    const CompressionStats cs = store->compressionStats();
+    if (cs.chunksCompressed > 0) {
+        std::printf("\n-- compressed adjacency chunks --\n");
+        std::printf("chunks: %llu  records: %llu  encoded: %s "
+                    "(%.2f B/edge, raw 4.00)\n",
+                    static_cast<unsigned long long>(cs.chunksCompressed),
+                    static_cast<unsigned long long>(cs.recordsCompressed),
+                    TablePrinter::bytes(cs.encodedBytes).c_str(),
+                    cs.bytesPerEdge());
+        std::printf("ratio: %.2fx  bytes saved: %s  decodes: %llu "
+                    "(%llu records)\n",
+                    cs.compressionRatio(),
+                    TablePrinter::bytes(cs.bytesSaved()).c_str(),
+                    static_cast<unsigned long long>(cs.decodeCalls),
+                    static_cast<unsigned long long>(cs.decodedRecords));
+    }
+
     const auto hot = store->hotLines(top);
     if (!hot.empty()) {
         TablePrinter heat("hottest XPLines (top " +
@@ -542,6 +562,15 @@ cmdProfile(const Args &args)
         root.set("counters", pcm.toJson());
         root.set("attribution", attr.toJson());
         root.set("attribution_total", attr.total().toJson());
+        json::JsonValue comp = json::JsonValue::object();
+        comp.set("chunks_compressed", cs.chunksCompressed);
+        comp.set("records_compressed", cs.recordsCompressed);
+        comp.set("encoded_bytes", cs.encodedBytes);
+        comp.set("bytes_saved", cs.bytesSaved());
+        comp.set("compressed_bytes_per_edge", cs.bytesPerEdge());
+        comp.set("compression_ratio", cs.compressionRatio());
+        comp.set("decode_calls", cs.decodeCalls);
+        root.set("compression", std::move(comp));
         json::JsonValue lines = json::JsonValue::array();
         for (const auto &h : hot) {
             json::JsonValue l = json::JsonValue::object();
