@@ -96,8 +96,8 @@ GraphOneConfig graphoneConfig(const Dataset &ds, GraphOneVariant variant,
  * Engine-polymorphic ingest driver: feed the dataset through the
  * GraphStore interface, then fully archive it (a sync point).
  *
- * @p sessions == 0 drives the store through its default-session shim
- * (store.addEdges), exactly as the single-thread benches always have.
+ * @p sessions == 0 drives the store through one scoped session(0) from
+ * the calling thread, exactly as the single-thread benches always have.
  * @p sessions >= 1 spawns that many client threads, each opening its own
  * IngestSession (thread index as the NUMA hint) and appending a
  * contiguous chunk of the edge stream. @p volatile_store marks runs that

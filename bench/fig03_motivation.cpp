@@ -36,7 +36,7 @@ run(const Dataset &ds, GraphOneVariant variant)
     c.archiveThresholdEdges = ds.edges.size() + 1024;
     GraphOne graph(c);
 
-    graph.addEdges(ds.edges.data(), ds.edges.size());
+    graph.session(0)->addEdges(ds.edges.data(), ds.edges.size());
     const PcmCounters after_log = graph.pmemCounters();
     const IngestStats log_stats = graph.stats();
 

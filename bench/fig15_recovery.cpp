@@ -31,7 +31,7 @@ xpgraphRecoveryNs(const Dataset &ds, const std::string &dir)
     c.backingDir = dir;
     {
         XPGraph graph(c);
-        graph.addEdges(ds.edges.data(), ds.edges.size());
+        graph.session(0)->addEdges(ds.edges.data(), ds.edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs(); // ingest completed; then power failure
         graph.syncBackings();
@@ -53,7 +53,7 @@ graphoneRecoveryNs(const Dataset &ds)
     c.archiveThresholdEdges =
         std::max<uint64_t>(1ull << 12, 2ull * ds.numVertices);
     GraphOne graph(c);
-    graph.addEdges(ds.edges.data(), ds.edges.size());
+    graph.session(0)->addEdges(ds.edges.data(), ds.edges.size());
     graph.archiveAll();
     return graph.stats().archivingNs();
 }

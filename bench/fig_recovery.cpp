@@ -108,11 +108,12 @@ main(int argc, char **argv)
             // mode — recovering consumes the replay window.
             {
                 XPGraph graph(base);
-                graph.addEdges(ds.edges.data(), ds.edges.size());
+                graph.session(0)->addEdges(ds.edges.data(),
+                                           ds.edges.size());
                 graph.archiveAll();
                 auto extra = generateUniform(ds.numVertices, depth,
                                              /*seed=*/depth);
-                graph.addEdges(extra.data(), extra.size());
+                graph.session(0)->addEdges(extra.data(), extra.size());
                 // Move the window into [flushedUpTo, bufferedUpTo):
                 // these edges were in (lost) DRAM vertex buffers at
                 // crash time and must be replayed, the expensive half

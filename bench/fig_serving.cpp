@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Mixed-workload serving bench: queries against snapshot-isolated
+ * ReadViews while IngestSessions keep writing (DESIGN.md §12).
+ *
+ * The store preloads half the dataset, then serves an open-loop
+ * read/write mix over the rest: reads are one-hop lookups against the
+ * current ReadView (refreshed periodically, and always before a view
+ * could pin the log ring into a stall), writes are 64-edge session
+ * batches. Two mixes run back to back — 95/5 and 50/50 read/write — and
+ * a no-reader baseline re-runs the 95/5 write stream on a fresh store
+ * with no views open at all.
+ *
+ * Latency model: the serving thread keeps a virtual clock in simulated
+ * nanoseconds. A closed-loop warmup prefix calibrates the mean service
+ * time; the measured phase then draws arrivals open-loop at 50%
+ * utilization, so per-op latency = completion - arrival includes
+ * queueing delay, the way a serving SLO is actually measured. Service
+ * cost drifts over a run (the frozen log window refills, chains
+ * deepen, archive phases fire), so the arrival rate is re-calibrated
+ * from the previous segment's observed mean at every refresh interval
+ * — tails then report genuine stall transients (archive phases, hub
+ * reads) instead of unbounded overload from a stale rate. Read service
+ * is SimScope around the view lookup; write service is the session's
+ * streamNs() delta (logging plus inline archive phases the client
+ * coordinated — the stall a real client would see). Per-op latencies
+ * also feed the sharded telemetry histograms (query.serving.read_ns /
+ * ingest.serving.write_ns, one label set per mix), so the JSON report
+ * carries the full quantile series alongside the headline percentiles.
+ *
+ * A multi-session acceptance stage follows: four client sessions
+ * ingest the identical stream while a reader thread keeps a fresh view
+ * open (re-opened continuously) vs the same run with no view ever
+ * opened.
+ *
+ * Emits BENCH_serving.json (XPG_BENCH_SERVING_JSON to override) with
+ * per-mix read/write p50/p95/p99 and ingest throughput, and fails
+ * (exit 1) if ingest throughput with readers — single-thread 95/5 or
+ * 4-session — drops more than 10% below its no-reader baseline: open
+ * views must not tax writers.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/read_view.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+using namespace xpg;
+using namespace xpg::bench;
+
+namespace {
+
+constexpr uint64_t kWriteBatchEdges = 64;
+
+/** Latency quantiles of one op class within one mix. */
+struct LatencyStats
+{
+    uint64_t ops = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t mean = 0;
+
+    static LatencyStats
+    of(std::vector<uint64_t> &lat)
+    {
+        LatencyStats s;
+        s.ops = lat.size();
+        if (lat.empty())
+            return s;
+        std::sort(lat.begin(), lat.end());
+        const auto at = [&](double q) {
+            return lat[static_cast<size_t>(
+                q * static_cast<double>(lat.size() - 1))];
+        };
+        s.p50 = at(0.50);
+        s.p95 = at(0.95);
+        s.p99 = at(0.99);
+        uint64_t sum = 0;
+        for (uint64_t v : lat)
+            sum += v;
+        s.mean = sum / lat.size();
+        return s;
+    }
+};
+
+/** One serving run's outcome (one row of the report). */
+struct Row
+{
+    std::string label;
+    unsigned readsPerWrite = 0; ///< ops pattern (19 = 95/5, 1 = 50/50)
+    LatencyStats read;
+    LatencyStats write;
+    uint64_t writeEdges = 0;
+    uint64_t writeStreamNs = 0; ///< client ingest wall over the run
+    uint64_t viewRefreshes = 0;
+    uint64_t interarrivalNs = 0;
+    uint64_t finalVisibleEdges = 0;
+
+    double
+    edgesPerSec() const
+    {
+        return writeStreamNs == 0
+                   ? 0.0
+                   : static_cast<double>(writeEdges) * 1e9 /
+                         static_cast<double>(writeStreamNs);
+    }
+};
+
+/** Serving loop configuration shared by the mixes and the baseline. */
+struct ServePlan
+{
+    const Edge *edges = nullptr; ///< write stream for this run
+    uint64_t writeBatches = 0;
+    unsigned readsPerWrite = 0; ///< 0 = no readers (baseline)
+    uint64_t refreshEveryEdges = 0;
+    uint64_t refreshEveryOps = 4096;
+};
+
+/**
+ * Run one open-loop serving phase against @p graph. Reads hit the
+ * current ReadView; the view is re-opened every refreshEveryOps ops and
+ * (for ring safety) at least every refreshEveryEdges written edges, so
+ * a pinned reclaim floor can never stall the writer for good.
+ */
+Row
+serve(XPGraph &graph, const ServePlan &plan, const Dataset &ds,
+      const std::string &label)
+{
+    Row row;
+    row.label = label;
+    row.readsPerWrite = plan.readsPerWrite;
+
+    const uint64_t total_ops = plan.writeBatches * (plan.readsPerWrite + 1);
+    const uint64_t warm_ops = std::max<uint64_t>(64, total_ops / 8);
+    // ~8 calibration segments per run regardless of mix length, but
+    // never sparser than the view-refresh cadence.
+    const uint64_t calib_every = std::min<uint64_t>(
+        plan.refreshEveryOps,
+        std::max<uint64_t>(256, (total_ops - warm_ops) / 8));
+
+    Rng rng(0x5E21);
+    std::vector<vid_t> nebrs;
+    // Per-op latency lands in the sharded telemetry histograms too
+    // (one label set per mix); telemetryPhaseSeries() folds them into
+    // the JSON report. Null (and swallowed) with -DXPG_TELEMETRY=OFF.
+    auto *read_hist = XPG_TEL_HISTOGRAM(
+        "query.serving.read_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = label.c_str()}));
+    auto *write_hist = XPG_TEL_HISTOGRAM(
+        "ingest.serving.write_ns",
+        (telemetry::Labels{.store = "xpgraph", .phase = label.c_str()}));
+    auto session = graph.session(0);
+    std::unique_ptr<ReadView> view;
+    if (plan.readsPerWrite > 0)
+        view = graph.openView();
+
+    std::vector<uint64_t> read_lat;
+    std::vector<uint64_t> write_lat;
+    uint64_t vclock = 0;      // serving thread's virtual time
+    uint64_t seg_service = 0; // service summed since last calibration
+    uint64_t seg_ops = 0;
+    uint64_t seg_t0 = 0;   // arrival origin of the current segment
+    uint64_t seg_base = 0; // first op index of the current segment
+    uint64_t next_batch = 0;
+    uint64_t edges_since_refresh = 0;
+    uint64_t last_stream_ns = session->streamNs();
+
+    // (Re)anchor the open-loop arrival process: rate = half the mean
+    // service observed since the previous calibration (50% target
+    // utilization), origin = now, so drift in service cost cannot
+    // compound into a permanently backed-up queue.
+    const auto calibrate = [&](uint64_t op) {
+        const uint64_t mean = std::max<uint64_t>(
+            1, seg_service / std::max<uint64_t>(1, seg_ops));
+        row.interarrivalNs = 2 * mean;
+        seg_t0 = vclock;
+        seg_base = op;
+        seg_service = 0;
+        seg_ops = 0;
+    };
+
+    for (uint64_t op = 0; op < total_ops; ++op) {
+        const bool is_write =
+            plan.readsPerWrite == 0 ||
+            op % (plan.readsPerWrite + 1) == plan.readsPerWrite;
+
+        // Refresh the view: freshness every refreshEveryOps ops, ring
+        // safety before the written window can reach a pinned floor.
+        // Opening the replacement before dropping the old view keeps
+        // the store's epoch capture cached across the swap.
+        if (view && (op % plan.refreshEveryOps == 0 ||
+                     edges_since_refresh >= plan.refreshEveryEdges)) {
+            auto next = graph.openView();
+            view = std::move(next);
+            edges_since_refresh = 0;
+            ++row.viewRefreshes;
+        }
+
+        uint64_t service = 0;
+        if (is_write) {
+            const Edge *batch =
+                plan.edges + next_batch * kWriteBatchEdges;
+            ++next_batch;
+            session->addEdges(batch, kWriteBatchEdges);
+            const uint64_t now = session->streamNs();
+            service = now - last_stream_ns;
+            last_stream_ns = now;
+            edges_since_refresh += kWriteBatchEdges;
+        } else {
+            const vid_t v =
+                ds.edges[rng.nextBounded(ds.edges.size())].src;
+            nebrs.clear();
+            SimScope scope;
+            view->getNebrsOut(v, nebrs);
+            service = scope.elapsed();
+        }
+
+        if (op < warm_ops) {
+            // Closed-loop warmup: seeds the first calibration.
+            vclock += service;
+            seg_service += service;
+            ++seg_ops;
+            continue;
+        }
+
+        if (op == warm_ops || (op - warm_ops) % calib_every == 0)
+            calibrate(op);
+
+        const uint64_t arrival =
+            seg_t0 + (op - seg_base) * row.interarrivalNs;
+        const uint64_t start = std::max(vclock, arrival);
+        vclock = start + service;
+        seg_service += service;
+        ++seg_ops;
+        const uint64_t latency = vclock - arrival;
+        (is_write ? write_lat : read_lat).push_back(latency);
+        XPG_TEL_RECORD(is_write ? write_hist : read_hist, latency);
+    }
+
+    row.read = LatencyStats::of(read_lat);
+    row.write = LatencyStats::of(write_lat);
+    row.writeEdges = plan.writeBatches * kWriteBatchEdges;
+    row.writeStreamNs = session->streamNs();
+    row.finalVisibleEdges = view ? view->visibleEdges() : 0;
+    return row;
+}
+
+/** One 4-session ingest run of the acceptance stage. */
+struct MultiRow
+{
+    std::string label;
+    double edgesPerSec = 0.0;
+    uint64_t viewOpens = 0;
+    uint64_t viewReads = 0;
+};
+
+/**
+ * Ingest the post-preload stream through 4 concurrent sessions; with
+ * @p with_view a reader thread holds a ReadView the whole time,
+ * re-opening it in a tight loop (each re-open re-floors the log
+ * reclaim, so pinned floors never stall the writers for good) and
+ * running one-hop lookups against it.
+ */
+MultiRow
+multiSessionRun(const XPGraphConfig &config, const Dataset &ds,
+                uint64_t preload, bool with_view)
+{
+    Dataset rest;
+    rest.spec = ds.spec;
+    rest.scaleShift = ds.scaleShift;
+    rest.numVertices = ds.numVertices;
+    rest.edges.assign(ds.edges.begin() +
+                          static_cast<std::ptrdiff_t>(preload),
+                      ds.edges.end());
+
+    XPGraph graph(config);
+    graph.session(0)->addEdges(ds.edges.data(), preload);
+    graph.bufferAllEdges();
+
+    MultiRow row;
+    row.label = with_view ? "ingest4_with_view" : "ingest4_no_view";
+    std::atomic<bool> done{false};
+    std::thread reader;
+    if (with_view)
+        reader = std::thread([&] {
+            Rng rrng(0xBEEF);
+            std::vector<vid_t> nebrs;
+            auto view = graph.openView();
+            ++row.viewOpens;
+            while (!done.load(std::memory_order_acquire)) {
+                // The replacement opens before the old view closes, so
+                // the epoch capture stays cached across the swap.
+                view = graph.openView();
+                ++row.viewOpens;
+                for (int i = 0;
+                     i < 64 && !done.load(std::memory_order_acquire);
+                     ++i) {
+                    const vid_t v =
+                        rest.edges[rrng.nextBounded(rest.edges.size())]
+                            .src;
+                    nebrs.clear();
+                    view->getNebrsOut(v, nebrs);
+                    ++row.viewReads;
+                }
+            }
+        });
+
+    const IngestOutcome o =
+        ingestStore(graph, rest, row.label, /*volatile_store=*/false,
+                    /*sessions=*/4);
+    done.store(true, std::memory_order_release);
+    if (reader.joinable())
+        reader.join();
+
+    row.edgesPerSec =
+        o.ingestNs() == 0
+            ? 0.0
+            : static_cast<double>(rest.edges.size()) * 1e9 /
+                  static_cast<double>(o.ingestNs());
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows,
+          const std::vector<MultiRow> &multi, const Dataset &ds,
+          uint64_t preload)
+{
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("bench", "fig_serving");
+    doc.set("dataset", ds.spec.abbrev);
+    doc.set("edges", static_cast<uint64_t>(ds.edges.size()));
+    doc.set("preload_edges", preload);
+    doc.set("write_batch_edges", kWriteBatchEdges);
+    json::JsonValue arr = json::JsonValue::array();
+    for (const Row &r : rows) {
+        json::JsonValue row = json::JsonValue::object();
+        row.set("store", "XPGraph");
+        row.set("dataset", ds.spec.abbrev);
+        row.set("label", r.label);
+        row.set("reads_per_write", r.readsPerWrite);
+        row.set("edges_per_sec", r.edgesPerSec());
+        row.set("write_edges", r.writeEdges);
+        row.set("write_ops", r.write.ops);
+        row.set("write_p50_ns", r.write.p50);
+        row.set("write_p95_ns", r.write.p95);
+        row.set("write_p99_ns", r.write.p99);
+        row.set("write_mean_ns", r.write.mean);
+        if (r.read.ops > 0) {
+            row.set("read_ops", r.read.ops);
+            row.set("read_p50_ns", r.read.p50);
+            row.set("read_p95_ns", r.read.p95);
+            row.set("read_p99_ns", r.read.p99);
+            row.set("read_mean_ns", r.read.mean);
+            row.set("view_refreshes", r.viewRefreshes);
+            row.set("visible_edges_final", r.finalVisibleEdges);
+        }
+        row.set("interarrival_ns", r.interarrivalNs);
+        arr.push(std::move(row));
+    }
+    for (const MultiRow &m : multi) {
+        json::JsonValue row = json::JsonValue::object();
+        row.set("store", "XPGraph");
+        row.set("dataset", ds.spec.abbrev);
+        row.set("label", m.label);
+        row.set("sessions", 4);
+        row.set("edges_per_sec", m.edgesPerSec);
+        row.set("view_opens", m.viewOpens);
+        row.set("view_reads", m.viewReads);
+        arr.push(std::move(row));
+    }
+    doc.set("rows", std::move(arr));
+    // Full per-mix latency quantile series from the sharded telemetry
+    // histograms (query.serving.* / ingest.serving.*; absent with
+    // telemetry OFF).
+    const json::JsonValue phases = telemetryPhaseSeries();
+    if (phases.size() != 0)
+        doc.set("phase_latency_ns", phases);
+    writeJsonReport(doc, "XPG_BENCH_SERVING_JSON", "BENCH_serving.json",
+                    "fig_serving");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printBanner("fig_serving",
+                "serving study (snapshot-isolated views under ingest)");
+
+    const Dataset ds = loadDataset(argc > 1 ? argv[1] : "TT");
+
+    // The ring-safety contract the serving loop relies on: buffering
+    // keeps bufferedUpTo within capacity/8 of the head, and the loop
+    // refreshes (re-floors) each view at least every capacity/4 written
+    // edges — a pinned floor can then never lag far enough to stall the
+    // writer it shares a thread with.
+    XPGraphConfig config = xpgraphConfig(ds, /*archive_threads=*/16);
+    config.elogCapacityEdges =
+        std::max<uint64_t>(config.elogCapacityEdges, 1ull << 16);
+    config.bufferingThresholdEdges = config.elogCapacityEdges / 8;
+
+    const uint64_t preload = ds.edges.size() / 2;
+    const uint64_t avail = (ds.edges.size() - preload) / kWriteBatchEdges;
+    const uint64_t batches95 = std::min<uint64_t>(avail / 2, 2048);
+    const uint64_t batches50 = std::min<uint64_t>(avail - batches95, 2048);
+    if (batches95 == 0 || batches50 == 0) {
+        std::fprintf(stderr, "fig_serving: dataset too small\n");
+        return 1;
+    }
+
+    ServePlan plan;
+    plan.refreshEveryEdges = config.elogCapacityEdges / 4;
+
+    std::vector<Row> rows;
+
+    {
+        XPGraph graph(config);
+        graph.session(0)->addEdges(ds.edges.data(), preload);
+        graph.bufferAllEdges();
+
+        plan.edges = ds.edges.data() + preload;
+        plan.writeBatches = batches95;
+        plan.readsPerWrite = 19; // 95/5
+        rows.push_back(serve(graph, plan, ds, "mix95_5"));
+
+        plan.edges += batches95 * kWriteBatchEdges;
+        plan.writeBatches = batches50;
+        plan.readsPerWrite = 1; // 50/50
+        rows.push_back(serve(graph, plan, ds, "mix50_50"));
+    }
+
+    {
+        // No-reader baseline: the identical 95/5 write stream on a
+        // fresh preloaded store, no views ever opened.
+        XPGraph graph(config);
+        graph.session(0)->addEdges(ds.edges.data(), preload);
+        graph.bufferAllEdges();
+
+        plan.edges = ds.edges.data() + preload;
+        plan.writeBatches = batches95;
+        plan.readsPerWrite = 0;
+        rows.push_back(serve(graph, plan, ds, "no_readers"));
+    }
+
+    TablePrinter table("Serving under ingest: open-loop latency "
+                       "(simulated us) and client ingest throughput");
+    table.header({"mix", "read p50", "read p99", "write p50", "write p99",
+                  "Medge/s", "views"});
+    const auto us = [](uint64_t ns) {
+        return TablePrinter::num(static_cast<double>(ns) / 1e3, 2);
+    };
+    for (const Row &r : rows)
+        table.row({r.label, r.read.ops ? us(r.read.p50) : "-",
+                   r.read.ops ? us(r.read.p99) : "-", us(r.write.p50),
+                   us(r.write.p99),
+                   TablePrinter::num(r.edgesPerSec() / 1e6, 3),
+                   std::to_string(r.viewRefreshes)});
+    table.print();
+
+    // Multi-session acceptance stage: 4 concurrent client sessions
+    // ingest the identical stream with a continuously refreshed view
+    // held open the whole time vs with no view ever opened.
+    std::vector<MultiRow> multi;
+    multi.push_back(
+        multiSessionRun(config, ds, preload, /*with_view=*/true));
+    multi.push_back(
+        multiSessionRun(config, ds, preload, /*with_view=*/false));
+    std::printf("\n4-session ingest: with view %.3f Medge/s "
+                "(%llu view opens, %llu reads), no view %.3f Medge/s\n",
+                multi[0].edgesPerSec / 1e6,
+                static_cast<unsigned long long>(multi[0].viewOpens),
+                static_cast<unsigned long long>(multi[0].viewReads),
+                multi[1].edgesPerSec / 1e6);
+
+    writeJson(rows, multi, ds, preload);
+
+    // Acceptance checks: readers must not tax writers. Client-observed
+    // ingest throughput with views open and refreshed the whole time
+    // must stay within 10% of the no-reader baseline on the same write
+    // stream — single-thread 95/5 mix and 4-session run alike.
+    const double with_readers = rows[0].edgesPerSec();
+    const double baseline = rows[2].edgesPerSec();
+    const double ratio = baseline > 0 ? with_readers / baseline : 0.0;
+    const double ratio4 = multi[1].edgesPerSec > 0
+                              ? multi[0].edgesPerSec / multi[1].edgesPerSec
+                              : 0.0;
+    std::printf("\ningest throughput with 95%% readers: %.3f Medge/s, "
+                "no readers: %.3f Medge/s (ratio %.3f); "
+                "4-session ratio %.3f\n",
+                with_readers / 1e6, baseline / 1e6, ratio, ratio4);
+    bool ok = true;
+    if (ratio < 0.90) {
+        std::fprintf(stderr,
+                     "FAIL: open views cost the serving writer %.1f%% "
+                     "throughput (>10%% budget)\n",
+                     (1.0 - ratio) * 100.0);
+        ok = false;
+    }
+    if (ratio4 < 0.90) {
+        std::fprintf(stderr,
+                     "FAIL: open views cost 4-session ingest %.1f%% "
+                     "throughput (>10%% budget)\n",
+                     (1.0 - ratio4) * 100.0);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -40,7 +40,7 @@ queryGraph()
         auto edges = generateRmat(10, 40000, RmatParams{}, 55);
         c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
         auto g = std::make_unique<XPGraph>(c);
-        g->addEdges(edges.data(), edges.size());
+        g->session(0)->addEdges(edges.data(), edges.size());
         g->bufferAllEdges();
         g->flushAllVbufs();
         return g;
@@ -207,7 +207,7 @@ BM_LogWindowQuery(benchmark::State &state)
     c.pmemBytesPerNode = recommendedBytesPerNode(c, 8192);
     XPGraph g(c);
     auto edges = generateRmat(10, 4096, RmatParams{}, 77);
-    g.addEdges(edges.data(), edges.size());
+    g.session(0)->addEdges(edges.data(), edges.size());
     Rng rng(6);
     std::vector<vid_t> nebrs;
     for (auto _ : state) {

@@ -46,7 +46,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long>(workload.size()), dir.c_str());
     {
         XPGraph graph(config);
-        graph.addEdges(workload.data(), workload.size());
+        graph.session(0)->addEdges(workload.data(), workload.size());
         graph.bufferAllEdges(); // some edges flushed, some still in
                                 // (volatile!) DRAM vertex buffers
         std::vector<vid_t> nebrs;
@@ -72,7 +72,7 @@ main(int argc, char **argv)
                 degree_after == degree_before ? "MATCH" : "MISMATCH");
 
     std::printf("phase 4: the recovered store keeps ingesting ...\n");
-    recovered->addEdge(probe, (probe + 1) % users);
+    recovered->session(0)->addEdge(probe, (probe + 1) % users);
     recovered->bufferAllEdges();
     nebrs.clear();
     const uint32_t degree_final = recovered->getNebrsOut(probe, nebrs);

@@ -40,7 +40,7 @@ run(const std::vector<Edge> &edges, vid_t users, unsigned nodes,
     config.pmemBytesPerNode = recommendedBytesPerNode(config,
                                                       edges.size());
     XPGraph graph(config);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
 
     Outcome o;

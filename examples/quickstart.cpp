@@ -41,15 +41,19 @@ main()
     config.archiveThreads = 4;
     XPGraph graph(config);
 
-    // 2. Ingest edge updates. add_edge logs each update to the PMEM
+    // 2. Ingest edge updates through a session. Each client thread
+    //    opens its own session; add_edge logs each update to the PMEM
     //    circular edge log with edge-level consistency.
-    graph.addEdge(1, 2);
-    graph.addEdge(1, 3);
-    graph.addEdge(2, 3);
-    graph.addEdge(3, 1);
-    const std::vector<Edge> batch{{1, 4}, {4, 5}, {5, 1}};
-    graph.addEdges(batch.data(), batch.size());
-    graph.delEdge(1, 3); // tombstone: cancels the earlier insert
+    {
+        auto session = graph.session(0);
+        session->addEdge(1, 2);
+        session->addEdge(1, 3);
+        session->addEdge(2, 3);
+        session->addEdge(3, 1);
+        const std::vector<Edge> batch{{1, 4}, {4, 5}, {5, 1}};
+        session->addEdges(batch.data(), batch.size());
+        session->delEdge(1, 3); // tombstone: cancels the earlier insert
+    }
 
     // 3. Inspect the store's layers as the data moves through the
     //    three phases (log -> DRAM vertex buffers -> PMEM adjacency).

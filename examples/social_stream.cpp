@@ -57,17 +57,20 @@ main(int argc, char **argv)
     unsigned epoch = 0;
     while (done < stream.size()) {
         const uint64_t n = std::min(burst, stream.size() - done);
-        for (uint64_t i = 0; i < n; ++i) {
-            const Edge &e = stream[done + i];
-            if (!follows.empty() && rng.nextBounded(50) == 0) {
-                // an unfollow event for a random earlier follow
-                const Edge &old =
-                    follows[rng.nextBounded(follows.size())];
-                graph.delEdge(old.src, old.dst);
-            } else {
-                graph.addEdge(e.src, e.dst);
-                if (follows.size() < events / 8)
-                    follows.push_back(e);
+        {
+            auto session = graph.session(0);
+            for (uint64_t i = 0; i < n; ++i) {
+                const Edge &e = stream[done + i];
+                if (!follows.empty() && rng.nextBounded(50) == 0) {
+                    // an unfollow event for a random earlier follow
+                    const Edge &old =
+                        follows[rng.nextBounded(follows.size())];
+                    session->delEdge(old.src, old.dst);
+                } else {
+                    session->addEdge(e.src, e.dst);
+                    if (follows.size() < events / 8)
+                        follows.push_back(e);
+                }
             }
         }
         done += n;

@@ -54,8 +54,12 @@ enum class SchedulePolicy
  * strategy, accumulating simulated time.
  *
  * The balanced policy caches the forAllVertices() schedule after the
- * first round (the store is quiescent while a driver queries it), so
- * the weight gather is paid once per driver, not once per iteration.
+ * first round, so the weight gather is paid once per driver, not once
+ * per iteration. The cache stays valid for the driver's lifetime
+ * because its view never changes underneath it: either the store is
+ * quiescent while the driver queries it, or the driver runs over an
+ * immutable point-in-time ReadView (openView()) while sessions keep
+ * ingesting into the store behind it.
  */
 class QueryDriver
 {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "graph/snapshot.hpp"
 #include "graph/tombstones.hpp"
 #include "util/checksum.hpp"
 #include "pmem/dram_device.hpp"
@@ -280,7 +281,12 @@ GraphOne::GraphOne(const GraphOneConfig &config, bool recovering)
     inShards_.resize(shards);
 }
 
-GraphOne::~GraphOne() = default;
+GraphOne::~GraphOne()
+{
+    // Release the deprecated shims' lazily opened session while the
+    // derived members its close path touches are still alive.
+    resetDefaultSession();
+}
 
 void
 GraphOne::initTelemetry()
@@ -375,30 +381,6 @@ GraphOne::chargeFileIo(uint64_t bytes) const
 }
 
 // --- updates ---------------------------------------------------------------
-
-void
-GraphOne::addEdge(vid_t src, vid_t dst)
-{
-    const Edge e{src, dst};
-    addEdges(&e, 1);
-}
-
-void
-GraphOne::delEdge(vid_t src, vid_t dst)
-{
-    const Edge e{src, asDelete(dst)};
-    addEdges(&e, 1);
-}
-
-uint64_t
-GraphOne::addEdges(const Edge *edges, uint64_t n)
-{
-    uint64_t inline_ns = 0;
-    const uint64_t ns = appendFromClient(edges, n, inline_ns);
-    defaultSessionNs_.fetch_add(ns, std::memory_order_relaxed);
-    defaultStreamNs_.fetch_add(ns + inline_ns, std::memory_order_relaxed);
-    return n;
-}
 
 std::unique_ptr<IngestSession>
 GraphOne::session(unsigned /*thread_hint*/)
@@ -822,13 +804,6 @@ GraphOne::visitDirection(const Direction &dir, vid_t v, F &&fn) const
 }
 
 uint32_t
-GraphOne::readDirection(const Direction &dir, vid_t v,
-                        std::vector<vid_t> &out) const
-{
-    return visitDirection(dir, v, [&](vid_t rec) { out.push_back(rec); });
-}
-
-uint32_t
 GraphOne::degreeOfDir(const Direction &dir, vid_t v) const
 {
     const VertexMeta &meta = dir.meta[v];
@@ -837,18 +812,6 @@ GraphOne::degreeOfDir(const Direction &dir, vid_t v) const
         return meta.records;
     }
     return visitDirection(dir, v, [](vid_t) {});
-}
-
-uint32_t
-GraphOne::getNebrsOut(vid_t v, std::vector<vid_t> &out) const
-{
-    return readDirection(out_, v, out);
-}
-
-uint32_t
-GraphOne::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
-{
-    return readDirection(in_, v, out);
 }
 
 uint32_t
@@ -897,6 +860,19 @@ GraphOne::declareQueryThreads(unsigned n)
         dev->quiesce();
         dev->setDeclaredReaders(per_device);
     }
+}
+
+std::unique_ptr<ReadView>
+GraphOne::openView()
+{
+    // Exclude archive phases while the copy is taken: the chunk lists
+    // and vertex meta only mutate under this lock, so the materialized
+    // snapshot is a consistent image of the archived state. Sessions
+    // may keep logging meanwhile (the log is not read here); see the
+    // header for the freshness caveat.
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    return materializeView(
+        *this, 1, archivePhases_.load(std::memory_order_relaxed));
 }
 
 // --- introspection -------------------------------------------------------------

@@ -116,10 +116,7 @@ class GraphOne : public GraphStore
      *  XPGraph::powerCycle); destroy + recover() afterwards. */
     void powerCycle();
 
-    // --- updates (default session) ---
-    void addEdge(vid_t src, vid_t dst) override;
-    uint64_t addEdges(const Edge *edges, uint64_t n) override;
-    void delEdge(vid_t src, vid_t dst) override;
+    // --- updates (sessions) ---
 
     /** Open a concurrent ingestion session (shared log; unbound). */
     std::unique_ptr<IngestSession>
@@ -139,8 +136,6 @@ class GraphOne : public GraphStore
 
     // --- GraphView ---
     vid_t numVertices() const override { return config_.maxVertices; }
-    uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
-    uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
     uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const override;
     uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const override;
     uint32_t degreeOut(vid_t v) const override;
@@ -148,6 +143,19 @@ class GraphOne : public GraphStore
     bool hasFastDegrees() const override { return true; }
     uint64_t vertexWeight(vid_t v) const override;
     void declareQueryThreads(unsigned n) override;
+
+    /**
+     * Point-in-time view: materialized through the query surface under
+     * the archive lock, so archive phases are excluded while the copy
+     * is taken and the result is a consistent archived-state snapshot
+     * stamped with the archive generation. Freshness caveat (documented
+     * divergence from XPGraph): GraphOne's query surface — and hence
+     * its views — exposes archived edges only; logged-but-unarchived
+     * edges become visible after the next archive phase. Sessions keep
+     * logging while the view materializes, but one that fills the log
+     * blocks until the copy completes (the archiver needs the lock).
+     */
+    std::unique_ptr<ReadView> openView() override;
 
     // --- introspection ---
     IngestStats stats() const;
@@ -248,8 +256,6 @@ class GraphOne : public GraphStore
     void archiveWorker(unsigned w);
     template <typename F>
     uint32_t visitDirection(const Direction &dir, vid_t v, F &&fn) const;
-    uint32_t readDirection(const Direction &dir, vid_t v,
-                           std::vector<vid_t> &out) const;
     uint32_t degreeOfDir(const Direction &dir, vid_t v) const;
 
     GraphOneConfig config_;

@@ -232,6 +232,80 @@ class AdjacencyStore
         return total;
     }
 
+    /**
+     * Stream the frozen prefix of a *captured* chain mirror — the
+     * point-in-time read used by open views while the archiver keeps
+     * appending to the live chain. Safe without any synchronization
+     * because appends only ever touch bytes the capture excludes:
+     *
+     *  - append() fills the tail block's slack before linking a new
+     *    block, so when a block's `next` is written the block was full —
+     *    every non-tail block (header fields and payload) is immutable
+     *    after capture and is read exactly like forEachRaw().
+     *  - The captured tail may still be tail-filled concurrently, so
+     *    only its first records are visited: @p chain.tailCount bounds
+     *    the payload read, and neither its commit words nor its `next`
+     *    (both mutable) are ever read — only the magic/capacity words,
+     *    which are written once at block creation. All concurrent
+     *    writes land at byte addresses this traversal never touches.
+     *
+     * Old blocks abandoned by compact() stay readable forever (the
+     * allocator never reuses space), so a captured chain outlives
+     * concurrent compaction too.
+     * @return records visited.
+     */
+    template <typename F>
+    uint32_t
+    forEachFrozen(const VertexChain &chain, F &&fn) const
+    {
+        uint32_t total = 0;
+        uint64_t off = chain.head;
+        while (off != kNullOffset) {
+            if (off == chain.tail) {
+                // Captured tail: magic and capacity are creation-time
+                // constants; everything else in the header is mutable.
+                const auto magic = dev_->readPod<uint32_t>(off);
+                const auto cap = dev_->readPod<uint32_t>(
+                    off + sizeof(uint32_t));
+                if (magic == kCompressedMagic) {
+                    // Sealed chunk: payload immutable; synthesize a
+                    // header so visitCompressed never reads the real
+                    // (racing) next/commit words.
+                    BlockHeader hdr{};
+                    hdr.magic = magic;
+                    hdr.capacity = cap;
+                    hdr.commit[0] = chain.tailCount; // liveCount > 0
+                    total += visitCompressed(off, hdr, fn);
+                } else if (chain.tailCount > 0) {
+                    const auto *recs = reinterpret_cast<const vid_t *>(
+                        dev_->readView(off + sizeof(BlockHeader),
+                                       uint64_t{chain.tailCount} *
+                                           sizeof(vid_t)));
+                    for (uint32_t i = 0; i < chain.tailCount; ++i)
+                        fn(recs[i]);
+                    total += chain.tailCount;
+                }
+                break; // never follow the tail's (mutable) next link
+            }
+            const auto hdr = dev_->readPod<BlockHeader>(off);
+            if (hdr.compressed()) {
+                total += visitCompressed(off, hdr, fn);
+            } else {
+                const uint32_t count = hdr.liveCount();
+                if (count > 0) {
+                    const auto *recs = reinterpret_cast<const vid_t *>(
+                        dev_->readView(off + sizeof(BlockHeader),
+                                       uint64_t{count} * sizeof(vid_t)));
+                    for (uint32_t i = 0; i < count; ++i)
+                        fn(recs[i]);
+                }
+                total += count;
+            }
+            off = hdr.next;
+        }
+        return total;
+    }
+
     /** Whether the chain contains record @p nebr (recovery dedup). */
     bool contains(const VertexChain &chain, vid_t nebr) const;
 

@@ -75,6 +75,9 @@ CircularEdgeLog::CircularEdgeLog(CircularEdgeLog &&other) noexcept
                         std::memory_order_relaxed);
     flushedUpTo_.store(other.flushedUpTo_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    externalFloor_.store(
+        other.externalFloor_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
 }
 
 std::optional<CircularEdgeLog>
@@ -160,10 +163,12 @@ CircularEdgeLog::tryReserve(uint64_t n, uint64_t &pos)
 {
     uint64_t cur = reservedHead_.load(std::memory_order_relaxed);
     for (;;) {
-        // The reclaim bound only grows, so a stale read is conservative.
-        const uint64_t reclaim_bound =
-            batteryBacked_ ? bufferedUpTo() : flushedUpTo();
-        const uint64_t free = capacityEdges_ - (cur - reclaim_bound);
+        // The reclaim bound only grows (the view registry guarantees the
+        // external floor never decreases), so a stale read stays
+        // conservative. Capping reservations at bound + capacity is also
+        // what makes view windows safe to serve from the ring: a slot
+        // holding a position at or above the floor is never reused.
+        const uint64_t free = capacityEdges_ - (cur - reclaimBound());
         const uint64_t take = std::min(n, free);
         if (take == 0)
             return 0;

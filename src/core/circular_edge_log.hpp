@@ -105,18 +105,39 @@ class CircularEdgeLog
 
     /**
      * Free slots: appends beyond this would overwrite edges that are not
-     * yet safe (flushed, or buffered when battery-backed). Counts
+     * yet safe (flushed, or buffered when battery-backed) or that an
+     * open read view still pins (the external reclaim floor). Counts
      * reserved-but-unpublished slots as taken, so the value is safe to
      * act on under concurrent reservation.
      */
     uint64_t
     freeSlots() const
     {
-        const uint64_t reclaim_bound =
-            batteryBacked_ ? bufferedUpTo() : flushedUpTo();
         return capacityEdges_ -
                (reservedHead_.load(std::memory_order_relaxed) -
-                reclaim_bound);
+                reclaimBound());
+    }
+
+    /**
+     * Pin log reclamation: positions at or above @p floor must stay
+     * readable (their ring slots are never reused) until the floor is
+     * lifted with clearReclaimFloor(). Used by open read views, whose
+     * frozen window [boundary, head) is served straight from the ring.
+     * The caller (XPGraph's view registry) guarantees the effective
+     * floor never decreases while the log is in use, so stale reads in
+     * tryReserve() stay conservative.
+     */
+    void
+    setReclaimFloor(uint64_t floor)
+    {
+        externalFloor_.store(floor, std::memory_order_release);
+    }
+
+    /** Lift the external reclaim floor (no views pin this log). */
+    void
+    clearReclaimFloor()
+    {
+        externalFloor_.store(kNoFloor, std::memory_order_release);
     }
 
     /**
@@ -211,10 +232,27 @@ class CircularEdgeLog
 
     // DRAM mirrors of the persistent header fields (atomic: appended and
     // advanced concurrently by sessions and the archiver).
+    static constexpr uint64_t kNoFloor = ~0ull;
+
+    /** Lowest position appends may overwrite, folding the external
+     *  reclaim floor into the durability bound. */
+    uint64_t
+    reclaimBound() const
+    {
+        uint64_t bound = batteryBacked_ ? bufferedUpTo() : flushedUpTo();
+        const uint64_t floor =
+            externalFloor_.load(std::memory_order_acquire);
+        if (floor < bound)
+            bound = floor;
+        return bound;
+    }
+
     std::atomic<uint64_t> reservedHead_{0};  ///< reservation tail
     std::atomic<uint64_t> publishedHead_{0}; ///< contiguous written prefix
     std::atomic<uint64_t> bufferedUpTo_{0};
     std::atomic<uint64_t> flushedUpTo_{0};
+    /** View-pinned reclaim floor; kNoFloor when no view is open. */
+    std::atomic<uint64_t> externalFloor_{kNoFloor};
 
     /** Serializes header persistence only (never the slot fast path).
      *  Guards generation_. */

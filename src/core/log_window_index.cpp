@@ -25,16 +25,27 @@ LogWindowIndex::ensureCurrent()
     if (indexed >= target)
         return;
     // Positions below bufferedUpTo left the window unindexed: skip them.
+    // A skipped position is never needed later — every open view's
+    // window was fully indexed at open time (while bufferedUpTo was
+    // frozen under the archive lock), so gaps only ever lie below every
+    // live lower bound.
     const uint64_t from = std::max(indexed, log_->bufferedUpTo());
     if (from >= target) {
         indexedUpTo_.store(target, std::memory_order_release);
         return;
     }
 
-    if (ring_.empty()) {
-        ring_.resize(capacity_);
-        outHead_.assign(numVertices_, kNone);
-        inHead_.assign(numVertices_, kNone);
+    if (!built_.load(std::memory_order_relaxed)) {
+        ring_ = std::make_unique<Entry[]>(capacity_);
+        outHead_ =
+            std::make_unique<std::atomic<uint64_t>[]>(numVertices_);
+        inHead_ =
+            std::make_unique<std::atomic<uint64_t>[]>(numVertices_);
+        for (vid_t v = 0; v < numVertices_; ++v) {
+            outHead_[v].store(kNone, std::memory_order_relaxed);
+            inHead_[v].store(kNone, std::memory_order_relaxed);
+        }
+        built_.store(true, std::memory_order_release);
     }
 
     buildScratch_.clear();
@@ -47,13 +58,17 @@ LogWindowIndex::ensureCurrent()
         const Edge &edge = buildScratch_[i];
         const uint64_t pos = from + i;
         Entry &e = ring_[pos % capacity_];
+        // Payload first, then the position (release): a concurrent
+        // reader that sees pos match reads a fully written entry. The
+        // slot being rewritten is never concurrently readable — its old
+        // position is below the log's reclaim floor (lap safety).
         e.edge = edge;
-        e.pos = pos;
-        e.prevOut = outHead_[edge.src];
-        outHead_[edge.src] = pos;
+        e.prevOut = outHead_[edge.src].load(std::memory_order_relaxed);
         const vid_t dst = rawVid(edge.dst);
-        e.prevIn = inHead_[dst];
-        inHead_[dst] = pos;
+        e.prevIn = inHead_[dst].load(std::memory_order_relaxed);
+        e.pos.store(pos, std::memory_order_release);
+        outHead_[edge.src].store(pos, std::memory_order_release);
+        inHead_[dst].store(pos, std::memory_order_release);
     }
     indexedUpTo_.store(target, std::memory_order_release);
 }

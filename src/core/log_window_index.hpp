@@ -14,9 +14,18 @@
  * extends it from the last indexed position to head() (reading only the
  * new log suffix, device-charged), and advancing bufferedUpTo() costs
  * nothing — traversals simply stop at the window's lower bound. Stale
- * heads/links below bufferedUpTo() are never dereferenced: a position is
- * validated against the window before its (possibly reused) ring slot is
- * read, and the slot's stored position is checked to match.
+ * heads/links below the lower bound are never dereferenced: a position
+ * is validated against the window before its (possibly reused) ring
+ * slot is read, and the slot's stored position is checked to match.
+ *
+ * Concurrency: readers and the builder may overlap. Heads and slot
+ * positions are atomics published with release stores after the slot's
+ * payload is written, so a reader that acquires a head (or validates a
+ * slot's position) sees a fully written entry. Slot reuse is safe
+ * because the log's reservation bound caps reservedHead at
+ * reclaim-floor + capacity: a position that any reader may still treat
+ * as in-window (>= its visit's lower bound >= the log's reclaim floor)
+ * is never lapped, so its ring slot is never rewritten while readable.
  */
 
 #ifndef XPG_CORE_LOG_WINDOW_INDEX_HPP
@@ -24,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -37,6 +47,9 @@ namespace xpg {
 class LogWindowIndex
 {
   public:
+    /** Sentinel for "no bound": visit the window all the way up. */
+    static constexpr uint64_t kNoBound = ~0ull;
+
     /**
      * @param log Log to index (outlives this object).
      * @param num_vertices Vertex-id space of the graph.
@@ -52,14 +65,15 @@ class LogWindowIndex
     /**
      * Visit the window's out-records of @p v, newest first (callers
      * wanting log order reverse the collected result). Requires a
-     * preceding ensureCurrent() on this thread or earlier.
+     * preceding ensureCurrent() covering the window.
      * @return records visited.
      */
     template <typename F>
     uint32_t
     visitOut(vid_t v, F &&fn) const
     {
-        return visitChain(outHead_, v, true, fn);
+        return visitChain(outHead_.get(), v, true, log_->bufferedUpTo(),
+                          kNoBound, fn);
     }
 
     /** In-direction variant of visitOut(): emits the stored record
@@ -68,7 +82,34 @@ class LogWindowIndex
     uint32_t
     visitIn(vid_t v, F &&fn) const
     {
-        return visitChain(inHead_, v, false, fn);
+        return visitChain(inHead_.get(), v, false, log_->bufferedUpTo(),
+                          kNoBound, fn);
+    }
+
+    /**
+     * Bounded variant for point-in-time views: visit only the
+     * out-records of @p v whose log position lies in [low, high),
+     * newest first. Positions at or above @p high (published after the
+     * view opened) are skipped by following the chain through them;
+     * traversal stops below @p low. The caller must have run
+     * ensureCurrent() to at least @p high while @p low was still the
+     * log's buffered bound (openView does this under the archive lock),
+     * and must pin the log's reclaim floor at or below @p low for the
+     * lifetime of the traversal.
+     */
+    template <typename F>
+    uint32_t
+    visitOutWindow(vid_t v, uint64_t low, uint64_t high, F &&fn) const
+    {
+        return visitChain(outHead_.get(), v, true, low, high, fn);
+    }
+
+    /** In-direction variant of visitOutWindow(). */
+    template <typename F>
+    uint32_t
+    visitInWindow(vid_t v, uint64_t low, uint64_t high, F &&fn) const
+    {
+        return visitChain(inHead_.get(), v, false, low, high, fn);
     }
 
   private:
@@ -76,35 +117,36 @@ class LogWindowIndex
 
     struct Entry
     {
-        Edge edge;       ///< the logged edge (dst carries delete flag)
-        uint64_t pos;    ///< log position stored in this slot
-        uint64_t prevOut; ///< previous window position of edge.src
-        uint64_t prevIn;  ///< previous window position of rawVid(edge.dst)
+        Edge edge{};      ///< the logged edge (dst carries delete flag)
+        std::atomic<uint64_t> pos{kNone}; ///< log position in this slot
+        uint64_t prevOut = kNone; ///< previous window position of src
+        uint64_t prevIn = kNone;  ///< previous window pos of rawVid(dst)
     };
 
     template <typename F>
     uint32_t
-    visitChain(const std::vector<uint64_t> &heads, vid_t v, bool out,
-               F &&fn) const
+    visitChain(const std::atomic<uint64_t> *heads, vid_t v, bool out,
+               uint64_t low, uint64_t high, F &&fn) const
     {
-        if (heads.empty())
+        if (!built_.load(std::memory_order_acquire))
             return 0; // index never built: window was empty
         chargeDramScattered(1); // head lookup
-        const uint64_t low = log_->bufferedUpTo();
         uint32_t n = 0;
-        uint64_t pos = heads[v];
+        uint64_t pos = heads[v].load(std::memory_order_acquire);
         while (pos != kNone && pos >= low) {
             const Entry &e = ring_[pos % capacity_];
-            if (e.pos != pos)
-                break; // slot reused by a lapped position: chain is stale
+            if (e.pos.load(std::memory_order_acquire) != pos)
+                break; // slot reused by a lapped position: chain stale
             chargeDramScattered(1); // random ring-slot access
-            if (out) {
-                fn(e.edge.dst);
-            } else {
-                fn(isDelete(e.edge.dst) ? asDelete(e.edge.src)
-                                        : e.edge.src);
+            if (pos < high) {
+                if (out) {
+                    fn(e.edge.dst);
+                } else {
+                    fn(isDelete(e.edge.dst) ? asDelete(e.edge.src)
+                                            : e.edge.src);
+                }
+                ++n;
             }
-            ++n;
             pos = out ? e.prevOut : e.prevIn;
         }
         return n;
@@ -114,9 +156,11 @@ class LogWindowIndex
     vid_t numVertices_;
     uint64_t capacity_;
 
-    std::vector<Entry> ring_;          ///< slot = pos % capacity_
-    std::vector<uint64_t> outHead_;    ///< newest window pos per src
-    std::vector<uint64_t> inHead_;     ///< newest window pos per dst
+    /** Set (release) once ring_/heads are allocated; readers acquire. */
+    std::atomic<bool> built_{false};
+    std::unique_ptr<Entry[]> ring_; ///< slot = pos % capacity_
+    std::unique_ptr<std::atomic<uint64_t>[]> outHead_; ///< newest/src
+    std::unique_ptr<std::atomic<uint64_t>[]> inHead_;  ///< newest/dst
     std::atomic<uint64_t> indexedUpTo_{0};
     std::mutex buildMutex_;
     std::vector<Edge> buildScratch_;

@@ -61,6 +61,8 @@ constexpr uint64_t kSuperblockBytes = 4096;
 constexpr uint64_t kAllocTailOff = 512;
 
 thread_local std::vector<vid_t> t_rawRecords;
+/** Per-thread scratch for a view's frozen log-window records. */
+thread_local std::vector<vid_t> t_viewWindow;
 
 /** Trace spans for chunked appends only: single-edge addEdge loops
  *  would flood the ring with sub-noise events. */
@@ -168,6 +170,7 @@ class XPGraph::Session final : public IngestSession
     unsigned node() const override { return node_; }
     uint64_t edgesLogged() const override { return edgesLogged_; }
     uint64_t loggingNs() const override { return loggingNs_; }
+    uint64_t streamNs() const override { return streamNs_; }
 
   private:
     XPGraph &graph_;
@@ -278,8 +281,13 @@ XPGraph::phaseExitLocked()
 
 XPGraph::~XPGraph()
 {
+    // The deprecated addEdge* shims hold a lazily opened session in the
+    // base class; release it before asserting every client closed.
+    resetDefaultSession();
     XPG_ASSERT(openSessions_.load(std::memory_order_relaxed) == 0,
                "destroying XPGraph with open ingestion sessions");
+    XPG_ASSERT(viewBoundaries_.empty(),
+               "destroying XPGraph with open read views");
     stopArchiver();
 }
 
@@ -742,37 +750,16 @@ XPGraph::nodeOfIn(vid_t v) const
 
 // --- updating ------------------------------------------------------------
 
-void
-XPGraph::addEdge(vid_t src, vid_t dst)
-{
-    const Edge e{src, dst};
-    addEdges(&e, 1);
-}
-
-void
-XPGraph::delEdge(vid_t src, vid_t dst)
-{
-    const Edge e{src, asDelete(dst)};
-    addEdges(&e, 1);
-}
-
-uint64_t
-XPGraph::addEdges(const Edge *edges, uint64_t n)
-{
-    // The default session: node 0's log, no thread binding — the exact
-    // pre-session single-client behaviour.
-    const AppendCost cost = appendFromClient(0, /*bind=*/false, edges, n);
-    defaultSessionNs_.fetch_add(cost.loggingNs, std::memory_order_relaxed);
-    defaultStreamNs_.fetch_add(cost.streamNs(), std::memory_order_relaxed);
-    return n;
-}
-
 uint64_t
 XPGraph::bufferEdges(const Edge *edges, uint64_t n)
 {
-    const uint64_t added = addEdges(edges, n);
+    // Single-client convenience: node 0's log, no thread binding,
+    // accounted like the legacy default stream.
+    const AppendCost cost = appendFromClient(0, /*bind=*/false, edges, n);
+    defaultSessionNs_.fetch_add(cost.loggingNs, std::memory_order_relaxed);
+    defaultStreamNs_.fetch_add(cost.streamNs(), std::memory_order_relaxed);
     bufferAllEdges();
-    return added;
+    return n;
 }
 
 std::unique_ptr<IngestSession>
@@ -901,10 +888,19 @@ XPGraph::waitForLogSpace(unsigned node, uint64_t &inline_ns)
         if (log.freeSlots() == 0) {
             // Everything is buffered but the log is still full: flush.
             runFlushAllLocked(/*release_buffers=*/false);
-            XPG_ASSERT(log.freeSlots() > 0,
-                       "flush-all failed to reclaim log");
         }
         inline_ns += archivePhaseNsLocked() - before;
+        if (log.freeSlots() == 0) {
+            // Flush-all reclaimed nothing: an open read view pins the
+            // log's reclaim floor below the flushed frontier. Wait for
+            // it to close (closeView recomputes the floors and
+            // notifies); the wait releases archiveMutex_, so closing
+            // is never blocked by this stall.
+            XPG_ASSERT(viewsPinned_,
+                       "flush-all failed to reclaim log");
+            XPG_TRACE_SCOPE(viewWaitSpan, "log_view_pin_wait", "ingest");
+            spaceCv_.wait(lock, [&] { return log.freeSlots() > 0; });
+        }
         return;
     }
     reclaimRequested_.store(true, std::memory_order_relaxed);
@@ -1218,8 +1214,13 @@ XPGraph::flushWorker(unsigned w, bool release_buffers)
                     continue;
                 if (vbuf::header(st.buf)->cnt > 0)
                     flushVertex(*side, slot, st);
-                if (release_buffers) {
-                    pool_->free(st.buf, st.bufBytes);
+                // flushVertex may already have parked the buffer in the
+                // view limbo (st.buf nulled); only free what remains.
+                if (release_buffers && st.buf) {
+                    if (viewsPinned_)
+                        retireBufferToLimbo(st.buf, st.bufBytes);
+                    else
+                        pool_->free(st.buf, st.bufBytes);
                     st.buf = nullptr;
                     st.bufBytes = 0;
                 }
@@ -1307,6 +1308,12 @@ XPGraph::insertBuffered(Side &side, uint64_t slot, vid_t nebr)
             growBuffer(st);
         } else {
             flushVertex(side, slot, st);
+            if (!st.buf) {
+                // The full buffer went to the view limbo: restart the
+                // vertex on a fresh buffer of the same layer.
+                st.buf = pool_->alloc(st.bufBytes);
+                vbuf::init(st.buf, st.bufBytes);
+            }
         }
     }
     vbuf::push(st.buf, nebr);
@@ -1319,7 +1326,10 @@ XPGraph::growBuffer(VertexState &st)
     std::byte *grown = pool_->alloc(new_bytes);
     vbuf::migrate(grown, new_bytes, st.buf);
     chargeDramSequential(st.bufBytes);
-    pool_->free(st.buf, st.bufBytes);
+    if (viewsPinned_)
+        retireBufferToLimbo(st.buf, st.bufBytes);
+    else
+        pool_->free(st.buf, st.bufBytes);
     st.buf = grown;
     st.bufBytes = new_bytes;
 }
@@ -1330,7 +1340,16 @@ XPGraph::flushVertex(Side &side, uint64_t slot, VertexState &st)
     auto *hdr = vbuf::header(st.buf);
     side.store->append(slot, vbuf::payload(st.buf), hdr->cnt, st.chain);
     chargeDramSequential(hdr->cnt * sizeof(vid_t));
-    hdr->cnt = 0;
+    if (viewsPinned_) {
+        // An open view captured this buffer's payload: park it in the
+        // limbo (drained when the last view closes) instead of resetting
+        // it in place. st.bufBytes is kept so the vertex restarts on the
+        // same layer.
+        retireBufferToLimbo(st.buf, st.bufBytes);
+        st.buf = nullptr;
+    } else {
+        hdr->cnt = 0;
+    }
     vbufFlushes_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -1379,13 +1398,6 @@ XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
 }
 
 uint32_t
-XPGraph::collectLive(const Side *side, uint64_t slot,
-                     std::vector<vid_t> &out) const
-{
-    return forEachLive(side, slot, [&](vid_t v) { out.push_back(v); });
-}
-
-uint32_t
 XPGraph::degreeOf(const Side *side, uint64_t slot) const
 {
     if (!side)
@@ -1398,20 +1410,6 @@ XPGraph::degreeOf(const Side *side, uint64_t slot) const
     }
     // Pending tombstones: count by visiting (full charge).
     return forEachLive(side, slot, [](vid_t) {});
-}
-
-uint32_t
-XPGraph::getNebrsOut(vid_t v, std::vector<vid_t> &out) const
-{
-    const Partition &part = parts_[outOwner(v)];
-    return collectLive(part.out.get(), outSlot(v), out);
-}
-
-uint32_t
-XPGraph::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
-{
-    const Partition &part = parts_[inOwner(v)];
-    return collectLive(part.in.get(), inSlot(v), out);
 }
 
 uint32_t
@@ -1569,12 +1567,412 @@ XPGraph::getLoggedEdges(std::vector<Edge> &out) const
     return n;
 }
 
+// --- read views (DESIGN.md §12) --------------------------------------------
+
+/**
+ * Per-vertex state captured at an epoch boundary. Everything here is
+ * immutable after capture by construction: chains/buffers only mutate
+ * during archive phases (which run under archiveMutex_ and bump the
+ * epoch), the captured buffer prefix [0, bufCount) is never rewritten
+ * (vbuf::push appends beyond it; flush/grow park the buffer in the
+ * limbo while views are open), and captured chain blocks are only ever
+ * appended past the captured tailCount (see forEachFrozen).
+ */
+struct XPGraph::EpochState
+{
+    struct ViewVertex
+    {
+        const std::byte *buf = nullptr; ///< captured vertex buffer
+        uint32_t bufCount = 0;          ///< its record count at capture
+        VertexChain chain;              ///< captured chain mirror
+        uint32_t records = 0;           ///< chain + buffer records
+        uint32_t tombstones = 0;        ///< delete records among them
+    };
+
+    uint64_t epoch = 0;             ///< phaseEpoch_ at capture (even)
+    std::vector<uint64_t> boundary; ///< per node: bufferedUpTo at capture
+    /// per node: captured slots (empty when the side is absent there)
+    std::vector<std::vector<ViewVertex>> out;
+    std::vector<std::vector<ViewVertex>> in;
+    uint64_t archivedOutRecords = 0; ///< sum of out-side records
+};
+
+/**
+ * The snapshot-isolated view XPGraph::openView() returns: the epoch
+ * capture (shared across views of the same epoch) plus per-node frozen
+ * log heads. A vertex's visible adjacency is its captured chain
+ * (forEachFrozen) + captured buffer prefix + the frozen log window
+ * [boundary, head) served through the per-node LogWindowIndex; delete
+ * records cancel across all three layers in arrival order. Readers are
+ * lock-free and charge the same modeled costs as live queries.
+ */
+class XPGraph::EpochView final : public ReadView
+{
+  public:
+    EpochView(XPGraph &g, uint64_t id,
+              std::shared_ptr<const EpochState> state,
+              std::vector<uint64_t> heads, uint64_t window_edges)
+        : g_(&g), id_(id), state_(std::move(state)),
+          heads_(std::move(heads)),
+          visibleEdges_(state_->archivedOutRecords + window_edges)
+    {
+    }
+
+    ~EpochView() override { g_->closeView(id_); }
+
+    vid_t numVertices() const override
+    {
+        return g_->config_.maxVertices;
+    }
+
+    uint32_t
+    forEachNebrOut(vid_t v, NebrVisitor fn) const override
+    {
+        return visit(v, true, fn);
+    }
+
+    uint32_t
+    forEachNebrIn(vid_t v, NebrVisitor fn) const override
+    {
+        return visit(v, false, fn);
+    }
+
+    uint32_t degreeOut(vid_t v) const override { return degree(v, true); }
+    uint32_t degreeIn(vid_t v) const override { return degree(v, false); }
+    bool hasFastDegrees() const override { return true; }
+
+    uint64_t
+    vertexWeight(vid_t v) const override
+    {
+        // Same O(1) estimate (and charge) as the live store: captured
+        // record counts of both sides; the log window is noise here.
+        chargeDramSequential(2 * kCacheLineSize);
+        const EpochState::ViewVertex *out = vertex(v, true);
+        const EpochState::ViewVertex *in = vertex(v, false);
+        return GraphView::kVertexFixedWeight +
+               (out ? out->records : 0) + (in ? in->records : 0);
+    }
+
+    uint64_t epoch() const override { return state_->epoch; }
+
+    uint64_t
+    frozenHead(unsigned node) const override
+    {
+        return heads_[node];
+    }
+
+    uint64_t
+    frozenBoundary(unsigned node) const override
+    {
+        return state_->boundary[node];
+    }
+
+    uint64_t visibleEdges() const override { return visibleEdges_; }
+
+    int nodeOfOut(vid_t v) const override { return g_->nodeOfOut(v); }
+    int nodeOfIn(vid_t v) const override { return g_->nodeOfIn(v); }
+    unsigned numNodes() const override { return g_->numNodes(); }
+    bool
+    queryBindingEnabled() const override
+    {
+        return g_->queryBindingEnabled();
+    }
+
+    void
+    declareQueryThreads(unsigned n) override
+    {
+        g_->declareQueryThreads(n);
+    }
+
+  private:
+    /** Captured slot of @p v, or null when the side is absent. */
+    const EpochState::ViewVertex *
+    vertex(vid_t v, bool out) const
+    {
+        const unsigned node = out ? g_->outOwner(v) : g_->inOwner(v);
+        const auto &slots =
+            out ? state_->out[node] : state_->in[node];
+        if (slots.empty())
+            return nullptr;
+        return &slots[out ? g_->outSlot(v) : g_->inSlot(v)];
+    }
+
+    /**
+     * Visit @p v's frozen log-window records in log order (per node),
+     * charging through the window index. Out-records of a vertex can
+     * sit in any node's log (sessions append NUMA-locally), so every
+     * non-empty window is walked.
+     * @return records appended to @p recs.
+     */
+    uint32_t
+    gatherWindow(vid_t v, bool out, std::vector<vid_t> &recs) const
+    {
+        uint32_t n = 0;
+        for (unsigned node = 0; node < heads_.size(); ++node) {
+            const uint64_t low = state_->boundary[node];
+            const uint64_t high = heads_[node];
+            if (high <= low)
+                continue; // empty window: index may not even exist
+            const LogWindowIndex &index = *g_->logIndexes_[node];
+            const auto base =
+                static_cast<std::ptrdiff_t>(recs.size());
+            const auto push = [&recs](vid_t rec) {
+                recs.push_back(rec);
+            };
+            n += out ? index.visitOutWindow(v, low, high, push)
+                     : index.visitInWindow(v, low, high, push);
+            // newest-first per node -> log order
+            std::reverse(recs.begin() + base, recs.end());
+        }
+        return n;
+    }
+
+    uint32_t
+    visit(vid_t v, bool out, NebrVisitor fn) const
+    {
+        XPG_ATTR_SCOPE(attrScope, QueryRead);
+        chargeDramScattered(1); // captured-state slot
+        const EpochState::ViewVertex *vv = vertex(v, out);
+
+        t_viewWindow.clear();
+        gatherWindow(v, out, t_viewWindow);
+        bool window_deletes = false;
+        for (vid_t rec : t_viewWindow)
+            if (isDelete(rec)) {
+                window_deletes = true;
+                break;
+            }
+
+        const AdjacencyStore *store = nullptr;
+        if (vv) {
+            const unsigned node = out ? g_->outOwner(v) : g_->inOwner(v);
+            const Partition &part = g_->parts_[node];
+            store = out ? part.out->store.get() : part.in->store.get();
+        }
+
+        if ((vv ? vv->tombstones : 0) == 0 && !window_deletes) {
+            // Insert-only: stream all three layers straight through.
+            uint32_t n = 0;
+            if (vv) {
+                n += store->forEachFrozen(vv->chain, fn);
+                if (vv->bufCount > 0) {
+                    chargeDramRandom(sizeof(vbuf::Header) +
+                                     vv->bufCount * sizeof(vid_t));
+                    const vid_t *pay = vbuf::payload(vv->buf);
+                    for (uint32_t i = 0; i < vv->bufCount; ++i)
+                        fn(pay[i]);
+                    n += vv->bufCount;
+                }
+            }
+            for (vid_t rec : t_viewWindow)
+                fn(rec);
+            return n + static_cast<uint32_t>(t_viewWindow.size());
+        }
+
+        // Deletes present: assemble chain -> buffer -> window (arrival
+        // order) and fold the tombstones like the live path does.
+        t_rawRecords.clear();
+        if (vv) {
+            store->forEachFrozen(vv->chain, [](vid_t rec) {
+                t_rawRecords.push_back(rec);
+            });
+            if (vv->bufCount > 0) {
+                chargeDramRandom(sizeof(vbuf::Header) +
+                                 vv->bufCount * sizeof(vid_t));
+                const vid_t *pay = vbuf::payload(vv->buf);
+                t_rawRecords.insert(t_rawRecords.end(), pay,
+                                    pay + vv->bufCount);
+            }
+        }
+        t_rawRecords.insert(t_rawRecords.end(), t_viewWindow.begin(),
+                            t_viewWindow.end());
+        return cancelTombstonesVisit(t_rawRecords, fn);
+    }
+
+    uint32_t
+    degree(vid_t v, bool out) const
+    {
+        XPG_ATTR_SCOPE(attrScope, QueryRead);
+        chargeDramScattered(1); // captured-state slot
+        const EpochState::ViewVertex *vv = vertex(v, out);
+        uint32_t window = 0;
+        bool window_deletes = false;
+        gatherWindowCount(v, out, window, window_deletes);
+        if ((vv ? vv->tombstones : 0) == 0 && !window_deletes)
+            return (vv ? vv->records : 0) + window;
+        // Deletes present: degree needs the full visit.
+        return visit(v, out, [](vid_t) {});
+    }
+
+    /** Count @p v's window records without materializing them. */
+    void
+    gatherWindowCount(vid_t v, bool out, uint32_t &n,
+                      bool &deletes) const
+    {
+        for (unsigned node = 0; node < heads_.size(); ++node) {
+            const uint64_t low = state_->boundary[node];
+            const uint64_t high = heads_[node];
+            if (high <= low)
+                continue;
+            const LogWindowIndex &index = *g_->logIndexes_[node];
+            const auto count = [&](vid_t rec) {
+                ++n;
+                if (isDelete(rec))
+                    deletes = true;
+            };
+            if (out)
+                index.visitOutWindow(v, low, high, count);
+            else
+                index.visitInWindow(v, low, high, count);
+        }
+    }
+
+    XPGraph *g_;
+    uint64_t id_;
+    std::shared_ptr<const EpochState> state_;
+    std::vector<uint64_t> heads_; ///< per node: log head at open
+    uint64_t visibleEdges_;
+};
+
+std::shared_ptr<const XPGraph::EpochState>
+XPGraph::captureEpochLocked()
+{
+    const uint64_t epoch = phaseEpoch_.load(std::memory_order_relaxed);
+    XPG_ASSERT((epoch & 1) == 0,
+               "epoch capture inside an archive phase");
+    if (epochCache_ && epochCache_->epoch == epoch)
+        return epochCache_;
+
+    auto state = std::make_shared<EpochState>();
+    state->epoch = epoch;
+    const unsigned p = config_.numNodes;
+    state->boundary.resize(p);
+    state->out.resize(p);
+    state->in.resize(p);
+    for (unsigned node = 0; node < p; ++node) {
+        const Partition &part = parts_[node];
+        state->boundary[node] = part.log->bufferedUpTo();
+        for (int dir = 0; dir < 2; ++dir) {
+            const Side *side =
+                dir == 0 ? part.out.get() : part.in.get();
+            if (!side)
+                continue;
+            auto &dst = dir == 0 ? state->out[node] : state->in[node];
+            dst.resize(side->states.size());
+            for (uint64_t slot = 0; slot < side->states.size();
+                 ++slot) {
+                const VertexState &st = side->states[slot];
+                auto &vv = dst[slot];
+                vv.buf = st.buf;
+                vv.bufCount =
+                    st.buf ? vbuf::header(st.buf)->cnt : 0;
+                vv.chain = st.chain;
+                vv.records = st.records;
+                vv.tombstones = st.tombstones;
+                if (dir == 0)
+                    state->archivedOutRecords += vv.records;
+            }
+        }
+    }
+    epochCache_ = state;
+    return state;
+}
+
+std::unique_ptr<ReadView>
+XPGraph::openView()
+{
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    auto state = captureEpochLocked();
+
+    // Freeze the per-node window upper bounds. Edges published after
+    // these reads are invisible to the view; publishes are ordered per
+    // log, so the window is a consistent prefix of every session's
+    // stream.
+    const unsigned p = config_.numNodes;
+    std::vector<uint64_t> heads(p);
+    uint64_t window_edges = 0;
+    for (unsigned node = 0; node < p; ++node) {
+        heads[node] = parts_[node].log->head();
+        window_edges += heads[node] - state->boundary[node];
+    }
+
+    // Register before anything can archive again: the registry pins
+    // each log's reclaim floor at the view's boundary so the frozen
+    // window stays readable in the ring for the view's lifetime.
+    const uint64_t id = nextViewId_++;
+    viewBoundaries_.emplace(id, state->boundary);
+    viewsPinned_ = true;
+    recomputeReclaimFloorsLocked();
+
+    // Index the frozen windows while bufferedUpTo is still the captured
+    // boundary (we hold the archive lock, so no phase can advance it
+    // and make ensureCurrent skip part of the window).
+    for (unsigned node = 0; node < p; ++node)
+        if (heads[node] > state->boundary[node])
+            logIndex(node);
+
+    return std::unique_ptr<ReadView>(
+        new EpochView(*this, id, std::move(state), std::move(heads),
+                      window_edges));
+}
+
+void
+XPGraph::closeView(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    viewBoundaries_.erase(id);
+    if (viewBoundaries_.empty()) {
+        viewsPinned_ = false;
+        // The capture cache references buffers that may sit in the
+        // limbo; drop it before returning them to the pool.
+        epochCache_.reset();
+        std::vector<std::pair<std::byte *, uint32_t>> parked;
+        {
+            std::lock_guard<std::mutex> limbo_lock(limboMutex_);
+            parked.swap(limbo_);
+        }
+        for (const auto &[buf, bytes] : parked)
+            pool_->free(buf, bytes);
+    }
+    recomputeReclaimFloorsLocked();
+    // A session stalled on a full log may be waiting for this close.
+    spaceCv_.notify_all();
+}
+
+void
+XPGraph::recomputeReclaimFloorsLocked()
+{
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        uint64_t floor = ~0ull;
+        for (const auto &[id, boundary] : viewBoundaries_)
+            floor = std::min(floor, boundary[node]);
+        // New views open at the current bufferedUpTo (>= every older
+        // boundary), so the per-log floor never decreases while set —
+        // the monotonicity the log's reservation path relies on.
+        if (floor == ~0ull)
+            parts_[node].log->clearReclaimFloor();
+        else
+            parts_[node].log->setReclaimFloor(floor);
+    }
+}
+
+void
+XPGraph::retireBufferToLimbo(std::byte *buf, uint32_t bytes)
+{
+    std::lock_guard<std::mutex> lock(limboMutex_);
+    limbo_.emplace_back(buf, bytes);
+}
+
 // --- arranging -------------------------------------------------------------
 
 void
 XPGraph::compactAdjs(vid_t v)
 {
     std::lock_guard<std::mutex> lock(archiveMutex_);
+    // A phase for epoch purposes too: compaction rewrites chains, so the
+    // epoch bump invalidates any cached view capture. Open views keep
+    // serving the abandoned blocks (the allocator never reuses space).
+    phaseEnterLocked();
     for (int dir = 0; dir < 2; ++dir) {
         const bool is_out = dir == 0;
         Partition &part = parts_[is_out ? outOwner(v) : inOwner(v)];
@@ -1591,12 +1989,14 @@ XPGraph::compactAdjs(vid_t v)
         st.records = st.chain.records;
         st.tombstones = 0;
     }
+    phaseExitLocked();
 }
 
 void
 XPGraph::compactAllAdjs()
 {
     std::lock_guard<std::mutex> lock(archiveMutex_);
+    phaseEnterLocked(); // epoch bump: invalidates cached view captures
     declareArchiveConcurrency();
     executor_->run([&](unsigned w) {
         forWorkerSlots(w, [&](unsigned node, unsigned local,
@@ -1626,6 +2026,7 @@ XPGraph::compactAllAdjs()
             }
         });
     });
+    phaseExitLocked();
 }
 
 // --- introspection -----------------------------------------------------------

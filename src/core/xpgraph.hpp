@@ -23,8 +23,12 @@
  * triggering session's thread (deterministic; the default) or pipelined
  * on a dedicated background archiver (config.pipelinedArchiving). The
  * sync points — bufferAllEdges()/flushAllVbufs()/archiveAll() and
- * declareQueryThreads() — establish the consistent frontier queries
- * observe; queries must not run concurrently with archiving.
+ * declareQueryThreads() — establish the consistent frontier *live*
+ * queries observe; live queries must not run concurrently with
+ * archiving. To query while sessions keep ingesting, open a
+ * point-in-time ReadView with openView(): views are pinned to an
+ * archive-epoch boundary, never block writers, and never observe
+ * half-published edges (DESIGN.md §12).
  */
 
 #ifndef XPG_CORE_XPGRAPH_HPP
@@ -33,6 +37,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -112,19 +117,10 @@ class XPGraph : public GraphStore
 
     ~XPGraph() override;
 
-    // --- Graph updating interfaces (Table I; default session) ---
-
-    /** Log one edge insertion. */
-    void addEdge(vid_t src, vid_t dst) override;
-
-    /** Log a batch of edges. @return edges accepted (always n). */
-    uint64_t addEdges(const Edge *edges, uint64_t n) override;
+    // --- Graph updating interfaces (Table I; sessions) ---
 
     /** Log a batch and immediately run a buffering phase over it. */
     uint64_t bufferEdges(const Edge *edges, uint64_t n);
-
-    /** Log one edge deletion (tombstone record). */
-    void delEdge(vid_t src, vid_t dst) override;
 
     /**
      * Open a concurrent ingestion session bound to NUMA partition
@@ -140,16 +136,29 @@ class XPGraph : public GraphStore
 
     vid_t numVertices() const override { return config_.maxVertices; }
 
-    /** Live out-neighbors (flushed + buffered, tombstones applied). */
-    uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const override;
-
-    /** Live in-neighbors (flushed + buffered, tombstones applied). */
-    uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const override;
-
-    /** Zero-copy visit of the live out-neighbors (same device charges
-     *  as getNebrsOut, no materialization). */
+    /** Zero-copy visit of the live out-neighbors (flushed + buffered,
+     *  tombstones applied); getNebrs* materialize through this. */
     uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const override;
     uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const override;
+
+    /**
+     * Open a snapshot-isolated point-in-time view (DESIGN.md §12).
+     *
+     * The view is pinned to the current archive epoch: it serves the
+     * adjacency chains and vertex buffers as captured at the epoch
+     * boundary plus the frozen log window [bufferedUpTo, head) at open
+     * time, so it observes exactly the edges published before the call
+     * — a consistent prefix per session. Opening takes the archive
+     * lock briefly (capture is O(maxVertices), amortized by an epoch
+     * cache across views of the same epoch); afterwards readers are
+     * lock-free and never block IngestSessions. While any view is
+     * open, log reclamation is floored at the view's boundary (a
+     * full log makes writers wait for the view to close — size the
+     * log for the ingest burst, see waitForLogSpace) and retired
+     * vertex buffers go to a limbo list drained when the last view
+     * closes. Views must be destroyed before the store.
+     */
+    std::unique_ptr<ReadView> openView() override;
 
     /** O(1) when v has no pending tombstones (the common case). */
     uint32_t degreeOut(vid_t v) const override;
@@ -264,6 +273,9 @@ class XPGraph : public GraphStore
   private:
     class Session;
     friend class Session;
+    class EpochView;
+    friend class EpochView;
+    struct EpochState;
 
     /** One direction's storage on one partition. */
     struct Side
@@ -442,11 +454,23 @@ class XPGraph : public GraphStore
     // query helpers
     template <typename F>
     uint32_t forEachLive(const Side *side, uint64_t slot, F &&fn) const;
-    uint32_t collectLive(const Side *side, uint64_t slot,
-                         std::vector<vid_t> &out) const;
     uint32_t degreeOf(const Side *side, uint64_t slot) const;
     /** Lazily create + extend node's log-window index (first query). */
     LogWindowIndex &logIndex(unsigned node) const;
+
+    // --- read views (openView; guarded by archiveMutex_) ---
+
+    /** Capture (or reuse from epochCache_) the per-vertex state at the
+     *  current epoch; caller holds archiveMutex_, no phase running. */
+    std::shared_ptr<const EpochState> captureEpochLocked();
+    /** Unregister view @p id, recompute log floors, and at the last
+     *  close drain the buffer limbo and drop the epoch cache. */
+    void closeView(uint64_t id);
+    /** Re-derive every log's reclaim floor from the open views. */
+    void recomputeReclaimFloorsLocked();
+    /** Park a vertex buffer an open view may reference (phase workers
+     *  call this concurrently; limbo_ has its own tiny lock). */
+    void retireBufferToLimbo(std::byte *buf, uint32_t bytes);
 
     XPGraphConfig config_;
     /** recover()'s report while the recovering constructor runs; null on
@@ -505,6 +529,24 @@ class XPGraph : public GraphStore
      */
     std::atomic<uint64_t> phaseEpoch_{0};
     unsigned phaseDepth_ = 0;
+
+    // --- read-view registry (guarded by archiveMutex_ unless noted) ---
+
+    /** Last captured epoch state, reused while phaseEpoch_ is unchanged
+     *  (many views of one quiescent epoch share a single capture). */
+    std::shared_ptr<const EpochState> epochCache_;
+    /** Open views' per-node log boundaries, keyed by view id. */
+    std::map<uint64_t, std::vector<uint64_t>> viewBoundaries_;
+    uint64_t nextViewId_ = 1;
+    /** viewBoundaries_ non-empty; plain bool: phase workers read it
+     *  while the coordinator holds archiveMutex_, which every writer
+     *  needs, so reads during a phase race with nothing. */
+    bool viewsPinned_ = false;
+    /** Vertex buffers retired while views were open: freed to the pool
+     *  when the last view closes. Pushed concurrently by flush workers
+     *  under limboMutex_; drained under archiveMutex_. */
+    mutable std::mutex limboMutex_;
+    std::vector<std::pair<std::byte *, uint32_t>> limbo_;
 
     // cached telemetry handles (null when -DXPG_TELEMETRY=OFF); the
     // per-node append histograms are indexed by partition.

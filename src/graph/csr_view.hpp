@@ -27,22 +27,6 @@ class CsrView : public GraphView
     vid_t numVertices() const override { return out_.numVertices(); }
 
     uint32_t
-    getNebrsOut(vid_t v, std::vector<vid_t> &out) const override
-    {
-        const auto nebrs = out_.neighbors(v);
-        out.insert(out.end(), nebrs.begin(), nebrs.end());
-        return static_cast<uint32_t>(nebrs.size());
-    }
-
-    uint32_t
-    getNebrsIn(vid_t v, std::vector<vid_t> &out) const override
-    {
-        const auto nebrs = in_.neighbors(v);
-        out.insert(out.end(), nebrs.begin(), nebrs.end());
-        return static_cast<uint32_t>(nebrs.size());
-    }
-
-    uint32_t
     forEachNebrOut(vid_t v, NebrVisitor fn) const override
     {
         const auto nebrs = out_.neighbors(v);

@@ -1,0 +1,17 @@
+#include "graph/graph_store.hpp"
+
+#include "graph/snapshot.hpp"
+
+namespace xpg {
+
+std::unique_ptr<ReadView>
+GraphStore::openView()
+{
+    // Fallback for engines without epoch-tracked internals: materialize
+    // the view through the query surface. The GraphView overload is
+    // named explicitly — takeSnapshot(GraphStore&) is itself an
+    // openView() consumer and would recurse.
+    return takeSnapshot(static_cast<GraphView &>(*this), 1);
+}
+
+} // namespace xpg

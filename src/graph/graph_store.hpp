@@ -8,13 +8,15 @@
  * sites.
  *
  * Threading contract:
- *  - addEdge/addEdges/delEdge on the store itself are the *default
- *    session*: a convenience shim for single-client-thread callers
- *    (everything written before the session API keeps compiling).
  *  - session(threadHint) opens an independent ingestion session; any
  *    number of sessions may update concurrently from distinct threads.
  *    A session must not be shared between threads without external
  *    synchronization (it is a lightweight per-thread handle).
+ *  - addEdge/addEdges/delEdge on the store itself are a deprecated
+ *    convenience shim over an internally held session(0); they are
+ *    single-client-thread only. New code opens explicit sessions.
+ *  - openView() returns a consistent point-in-time ReadView that may
+ *    be queried while sessions keep ingesting (see read_view.hpp).
  *  - archiveAll() (and the store-specific flush entry points) are the
  *    sync points: after they return on a quiescent store, queries see
  *    every previously published update (the consistent frontier).
@@ -29,6 +31,7 @@
 
 #include "core/stats.hpp"
 #include "graph/graph_view.hpp"
+#include "graph/read_view.hpp"
 #include "graph/types.hpp"
 #include "pmem/pcm_counters.hpp"
 #include "telemetry/attribution.hpp"
@@ -74,22 +77,23 @@ class IngestSession
 
     /** Simulated nanoseconds this session spent logging. */
     virtual uint64_t loggingNs() const = 0;
+
+    /**
+     * Simulated nanoseconds of this session's full ingest wall:
+     * loggingNs() plus any archive phases the session coordinated
+     * inline (a client cannot log while it runs a phase itself). The
+     * serving bench derives client-observed write latency from deltas
+     * of this. Defaults to loggingNs() for engines without inline
+     * archiving.
+     */
+    virtual uint64_t streamNs() const { return loggingNs(); }
 };
 
 /** The engine-independent ingest + query interface (Table I). */
 class GraphStore : public GraphView
 {
   public:
-    // --- Graph updating interfaces (default session shim) ---
-
-    /** Log one edge insertion. */
-    virtual void addEdge(vid_t src, vid_t dst) = 0;
-
-    /** Log a batch of edges. @return edges accepted (always n). */
-    virtual uint64_t addEdges(const Edge *edges, uint64_t n) = 0;
-
-    /** Log one edge deletion (tombstone record). */
-    virtual void delEdge(vid_t src, vid_t dst) = 0;
+    // --- Graph updating interfaces ---
 
     /**
      * Open a concurrent ingestion session. @p thread_hint selects the
@@ -98,6 +102,64 @@ class GraphStore : public GraphView
      */
     virtual std::unique_ptr<IngestSession>
     session(unsigned thread_hint = 0) = 0;
+
+// Wrap a call site that exercises the deprecated shim *on purpose*
+// (e.g. its regression tests) so it builds without the warning.
+#define XPG_SUPPRESS_DEPRECATED_BEGIN                                     \
+    _Pragma("GCC diagnostic push") _Pragma(                               \
+        "GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define XPG_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+
+    // --- Deprecated default-session shim ---
+    //
+    // These route through a lazily opened, internally held session(0).
+    // They exist so pre-session call sites keep compiling; they are
+    // single-client-thread only (the shared shim session is not
+    // synchronized) and will be removed. New code opens explicit
+    // sessions.
+
+    /** Log one edge insertion. @deprecated Use session()->addEdge(). */
+    [[deprecated("open an explicit IngestSession via session()")]]
+    void
+    addEdge(vid_t src, vid_t dst)
+    {
+        const Edge e{src, dst};
+        defaultSession().addEdges(&e, 1);
+    }
+
+    /**
+     * Log a batch of edges. @return edges accepted (always n).
+     * @deprecated Use session()->addEdges().
+     */
+    [[deprecated("open an explicit IngestSession via session()")]]
+    uint64_t
+    addEdges(const Edge *edges, uint64_t n)
+    {
+        return defaultSession().addEdges(edges, n);
+    }
+
+    /** Log one edge deletion. @deprecated Use session()->delEdge(). */
+    [[deprecated("open an explicit IngestSession via session()")]]
+    void
+    delEdge(vid_t src, vid_t dst)
+    {
+        const Edge e{src, asDelete(dst)};
+        defaultSession().addEdges(&e, 1);
+    }
+
+    // --- Consistent read views ---
+
+    /**
+     * Open a consistent point-in-time ReadView pinned to the store's
+     * current epoch: it exposes exactly the edges published before the
+     * call and may be queried from any number of threads while
+     * sessions keep ingesting. Engines with epoch-tracked internals
+     * (XPGraph) return zero-copy views whose readers never block
+     * writers; the default materializes the view through the query
+     * surface and therefore requires the store to be quiescent for the
+     * duration of this call (not for the view's lifetime).
+     */
+    virtual std::unique_ptr<ReadView> openView();
 
     // --- Graph arranging interfaces ---
 
@@ -168,6 +230,27 @@ class GraphStore : public GraphView
      * metrics snapshot so gauges reflect the moment of export.
      */
     virtual void publishTelemetry() const {}
+
+  protected:
+    /**
+     * Close the deprecated shim's internally held session, if one was
+     * ever opened. Derived-class destructors call this *before* any
+     * "all sessions closed" teardown assertions — the base destructor
+     * runs too late (after the derived store is already torn down).
+     */
+    void resetDefaultSession() { defaultSession_.reset(); }
+
+  private:
+    /** Lazily opened session(0) backing the deprecated shim. */
+    IngestSession &
+    defaultSession()
+    {
+        if (!defaultSession_)
+            defaultSession_ = session(0);
+        return *defaultSession_;
+    }
+
+    std::unique_ptr<IngestSession> defaultSession_;
 };
 
 } // namespace xpg

@@ -3,13 +3,13 @@
  * Read interface shared by all graph stores (XPGraph and the GraphOne
  * baselines), consumed by the analytics algorithms and benches.
  *
- * Two query surfaces coexist:
- *  - the Table-I vector interface (getNebrsOut/In) that materializes the
- *    neighbor list into a caller vector, and
- *  - the zero-copy visitor interface (forEachNebrOut/In + degreeOut/In)
- *    that streams neighbors in place without materialization. Stores
- *    charge identical modeled device costs on both surfaces; the visitor
- *    surface only removes host-side copies and enables O(1) degrees.
+ * The visitor interface (forEachNebrOut/In + degreeOut/In) is the one
+ * primitive stores implement: it streams neighbors in place without
+ * materialization, charging the store's modeled device reads as it goes.
+ * The Table-I vector interface (getNebrsOut/In) is a final adapter over
+ * the visitor path — it appends the visited neighbors into a caller
+ * vector and can never diverge from forEachNebrOut/In, so the two
+ * surfaces charge identical modeled costs by construction.
  */
 
 #ifndef XPG_GRAPH_GRAPH_VIEW_HPP
@@ -64,24 +64,36 @@ class GraphView
     virtual vid_t numVertices() const = 0;
 
     /**
-     * Collect the live out-neighbors of @p v into @p out (appended).
-     * @return the number of neighbors appended.
-     */
-    virtual uint32_t getNebrsOut(vid_t v, std::vector<vid_t> &out) const = 0;
-
-    /** In-neighbor variant of getNebrsOut(). */
-    virtual uint32_t getNebrsIn(vid_t v, std::vector<vid_t> &out) const = 0;
-
-    /**
      * Invoke @p fn for each live out-neighbor of @p v without
-     * materializing a neighbor vector. Charges the same modeled device
-     * reads as getNebrsOut(). Default adapts the vector interface.
+     * materializing a neighbor vector, charging the store's modeled
+     * device reads. The one query primitive stores implement.
      * @return the number of neighbors visited.
      */
-    virtual uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const;
+    virtual uint32_t forEachNebrOut(vid_t v, NebrVisitor fn) const = 0;
 
     /** In-neighbor variant of forEachNebrOut(). */
-    virtual uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const;
+    virtual uint32_t forEachNebrIn(vid_t v, NebrVisitor fn) const = 0;
+
+    /**
+     * Collect the live out-neighbors of @p v into @p out (appended).
+     * Final adapter over forEachNebrOut() — stores implement only the
+     * visitor path, so both surfaces charge identical modeled costs.
+     * @return the number of neighbors appended.
+     */
+    virtual uint32_t
+    getNebrsOut(vid_t v, std::vector<vid_t> &out) const final
+    {
+        return forEachNebrOut(v,
+                              [&out](vid_t nebr) { out.push_back(nebr); });
+    }
+
+    /** In-neighbor variant of getNebrsOut(); final visitor adapter. */
+    virtual uint32_t
+    getNebrsIn(vid_t v, std::vector<vid_t> &out) const final
+    {
+        return forEachNebrIn(v,
+                             [&out](vid_t nebr) { out.push_back(nebr); });
+    }
 
     /**
      * Live out-degree of @p v. Stores with a degree cache answer in
@@ -134,37 +146,6 @@ class GraphView
     /** Declare the number of concurrent query threads (read contention). */
     virtual void declareQueryThreads(unsigned n) {}
 };
-
-namespace detail {
-inline std::vector<vid_t> &
-visitorScratch()
-{
-    thread_local std::vector<vid_t> scratch;
-    return scratch;
-}
-} // namespace detail
-
-inline uint32_t
-GraphView::forEachNebrOut(vid_t v, NebrVisitor fn) const
-{
-    auto &scratch = detail::visitorScratch();
-    scratch.clear();
-    const uint32_t n = getNebrsOut(v, scratch);
-    for (vid_t nebr : scratch)
-        fn(nebr);
-    return n;
-}
-
-inline uint32_t
-GraphView::forEachNebrIn(vid_t v, NebrVisitor fn) const
-{
-    auto &scratch = detail::visitorScratch();
-    scratch.clear();
-    const uint32_t n = getNebrsIn(v, scratch);
-    for (vid_t nebr : scratch)
-        fn(nebr);
-    return n;
-}
 
 } // namespace xpg
 

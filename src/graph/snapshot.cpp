@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "graph/graph_store.hpp"
 #include "pmem/dram_device.hpp"
 #include "util/parallel.hpp"
 #include "util/sim_clock.hpp"
@@ -9,22 +10,24 @@
 namespace xpg {
 
 uint32_t
-Snapshot::getNebrsOut(vid_t v, std::vector<vid_t> &out) const
+Snapshot::forEachNebrOut(vid_t v, NebrVisitor fn) const
 {
     const auto begin = outOffsets_[v];
     const auto end = outOffsets_[v + 1];
     chargeDramSequential((end - begin) * sizeof(vid_t) + sizeof(uint64_t));
-    out.insert(out.end(), outAdj_.begin() + begin, outAdj_.begin() + end);
+    for (auto i = begin; i < end; ++i)
+        fn(outAdj_[i]);
     return static_cast<uint32_t>(end - begin);
 }
 
 uint32_t
-Snapshot::getNebrsIn(vid_t v, std::vector<vid_t> &out) const
+Snapshot::forEachNebrIn(vid_t v, NebrVisitor fn) const
 {
     const auto begin = inOffsets_[v];
     const auto end = inOffsets_[v + 1];
     chargeDramSequential((end - begin) * sizeof(vid_t) + sizeof(uint64_t));
-    out.insert(out.end(), inAdj_.begin() + begin, inAdj_.begin() + end);
+    for (auto i = begin; i < end; ++i)
+        fn(inAdj_[i]);
     return static_cast<uint32_t>(end - begin);
 }
 
@@ -110,6 +113,23 @@ takeSnapshot(GraphView &view, unsigned num_threads)
     }
     chargeDramSequential(snap->sizeBytes());
     snap->buildNs_ += stitch_scope.elapsed();
+    return snap;
+}
+
+std::unique_ptr<Snapshot>
+takeSnapshot(GraphStore &store, unsigned num_threads)
+{
+    const std::unique_ptr<ReadView> view = store.openView();
+    auto snap = takeSnapshot(*view, num_threads);
+    snap->epoch_ = view->epoch();
+    return snap;
+}
+
+std::unique_ptr<Snapshot>
+materializeView(GraphView &view, unsigned num_threads, uint64_t epoch)
+{
+    auto snap = takeSnapshot(view, num_threads);
+    snap->epoch_ = epoch;
     return snap;
 }
 

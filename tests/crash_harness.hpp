@@ -130,16 +130,17 @@ runUntilCrash(GraphStore &store, const std::vector<Op> &ops,
 {
     uint64_t acked = 0;
     uint64_t submitted = 0;
+    const auto session = store.session(0);
     for (const Op &op : ops) {
         if (injector && injector->crashed())
             break;
         ++submitted;
         switch (op.kind) {
           case Op::Insert:
-            store.addEdge(op.e.src, op.e.dst);
+            session->addEdge(op.e.src, op.e.dst);
             break;
           case Op::Delete:
-            store.delEdge(op.e.src, op.e.dst);
+            session->delEdge(op.e.src, op.e.dst);
             break;
           case Op::Compact:
             if (compact)

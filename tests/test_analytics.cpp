@@ -45,7 +45,7 @@ makeXpgraph(const Workload &w)
     c.archiveThreads = 4;
     c.pmemBytesPerNode = recommendedBytesPerNode(c, w.edges.size());
     auto g = std::make_unique<XPGraph>(c);
-    g->addEdges(w.edges.data(), w.edges.size());
+    g->session(0)->addEdges(w.edges.data(), w.edges.size());
     g->bufferAllEdges();
     return g;
 }
@@ -58,7 +58,7 @@ makeGraphone(const Workload &w)
     c.archiveThreads = 4;
     c.bytesPerNode = graphoneRecommendedBytesPerNode(c, w.edges.size());
     auto g = std::make_unique<GraphOne>(c);
-    g->addEdges(w.edges.data(), w.edges.size());
+    g->session(0)->addEdges(w.edges.data(), w.edges.size());
     g->archiveAll();
     return g;
 }

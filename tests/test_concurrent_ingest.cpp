@@ -285,18 +285,21 @@ TEST(IngestSession, DefaultMethodsForwardToBatch)
     EXPECT_EQ(nebrs, std::vector<vid_t>{3});
 }
 
-/** The default addEdge/addEdges on the store remain usable alongside
- *  (before/after, not during) session ingest and count separately. */
+/** The deprecated addEdge/addEdges shims remain usable alongside
+ *  (before/after, not during) session ingest; they route through a
+ *  lazily opened internal session, which shows up in the stats. */
 TEST(IngestSession, DefaultShimCoexistsWithSessions)
 {
     const vid_t nv = 64;
     XPGraph graph(smallConfig(nv, 1000));
+    XPG_SUPPRESS_DEPRECATED_BEGIN
     graph.addEdge(2, 5);
     {
         auto s = graph.session(1);
         s->addEdge(2, 6);
     }
     graph.addEdge(2, 7);
+    XPG_SUPPRESS_DEPRECATED_END
     graph.archiveAll();
     std::vector<vid_t> nebrs;
     graph.getNebrsOut(2, nebrs);
@@ -304,7 +307,8 @@ TEST(IngestSession, DefaultShimCoexistsWithSessions)
     EXPECT_EQ(nebrs, (std::vector<vid_t>{5, 6, 7}));
     const IngestStats s = graph.stats();
     EXPECT_EQ(s.edgesLogged, 3u);
-    EXPECT_EQ(s.sessionsOpened, 1u);
+    // The shim's internal session plus the explicit one.
+    EXPECT_EQ(s.sessionsOpened, 2u);
 }
 
 // --- crash recovery of a partially drained concurrent log ------------------

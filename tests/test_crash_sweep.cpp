@@ -138,19 +138,44 @@ class CrashSweepTest : public ::testing::Test
 
 /** One crash point: run to the Nth media write, power-cycle, recover,
  *  verify prefix consistency, then re-ingest the suffix and require the
- *  exact full graph. Returns the recovery report for aggregation. */
+ *  exact full graph. With @p view_at_half, a snapshot-isolated ReadView
+ *  opens after the first half of the ops and stays open across the
+ *  crash window: its reclaim-floor pin and limbo parking must not leak
+ *  into the persisted image. Returns the recovery report. */
 RecoveryReport
 sweepOnePointXpg(const XPGraphConfig &config, const std::vector<Op> &ops,
-                 vid_t nv, const FaultPlan &plan)
+                 vid_t nv, const FaultPlan &plan,
+                 bool view_at_half = false)
 {
     uint64_t acked = 0;
     uint64_t submitted = 0;
     {
         XPGraph graph(config); // fresh instance: discards old files
         auto injector = graph.injectFaults(plan);
-        std::tie(acked, submitted) = crash::runUntilCrash(
-            graph, ops, injector.get(),
-            [&] { graph.compactAllAdjs(); });
+        if (!view_at_half) {
+            std::tie(acked, submitted) = crash::runUntilCrash(
+                graph, ops, injector.get(),
+                [&] { graph.compactAllAdjs(); });
+        } else {
+            const auto half =
+                ops.begin() +
+                static_cast<std::ptrdiff_t>(ops.size() / 2);
+            const std::vector<Op> first(ops.begin(), half);
+            const std::vector<Op> second(half, ops.end());
+            std::tie(acked, submitted) = crash::runUntilCrash(
+                graph, first, injector.get(),
+                [&] { graph.compactAllAdjs(); });
+            {
+                std::unique_ptr<ReadView> view;
+                if (!injector->crashed())
+                    view = graph.openView();
+                const auto [a2, s2] = crash::runUntilCrash(
+                    graph, second, injector.get(),
+                    [&] { graph.compactAllAdjs(); });
+                acked += a2;
+                submitted += s2;
+            } // view closes before the power cycle
+        }
         graph.powerCycle();
     }
 
@@ -174,14 +199,17 @@ sweepOnePointXpg(const XPGraphConfig &config, const std::vector<Op> &ops,
 
     // Usable store: re-ingesting the lost suffix must land exactly on
     // the full graph.
-    for (uint64_t k = static_cast<uint64_t>(j); k < ops.size(); ++k) {
-        const Op &op = ops[k];
-        if (op.kind == Op::Insert)
-            recovered->addEdge(op.e.src, op.e.dst);
-        else if (op.kind == Op::Delete)
-            recovered->delEdge(op.e.src, op.e.dst);
-        else
-            recovered->compactAllAdjs();
+    {
+        auto replay = recovered->session(0);
+        for (uint64_t k = static_cast<uint64_t>(j); k < ops.size(); ++k) {
+            const Op &op = ops[k];
+            if (op.kind == Op::Insert)
+                replay->addEdge(op.e.src, op.e.dst);
+            else if (op.kind == Op::Delete)
+                replay->delEdge(op.e.src, op.e.dst);
+            else
+                recovered->compactAllAdjs();
+        }
     }
     recovered->archiveAll();
     crash::LiveState full(nv);
@@ -280,6 +308,34 @@ TEST_F(CrashSweepTest, XPGraphDeletesAndCompaction)
     EXPECT_GE(points, kMinPoints);
 }
 
+TEST_F(CrashSweepTest, XPGraphCrashWithViewOpenMidArchive)
+{
+    // A live ReadView across the crash window changes the archiver's
+    // behaviour (buffers park in the limbo instead of recycling, log
+    // reclaim is floored, compaction abandons pinned blocks) — none of
+    // which may alter what reaches the media.
+    const vid_t nv = 96;
+    const auto edges = distinctEdges(nv, 1500, 17);
+    const auto ops = deleteCompactionOps(edges);
+    const XPGraphConfig config = xpgConfig(nv, ops.size());
+
+    const uint64_t media = dryRunMediaWrites(
+        [&] { return std::make_unique<XPGraph>(config); }, ops,
+        [](XPGraph &g) { g.compactAllAdjs(); });
+    const uint64_t step = std::max<uint64_t>(1, media / kTargetPoints);
+
+    uint64_t points = 0;
+    for (uint64_t n = 1; n <= media; n += step) {
+        FaultPlan plan;
+        plan.crashAfterMediaWrites = n;
+        sweepOnePointXpg(config, ops, nv, plan, /*view_at_half=*/true);
+        if (::testing::Test::HasFatalFailure())
+            return;
+        ++points;
+    }
+    EXPECT_GE(points, kMinPoints);
+}
+
 TEST_F(CrashSweepTest, XPGraphCompressedChunks)
 {
     // Compressed-chunk flavor: a low compression threshold over a small,
@@ -361,8 +417,12 @@ TEST_F(CrashSweepTest, GraphOneEveryKthMediaWrite)
                         << ": GraphOne recovery is not prefix-consistent "
                            "(acked="
                         << acked << ", submitted=" << submitted << ")";
-        for (uint64_t k = static_cast<uint64_t>(j); k < ops.size(); ++k)
-            recovered->addEdge(ops[k].e.src, ops[k].e.dst);
+        {
+            auto replay = recovered->session(0);
+            for (uint64_t k = static_cast<uint64_t>(j); k < ops.size();
+                 ++k)
+                replay->addEdge(ops[k].e.src, ops[k].e.dst);
+        }
         recovered->archiveAll();
         crash::LiveState full(nv);
         for (const Op &op : ops)

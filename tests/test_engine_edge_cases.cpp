@@ -45,7 +45,7 @@ TEST(EngineEdgeCases, EmptyStoreAnswersQueries)
 TEST(EngineEdgeCases, SelfLoopsAreStoredOncePerDirection)
 {
     XPGraph graph(smallConfig(4, 100));
-    graph.addEdge(2, 2);
+    graph.session(0)->addEdge(2, 2);
     graph.bufferAllEdges();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsOut(2, nebrs), 1u);
@@ -57,16 +57,22 @@ TEST(EngineEdgeCases, SelfLoopsAreStoredOncePerDirection)
 TEST(EngineEdgeCases, DuplicateHeavyStream)
 {
     XPGraph graph(smallConfig(8, 3000));
-    for (int i = 0; i < 2000; ++i)
-        graph.addEdge(1, 2);
+    {
+        auto s = graph.session(0);
+        for (int i = 0; i < 2000; ++i)
+            s->addEdge(1, 2);
+    }
     graph.bufferAllEdges();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsOut(1, nebrs), 2000u);
     for (vid_t n : nebrs)
         EXPECT_EQ(n, 2u);
     // Deleting twice removes exactly two copies.
-    graph.delEdge(1, 2);
-    graph.delEdge(1, 2);
+    {
+        auto s = graph.session(0);
+        s->delEdge(1, 2);
+        s->delEdge(1, 2);
+    }
     graph.bufferAllEdges();
     nebrs.clear();
     EXPECT_EQ(graph.getNebrsOut(1, nebrs), 1998u);
@@ -81,7 +87,7 @@ TEST(EngineEdgeCases, FewerThreadsThanNodesCoversAllPartitions)
     c.archiveThreads = 1; // fewer threads than nodes
     c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
 
     const Csr csr(nv, edges, false);
@@ -103,7 +109,7 @@ TEST(EngineEdgeCases, OutInPlacementServesBothDirections)
     c.placement = NumaPlacement::OutInGraph;
     c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
 
     EXPECT_EQ(graph.nodeOfOut(13), 0);
@@ -131,7 +137,7 @@ TEST(EngineEdgeCases, BatteryVariantSkipsLogPressureFlushes)
         c.batteryBacked = battery;
         c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         return graph.stats().flushAllPhases;
     };
@@ -144,8 +150,11 @@ TEST(EngineEdgeCases, MaxVertexIdIsUsable)
 {
     const vid_t nv = 1000;
     XPGraph graph(smallConfig(nv, 100));
-    graph.addEdge(nv - 1, 0);
-    graph.addEdge(0, nv - 1);
+    {
+        auto s = graph.session(0);
+        s->addEdge(nv - 1, 0);
+        s->addEdge(0, nv - 1);
+    }
     graph.bufferAllEdges();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsOut(nv - 1, nebrs), 1u);
@@ -158,7 +167,7 @@ TEST(EngineEdgeCases, OutOfRangeEdgePanics)
     XPGraph graph(smallConfig(10, 100));
     // Range-checked at the append boundary, in the client's thread,
     // before the record reaches the shared log.
-    EXPECT_DEATH(graph.addEdge(10, 0), "out of range");
+    EXPECT_DEATH(graph.session(0)->addEdge(10, 0), "out of range");
 }
 
 TEST(EngineEdgeCases, MissingConfigIsRejected)

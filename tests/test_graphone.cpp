@@ -66,7 +66,7 @@ TEST_P(GraphOneVariants, MatchesCsr)
     auto edges = generateRmat(9, 12000, RmatParams{}, 51);
     foldVertices(edges, nv);
     GraphOne graph(testConfig(nv, edges.size(), GetParam()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
 }
 
@@ -88,9 +88,12 @@ TEST(GraphOne, DeleteCancelsEdge)
 {
     const vid_t nv = 16;
     GraphOne graph(testConfig(nv, 100, GraphOneVariant::Pmem));
-    graph.addEdge(1, 2);
-    graph.addEdge(1, 3);
-    graph.delEdge(1, 2);
+    {
+        auto s = graph.session(0);
+        s->addEdge(1, 2);
+        s->addEdge(1, 3);
+        s->delEdge(1, 2);
+    }
     graph.archiveAll();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsOut(1, nebrs), 1u);
@@ -106,7 +109,7 @@ TEST(GraphOne, ArchivingAmplifiesOnPmem)
     const vid_t nv = 1 << 14;
     auto edges = generateRmat(14, 200000, RmatParams{}, 3);
     GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.archiveAll();
     const PcmCounters c = graph.pmemCounters();
     // Media writes far exceed useful adjacency bytes (2*|E|*4B).
@@ -120,7 +123,7 @@ TEST(GraphOne, LoggingIsCheapArchivingIsNot)
     const vid_t nv = 1 << 12;
     auto edges = generateRmat(12, 100000, RmatParams{}, 7);
     GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.archiveAll();
     const IngestStats s = graph.stats();
     EXPECT_GT(s.archivingNs(), 5 * s.loggingNs);
@@ -133,7 +136,7 @@ TEST(GraphOne, NovaIsMuchSlowerThanPmem)
 
     auto run = [&](GraphOneVariant variant) {
         GraphOne graph(testConfig(nv, edges.size(), variant));
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.archiveAll();
         return graph.stats().ingestNs();
     };
@@ -147,7 +150,7 @@ TEST(GraphOne, StatsAndMemoryUsage)
     const vid_t nv = 256;
     auto edges = generateUniform(nv, 20000, 19);
     GraphOne graph(testConfig(nv, edges.size(), GraphOneVariant::Pmem));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.archiveAll();
     const IngestStats s = graph.stats();
     EXPECT_EQ(s.edgesLogged, edges.size());
@@ -166,7 +169,7 @@ TEST(GraphOne, LogWrapsUnderSmallCapacity)
     c.archiveThresholdEdges = 1 << 8;
     auto edges = generateUniform(nv, 40000, 23);
     GraphOne graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
 }
 

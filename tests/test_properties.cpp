@@ -107,13 +107,16 @@ TEST_P(RandomOpsSweep, XPGraphMatchesReferenceModel)
     XPGraph graph(c);
     ReferenceGraph ref;
 
-    for (const auto &[is_insert, e] : ops) {
-        if (is_insert) {
-            graph.addEdge(e.src, e.dst);
-            ref.addEdge(e.src, e.dst);
-        } else {
-            graph.delEdge(e.src, e.dst);
-            ref.delEdge(e.src, e.dst);
+    {
+        auto s = graph.session(0);
+        for (const auto &[is_insert, e] : ops) {
+            if (is_insert) {
+                s->addEdge(e.src, e.dst);
+                ref.addEdge(e.src, e.dst);
+            } else {
+                s->delEdge(e.src, e.dst);
+                ref.delEdge(e.src, e.dst);
+            }
         }
     }
     graph.bufferAllEdges();
@@ -166,13 +169,17 @@ TEST_P(CrossSystemSweep, XPGraphAndGraphOneAgree)
     gc.bytesPerNode = graphoneRecommendedBytesPerNode(gc, ops.size());
     GraphOne g1(gc);
 
-    for (const auto &[is_insert, e] : ops) {
-        if (is_insert) {
-            xpg.addEdge(e.src, e.dst);
-            g1.addEdge(e.src, e.dst);
-        } else {
-            xpg.delEdge(e.src, e.dst);
-            g1.delEdge(e.src, e.dst);
+    {
+        auto sx = xpg.session(0);
+        auto sg = g1.session(0);
+        for (const auto &[is_insert, e] : ops) {
+            if (is_insert) {
+                sx->addEdge(e.src, e.dst);
+                sg->addEdge(e.src, e.dst);
+            } else {
+                sx->delEdge(e.src, e.dst);
+                sg->delEdge(e.src, e.dst);
+            }
         }
     }
     xpg.bufferAllEdges();
@@ -326,7 +333,7 @@ TEST_P(CrashPointSweep, RecoversWhatWasIngested)
         std::min<uint64_t>(edges.size(), batches * per_batch);
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), ingested);
+        graph.session(0)->addEdges(edges.data(), ingested);
         if (batches % 2 == 0)
             graph.bufferAllEdges(); // crash with buffered-but-unflushed
         graph.syncBackings();

@@ -92,7 +92,7 @@ TEST_F(RecoveryTest, RecoverAfterFullFlush)
     const XPGraphConfig c = config(nv, edges.size());
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         graph.syncBackings();
@@ -129,7 +129,7 @@ TEST_F(RecoveryTest, RecoverWithUnflushedBuffers)
     const XPGraphConfig c = config(nv, edges.size());
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges(); // buffered, NOT flushed
         graph.syncBackings();
     }
@@ -149,7 +149,7 @@ TEST_F(RecoveryTest, RecoverWithNonBufferedLogEdges)
     {
         XPGraph graph(c);
         // Log without triggering archiving for the tail edges.
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.syncBackings();
     }
     auto recovered = XPGraph::recover(c);
@@ -165,14 +165,14 @@ TEST_F(RecoveryTest, RecoveredGraphAcceptsNewEdges)
     const XPGraphConfig c = config(nv, edges.size() * 2);
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         graph.syncBackings();
     }
     auto recovered = XPGraph::recover(c);
     auto more = generateUniform(nv, 3000, 42);
-    recovered->addEdges(more.data(), more.size());
+    recovered->session(0)->addEdges(more.data(), more.size());
     recovered->bufferAllEdges();
 
     std::vector<Edge> all = edges;
@@ -187,9 +187,12 @@ TEST_F(RecoveryTest, RecoverPreservesDeletes)
     const XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
-        graph.addEdge(1, 3);
-        graph.delEdge(1, 2);
+        {
+            auto s = graph.session(0);
+            s->addEdge(1, 2);
+            s->addEdge(1, 3);
+            s->delEdge(1, 2);
+        }
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         graph.syncBackings();
@@ -210,10 +213,10 @@ TEST_F(RecoveryTest, RecoverDropsDuplicateOfFlushedEdge)
     const XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.bufferAllEdges();
         graph.flushAllVbufs(); // first copy reaches PMEM
-        graph.addEdge(1, 2);   // duplicate
+        graph.session(0)->addEdge(1, 2); // duplicate
         graph.bufferAllEdges(); // duplicate buffered, not flushed
         graph.syncBackings();
     }
@@ -236,7 +239,7 @@ TEST_F(RecoveryTest, RecoverRejectsMismatchedConfig)
     XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.syncBackings();
     }
     XPGraphConfig wrong = c;
@@ -266,7 +269,7 @@ TEST_F(RecoveryTest, TypedReportConfigMismatch)
     XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.syncBackings();
     }
     XPGraphConfig wrong = c;
@@ -286,7 +289,7 @@ TEST_F(RecoveryTest, TypedReportCorruptSuperblock)
     XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.syncBackings();
     }
     // Scribble over the superblock magic of node 0's backing file.
@@ -311,7 +314,7 @@ TEST_F(RecoveryTest, TypedReportFlippedSuperblockBitFailsChecksum)
     XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.syncBackings();
     }
     // Flip one byte inside the superblock body (past magic + version):
@@ -342,7 +345,7 @@ TEST_F(RecoveryTest, CleanRecoveryReportCounts)
     const XPGraphConfig c = config(nv, edges.size());
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges(); // buffered, not flushed: replay expected
         graph.syncBackings();
     }
@@ -367,7 +370,7 @@ TEST_F(RecoveryTest, TuningKnobsMayChangeAcrossRecovery)
     const XPGraphConfig c = config(nv, edges.size());
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.syncBackings();
     }
@@ -390,7 +393,7 @@ TEST_F(RecoveryTest, RecoverTwiceIsStable)
     const XPGraphConfig c = config(nv, edges.size());
     {
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         graph.syncBackings();
@@ -414,7 +417,7 @@ TEST_F(RecoveryTest, FreshInstanceDiscardsStaleFiles)
     const XPGraphConfig c = config(nv, 1000);
     {
         XPGraph graph(c);
-        graph.addEdge(1, 2);
+        graph.session(0)->addEdge(1, 2);
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         graph.syncBackings();

@@ -27,7 +27,7 @@ buildGraph(vid_t nv, const std::vector<Edge> &edges)
     c.archiveThreads = 4;
     c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
     auto g = std::make_unique<XPGraph>(c);
-    g->addEdges(edges.data(), edges.size());
+    g->session(0)->addEdges(edges.data(), edges.size());
     g->bufferAllEdges();
     return g;
 }
@@ -69,7 +69,7 @@ TEST(Snapshot, IsolatedFromLaterUpdates)
     auto graph = buildGraph(nv, edges);
     auto snap = takeSnapshot(*graph, 2);
 
-    graph->addEdge(1, 7);
+    graph->session(0)->addEdge(1, 7);
     graph->bufferAllEdges();
 
     std::vector<vid_t> nebrs;

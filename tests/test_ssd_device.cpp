@@ -98,7 +98,7 @@ TEST(SsdDevice, XPGraphRunsCorrectlyOnSsd)
     c.archiveThreads = 4;
     c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
 
     const Csr csr(nv, edges, false);
@@ -129,7 +129,7 @@ TEST(SsdDevice, SsdIngestIsSlowerThanPmem)
         c.archiveThreads = 4;
         c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
         XPGraph graph(c);
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         return graph.stats().ingestNs();

@@ -623,7 +623,7 @@ TEST(TelemetrySnapshot, SnapshotStatsConsistentUnderConcurrentArchiving)
 
     std::atomic<bool> done{false};
     std::thread client([&] {
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         done.store(true, std::memory_order_release);
     });
 

@@ -85,7 +85,7 @@ TEST(XPGraph, SmallGraphMatchesCsr)
     const vid_t nv = 64;
     auto edges = generateUniform(nv, 2000, 7);
     XPGraph graph(testConfig(nv, edges.size()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
 }
 
@@ -94,7 +94,7 @@ TEST(XPGraph, RmatGraphMatchesCsr)
     auto edges = generateRmat(10, 20000, RmatParams{}, 21);
     const vid_t nv = 1 << 10;
     XPGraph graph(testConfig(nv, edges.size()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
 }
 
@@ -137,7 +137,7 @@ TEST_P(XPGraphConfigSweep, MatchesCsr)
     c.pmemBytesPerNode = recommendedBytesPerNode(c, edges.size());
 
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
 }
 
@@ -174,10 +174,10 @@ TEST(XPGraph, DeleteCancelsEdge)
 {
     const vid_t nv = 16;
     XPGraph graph(testConfig(nv, 100));
-    graph.addEdge(1, 2);
-    graph.addEdge(1, 3);
-    graph.addEdge(1, 2); // duplicate
-    graph.delEdge(1, 2); // cancels one copy
+    graph.session(0)->addEdge(1, 2);
+    graph.session(0)->addEdge(1, 3);
+    graph.session(0)->addEdge(1, 2); // duplicate
+    graph.session(0)->delEdge(1, 2); // cancels one copy
     graph.bufferAllEdges();
 
     std::vector<vid_t> nebrs;
@@ -194,10 +194,10 @@ TEST(XPGraph, DeleteSurvivesFlushAndCompact)
 {
     const vid_t nv = 16;
     XPGraph graph(testConfig(nv, 1000));
-    graph.addEdge(1, 2);
+    graph.session(0)->addEdge(1, 2);
     graph.bufferAllEdges();
     graph.flushAllVbufs(); // edge (1,2) now in PMEM
-    graph.delEdge(1, 2);
+    graph.session(0)->delEdge(1, 2);
     graph.bufferAllEdges();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsOut(1, nebrs), 0u);
@@ -215,8 +215,8 @@ TEST(XPGraph, LoggedEdgesVisibleBeforeBuffering)
     XPGraphConfig c = testConfig(nv, 100);
     c.bufferingThresholdEdges = 1 << 10; // never triggers here
     XPGraph graph(c);
-    graph.addEdge(3, 4);
-    graph.addEdge(3, 5);
+    graph.session(0)->addEdge(3, 4);
+    graph.session(0)->addEdge(3, 5);
 
     std::vector<Edge> logged;
     EXPECT_EQ(graph.getLoggedEdges(logged), 2u);
@@ -251,19 +251,19 @@ TEST(XPGraph, VisitorAgreesAcrossStorageLayers)
     XPGraph graph(c);
 
     auto first = generateUniform(nv, 3000, 41);
-    graph.addEdges(first.data(), first.size());
+    graph.session(0)->addEdges(first.data(), first.size());
     graph.bufferAllEdges();
     graph.flushAllVbufs(); // first batch now in PMEM chains
 
     // Delete a slice of the flushed edges (tombstones against PMEM).
     for (uint64_t i = 0; i < first.size(); i += 17)
-        graph.delEdge(first[i].src, first[i].dst);
+        graph.session(0)->delEdge(first[i].src, first[i].dst);
 
     // Second batch stays in DRAM buffers, with some same-batch deletes.
     auto second = generateUniform(nv, 2000, 42);
-    graph.addEdges(second.data(), second.size());
+    graph.session(0)->addEdges(second.data(), second.size());
     for (uint64_t i = 0; i < second.size(); i += 13)
-        graph.delEdge(second[i].src, second[i].dst);
+        graph.session(0)->delEdge(second[i].src, second[i].dst);
     graph.bufferAllEdges();
 
     std::vector<vid_t> nebrs;
@@ -293,13 +293,13 @@ TEST(XPGraph, DegreeCacheTracksDeletesThroughCompaction)
 {
     const vid_t nv = 16;
     XPGraph graph(testConfig(nv, 1000));
-    graph.addEdge(1, 2);
-    graph.addEdge(1, 3);
-    graph.addEdge(1, 2); // duplicate
+    graph.session(0)->addEdge(1, 2);
+    graph.session(0)->addEdge(1, 3);
+    graph.session(0)->addEdge(1, 2); // duplicate
     graph.bufferAllEdges();
     EXPECT_EQ(graph.degreeOut(1), 3u);
 
-    graph.delEdge(1, 2); // cancels one copy
+    graph.session(0)->delEdge(1, 2); // cancels one copy
     graph.bufferAllEdges();
     EXPECT_EQ(graph.degreeOut(1), 2u);
     EXPECT_EQ(graph.degreeIn(2), 1u);
@@ -314,7 +314,7 @@ TEST(XPGraph, DegreeCacheTracksDeletesThroughCompaction)
 
     // After compaction the tombstones are gone; deleting again removes
     // the surviving copy and the cache must follow.
-    graph.delEdge(1, 2);
+    graph.session(0)->delEdge(1, 2);
     graph.bufferAllEdges();
     EXPECT_EQ(graph.degreeOut(1), 1u);
     EXPECT_EQ(graph.degreeIn(2), 0u);
@@ -327,9 +327,9 @@ TEST(XPGraph, LogIndexFollowsTheBufferingWindow)
     c.bufferingThresholdEdges = 1 << 10; // manual buffering only
     XPGraph graph(c);
 
-    graph.addEdge(3, 4);
-    graph.addEdge(3, 5);
-    graph.addEdge(7, 4);
+    graph.session(0)->addEdge(3, 4);
+    graph.session(0)->addEdge(3, 5);
+    graph.session(0)->addEdge(7, 4);
 
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 2u);
@@ -350,8 +350,8 @@ TEST(XPGraph, LogIndexFollowsTheBufferingWindow)
     nebrs.clear();
     EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 0u);
 
-    graph.addEdge(3, 9);
-    graph.addEdge(8, 9);
+    graph.session(0)->addEdge(3, 9);
+    graph.session(0)->addEdge(8, 9);
     nebrs.clear();
     EXPECT_EQ(graph.getNebrsLogOut(3, nebrs), 1u);
     EXPECT_EQ(nebrs[0], 9u);
@@ -370,7 +370,7 @@ TEST(XPGraph, FlushMovesBufferedToPmem)
 {
     const vid_t nv = 16;
     XPGraph graph(testConfig(nv, 100));
-    graph.addEdge(1, 2);
+    graph.session(0)->addEdge(1, 2);
     graph.bufferAllEdges();
     std::vector<vid_t> nebrs;
     EXPECT_EQ(graph.getNebrsBufOut(1, nebrs), 1u);
@@ -396,7 +396,7 @@ TEST(XPGraph, CompactMergesChains)
     std::vector<Edge> edges;
     for (vid_t i = 0; i < 5000; ++i)
         edges.push_back(Edge{0, static_cast<vid_t>(1 + (i % 7))});
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
     graph.flushAllVbufs();
 
@@ -415,7 +415,7 @@ TEST(XPGraph, StatsCountEdges)
     const vid_t nv = 64;
     auto edges = generateUniform(nv, 5000, 9);
     XPGraph graph(testConfig(nv, edges.size()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
     const IngestStats s = graph.stats();
     EXPECT_EQ(s.edgesLogged, 5000u);
@@ -431,7 +431,7 @@ TEST(XPGraph, MemoryUsageBreakdownIsPopulated)
     const vid_t nv = 256;
     auto edges = generateUniform(nv, 20000, 5);
     XPGraph graph(testConfig(nv, edges.size()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.bufferAllEdges();
     graph.flushAllVbufs();
     const MemoryUsage mu = graph.memoryUsage();
@@ -446,7 +446,7 @@ TEST(XPGraph, PmemCountersShowWrites)
     const vid_t nv = 256;
     auto edges = generateUniform(nv, 20000, 5);
     XPGraph graph(testConfig(nv, edges.size()));
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     graph.flushAllVbufs();
     const PcmCounters c = graph.pmemCounters();
     EXPECT_GE(c.appBytesWritten, 20000u * sizeof(Edge));
@@ -462,7 +462,7 @@ TEST(XPGraph, LogWrapsUnderSmallCapacity)
     c.bufferingThresholdEdges = 1 << 8;
     auto edges = generateUniform(nv, 50000, 13);
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     expectMatchesCsr(graph, nv, edges);
     EXPECT_GT(graph.stats().flushAllPhases, 1u);
 }
@@ -475,7 +475,7 @@ TEST(XPGraph, PoolLimitTriggersFlushAll)
     c.poolLimitBytes = 1 << 18; // tiny pool: must flush to recycle
     auto edges = generateUniform(nv, 100000, 17);
     XPGraph graph(c);
-    graph.addEdges(edges.data(), edges.size());
+    graph.session(0)->addEdges(edges.data(), edges.size());
     EXPECT_GT(graph.stats().flushAllPhases, 0u);
     expectMatchesCsr(graph, nv, edges);
     EXPECT_LE(graph.pool().bytesReserved(), (1u << 18));

@@ -295,14 +295,14 @@ cmdIngest(const Args &args)
 
     if (system.rfind("graphone", 0) == 0) {
         GraphOne graph(graphoneConfigFor(system, nv, edges.size(), args));
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.archiveAll();
         printIngestReport(graph.stats(), graph.pmemCounters(),
                           graph.memoryUsage());
         writeTelemetry(args, &graph);
     } else {
         XPGraph graph(xpgraphConfigFor(system, nv, edges.size(), args));
-        graph.addEdges(edges.data(), edges.size());
+        graph.session(0)->addEdges(edges.data(), edges.size());
         graph.bufferAllEdges();
         graph.flushAllVbufs();
         if (!args.get("backing").empty())
@@ -329,14 +329,14 @@ cmdQuery(const Args &args)
     if (system.rfind("graphone", 0) == 0) {
         auto g = std::make_unique<GraphOne>(
             graphoneConfigFor(system, nv, edges.size(), args));
-        g->addEdges(edges.data(), edges.size());
+        g->session(0)->addEdges(edges.data(), edges.size());
         g->archiveAll();
         store = g.get();
         view = std::move(g);
     } else {
         auto g = std::make_unique<XPGraph>(
             xpgraphConfigFor(system, nv, edges.size(), args));
-        g->addEdges(edges.data(), edges.size());
+        g->session(0)->addEdges(edges.data(), edges.size());
         g->bufferAllEdges();
         store = g.get();
         view = std::move(g);
@@ -453,7 +453,7 @@ cmdProfile(const Args &args)
         store = std::make_unique<XPGraph>(
             xpgraphConfigFor(system, nv, edges.size(), args));
     }
-    store->addEdges(edges.data(), edges.size());
+    store->session(0)->addEdges(edges.data(), edges.size());
     store->archiveAll();
     if (queries > 0) {
         // Materializing one-hops (the visitor engine would answer from
@@ -651,7 +651,7 @@ cmdPipeline(const Args &args)
         auto extra = generateUniform(ds.numVertices,
                                      std::max<uint64_t>(total / 64, 1024),
                                      /*seed=*/total);
-        graph.addEdges(extra.data(), extra.size());
+        graph.session(0)->addEdges(extra.data(), extra.size());
         graph.bufferAllEdges();
         graph.syncBackings();
         // destructor == power failure
