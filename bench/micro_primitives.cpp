@@ -17,6 +17,7 @@
 #include "core/adjacency_codec.hpp"
 #include "core/xpgraph.hpp"
 #include "graph/generators.hpp"
+#include "graph/tombstones.hpp"
 #include "mempool/vertex_buffer_pool.hpp"
 #include "pmem/dram_device.hpp"
 #include "pmem/pmem_device.hpp"
@@ -218,6 +219,39 @@ BM_LogWindowQuery(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LogWindowQuery);
+
+void
+BM_TombstoneFold(benchmark::State &state)
+{
+    // Tombstone cancellation over a hub's raw records; Arg = distinct
+    // delete targets. 8 stays on the linear stack probe, 64 fills the
+    // stack set (sorted binary-search path), 1024 spills to the heap —
+    // the regime where the old per-record linear probing was
+    // O(records x targets).
+    const uint32_t targets = static_cast<uint32_t>(state.range(0));
+    const uint32_t inserts = 8 * targets;
+    Rng rng(42);
+    std::vector<vid_t> raw;
+    raw.reserve(inserts + 2 * targets);
+    for (uint32_t i = 0; i < inserts; ++i)
+        raw.push_back(rng.nextBounded(2 * targets));
+    // Two delete records per target: cancels roughly a quarter of the
+    // inserts, tracked ids cover half the id space.
+    for (uint32_t t = 0; t < targets; ++t) {
+        raw.push_back(asDelete(t));
+        raw.push_back(asDelete(t));
+    }
+    uint64_t live = 0;
+    for (auto _ : state) {
+        uint64_t n = 0;
+        live = cancelTombstonesVisit(
+            raw, [&](vid_t v) { benchmark::DoNotOptimize(v); ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * raw.size());
+    state.counters["live"] = static_cast<double>(live);
+}
+BENCHMARK(BM_TombstoneFold)->Arg(8)->Arg(64)->Arg(1024);
 
 /** A sorted hub neighbor run shaped like an archived flush (clustered
  *  rmat destinations), for the codec benches below. */

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstring>
 
+#include "graph/tombstones.hpp"
 #include "pmem/xpline.hpp"
 #include "telemetry/attribution.hpp"
 #include "util/checksum.hpp"
@@ -131,9 +132,10 @@ AdjacencyStore::newBlockCapacity(uint32_t pending, uint32_t stored) const
 
 uint64_t
 AdjacencyStore::writeBlock(const vid_t *nebrs, uint32_t n,
-                           uint32_t capacity)
+                           uint32_t capacity,
+                           telemetry::AccessCategory cat)
 {
-    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
+    XPG_ATTR_SCOPE_DYN(attrScope, cat);
     const uint64_t bytes = blockBytes(capacity);
     const uint64_t align = bytes >= kXPLineSize ? kXPLineSize : 64;
     const uint64_t off = alloc_->alloc(bytes, align);
@@ -172,7 +174,8 @@ AdjacencyStore::shouldCompress(const vid_t *nebrs, uint32_t n,
 
 uint64_t
 AdjacencyStore::writeCompressedBlock(const vid_t *nebrs, uint32_t n,
-                                     uint32_t &payload_bytes)
+                                     uint32_t &payload_bytes,
+                                     telemetry::AccessCategory cat)
 {
     // Sort a copy (the caller's run is a vertex-buffer payload or the
     // compaction survivor list; neither may be reordered in place) and
@@ -206,11 +209,12 @@ AdjacencyStore::writeCompressedBlock(const vid_t *nebrs, uint32_t n,
     hdr->commit[1] = 0;
     std::memcpy(t_blockScratch.data() + sizeof(BlockHeader),
                 t_encodeScratch.data(), payload_bytes);
-    // The block write stays AdjacencyArchive-attributed (it replaces
+    // The block write stays caller-attributed (AdjacencyArchive for
+    // appends, Compaction for the background compactor): it replaces
     // the raw-block write one-for-one, keeping the row comparable
-    // across formats); AdjacencyCodec owns the decode-side reads.
+    // across formats; AdjacencyCodec owns the decode-side reads.
     {
-        XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
+        XPG_ATTR_SCOPE_DYN(attrScope, cat);
         dev_->write(off, t_blockScratch.data(), init_bytes);
         if (proactiveFlush_ && init_bytes >= kXPLineSize)
             dev_->persist(off, init_bytes);
@@ -374,30 +378,41 @@ AdjacencyStore::contains(const VertexChain &chain, vid_t nebr) const
     return false;
 }
 
-void
-AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
+CompactResult
+AdjacencyStore::compact(uint64_t slot, VertexChain &chain,
+                        const CompactHooks *hooks,
+                        telemetry::AccessCategory cat)
 {
+    CompactResult res;
     if (chain.empty())
-        return;
-    XPG_ATTR_SCOPE(attrScope, AdjacencyArchive);
+        return res;
+    XPG_ATTR_SCOPE_DYN(attrScope, cat);
+
+    // Footprint of the chain being replaced: logically reclaimed once
+    // the head swings (the bump allocator never reuses the space, which
+    // is what keeps captured views readable across this rewrite).
+    {
+        uint64_t off = chain.head;
+        while (off != kNullOffset) {
+            const auto hdr = dev_->readPod<BlockHeader>(off);
+            ++res.blocksAbandoned;
+            res.bytesAbandoned += footprintOf(hdr);
+            off = hdr.next;
+        }
+    }
+
     std::vector<vid_t> raw;
     readRaw(chain, raw);
+    res.recordsBefore = static_cast<uint32_t>(raw.size());
 
     // Apply tombstones: each delete record cancels one earlier insert.
     std::vector<vid_t> live;
     live.reserve(raw.size());
-    for (vid_t v : raw) {
-        if (isDelete(v)) {
-            const vid_t target = rawVid(v);
-            auto it = std::find(live.begin(), live.end(), target);
-            if (it != live.end())
-                live.erase(it);
-        } else {
-            live.push_back(v);
-        }
-    }
+    cancelTombstones(raw, live);
 
     const uint32_t n = static_cast<uint32_t>(live.size());
+    res.recordsAfter = n;
+    const uint64_t old_head = chain.head;
     uint64_t off;
     uint64_t durable_bytes;
     uint32_t tail_capacity;
@@ -407,14 +422,14 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
     // scans over compacted hubs.
     if (policy_.enabled && n >= 2 && n >= policy_.minDegree) {
         uint32_t payload_bytes = 0;
-        off = writeCompressedBlock(live.data(), n, payload_bytes);
+        off = writeCompressedBlock(live.data(), n, payload_bytes, cat);
         durable_bytes = sizeof(BlockHeader) + payload_bytes;
         tail_capacity = n; // sealed
         tail_sum = adjcodec::payloadChecksum(t_encodeScratch.data(),
                                              payload_bytes);
     } else {
         const uint32_t capacity = newBlockCapacity(n ? n : 1, 0);
-        off = writeBlock(live.data(), n, capacity);
+        off = writeBlock(live.data(), n, capacity, cat);
         durable_bytes = sizeof(BlockHeader) + uint64_t{n} * sizeof(vid_t);
         tail_capacity = capacity;
         tail_sum = sumRecords(live.data(), 0, n, 0);
@@ -425,6 +440,11 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
     // can point at it — otherwise a crash between the two writes loses
     // the old (still durable) chain and the new one together.
     dev_->persist(off, durable_bytes);
+    // The journal arms here: new chain durable, old chain still
+    // authoritative. A crash between preCommit and postCommit is the
+    // torn window recovery resolves from the journal entry.
+    if (hooks && hooks->preCommit)
+        hooks->preCommit(slot, old_head, off);
     chain.head = off;
     chain.tail = off;
     chain.tailCount = n;
@@ -434,6 +454,34 @@ AdjacencyStore::compact(uint64_t slot, VertexChain &chain)
     chain.records = n;
     persistIndex(slot, chain);
     dev_->persist(indexEntryOff(slot), sizeof(IndexEntry));
+    if (hooks && hooks->postCommit)
+        hooks->postCommit(slot);
+    return res;
+}
+
+uint64_t
+AdjacencyStore::indexHead(uint64_t slot) const
+{
+    return dev_->readPod<IndexEntry>(indexEntryOff(slot)).head;
+}
+
+uint64_t
+AdjacencyStore::countChainBlocks(uint64_t head) const
+{
+    uint64_t n = 0;
+    uint64_t off = head;
+    // The hop bound caps a (never observed) next-link cycle in a
+    // corrupted chain; any real chain is orders of magnitude shorter.
+    while (off != kNullOffset && n < (1u << 20)) {
+        if (off + sizeof(BlockHeader) > dev_->capacity())
+            break;
+        const auto hdr = dev_->readPod<BlockHeader>(off);
+        if (hdr.magic != kBlockMagic && hdr.magic != kCompressedMagic)
+            break;
+        ++n;
+        off = hdr.next;
+    }
+    return n;
 }
 
 VertexChain

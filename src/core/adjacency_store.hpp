@@ -26,6 +26,7 @@
 #define XPG_CORE_ADJACENCY_STORE_HPP
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "core/adjacency_codec.hpp"
@@ -33,6 +34,7 @@
 #include "graph/types.hpp"
 #include "pmem/memory_device.hpp"
 #include "pmem/pmem_allocator.hpp"
+#include "telemetry/attribution.hpp"
 
 namespace xpg {
 
@@ -74,6 +76,33 @@ struct CompressionPolicy
 {
     bool enabled = false;     ///< default off: byte-exact legacy behavior
     uint32_t minDegree = 128; ///< stored+pending records gating compression
+};
+
+/**
+ * Callbacks bracketing compact()'s commit point — the engine's
+ * crash-safety journal plants itself here (DESIGN.md §13):
+ *  - preCommit fires once the replacement block is *fully durable* but
+ *    before the index head swings away from the old chain;
+ *  - postCommit fires once the swung index entry is durable.
+ * A crash before preCommit leaves the old chain authoritative (the new
+ * block is a leak); a crash between the two leaves a journal entry that
+ * recovery resolves to whichever head the index already holds.
+ */
+struct CompactHooks
+{
+    std::function<void(uint64_t slot, uint64_t old_head,
+                       uint64_t new_head)>
+        preCommit;
+    std::function<void(uint64_t slot)> postCommit;
+};
+
+/** What one chain compaction did (compaction stats + bench rows). */
+struct CompactResult
+{
+    uint32_t recordsBefore = 0;  ///< records on the replaced chain
+    uint32_t recordsAfter = 0;   ///< survivors on the new chain
+    uint32_t blocksAbandoned = 0; ///< old blocks made unreachable
+    uint64_t bytesAbandoned = 0; ///< their device footprint
 };
 
 /**
@@ -312,10 +341,19 @@ class AdjacencyStore
     /**
      * Rewrite @p slot's chain as a single block with tombstones applied
      * (Table I compact_adjs). Old blocks are abandoned to the
-     * log-structured allocator. The output run is insert-only, so an
-     * eligible vertex compacts into one compressed chunk.
+     * log-structured allocator (never reused, so captured views keep
+     * reading them). The output run is insert-only, so an eligible
+     * vertex compacts into one compressed chunk. Copy-on-write order:
+     * new block written + persisted, then (@p hooks->preCommit) the
+     * index head swings and is persisted (@p hooks->postCommit) — a
+     * crash at any media write leaves the old or the new chain fully
+     * intact. @p cat is the attribution category the rewrite traffic is
+     * blamed on (Compaction for the background compactor).
      */
-    void compact(uint64_t slot, VertexChain &chain);
+    CompactResult compact(uint64_t slot, VertexChain &chain,
+                          const CompactHooks *hooks = nullptr,
+                          telemetry::AccessCategory cat =
+                              telemetry::AccessCategory::AdjacencyArchive);
 
     /** Rebuild the DRAM chain mirror of @p slot from the device
      *  (trusting it — use loadChainValidated() after a crash). */
@@ -332,6 +370,17 @@ class AdjacencyStore
      */
     VertexChain loadChainValidated(uint64_t slot, ChainScan &scan);
 
+    /** The persistent index head of @p slot as currently on the device
+     *  (not the DRAM mirror) — what recovery compares a compaction
+     *  journal entry's newHead against to classify the torn side. */
+    uint64_t indexHead(uint64_t slot) const;
+
+    /** Blocks reachable from @p head via next links, stopping at the
+     *  first header failing the cheap shape checks (magic, in-device
+     *  bounds). Sizes a reclaimed chain during recovery; bounded, and
+     *  safe on garbage. */
+    uint64_t countChainBlocks(uint64_t head) const;
+
   private:
     uint64_t indexEntryOff(uint64_t slot) const;
     void persistIndex(uint64_t slot, const VertexChain &chain);
@@ -346,8 +395,11 @@ class AdjacencyStore
     /** Record capacity for a new block given pending and stored counts. */
     uint32_t newBlockCapacity(uint32_t pending, uint32_t stored) const;
 
-    /** Allocate and write a fresh raw block holding @p n records. */
-    uint64_t writeBlock(const vid_t *nebrs, uint32_t n, uint32_t capacity);
+    /** Allocate and write a fresh raw block holding @p n records;
+     *  @p cat is the category the write traffic is blamed on. */
+    uint64_t writeBlock(const vid_t *nebrs, uint32_t n, uint32_t capacity,
+                        telemetry::AccessCategory cat =
+                            telemetry::AccessCategory::AdjacencyArchive);
 
     /** Whether @p policy_ compresses this run when chaining a new block:
      *  enabled, degree reached, and no delete records in the run. */
@@ -358,7 +410,10 @@ class AdjacencyStore
      *  (sorted copy, delta+varint encode, checksummed commit).
      *  @return the block offset. */
     uint64_t writeCompressedBlock(const vid_t *nebrs, uint32_t n,
-                                  uint32_t &payload_bytes);
+                                  uint32_t &payload_bytes,
+                                  telemetry::AccessCategory cat =
+                                      telemetry::AccessCategory::
+                                          AdjacencyArchive);
 
     /** Link a fresh block at @p off into @p chain (shared by the raw
      *  and compressed paths); persists the index for a first block. */

@@ -110,6 +110,14 @@ XPGraphConfig::validate(bool for_recovery) const
         bad("compressMinDegree must be >= 2: a compressed chunk needs "
             "at least a first vid and one gap to beat the raw format");
 
+    if (!(compactTombstoneRatio > 0.0) || compactTombstoneRatio > 1.0)
+        bad("compactTombstoneRatio must be in (0, 1]: it is the "
+            "tombstone fraction that makes a chain a compaction "
+            "candidate");
+    if (compactMinRecords < 1)
+        bad("compactMinRecords must be >= 1: a zero floor would make "
+            "every touched vertex a compaction candidate");
+
     if (for_recovery && backingDir.empty())
         bad("recovery requires file-backed devices: set backingDir to "
             "the directory holding the xpgraph_node*.pmem images");

@@ -108,6 +108,24 @@ struct XPGraphConfig
      *  block is written compressed; below it vertices stay raw. */
     uint32_t compressMinDegree = 128;
 
+    // --- background compaction (DESIGN.md §13) ---
+    /**
+     * Run the crash-safe background compactor: a dedicated thread
+     * (pipelined-archiver discipline) rewrites tombstone-heavy chains
+     * into fresh chunks via copy-on-write. A tuning knob, not geometry:
+     * the journal region is always laid out, so it may be toggled
+     * across restarts. Delete-free chains are never touched, so query
+     * results are byte-identical with the compactor on or off on an
+     * insert-only workload.
+     */
+    bool backgroundCompaction = false;
+    /** Tombstone fraction (tombstones / records) from which a chain is
+     *  a compaction candidate. */
+    double compactTombstoneRatio = 0.25;
+    /** Minimum records a chain must hold before the compactor bothers
+     *  rewriting it (tiny chains cost more to rewrite than they waste). */
+    uint32_t compactMinRecords = 64;
+
     /**
      * Check every range/consistency constraint and return the problems
      * as actionable messages (empty = valid). @p for_recovery adds the

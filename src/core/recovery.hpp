@@ -27,6 +27,8 @@ enum class RecoveryStatus
     ConfigMismatch,    ///< config fingerprint/geometry differs
     AllocatorCorrupt,  ///< persisted bump tail out of region
     LogCorrupt,        ///< no valid edge-log header copy
+    CompactionTorn,    ///< crash mid-compaction; journal repaired it
+                       ///  (a *success* status: ok() stays true)
 };
 
 const char *recoveryStatusName(RecoveryStatus status);
@@ -54,16 +56,31 @@ struct RecoveryReport
     uint64_t bytesLeaked = 0; ///< allocated-but-unreachable bytes (bump
                               ///  tail space abandoned by the crash)
 
+    // --- compaction journal (DESIGN.md §13) ---
+    /** Journal entries found armed: compactions the crash interrupted.
+     *  Each was resolved to whichever chain (old or new) the index
+     *  already points at — never a mix. */
+    uint64_t compactionsInFlight = 0;
+    /** Old-chain chunks a *committed* interrupted compaction had made
+     *  unreachable (their bytes show up in bytesLeaked). */
+    uint64_t chunksReclaimed = 0;
+
     uint64_t recoveryNs = 0; ///< simulated recovery time
 
-    bool ok() const { return status == RecoveryStatus::Ok; }
+    bool
+    ok() const
+    {
+        return status == RecoveryStatus::Ok ||
+               status == RecoveryStatus::CompactionTorn;
+    }
     /** True when any repair (truncation/unlink/reset) was needed. */
     bool
     repaired() const
     {
         return logEdgesTruncated || logEdgesSkipped ||
                logHeaderCopiesRejected || blocksDropped ||
-               recordsTruncated || invalidIndexEntries;
+               recordsTruncated || invalidIndexEntries ||
+               compactionsInFlight;
     }
 };
 

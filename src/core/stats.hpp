@@ -46,6 +46,16 @@ struct IngestStats
     uint64_t flushAllPhases = 0;
     uint64_t sessionsOpened = 0; ///< concurrent sessions ever opened
 
+    // --- background compaction (DESIGN.md §13) ---
+    uint64_t compactionPasses = 0;  ///< candidate scans that ran
+    uint64_t compactionSlots = 0;   ///< chains rewritten by those passes
+    /** Footprint of the old chains those rewrites made unreachable
+     *  (logically reclaimed; the bump allocator never reuses it, so
+     *  open views keep reading the abandoned blocks safely). */
+    uint64_t compactionBytesReclaimed = 0;
+    /** Tombstone + cancelled-insert records dropped by the rewrites. */
+    uint64_t compactionRecordsDropped = 0;
+
     /** Archiving = buffering + flushing (paper terminology, S V-B). */
     uint64_t archivingNs() const { return bufferingNs + flushingNs; }
 

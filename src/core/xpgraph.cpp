@@ -60,6 +60,87 @@ constexpr uint64_t kSuperblockBytes = 4096;
 /** Device offset of the allocator's persistent tail pointer. */
 constexpr uint64_t kAllocTailOff = 512;
 
+// --- compaction journal (DESIGN.md §13) ---
+//
+// Lives in the spare superblock tail [kCompactionJournalOff,
+// kSuperblockBytes): one 64 B entry per concurrent compaction worker.
+// Protocol per chain rewrite (AdjacencyStore::compact drives 1/3/4 via
+// the CompactHooks, the engine drives 2/5):
+//   1. new chain fully written + persisted
+//   2. arm: entry {side, slot, oldHead, newHead} written + persisted
+//   3. index head swung to newHead
+//   4. index entry persisted
+//   5. clear: entry zeroed + persisted
+// A crash before 2 leaves the old chain authoritative and the new
+// blocks as leaked space (recovery's bytesLeaked accounting absorbs
+// them). A crash between 2 and 5 is resolved by comparing the persisted
+// index head with newHead: equal means the swing committed and the OLD
+// chain is the reclaimed garbage; different means the swing never
+// landed and the NEW chain is. A torn entry write fails the checksum
+// and is ignored — ordering (2 before 3) guarantees the swing cannot
+// have happened yet. Fresh devices are zero-filled, and magic 0 never
+// validates, so an empty journal needs no initialization.
+constexpr uint64_t kCompactionJournalOff = 1024;
+constexpr unsigned kCompactionJournalSlots = 48;
+constexpr uint64_t kCompactionJournalMagic =
+    0x314e524a43475058ull; // "XPGCJRN1"
+
+struct CompactionJournalEntry
+{
+    uint64_t magic = 0;
+    uint64_t side = 0; ///< 0 = out, 1 = in
+    uint64_t slot = 0; ///< store-local vertex slot
+    uint64_t oldHead = 0;
+    uint64_t newHead = 0;
+    uint64_t reserved[2] = {0, 0};
+    uint64_t checksum = 0; ///< FNV-1a over all preceding fields
+
+    uint64_t
+    computeChecksum() const
+    {
+        return fnv1a64(this, offsetof(CompactionJournalEntry, checksum));
+    }
+};
+static_assert(sizeof(CompactionJournalEntry) == 64,
+              "journal entries are fixed 64 B records");
+static_assert(kCompactionJournalOff > kAllocTailOff &&
+                  kCompactionJournalOff +
+                          kCompactionJournalSlots *
+                              sizeof(CompactionJournalEntry) <=
+                      kSuperblockBytes,
+              "journal must fit in the spare superblock tail");
+
+uint64_t
+compactionJournalOff(unsigned jslot)
+{
+    return kCompactionJournalOff +
+           uint64_t{jslot} * sizeof(CompactionJournalEntry);
+}
+
+void
+armCompactionJournal(MemoryDevice &dev, unsigned jslot, uint64_t side,
+                     uint64_t slot, uint64_t old_head, uint64_t new_head)
+{
+    CompactionJournalEntry e;
+    e.magic = kCompactionJournalMagic;
+    e.side = side;
+    e.slot = slot;
+    e.oldHead = old_head;
+    e.newHead = new_head;
+    e.checksum = e.computeChecksum();
+    dev.writePod<CompactionJournalEntry>(compactionJournalOff(jslot), e);
+    dev.persist(compactionJournalOff(jslot), sizeof(e));
+}
+
+void
+clearCompactionJournal(MemoryDevice &dev, unsigned jslot)
+{
+    const CompactionJournalEntry zero{};
+    dev.writePod<CompactionJournalEntry>(compactionJournalOff(jslot),
+                                         zero);
+    dev.persist(compactionJournalOff(jslot), sizeof(zero));
+}
+
 thread_local std::vector<vid_t> t_rawRecords;
 /** Per-thread scratch for a view's frozen log-window records. */
 thread_local std::vector<vid_t> t_viewWindow;
@@ -96,6 +177,8 @@ recoveryStatusName(RecoveryStatus status)
         return "AllocatorCorrupt";
       case RecoveryStatus::LogCorrupt:
         return "LogCorrupt";
+      case RecoveryStatus::CompactionTorn:
+        return "CompactionTorn";
     }
     return "Unknown";
 }
@@ -224,6 +307,8 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering,
 
     if (config_.pipelinedArchiving)
         startArchiver();
+    if (config_.backgroundCompaction)
+        startCompactor();
 }
 
 void
@@ -288,6 +373,7 @@ XPGraph::~XPGraph()
                "destroying XPGraph with open ingestion sessions");
     XPG_ASSERT(viewBoundaries_.empty(),
                "destroying XPGraph with open read views");
+    stopCompactor();
     stopArchiver();
 }
 
@@ -534,8 +620,57 @@ XPGraph::bumpSuperblockGenerations()
 }
 
 void
+XPGraph::scanCompactionJournals(RecoveryReport *report)
+{
+    XPG_ATTR_SCOPE(attrScope, RecoveryReplay);
+    uint64_t in_flight = 0;
+    for (auto &part : parts_) {
+        for (unsigned j = 0; j < kCompactionJournalSlots; ++j) {
+            const auto e = part.dev->readPod<CompactionJournalEntry>(
+                compactionJournalOff(j));
+            if (e.magic == 0)
+                continue;
+            if (e.magic != kCompactionJournalMagic ||
+                e.checksum != e.computeChecksum()) {
+                // Torn arm write. The index swing is ordered after the
+                // entry persist, so it cannot have happened: the old
+                // chain is untouched and authoritative. Scrub the
+                // garbage so it can't confuse a later recovery.
+                clearCompactionJournal(*part.dev, j);
+                continue;
+            }
+            ++in_flight;
+            Side *side = e.side == 0 ? part.out.get() : part.in.get();
+            if (report && side && e.slot < side->states.size()) {
+                // Committed iff the persisted index head reached the
+                // new chain; the old chain is then unreachable garbage
+                // (counted, never reused). Otherwise the swing never
+                // landed: the old chain is still live and the new
+                // blocks are leaked space, which the bytesLeaked
+                // accounting below absorbs.
+                if (side->store->indexHead(e.slot) == e.newHead)
+                    report->chunksReclaimed +=
+                        side->store->countChainBlocks(e.oldHead);
+            }
+            clearCompactionJournal(*part.dev, j);
+        }
+    }
+    if (report) {
+        report->compactionsInFlight += in_flight;
+        if (in_flight > 0 && report->status == RecoveryStatus::Ok)
+            report->status = RecoveryStatus::CompactionTorn;
+    }
+}
+
+void
 XPGraph::rebuildFromDevices(RecoveryReport *report)
 {
+    // Phase 0 (serial, cheap): resolve any compaction caught mid-commit
+    // by the crash. Either side of the torn window is fully intact on
+    // media (COW discipline); the journal says which one the index
+    // reached, and the entry is scrubbed once accounted.
+    scanCompactionJournals(report);
+
     // Phase 1 (parallel): rebuild the DRAM chain mirrors from the
     // persistent vertex index, validating every block (magic, bounds,
     // commit words, record checksum) and truncating each chain at the
@@ -971,6 +1106,140 @@ XPGraph::archiverLoop()
     spaceCv_.notify_all();
 }
 
+// --- background compactor (DESIGN.md §13) ---------------------------------
+
+void
+XPGraph::startCompactor()
+{
+    compactorThread_ = std::thread([this] { compactorLoop(); });
+}
+
+void
+XPGraph::stopCompactor()
+{
+    if (!compactorThread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(archiveMutex_);
+        compactorStop_ = true;
+    }
+    compactCv_.notify_all();
+    compactorThread_.join();
+}
+
+void
+XPGraph::kickCompactorLocked()
+{
+    if (!compactorThread_.joinable())
+        return;
+    compactRequested_.store(true, std::memory_order_relaxed);
+    compactCv_.notify_one();
+}
+
+void
+XPGraph::compactorLoop()
+{
+    XPG_TEL_NAME_THREAD("compactor");
+    std::unique_lock<std::mutex> lock(archiveMutex_);
+    while (!compactorStop_) {
+        compactCv_.wait(lock, [&] {
+            return compactorStop_ ||
+                   compactRequested_.load(std::memory_order_relaxed);
+        });
+        if (compactorStop_)
+            break;
+        compactRequested_.store(false, std::memory_order_relaxed);
+        XPG_TRACE_SCOPE(passSpan, "compaction_pass", "compact");
+        compactCandidatesLocked();
+    }
+}
+
+uint64_t
+XPGraph::runCompactionPass()
+{
+    std::lock_guard<std::mutex> lock(archiveMutex_);
+    return compactCandidatesLocked();
+}
+
+uint64_t
+XPGraph::compactCandidatesLocked()
+{
+    XPG_ATTR_SCOPE(attrScope, Compaction);
+    const double ratio = config_.compactTombstoneRatio;
+    const uint32_t min_records = config_.compactMinRecords;
+    uint64_t rewritten = 0;
+    // The phase (epoch bump, view-capture invalidation) opens lazily so
+    // an empty scan — the common steady state — never churns the epoch
+    // cache that open views share.
+    bool entered = false;
+    for (auto &part : parts_) {
+        for (int dir = 0; dir < 2; ++dir) {
+            const bool is_out = dir == 0;
+            Side *side = is_out ? part.out.get() : part.in.get();
+            if (!side)
+                continue;
+            for (uint64_t slot = 0; slot < side->states.size(); ++slot) {
+                VertexState &st = side->states[slot];
+                // Candidate = enough records to be worth a rewrite AND
+                // a tombstone share past the threshold. Delete-free
+                // chains never qualify, so a workload without deletes
+                // is byte-identical with the compactor on or off.
+                if (st.tombstones == 0 || st.records < min_records)
+                    continue;
+                if (static_cast<double>(st.tombstones) <
+                    ratio * static_cast<double>(st.records))
+                    continue;
+                if (!entered) {
+                    phaseEnterLocked();
+                    entered = true;
+                }
+                compactSlotJournaled(part, *side, is_out, slot, st,
+                                     /*jslot=*/0);
+                ++rewritten;
+            }
+        }
+    }
+    if (entered)
+        phaseExitLocked();
+    compactionPasses_.fetch_add(1, std::memory_order_relaxed);
+    return rewritten;
+}
+
+void
+XPGraph::compactSlotJournaled(Partition &part, Side &side, bool is_out,
+                              uint64_t slot, VertexState &st,
+                              unsigned jslot)
+{
+    if (st.buf && vbuf::header(st.buf)->cnt > 0)
+        flushVertex(side, slot, st);
+    if (!st.chain.empty()) {
+        MemoryDevice &dev = *part.dev;
+        CompactHooks hooks;
+        hooks.preCommit = [&dev, is_out, jslot](uint64_t s,
+                                                uint64_t old_head,
+                                                uint64_t new_head) {
+            armCompactionJournal(dev, jslot, is_out ? 0 : 1, s, old_head,
+                                 new_head);
+        };
+        hooks.postCommit = [&dev, jslot](uint64_t) {
+            clearCompactionJournal(dev, jslot);
+        };
+        const CompactResult r = side.store->compact(
+            slot, st.chain, &hooks,
+            telemetry::AccessCategory::Compaction);
+        compactionSlots_.fetch_add(1, std::memory_order_relaxed);
+        compactionBytesReclaimed_.fetch_add(r.bytesAbandoned,
+                                            std::memory_order_relaxed);
+        if (r.recordsBefore > r.recordsAfter)
+            compactionRecordsDropped_.fetch_add(
+                r.recordsBefore - r.recordsAfter,
+                std::memory_order_relaxed);
+    }
+    // Every tombstone was applied; the buffer drained into the chain.
+    st.records = st.chain.records;
+    st.tombstones = 0;
+}
+
 // --- buffering phase -----------------------------------------------------
 
 void
@@ -1183,6 +1452,11 @@ XPGraph::runBufferingPhaseLocked(bool capped)
     if (log_pressure || pool_pressure)
         runFlushAllLocked(/*release_buffers=*/pool_pressure);
     phaseExitLocked();
+    // Deletes that just buffered may have pushed chains over the
+    // tombstone threshold; every archive path (inline, sync point,
+    // background archiver) funnels through here, so this is the one
+    // wake-up site the compactor needs.
+    kickCompactorLocked();
 }
 
 // --- flushing ------------------------------------------------------------
@@ -1969,6 +2243,7 @@ void
 XPGraph::compactAdjs(vid_t v)
 {
     std::lock_guard<std::mutex> lock(archiveMutex_);
+    XPG_ATTR_SCOPE(attrScope, Compaction);
     // A phase for epoch purposes too: compaction rewrites chains, so the
     // epoch bump invalidates any cached view capture. Open views keep
     // serving the abandoned blocks (the allocator never reuses space).
@@ -1980,14 +2255,8 @@ XPGraph::compactAdjs(vid_t v)
         if (!side)
             continue;
         const uint64_t slot = is_out ? outSlot(v) : inSlot(v);
-        VertexState &st = side->states[slot];
-        if (st.buf && vbuf::header(st.buf)->cnt > 0)
-            flushVertex(*side, slot, st);
-        if (!st.chain.empty())
-            side->store->compact(slot, st.chain);
-        // Compaction applied every tombstone; the buffer is empty.
-        st.records = st.chain.records;
-        st.tombstones = 0;
+        compactSlotJournaled(part, *side, is_out, slot,
+                             side->states[slot], /*jslot=*/0);
     }
     phaseExitLocked();
 }
@@ -1998,14 +2267,21 @@ XPGraph::compactAllAdjs()
     std::lock_guard<std::mutex> lock(archiveMutex_);
     phaseEnterLocked(); // epoch bump: invalidates cached view captures
     declareArchiveConcurrency();
+    // Every worker arms its own compaction-journal entry; the journal
+    // region sizes the concurrency it can witness.
+    XPG_ASSERT(config_.archiveThreads <= kCompactionJournalSlots,
+               "more archive threads than compaction journal slots");
     executor_->run([&](unsigned w) {
+        XPG_ATTR_SCOPE(attrScope, Compaction);
         forWorkerSlots(w, [&](unsigned node, unsigned local,
                               unsigned slots_here) {
             if (config_.bindThreads &&
                 config_.placement != NumaPlacement::None)
                 NumaBinding::bindThread(static_cast<int>(node), false);
             Partition &part = parts_[node];
-            for (Side *side : {part.out.get(), part.in.get()}) {
+            for (int dir = 0; dir < 2; ++dir) {
+                const bool is_out = dir == 0;
+                Side *side = is_out ? part.out.get() : part.in.get();
                 if (!side)
                     continue;
                 const uint64_t slots = side->states.size();
@@ -2015,13 +2291,10 @@ XPGraph::compactAllAdjs()
                     std::min<uint64_t>(slots, local * per);
                 const uint64_t end = std::min<uint64_t>(slots, begin + per);
                 for (uint64_t slot = begin; slot < end; ++slot) {
-                    VertexState &st = side->states[slot];
-                    if (st.buf && vbuf::header(st.buf)->cnt > 0)
-                        flushVertex(*side, slot, st);
-                    if (!st.chain.empty())
-                        side->store->compact(slot, st.chain);
-                    st.records = st.chain.records;
-                    st.tombstones = 0;
+                    compactSlotJournaled(part, *side, is_out, slot,
+                                         side->states[slot],
+                                         /*jslot=*/w %
+                                             kCompactionJournalSlots);
                 }
             }
         });
@@ -2070,6 +2343,13 @@ XPGraph::stats() const
     s.bufferingPhases = bufferingPhases_.load(std::memory_order_relaxed);
     s.flushAllPhases = flushAllPhases_.load(std::memory_order_relaxed);
     s.sessionsOpened = sessionsOpened_.load(std::memory_order_relaxed);
+    s.compactionPasses =
+        compactionPasses_.load(std::memory_order_relaxed);
+    s.compactionSlots = compactionSlots_.load(std::memory_order_relaxed);
+    s.compactionBytesReclaimed =
+        compactionBytesReclaimed_.load(std::memory_order_relaxed);
+    s.compactionRecordsDropped =
+        compactionRecordsDropped_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -2112,6 +2392,12 @@ XPGraph::publishTelemetry() const
     tel.gauge("archive.edges_buffered_total", store).set(s.edgesBuffered);
     tel.gauge("archive.vbuf_flushes", store).set(s.vbufFlushes);
     tel.gauge("ingest.sessions_opened", store).set(s.sessionsOpened);
+    tel.gauge("compact.passes", store).set(s.compactionPasses);
+    tel.gauge("compact.slots", store).set(s.compactionSlots);
+    tel.gauge("compact.bytes_reclaimed", store)
+        .set(s.compactionBytesReclaimed);
+    tel.gauge("compact.records_dropped", store)
+        .set(s.compactionRecordsDropped);
     const CompressionStats cs = compressionStats();
     tel.gauge("compress.chunks", store).set(cs.chunksCompressed);
     tel.gauge("compress.records", store).set(cs.recordsCompressed);

@@ -198,6 +198,16 @@ class XPGraph : public GraphStore
     /** compactAdjs for every vertex. */
     void compactAllAdjs();
 
+    /**
+     * One synchronous compactor pass: rewrite every chain whose
+     * tombstone share crossed the config thresholds
+     * (compactTombstoneRatio / compactMinRecords), exactly as the
+     * background compactor would. Deterministic entry point for tests,
+     * the CLI, and benches; works with backgroundCompaction off.
+     * Delete-free chains are never touched. @return chains rewritten.
+     */
+    uint64_t runCompactionPass();
+
     // --- NUMA / GraphView ---
 
     int nodeOfOut(vid_t v) const override;
@@ -407,6 +417,28 @@ class XPGraph : public GraphStore
     void stopArchiver();
     void archiverLoop();
 
+    // --- background compactor (config.backgroundCompaction; §13) ---
+
+    void startCompactor();
+    void stopCompactor();
+    void compactorLoop();
+    /** Wake the compactor after a phase that may have minted candidates
+     *  (caller holds archiveMutex_); no-op when the thread is off. */
+    void kickCompactorLocked();
+    /** The candidate scan + rewrites behind runCompactionPass() and the
+     *  compactor thread (caller holds archiveMutex_). */
+    uint64_t compactCandidatesLocked();
+    /** Journaled COW rewrite of one slot's chain (caller holds
+     *  archiveMutex_ inside a phase). @p jslot names the per-worker
+     *  compaction-journal entry armed across the commit. */
+    void compactSlotJournaled(Partition &part, Side &side, bool is_out,
+                              uint64_t slot, VertexState &st,
+                              unsigned jslot);
+    /** Resolve armed compaction-journal entries after a crash: count
+     *  them into @p report (CompactionTorn), classify committed vs
+     *  in-flight by the persisted index head, and scrub the entries. */
+    void scanCompactionJournals(RecoveryReport *report);
+
     /**
      * Archive work is organized in "virtual slots": one per archive
      * thread, but never fewer than one per node, so every partition is
@@ -495,6 +527,12 @@ class XPGraph : public GraphStore
     std::atomic<bool> archiveRequested_{false};
     std::atomic<bool> reclaimRequested_{false};
 
+    // background compactor (mirrors the archiver's discipline)
+    std::condition_variable compactCv_; ///< wakes the compactor
+    std::thread compactorThread_;
+    bool compactorStop_ = false; ///< guarded by archiveMutex_
+    std::atomic<bool> compactRequested_{false};
+
     // buffering-phase scratch (guarded by archiveMutex_)
     std::vector<Edge> batch_;
     std::vector<uint64_t> phaseUpTo_; ///< per-node markBuffered target
@@ -520,6 +558,10 @@ class XPGraph : public GraphStore
     std::atomic<uint64_t> vbufFlushes_{0};
     std::atomic<uint64_t> sessionsOpened_{0};
     std::atomic<unsigned> openSessions_{0};
+    std::atomic<uint64_t> compactionPasses_{0};
+    std::atomic<uint64_t> compactionSlots_{0};
+    std::atomic<uint64_t> compactionBytesReclaimed_{0};
+    std::atomic<uint64_t> compactionRecordsDropped_{0};
 
     /**
      * Archive-phase epoch for snapshotStats(): odd while an archive

@@ -25,6 +25,7 @@
 #ifndef XPG_GRAPH_GRAPH_STORE_HPP
 #define XPG_GRAPH_GRAPH_STORE_HPP
 
+#include <algorithm>
 #include <memory>
 
 #include <vector>
@@ -67,6 +68,33 @@ class IngestSession
     {
         const Edge e{src, asDelete(dst)};
         addEdges(&e, 1);
+    }
+
+    /**
+     * Log a batch of edge deletions: each (src, dst) becomes a
+     * delete-flagged record that cancels ONE earlier insert of the same
+     * edge (multi-edges need one delete per copy). The records ride the
+     * same CAS-reserve/ordered-publish log path as inserts, so deletes
+     * and inserts from one session stay ordered. @p edges carries the
+     * edges to delete with *plain* dst vids; the flagging happens here.
+     * @return deletions accepted (always n).
+     */
+    virtual uint64_t
+    delEdges(const Edge *edges, uint64_t n)
+    {
+        // Flag in bounded chunks so arbitrarily large batches never
+        // allocate proportionally.
+        Edge chunk[256];
+        uint64_t done = 0;
+        while (done < n) {
+            const uint64_t take = std::min<uint64_t>(256, n - done);
+            for (uint64_t i = 0; i < take; ++i)
+                chunk[i] = Edge{edges[done + i].src,
+                                asDelete(edges[done + i].dst)};
+            addEdges(chunk, take);
+            done += take;
+        }
+        return n;
     }
 
     /** NUMA node this session's edge log lives on (0 if unsharded). */

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sliding-window retention (DESIGN.md §13): "keep only the last N
+ * hours/ticks of edges", expressed as bulk tombstones driven through
+ * the ordinary ingest path and reclaimed by the compactor.
+ *
+ * Edge records carry no timestamp on the media — adding one would
+ * change the durable format for a policy concern — so the window lives
+ * in DRAM beside the store: the caller stamps edges as it ingests them
+ * (any monotone tick works: seconds, stream position, batch number),
+ * and retainEdgesAfter(cutoff) turns everything older into ordinary
+ * delete records via IngestSession::delEdges. From there the engine
+ * needs nothing new: the tombstones flow through the log, cancel their
+ * inserts in the degree cache and visitors, and the (background or
+ * explicit) compaction pass rewrites the affected chains and reclaims
+ * the space.
+ *
+ * Single-threaded like the IngestSession it drives; shard one tracker
+ * per session for concurrent ingest.
+ */
+
+#ifndef XPG_GRAPH_RETENTION_HPP
+#define XPG_GRAPH_RETENTION_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "graph/graph_store.hpp"
+#include "graph/types.hpp"
+#include "util/logging.hpp"
+
+namespace xpg {
+
+class RetentionTracker
+{
+  public:
+    /** Remember @p n edges ingested at @p tick (ticks must be
+     *  monotonically non-decreasing across calls). */
+    void
+    record(const Edge *edges, uint64_t n, uint64_t tick)
+    {
+        XPG_ASSERT(window_.empty() || tick >= window_.back().tick,
+                   "retention ticks must be monotone");
+        for (uint64_t i = 0; i < n; ++i)
+            window_.push_back(Stamped{edges[i], tick});
+    }
+
+    void
+    record(const Edge &edge, uint64_t tick)
+    {
+        record(&edge, 1, tick);
+    }
+
+    /**
+     * Drop everything ingested before @p cutoff: emits one delete per
+     * remembered older edge through @p session (bounded chunks, the
+     * same CAS-reserve/ordered-publish path as inserts) and forgets
+     * them. Edges at or after @p cutoff are retained. The tombstones
+     * become reclaimed space once the compactor rewrites the affected
+     * chains — call XPGraph::runCompactionPass() for a deterministic
+     * reclaim, or let backgroundCompaction pick them up.
+     * @return edges tombstoned.
+     */
+    uint64_t
+    retainEdgesAfter(uint64_t cutoff, IngestSession &session)
+    {
+        Edge chunk[256];
+        uint64_t expired = 0;
+        uint64_t filled = 0;
+        while (!window_.empty() && window_.front().tick < cutoff) {
+            chunk[filled++] = window_.front().edge;
+            window_.pop_front();
+            ++expired;
+            if (filled == 256) {
+                session.delEdges(chunk, filled);
+                filled = 0;
+            }
+        }
+        if (filled > 0)
+            session.delEdges(chunk, filled);
+        return expired;
+    }
+
+    /** Edges currently inside the window (candidates for expiry). */
+    uint64_t trackedEdges() const { return window_.size(); }
+
+    /** Oldest remembered tick (0 when empty). */
+    uint64_t
+    oldestTick() const
+    {
+        return window_.empty() ? 0 : window_.front().tick;
+    }
+
+  private:
+    struct Stamped
+    {
+        Edge edge;
+        uint64_t tick;
+    };
+
+    /** Ticks are monotone, so expiry is always a prefix pop. */
+    std::deque<Stamped> window_;
+};
+
+} // namespace xpg
+
+#endif // XPG_GRAPH_RETENTION_HPP

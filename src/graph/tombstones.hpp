@@ -14,6 +14,7 @@
 #ifndef XPG_GRAPH_TOMBSTONES_HPP
 #define XPG_GRAPH_TOMBSTONES_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,11 +42,30 @@ inline uint32_t
 foldTracked(std::span<const vid_t> raw, TombstoneSlot *slots,
             size_t n_slots, F &&fn)
 {
+    // Per-record linear probing is O(records x slots) — quadratic under
+    // pathological fan-out where most records are tracked. Above a
+    // cache-friendly handful of slots, sort the tracked ids once and
+    // binary-search instead. The deferred emit order follows slot order,
+    // which is unspecified either way.
+    constexpr size_t kLinearMaxSlots = 16;
+    if (n_slots > kLinearMaxSlots) {
+        std::sort(slots, slots + n_slots,
+                  [](const TombstoneSlot &a, const TombstoneSlot &b) {
+                      return a.id < b.id;
+                  });
+    }
     auto find = [&](vid_t id) -> TombstoneSlot * {
-        for (size_t i = 0; i < n_slots; ++i)
-            if (slots[i].id == id)
-                return &slots[i];
-        return nullptr;
+        if (n_slots <= kLinearMaxSlots) {
+            for (size_t i = 0; i < n_slots; ++i)
+                if (slots[i].id == id)
+                    return &slots[i];
+            return nullptr;
+        }
+        TombstoneSlot *const end = slots + n_slots;
+        TombstoneSlot *const it = std::lower_bound(
+            slots, end, id,
+            [](const TombstoneSlot &s, vid_t key) { return s.id < key; });
+        return it != end && it->id == id ? it : nullptr;
     };
     uint32_t n = 0;
     for (vid_t v : raw) {
@@ -109,22 +129,20 @@ cancelTombstonesVisit(std::span<const vid_t> raw, F &&fn)
         return detail::foldTracked(raw, stack_slots, n_slots, fn);
 
     // Pathological tombstone fan-out: spill the tracked set to the heap.
-    std::vector<detail::TombstoneSlot> heap_slots(
-        stack_slots, stack_slots + n_slots);
-    for (vid_t v : raw) {
-        if (!isDelete(v))
-            continue;
-        const vid_t id = rawVid(v);
-        bool known = false;
-        for (const auto &s : heap_slots) {
-            if (s.id == id) {
-                known = true;
-                break;
-            }
-        }
-        if (!known)
-            heap_slots.push_back(detail::TombstoneSlot{id, 0});
-    }
+    // Dedup by sort+unique — a per-target linear rescan here would keep
+    // the whole fold quadratic, which is exactly the degradation
+    // BM_TombstoneFold pins down.
+    std::vector<vid_t> targets;
+    for (vid_t v : raw)
+        if (isDelete(v))
+            targets.push_back(rawVid(v));
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    std::vector<detail::TombstoneSlot> heap_slots;
+    heap_slots.reserve(targets.size());
+    for (vid_t id : targets)
+        heap_slots.push_back(detail::TombstoneSlot{id, 0});
     return detail::foldTracked(raw, heap_slots.data(), heap_slots.size(),
                                fn);
 }

@@ -27,6 +27,8 @@ accessCategoryName(AccessCategory c)
         return "recovery_replay";
     case AccessCategory::AdjacencyCodec:
         return "adjacency_codec";
+    case AccessCategory::Compaction:
+        return "compaction";
     case AccessCategory::Other:
         return "other";
     }
@@ -41,7 +43,7 @@ allAccessCategories()
         AccessCategory::VertexMeta,       AccessCategory::AllocatorMeta,
         AccessCategory::Superblock,       AccessCategory::QueryRead,
         AccessCategory::RecoveryReplay,   AccessCategory::AdjacencyCodec,
-        AccessCategory::Other,
+        AccessCategory::Compaction,       AccessCategory::Other,
     };
     return cats;
 }

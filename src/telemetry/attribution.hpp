@@ -72,10 +72,11 @@ enum class AccessCategory : uint8_t
     QueryRead,           ///< neighbor reads on behalf of queries
     RecoveryReplay,      ///< post-crash validation, replay, and repair
     AdjacencyCodec,      ///< compressed-chunk encode writes / decode reads
+    Compaction,          ///< background COW chain rewrites + journal
     Other,               ///< untagged traffic (fallback)
 };
 
-inline constexpr unsigned kAccessCategoryCount = 9;
+inline constexpr unsigned kAccessCategoryCount = 10;
 
 /** Stable snake_case name ("edge_log_append", ...) for JSON/metric keys. */
 const char *accessCategoryName(AccessCategory c);
@@ -307,8 +308,14 @@ class LineHeatTable
 #define XPG_ATTR_SCOPE(varName, category)                                    \
     ::xpg::telemetry::AccessScope varName(                                   \
         ::xpg::telemetry::AccessCategory::category)
+/** Same, for a category chosen at runtime (an AccessCategory expression)
+ *  — shared helpers blamed on their caller, e.g. the adjacency block
+ *  writers under AdjacencyArchive vs Compaction. */
+#define XPG_ATTR_SCOPE_DYN(varName, categoryExpr)                            \
+    ::xpg::telemetry::AccessScope varName(categoryExpr)
 #else
 #define XPG_ATTR_SCOPE(varName, category) ((void)0)
+#define XPG_ATTR_SCOPE_DYN(varName, categoryExpr) ((void)(categoryExpr))
 #endif
 
 #endif // XPG_TELEMETRY_ATTRIBUTION_HPP

@@ -8,11 +8,15 @@
  *             list (the paper's ingest input format).
  *
  *   ingest    --in edges.bin [--vertices N] [--system xpgraph]
- *             [--threads T] [--backing DIR]
+ *             [--threads T] [--backing DIR] [--retain-window W]
  *             Ingest an edge list into a chosen system and print the
  *             simulated phase times, PCM-style counters, and memory use.
  *             Systems: xpgraph, xpgraph-b, xpgraph-d, xpgraph-ssd,
  *                      graphone-p, graphone-d, graphone-n.
+ *             --retain-window W keeps only the last W edges of the
+ *             stream (ticks = stream position): everything older is
+ *             tombstoned through the delete path and reclaimed by a
+ *             compaction pass (xpgraph systems only).
  *
  *   query     --in edges.bin [--vertices N] [--algo bfs|pr|cc|onehop]
  *             [--threads T] [--system xpgraph|graphone-p]
@@ -39,6 +43,11 @@
  *             checks (the CI stage asserts the rows sum to the device
  *             totals). Needs the default -DXPG_TELEMETRY=ON build.
  *
+ * xpgraph systems additionally accept the compaction knobs
+ * --compact 0|1 (background compactor thread, default 0),
+ * --compact-ratio R (tombstone share that makes a chain a candidate,
+ * default 0.25) and --compact-min N (minimum records, default 64).
+ *
  * Every subcommand accepts --telemetry FILE (or --telemetry=FILE): on
  * exit the Chrome trace timeline is written to FILE (load it in
  * about:tracing) and the metrics snapshot — counters, gauges, and
@@ -61,6 +70,7 @@
 #include "core/xpgraph.hpp"
 #include "graph/datasets.hpp"
 #include "graph/edge_io.hpp"
+#include "graph/retention.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -106,6 +116,15 @@ class Args
         return it == values_.end()
                    ? fallback
                    : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::strtod(it->second.c_str(),
+                                                 nullptr);
     }
 
     bool has(const std::string &key) const
@@ -248,6 +267,11 @@ xpgraphConfigFor(const std::string &system, vid_t nv, uint64_t edges,
     c.compressAdjacency = args.getInt("compress", 1) != 0;
     c.compressMinDegree = static_cast<uint32_t>(
         args.getInt("compress-min-degree", c.compressMinDegree));
+    c.backgroundCompaction = args.getInt("compact", 0) != 0;
+    c.compactTombstoneRatio =
+        args.getDouble("compact-ratio", c.compactTombstoneRatio);
+    c.compactMinRecords = static_cast<uint32_t>(
+        args.getInt("compact-min", c.compactMinRecords));
     c.backingDir = args.get("backing");
     if (!c.backingDir.empty())
         std::filesystem::create_directories(c.backingDir);
@@ -302,9 +326,36 @@ cmdIngest(const Args &args)
         writeTelemetry(args, &graph);
     } else {
         XPGraph graph(xpgraphConfigFor(system, nv, edges.size(), args));
-        graph.session(0)->addEdges(edges.data(), edges.size());
-        graph.bufferAllEdges();
-        graph.flushAllVbufs();
+        const uint64_t window = args.getInt("retain-window", 0);
+        if (window > 0 && window < edges.size()) {
+            // Sliding-window retention: the stream position is the
+            // tick, so "retain the last W edges" expires everything
+            // before position n - W as bulk tombstones, then one
+            // compaction pass reclaims the space they free.
+            auto session = graph.session(0);
+            RetentionTracker tracker;
+            const uint64_t n = edges.size();
+            session->addEdges(edges.data(), n);
+            for (uint64_t i = 0; i < n; ++i)
+                tracker.record(edges[i], i);
+            const uint64_t expired =
+                tracker.retainEdgesAfter(n - window, *session);
+            graph.bufferAllEdges();
+            graph.flushAllVbufs();
+            const uint64_t rewritten = graph.runCompactionPass();
+            const IngestStats cs = graph.stats();
+            std::printf("retention: kept the last %lu edges, expired "
+                        "%lu; compacted %lu chains, reclaimed %s\n",
+                        static_cast<unsigned long>(window),
+                        static_cast<unsigned long>(expired),
+                        static_cast<unsigned long>(rewritten),
+                        TablePrinter::bytes(cs.compactionBytesReclaimed)
+                            .c_str());
+        } else {
+            graph.session(0)->addEdges(edges.data(), edges.size());
+            graph.bufferAllEdges();
+            graph.flushAllVbufs();
+        }
         if (!args.get("backing").empty())
             graph.syncBackings();
         printIngestReport(graph.stats(), graph.pmemCounters(),
@@ -393,9 +444,29 @@ cmdRecover(const Args &args)
     c.pmemBytesPerNode =
         recommendedBytesPerNode(c, args.getInt("edges", 1 << 20));
 
-    auto graph = XPGraph::recover(c);
-    std::printf("recovered in %.3f simulated ms\n",
-                graph->stats().recoveryNs / 1e6);
+    RecoveryReport report;
+    auto graph = XPGraph::recover(c, &report);
+    if (!graph) {
+        std::fprintf(stderr, "recovery failed (%s): %s\n",
+                     recoveryStatusName(report.status),
+                     report.error.c_str());
+        return 1;
+    }
+    std::printf("recovered in %.3f simulated ms (status %s)\n",
+                graph->stats().recoveryNs / 1e6,
+                recoveryStatusName(report.status));
+    if (report.compactionsInFlight > 0) {
+        // The crash hit the torn window of a copy-on-write chain
+        // rewrite. Either side of the swing is fully intact on media;
+        // the journal said which one the persisted index reached.
+        std::printf("mid-compaction crash repaired: %lu rewrite(s) "
+                    "caught in flight, %lu replaced chunk(s) confirmed "
+                    "reclaimed (committed swings); un-swung rewrites "
+                    "kept their old chain and leaked the new blocks\n",
+                    static_cast<unsigned long>(
+                        report.compactionsInFlight),
+                    static_cast<unsigned long>(report.chunksReclaimed));
+    }
     const MemoryUsage mem = graph->memoryUsage();
     std::printf("persistent adjacency: %s\n",
                 TablePrinter::bytes(mem.pblkBytes).c_str());
