@@ -27,10 +27,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/events.hpp"
 #include "util/rng.hpp"
 
 using namespace xpg;
@@ -55,6 +57,10 @@ struct ChurnRow
     IngestStats stats;
     uint64_t pblkBytes = 0;
     uint64_t checksum = 0;
+    /// Compaction activity as the structured event stream saw it:
+    /// passes that rewrote chains, and the chains they reported.
+    uint64_t eventPasses = 0;
+    uint64_t eventSwings = 0;
 
     double
     edgesPerSec() const
@@ -100,6 +106,9 @@ runMix(const XPGraphConfig &base, const Dataset &ds, unsigned delete_pct,
     ChurnRow row;
     row.deletePct = delete_pct;
     row.compactOn = compact_on;
+    // Event-stream correlation: everything emitted from here on
+    // belongs to this run (the log is process-wide, so filter by seq).
+    const uint64_t ev_before = telemetry::EventLog::instance().emitted();
     row.label = std::string("mix") + std::to_string(100 - delete_pct) +
                 "_" + std::to_string(delete_pct) +
                 (compact_on ? "_compact_on" : "_compact_off");
@@ -171,6 +180,19 @@ runMix(const XPGraphConfig &base, const Dataset &ds, unsigned delete_pct,
     row.stats = graph.stats();
     row.pblkBytes = graph.memoryUsage().pblkBytes;
     row.checksum = liveChecksum(graph, ds.numVertices);
+    // Fold this run's compaction events out of the process-wide ring:
+    // one "compaction_pass" event per pass that rewrote anything, a0 =
+    // chains rewritten. The acceptance check correlates these against
+    // the engine's own compaction counters.
+    for (const telemetry::EventView &ev :
+         telemetry::EventLog::instance().collect()) {
+        if (ev.seq < ev_before ||
+            ev.category != telemetry::EventCategory::Compaction ||
+            std::strcmp(ev.name, "compaction_pass") != 0)
+            continue;
+        ++row.eventPasses;
+        row.eventSwings += ev.a0;
+    }
     return row;
 }
 
@@ -201,6 +223,8 @@ writeJson(const std::vector<ChurnRow> &rows, const Dataset &ds)
                 r.stats.compactionBytesReclaimed);
         row.set("compaction_records_dropped",
                 r.stats.compactionRecordsDropped);
+        row.set("event_compaction_passes", r.eventPasses);
+        row.set("event_compaction_swings", r.eventSwings);
         row.set("pblk_bytes", r.pblkBytes);
         row.set("live_checksum", r.checksum);
         arr.push(std::move(row));
@@ -267,6 +291,32 @@ main(int argc, char **argv)
                          "FAIL: %s never compacted a chain — dead bench\n",
                          rows[i].label.c_str());
             ok = false;
+        }
+    }
+    // Event-stream correlation (compact-on rows, telemetry builds):
+    // the structured event log must have witnessed the compaction the
+    // engine counters report — at least one pass event, reporting at
+    // least as many swings as chains the engine says it rewrote (a
+    // candidate whose chain emptied in-buffer counts as a swing but
+    // not a slot, so >=, never <).
+    if (telemetry::kEnabled) {
+        for (const ChurnRow &r : rows) {
+            if (!r.compactOn || r.stats.compactionSlots == 0)
+                continue;
+            if (r.eventPasses == 0 ||
+                r.eventSwings < r.stats.compactionSlots) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s compacted %llu chains but the event "
+                    "stream saw %llu swings in %llu passes — ops "
+                    "events out of sync with the engine\n",
+                    r.label.c_str(),
+                    static_cast<unsigned long long>(
+                        r.stats.compactionSlots),
+                    static_cast<unsigned long long>(r.eventSwings),
+                    static_cast<unsigned long long>(r.eventPasses));
+                ok = false;
+            }
         }
     }
     return ok ? 0 : 1;

@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -50,6 +51,7 @@
 
 #include "bench_common.hpp"
 #include "graph/read_view.hpp"
+#include "telemetry/exporter.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
@@ -452,6 +454,62 @@ main(int argc, char **argv)
         rows.push_back(serve(graph, plan, ds, "no_readers"));
     }
 
+    // Exporter-overhead stage (DESIGN.md §14): the same 95/5 mix with
+    // the periodic exporter live for the whole run — every sample
+    // appends a JSONL line and atomically rewrites a Prometheus
+    // exposition file, so a fig_serving run doubles as a per-interval
+    // operational trace. The sampler thread only *reads* telemetry
+    // state and never charges SimClock, so it cannot perturb the
+    // simulated latencies — but multi-threaded archiving is itself
+    // nondeterministic (the shared XPLine buffer's hit modeling
+    // depends on host interleaving), so this pair runs with a single
+    // archive thread: both rows are then bit-deterministic and the 5%
+    // p99 gate below measures the exporter, not scheduler noise.
+    XPGraphConfig config_st = config;
+    config_st.archiveThreads = 1;
+    {
+        // Paired exporter-off baseline for the gate.
+        XPGraph graph(config_st);
+        graph.session(0)->addEdges(ds.edges.data(), preload);
+        graph.bufferAllEdges();
+
+        plan.edges = ds.edges.data() + preload;
+        plan.writeBatches = batches95;
+        plan.readsPerWrite = 19;
+        rows.push_back(serve(graph, plan, ds, "mix95_5_st"));
+    }
+    {
+        XPGraph graph(config_st);
+        graph.session(0)->addEdges(ds.edges.data(), preload);
+        graph.bufferAllEdges();
+
+        const char *jsonl_env =
+            std::getenv("XPG_BENCH_SERVING_OPS_JSONL");
+        const char *prom_env = std::getenv("XPG_BENCH_SERVING_OPS_PROM");
+        telemetry::MetricsExporter exporter;
+        telemetry::ExporterOptions opt;
+        opt.jsonlPath = jsonl_env != nullptr && jsonl_env[0] != '\0'
+                            ? jsonl_env
+                            : "BENCH_serving_ops.jsonl";
+        opt.promPath = prom_env != nullptr && prom_env[0] != '\0'
+                           ? prom_env
+                           : "BENCH_serving_ops.prom";
+        opt.periodMs = 50; // host-clock cadence: many samples per run
+        opt.prePublish = [&graph] { graph.publishTelemetry(); };
+        const std::string jsonl_path = opt.jsonlPath;
+        exporter.configure(std::move(opt));
+        exporter.start();
+
+        plan.edges = ds.edges.data() + preload;
+        plan.writeBatches = batches95;
+        plan.readsPerWrite = 19; // the same 95/5 mix as mix95_5_st
+        rows.push_back(serve(graph, plan, ds, "mix95_5_exporter"));
+        exporter.stop(); // takes the final sample
+        std::printf("exporter stage: %llu samples -> %s\n",
+                    static_cast<unsigned long long>(exporter.samples()),
+                    jsonl_path.c_str());
+    }
+
     TablePrinter table("Serving under ingest: open-loop latency "
                        "(simulated us) and client ingest throughput");
     table.header({"mix", "read p50", "read p99", "write p50", "write p99",
@@ -512,6 +570,31 @@ main(int argc, char **argv)
                      "throughput (>10%% budget)\n",
                      (1.0 - ratio4) * 100.0);
         ok = false;
+    }
+
+    // Exporter-overhead gate: the sampler never charges SimClock, so
+    // simulated read p99 with the exporter live must stay within 5%
+    // of the paired exporter-off run (rows[4] vs rows[3] — the
+    // single-archive-thread pair, which is deterministic; see the
+    // stage comment above).
+    const Row &exp_off = rows[3];
+    const Row &exp_on = rows[4];
+    if (exp_off.read.p99 > 0) {
+        const double p99_ratio = static_cast<double>(exp_on.read.p99) /
+                                 static_cast<double>(exp_off.read.p99);
+        std::printf("exporter overhead: read p99 %.2f us (off) vs "
+                    "%.2f us (on), ratio %.3f\n",
+                    static_cast<double>(exp_off.read.p99) / 1e3,
+                    static_cast<double>(exp_on.read.p99) / 1e3,
+                    p99_ratio);
+        if (p99_ratio > 1.05) {
+            std::fprintf(stderr,
+                         "FAIL: exporter costs %.1f%% read p99 "
+                         "(>5%% budget) — it must only observe, "
+                         "never perturb\n",
+                         (p99_ratio - 1.0) * 100.0);
+            ok = false;
+        }
     }
     return ok ? 0 : 1;
 }

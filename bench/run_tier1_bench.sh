@@ -48,6 +48,15 @@
 # vs --compact 0: on a delete-free workload the compactor never touches
 # a chain, so query results must again be byte-identical.
 #
+# The ops-plane stage (DESIGN.md §14) then validates the live operations
+# artifacts: the serving bench's exporter series (JSONL) and Prometheus
+# exposition must machine-parse, `xpgraph_cli watch` over a healthy
+# churn store must exit 0 with parseable artifacts, and a deliberately
+# wedged compactor run must be flagged `overall=stalled` (exit code 2)
+# with a watchdog_stalled flight record on disk. The crash-sweep stage
+# above also exports one fault-injector flight record
+# (BENCH_flight_record.json) and parse-checks it.
+#
 # The closing telemetry stage (skip with XPG_TELEMETRY_STAGE=0) runs the
 # CLI pipeline with --telemetry and json.tool-validates the trace and
 # metrics files, runs the attribution profiler and asserts its per-cause
@@ -72,7 +81,7 @@ if [[ "${XPG_TSAN:-0}" == "1" ]]; then
     cmake -B "${tsan_dir}" -S "${repo_root}" -DXPG_SANITIZE=thread
     cmake --build "${tsan_dir}" -j "$(nproc)" --target xpg_tests
     "${tsan_dir}/tests/xpg_tests" \
-        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*:Attribution*:ReadView*:Delete*:Compact*'
+        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*:Attribution*:ReadView*:Delete*:Compact*:Ops*'
 fi
 
 if [[ "${XPG_ASAN:-0}" == "1" ]]; then
@@ -81,7 +90,7 @@ if [[ "${XPG_ASAN:-0}" == "1" ]]; then
     cmake --build "${asan_dir}" -j "$(nproc)" \
           --target xpg_tests xpg_crash_tests
     "${asan_dir}/tests/xpg_tests" \
-        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*:CompressedStoreFixture.*:AdjacencyCodec.*:ReadView.*:Delete*:Compact*'
+        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*:CompressedStoreFixture.*:AdjacencyCodec.*:ReadView.*:Delete*:Compact*:Ops*'
     "${asan_dir}/tests/xpg_crash_tests"
 fi
 
@@ -91,8 +100,22 @@ cmake --build "${build_dir}" -j "$(nproc)" \
                fig13_pmem_traffic fig_serving fig_churn xpg_crash_tests
 
 # Bounded crash-sweep stage: systematic power-loss points with recovery
-# validation (tests/test_crash_sweep.cpp).
+# validation (tests/test_crash_sweep.cpp). The torn-write sweep exports
+# one fault-injector flight record, parse-checked below: the postmortem
+# a crash leaves behind must be machine-readable, not just present.
+export XPG_FLIGHT_RECORD_OUT="${XPG_FLIGHT_RECORD_OUT:-${repo_root}/BENCH_flight_record.json}"
 ctest --test-dir "${build_dir}" -L crash --output-on-failure
+python3 - "${XPG_FLIGHT_RECORD_OUT}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xpgraph-flight-v1", doc["schema"]
+assert doc["reason"] == "fault_injector_crash", doc["reason"]
+for key in ("in_flight_phase", "event_tail", "trace_tail"):
+    assert key in doc, f"flight record missing {key}"
+print(f"crash flight record parses: in-flight phase "
+      f"{doc['in_flight_phase']!r}, {len(doc['event_tail'])} events, "
+      f"{len(doc['trace_tail'])} spans")
+EOF
 
 export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 "${build_dir}/bench/fig14_query" "${datasets[@]}"
@@ -134,6 +157,8 @@ fi
 # gate uses a 50% threshold: it catches a real tail regression (2x),
 # not scheduling jitter.
 export XPG_BENCH_SERVING_JSON="${XPG_BENCH_SERVING_JSON:-${repo_root}/BENCH_serving.json}"
+export XPG_BENCH_SERVING_OPS_JSONL="${XPG_BENCH_SERVING_OPS_JSONL:-${repo_root}/BENCH_serving_ops.jsonl}"
+export XPG_BENCH_SERVING_OPS_PROM="${XPG_BENCH_SERVING_OPS_PROM:-${repo_root}/BENCH_serving_ops.prom}"
 "${build_dir}/bench/fig_serving" "${datasets[0]}"
 python3 -m json.tool "${XPG_BENCH_SERVING_JSON}" > /dev/null
 if baseline_serving="$(git -C "${repo_root}" show HEAD:BENCH_serving.json \
@@ -219,6 +244,92 @@ echo "compactor equivalence check passed (bfs/cc/onehop identical)"
 rm -f "${equiv_edges}" "${compress_log}" "${nocompress_log}" \
       "${compact_log}" "${nocompact_log}"
 
+# Ops-plane stage (DESIGN.md §14). Three checks:
+#  1. The serving bench's exporter artifacts — the JSONL sample series
+#     and the Prometheus text exposition — must machine-parse.
+#  2. `xpgraph_cli watch` over a healthy churn store exits 0 and its
+#     own artifacts (sample series, exposition, event log) parse.
+#  3. A deliberately wedged compactor (--wedge-compactor 1) must be
+#     flagged within the stall deadline: watch exits 2, reports
+#     `overall=stalled`, and the watchdog's Stalled transition leaves a
+#     parseable flight record behind.
+python3 - "${XPG_BENCH_SERVING_OPS_JSONL}" "${XPG_BENCH_SERVING_OPS_PROM}" <<'EOF'
+import json, sys
+jsonl_path, prom_path = sys.argv[1], sys.argv[2]
+samples = 0
+for line in open(jsonl_path):
+    line = line.strip()
+    if not line:
+        continue
+    doc = json.loads(line)
+    assert doc["schema"] == "xpgraph-ops-sample-v1", doc["schema"]
+    assert "telemetry" in doc, "sample missing the telemetry snapshot"
+    samples += 1
+assert samples > 0, "exporter series is empty"
+series = 0
+for line in open(prom_path):
+    if line.startswith("# TYPE "):
+        series += 1
+        continue
+    if not line.strip():
+        continue
+    name, _, value = line.rstrip("\n").rpartition(" ")
+    assert name.startswith("xpg_"), f"unprefixed series line: {line!r}"
+    int(value)  # every sample value is an integer
+assert series > 0, "no TYPE lines in the exposition"
+print(f"ops exporter artifacts parse: {samples} samples, "
+      f"{series} exposition series")
+EOF
+
+watch_dir="$(mktemp -d)"
+"${build_dir}/tools/xpgraph_cli" watch --seconds 2 --interval-ms 200 \
+    --ops-jsonl "${watch_dir}/ops.jsonl" \
+    --prom "${watch_dir}/metrics.prom" \
+    --events "${watch_dir}/events.jsonl" | tee "${watch_dir}/watch.log"
+grep -q "overall=ok" "${watch_dir}/watch.log" \
+    || { echo "FAIL: healthy watch never reported overall=ok"; exit 1; }
+python3 - "${watch_dir}/ops.jsonl" "${watch_dir}/events.jsonl" <<'EOF'
+import json, sys
+samples = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert samples and all(s["schema"] == "xpgraph-ops-sample-v1"
+                       for s in samples)
+events = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert events, "watch run emitted no structured events"
+for ev in events:
+    for key in ("seq", "level", "category", "name", "host_ns"):
+        assert key in ev, f"event missing {key}: {ev}"
+print(f"watch artifacts parse: {len(samples)} samples, "
+      f"{len(events)} events")
+EOF
+
+# Wedged-compactor scenario: health must reach Stalled inside the run.
+wedge_log="${watch_dir}/wedge.log"
+set +e
+"${build_dir}/tools/xpgraph_cli" watch --seconds 2 --interval-ms 100 \
+    --stall-ms 500 --wedge-compactor 1 --flight-dir "${watch_dir}" \
+    > "${wedge_log}" 2>&1
+wedge_rc=$?
+set -e
+if [[ "${wedge_rc}" != "2" ]]; then
+    cat "${wedge_log}"
+    echo "FAIL: wedged-compactor watch exited ${wedge_rc}, expected 2"
+    exit 1
+fi
+grep -q "overall=stalled" "${wedge_log}" \
+    || { cat "${wedge_log}"; \
+         echo "FAIL: wedged compactor never reported overall=stalled"; \
+         exit 1; }
+python3 - "${watch_dir}/flight_record.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xpgraph-flight-v1", doc["schema"]
+assert doc["reason"] == "watchdog_stalled", doc["reason"]
+assert doc["health"]["overall"] == "stalled", doc["health"]
+print("wedge scenario passed: watchdog flagged the stall and dumped "
+      "a parseable flight record")
+EOF
+rm -rf "${watch_dir}"
+
 # Telemetry stage (skip with XPG_TELEMETRY_STAGE=0). Three checks:
 #  1. The CLI pipeline run (ingest + archive + query + crash + recover)
 #     with --telemetry produces a Chrome trace and a metrics snapshot
@@ -270,7 +381,7 @@ EOF
     cmake -B "${notel_dir}" -S "${repo_root}" -DXPG_TELEMETRY=OFF
     cmake --build "${notel_dir}" -j "$(nproc)" \
           --target fig20_ingest xpg_tests
-    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*:Attribution*'
+    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*:Attribution*:Ops*'
     # Five interleaved runs per flavor: one fig20 run's aggregate
     # simulated time jitters up to ~5% run to run on the SAME binary
     # (which client thread coordinates each inline archive phase is

@@ -118,6 +118,16 @@ XPGraphConfig::validate(bool for_recovery) const
         bad("compactMinRecords must be >= 1: a zero floor would make "
             "every touched vertex a compaction candidate");
 
+    if (watchdogMonitor && watchdogIntervalMs == 0)
+        bad("watchdogIntervalMs is 0: the monitor thread needs a check "
+            "period");
+    if (watchdogStallMs == 0)
+        bad("watchdogStallMs is 0: a zero deadline would flag every "
+            "busy component as stalled instantly");
+    if (debugWedgeCompactor && !backgroundCompaction)
+        bad("debugWedgeCompactor wedges the background compactor "
+            "thread: it requires backgroundCompaction");
+
     if (for_recovery && backingDir.empty())
         bad("recovery requires file-backed devices: set backingDir to "
             "the directory holding the xpgraph_node*.pmem images");

@@ -126,6 +126,35 @@ struct XPGraphConfig
      *  rewriting it (tiny chains cost more to rewrite than they waste). */
     uint32_t compactMinRecords = 64;
 
+    // --- operations plane (DESIGN.md §14) ---
+    /**
+     * Run the health watchdog's monitor thread: periodic checks that
+     * emit watchdog events on state transitions and dump a crash
+     * flight record on a Stalled verdict. health() works either way —
+     * with the monitor off it evaluates on demand. All ops-plane knobs
+     * are tuning, not geometry: they may change across restarts.
+     */
+    bool watchdogMonitor = false;
+    /** Monitor check period (host milliseconds). */
+    uint32_t watchdogIntervalMs = 250;
+    /** A busy component whose heartbeat is older than this is Stalled
+     *  (Degraded past half). Host milliseconds. */
+    uint32_t watchdogStallMs = 2000;
+    /** Writers continuously blocked in waitForLogSpace longer than this
+     *  are Degraded (Stalled past 4x). Host milliseconds. */
+    uint32_t watchdogBackpressureMs = 500;
+    /** A ReadView open longer than this is flagged as an epoch-pin
+     *  leak (Degraded). Host milliseconds. */
+    uint32_t watchdogViewPinMs = 10000;
+    /**
+     * Test-only: the background compactor thread declares itself busy
+     * and then never beats or works again — a deliberately wedged
+     * component for watchdog stall tests and the CI stalled-compactor
+     * scenario. Requires backgroundCompaction; never set in
+     * production.
+     */
+    bool debugWedgeCompactor = false;
+
     /**
      * Check every range/consistency constraint and return the problems
      * as actionable messages (empty = valid). @p for_recovery adds the

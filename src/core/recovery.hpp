@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/json_writer.hpp"
+
 namespace xpg {
 
 /** Why recover() refused (or how it succeeded). */
@@ -82,6 +84,14 @@ struct RecoveryReport
                recordsTruncated || invalidIndexEntries ||
                compactionsInFlight;
     }
+
+    /**
+     * Machine-readable form: every counter above plus status/ok/
+     * repaired, schema "xpgraph-recovery-v1". Emitted by
+     * `xpgraph_cli recover --json` and embedded in crash flight
+     * records.
+     */
+    json::JsonValue toJson() const;
 };
 
 } // namespace xpg

@@ -15,6 +15,8 @@
 #include "pmem/ssd_device.hpp"
 #include "pmem/xpline.hpp"
 #include "telemetry/attribution.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/logging.hpp"
 #include "util/sim_clock.hpp"
 
@@ -183,6 +185,31 @@ recoveryStatusName(RecoveryStatus status)
     return "Unknown";
 }
 
+json::JsonValue
+RecoveryReport::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("schema", "xpgraph-recovery-v1");
+    doc.set("status", recoveryStatusName(status));
+    doc.set("ok", ok());
+    doc.set("repaired", repaired());
+    if (!error.empty())
+        doc.set("error", error);
+    doc.set("edges_replayed", edgesReplayed);
+    doc.set("edges_deduped", edgesDeduped);
+    doc.set("log_edges_truncated", logEdgesTruncated);
+    doc.set("log_edges_skipped", logEdgesSkipped);
+    doc.set("log_header_copies_rejected", logHeaderCopiesRejected);
+    doc.set("blocks_dropped", blocksDropped);
+    doc.set("records_truncated", recordsTruncated);
+    doc.set("invalid_index_entries", invalidIndexEntries);
+    doc.set("bytes_leaked", bytesLeaked);
+    doc.set("compactions_in_flight", compactionsInFlight);
+    doc.set("chunks_reclaimed", chunksReclaimed);
+    doc.set("recovery_ns", recoveryNs);
+    return doc;
+}
+
 uint64_t
 recommendedBytesPerNode(const XPGraphConfig &config, uint64_t expected_edges)
 {
@@ -305,10 +332,117 @@ XPGraph::XPGraph(const XPGraphConfig &config, bool recovering,
         inShards_[node].resize(shards);
     }
 
+    initWatchdog();
     if (config_.pipelinedArchiving)
         startArchiver();
     if (config_.backgroundCompaction)
         startCompactor();
+    if (config_.watchdogMonitor)
+        watchdog_.start(uint64_t{config_.watchdogIntervalMs} * 1'000'000);
+}
+
+void
+XPGraph::initWatchdog()
+{
+    const uint64_t stall_ns = uint64_t{config_.watchdogStallMs} * 1'000'000;
+    if (config_.pipelinedArchiving)
+        hbArchiver_ = watchdog_.registerHeartbeat("archiver", stall_ns);
+    if (config_.backgroundCompaction)
+        hbCompactor_ = watchdog_.registerHeartbeat("compactor", stall_ns);
+    // One shared cell for every ingest session: beat-only (sessions
+    // never toggle busy — a shared flag would flap across threads), so
+    // it can never read as Stalled by itself; blocked writers surface
+    // through the backpressure probe instead.
+    hbIngest_ = watchdog_.registerHeartbeat("ingest", 0);
+    watchdog_.registerProbe(
+        [this](uint64_t now_ns) { return backpressureProbe(now_ns); });
+    watchdog_.registerProbe(
+        [this](uint64_t now_ns) { return viewPinProbe(now_ns); });
+    // Monitor-thread reaction to a Stalled transition: freeze a flight
+    // record naming the wedged component. Safe from the monitor thread:
+    // dump() takes only telemetry-internal locks, never archiveMutex_.
+    watchdog_.onStalled([](const telemetry::HealthReport &report) {
+        telemetry::FlightRecorder::instance().dump(
+            "watchdog_stalled", "health", report.toJson());
+    });
+}
+
+telemetry::ComponentHealth
+XPGraph::backpressureProbe(uint64_t now_ns) const
+{
+    telemetry::ComponentHealth c;
+    c.name = "backpressure";
+    c.beats = backpressureEpisodes_.load(std::memory_order_relaxed);
+    const uint64_t since =
+        backpressureSinceNs_.load(std::memory_order_relaxed);
+    if (since == 0 || now_ns <= since)
+        return c; // no writer currently blocked on a full log
+    c.busy = true;
+    c.sinceBeatNs = now_ns - since;
+    const uint64_t window =
+        uint64_t{config_.watchdogBackpressureMs} * 1'000'000;
+    if (window == 0)
+        return c;
+    if (c.sinceBeatNs > 4 * window) {
+        c.status = telemetry::HealthStatus::Stalled;
+        c.note = "writers blocked on a full log far past the window";
+    } else if (c.sinceBeatNs > window) {
+        c.status = telemetry::HealthStatus::Degraded;
+        c.note = "sustained log-full backpressure";
+    }
+    return c;
+}
+
+telemetry::ComponentHealth
+XPGraph::viewPinProbe(uint64_t now_ns) const
+{
+    telemetry::ComponentHealth c;
+    c.name = "view_pins";
+    const uint64_t oldest = oldestViewNs_.load(std::memory_order_relaxed);
+    if (oldest == 0 || now_ns <= oldest)
+        return c; // no view open
+    c.busy = true;
+    c.sinceBeatNs = now_ns - oldest;
+    const uint64_t window =
+        uint64_t{config_.watchdogViewPinMs} * 1'000'000;
+    // Capped at Degraded: a long-open view is legal, but it floors log
+    // reclamation (and can wedge writers — the backpressure probe
+    // escalates that side to Stalled).
+    if (window != 0 && c.sinceBeatNs > window) {
+        c.status = telemetry::HealthStatus::Degraded;
+        c.note = "long-open read view pins the archive epoch";
+    }
+    return c;
+}
+
+telemetry::HealthReport
+XPGraph::health() const
+{
+    return watchdog_.checkNow();
+}
+
+void
+XPGraph::enterBackpressure(unsigned node)
+{
+    if (backpressureWaiters_.fetch_add(1, std::memory_order_acq_rel) ==
+        0) {
+        backpressureSinceNs_.store(telemetry::hostNowNs(),
+                                   std::memory_order_relaxed);
+        backpressureEpisodes_.fetch_add(1, std::memory_order_relaxed);
+        XPG_EVENT(Warn, Backpressure, "log_full_enter", node,
+                  parts_[node].log->freeSlots());
+    }
+}
+
+void
+XPGraph::exitBackpressure(unsigned node)
+{
+    if (backpressureWaiters_.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+        backpressureSinceNs_.store(0, std::memory_order_relaxed);
+        XPG_EVENT(Info, Backpressure, "log_full_exit", node,
+                  backpressureEpisodes_.load(std::memory_order_relaxed));
+    }
 }
 
 void
@@ -373,6 +507,7 @@ XPGraph::~XPGraph()
                "destroying XPGraph with open ingestion sessions");
     XPG_ASSERT(viewBoundaries_.empty(),
                "destroying XPGraph with open read views");
+    watchdog_.stop(); // monitor first: no health checks during teardown
     stopCompactor();
     stopArchiver();
 }
@@ -602,6 +737,20 @@ XPGraph::recover(const XPGraphConfig &config, RecoveryReport *report)
     if (report) {
         report->recoveryNs =
             graph->recoveryNs_.load(std::memory_order_relaxed);
+        if (report->repaired()) {
+            // A crash left damage recovery had to cut away: note it in
+            // the event stream and freeze a postmortem flight record
+            // carrying the full report (no-op unless a recorder
+            // directory is configured).
+            XPG_EVENT(Warn, Recovery, "recovery_repairs",
+                      report->edgesReplayed, report->logEdgesTruncated +
+                                                 report->blocksDropped);
+            telemetry::FlightRecorder::instance().dump(
+                "recovery_repairs", "recovery", report->toJson());
+        } else {
+            XPG_EVENT(Info, Recovery, "recovery_clean",
+                      report->edgesReplayed, report->recoveryNs);
+        }
     }
     return graph;
 }
@@ -955,6 +1104,8 @@ XPGraph::appendFromClient(unsigned node, bool bind, const Edge *edges,
 
     AppendCost cost;
     uint64_t done = 0;
+    if (hbIngest_)
+        hbIngest_->beat(); // shared liveness cell, beat-only (see init)
     while (done < n) {
         const uint64_t non_buffered = totalNonBuffered();
         uint64_t want = n - done;
@@ -1034,7 +1185,9 @@ XPGraph::waitForLogSpace(unsigned node, uint64_t &inline_ns)
             XPG_ASSERT(viewsPinned_,
                        "flush-all failed to reclaim log");
             XPG_TRACE_SCOPE(viewWaitSpan, "log_view_pin_wait", "ingest");
+            enterBackpressure(node);
             spaceCv_.wait(lock, [&] { return log.freeSlots() > 0; });
+            exitBackpressure(node);
         }
         return;
     }
@@ -1042,11 +1195,14 @@ XPGraph::waitForLogSpace(unsigned node, uint64_t &inline_ns)
     archiveRequested_.store(true, std::memory_order_relaxed);
     archiveCv_.notify_one();
     // Client stalled on a full log waiting for the pipelined archiver —
-    // the backpressure the trace timeline should make visible.
+    // the backpressure the trace timeline and the watchdog's
+    // backpressure probe should make visible.
     XPG_TRACE_SCOPE(waitSpan, "log_full_wait", "ingest");
+    enterBackpressure(node);
     spaceCv_.wait(lock, [&] {
         return log.freeSlots() > 0 || archiverStop_;
     });
+    exitBackpressure(node);
     XPG_ASSERT(log.freeSlots() > 0,
                "store shut down while a session was blocked on log space");
 }
@@ -1078,18 +1234,24 @@ XPGraph::archiverLoop()
     XPG_TEL_NAME_THREAD("archiver");
     std::unique_lock<std::mutex> lock(archiveMutex_);
     while (!archiverStop_) {
+        if (hbArchiver_)
+            hbArchiver_->busy(false); // parked = healthy, however long
         archiveCv_.wait(lock, [&] {
             return archiverStop_ ||
                    archiveRequested_.load(std::memory_order_relaxed);
         });
         if (archiverStop_)
             break;
+        if (hbArchiver_)
+            hbArchiver_->busy(true);
         archiveRequested_.store(false, std::memory_order_relaxed);
         const bool reclaim =
             reclaimRequested_.exchange(false, std::memory_order_relaxed);
         {
             XPG_TRACE_SCOPE(drainSpan, "archiver_drain", "archive");
             runBufferingPhaseLocked(/*capped=*/true);
+            if (hbArchiver_)
+                hbArchiver_->beat(); // long drains: beat between phases
             if (reclaim) {
                 // A session hit a full log: make sure space actually
                 // opened (battery mode frees at markBuffered; otherwise
@@ -1141,13 +1303,28 @@ XPGraph::compactorLoop()
 {
     XPG_TEL_NAME_THREAD("compactor");
     std::unique_lock<std::mutex> lock(archiveMutex_);
+    if (config_.debugWedgeCompactor) {
+        // Deliberate stall (watchdog tests, `xpgraph_cli watch
+        // --wedge-compactor`): declare busy, then never beat or take
+        // work again — exactly what a wedged loop looks like from the
+        // outside. Still stoppable, so teardown stays clean.
+        if (hbCompactor_)
+            hbCompactor_->busy(true);
+        XPG_EVENT(Warn, Compaction, "compactor_wedged", 0, 0);
+        compactCv_.wait(lock, [&] { return compactorStop_; });
+        return;
+    }
     while (!compactorStop_) {
+        if (hbCompactor_)
+            hbCompactor_->busy(false);
         compactCv_.wait(lock, [&] {
             return compactorStop_ ||
                    compactRequested_.load(std::memory_order_relaxed);
         });
         if (compactorStop_)
             break;
+        if (hbCompactor_)
+            hbCompactor_->busy(true);
         compactRequested_.store(false, std::memory_order_relaxed);
         XPG_TRACE_SCOPE(passSpan, "compaction_pass", "compact");
         compactCandidatesLocked();
@@ -1202,6 +1379,10 @@ XPGraph::compactCandidatesLocked()
     if (entered)
         phaseExitLocked();
     compactionPasses_.fetch_add(1, std::memory_order_relaxed);
+    if (rewritten > 0)
+        XPG_EVENT(Info, Compaction, "compaction_pass", rewritten,
+                  compactionBytesReclaimed_.load(
+                      std::memory_order_relaxed));
     return rewritten;
 }
 
@@ -1439,6 +1620,8 @@ XPGraph::runBufferingPhaseLocked(bool capped)
     XPG_TEL_RECORD(telBufferPhaseHist_,
                    bufferingNs_.load(std::memory_order_relaxed) -
                        phaseStartNs);
+    XPG_EVENT(Info, Archive, "buffering_phase", total,
+              bufferingPhases_.load(std::memory_order_relaxed));
 
     const uint64_t flush_threshold = static_cast<uint64_t>(
         config_.flushThresholdFrac *
@@ -1518,6 +1701,8 @@ XPGraph::runFlushAllLocked(bool release_buffers)
     XPG_TEL_ADD(telFlushPhases_, 1);
     declareIdleWriters();
     ++flushAllPhases_;
+    XPG_EVENT(Info, Archive, "flush_phase", result.maxNanos(),
+              flushAllPhases_.load(std::memory_order_relaxed));
     // Durability fence: markFlushed lets the log reclaim these edges, so
     // every adjacency write of this phase (blocks, commit words, index
     // entries still sitting in the XPBuffer) must reach the media first —
@@ -2178,6 +2363,13 @@ XPGraph::openView()
     viewsPinned_ = true;
     recomputeReclaimFloorsLocked();
 
+    // Epoch-pin bookkeeping for the watchdog's view-pin probe: the
+    // probe reads only the atomic, so it never needs archiveMutex_.
+    const uint64_t opened_ns = telemetry::hostNowNs();
+    viewOpenedNs_.emplace(id, opened_ns);
+    if (oldestViewNs_.load(std::memory_order_relaxed) == 0)
+        oldestViewNs_.store(opened_ns, std::memory_order_relaxed);
+
     // Index the frozen windows while bufferedUpTo is still the captured
     // boundary (we hold the archive lock, so no phase can advance it
     // and make ensureCurrent skip part of the window).
@@ -2195,6 +2387,11 @@ XPGraph::closeView(uint64_t id)
 {
     std::lock_guard<std::mutex> lock(archiveMutex_);
     viewBoundaries_.erase(id);
+    viewOpenedNs_.erase(id);
+    uint64_t oldest = 0; // oldest remaining open timestamp (0 = none)
+    for (const auto &[vid, ns] : viewOpenedNs_)
+        oldest = oldest == 0 ? ns : std::min(oldest, ns);
+    oldestViewNs_.store(oldest, std::memory_order_relaxed);
     if (viewBoundaries_.empty()) {
         viewsPinned_ = false;
         // The capture cache references buffers that may sit in the

@@ -246,6 +246,15 @@ class XPGraph : public GraphStore
      */
     void publishTelemetry() const override;
 
+    /**
+     * Liveness verdict for the background components (archiver,
+     * compactor, ingest path) plus the backpressure and view-pin
+     * probes (DESIGN.md §14). Evaluated on demand against the host
+     * clock; the watchdog monitor thread (config.watchdogMonitor)
+     * merely polls this periodically and reacts to transitions.
+     */
+    telemetry::HealthReport health() const override;
+
     MemoryUsage memoryUsage() const override;
     /** Aggregate device counters (PCM-equivalent, Fig.13). */
     PcmCounters pmemCounters() const override;
@@ -483,6 +492,24 @@ class XPGraph : public GraphStore
     void phaseEnterLocked();
     void phaseExitLocked();
 
+    // --- ops plane (watchdog / events; DESIGN.md §14) ---
+
+    /** Register the heartbeats and probes with watchdog_ (constructor,
+     *  before the background threads start). */
+    void initWatchdog();
+    /** Writer entered/left a log-full wait in waitForLogSpace: track
+     *  the sustained-backpressure window and emit entry/exit events. */
+    void enterBackpressure(unsigned node);
+    void exitBackpressure(unsigned node);
+    /** Sustained log-full backpressure: Degraded past the configured
+     *  window, Stalled past 4x (writers blocked that long usually mean
+     *  a wedged archiver or a view pinning reclamation). */
+    telemetry::ComponentHealth backpressureProbe(uint64_t now_ns) const;
+    /** Age of the oldest open ReadView (epoch pin). Capped at
+     *  Degraded: a long-open view is legal, but it floors log
+     *  reclamation and deserves an operator's attention. */
+    telemetry::ComponentHealth viewPinProbe(uint64_t now_ns) const;
+
     // query helpers
     template <typename F>
     uint32_t forEachLive(const Side *side, uint64_t slot, F &&fn) const;
@@ -589,6 +616,27 @@ class XPGraph : public GraphStore
      *  under limboMutex_; drained under archiveMutex_. */
     mutable std::mutex limboMutex_;
     std::vector<std::pair<std::byte *, uint32_t>> limbo_;
+
+    // --- ops plane (DESIGN.md §14) ---
+
+    /** Per-store health registry; heartbeats registered in
+     *  initWatchdog(), monitor thread only if config.watchdogMonitor. */
+    telemetry::Watchdog watchdog_;
+    telemetry::Heartbeat *hbArchiver_ = nullptr;  ///< null: inline mode
+    telemetry::Heartbeat *hbCompactor_ = nullptr; ///< null: no compactor
+    telemetry::Heartbeat *hbIngest_ = nullptr;    ///< shared by sessions
+    /** Host ns when the current log-full backpressure window opened
+     *  (0 = no writer blocked). Maintained by enter/exitBackpressure. */
+    std::atomic<uint64_t> backpressureSinceNs_{0};
+    std::atomic<unsigned> backpressureWaiters_{0};
+    std::atomic<uint64_t> backpressureEpisodes_{0};
+    /** Host ns when the oldest currently-open view was opened (0 =
+     *  none). Written under archiveMutex_ at open/close; the view-pin
+     *  probe reads it lock-free so the monitor never blocks on the
+     *  archive lock. */
+    std::atomic<uint64_t> oldestViewNs_{0};
+    /** Open views' open timestamps (guarded by archiveMutex_). */
+    std::map<uint64_t, uint64_t> viewOpenedNs_;
 
     // cached telemetry handles (null when -DXPG_TELEMETRY=OFF); the
     // per-node append histograms are indexed by partition.

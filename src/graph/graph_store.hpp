@@ -36,6 +36,7 @@
 #include "graph/types.hpp"
 #include "pmem/pcm_counters.hpp"
 #include "telemetry/attribution.hpp"
+#include "telemetry/watchdog.hpp"
 
 namespace xpg {
 
@@ -258,6 +259,15 @@ class GraphStore : public GraphView
      * metrics snapshot so gauges reflect the moment of export.
      */
     virtual void publishTelemetry() const {}
+
+    /**
+     * Current liveness verdict per background component (archiver,
+     * compactor, ingest path, backpressure, epoch pins), evaluated on
+     * demand — the watchdog monitor thread does not need to be
+     * running. The default (engines without a watchdog) reports no
+     * components, which reads as overall Ok.
+     */
+    virtual telemetry::HealthReport health() const { return {}; }
 
   protected:
     /**

@@ -23,6 +23,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace xpg {
 
 /** Crash-point description, consumed once by a FaultInjector. */
@@ -73,6 +75,11 @@ class FaultInjector
             remaining_.fetch_sub(1, std::memory_order_relaxed);
         if (prev == 1) {
             crashed_.store(true, std::memory_order_relaxed);
+            // Postmortem snapshot on the crashing thread, before the
+            // torn write even lands: the flight record's
+            // in_flight_phase is this thread's live AccessScope. No-op
+            // unless a recorder directory was configured.
+            telemetry::flightRecordCrash("fault_injector_crash");
             return true;
         }
         return false;

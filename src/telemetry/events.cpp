@@ -1,0 +1,154 @@
+#include "telemetry/events.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/trace.hpp"
+
+namespace xpg::telemetry {
+
+const char *
+eventLevelName(EventLevel level)
+{
+    switch (level) {
+      case EventLevel::Info: return "info";
+      case EventLevel::Warn: return "warn";
+      case EventLevel::Error: return "error";
+    }
+    return "unknown";
+}
+
+const char *
+eventCategoryName(EventCategory category)
+{
+    switch (category) {
+      case EventCategory::Archive: return "archive";
+      case EventCategory::Compaction: return "compaction";
+      case EventCategory::Recovery: return "recovery";
+      case EventCategory::Backpressure: return "backpressure";
+      case EventCategory::Watchdog: return "watchdog";
+      case EventCategory::Ingest: return "ingest";
+      case EventCategory::Exporter: return "exporter";
+      case EventCategory::Other: return "other";
+    }
+    return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity))
+{
+    ring_.resize(capacity_);
+}
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog log;
+    return log;
+}
+
+void
+EventLog::emit(EventLevel level, EventCategory category, const char *name,
+               uint64_t a0, uint64_t a1)
+{
+    const uint64_t now = hostNowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    Rec &r = ring_[next_ % capacity_];
+    r.seq = next_++;
+    r.level = level;
+    r.category = category;
+    r.name = name;
+    r.hostNs = now;
+    r.a0 = a0;
+    r.a1 = a1;
+}
+
+std::vector<EventView>
+EventLog::collect() const
+{
+    return tail(capacity_);
+}
+
+std::vector<EventView>
+EventLog::tail(size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t live = std::min<uint64_t>(next_, capacity_);
+    const uint64_t take = std::min<uint64_t>(live, n);
+    std::vector<EventView> out;
+    out.reserve(take);
+    for (uint64_t seq = next_ - take; seq < next_; ++seq) {
+        const Rec &r = ring_[seq % capacity_];
+        out.push_back(EventView{r.seq, r.level, r.category, r.name,
+                                r.hostNs, r.a0, r.a1});
+    }
+    return out;
+}
+
+uint64_t
+EventLog::emitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rec &r : ring_)
+        r = Rec{};
+    next_ = 0;
+}
+
+json::JsonValue
+EventLog::eventValue(const EventView &e)
+{
+    json::JsonValue v = json::JsonValue::object();
+    v.set("seq", e.seq);
+    v.set("level", eventLevelName(e.level));
+    v.set("category", eventCategoryName(e.category));
+    v.set("name", e.name);
+    v.set("host_ns", e.hostNs);
+    v.set("a0", e.a0);
+    v.set("a1", e.a1);
+    return v;
+}
+
+json::JsonValue
+EventLog::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::object();
+    doc.set("schema", "xpgraph-events-v1");
+    json::JsonValue arr = json::JsonValue::array();
+    for (const EventView &e : collect())
+        arr.push(eventValue(e));
+    doc.set("emitted", emitted());
+    doc.set("events", std::move(arr));
+    return doc;
+}
+
+std::string
+EventLog::toJsonl() const
+{
+    std::string out;
+    for (const EventView &e : collect()) {
+        out += eventValue(e).dump(0);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+bool
+EventLog::writeJsonl(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = toJsonl();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace xpg::telemetry

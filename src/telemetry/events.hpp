@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Structured event log: a bounded ring of leveled, categorized, typed
+ * events — the ops-plane complement to the metrics registry (numbers)
+ * and the trace ring (spans). Metrics say *how much*, traces say *how
+ * long*; events say *what happened*: an archive phase started, a
+ * compaction swing committed, recovery repaired a chain, a writer
+ * entered log-space backpressure.
+ *
+ * Events are rare by design (phase transitions, not per-edge work), so
+ * the ring is a plain mutex-guarded circular buffer — no lock-free
+ * protocol to audit. Each event carries a level, a category, an
+ * interned name, the host timestamp, and two optional uint64 arguments
+ * whose meaning is event-specific (e.g. edges buffered, wait ns).
+ *
+ * Like the rest of the telemetry layer the class compiles in both
+ * build flavors; the XPG_EVENT macro engine code uses collapses to a
+ * no-op under -DXPG_TELEMETRY=OFF, so the process-wide log stays empty
+ * there and hot paths carry no event code at all.
+ */
+
+#ifndef XPG_TELEMETRY_EVENTS_HPP
+#define XPG_TELEMETRY_EVENTS_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+#ifndef XPG_TELEMETRY_ENABLED
+#define XPG_TELEMETRY_ENABLED 1
+#endif
+
+namespace xpg::telemetry {
+
+enum class EventLevel : uint8_t
+{
+    Info = 0,
+    Warn,
+    Error,
+};
+
+/** Which subsystem emitted the event (coarse filter for exports). */
+enum class EventCategory : uint8_t
+{
+    Archive = 0,  ///< buffering / flush phase transitions
+    Compaction,   ///< background compaction swings
+    Recovery,     ///< post-crash validation and repair
+    Backpressure, ///< writers blocked in waitForLogSpace
+    Watchdog,     ///< health-state transitions
+    Ingest,       ///< session open/close milestones
+    Exporter,     ///< exporter lifecycle
+    Other,
+};
+
+const char *eventLevelName(EventLevel level);
+const char *eventCategoryName(EventCategory category);
+
+/** One event copied out of the ring. */
+struct EventView
+{
+    uint64_t seq; ///< global emission order (monotonic, never reused)
+    EventLevel level;
+    EventCategory category;
+    const char *name; ///< literal or internString() result
+    uint64_t hostNs;  ///< host ns since process start (trace timebase)
+    uint64_t a0;      ///< event-specific argument
+    uint64_t a1;      ///< event-specific argument
+};
+
+class EventLog
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 4096;
+
+    explicit EventLog(size_t capacity = kDefaultCapacity);
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** The process-wide log the XPG_EVENT macro feeds. */
+    static EventLog &instance();
+
+    /** Record one event. @p name must outlive the log (literal or
+     *  internString()). Thread-safe. */
+    void emit(EventLevel level, EventCategory category, const char *name,
+              uint64_t a0 = 0, uint64_t a1 = 0);
+
+    /** Every event still in the ring, oldest first. */
+    std::vector<EventView> collect() const;
+
+    /** The newest @p n events, oldest first (flight-record tail). */
+    std::vector<EventView> tail(size_t n) const;
+
+    /** Total events ever emitted (including evicted ones). */
+    uint64_t emitted() const;
+
+    size_t capacity() const { return capacity_; }
+
+    /** Drop all events (between bench rows / in tests). */
+    void clear();
+
+    /** One event as a JSON object (shared by toJson and the JSONL
+     *  writers). */
+    static json::JsonValue eventValue(const EventView &e);
+
+    /** {"schema":"xpgraph-events-v1","emitted":..,"events":[..]} */
+    json::JsonValue toJson() const;
+
+    /** One compact JSON object per line, oldest first. */
+    std::string toJsonl() const;
+    bool writeJsonl(const std::string &path) const;
+
+  private:
+    struct Rec
+    {
+        uint64_t seq = 0;
+        EventLevel level = EventLevel::Info;
+        EventCategory category = EventCategory::Other;
+        const char *name = "";
+        uint64_t hostNs = 0;
+        uint64_t a0 = 0;
+        uint64_t a1 = 0;
+    };
+
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<Rec> ring_; ///< slot = seq % capacity_
+    uint64_t next_ = 0;     ///< next seq to assign
+};
+
+} // namespace xpg::telemetry
+
+#if XPG_TELEMETRY_ENABLED
+
+/** Record a structured event on the process-wide log.
+ *  XPG_EVENT(Warn, Backpressure, "log_full_enter", node, 0) */
+#define XPG_EVENT(level, category, name, a0, a1)                            \
+    ::xpg::telemetry::EventLog::instance().emit(                            \
+        ::xpg::telemetry::EventLevel::level,                                \
+        ::xpg::telemetry::EventCategory::category, (name), (a0), (a1))
+
+#else // XPG_TELEMETRY_ENABLED == 0
+
+/* sizeof keeps the arguments "used" without evaluating them, matching
+ * the other OFF-build macro stubs. */
+#define XPG_EVENT(level, category, name, a0, a1)                            \
+    ((void)sizeof(name), (void)sizeof(a0), (void)sizeof(a1))
+
+#endif // XPG_TELEMETRY_ENABLED
+
+#endif // XPG_TELEMETRY_EVENTS_HPP

@@ -1,5 +1,9 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 namespace xpg::telemetry {
 
 std::string
@@ -81,8 +85,29 @@ MetricsRegistry::size() const
 json::JsonValue
 MetricsRegistry::toJson() const
 {
+    // Sorted by name then labels — not registration order, which
+    // depends on thread timing in multi-session runs. Exporter JSONL
+    // samples and bench_diff comparisons rely on this being stable
+    // across runs.
+    struct Row
+    {
+        MetricInfo info;
+        uint64_t value;
+    };
+    std::vector<Row> rows;
+    forEach([&rows](const MetricInfo &info, uint64_t value) {
+        rows.push_back(Row{info, value});
+    });
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return std::tie(a.info.name, a.info.store, a.info.node,
+                        a.info.session, a.info.phase) <
+               std::tie(b.info.name, b.info.store, b.info.node,
+                        b.info.session, b.info.phase);
+    });
     json::JsonValue arr = json::JsonValue::array();
-    forEach([&arr](const MetricInfo &info, uint64_t value) {
+    for (const Row &row : rows) {
+        const MetricInfo &info = row.info;
+        const uint64_t value = row.value;
         json::JsonValue m = json::JsonValue::object();
         m.set("name", info.name);
         m.set("kind",
@@ -100,7 +125,7 @@ MetricsRegistry::toJson() const
             m.set("labels", std::move(labels));
         m.set("value", value);
         arr.push(std::move(m));
-    });
+    }
     return arr;
 }
 

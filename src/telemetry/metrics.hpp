@@ -98,7 +98,8 @@ class MetricsRegistry
     size_t size() const;
 
     /// [{"name":..,"kind":..,"labels":{..},"value":..}, ...] sorted by
-    /// registration order.
+    /// name then labels, so exports are deterministic across runs
+    /// (registration order depends on thread timing).
     json::JsonValue toJson() const;
 
   private:

@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace xpg::telemetry {
 
@@ -80,7 +81,23 @@ Telemetry::snapshotValue() const
     json::JsonValue histos = json::JsonValue::array();
     {
         std::lock_guard<std::mutex> lock(histoMu_);
-        for (const HistogramEntry &e : histograms_) {
+        // Same deterministic order as MetricsRegistry::toJson():
+        // registration order varies with session thread timing.
+        std::vector<const HistogramEntry *> sorted;
+        sorted.reserve(histograms_.size());
+        for (const HistogramEntry &e : histograms_)
+            sorted.push_back(&e);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const HistogramEntry *a, const HistogramEntry *b) {
+                      return std::tie(a->info.name, a->info.store,
+                                      a->info.node, a->info.session,
+                                      a->info.phase) <
+                             std::tie(b->info.name, b->info.store,
+                                      b->info.node, b->info.session,
+                                      b->info.phase);
+                  });
+        for (const HistogramEntry *ep : sorted) {
+            const HistogramEntry &e = *ep;
             json::JsonValue h = json::JsonValue::object();
             h.set("name", e.info.name);
             json::JsonValue labels = json::JsonValue::object();

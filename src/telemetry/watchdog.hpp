@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Health watchdog: a heartbeat registry plus an optional monitor
+ * thread that turns liveness signals into a typed HealthReport.
+ *
+ * Two kinds of component feed it:
+ *
+ *  - Heartbeats: long-lived loops (archiver, compactor, ingest path)
+ *    register a named Heartbeat and tick it from their loop. A
+ *    component that declared itself *busy* and then stopped beating is
+ *    Degraded past half its deadline and Stalled past the full
+ *    deadline; an *idle* component (parked on its condition variable)
+ *    is healthy no matter how long it sleeps — waiting for work is not
+ *    a stall.
+ *
+ *  - Probes: callbacks that compute a component's health from state
+ *    the owner already tracks (sustained log-space backpressure, the
+ *    age of the oldest open ReadView pinning an epoch). Probes run on
+ *    the checking thread, so they must be cheap and lock-light.
+ *
+ * check(nowNs) is a pure function of the registered state — tests pass
+ * explicit clocks and assert exact verdicts. start() runs a monitor
+ * thread that checks periodically, emits watchdog events on overall
+ * state transitions, and fires the onStalled callback (flight-record
+ * dump) on each transition *into* Stalled.
+ *
+ * The watchdog is owned per store instance (not process-wide): every
+ * XPGraph carries one so health() works with the monitor thread off.
+ * The classes compile identically in both telemetry build flavors —
+ * health reporting is engine behaviour, not instrumentation — but the
+ * monitor's event emission collapses with the rest under
+ * -DXPG_TELEMETRY=OFF.
+ */
+
+#ifndef XPG_TELEMETRY_WATCHDOG_HPP
+#define XPG_TELEMETRY_WATCHDOG_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace xpg::telemetry {
+
+enum class HealthStatus : uint8_t
+{
+    Ok = 0,
+    Degraded,
+    Stalled,
+};
+
+const char *healthStatusName(HealthStatus status);
+
+/**
+ * One component's liveness cell. Stable address once registered;
+ * beat()/busy() are relaxed atomics, safe to call from hot loops.
+ */
+class Heartbeat
+{
+  public:
+    /** Record liveness "now" (host clock). */
+    void beat();
+
+    /** Declare the component working (true) or parked waiting for work
+     *  (false). Also beats. */
+    void busy(bool b);
+
+    uint64_t beats() const
+    {
+        return beats_.load(std::memory_order_relaxed);
+    }
+    uint64_t lastBeatNs() const
+    {
+        return lastBeat_.load(std::memory_order_relaxed);
+    }
+    bool isBusy() const { return busy_.load(std::memory_order_relaxed); }
+    const std::string &name() const { return name_; }
+    uint64_t deadlineNs() const { return deadlineNs_; }
+
+  private:
+    friend class Watchdog;
+    std::string name_;
+    uint64_t deadlineNs_ = 0;
+    std::atomic<uint64_t> lastBeat_{0};
+    std::atomic<uint64_t> beats_{0};
+    std::atomic<bool> busy_{false};
+};
+
+struct ComponentHealth
+{
+    std::string name;
+    HealthStatus status = HealthStatus::Ok;
+    bool busy = false;
+    uint64_t beats = 0;
+    uint64_t sinceBeatNs = 0; ///< 0 for probe-computed components
+    std::string note;         ///< human-readable cause when not Ok
+};
+
+struct HealthReport
+{
+    uint64_t checkedAtNs = 0;
+    std::vector<ComponentHealth> components;
+
+    /** Worst component status (Ok when no components registered). */
+    HealthStatus overall() const;
+
+    /** {"schema":"xpgraph-health-v1","overall":..,"components":[..]} */
+    json::JsonValue toJson() const;
+
+    /** One line: "overall=ok archiver=ok compactor=stalled(2.1s)" —
+     *  the `xpgraph_cli watch` live format. */
+    std::string brief() const;
+};
+
+class Watchdog
+{
+  public:
+    /** Probe result: name/status/note computed by the owner against
+     *  the check's @p nowNs (so probes stay deterministic in tests). */
+    using Probe = std::function<ComponentHealth(uint64_t nowNs)>;
+    using StalledFn = std::function<void(const HealthReport &)>;
+
+    Watchdog() = default;
+    ~Watchdog() { stop(); }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Register a named heartbeat with a busy-stall deadline. The
+     * returned pointer is stable for the watchdog's lifetime. Must
+     * happen before start() (registration is construction-time wiring,
+     * not hot-path).
+     */
+    Heartbeat *registerHeartbeat(std::string name, uint64_t deadlineNs);
+
+    /** Register a health probe (evaluated on every check). */
+    void registerProbe(Probe probe);
+
+    /** Callback fired by the monitor on each transition into Stalled.
+     *  Set before start(). */
+    void onStalled(StalledFn fn);
+
+    /**
+     * Evaluate every heartbeat and probe against @p nowNs (host ns,
+     * hostNowNs() timebase). Deterministic: no clocks are read here.
+     */
+    HealthReport check(uint64_t nowNs) const;
+
+    /** check() against the host clock now. */
+    HealthReport checkNow() const;
+
+    /** Start the monitor thread (no-op if running or interval is 0). */
+    void start(uint64_t intervalNs);
+    void stop();
+    bool running() const { return monitor_.joinable(); }
+
+  private:
+    void monitorLoop(uint64_t intervalNs);
+
+    mutable std::mutex mu_; ///< guards registration lists
+    std::deque<Heartbeat> heartbeats_; ///< deque: stable addresses
+    std::vector<Probe> probes_;
+    StalledFn onStalled_;
+
+    std::thread monitor_;
+    std::mutex monitorMu_;
+    std::condition_variable monitorCv_;
+    bool stop_ = false; ///< guarded by monitorMu_
+};
+
+} // namespace xpg::telemetry
+
+#endif // XPG_TELEMETRY_WATCHDOG_HPP

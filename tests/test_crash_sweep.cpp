@@ -15,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,12 +27,68 @@
 #include "core/xpgraph.hpp"
 #include "crash_harness.hpp"
 #include "graph/generators.hpp"
+#include "mini_json.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace xpg {
 namespace {
 
 using crash::Op;
+using minijson::MiniJson;
+using minijson::parseOrDie;
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/** Scoped flight-recorder enable: records land in @p dir for the
+ *  duration of one sweep, and the singleton is disabled again even
+ *  when an assertion bails out early. */
+struct FlightRecorderScope
+{
+    explicit FlightRecorderScope(const std::string &dir)
+    {
+        telemetry::FlightRecorder::instance().configure(dir);
+    }
+    ~FlightRecorderScope()
+    {
+        telemetry::FlightRecorder::instance().disable();
+    }
+};
+
+/** When the recorder is enabled and the run crashed, the record on
+ *  disk must be the postmortem of *this* crash: parseable, flavored
+ *  with the crash reason, and carrying the in-flight phase plus both
+ *  ring tails. Exports a copy to $XPG_FLIGHT_RECORD_OUT (CI keeps one
+ *  as a build artifact). */
+void
+expectCrashFlightRecord(uint64_t dumps_before)
+{
+    auto &flight = telemetry::FlightRecorder::instance();
+    EXPECT_GT(flight.dumps(), dumps_before)
+        << "crash tripped but no flight record was dumped";
+    const std::string path = flight.lastPath();
+    ASSERT_FALSE(path.empty());
+    const MiniJson rec = parseOrDie(slurpFile(path));
+    EXPECT_EQ(rec.at("schema").str, "xpgraph-flight-v1");
+    EXPECT_EQ(rec.at("reason").str, "fault_injector_crash");
+    EXPECT_TRUE(rec.has("in_flight_phase"));
+    EXPECT_TRUE(rec.has("event_tail"));
+    EXPECT_TRUE(rec.has("trace_tail"));
+    if (const char *out = std::getenv("XPG_FLIGHT_RECORD_OUT");
+        out != nullptr && out[0] != '\0') {
+        std::error_code ec;
+        std::filesystem::copy_file(
+            path, out, std::filesystem::copy_options::overwrite_existing,
+            ec);
+    }
+}
 
 /** Sweep density: media-write step is sized for at least this many
  *  distinct crash points (the ISSUE floor is 200). */
@@ -147,6 +206,9 @@ sweepOnePointXpg(const XPGraphConfig &config, const std::vector<Op> &ops,
                  vid_t nv, const FaultPlan &plan,
                  bool view_at_half = false)
 {
+    auto &flight = telemetry::FlightRecorder::instance();
+    const uint64_t dumps_before = flight.dumps();
+    bool crashed = false;
     uint64_t acked = 0;
     uint64_t submitted = 0;
     {
@@ -176,7 +238,13 @@ sweepOnePointXpg(const XPGraphConfig &config, const std::vector<Op> &ops,
                 submitted += s2;
             } // view closes before the power cycle
         }
+        crashed = injector->crashed();
         graph.powerCycle();
+    }
+    if (flight.enabled() && crashed) {
+        expectCrashFlightRecord(dumps_before);
+        if (::testing::Test::HasFatalFailure())
+            return RecoveryReport{};
     }
 
     RecoveryReport report;
@@ -186,6 +254,13 @@ sweepOnePointXpg(const XPGraphConfig &config, const std::vector<Op> &ops,
         << recoveryStatusName(report.status) << " " << report.error;
     if (!recovered)
         return report;
+    if (flight.enabled() && report.repaired()) {
+        // A repairing recovery overwrites the crash record with its own
+        // postmortem carrying the RecoveryReport.
+        const MiniJson rec = parseOrDie(slurpFile(flight.lastPath()));
+        EXPECT_EQ(rec.at("reason").str, "recovery_repairs");
+        EXPECT_TRUE(rec.has("recovery"));
+    }
     recovered->archiveAll(); // absorb the pending log window
 
     const int64_t j = crash::verifyPrefixConsistent(*recovered, nv, ops,
@@ -253,6 +328,11 @@ TEST_F(CrashSweepTest, XPGraphTornFinalWrite)
     const auto ops = crash::insertOps(edges);
     const XPGraphConfig config = xpgConfig(nv, edges.size());
 
+    // Flight-recorder coverage rides this sweep: every crash point (the
+    // modes cycle through all torn flavors) must leave a parseable
+    // postmortem record, checked inside sweepOnePointXpg.
+    FlightRecorderScope flight_scope(dir_);
+
     const uint64_t media = dryRunMediaWrites(
         [&] { return std::make_unique<XPGraph>(config); }, ops,
         [](XPGraph &) {});
@@ -281,6 +361,8 @@ TEST_F(CrashSweepTest, XPGraphTornFinalWrite)
     // somewhere in the sweep — a zero count means the injection or the
     // validation is dead code.
     EXPECT_GT(repaired, 0u);
+    EXPECT_GT(telemetry::FlightRecorder::instance().dumps(), 0u)
+        << "no crash in the sweep ever produced a flight record";
 }
 
 TEST_F(CrashSweepTest, XPGraphDeletesAndCompaction)

@@ -26,6 +26,7 @@
 
 #include "core/xpgraph.hpp"
 #include "graph/generators.hpp"
+#include "mini_json.hpp"
 #include "pmem/pcm_counters.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -39,215 +40,9 @@ using telemetry::ShardedHistogram;
 using telemetry::TraceBuffer;
 using telemetry::TraceEventView;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser — just enough to round-trip what we export.
-// ---------------------------------------------------------------------------
-
-struct MiniJson
-{
-    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<MiniJson> arr;
-    std::map<std::string, MiniJson> obj;
-
-    const MiniJson &
-    at(const std::string &key) const
-    {
-        static const MiniJson kNull;
-        auto it = obj.find(key);
-        return it == obj.end() ? kNull : it->second;
-    }
-
-    bool has(const std::string &key) const { return obj.count(key) > 0; }
-};
-
-class MiniJsonParser
-{
-  public:
-    /** Parses @p text; sets *ok to whether the full input was consumed. */
-    static MiniJson
-    parse(const std::string &text, bool *ok)
-    {
-        MiniJsonParser p(text);
-        MiniJson v = p.parseValue();
-        p.skipWs();
-        *ok = !p.failed_ && p.pos_ == text.size();
-        return v;
-    }
-
-  private:
-    explicit MiniJsonParser(const std::string &t) : text_(t) {}
-
-    const std::string &text_;
-    size_t pos_ = 0;
-    bool failed_ = false;
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                text_[pos_] == '\t' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    bool
-    eat(char c)
-    {
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    MiniJson
-    fail()
-    {
-        failed_ = true;
-        return MiniJson{};
-    }
-
-    MiniJson
-    parseValue()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return fail();
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return parseString();
-        if (text_.compare(pos_, 4, "true") == 0) {
-            pos_ += 4;
-            MiniJson v;
-            v.kind = MiniJson::Kind::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (text_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-            MiniJson v;
-            v.kind = MiniJson::Kind::Bool;
-            return v;
-        }
-        if (text_.compare(pos_, 4, "null") == 0) {
-            pos_ += 4;
-            return MiniJson{};
-        }
-        return parseNumber();
-    }
-
-    MiniJson
-    parseNumber()
-    {
-        const char *start = text_.c_str() + pos_;
-        char *end = nullptr;
-        const double d = std::strtod(start, &end);
-        if (end == start)
-            return fail();
-        pos_ += static_cast<size_t>(end - start);
-        MiniJson v;
-        v.kind = MiniJson::Kind::Num;
-        v.num = d;
-        return v;
-    }
-
-    MiniJson
-    parseString()
-    {
-        if (!eat('"'))
-            return fail();
-        MiniJson v;
-        v.kind = MiniJson::Kind::Str;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return fail();
-                const char esc = text_[pos_++];
-                switch (esc) {
-                case 'n': c = '\n'; break;
-                case 't': c = '\t'; break;
-                case 'r': c = '\r'; break;
-                case 'b': c = '\b'; break;
-                case 'f': c = '\f'; break;
-                case 'u':
-                    if (pos_ + 4 > text_.size())
-                        return fail();
-                    pos_ += 4; // decoded as '?': tests only need ASCII
-                    c = '?';
-                    break;
-                default: c = esc; break;
-                }
-            }
-            v.str.push_back(c);
-        }
-        if (!eat('"'))
-            return fail();
-        return v;
-    }
-
-    MiniJson
-    parseArray()
-    {
-        if (!eat('['))
-            return fail();
-        MiniJson v;
-        v.kind = MiniJson::Kind::Arr;
-        skipWs();
-        if (eat(']'))
-            return v;
-        do {
-            v.arr.push_back(parseValue());
-            if (failed_)
-                return v;
-        } while (eat(','));
-        if (!eat(']'))
-            return fail();
-        return v;
-    }
-
-    MiniJson
-    parseObject()
-    {
-        if (!eat('{'))
-            return fail();
-        MiniJson v;
-        v.kind = MiniJson::Kind::Obj;
-        skipWs();
-        if (eat('}'))
-            return v;
-        do {
-            const MiniJson key = parseString();
-            if (failed_ || !eat(':'))
-                return fail();
-            v.obj[key.str] = parseValue();
-            if (failed_)
-                return v;
-        } while (eat(','));
-        if (!eat('}'))
-            return fail();
-        return v;
-    }
-};
-
-MiniJson
-parseOrDie(const std::string &text)
-{
-    bool ok = false;
-    MiniJson v = MiniJsonParser::parse(text, &ok);
-    EXPECT_TRUE(ok) << "unparseable JSON: " << text.substr(0, 200);
-    return v;
-}
+using minijson::MiniJson;
+using minijson::MiniJsonParser;
+using minijson::parseOrDie;
 
 // ---------------------------------------------------------------------------
 // Histogram: bucket boundaries, quantiles, merge.

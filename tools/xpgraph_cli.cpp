@@ -22,9 +22,28 @@
  *             [--threads T] [--system xpgraph|graphone-p]
  *             Ingest, then run one analytics workload.
  *
- *   recover   --backing DIR --vertices N [--edges M]
+ *   recover   --backing DIR --vertices N [--edges M] [--json FILE]
  *             Re-open a crashed file-backed XPGraph instance and print
- *             the recovery statistics.
+ *             the recovery statistics. --json FILE writes the typed
+ *             RecoveryReport (schema xpgraph-recovery-v1; FILE "-"
+ *             prints it to stdout) for scripted postmortems.
+ *
+ *   watch     [--seconds S] [--interval-ms MS] [--sessions N]
+ *             [--threads T] [--vertices N] [--ops-jsonl FILE]
+ *             [--prom FILE] [--events FILE] [--flight-dir DIR]
+ *             [--stall-ms MS] [--backpressure-ms MS]
+ *             [--wedge-compactor 0|1]
+ *             The live operations plane (DESIGN.md §14): run a churn
+ *             workload (concurrent sessions, pipelined archiver,
+ *             background compactor, rolling deletes) with the health
+ *             watchdog monitoring and print one `[watch] ...` line per
+ *             interval with the component health verdicts. --ops-jsonl
+ *             and --prom arm the periodic exporter (JSONL time series +
+ *             Prometheus text exposition); --events dumps the
+ *             structured event log on exit; --flight-dir arms the crash
+ *             flight recorder. --wedge-compactor 1 deliberately wedges
+ *             the compactor thread so the watchdog's Stalled escalation
+ *             (and the resulting flight record) can be demonstrated.
  *
  *   pipeline  [--dataset TT] [--shift N] [--sessions S] [--threads T]
  *             [--backing DIR]
@@ -55,6 +74,8 @@
  * Requires the default -DXPG_TELEMETRY=ON build.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +92,9 @@
 #include "graph/datasets.hpp"
 #include "graph/edge_io.hpp"
 #include "graph/retention.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -470,8 +494,160 @@ cmdRecover(const Args &args)
     const MemoryUsage mem = graph->memoryUsage();
     std::printf("persistent adjacency: %s\n",
                 TablePrinter::bytes(mem.pblkBytes).c_str());
+    const std::string json_path = args.get("json");
+    if (!json_path.empty()) {
+        const json::JsonValue doc = report.toJson();
+        if (json_path == "-") {
+            std::printf("%s\n", doc.dump(2).c_str());
+        } else if (!doc.writeFile(json_path)) {
+            XPG_FATAL("cannot write " + json_path);
+        } else {
+            std::printf("wrote recovery report %s\n", json_path.c_str());
+        }
+    }
     writeTelemetry(args, graph.get());
     return 0;
+}
+
+int
+cmdWatch(const Args &args)
+{
+    const double seconds = args.getDouble("seconds", 3.0);
+    const uint64_t interval_ms = args.getInt("interval-ms", 500);
+    const unsigned sessions =
+        static_cast<unsigned>(args.getInt("sessions", 2));
+    const vid_t nv =
+        static_cast<vid_t>(args.getInt("vertices", 1u << 16));
+
+    XPGraphConfig c = XPGraphConfig::persistent(nv, 0);
+    c.archiveThreads =
+        static_cast<unsigned>(args.getInt("threads", 8));
+    c.pipelinedArchiving = true;
+    c.backgroundCompaction = true;
+    c.watchdogMonitor = true;
+    c.watchdogIntervalMs = static_cast<uint32_t>(
+        args.getInt("watchdog-interval-ms", 100));
+    c.watchdogStallMs =
+        static_cast<uint32_t>(args.getInt("stall-ms", 2000));
+    c.watchdogBackpressureMs = static_cast<uint32_t>(
+        args.getInt("backpressure-ms", c.watchdogBackpressureMs));
+    c.debugWedgeCompactor = args.getInt("wedge-compactor", 0) != 0;
+    c.backingDir = args.get("backing");
+    if (!c.backingDir.empty())
+        std::filesystem::create_directories(c.backingDir);
+    c.pmemBytesPerNode = recommendedBytesPerNode(c, 1ull << 22);
+
+    const std::string flight_dir = args.get("flight-dir");
+    if (!flight_dir.empty()) {
+        std::filesystem::create_directories(flight_dir);
+        telemetry::FlightRecorder::instance().configure(flight_dir);
+    }
+
+    XPGraph graph(c);
+
+    telemetry::MetricsExporter exporter;
+    const std::string jsonl = args.get("ops-jsonl");
+    const std::string prom = args.get("prom");
+    const bool exporting = !jsonl.empty() || !prom.empty();
+    if (exporting) {
+        if (!telemetry::kEnabled)
+            std::fprintf(stderr,
+                         "warning: exporter metrics will be empty "
+                         "(built with -DXPG_TELEMETRY=OFF)\n");
+        telemetry::ExporterOptions opt;
+        opt.jsonlPath = jsonl;
+        opt.promPath = prom;
+        opt.periodMs = interval_ms;
+        opt.prePublish = [&graph] { graph.publishTelemetry(); };
+        exporter.configure(std::move(opt));
+        telemetry::FlightRecorder::instance().setLastSampleProvider(
+            [&exporter] { return exporter.lastSample(); });
+        exporter.start();
+    }
+
+    // Churn workload: every background component gets real work.
+    // Sessions insert random batches and tombstone half of each fourth
+    // batch, so the archiver drains continuously and the compactor
+    // keeps minting candidates (unless deliberately wedged).
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ingested{0};
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < sessions; ++t) {
+        clients.emplace_back([&graph, &stop, &ingested, nv, t] {
+            auto session = graph.session(t);
+            Rng rng(t + 1);
+            std::vector<Edge> batch(2048);
+            uint64_t round = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                for (Edge &e : batch) {
+                    e.src = static_cast<vid_t>(rng.nextBounded(nv));
+                    e.dst = static_cast<vid_t>(rng.nextBounded(nv));
+                }
+                session->addEdges(batch.data(), batch.size());
+                ingested.fetch_add(batch.size(),
+                                   std::memory_order_relaxed);
+                if (++round % 4 == 0)
+                    session->delEdges(batch.data(), batch.size() / 2);
+            }
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto deadline =
+        t0 + std::chrono::milliseconds(
+                 static_cast<int64_t>(seconds * 1000.0));
+    for (;;) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(now - t0).count();
+        const telemetry::HealthReport report = graph.health();
+        std::printf("[watch] t=%5.1fs edges=%llu events=%llu %s\n",
+                    elapsed,
+                    static_cast<unsigned long long>(
+                        ingested.load(std::memory_order_relaxed)),
+                    static_cast<unsigned long long>(
+                        telemetry::EventLog::instance().emitted()),
+                    report.brief().c_str());
+        std::fflush(stdout);
+        if (now >= deadline)
+            break;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &cl : clients)
+        cl.join();
+
+    if (exporting) {
+        exporter.stop(); // takes the final sample
+        telemetry::FlightRecorder::instance().clearLastSampleProvider();
+        if (!jsonl.empty())
+            std::printf("wrote %llu exporter samples to %s\n",
+                        static_cast<unsigned long long>(
+                            exporter.samples()),
+                        jsonl.c_str());
+        if (!prom.empty())
+            std::printf("wrote Prometheus exposition %s\n",
+                        prom.c_str());
+    }
+    const std::string events_path = args.get("events");
+    if (!events_path.empty()) {
+        if (!telemetry::EventLog::instance().writeJsonl(events_path))
+            XPG_FATAL("cannot write " + events_path);
+        std::printf("wrote event log %s\n", events_path.c_str());
+    }
+    const telemetry::HealthReport final_report = graph.health();
+    std::printf("final health: %s\n", final_report.brief().c_str());
+    if (!flight_dir.empty() &&
+        telemetry::FlightRecorder::instance().dumps() > 0)
+        std::printf("flight record: %s\n",
+                    telemetry::FlightRecorder::instance()
+                        .lastPath()
+                        .c_str());
+    writeTelemetry(args, &graph);
+    return final_report.overall() == telemetry::HealthStatus::Stalled
+               ? 2
+               : 0;
 }
 
 /** media/app ratio cell; "-" when the category moved no app bytes. */
@@ -751,7 +927,7 @@ usage()
 {
     std::printf(
         "usage: xpgraph_cli "
-        "<generate|ingest|query|recover|pipeline|profile> "
+        "<generate|ingest|query|recover|pipeline|profile|watch> "
         "[--opt v | --opt=v] [--telemetry trace.json]\n"
         "see the file header of tools/xpgraph_cli.cpp for details\n");
 }
@@ -780,6 +956,8 @@ main(int argc, char **argv)
         return cmdPipeline(args);
     if (cmd == "profile")
         return cmdProfile(args);
+    if (cmd == "watch")
+        return cmdWatch(args);
     usage();
     return 1;
 }
