@@ -15,8 +15,10 @@
  * 4.46x, PageRank up to 3.57x, CC up to 4.23x faster on XPGraph.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,12 @@ struct EngineRun
     uint64_t checksum = 0;
     uint64_t mediaReadBytes = 0;
     uint64_t appReadBytes = 0;
+    // Round-level shape (from the kernel's RoundStats; zero with
+    // telemetry OFF): multi-run kernels (BFS over three roots) sum
+    // rounds and edges and keep the max frontier.
+    uint64_t rounds = 0;
+    uint64_t frontierPeak = 0;
+    uint64_t edgesScanned = 0;
 };
 
 /** Vector-then-visitor measurement of one kernel. */
@@ -72,6 +80,11 @@ measure(Store &store, RunFn &&run)
         er.checksum = r.checksum;
         er.mediaReadBytes = delta.mediaBytesRead;
         er.appReadBytes = delta.appBytesRead;
+        er.rounds = r.rounds.size();
+        for (const RoundStats &rs : r.rounds) {
+            er.edgesScanned += rs.edgesScanned;
+            er.frontierPeak = std::max(er.frontierPeak, rs.activeVertices);
+        }
         last = &er;
     }
     (void)last;
@@ -114,6 +127,10 @@ writeJson(const std::vector<JsonRow> &rows,
         row.set("visitor_app_read_bytes", r.m.vis.appReadBytes);
         row.set("vector_checksum", r.m.vec.checksum);
         row.set("visitor_checksum", r.m.vis.checksum);
+        // Round-level shape of the visitor (default-engine) run.
+        row.set("rounds", r.m.vis.rounds);
+        row.set("frontier_peak", r.m.vis.frontierPeak);
+        row.set("edges_scanned", r.m.vis.edgesScanned);
         arr.push(std::move(row));
     }
     doc.set("rows", std::move(arr));
@@ -211,10 +228,16 @@ main(int argc, char **argv)
                 return measure(store, [&](QueryEngine e) {
                     AnalyticsResult total;
                     for (vid_t root : roots) {
-                        const auto r = runBfs(store, root, query_threads,
-                                              QueryBinding::Auto, e);
+                        auto r = runBfs(store, root, query_threads,
+                                        QueryBinding::Auto, e);
                         total.simNs += r.simNs;
                         total.checksum += r.checksum;
+                        // Concatenate so the EngineRun aggregation sees
+                        // all three traversals' rounds.
+                        total.rounds.insert(
+                            total.rounds.end(),
+                            std::make_move_iterator(r.rounds.begin()),
+                            std::make_move_iterator(r.rounds.end()));
                     }
                     return total;
                 });

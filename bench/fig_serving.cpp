@@ -52,6 +52,7 @@
 #include "bench_common.hpp"
 #include "graph/read_view.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/op_scope.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
@@ -108,6 +109,16 @@ struct Row
     uint64_t interarrivalNs = 0;
     uint64_t finalVisibleEdges = 0;
 
+    // Per-op-class OpScope roll-up deltas over the run (zero with
+    // telemetry OFF): how many archive passes the write stream's
+    // inline coordination fired and what media writes they caused,
+    // plus any compaction swings that ran.
+    uint64_t archiveOps = 0;
+    uint64_t archiveMediaWriteBytes = 0;
+    uint64_t archiveSimNs = 0;
+    uint64_t compactionOps = 0;
+    uint64_t compactionMediaWriteBytes = 0;
+
     double
     edgesPerSec() const
     {
@@ -141,6 +152,11 @@ serve(XPGraph &graph, const ServePlan &plan, const Dataset &ds,
     Row row;
     row.label = label;
     row.readsPerWrite = plan.readsPerWrite;
+
+    const telemetry::OpClassTotals arch0 =
+        telemetry::OpScope::classTotals(telemetry::OpClass::Archive);
+    const telemetry::OpClassTotals comp0 =
+        telemetry::OpScope::classTotals(telemetry::OpClass::Compaction);
 
     const uint64_t total_ops = plan.writeBatches * (plan.readsPerWrite + 1);
     const uint64_t warm_ops = std::max<uint64_t>(64, total_ops / 8);
@@ -254,6 +270,18 @@ serve(XPGraph &graph, const ServePlan &plan, const Dataset &ds,
     row.writeEdges = plan.writeBatches * kWriteBatchEdges;
     row.writeStreamNs = session->streamNs();
     row.finalVisibleEdges = view ? view->visibleEdges() : 0;
+
+    const telemetry::OpClassTotals arch1 =
+        telemetry::OpScope::classTotals(telemetry::OpClass::Archive);
+    const telemetry::OpClassTotals comp1 =
+        telemetry::OpScope::classTotals(telemetry::OpClass::Compaction);
+    row.archiveOps = arch1.ops - arch0.ops;
+    row.archiveMediaWriteBytes =
+        arch1.mediaWriteBytes - arch0.mediaWriteBytes;
+    row.archiveSimNs = arch1.simNs - arch0.simNs;
+    row.compactionOps = comp1.ops - comp0.ops;
+    row.compactionMediaWriteBytes =
+        comp1.mediaWriteBytes - comp0.mediaWriteBytes;
     return row;
 }
 
@@ -367,6 +395,13 @@ writeJson(const std::vector<Row> &rows,
             row.set("visible_edges_final", r.finalVisibleEdges);
         }
         row.set("interarrival_ns", r.interarrivalNs);
+        // Per-op-class OpScope roll-up over this mix's run.
+        row.set("archive_ops", r.archiveOps);
+        row.set("archive_media_write_bytes", r.archiveMediaWriteBytes);
+        row.set("archive_sim_ns", r.archiveSimNs);
+        row.set("compaction_ops", r.compactionOps);
+        row.set("compaction_media_write_bytes",
+                r.compactionMediaWriteBytes);
         arr.push(std::move(row));
     }
     for (const MultiRow &m : multi) {

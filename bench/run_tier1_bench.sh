@@ -81,7 +81,7 @@ if [[ "${XPG_TSAN:-0}" == "1" ]]; then
     cmake -B "${tsan_dir}" -S "${repo_root}" -DXPG_SANITIZE=thread
     cmake --build "${tsan_dir}" -j "$(nproc)" --target xpg_tests
     "${tsan_dir}/tests/xpg_tests" \
-        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*:Attribution*:ReadView*:Delete*:Compact*:Ops*'
+        --gtest_filter='Sessions/*:ConcurrentIngest*:IngestSession*:ConcurrentRecovery*:Telemetry*:Attribution*:ReadView*:Delete*:Compact*:Ops*:OpScope*:Explain*'
 fi
 
 if [[ "${XPG_ASAN:-0}" == "1" ]]; then
@@ -90,7 +90,7 @@ if [[ "${XPG_ASAN:-0}" == "1" ]]; then
     cmake --build "${asan_dir}" -j "$(nproc)" \
           --target xpg_tests xpg_crash_tests
     "${asan_dir}/tests/xpg_tests" \
-        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*:CompressedStoreFixture.*:AdjacencyCodec.*:ReadView.*:Delete*:Compact*:Ops*'
+        --gtest_filter='PmemDeviceTest.*:PmemAllocator.*:RecoveryTest.*:XPBuffer.*:CompressedStoreFixture.*:AdjacencyCodec.*:ReadView.*:Delete*:Compact*:Ops*:OpScope*:Explain*'
     "${asan_dir}/tests/xpg_crash_tests"
 fi
 
@@ -119,6 +119,18 @@ EOF
 
 export XPG_BENCH_JSON="${XPG_BENCH_JSON:-${repo_root}/BENCH_query.json}"
 "${build_dir}/bench/fig14_query" "${datasets[@]}"
+
+# Query regression gate: when a baseline BENCH_query.json is committed,
+# no (dataset, store, algorithm) metric — kernel times, media traffic,
+# or the round-level shape columns (rounds / frontier_peak /
+# edges_scanned) — may regress more than 10% beyond its noise floor.
+if baseline_query="$(git -C "${repo_root}" show HEAD:BENCH_query.json \
+                         2>/dev/null)"; then
+    "${repo_root}/tools/bench_diff" \
+        <(printf '%s' "${baseline_query}") "${XPG_BENCH_JSON}"
+else
+    echo "bench_diff: no committed BENCH_query.json baseline; skipping"
+fi
 
 "${build_dir}/bench/micro_primitives" \
     --benchmark_filter='BM_(GetNebrs|Degree|LogWindow|AdjCodec|AdjRawCopy|TombstoneFold).*' \
@@ -377,11 +389,51 @@ print(f"profile check passed: attributed totals match the device "
       f"counters on {len(dev)} fields")
 EOF
 
+    # Explain stage (DESIGN.md §15): `xpgraph_cli explain` on bfs and
+    # cc must produce a parseable xpgraph-explain-v1 report whose
+    # round-level media reads sum to the op's OpScope counter delta
+    # EXACTLY (continuous probe coverage on a quiesced store) and
+    # whose per-op attribution rows sum to the global AttributionTable
+    # delta within 0.1%. The CLI itself exits non-zero when its own
+    # checks fail; the python pass re-derives both invariants from the
+    # raw rows rather than trusting the embedded verdicts.
+    for kernel in bfs cc; do
+        explain_json="${repo_root}/BENCH_explain_${kernel}.json"
+        "${build_dir}/tools/xpgraph_cli" explain "${kernel}" \
+            --dataset "${datasets[0]}" --json "${explain_json}"
+        python3 -m json.tool "${explain_json}" > /dev/null
+        python3 - "${explain_json}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xpgraph-explain-v1", doc["schema"]
+checks = doc["checks"]
+assert checks["probe_active"], "store reported no query probe"
+op_ops = doc["op"]["pcm"]["media_read_ops"]
+round_ops = sum(r["media_read_ops"] for r in doc["rounds"])
+assert round_ops == op_ops, (
+    f"round media reads {round_ops} != op delta {op_ops}")
+op_rows = doc["op"]["attribution"]
+glob_rows = doc["global_delta"]["attribution"]
+for field in ("media_bytes_read", "media_bytes_written",
+              "app_bytes_read", "app_bytes_written"):
+    op_v = sum(row[field] for row in op_rows.values())
+    gl_v = sum(row[field] for row in glob_rows.values())
+    slack = abs(op_v - gl_v) / max(gl_v, 1)
+    assert slack <= 0.001, (
+        f"{field}: op rows {op_v} vs global delta {gl_v} ({slack:.3%})")
+assert checks["round_media_reads_exact"] and checks["attribution_ok"]
+print(f"explain {doc['algo']}: {len(doc['rounds'])} rounds, "
+      f"{round_ops} media reads sum exactly; attribution rows match "
+      f"the global delta")
+EOF
+    done
+
     notel_dir="${build_dir}-notel"
     cmake -B "${notel_dir}" -S "${repo_root}" -DXPG_TELEMETRY=OFF
     cmake --build "${notel_dir}" -j "$(nproc)" \
           --target fig20_ingest xpg_tests
-    "${notel_dir}/tests/xpg_tests" --gtest_filter='Telemetry*:Attribution*:Ops*'
+    "${notel_dir}/tests/xpg_tests" \
+        --gtest_filter='Telemetry*:Attribution*:Ops*:OpScope*:Explain*'
     # Five interleaved runs per flavor: one fig20 run's aggregate
     # simulated time jitters up to ~5% run to run on the SAME binary
     # (which client thread coordinates each inline archive phase is

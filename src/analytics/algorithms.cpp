@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/graph_store.hpp"
 #include "pmem/dram_device.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
@@ -15,6 +16,15 @@ namespace xpg {
 namespace {
 
 thread_local std::vector<vid_t> t_nebrs;
+
+/** The cost source a kernel's OpScope diffs: the store backing the
+ *  view (null on synthetic test views — the scope then just stamps an
+ *  opId with zero deltas). */
+const telemetry::OpCostSource *
+costSource(const GraphView &view)
+{
+    return view.backingStore();
+}
 
 /** Record a finished kernel's simulated wall into the per-algorithm
  *  latency histogram (no-op with telemetry OFF). */
@@ -46,6 +56,8 @@ runOneHop(GraphView &view, std::span<const vid_t> queries,
 {
     // Per-query cost is O(1) on the visitor path (degree cache), so
     // strided dealing is already balanced — skip the schedule build.
+    telemetry::OpScope opScope(costSource(view), "onehop",
+                               telemetry::OpClass::Query);
     XPG_TRACE_SCOPE(kernelSpan, "onehop", "query");
     QueryDriver driver(view, num_threads, binding, SchedulePolicy::Strided);
     std::vector<uint64_t> partial(driver.numThreads(), 0);
@@ -66,6 +78,8 @@ runOneHop(GraphView &view, std::span<const vid_t> queries,
     result.touched = queries.size();
     for (uint64_t p : partial)
         result.checksum += p;
+    result.rounds = driver.takeRounds();
+    result.op = opScope.close();
     noteKernel("onehop", result.simNs);
     return result;
 }
@@ -76,6 +90,8 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
 {
     const vid_t nv = view.numVertices();
     XPG_ASSERT(root < nv, "BFS root out of range");
+    telemetry::OpScope opScope(costSource(view), "bfs",
+                               telemetry::OpClass::Query);
     XPG_TRACE_SCOPE(kernelSpan, "bfs", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
@@ -131,6 +147,8 @@ runBfs(GraphView &view, vid_t root, unsigned num_threads,
         result.touched += frontier.size();
     }
     result.checksum = result.touched;
+    result.rounds = driver.takeRounds();
+    result.op = opScope.close();
     noteKernel("bfs", result.simNs);
     return result;
 }
@@ -140,6 +158,8 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
             QueryBinding binding, QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
+    telemetry::OpScope opScope(costSource(view), "pagerank",
+                               telemetry::OpClass::Query);
     XPG_TRACE_SCOPE(kernelSpan, "pagerank", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
@@ -210,6 +230,8 @@ runPageRank(GraphView &view, unsigned iterations, unsigned num_threads,
         rank_sum += next[v];
     result.checksum = static_cast<uint64_t>(rank_sum * 1e6);
     result.touched = nv;
+    result.rounds = driver.takeRounds();
+    result.op = opScope.close();
     noteKernel("pagerank", result.simNs);
     return result;
 }
@@ -220,6 +242,8 @@ runConnectedComponents(GraphView &view, unsigned num_threads,
                        QueryEngine engine)
 {
     const vid_t nv = view.numVertices();
+    telemetry::OpScope opScope(costSource(view), "cc",
+                               telemetry::OpClass::Query);
     XPG_TRACE_SCOPE(kernelSpan, "cc", "query");
     QueryDriver driver(view, num_threads, binding, scheduleFor(engine));
 
@@ -267,6 +291,8 @@ runConnectedComponents(GraphView &view, unsigned num_threads,
             ++components;
     result.checksum = components;
     result.touched = nv;
+    result.rounds = driver.takeRounds();
+    result.op = opScope.close();
     noteKernel("cc", result.simNs);
     return result;
 }

@@ -21,8 +21,11 @@
 #include <cstdint>
 #include <span>
 
+#include <vector>
+
 #include "analytics/query_driver.hpp"
 #include "graph/graph_view.hpp"
+#include "telemetry/op_scope.hpp"
 
 namespace xpg {
 
@@ -40,6 +43,23 @@ struct AnalyticsResult
     uint64_t checksum = 0;   ///< digest for equivalence checks
     uint64_t iterations = 0; ///< rounds executed
     uint64_t touched = 0;    ///< vertices visited / queries answered
+
+    /**
+     * Per-round cost records from the kernel's QueryDriver, in
+     * execution order (a kernel's setup sweep — e.g. PageRank's degree
+     * pass — counts as a round). Empty with -DXPG_TELEMETRY=OFF.
+     * Media-level fields are zero on views without a query probe.
+     */
+    std::vector<RoundStats> rounds;
+
+    /**
+     * The whole run's exact cost deltas, bracketed by an OpScope over
+     * view.backingStore() (opId 0 and all-zero deltas with telemetry
+     * OFF or on store-less synthetic views). On a quiescent store the
+     * per-round media reads in `rounds` sum to op.pcm.mediaReadOps
+     * exactly — the invariant `xpgraph_cli explain` checks.
+     */
+    telemetry::OpCost op;
 };
 
 /**

@@ -2,12 +2,38 @@
 
 #include <algorithm>
 
+#include "pmem/cost_model.hpp"
 #include "pmem/dram_device.hpp"
 #include "pmem/numa_topology.hpp"
+#include "pmem/xpline.hpp"
 #include "telemetry/attribution.hpp"
 #include "util/sim_clock.hpp"
 
 namespace xpg {
+
+json::JsonValue
+RoundStats::toJson() const
+{
+    json::JsonValue v = json::JsonValue::object();
+    v.set("round", round);
+    v.set("active_vertices", activeVertices);
+    v.set("edges_scanned", edgesScanned);
+    v.set("sealed_records", sealedRecords);
+    v.set("buffer_records", bufferRecords);
+    v.set("log_window_records", logWindowRecords);
+    v.set("decoded_bytes", decodedBytes);
+    v.set("media_read_ops", mediaReadOps);
+    v.set("media_read_bytes", mediaReadBytes);
+    json::JsonValue per_dev = json::JsonValue::array();
+    for (uint64_t ops : mediaReadOpsPerDevice)
+        per_dev.push(ops);
+    v.set("media_read_ops_per_device", std::move(per_dev));
+    v.set("sim_ns", simNs);
+    v.set("push_cost_ns", pushCostNs);
+    v.set("pull_cost_ns", pullCostNs);
+    v.set("direction_switch_gain", directionSwitchGain);
+    return v;
+}
 
 QueryDriver::QueryDriver(GraphView &view, unsigned num_threads,
                          QueryBinding binding, SchedulePolicy schedule)
@@ -18,13 +44,80 @@ QueryDriver::QueryDriver(GraphView &view, unsigned num_threads,
     perNode_.resize(std::max(1u, view_.numNodes()));
     telRoundHist_ = XPG_TEL_HISTOGRAM(
         "query.round_ns", (telemetry::Labels{.phase = "round"}));
+    // Round-stat baseline: sample the store's cumulative query-path
+    // counters NOW so round 1's delta starts at driver construction —
+    // continuous coverage is what makes the per-round deltas sum to
+    // the bracketing OpScope's deltas exactly.
+    if constexpr (telemetry::kAttributionEnabled)
+        probeActive_ = view_.sampleQueryProbe(probeLast_);
 }
 
 void
-QueryDriver::noteRound(uint64_t round_ns)
+QueryDriver::noteRound(uint64_t round_ns, uint64_t active_vertices)
 {
     XPG_TEL_RECORD(telRoundHist_, round_ns);
     XPG_TEL_TICK();
+    if constexpr (!telemetry::kAttributionEnabled)
+        return;
+
+    RoundStats rs;
+    rs.round = static_cast<uint32_t>(rounds_.size() + 1);
+    rs.activeVertices = active_vertices;
+    rs.simNs = round_ns;
+
+    uint64_t stored_edges = 0;
+    if (probeActive_) {
+        QueryProbe now;
+        if (view_.sampleQueryProbe(now)) {
+            rs.sealedRecords = now.sealedRecords - probeLast_.sealedRecords;
+            rs.bufferRecords = now.bufferRecords - probeLast_.bufferRecords;
+            rs.logWindowRecords =
+                now.logWindowRecords - probeLast_.logWindowRecords;
+            rs.edgesScanned = rs.sealedRecords + rs.bufferRecords +
+                              rs.logWindowRecords;
+            rs.decodedBytes = now.decodedBytes - probeLast_.decodedBytes;
+            rs.mediaReadOps = now.mediaReadOps - probeLast_.mediaReadOps;
+            rs.mediaReadBytes =
+                now.mediaReadBytes - probeLast_.mediaReadBytes;
+            rs.mediaReadOpsPerDevice.resize(
+                now.mediaReadOpsPerDevice.size(), 0);
+            for (size_t d = 0; d < now.mediaReadOpsPerDevice.size(); ++d) {
+                const uint64_t prev =
+                    d < probeLast_.mediaReadOpsPerDevice.size()
+                        ? probeLast_.mediaReadOpsPerDevice[d]
+                        : 0;
+                rs.mediaReadOpsPerDevice[d] =
+                    now.mediaReadOpsPerDevice[d] - prev;
+            }
+            stored_edges = now.storedEdges;
+            probeLast_ = std::move(now);
+        }
+    }
+
+    // Direction-switch opportunity (ALPHA-PIM / Ligra-style signal):
+    // model this round as frontier-directed push (touch the active
+    // vertices, random-read their adjacency — one media read per
+    // record in the worst case) vs. a pull sweep (touch every vertex,
+    // stream the whole stored edge set — a full XPLine per
+    // records-per-line records). Absolute values are cost-model
+    // estimates; only the sign/ratio is meant to be consumed.
+    const CostParams &p = globalCostParams();
+    const double per_vertex = static_cast<double>(p.dramRandomLineNs);
+    const double random_rec = static_cast<double>(p.pmemMediaReadNs);
+    const double recs_per_line =
+        static_cast<double>(kXPLineSize / sizeof(vid_t));
+    const double seq_rec = static_cast<double>(p.pmemMediaReadNs) /
+                           recs_per_line;
+    rs.pushCostNs = static_cast<double>(active_vertices) * per_vertex +
+                    static_cast<double>(rs.edgesScanned) * random_rec;
+    rs.pullCostNs =
+        static_cast<double>(view_.numVertices()) * per_vertex +
+        static_cast<double>(stored_edges) * seq_rec;
+    if (rs.pushCostNs > 0.0)
+        rs.directionSwitchGain =
+            (rs.pushCostNs - rs.pullCostNs) / rs.pushCostNs;
+
+    rounds_.push_back(std::move(rs));
 }
 
 bool
@@ -268,7 +361,7 @@ QueryDriver::forEach(std::span<const vid_t> vertices,
     }
 
     totalNs_ += round_ns;
-    noteRound(round_ns);
+    noteRound(round_ns, vertices.size());
     return round_ns;
 }
 
@@ -288,7 +381,7 @@ QueryDriver::forAllVertices(const std::function<void(vid_t, unsigned)> &fn)
             round_ns += buildPlan(allVertices_, allPlan_);
         round_ns += runPlan(allPlan_, fn);
         totalNs_ += round_ns;
-        noteRound(round_ns);
+        noteRound(round_ns, allVertices_.size());
         return round_ns;
     }
     return forEach(allVertices_, fn);

@@ -28,9 +28,47 @@
 
 #include "graph/graph_view.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/json_writer.hpp"
 #include "util/parallel.hpp"
 
 namespace xpg {
+
+/**
+ * Exact cost record of one computing round (DESIGN.md §15): what the
+ * store's query-path counters and device counters moved between the
+ * samples taken at the end of the previous round and the end of this
+ * one. Continuous coverage — each round's delta starts where the last
+ * round's ended (the first at driver construction) — so the per-round
+ * numbers sum to the bracketing OpScope's deltas exactly on a
+ * quiescent store.
+ *
+ * pushCostNs/pullCostNs are cost-model estimates of running this round
+ * frontier-directed (touch activeVertices, random-read their
+ * adjacency) vs. pull-directed (sweep every vertex, stream the whole
+ * edge set sequentially). directionSwitchGain > 0 marks rounds where
+ * the model says a pull sweep would have been cheaper — the
+ * direction-switch opportunity signal the future frontier engine
+ * consumes (ROADMAP).
+ */
+struct RoundStats
+{
+    uint32_t round = 0;            ///< 1-based index within the driver
+    uint64_t activeVertices = 0;   ///< vertices processed this round
+    uint64_t edgesScanned = 0;     ///< adjacency records streamed
+    uint64_t sealedRecords = 0;    ///< ... from archived chain blocks
+    uint64_t bufferRecords = 0;    ///< ... from DRAM vertex buffers
+    uint64_t logWindowRecords = 0; ///< ... from the frozen log window
+    uint64_t decodedBytes = 0;     ///< codec decode output bytes
+    uint64_t mediaReadOps = 0;     ///< XPLine fetches, all devices
+    uint64_t mediaReadBytes = 0;   ///< XPLine bytes fetched
+    std::vector<uint64_t> mediaReadOpsPerDevice; ///< per NUMA device
+    uint64_t simNs = 0;            ///< simulated ns of the round
+    double pushCostNs = 0.0;       ///< modeled frontier-directed cost
+    double pullCostNs = 0.0;       ///< modeled full-sweep pull cost
+    double directionSwitchGain = 0.0; ///< (push-pull)/push; >0: pull wins
+
+    json::JsonValue toJson() const;
+};
 
 /** How query threads relate to NUMA nodes. */
 enum class QueryBinding
@@ -90,6 +128,18 @@ class QueryDriver
     /** Total simulated nanoseconds across all rounds so far. */
     uint64_t totalNs() const { return totalNs_; }
 
+    /**
+     * Per-round cost records, one per forEach/forAllVertices call so
+     * far. Empty with -DXPG_TELEMETRY=OFF. Media-level fields are zero
+     * when the view has no query probe (GraphOne, synthetic views);
+     * activeVertices/simNs and the cost estimates are always filled.
+     */
+    const std::vector<RoundStats> &rounds() const { return rounds_; }
+
+    /** Move the round records out (kernels hand them to their
+     *  AnalyticsResult); the driver's list is left empty. */
+    std::vector<RoundStats> takeRounds() { return std::move(rounds_); }
+
   private:
     /** A balanced schedule: id-ordered lists cut into weighted chunks. */
     struct Plan
@@ -113,8 +163,10 @@ class QueryDriver
     uint64_t runPlan(const Plan &plan,
                      const std::function<void(vid_t, unsigned)> &fn);
     /** Per-round telemetry: record the round's simulated ns and drive
-     *  the periodic-snapshot tick (both no-ops with telemetry OFF). */
-    void noteRound(uint64_t round_ns);
+     *  the periodic-snapshot tick (both no-ops with telemetry OFF),
+     *  then append this round's RoundStats (probe deltas against the
+     *  previous sample + the push/pull cost estimate). */
+    void noteRound(uint64_t round_ns, uint64_t active_vertices);
 
     GraphView &view_;
     QueryBinding binding_;
@@ -126,6 +178,11 @@ class QueryDriver
     Plan tmpPlan_; ///< per-call plan for frontier-style forEach
     uint64_t totalNs_ = 0;
     telemetry::ShardedHistogram *telRoundHist_ = nullptr;
+
+    // --- round observability (DESIGN.md §15) ---
+    bool probeActive_ = false; ///< view answered sampleQueryProbe
+    QueryProbe probeLast_;     ///< sample at end of previous round
+    std::vector<RoundStats> rounds_;
 };
 
 } // namespace xpg

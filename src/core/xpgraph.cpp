@@ -732,8 +732,14 @@ XPGraph::recover(const XPGraphConfig &config, RecoveryReport *report)
     if (report && !report->ok())
         return nullptr;
     graph->recoveryReport_ = nullptr; // report outlives only recover()
-    graph->rebuildFromDevices(report);
-    graph->bumpSuperblockGenerations();
+    {
+        // One op per recovery pass: the rebuild's events and traffic
+        // correlate to this id (the constructor's validation already
+        // ran; chain/index replay dominates recovery cost anyway).
+        XPG_OP_SCOPE(opScope, graph.get(), "recover", Recovery);
+        graph->rebuildFromDevices(report);
+        graph->bumpSuperblockGenerations();
+    }
     if (report) {
         report->recoveryNs =
             graph->recoveryNs_.load(std::memory_order_relaxed);
@@ -1341,6 +1347,7 @@ XPGraph::runCompactionPass()
 uint64_t
 XPGraph::compactCandidatesLocked()
 {
+    XPG_OP_SCOPE(opScope, this, "compaction_pass", Compaction);
     XPG_ATTR_SCOPE(attrScope, Compaction);
     const double ratio = config_.compactTombstoneRatio;
     const uint32_t min_records = config_.compactMinRecords;
@@ -1539,6 +1546,7 @@ void
 XPGraph::runBufferingPhaseLocked(bool capped)
 {
     phaseEnterLocked();
+    XPG_OP_SCOPE(opScope, this, "buffering_phase", Archive);
     XPG_TRACE_SCOPE(phaseSpan, "buffering_phase", "archive");
     const uint64_t phaseStartNs =
         bufferingNs_.load(std::memory_order_relaxed);
@@ -1690,6 +1698,7 @@ void
 XPGraph::runFlushAllLocked(bool release_buffers)
 {
     phaseEnterLocked();
+    XPG_OP_SCOPE(opScope, this, "flush_phase", Archive);
     XPG_TRACE_SCOPE(phaseSpan, "flush_phase", "archive");
     declareArchiveConcurrency();
     const ParallelResult result = executor_->run(
@@ -1832,6 +1841,7 @@ XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
         // No delete records anywhere in this vertex: every stored
         // record is live — emit straight from the storage.
         uint32_t n = side->store->forEachRaw(st.chain, fn);
+        noteQueryRecords(n, 0);
         if (st.buf) {
             const auto *hdr = vbuf::header(st.buf);
             chargeDramRandom(sizeof(vbuf::Header) +
@@ -1839,6 +1849,7 @@ XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
             const vid_t *pay = vbuf::payload(st.buf);
             for (uint32_t i = 0; i < hdr->cnt; ++i)
                 fn(pay[i]);
+            noteQueryRecords(0, hdr->cnt);
             n += hdr->cnt;
         }
         return n;
@@ -1847,11 +1858,13 @@ XPGraph::forEachLive(const Side *side, uint64_t slot, F &&fn) const
     // charges as above) and cancel through the small stack-set.
     t_rawRecords.clear();
     side->store->readRaw(st.chain, t_rawRecords);
+    noteQueryRecords(t_rawRecords.size(), 0);
     if (st.buf) {
         const auto *hdr = vbuf::header(st.buf);
         chargeDramRandom(sizeof(vbuf::Header) + hdr->cnt * sizeof(vid_t));
         const vid_t *pay = vbuf::payload(st.buf);
         t_rawRecords.insert(t_rawRecords.end(), pay, pay + hdr->cnt);
+        noteQueryRecords(0, hdr->cnt);
     }
     return cancelTombstonesVisit(t_rawRecords, fn);
 }
@@ -1996,6 +2009,7 @@ XPGraph::getNebrsLogOut(vid_t v, std::vector<vid_t> &out) const
         n += index.visitOut(v, [&](vid_t rec) { out.push_back(rec); });
         std::reverse(out.begin() + base, out.end()); // newest-first chains
     }
+    noteQueryWindowRecords(n);
     return n;
 }
 
@@ -2010,6 +2024,7 @@ XPGraph::getNebrsLogIn(vid_t v, std::vector<vid_t> &out) const
         n += index.visitIn(v, [&](vid_t rec) { out.push_back(rec); });
         std::reverse(out.begin() + base, out.end());
     }
+    noteQueryWindowRecords(n);
     return n;
 }
 
@@ -2143,6 +2158,16 @@ class XPGraph::EpochView final : public ReadView
         g_->declareQueryThreads(n);
     }
 
+    // Round observability: the counters are store-global, so the view
+    // delegates (its own window/frozen visits bump the same counters).
+    bool
+    sampleQueryProbe(QueryProbe &out) const override
+    {
+        return g_->sampleQueryProbe(out);
+    }
+
+    const GraphStore *backingStore() const override { return g_; }
+
   private:
     /** Captured slot of @p v, or null when the side is absent. */
     const EpochState::ViewVertex *
@@ -2209,11 +2234,15 @@ class XPGraph::EpochView final : public ReadView
             store = out ? part.out->store.get() : part.in->store.get();
         }
 
+        g_->noteQueryWindowRecords(t_viewWindow.size());
+
         if ((vv ? vv->tombstones : 0) == 0 && !window_deletes) {
             // Insert-only: stream all three layers straight through.
             uint32_t n = 0;
             if (vv) {
-                n += store->forEachFrozen(vv->chain, fn);
+                const uint32_t sealed = store->forEachFrozen(vv->chain, fn);
+                n += sealed;
+                g_->noteQueryRecords(sealed, vv->bufCount);
                 if (vv->bufCount > 0) {
                     chargeDramRandom(sizeof(vbuf::Header) +
                                      vv->bufCount * sizeof(vid_t));
@@ -2235,6 +2264,7 @@ class XPGraph::EpochView final : public ReadView
             store->forEachFrozen(vv->chain, [](vid_t rec) {
                 t_rawRecords.push_back(rec);
             });
+            g_->noteQueryRecords(t_rawRecords.size(), vv->bufCount);
             if (vv->bufCount > 0) {
                 chargeDramRandom(sizeof(vbuf::Header) +
                                  vv->bufCount * sizeof(vid_t));
@@ -2661,6 +2691,36 @@ XPGraph::pmemAttribution() const
     for (const auto &part : parts_)
         total += part.dev->attribution();
     return total;
+}
+
+bool
+XPGraph::sampleQueryProbe(QueryProbe &out) const
+{
+    if constexpr (!telemetry::kAttributionEnabled)
+        return false;
+    out.sealedRecords =
+        querySealedRecords_.load(std::memory_order_relaxed);
+    out.bufferRecords =
+        queryBufferRecords_.load(std::memory_order_relaxed);
+    out.logWindowRecords =
+        queryLogWindowRecords_.load(std::memory_order_relaxed);
+    const CompressionStats cs = compressionStats();
+    out.decodedBytes = cs.decodedRecords * sizeof(vid_t);
+    out.mediaReadOps = 0;
+    out.mediaReadBytes = 0;
+    out.mediaReadOpsPerDevice.clear();
+    out.mediaReadOpsPerDevice.reserve(parts_.size());
+    for (const auto &part : parts_) {
+        const PcmCounters c = part.dev->counters();
+        out.mediaReadOpsPerDevice.push_back(c.mediaReadOps);
+        out.mediaReadOps += c.mediaReadOps;
+        out.mediaReadBytes += c.mediaBytesRead;
+    }
+    // Live edge-record estimate for the pull-direction cost model:
+    // records buffered into adjacency so far (out-direction share is
+    // half of the out+in total).
+    out.storedEdges = edgesBuffered_.load(std::memory_order_relaxed);
+    return true;
 }
 
 std::vector<telemetry::LineHeatTable::HotLine>

@@ -265,6 +265,13 @@ class XPGraph : public GraphStore
     /** Hottest XPLines merged across the per-node devices. */
     std::vector<telemetry::LineHeatTable::HotLine>
     hotLines(unsigned n) const override;
+    /**
+     * Cumulative query-path counters (sealed-chain vs vertex-buffer vs
+     * log-window records streamed, decode output, per-device media
+     * reads) for round-level observability (DESIGN.md §15). Lock-free;
+     * returns false with -DXPG_TELEMETRY=OFF.
+     */
+    bool sampleQueryProbe(QueryProbe &out) const override;
     const XPGraphConfig &config() const { return config_; }
     VertexBufferPool &pool() { return *pool_; }
 
@@ -514,6 +521,31 @@ class XPGraph : public GraphStore
     template <typename F>
     uint32_t forEachLive(const Side *side, uint64_t slot, F &&fn) const;
     uint32_t degreeOf(const Side *side, uint64_t slot) const;
+    /** Bump the query-path record counters (no-op with telemetry OFF).
+     *  One relaxed add per non-zero layer per vertex visit — counts
+     *  are batched per visit, never per neighbor. */
+    void
+    noteQueryRecords(uint64_t sealed, uint64_t buffered) const
+    {
+        if constexpr (telemetry::kAttributionEnabled) {
+            if (sealed != 0)
+                querySealedRecords_.fetch_add(sealed,
+                                              std::memory_order_relaxed);
+            if (buffered != 0)
+                queryBufferRecords_.fetch_add(buffered,
+                                              std::memory_order_relaxed);
+        }
+    }
+    /** Same, for records served from the frozen log window. */
+    void
+    noteQueryWindowRecords(uint64_t n) const
+    {
+        if constexpr (telemetry::kAttributionEnabled) {
+            if (n != 0)
+                queryLogWindowRecords_.fetch_add(
+                    n, std::memory_order_relaxed);
+        }
+    }
     /** Lazily create + extend node's log-window index (first query). */
     LogWindowIndex &logIndex(unsigned node) const;
 
@@ -589,6 +621,14 @@ class XPGraph : public GraphStore
     std::atomic<uint64_t> compactionSlots_{0};
     std::atomic<uint64_t> compactionBytesReclaimed_{0};
     std::atomic<uint64_t> compactionRecordsDropped_{0};
+
+    // --- query-path counters (round observability, DESIGN.md §15) ---
+    // Mutable: bumped on the const query paths (forEachLive, the view
+    // visit paths). Compiled to dead loads with -DXPG_TELEMETRY=OFF
+    // (the increments are guarded, sampleQueryProbe returns false).
+    mutable std::atomic<uint64_t> querySealedRecords_{0};
+    mutable std::atomic<uint64_t> queryBufferRecords_{0};
+    mutable std::atomic<uint64_t> queryLogWindowRecords_{0};
 
     /**
      * Archive-phase epoch for snapshotStats(): odd while an archive

@@ -36,6 +36,7 @@
 #include "graph/types.hpp"
 #include "pmem/pcm_counters.hpp"
 #include "telemetry/attribution.hpp"
+#include "telemetry/op_scope.hpp"
 #include "telemetry/watchdog.hpp"
 
 namespace xpg {
@@ -118,8 +119,14 @@ class IngestSession
     virtual uint64_t streamNs() const { return loggingNs(); }
 };
 
-/** The engine-independent ingest + query interface (Table I). */
-class GraphStore : public GraphView
+/**
+ * The engine-independent ingest + query interface (Table I). Also the
+ * telemetry OpCostSource: an OpScope bracketing one operation on this
+ * store diffs pmemCounters()/pmemAttribution()/compressionStats()
+ * through the narrow interface below, keeping telemetry independent of
+ * graph headers.
+ */
+class GraphStore : public GraphView, public telemetry::OpCostSource
 {
   public:
     // --- Graph updating interfaces ---
@@ -268,6 +275,26 @@ class GraphStore : public GraphView
      * components, which reads as overall Ok.
      */
     virtual telemetry::HealthReport health() const { return {}; }
+
+    // --- OpCostSource (per-operation cost scopes, DESIGN.md §15) ---
+
+    /** This store is its own query backing store. */
+    const GraphStore *backingStore() const override { return this; }
+
+    PcmCounters opPcmCounters() const final { return pmemCounters(); }
+
+    telemetry::AttributionSnapshot
+    opAttribution() const final
+    {
+        return pmemAttribution();
+    }
+
+    telemetry::OpDecodeStats
+    opDecodeStats() const final
+    {
+        const CompressionStats cs = compressionStats();
+        return {cs.decodedRecords * sizeof(vid_t), cs.decodeCalls};
+    }
 
   protected:
     /**

@@ -23,6 +23,36 @@
 
 namespace xpg {
 
+class GraphStore;
+
+/**
+ * Cumulative query-path counters a store exposes for round-level
+ * observability (DESIGN.md §15). All fields except storedEdges are
+ * monotonic counters; consumers (QueryDriver) sample before and after
+ * each computing round and report the deltas, so the per-round numbers
+ * sum to the per-operation OpScope deltas exactly on a quiescent
+ * store. storedEdges is a level (the store's current live edge-record
+ * estimate), read for the pull-direction cost estimate.
+ */
+struct QueryProbe
+{
+    uint64_t sealedRecords = 0;    ///< records streamed from archived chains
+    uint64_t bufferRecords = 0;    ///< records streamed from DRAM vbufs
+    uint64_t logWindowRecords = 0; ///< records served from the log window
+    uint64_t decodedBytes = 0;     ///< codec decode output bytes
+    uint64_t mediaReadOps = 0;     ///< XPLine fetches, summed over devices
+    uint64_t mediaReadBytes = 0;   ///< XPLine bytes fetched, summed
+    std::vector<uint64_t> mediaReadOpsPerDevice; ///< per NUMA device
+    uint64_t storedEdges = 0;      ///< live edge records (level, not delta)
+
+    /** Total adjacency records streamed to visitors. */
+    uint64_t
+    recordsVisited() const
+    {
+        return sealedRecords + bufferRecords + logWindowRecords;
+    }
+};
+
 /**
  * Non-owning, non-allocating callable reference used by the visitor
  * query API (a function_ref for `void(vid_t)`). Callers pass lambdas;
@@ -145,6 +175,28 @@ class GraphView
 
     /** Declare the number of concurrent query threads (read contention). */
     virtual void declareQueryThreads(unsigned n) {}
+
+    /**
+     * Sample the store's cumulative query-path counters into @p out.
+     * Stores without the instrumentation (and OFF builds) return false
+     * and leave @p out untouched; consumers then skip media-level round
+     * stats. Views (ReadView) delegate to their owning store — the
+     * counters are store-global.
+     */
+    virtual bool
+    sampleQueryProbe(QueryProbe &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
+     * The GraphStore whose devices this view reads, or null when the
+     * view is not backed by one (synthetic test views). Kernels use it
+     * to bracket a run in an OpScope without widening their GraphView
+     * parameter.
+     */
+    virtual const GraphStore *backingStore() const { return nullptr; }
 };
 
 } // namespace xpg

@@ -156,6 +156,17 @@ struct AttributionRow
         return *this;
     }
 
+    /** Delta of two snapshots of the same (monotonic) row. */
+    AttributionRow
+    operator-(const AttributionRow &o) const
+    {
+        AttributionRow d;
+        d.pcm = pcm - o.pcm;
+        d.rmwReads = rmwReads - o.rmwReads;
+        d.subLineStores = subLineStores - o.subLineStores;
+        return d;
+    }
+
     bool
     empty() const
     {
@@ -190,6 +201,17 @@ struct AttributionSnapshot
         for (unsigned i = 0; i < kAccessCategoryCount; ++i)
             rows[i] += o.rows[i];
         return *this;
+    }
+
+    /** Per-row delta of two snapshots of the same cumulative table —
+     *  what one bracketed operation contributed (see OpScope). */
+    AttributionSnapshot
+    operator-(const AttributionSnapshot &o) const
+    {
+        AttributionSnapshot d;
+        for (unsigned i = 0; i < kAccessCategoryCount; ++i)
+            d.rows[i] = rows[i] - o.rows[i];
+        return d;
     }
 
     /** Sum over categories — equals the device's counters() exactly. */

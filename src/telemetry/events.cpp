@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/op_scope.hpp"
 #include "telemetry/trace.hpp"
 
 namespace xpg::telemetry {
@@ -52,6 +53,8 @@ EventLog::emit(EventLevel level, EventCategory category, const char *name,
                uint64_t a0, uint64_t a1)
 {
     const uint64_t now = hostNowNs();
+    // Capture outside the lock: the opId stack is thread-local.
+    const uint64_t op = OpScope::currentOpId();
     std::lock_guard<std::mutex> lock(mu_);
     Rec &r = ring_[next_ % capacity_];
     r.seq = next_++;
@@ -61,6 +64,7 @@ EventLog::emit(EventLevel level, EventCategory category, const char *name,
     r.hostNs = now;
     r.a0 = a0;
     r.a1 = a1;
+    r.opId = op;
 }
 
 std::vector<EventView>
@@ -80,7 +84,7 @@ EventLog::tail(size_t n) const
     for (uint64_t seq = next_ - take; seq < next_; ++seq) {
         const Rec &r = ring_[seq % capacity_];
         out.push_back(EventView{r.seq, r.level, r.category, r.name,
-                                r.hostNs, r.a0, r.a1});
+                                r.hostNs, r.a0, r.a1, r.opId});
     }
     return out;
 }
@@ -112,6 +116,7 @@ EventLog::eventValue(const EventView &e)
     v.set("host_ns", e.hostNs);
     v.set("a0", e.a0);
     v.set("a1", e.a1);
+    v.set("op_id", e.opId);
     return v;
 }
 

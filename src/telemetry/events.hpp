@@ -68,6 +68,7 @@ struct EventView
     uint64_t hostNs;  ///< host ns since process start (trace timebase)
     uint64_t a0;      ///< event-specific argument
     uint64_t a1;      ///< event-specific argument
+    uint64_t opId;    ///< innermost OpScope at emit time (0 = none)
 };
 
 class EventLog
@@ -123,6 +124,7 @@ class EventLog
         uint64_t hostNs = 0;
         uint64_t a0 = 0;
         uint64_t a1 = 0;
+        uint64_t opId = 0;
     };
 
     const size_t capacity_;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Per-operation cost scopes: "what did *this* operation cost?"
+ *
+ * The metrics registry, attribution profiler, and ops plane all answer
+ * global questions — cumulative media traffic per device, aggregate
+ * latency histograms, store health. An OpScope brackets ONE logical
+ * operation (a BFS run, an archive pass, a compaction swing, recovery)
+ * and yields the exact deltas of the store's PcmCounters, its
+ * per-category AttributionSnapshot, and the adjacency codec's decode
+ * counters between open and close. Because every one of those counters
+ * is cumulative and monotonic, a delta over a quiescent store is exact,
+ * not sampled.
+ *
+ * Each scope stamps a process-monotonic opId (ids start at 1; 0 means
+ * "no operation"). The innermost open scope's id is published
+ * thread-locally via currentOpId(), which the event log and the trace
+ * ring read at emit time — so `xpgraph_cli watch` output and
+ * flight-recorder dumps correlate back to the operation that caused
+ * them. Scopes nest like AccessScope does: opening saves the previous
+ * innermost id and closing (or unwinding) restores it.
+ *
+ * The cost source is the small OpCostSource interface rather than
+ * GraphStore itself so this layer keeps telemetry's dependency
+ * direction (GraphStore implements the interface; telemetry never
+ * includes graph headers).
+ *
+ * Like the rest of the telemetry layer everything collapses under
+ * -DXPG_TELEMETRY=OFF: the class still compiles (tests use it
+ * directly) but construction takes no snapshots, assigns opId 0, and
+ * close() returns an all-zero OpCost; the XPG_OP_SCOPE macro engine
+ * code uses disappears entirely.
+ */
+
+#ifndef XPG_TELEMETRY_OP_SCOPE_HPP
+#define XPG_TELEMETRY_OP_SCOPE_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "pmem/pcm_counters.hpp"
+#include "telemetry/attribution.hpp"
+#include "util/json_writer.hpp"
+
+#ifndef XPG_TELEMETRY_ENABLED
+#define XPG_TELEMETRY_ENABLED 1
+#endif
+
+namespace xpg::telemetry {
+
+inline constexpr bool kOpScopeEnabled = XPG_TELEMETRY_ENABLED != 0;
+
+/** What kind of operation a scope brackets (JSON/event taxonomy). */
+enum class OpClass : uint8_t
+{
+    Query = 0,  ///< one analytics kernel / query run
+    Archive,    ///< one buffering or flushing archive pass
+    Compaction, ///< one background compaction swing
+    Recovery,   ///< one post-crash recover() pass
+    Ingest,     ///< a bracketed ingest region (tests, benches)
+    Other,      ///< anything else
+};
+
+inline constexpr unsigned kOpClassCount = 6;
+
+/** Stable snake_case name ("query", "archive", ...) for JSON keys. */
+const char *opClassName(OpClass cls);
+
+/** Decode-side codec counters an OpScope snapshots (a subset of
+ *  CompressionStats, kept as plain integers so telemetry does not
+ *  depend on core headers). */
+struct OpDecodeStats
+{
+    uint64_t decodedBytes = 0; ///< raw bytes produced by chunk decode
+    uint64_t decodeCalls = 0;  ///< chunk decode invocations
+};
+
+/**
+ * The cost surface an OpScope snapshots. GraphStore implements this by
+ * delegating to pmemCounters() / pmemAttribution() /
+ * compressionStats(); a null source is legal and yields zero deltas
+ * (the scope still stamps an opId).
+ */
+class OpCostSource
+{
+  public:
+    virtual ~OpCostSource() = default;
+
+    /** Cumulative device traffic, summed over the store's devices. */
+    virtual PcmCounters opPcmCounters() const = 0;
+
+    /** Cumulative per-category attribution, summed over devices. */
+    virtual AttributionSnapshot opAttribution() const = 0;
+
+    /** Cumulative codec decode counters. */
+    virtual OpDecodeStats opDecodeStats() const = 0;
+};
+
+/**
+ * Process-wide roll-up of every closed scope of one class — the cheap
+ * aggregate view serving benches read around a run ("how many archive
+ * passes fired during this mix, and what media traffic did they
+ * cause?") without holding the individual OpCosts. All-zero in OFF
+ * builds (no scope ever closes with a live id there).
+ */
+struct OpClassTotals
+{
+    uint64_t ops = 0;             ///< scopes of this class closed
+    uint64_t mediaReadBytes = 0;  ///< summed pcm.mediaBytesRead deltas
+    uint64_t mediaWriteBytes = 0; ///< summed pcm.mediaBytesWritten deltas
+    uint64_t simNs = 0;           ///< summed opening-thread sim deltas
+};
+
+/** Exact cost deltas of one closed operation. */
+struct OpCost
+{
+    uint64_t opId = 0;            ///< process-monotonic id (0 = none)
+    const char *name = "";        ///< operation label (literal lifetime)
+    OpClass cls = OpClass::Other; ///< taxonomy bucket
+    PcmCounters pcm;              ///< device-counter delta
+    AttributionSnapshot attribution; ///< per-category delta
+    uint64_t decodedBytes = 0;    ///< codec decode output delta
+    uint64_t decodeCalls = 0;     ///< codec decode call delta
+    uint64_t hostNs = 0;          ///< host wall time open -> close
+    uint64_t simNs = 0;           ///< opening thread's SimClock delta
+
+    /** {"op_id":..,"name":..,"class":..,"pcm":{..},"attribution":{..},
+     *  "decoded_bytes":..,"decode_calls":..,"host_ns":..,"sim_ns":..} */
+    json::JsonValue toJson() const;
+};
+
+/**
+ * RAII per-operation cost bracket. Constructing snapshots the source's
+ * cumulative counters and publishes this scope's opId as the calling
+ * thread's innermost; close() (idempotent, also run by the destructor,
+ * including via exception unwind) computes the deltas and restores the
+ * previous innermost id.
+ *
+ * A scope must be closed on the thread that opened it (the thread-local
+ * id stack is per-thread, like AccessScope's category stack). The
+ * counters it diffs are store-global, so an op's delta is exact when no
+ * other operation touches the same store concurrently — the explain
+ * path quiesces the store first for exactly this reason.
+ */
+class OpScope
+{
+  public:
+    OpScope(const OpCostSource *source, const char *name,
+            OpClass cls = OpClass::Other) noexcept;
+    ~OpScope();
+
+    OpScope(const OpScope &) = delete;
+    OpScope &operator=(const OpScope &) = delete;
+
+    /**
+     * Close the scope: compute deltas, restore the previous innermost
+     * opId, and return this op's cost. Idempotent — later calls (and
+     * the destructor) return the same OpCost without re-diffing.
+     */
+    const OpCost &close() noexcept;
+
+    /** This scope's id (0 in OFF builds). Valid from construction. */
+    uint64_t opId() const noexcept { return cost_.opId; }
+
+    bool closed() const noexcept { return closed_; }
+
+    /** The calling thread's innermost open op (0 when none). */
+    static uint64_t currentOpId() noexcept;
+
+    /** Total scopes ever opened process-wide (0 in OFF builds). */
+    static uint64_t opsOpened() noexcept;
+
+    /** Cumulative roll-up of closed scopes of @p cls (see
+     *  OpClassTotals). Deltas around a run are exact because every
+     *  field is monotonic. */
+    static OpClassTotals classTotals(OpClass cls) noexcept;
+
+  private:
+    const OpCostSource *source_;
+    OpCost cost_;
+    PcmCounters pcm0_;
+    AttributionSnapshot attr0_;
+    OpDecodeStats decode0_;
+    uint64_t host0_ = 0;
+    uint64_t sim0_ = 0;
+    uint64_t prevOpId_ = 0;
+    bool closed_ = false;
+
+    static std::atomic<uint64_t> nextOpId_;
+    static thread_local uint64_t tlsCurrent_;
+};
+
+} // namespace xpg::telemetry
+
+// ---------------------------------------------------------------------------
+// Call-site macro: engine phases use this so OFF builds carry no scope
+// code at all. Sites that need the resulting OpCost construct OpScope
+// directly (the class is a cheap no-op in OFF builds).
+// ---------------------------------------------------------------------------
+
+#if XPG_TELEMETRY_ENABLED
+/** Bracket the rest of the enclosing block as one operation. */
+#define XPG_OP_SCOPE(varName, sourcePtr, opName, opClass)                    \
+    ::xpg::telemetry::OpScope varName((sourcePtr), (opName),                 \
+                                      ::xpg::telemetry::OpClass::opClass)
+#else
+#define XPG_OP_SCOPE(varName, sourcePtr, opName, opClass)                    \
+    ((void)sizeof(sourcePtr), (void)sizeof(opName))
+#endif
+
+#endif // XPG_TELEMETRY_OP_SCOPE_HPP

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 
+#include "telemetry/op_scope.hpp"
 #include "util/sim_clock.hpp"
 
 namespace xpg::telemetry {
@@ -104,6 +105,7 @@ TraceBuffer::emit(const char *name, const char *cat, char ph, uint64_t tsNs,
     slot.tsNs.store(tsNs, std::memory_order_relaxed);
     slot.durNs.store(durNs, std::memory_order_relaxed);
     slot.simNs.store(simNs, std::memory_order_relaxed);
+    slot.opId.store(OpScope::currentOpId(), std::memory_order_relaxed);
 
     // Publish — CAS so a newer claimant that raced in is not marked
     // consistent with our (torn) payload.
@@ -146,6 +148,7 @@ TraceBuffer::collect() const
         ev.tsNs = slot.tsNs.load(std::memory_order_relaxed);
         ev.durNs = slot.durNs.load(std::memory_order_relaxed);
         ev.simNs = slot.simNs.load(std::memory_order_relaxed);
+        ev.opId = slot.opId.load(std::memory_order_relaxed);
         std::atomic_thread_fence(std::memory_order_acquire);
         if (slot.seq.load(std::memory_order_relaxed) != s1)
             continue; // torn by a concurrent writer
@@ -205,6 +208,8 @@ TraceBuffer::toJson() const
             e.set("s", "t"); // instant scope: thread
         json::JsonValue args = json::JsonValue::object();
         args.set("sim_ns", ev.simNs);
+        if (ev.opId != 0)
+            args.set("op_id", ev.opId);
         e.set("args", std::move(args));
         events.push(std::move(e));
     }

@@ -57,6 +57,7 @@ struct TraceEventView
     uint64_t tsNs;  ///< host ns since process start
     uint64_t durNs; ///< host ns (0 for instants)
     uint64_t simNs; ///< simulated ns attached as an arg
+    uint64_t opId;  ///< innermost OpScope at emit time (0 = none)
 };
 
 class TraceBuffer
@@ -108,6 +109,7 @@ class TraceBuffer
         std::atomic<uint64_t> tsNs{0};
         std::atomic<uint64_t> durNs{0};
         std::atomic<uint64_t> simNs{0};
+        std::atomic<uint64_t> opId{0};
     };
 
     void emit(const char *name, const char *cat, char ph, uint64_t tsNs,

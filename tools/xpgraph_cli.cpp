@@ -62,6 +62,25 @@
  *             checks (the CI stage asserts the rows sum to the device
  *             totals). Needs the default -DXPG_TELEMETRY=ON build.
  *
+ *   explain   <bfs|pr|cc|onehop> [--dataset TT | --in edges.bin]
+ *             [--shift N] [--system xpgraph] [--threads T]
+ *             [--iterations N] [--queries N] [--top N] [--json FILE]
+ *             Ingest + archive (quiescing the store), then run ONE
+ *             kernel bracketed by an OpScope and print its round-by-
+ *             round cost table (active vertices, edges scanned by
+ *             source layer, per-device media reads, decoded bytes,
+ *             simulated time, and the push-vs-pull cost-model estimate
+ *             with the direction-switch-opportunity gain), the op's
+ *             own attribution breakdown — exactness-checked against
+ *             the global AttributionTable delta — and the XPLines this
+ *             op heated the most. --json FILE writes the typed report
+ *             (schema xpgraph-explain-v1) the CI stage asserts on;
+ *             FILE "-" emits only the JSON on stdout (the human
+ *             report is suppressed so the output pipes cleanly):
+ *             per-round media reads must sum to the op's
+ *             counter delta exactly, and per-op attribution rows must
+ *             sum to the global delta within 0.1%.
+ *
  * xpgraph systems additionally accept the compaction knobs
  * --compact 0|1 (background compactor thread, default 0),
  * --compact-ratio R (tombstone share that makes a chain a candidate,
@@ -74,8 +93,10 @@
  * Requires the default -DXPG_TELEMETRY=ON build.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -836,6 +857,325 @@ cmdProfile(const Args &args)
     return 0;
 }
 
+/** Relative disagreement between two counters (0 when both zero). */
+double
+relErr(uint64_t a, uint64_t b)
+{
+    const uint64_t hi = std::max(a, b);
+    if (hi == 0)
+        return 0.0;
+    const double d = a > b ? static_cast<double>(a - b)
+                           : static_cast<double>(b - a);
+    return d / static_cast<double>(hi);
+}
+
+int
+cmdExplain(const Args &args, const std::string &kernel)
+{
+    const std::string algo =
+        kernel.empty() ? args.get("algo", "bfs") : kernel;
+    // With `--json -` stdout must carry nothing but the JSON document
+    // (so it can be piped straight into a parser); the human report is
+    // suppressed rather than interleaved.
+    const bool quiet = args.get("json") == "-";
+    vid_t nv = 0;
+    std::vector<Edge> edges;
+    std::string input;
+    if (args.has("in")) {
+        edges = loadInput(args, nv);
+        input = args.get("in");
+    } else {
+        const unsigned shift = static_cast<unsigned>(
+            args.getInt("shift", defaultScaleShift()));
+        input = args.get("dataset", "TT");
+        Dataset ds = generateDataset(datasetByAbbrev(input), shift);
+        nv = ds.numVertices;
+        edges = std::move(ds.edges);
+        if (!quiet)
+            std::printf("generated %zu edges over %u vertices (%s)\n",
+                        edges.size(), nv, input.c_str());
+    }
+    const std::string system = args.get("system", "xpgraph");
+    const unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 16));
+    const unsigned top = static_cast<unsigned>(args.getInt("top", 10));
+
+    if (!telemetry::kEnabled)
+        std::fprintf(stderr,
+                     "warning: built with -DXPG_TELEMETRY=OFF — rounds "
+                     "and cost deltas below will all be zero\n");
+
+    std::unique_ptr<GraphStore> store;
+    if (system.rfind("graphone", 0) == 0) {
+        store = std::make_unique<GraphOne>(
+            graphoneConfigFor(system, nv, edges.size(), args));
+    } else {
+        store = std::make_unique<XPGraph>(
+            xpgraphConfigFor(system, nv, edges.size(), args));
+    }
+    store->session(0)->addEdges(edges.data(), edges.size());
+    // Quiesce: archive everything so the kernel below is the only
+    // thing moving the store-global counters — the precondition for
+    // the op-vs-global exactness checks.
+    store->archiveAll();
+
+    const PcmCounters pcm0 = store->pmemCounters();
+    const telemetry::AttributionSnapshot attr0 = store->pmemAttribution();
+    const auto hot0 = store->hotLines(
+        telemetry::LineHeatTable::kDefaultCapacity);
+
+    AnalyticsResult result;
+    if (algo == "bfs") {
+        result = runBfs(*store, edges[0].src, threads);
+    } else if (algo == "pr" || algo == "pagerank") {
+        result = runPageRank(
+            *store,
+            static_cast<unsigned>(args.getInt("iterations", 10)),
+            threads);
+    } else if (algo == "cc") {
+        result = runConnectedComponents(*store, threads);
+    } else if (algo == "onehop") {
+        Rng rng(1);
+        std::vector<vid_t> queries;
+        const uint64_t nq = args.getInt("queries", 4096);
+        for (uint64_t i = 0; i < nq; ++i)
+            queries.push_back(edges[rng.nextBounded(edges.size())].src);
+        result = runOneHop(*store, queries, threads);
+    } else {
+        XPG_FATAL("unknown kernel '" + algo + "' (bfs|pr|cc|onehop)");
+    }
+
+    const PcmCounters pcmDelta = store->pmemCounters() - pcm0;
+    const telemetry::AttributionSnapshot attrDelta =
+        store->pmemAttribution() - attr0;
+    const auto hot1 = store->hotLines(
+        telemetry::LineHeatTable::kDefaultCapacity);
+    QueryProbe probe;
+    const bool probed = store->sampleQueryProbe(probe);
+
+    if (!quiet)
+        std::printf("op #%llu \"%s\" (%s): %.3f simulated ms, %zu "
+                    "rounds, checksum %llu\n",
+                    static_cast<unsigned long long>(result.op.opId),
+                    result.op.name,
+                    telemetry::opClassName(result.op.cls),
+                    result.simNs / 1e6,
+                    result.rounds.empty()
+                        ? static_cast<size_t>(result.iterations)
+                        : result.rounds.size(),
+                    static_cast<unsigned long long>(result.checksum));
+
+    // --- round-by-round table -------------------------------------
+    uint64_t sumEdges = 0, sumMediaOps = 0, sumMediaBytes = 0;
+    uint64_t sumDecoded = 0, frontierPeak = 0;
+    unsigned pullWins = 0;
+    TablePrinter rounds(algo + " rounds (" + system + ", " + input +
+                        ", " + std::to_string(threads) + " threads)");
+    rounds.header({"round", "active", "edges", "sealed", "vbuf",
+                   "logwin", "media rd", "rd bytes", "decoded",
+                   "sim ms", "push ms", "pull ms", "gain"});
+    for (const RoundStats &r : result.rounds) {
+        sumEdges += r.edgesScanned;
+        sumMediaOps += r.mediaReadOps;
+        sumMediaBytes += r.mediaReadBytes;
+        sumDecoded += r.decodedBytes;
+        frontierPeak = std::max(frontierPeak, r.activeVertices);
+        if (r.directionSwitchGain > 0.0)
+            ++pullWins;
+        rounds.row({std::to_string(r.round),
+                    std::to_string(r.activeVertices),
+                    std::to_string(r.edgesScanned),
+                    std::to_string(r.sealedRecords),
+                    std::to_string(r.bufferRecords),
+                    std::to_string(r.logWindowRecords),
+                    std::to_string(r.mediaReadOps),
+                    TablePrinter::bytes(r.mediaReadBytes),
+                    TablePrinter::bytes(r.decodedBytes),
+                    TablePrinter::num(r.simNs / 1e6),
+                    TablePrinter::num(r.pushCostNs / 1e6),
+                    TablePrinter::num(r.pullCostNs / 1e6),
+                    TablePrinter::num(r.directionSwitchGain)});
+    }
+    if (!result.rounds.empty() && !quiet) {
+        rounds.row({"sum", std::to_string(frontierPeak) + " peak",
+                    std::to_string(sumEdges), "", "", "",
+                    std::to_string(sumMediaOps),
+                    TablePrinter::bytes(sumMediaBytes),
+                    TablePrinter::bytes(sumDecoded), "", "", "", ""});
+        rounds.print();
+        std::printf("direction-switch opportunity: the cost model "
+                    "prefers a pull sweep in %u of %zu rounds\n",
+                    pullWins, result.rounds.size());
+    }
+
+    // --- exactness checks -----------------------------------------
+    // Rounds cover the op contiguously (driver baseline at
+    // construction, one sample per round end), so their media-read
+    // deltas must sum to the OpScope's device-counter delta exactly
+    // on a quiesced store — when the view has a probe at all.
+    const bool roundsExact = sumMediaOps == result.op.pcm.mediaReadOps;
+    if (telemetry::kEnabled && probed && !quiet)
+        std::printf("round media reads sum to op delta: %s "
+                    "(%llu round / %llu op)\n",
+                    roundsExact ? "exact" : "MISMATCH",
+                    static_cast<unsigned long long>(sumMediaOps),
+                    static_cast<unsigned long long>(
+                        result.op.pcm.mediaReadOps));
+
+    // --- the op's attribution breakdown ---------------------------
+    const uint64_t opMedia = result.op.pcm.mediaBytesRead +
+                             result.op.pcm.mediaBytesWritten;
+    TablePrinter attr("op media-traffic attribution (" + algo + ")");
+    attr.header({"cause", "app rd", "app wr", "media rd", "media wr",
+                 "amp", "% media"});
+    for (const auto cat : telemetry::allAccessCategories()) {
+        const telemetry::AttributionRow &r = result.op.attribution[cat];
+        if (r.empty())
+            continue;
+        const uint64_t app = r.pcm.appBytesRead + r.pcm.appBytesWritten;
+        const uint64_t media =
+            r.pcm.mediaBytesRead + r.pcm.mediaBytesWritten;
+        attr.row({telemetry::accessCategoryName(cat),
+                  TablePrinter::bytes(r.pcm.appBytesRead),
+                  TablePrinter::bytes(r.pcm.appBytesWritten),
+                  TablePrinter::bytes(r.pcm.mediaBytesRead),
+                  TablePrinter::bytes(r.pcm.mediaBytesWritten),
+                  ampCell(media, app),
+                  opMedia ? TablePrinter::num(
+                                100.0 * static_cast<double>(media) /
+                                static_cast<double>(opMedia))
+                          : "-"});
+    }
+    if (!quiet)
+        attr.print();
+
+    // The op's rows must account for everything the global table moved
+    // while the op ran (the store is quiesced, so the op IS the only
+    // mover). Compared on summed app+media bytes and media read ops.
+    const PcmCounters opTotal = result.op.attribution.total();
+    const PcmCounters globalTotal = attrDelta.total();
+    const double attrErr = std::max(
+        {relErr(opTotal.appBytesRead + opTotal.appBytesWritten,
+                globalTotal.appBytesRead + globalTotal.appBytesWritten),
+         relErr(opTotal.mediaBytesRead + opTotal.mediaBytesWritten,
+                globalTotal.mediaBytesRead +
+                    globalTotal.mediaBytesWritten),
+         relErr(opTotal.mediaReadOps, globalTotal.mediaReadOps)});
+    const bool attrOk = attrErr <= 1e-3;
+    if (telemetry::kEnabled && !quiet)
+        std::printf("op attribution rows vs global table delta: %s "
+                    "(rel err %.2e)\n",
+                    attrOk ? "within 0.1%" : "MISMATCH", attrErr);
+
+    // --- XPLines this op heated the most --------------------------
+    struct LineDelta
+    {
+        uint64_t line, reads, writes;
+        telemetry::AccessCategory owner;
+    };
+    std::vector<LineDelta> heated;
+    {
+        std::map<uint64_t, std::pair<uint64_t, uint64_t>> before;
+        for (const auto &h : hot0)
+            before[h.line] = {h.reads, h.writes};
+        for (const auto &h : hot1) {
+            const auto it = before.find(h.line);
+            const uint64_t r0 = it == before.end() ? 0 : it->second.first;
+            const uint64_t w0 =
+                it == before.end() ? 0 : it->second.second;
+            // Saturating deltas: a line's count can shrink between the
+            // snapshots when the capacity-bound heat table recycles its
+            // slot, so a raw subtraction could underflow.
+            const uint64_t dr = h.reads > r0 ? h.reads - r0 : 0;
+            const uint64_t dw = h.writes > w0 ? h.writes - w0 : 0;
+            if (dr + dw > 0)
+                heated.push_back({h.line, dr, dw, h.owner});
+        }
+        std::sort(heated.begin(), heated.end(),
+                  [](const LineDelta &a, const LineDelta &b) {
+                      return a.reads + a.writes > b.reads + b.writes;
+                  });
+        if (heated.size() > top)
+            heated.resize(top);
+    }
+    if (!heated.empty() && !quiet) {
+        TablePrinter heat("hottest XPLines this op touched (top " +
+                          std::to_string(top) + ")");
+        heat.header({"line", "reads", "writes", "owner"});
+        for (const auto &h : heated)
+            heat.row({std::to_string(h.line), std::to_string(h.reads),
+                      std::to_string(h.writes),
+                      telemetry::accessCategoryName(h.owner)});
+        heat.print();
+    }
+
+    // --- typed report (schema xpgraph-explain-v1) -----------------
+    const std::string json_path = args.get("json");
+    if (!json_path.empty()) {
+        json::JsonValue root = json::JsonValue::object();
+        root.set("schema", "xpgraph-explain-v1");
+        root.set("system", system);
+        root.set("input", input);
+        root.set("algo", algo);
+        root.set("threads", threads);
+        root.set("op", result.op.toJson());
+        json::JsonValue rlist = json::JsonValue::array();
+        for (const RoundStats &r : result.rounds)
+            rlist.push(r.toJson());
+        root.set("rounds", std::move(rlist));
+        json::JsonValue rsum = json::JsonValue::object();
+        rsum.set("rounds", static_cast<uint64_t>(result.rounds.size()));
+        rsum.set("frontier_peak", frontierPeak);
+        rsum.set("edges_scanned", sumEdges);
+        rsum.set("media_read_ops", sumMediaOps);
+        rsum.set("media_read_bytes", sumMediaBytes);
+        rsum.set("decoded_bytes", sumDecoded);
+        rsum.set("pull_preferred_rounds",
+                 static_cast<uint64_t>(pullWins));
+        root.set("round_sum", std::move(rsum));
+        json::JsonValue global = json::JsonValue::object();
+        global.set("pcm", pcmDelta.toJson());
+        global.set("attribution", attrDelta.toJson());
+        global.set("attribution_total", globalTotal.toJson());
+        root.set("global_delta", std::move(global));
+        json::JsonValue checks = json::JsonValue::object();
+        checks.set("probe_active", probed);
+        checks.set("round_media_reads_exact", roundsExact);
+        checks.set("round_media_read_ops", sumMediaOps);
+        checks.set("op_media_read_ops", result.op.pcm.mediaReadOps);
+        checks.set("attribution_rel_err", attrErr);
+        checks.set("attribution_ok", attrOk);
+        root.set("checks", std::move(checks));
+        json::JsonValue lines = json::JsonValue::array();
+        for (const auto &h : heated) {
+            json::JsonValue l = json::JsonValue::object();
+            l.set("line", h.line);
+            l.set("read_delta", h.reads);
+            l.set("write_delta", h.writes);
+            l.set("owner", telemetry::accessCategoryName(h.owner));
+            lines.push(std::move(l));
+        }
+        root.set("hot_lines", std::move(lines));
+        json::JsonValue res = json::JsonValue::object();
+        res.set("sim_ns", result.simNs);
+        res.set("checksum", result.checksum);
+        res.set("iterations", result.iterations);
+        res.set("touched", result.touched);
+        root.set("result", std::move(res));
+        if (json_path == "-") {
+            std::printf("%s\n", root.dump(2).c_str());
+        } else if (!root.writeFile(json_path)) {
+            XPG_FATAL("cannot write " + json_path);
+        } else {
+            std::printf("wrote explain report %s\n", json_path.c_str());
+        }
+    }
+    writeTelemetry(args, store.get());
+    return (telemetry::kEnabled && (!attrOk || (probed && !roundsExact)))
+               ? 1
+               : 0;
+}
+
 int
 cmdPipeline(const Args &args)
 {
@@ -927,8 +1267,10 @@ usage()
 {
     std::printf(
         "usage: xpgraph_cli "
-        "<generate|ingest|query|recover|pipeline|profile|watch> "
+        "<generate|ingest|query|explain|recover|pipeline|profile|watch> "
         "[--opt v | --opt=v] [--telemetry trace.json]\n"
+        "       xpgraph_cli explain <bfs|pr|cc|onehop> [--dataset TT] "
+        "[--json FILE|-]\n"
         "see the file header of tools/xpgraph_cli.cpp for details\n");
 }
 
@@ -942,7 +1284,16 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string cmd = argv[1];
-    const Args args(argc, argv, 2);
+    // explain takes its kernel as a positional argument; everything
+    // else is strictly --option form.
+    std::string positional;
+    int first = 2;
+    if (cmd == "explain" && argc > 2 &&
+        std::strncmp(argv[2], "--", 2) != 0) {
+        positional = argv[2];
+        first = 3;
+    }
+    const Args args(argc, argv, first);
     setupTelemetry(args);
     if (cmd == "generate")
         return cmdGenerate(args);
@@ -950,6 +1301,8 @@ main(int argc, char **argv)
         return cmdIngest(args);
     if (cmd == "query")
         return cmdQuery(args);
+    if (cmd == "explain")
+        return cmdExplain(args, positional);
     if (cmd == "recover")
         return cmdRecover(args);
     if (cmd == "pipeline")
